@@ -1,0 +1,219 @@
+(* fieldrep: command-line interface to the field-replication DBMS.
+
+   Subcommands:
+     model     - evaluate the analytical cost model at one configuration
+     table     - print the paper's Figure 12 / 14 tables
+     validate  - build a database, measure real I/O, compare to the model
+     script    - execute an EXTRA-style statement script against a fresh db
+     demo      - a short guided tour on the employee database
+*)
+
+module Db = Fieldrep.Db
+module Value = Fieldrep_model.Value
+module Lang = Fieldrep_query.Lang
+module Params = Fieldrep_costmodel.Params
+module Cost = Fieldrep_costmodel.Cost
+module Sweep = Fieldrep_costmodel.Sweep
+module Gen = Fieldrep_workload.Gen
+module Mix = Fieldrep_workload.Mix
+module T = Fieldrep_util.Tableprint
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument definitions                                         *)
+
+let strategy_conv =
+  let parse = function
+    | "none" | "no-replication" -> Ok Params.No_replication
+    | "inplace" | "in-place" -> Ok Params.Inplace
+    | "separate" -> Ok Params.Separate
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S (none|inplace|separate)" s))
+  in
+  let print fmt s = Format.pp_print_string fmt (Sweep.strategy_name s) in
+  Arg.conv (parse, print)
+
+let strategy =
+  Arg.(
+    value
+    & opt strategy_conv Params.Inplace
+    & info [ "strategy" ] ~docv:"STRATEGY" ~doc:"none, inplace or separate.")
+
+let clustered =
+  Arg.(value & flag & info [ "clustered" ] ~doc:"Use clustered indexes.")
+
+let sharing =
+  Arg.(value & opt int 1 & info [ "f"; "sharing" ] ~docv:"F" ~doc:"Sharing level f.")
+
+let s_count =
+  Arg.(value & opt int 10_000 & info [ "s-count" ] ~docv:"N" ~doc:"Cardinality of S.")
+
+let read_sel =
+  Arg.(value & opt float 0.002 & info [ "fr"; "read-sel" ] ~doc:"Read selectivity f_r.")
+
+let update_sel =
+  Arg.(value & opt float 0.001 & info [ "fs"; "update-sel" ] ~doc:"Update selectivity f_s.")
+
+let clustering_of_flag c = if c then Params.Clustered else Params.Unclustered
+
+(* ------------------------------------------------------------------ *)
+(* model                                                               *)
+
+let model_cmd =
+  let run sharing s_count read_sel update_sel clustered update_prob =
+    let p =
+      { Params.default with Params.sharing; s_count; read_sel; update_sel }
+    in
+    let clustering = clustering_of_flag clustered in
+    let rows =
+      List.map
+        (fun strategy ->
+          let r = Cost.sum (Cost.read p strategy clustering) in
+          let u = Cost.sum (Cost.update p strategy clustering) in
+          [
+            Sweep.strategy_name strategy;
+            T.fixed 1 r;
+            T.fixed 1 u;
+            T.fixed 1 (Cost.total p strategy clustering ~update_prob);
+            (if strategy = Params.No_replication then "-"
+             else
+               T.pct
+                 (Cost.percent_vs_no_replication p strategy clustering ~update_prob));
+          ])
+        [ Params.No_replication; Params.Inplace; Params.Separate ]
+    in
+    Printf.printf "cost model at |S|=%d f=%d fr=%g fs=%g (%s), P(update)=%g\n" s_count
+      sharing read_sel update_sel
+      (match clustering with Params.Clustered -> "clustered" | Params.Unclustered -> "unclustered")
+      update_prob;
+    T.print ~header:[ "strategy"; "C_read"; "C_update"; "C_total"; "vs none" ] rows
+  in
+  let update_prob =
+    Arg.(value & opt float 0.1 & info [ "p"; "update-prob" ] ~doc:"Update probability.")
+  in
+  Cmd.v
+    (Cmd.info "model" ~doc:"Evaluate the analytical cost model (paper section 6).")
+    Term.(const run $ sharing $ s_count $ read_sel $ update_sel $ clustered $ update_prob)
+
+(* ------------------------------------------------------------------ *)
+(* table                                                               *)
+
+let table_cmd =
+  let run clustered =
+    let clustering = clustering_of_flag clustered in
+    let cells = Sweep.table Params.default clustering in
+    T.print
+      ~header:[ "configuration"; "C_read"; "C_update" ]
+      (List.map
+         (fun c ->
+           [
+             Printf.sprintf "f=%d %s" c.Sweep.t_sharing (Sweep.strategy_name c.Sweep.t_strategy);
+             string_of_int c.Sweep.c_read;
+             string_of_int c.Sweep.c_update;
+           ])
+         cells)
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Print the paper's Figure 12 (or, with --clustered, Figure 14).")
+    Term.(const run $ clustered)
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+
+let validate_cmd =
+  let run sharing s_count read_sel update_sel clustered strategy queries =
+    let spec =
+      {
+        Gen.default_spec with
+        Gen.sharing;
+        s_count;
+        strategy;
+        clustering = clustering_of_flag clustered;
+      }
+    in
+    Printf.printf "building |S|=%d f=%d %s (%s) and measuring %d queries each...\n%!"
+      s_count sharing (Sweep.strategy_name strategy)
+      (if clustered then "clustered" else "unclustered")
+      queries;
+    let c = Mix.validate spec ~read_sel ~update_sel ~queries () in
+    T.print
+      ~header:[ ""; "measured"; "model" ]
+      [
+        [ "read I/O"; T.fixed 1 c.Mix.measured_read; T.fixed 1 c.Mix.model_read ];
+        [ "update I/O"; T.fixed 1 c.Mix.measured_update; T.fixed 1 c.Mix.model_update ];
+      ]
+  in
+  let queries =
+    Arg.(value & opt int 12 & info [ "queries" ] ~doc:"Queries per measurement.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Measure real page I/O on a generated database and compare to the model.")
+    Term.(
+      const run $ sharing
+      $ Arg.(value & opt int 2000 & info [ "s-count" ] ~docv:"N" ~doc:"Cardinality of S.")
+      $ read_sel $ update_sel $ clustered $ strategy $ queries)
+
+(* ------------------------------------------------------------------ *)
+(* script                                                              *)
+
+let script_cmd =
+  let run file db_image save_image =
+    let contents =
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let db = match db_image with Some path -> Db.load path | None -> Db.create () in
+    List.iter (fun o -> Format.printf "%a@." Lang.pp_outcome o) (Lang.exec_script db contents);
+    match save_image with
+    | Some path ->
+        Db.save db path;
+        Printf.printf "saved database image to %s\n" path
+    | None -> ()
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Statement script.")
+  in
+  let db_image =
+    Arg.(value & opt (some file) None & info [ "db" ] ~docv:"IMAGE" ~doc:"Open this database image instead of a fresh database.")
+  in
+  let save_image =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"IMAGE" ~doc:"Save the database image afterwards.")
+  in
+  Cmd.v
+    (Cmd.info "script"
+       ~doc:"Execute an EXTRA-style statement script (optionally against / into a database image).")
+    Term.(const run $ file $ db_image $ save_image)
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                                *)
+
+let demo_cmd =
+  let run () =
+    let db = Gen.employee_db ~norgs:3 ~ndepts:8 ~nemps:60 () in
+    let show stmt =
+      Printf.printf "> %s\n" stmt;
+      Format.printf "%a@.@." Lang.pp_outcome (Lang.exec db stmt)
+    in
+    Printf.printf "employee database: %d orgs, %d depts, %d employees\n\n"
+      (Db.set_size db "Org") (Db.set_size db "Dept") (Db.set_size db "Emp1");
+    show "replicate Emp1.dept.name";
+    show "replicate Emp1.dept.org.name using separate";
+    show "retrieve (Emp1.name, Emp1.salary, Emp1.dept.name) where Emp1.salary > 140000";
+    show {|replace (Dept.budget = 123456) where Dept.name = "dept-03"|};
+    show "retrieve (Emp1.name, Emp1.dept.org.name) where Emp1.salary > 145000";
+    Db.check_integrity db;
+    Printf.printf "integrity: ok\n"
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"A short guided tour on the employee database.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "Field replication in an object-oriented DBMS (Shekita & Carey, 1989)" in
+  let info = Cmd.info "fieldrep" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ model_cmd; table_cmd; validate_cmd; script_cmd; demo_cmd ]))

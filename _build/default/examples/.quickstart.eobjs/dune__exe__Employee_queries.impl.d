@@ -1,0 +1,1 @@
+examples/employee_queries.ml: Fieldrep Fieldrep_model Fieldrep_query Format List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fieldrep Fieldrep_model Fieldrep_storage Printf

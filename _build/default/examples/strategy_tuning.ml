@@ -1,0 +1,62 @@
+(* Strategy tuning: which replication strategy should a DBA pick?
+
+   Builds the cost model's R/S database three times (no replication,
+   in-place, separate), measures real read- and update-query I/O, and
+   reports the measured C_total across the update-probability axis — a
+   miniature, *measured* version of the paper's Figure 11, ending with the
+   recommendation the analysis implies.
+
+   Run with: dune exec examples/strategy_tuning.exe *)
+
+module Params = Fieldrep_costmodel.Params
+module Sweep = Fieldrep_costmodel.Sweep
+module Gen = Fieldrep_workload.Gen
+module Mix = Fieldrep_workload.Mix
+module T = Fieldrep_util.Tableprint
+
+let () =
+  let sharing = 8 in
+  let s_count = 1200 in
+  Printf.printf
+    "Measuring strategies on |S| = %d, f = %d (|R| = %d), unclustered indexes...\n\n"
+    s_count sharing (s_count * sharing);
+  let measurements =
+    List.map
+      (fun strategy ->
+        let spec =
+          { Gen.default_spec with Gen.s_count; sharing; strategy; seed = 2026 }
+        in
+        let built = Gen.build spec in
+        (strategy, Mix.measure built ~read_sel:0.002 ~update_sel:0.001 ~queries:10 ()))
+      [ Params.No_replication; Params.Inplace; Params.Separate ]
+  in
+  T.print
+    ~header:[ "strategy"; "read I/O"; "update I/O" ]
+    (List.map
+       (fun (s, m) ->
+         [ Sweep.strategy_name s; T.fixed 1 m.Mix.avg_read_io; T.fixed 1 m.Mix.avg_update_io ])
+       measurements);
+
+  Printf.printf "\nmeasured C_total by update probability:\n";
+  let probs = [ 0.0; 0.1; 0.2; 0.3; 0.5; 0.7; 0.9; 1.0 ] in
+  T.print
+    ~header:("P(update)" :: List.map (fun (s, _) -> Sweep.strategy_name s) measurements)
+    (List.map
+       (fun p ->
+         T.fixed 1 p
+         :: List.map (fun (_, m) -> T.fixed 1 (Mix.mixed_cost m ~update_prob:p)) measurements)
+       probs);
+
+  Printf.printf "\nrecommendation per workload:\n";
+  List.iter
+    (fun p ->
+      let best, _ =
+        List.fold_left
+          (fun (bs, bc) (s, m) ->
+            let c = Mix.mixed_cost m ~update_prob:p in
+            if c < bc then (s, c) else (bs, bc))
+          (Params.No_replication, infinity)
+          measurements
+      in
+      Printf.printf "  %2.0f%% updates -> %s\n" (100.0 *. p) (Sweep.strategy_name best))
+    [ 0.05; 0.25; 0.75 ]

@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Array Fieldrep_storage Fieldrep_util Key List Option Printf

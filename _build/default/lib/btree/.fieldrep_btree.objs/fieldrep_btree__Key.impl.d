@@ -1,0 +1,1 @@
+lib/btree/key.ml: Fieldrep_util Format Printf Stdlib

@@ -1,0 +1,1 @@
+lib/btree/key.mli: Bytes Format

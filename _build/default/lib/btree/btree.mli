@@ -1,0 +1,77 @@
+(** Page-based B+-tree mapping keys to OIDs.
+
+    Entries are (key, oid) pairs ordered lexicographically, so duplicate
+    keys are supported and every entry is individually addressable (needed
+    when an index entry must follow one specific object).  Internal
+    separators carry the full (key, oid) pair of the right subtree's first
+    entry, which keeps duplicate runs searchable from the leftmost
+    occurrence.
+
+    Nodes occupy one page each; splits are byte-driven, deletes rebalance by
+    borrowing or merging, and leaves are chained for range scans.  This is
+    the index structure the paper assumes on [field_r] / [field_s]
+    (clustered or not is a property of the heap file's physical order, not
+    of the tree). *)
+
+type t
+
+val create : ?max_leaf_entries:int -> ?max_internal_entries:int -> Fieldrep_storage.Pager.t -> t
+(** A fresh empty tree in its own file.  The optional caps bound the entry
+    count per node below what the page size allows — used to pin the fanout
+    to the cost model's [m]. *)
+
+val root : t -> int
+(** Page number of the root node (stable for the tree's lifetime). *)
+
+val attach :
+  ?max_leaf_entries:int ->
+  ?max_internal_entries:int ->
+  Fieldrep_storage.Pager.t ->
+  file:int ->
+  root:int ->
+  count:int ->
+  t
+(** Reopen a tree persisted in an existing file (database image load).
+    Freed pages from before the save are not reclaimed. *)
+
+val file_id : t -> int
+val entry_count : t -> int
+val height : t -> int
+(** 1 for a lone leaf. *)
+
+val page_count : t -> int
+
+val leaf_count : t -> int
+(** Number of leaf nodes (walks the leaf chain). *)
+
+val insert : t -> Key.t -> Fieldrep_storage.Oid.t -> unit
+(** Duplicate (key, oid) pairs are rejected with [Invalid_argument];
+    duplicate keys with distinct OIDs are fine.  All keys in a tree must be
+    of one {!Key.t} variant. *)
+
+val delete : t -> Key.t -> Fieldrep_storage.Oid.t -> bool
+(** [true] iff the exact entry existed. *)
+
+val find : t -> Key.t -> Fieldrep_storage.Oid.t list
+(** All OIDs under the key, in OID order. *)
+
+val find_first : t -> Key.t -> Fieldrep_storage.Oid.t option
+
+val mem : t -> Key.t -> bool
+
+val iter_range : t -> lo:Key.t -> hi:Key.t -> (Key.t -> Fieldrep_storage.Oid.t -> unit) -> unit
+(** Entries with [lo <= key <= hi] in order. *)
+
+val fold_range :
+  t -> lo:Key.t -> hi:Key.t -> init:'a -> f:('a -> Key.t -> Fieldrep_storage.Oid.t -> 'a) -> 'a
+
+val iter_all : t -> (Key.t -> Fieldrep_storage.Oid.t -> unit) -> unit
+
+val bulk_load : t -> (Key.t * Fieldrep_storage.Oid.t) array -> unit
+(** Build bottom-up from entries (sorted internally); the tree must be
+    empty.  Much cheaper than repeated {!insert} and produces full leaves. *)
+
+val check_invariants : t -> unit
+(** Raises [Failure] describing the first violated invariant: global order,
+    uniform depth, separator correctness, leaf chaining, node size bounds.
+    For tests. *)

@@ -1,0 +1,49 @@
+module Wire = Fieldrep_util.Wire
+
+type t = Int of int | String of string
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.Int.compare x y
+  | String x, String y -> Stdlib.String.compare x y
+  | Int _, String _ -> -1
+  | String _, Int _ -> 1
+
+let equal a b = compare a b = 0
+
+let same_variant a b =
+  match (a, b) with
+  | Int _, Int _ | String _, String _ -> true
+  | Int _, String _ | String _, Int _ -> false
+
+let pp fmt = function
+  | Int v -> Format.fprintf fmt "%d" v
+  | String s -> Format.fprintf fmt "%S" s
+
+let to_string t = Format.asprintf "%a" pp t
+let tag_int = 0
+let tag_string = 1
+
+let encoded_size = function
+  | Int _ -> 1 + 8
+  | String s -> 1 + Wire.string_size s
+
+let encode buf off = function
+  | Int v ->
+      let off = Wire.put_u8 buf off tag_int in
+      Wire.put_int buf off v
+  | String s ->
+      let off = Wire.put_u8 buf off tag_string in
+      Wire.put_string buf off s
+
+let decode buf off =
+  let tag, off = Wire.get_u8 buf off in
+  if tag = tag_int then
+    let v, off = Wire.get_int buf off in
+    (Int v, off)
+  else if tag = tag_string then
+    let s, off = Wire.get_string buf off in
+    (String s, off)
+  else raise (Wire.Corrupt (Printf.sprintf "Key: bad tag %d" tag))
+
+let min_int_key = Int min_int

@@ -1,0 +1,22 @@
+(** Index keys.
+
+    The paper's model indexes scalar fields; we support integer and string
+    keys.  A single tree holds keys of one variant only (enforced by
+    {!Btree}). *)
+
+type t = Int of int | String of string
+
+val compare : t -> t -> int
+(** Total order within a variant; [Int _ < String _] across variants (never
+    exercised by a well-formed tree, but keeps [compare] total). *)
+
+val equal : t -> t -> bool
+val same_variant : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val encoded_size : t -> int
+val encode : Bytes.t -> int -> t -> int
+val decode : Bytes.t -> int -> t * int
+
+val min_int_key : t
+(** Smallest possible [Int] key. *)

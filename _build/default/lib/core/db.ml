@@ -1,0 +1,850 @@
+module Oid = Fieldrep_storage.Oid
+module Stats = Fieldrep_storage.Stats
+module Pager = Fieldrep_storage.Pager
+module Heap_file = Fieldrep_storage.Heap_file
+module Disk = Fieldrep_storage.Disk
+module Btree = Fieldrep_btree.Btree
+module Key = Fieldrep_btree.Key
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Record = Fieldrep_model.Record
+module Schema = Fieldrep_model.Schema
+module Path = Fieldrep_model.Path
+module Engine = Fieldrep_replication.Engine
+module Store = Fieldrep_replication.Store
+module Invariants = Fieldrep_replication.Invariants
+
+type index_rt = {
+  def : Schema.index_def;
+  tree : Btree.t;
+  value_index : int;  (* absolute index into the record's value array *)
+}
+
+type t = {
+  pager : Pager.t;
+  schema : Schema.t;
+  sets : (string, Heap_file.t) Hashtbl.t;
+  data_files : (int, string * Heap_file.t) Hashtbl.t;  (* file id -> set, file *)
+  indexes : (string, index_rt) Hashtbl.t;
+  store : Store.t;
+  mutable engine : Engine.env;
+}
+
+let schema t = t.schema
+let pager t = t.pager
+let stats t = Pager.stats t.pager
+let engine t = t.engine
+
+let set_file t name =
+  match Hashtbl.find_opt t.sets name with
+  | Some hf -> hf
+  | None -> invalid_arg (Printf.sprintf "Db: unknown set %s" name)
+
+let file_of_oid t (oid : Oid.t) =
+  match Hashtbl.find_opt t.data_files oid.Oid.file with
+  | Some (_, hf) -> hf
+  | None -> invalid_arg (Printf.sprintf "Db: OID %s is not a data object" (Oid.to_string oid))
+
+let set_of_oid t (oid : Oid.t) =
+  match Hashtbl.find_opt t.data_files oid.Oid.file with
+  | Some (set, _) -> set
+  | None -> invalid_arg (Printf.sprintf "Db: OID %s is not a data object" (Oid.to_string oid))
+
+(* ------------------------------------------------------------------ *)
+(* Index plumbing                                                      *)
+
+let key_of_value = function
+  | Value.VInt v -> Some (Key.Int v)
+  | Value.VString s -> Some (Key.String s)
+  | Value.VRef _ | Value.VNull -> None
+
+let value_at (record : Record.t) idx =
+  if idx < Array.length record.Record.values then record.Record.values.(idx)
+  else Value.VNull
+
+let indexes_of_set t set =
+  Hashtbl.fold
+    (fun _ rt acc -> if rt.def.Schema.iset = set then rt :: acc else acc)
+    t.indexes []
+
+let index_insert rt oid record =
+  match key_of_value (value_at record rt.value_index) with
+  | Some key -> Btree.insert rt.tree key oid
+  | None -> ()
+
+let index_remove rt oid record =
+  match key_of_value (value_at record rt.value_index) with
+  | Some key -> ignore (Btree.delete rt.tree key oid)
+  | None -> ()
+
+let index_update rt oid ~before ~after =
+  let kb = key_of_value (value_at before rt.value_index) in
+  let ka = key_of_value (value_at after rt.value_index) in
+  match (kb, ka) with
+  | Some a, Some b when Key.equal a b -> ()
+  | _ ->
+      (match kb with Some k -> ignore (Btree.delete rt.tree k oid) | None -> ());
+      (match ka with Some k -> Btree.insert rt.tree k oid | None -> ())
+
+(* Hidden fields changed under an index on replicated data (paper §3.3.4):
+   keep those trees current. *)
+let on_hidden_update t set oid ~before ~after =
+  List.iter
+    (fun rt ->
+      if rt.value_index >= Ty.arity (Schema.set_type t.schema set) then
+        index_update rt oid ~before ~after)
+    (indexes_of_set t set)
+
+let create ?(page_size = 4096) ?(frames = 256) () =
+  let pager = Pager.create ~page_size ~frames () in
+  let schema = Schema.create () in
+  let store = Store.create pager in
+  let rec t =
+    lazy
+      (let sets = Hashtbl.create 8 in
+       let data_files = Hashtbl.create 8 in
+       let engine =
+         Engine.make_env ~schema ~store
+           ~file_of_set:(fun name ->
+             match Hashtbl.find_opt sets name with
+             | Some hf -> hf
+             | None -> invalid_arg (Printf.sprintf "Db: unknown set %s" name))
+           ~file_of_oid:(fun oid ->
+             match Hashtbl.find_opt data_files oid.Oid.file with
+             | Some (_, hf) -> hf
+             | None ->
+                 invalid_arg
+                   (Printf.sprintf "Db: OID %s is not a data object" (Oid.to_string oid)))
+           ~on_hidden_update:(fun set oid ~before ~after ->
+             on_hidden_update (Lazy.force t) set oid ~before ~after)
+           ()
+       in
+       { pager; schema; sets; data_files; indexes = Hashtbl.create 8; store; engine })
+  in
+  Lazy.force t
+
+(* ------------------------------------------------------------------ *)
+(* DDL                                                                 *)
+
+let define_type t ty = Schema.define_type t.schema ty
+
+let create_set t ?(reserve = 0) ~name ~elem_type () =
+  Schema.create_set t.schema ~name ~elem_type;
+  let hf = Heap_file.create ~reserve t.pager in
+  Hashtbl.replace t.sets name hf;
+  Hashtbl.replace t.data_files (Heap_file.file_id hf) (name, hf)
+
+let replicate t ?options ~strategy path =
+  let rep = Schema.add_replication t.schema ?options ~strategy path in
+  Engine.recompile t.engine;
+  Engine.build t.engine rep
+
+(* Resolve an index field spec to an absolute value index. *)
+let resolve_index_field t ~set ~field =
+  let ty = Schema.set_type t.schema set in
+  match Ty.field_opt ty field with
+  | Some { Ty.ftype = Ty.Scalar _; _ } -> Ty.field_index ty field
+  | Some { Ty.ftype = Ty.Ref _; _ } ->
+      invalid_arg (Printf.sprintf "Db: cannot index reference attribute %s" field)
+  | None -> (
+      (* A replicated-path index: "Set.step...step.field". *)
+      let path = Path.parse field in
+      match Schema.find_replication t.schema path with
+      | Some rep ->
+          let terminal_field =
+            match path.Path.terminal with
+            | Path.Field f -> f
+            | Path.All -> invalid_arg "Db: cannot index a .all path"
+          in
+          Schema.hidden_index t.schema set ~rep_id:rep.Schema.rep_id
+            ~field:(Some terminal_field)
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Db: %s is neither a field of %s nor a replicated path"
+               field set))
+
+let build_index t ~name ~set ~field ~clustered =
+  Schema.add_index t.schema { Schema.iname = name; iset = set; ifield = field; clustered };
+  let value_index = resolve_index_field t ~set ~field in
+  let tree = Btree.create t.pager in
+  let rt = { def = List.find (fun d -> d.Schema.iname = name) (Schema.indexes t.schema); tree; value_index } in
+  (* Bulk-load from existing data. *)
+  let entries = ref [] in
+  Heap_file.iter (set_file t set) (fun oid bytes ->
+      let record = Record.decode bytes in
+      match key_of_value (value_at record value_index) with
+      | Some key -> entries := (key, oid) :: !entries
+      | None -> ());
+  Btree.bulk_load tree (Array.of_list !entries);
+  Hashtbl.replace t.indexes name rt
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+let check_value t ~context (field : Ty.field) v =
+  if not (Value.matches field.Ty.ftype v) then
+    invalid_arg
+      (Printf.sprintf "%s: field %s expects %s, got %s" context field.Ty.fname
+         (Format.asprintf "%a" Ty.pp_ftype field.Ty.ftype)
+         (Value.to_string v));
+  match (field.Ty.ftype, v) with
+  | Ty.Ref target, Value.VRef oid ->
+      let hf = file_of_oid t oid in
+      if not (Heap_file.exists hf oid) then
+        invalid_arg
+          (Printf.sprintf "%s: field %s references dead object %s" context
+             field.Ty.fname (Oid.to_string oid));
+      let tag = Record.type_tag_of_bytes (Heap_file.read hf oid) in
+      let expected = Schema.type_tag t.schema target in
+      if tag <> expected then
+        invalid_arg
+          (Printf.sprintf "%s: field %s expects a %s object, %s is a %s" context
+             field.Ty.fname target (Oid.to_string oid)
+             (Schema.type_of_tag t.schema tag).Ty.tname)
+  | (Ty.Ref _ | Ty.Scalar _), _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* DML                                                                 *)
+
+let insert t ~set values =
+  let ty = Schema.set_type t.schema set in
+  if List.length values <> Ty.arity ty then
+    invalid_arg
+      (Printf.sprintf "Db.insert: %s has %d fields, got %d values" set (Ty.arity ty)
+         (List.length values));
+  List.iter2 (fun f v -> check_value t ~context:"Db.insert" f v) ty.Ty.fields values;
+  let record =
+    Record.make ~type_tag:(Schema.type_tag t.schema ty.Ty.tname) (Array.of_list values)
+  in
+  let oid = Heap_file.insert (set_file t set) (Record.encode record) in
+  List.iter (fun rt -> index_insert rt oid record) (indexes_of_set t set);
+  Engine.on_insert t.engine ~set oid;
+  oid
+
+let get t ~set oid =
+  let hf = set_file t set in
+  Record.decode (Heap_file.read hf oid)
+
+let delete t ~set oid =
+  Engine.on_delete t.engine ~set oid;
+  let hf = set_file t set in
+  let record = Record.decode (Heap_file.read hf oid) in
+  List.iter (fun rt -> index_remove rt oid record) (indexes_of_set t set);
+  Heap_file.delete hf oid
+
+let update_field t ~set oid ~field value =
+  let ty = Schema.set_type t.schema set in
+  let fdef =
+    match Ty.field_opt ty field with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "Db.update_field: %s has no field %s" set field)
+  in
+  check_value t ~context:"Db.update_field" fdef value;
+  let idx = Ty.field_index ty field in
+  let hf = set_file t set in
+  let before = Record.decode (Heap_file.read hf oid) in
+  let old_value = value_at before idx in
+  if not (Value.equal old_value value) then begin
+    let after = Record.set_field before idx value in
+    Heap_file.update hf oid (Record.encode after);
+    (* User-field indexes first, then replication propagation (which may
+       fire hidden-index maintenance via the engine callback). *)
+    List.iter
+      (fun rt -> if rt.value_index = idx then index_update rt oid ~before ~after)
+      (indexes_of_set t set);
+    match fdef.Ty.ftype with
+    | Ty.Scalar _ -> Engine.on_scalar_update t.engine ~set oid ~field value
+    | Ty.Ref _ ->
+        Engine.on_ref_update t.engine ~set oid ~field ~old_value ~new_value:value
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reads                                                               *)
+
+let user_values t ~set (record : Record.t) =
+  let n = Ty.arity (Schema.set_type t.schema set) in
+  List.init n (fun i -> value_at record i)
+
+let field_value t ~set record field =
+  let ty = Schema.set_type t.schema set in
+  value_at record (Ty.field_index ty field)
+
+let scan t ~set f =
+  Heap_file.iter (set_file t set) (fun oid bytes -> f oid (Record.decode bytes))
+
+let set_size t set = Heap_file.object_count (set_file t set)
+let set_pages t set = Heap_file.page_count (set_file t set)
+
+(* ------------------------------------------------------------------ *)
+(* Path dereferencing with replication-aware planning                  *)
+
+type deref_plan =
+  | P_hidden of int * Schema.replication
+      (* in-place / collapsed: hidden copy at value index *)
+  | P_sprime of int * int  (* separate: hidden sref at index, field offset in S' *)
+  | P_walk of (string * int) list * int
+      (* functional joins: (type, step value index) list, then terminal index *)
+
+let plan_deref t ~set expr =
+  let parts = String.split_on_char '.' (String.trim expr) in
+  let parts = List.filter (fun s -> s <> "") parts in
+  match List.rev parts with
+  | [] | [ _ ] ->
+      invalid_arg (Printf.sprintf "Db.deref: %S is not a path expression" expr)
+  | terminal :: rev_steps ->
+      let steps = List.rev rev_steps in
+      let covering =
+        List.filter
+          (fun (r : Schema.replication) ->
+            r.Schema.rpath.Path.steps = steps
+            &&
+            match r.Schema.rpath.Path.terminal with
+            | Path.Field f -> f = terminal
+            | Path.All ->
+                (* Full object replication covers every scalar field. *)
+                List.mem_assoc terminal
+                  (Schema.resolve_path t.schema r.Schema.rpath).Schema.terminal_fields)
+          (Schema.replications_from t.schema set)
+      in
+      let inplace =
+        List.find_opt (fun (r : Schema.replication) -> r.Schema.strategy = Schema.Inplace) covering
+      in
+      let separate =
+        List.find_opt (fun (r : Schema.replication) -> r.Schema.strategy = Schema.Separate) covering
+      in
+      (match (inplace, separate) with
+      | Some r, _ ->
+          P_hidden
+            ( Schema.hidden_index t.schema set ~rep_id:r.Schema.rep_id
+                ~field:(Some terminal),
+              r )
+      | None, Some r ->
+          let idx = Schema.hidden_index t.schema set ~rep_id:r.Schema.rep_id ~field:None in
+          let resolved = Schema.resolve_path t.schema r.Schema.rpath in
+          let offset =
+            match
+              List.find_index (fun (f, _) -> f = terminal) resolved.Schema.terminal_fields
+            with
+            | Some i -> Engine.sprime_field_offset + i
+            | None -> assert false
+          in
+          P_sprime (idx, offset)
+      | None, None ->
+          (* Validate and compile the plain walk. *)
+          let rec compile ty_name acc = function
+            | [] ->
+                let ty = Schema.find_type t.schema ty_name in
+                (match Ty.field_opt ty terminal with
+                | Some { Ty.ftype = Ty.Scalar _; _ } | Some { Ty.ftype = Ty.Ref _; _ } ->
+                    P_walk (List.rev acc, Ty.field_index ty terminal)
+                | None ->
+                    invalid_arg
+                      (Printf.sprintf "Db.deref: type %s has no field %s" ty_name terminal))
+            | step :: rest -> (
+                let ty = Schema.find_type t.schema ty_name in
+                match Ty.field_opt ty step with
+                | Some { Ty.ftype = Ty.Ref target; _ } ->
+                    compile target ((ty_name, Ty.field_index ty step) :: acc) rest
+                | Some _ | None ->
+                    invalid_arg
+                      (Printf.sprintf "Db.deref: %s.%s is not a reference attribute"
+                         ty_name step))
+          in
+          compile (Schema.set_type t.schema set).Ty.tname [] steps)
+
+(* Evaluate a path expression by actually following the references
+   (ignoring any replicated data). *)
+let deref_walk t ~set record expr =
+  let parts = String.split_on_char '.' (String.trim expr) in
+  let parts = List.filter (fun s -> s <> "") parts in
+  let rec walk ty_name record = function
+    | [] -> invalid_arg "Db.deref: empty path"
+    | [ terminal ] ->
+        let ty = Schema.find_type t.schema ty_name in
+        value_at record (Ty.field_index ty terminal)
+    | step :: rest -> (
+        let ty = Schema.find_type t.schema ty_name in
+        match value_at record (Ty.field_index ty step) with
+        | Value.VRef oid ->
+            let hf = file_of_oid t oid in
+            walk
+              (match Ty.field ty step with
+              | { Ty.ftype = Ty.Ref target; _ } -> target
+              | _ -> assert false)
+              (Record.decode (Heap_file.read hf oid))
+              rest
+        | Value.VNull -> Value.VNull
+        | Value.VInt _ | Value.VString _ -> invalid_arg "Db.deref: non-reference on path")
+  in
+  walk (Schema.set_type t.schema set).Ty.tname record parts
+
+let deref_record ?oid t ~set record expr =
+  match plan_deref t ~set expr with
+  | P_hidden (idx, rep) -> (
+      if not rep.Schema.options.Schema.lazy_propagation then value_at record idx
+      else
+        (* Lazy propagation: repair the hidden copy on first read.  Without
+           the OID we cannot consult the invalidation table, so fall back to
+           the actual walk if anything at all is pending. *)
+        match oid with
+        | Some oid ->
+            Engine.repair t.engine rep oid;
+            let record = Record.decode (Heap_file.read (set_file t set) oid) in
+            value_at record idx
+        | None ->
+            if Engine.pending_count t.engine = 0 then value_at record idx
+            else (* correctness first: evaluate through the references *)
+              deref_walk t ~set record expr)
+  | P_sprime (idx, offset) -> (
+      match value_at record idx with
+      | Value.VRef sp ->
+          let hf = Store.sprime_file_opt t.store 0 in
+          ignore hf;
+          let file =
+            match Store.file_of_oid t.store sp with
+            | Some f -> f
+            | None -> invalid_arg "Db.deref: dangling S' reference"
+          in
+          value_at (Record.decode (Heap_file.read file sp)) offset
+      | Value.VNull -> Value.VNull
+      | Value.VInt _ | Value.VString _ -> invalid_arg "Db.deref: corrupt sref slot")
+  | P_walk (hops, terminal_idx) ->
+      let rec walk record = function
+        | [] -> value_at record terminal_idx
+        | (_, step_idx) :: rest -> (
+            match value_at record step_idx with
+            | Value.VRef oid ->
+                let hf = file_of_oid t oid in
+                walk (Record.decode (Heap_file.read hf oid)) rest
+            | Value.VNull -> Value.VNull
+            | Value.VInt _ | Value.VString _ ->
+                invalid_arg "Db.deref: non-reference on path")
+      in
+      walk record hops
+
+let deref t ~set oid expr = deref_record ~oid t ~set (get t ~set oid) expr
+
+let deref_would_join t ~set expr =
+  match plan_deref t ~set expr with
+  | P_hidden _ -> 0
+  | P_sprime _ -> 1
+  | P_walk (hops, _) -> List.length hops
+
+(* ------------------------------------------------------------------ *)
+(* Index access                                                        *)
+
+let index_rt t name =
+  match Hashtbl.find_opt t.indexes name with
+  | Some rt -> rt
+  | None -> invalid_arg (Printf.sprintf "Db: unknown index %s" name)
+
+let index_lookup t ~index key = Btree.find (index_rt t index).tree key
+
+let index_range t ~index ~lo ~hi ~init ~f =
+  Btree.fold_range (index_rt t index).tree ~lo ~hi ~init ~f
+
+type index_stats = { entries : int; height : int; leaves : int; pages : int }
+
+let index_stats t ~index =
+  let rt = index_rt t index in
+  {
+    entries = Btree.entry_count rt.tree;
+    height = Btree.height rt.tree;
+    leaves = Btree.leaf_count rt.tree;
+    pages = Btree.page_count rt.tree;
+  }
+
+let find_index t ~set ~field =
+  List.find_opt
+    (fun d -> d.Schema.iset = set && d.Schema.ifield = field)
+    (Schema.indexes t.schema)
+
+(* ------------------------------------------------------------------ *)
+(* Inverse references                                                  *)
+
+type inverse_method = Via_links | Via_scan
+
+let referencers t ~source_set ~attr target_oid =
+  (* Validate the attribute. *)
+  let ty = Schema.set_type t.schema source_set in
+  (match Ty.field_opt ty attr with
+  | Some { Ty.ftype = Ty.Ref _; _ } -> ()
+  | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf "Db.referencers: %s.%s is not a reference attribute"
+           source_set attr));
+  match Engine.referencers_via_links t.engine ~source_set ~attr target_oid with
+  | Some members -> (members, Via_links)
+  | None ->
+      let idx = Ty.field_index ty attr in
+      let acc = ref [] in
+      Heap_file.iter (set_file t source_set) (fun oid bytes ->
+          let record = Record.decode bytes in
+          match value_at record idx with
+          | Value.VRef r when Oid.equal r target_oid -> acc := oid :: !acc
+          | Value.VRef _ | Value.VNull | Value.VInt _ | Value.VString _ -> ());
+      (List.rev !acc, Via_scan)
+
+(* ------------------------------------------------------------------ *)
+(* Integrity and space                                                 *)
+
+let check_integrity t =
+  Invariants.check t.engine;
+  Hashtbl.iter
+    (fun name rt ->
+      Btree.check_invariants rt.tree;
+      (* Every indexed object appears exactly once under its current key. *)
+      let expected = ref 0 in
+      Heap_file.iter (set_file t rt.def.Schema.iset) (fun oid bytes ->
+          let record = Record.decode bytes in
+          match key_of_value (value_at record rt.value_index) with
+          | Some key ->
+              incr expected;
+              let hits = Btree.find rt.tree key in
+              if not (List.exists (Oid.equal oid) hits) then
+                failwith
+                  (Printf.sprintf "index %s: missing entry for %s" name
+                     (Oid.to_string oid))
+          | None -> ());
+      if Btree.entry_count rt.tree <> !expected then
+        failwith
+          (Printf.sprintf "index %s: %d entries, %d expected" name
+             (Btree.entry_count rt.tree) !expected))
+    t.indexes
+
+(* ------------------------------------------------------------------ *)
+(* Observability and referential integrity                             *)
+
+let io_breakdown t =
+  let stats = Pager.stats t.pager in
+  let label_of_file =
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.iter (fun name hf -> Hashtbl.replace tbl (Heap_file.file_id hf) ("set " ^ name)) t.sets;
+    Hashtbl.iter
+      (fun name rt -> Hashtbl.replace tbl (Btree.file_id rt.tree) ("index " ^ name))
+      t.indexes;
+    let links, sprimes = Store.bindings t.store in
+    List.iter
+      (fun (link_id, file_id) ->
+        Hashtbl.replace tbl file_id (Printf.sprintf "link file #%d" link_id))
+      links;
+    List.iter
+      (fun (rep_id, file_id) ->
+        Hashtbl.replace tbl file_id (Printf.sprintf "S' file (rep %d)" rep_id))
+      sprimes;
+    fun file ->
+      Option.value ~default:"output/other" (Hashtbl.find_opt tbl file)
+  in
+  let acc = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun file (r, w) ->
+      let label = label_of_file file in
+      let r0, w0 = Option.value ~default:(0, 0) (Hashtbl.find_opt acc label) in
+      Hashtbl.replace acc label (r0 + r, w0 + w))
+    stats.Stats.by_file;
+  Hashtbl.fold (fun label (r, w) rows -> (label, r, w) :: rows) acc []
+  |> List.sort compare
+
+let dangling_references t =
+  let dangling = ref [] in
+  List.iter
+    (fun (set_name, elem) ->
+      let ty = Schema.find_type t.schema elem in
+      let ref_fields = Ty.ref_fields ty in
+      if ref_fields <> [] then
+        Heap_file.iter (set_file t set_name) (fun oid bytes ->
+            let record = Record.decode bytes in
+            List.iter
+              (fun (fname, target_type) ->
+                match value_at record (Ty.field_index ty fname) with
+                | Value.VRef r ->
+                    let ok =
+                      match Hashtbl.find_opt t.data_files r.Oid.file with
+                      | Some (_, hf) ->
+                          Heap_file.exists hf r
+                          && Record.type_tag_of_bytes (Heap_file.read hf r)
+                             = Schema.type_tag t.schema target_type
+                      | None -> false
+                    in
+                    if not ok then dangling := (set_name, oid, fname) :: !dangling
+                | Value.VNull | Value.VInt _ | Value.VString _ -> ())
+              ref_fields))
+    (Schema.sets t.schema);
+  List.rev !dangling
+
+(* ------------------------------------------------------------------ *)
+(* Database images (save / load)                                       *)
+
+let image_magic = "FREPIMG1"
+
+let save t path =
+  (* Make the on-disk state complete and self-describing first. *)
+  Engine.flush_pending t.engine;
+  Pager.flush t.pager;
+  let buf = Buffer.create (1 lsl 20) in
+  let put_u8 v = Buffer.add_uint8 buf (v land 0xff) in
+  let put_u16 v = Buffer.add_uint16_le buf (v land 0xffff) in
+  let put_u32 v =
+    assert (v >= 0 && v < 0x1_0000_0000);
+    Buffer.add_int32_le buf (Int32.of_int v)
+  in
+  let put_u64 v = Buffer.add_int64_le buf (Int64.of_int v) in
+  let put_str s =
+    put_u16 (String.length s);
+    Buffer.add_string buf s
+  in
+  Buffer.add_string buf image_magic;
+  put_u32 (Pager.page_size t.pager);
+  (* Types, in tag order so replay reassigns identical tags. *)
+  let types =
+    List.map (fun ty -> (Schema.type_tag t.schema ty.Ty.tname, ty)) (Schema.types t.schema)
+    |> List.sort compare
+  in
+  put_u16 (List.length types);
+  List.iter
+    (fun (tag, (ty : Ty.t)) ->
+      put_u16 tag;
+      put_str ty.Ty.tname;
+      put_u16 (List.length ty.Ty.fields);
+      List.iter
+        (fun (f : Ty.field) ->
+          put_str f.Ty.fname;
+          match f.Ty.ftype with
+          | Ty.Scalar Ty.SInt -> put_u8 0
+          | Ty.Scalar Ty.SString -> put_u8 1
+          | Ty.Ref target ->
+              put_u8 2;
+              put_str target)
+        ty.Ty.fields)
+    types;
+  (* Sets, in creation order, with their heap-file bindings. *)
+  let sets = Schema.sets t.schema in
+  put_u16 (List.length sets);
+  List.iter
+    (fun (name, elem) ->
+      let hf = Hashtbl.find t.sets name in
+      put_str name;
+      put_str elem;
+      put_u32 (Heap_file.file_id hf);
+      put_u32 (Heap_file.reserve hf))
+    sets;
+  (* Replication declarations, in rep-id order. *)
+  let reps = Schema.replications t.schema in
+  put_u16 (List.length reps);
+  List.iter
+    (fun (r : Schema.replication) ->
+      put_u16 r.Schema.rep_id;
+      put_str (Path.to_string r.Schema.rpath);
+      put_u8 (match r.Schema.strategy with Schema.Inplace -> 0 | Schema.Separate -> 1);
+      put_u8 (if r.Schema.options.Schema.collapse then 1 else 0);
+      put_u16 r.Schema.options.Schema.small_link_threshold;
+      put_u8 (if r.Schema.options.Schema.lazy_propagation then 1 else 0);
+      put_u8 (if r.Schema.options.Schema.cluster_links then 1 else 0))
+    reps;
+  (* Indexes, in creation order, with tree roots. *)
+  let index_defs = Schema.indexes t.schema in
+  put_u16 (List.length index_defs);
+  List.iter
+    (fun (d : Schema.index_def) ->
+      let rt = Hashtbl.find t.indexes d.Schema.iname in
+      put_str d.Schema.iname;
+      put_str d.Schema.iset;
+      put_str d.Schema.ifield;
+      put_u8 (if d.Schema.clustered then 1 else 0);
+      put_u32 (Btree.file_id rt.tree);
+      put_u32 (Btree.root rt.tree);
+      put_u64 (Btree.entry_count rt.tree))
+    index_defs;
+  (* Replication storage bindings. *)
+  let links, sprimes = Store.bindings t.store in
+  put_u16 (List.length links);
+  List.iter
+    (fun (link_id, file_id) ->
+      put_u16 link_id;
+      put_u32 file_id)
+    links;
+  put_u16 (List.length sprimes);
+  List.iter
+    (fun (rep_id, file_id) ->
+      put_u16 rep_id;
+      put_u32 file_id)
+    sprimes;
+  (* Raw disk contents. *)
+  let disk = Pager.disk t.pager in
+  let file_ids = Disk.file_ids disk in
+  put_u32 (List.length file_ids);
+  List.iter
+    (fun id ->
+      put_u32 id;
+      let npages = Disk.page_count disk id in
+      put_u32 npages;
+      for page = 0 to npages - 1 do
+        Buffer.add_bytes buf (Disk.dump_page disk ~file:id ~page)
+      done)
+    file_ids;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+let load ?(frames = 256) path =
+  let data =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let pos = ref 0 in
+  let get_u8 () =
+    let v = Char.code data.[!pos] in
+    incr pos;
+    v
+  in
+  let get_u16 () =
+    let v = get_u8 () in
+    v lor (get_u8 () lsl 8)
+  in
+  let get_u32 () =
+    let v = get_u16 () in
+    v lor (get_u16 () lsl 16)
+  in
+  let get_u64 () =
+    let lo = get_u32 () in
+    lo lor (get_u32 () lsl 32)
+  in
+  let get_str () =
+    let n = get_u16 () in
+    let s = String.sub data !pos n in
+    pos := !pos + n;
+    s
+  in
+  let magic = String.sub data 0 (String.length image_magic) in
+  pos := String.length image_magic;
+  if magic <> image_magic then invalid_arg "Db.load: not a fieldrep database image";
+  let page_size = get_u32 () in
+  let t = create ~page_size ~frames () in
+  (* Types. *)
+  let ntypes = get_u16 () in
+  for _ = 1 to ntypes do
+    let tag = get_u16 () in
+    let name = get_str () in
+    let nfields = get_u16 () in
+    let fields =
+      List.init nfields (fun _ ->
+          let fname = get_str () in
+          match get_u8 () with
+          | 0 -> { Ty.fname; ftype = Ty.Scalar Ty.SInt }
+          | 1 -> { Ty.fname; ftype = Ty.Scalar Ty.SString }
+          | 2 -> { Ty.fname; ftype = Ty.Ref (get_str ()) }
+          | k -> invalid_arg (Printf.sprintf "Db.load: bad field kind %d" k))
+    in
+    Schema.define_type t.schema (Ty.make ~name fields);
+    if Schema.type_tag t.schema name <> tag then
+      invalid_arg "Db.load: type tag replay mismatch"
+  done;
+  (* Sets (heap files attached after the disk is restored). *)
+  let nsets = get_u16 () in
+  let set_bindings =
+    List.init nsets (fun _ ->
+        let name = get_str () in
+        let elem = get_str () in
+        let file_id = get_u32 () in
+        let reserve = get_u32 () in
+        Schema.create_set t.schema ~name ~elem_type:elem;
+        (name, file_id, reserve))
+  in
+  (* Replications. *)
+  let nreps = get_u16 () in
+  for _ = 1 to nreps do
+    let rep_id = get_u16 () in
+    let path = Path.parse (get_str ()) in
+    let strategy = if get_u8 () = 0 then Schema.Inplace else Schema.Separate in
+    let collapse = get_u8 () = 1 in
+    let small_link_threshold = get_u16 () in
+    let lazy_propagation = get_u8 () = 1 in
+    let cluster_links = get_u8 () = 1 in
+    let rep =
+      Schema.add_replication t.schema
+        ~options:{ Schema.collapse; small_link_threshold; lazy_propagation; cluster_links }
+        ~strategy path
+    in
+    if rep.Schema.rep_id <> rep_id then invalid_arg "Db.load: rep id replay mismatch"
+  done;
+  (* Indexes (trees attached after the disk is restored). *)
+  let nindexes = get_u16 () in
+  let index_bindings =
+    List.init nindexes (fun _ ->
+        let iname = get_str () in
+        let iset = get_str () in
+        let ifield = get_str () in
+        let clustered = get_u8 () = 1 in
+        let file_id = get_u32 () in
+        let root = get_u32 () in
+        let count = get_u64 () in
+        Schema.add_index t.schema { Schema.iname; iset; ifield; clustered };
+        (iname, iset, ifield, file_id, root, count))
+  in
+  let nlinks = get_u16 () in
+  let link_bindings =
+    List.init nlinks (fun _ ->
+        let link_id = get_u16 () in
+        let file_id = get_u32 () in
+        (link_id, file_id))
+  in
+  let nsprimes = get_u16 () in
+  let sprime_bindings =
+    List.init nsprimes (fun _ ->
+        let rep_id = get_u16 () in
+        let file_id = get_u32 () in
+        (rep_id, file_id))
+  in
+  (* Disk contents. *)
+  let disk = Pager.disk t.pager in
+  let nfiles = get_u32 () in
+  for _ = 1 to nfiles do
+    let id = get_u32 () in
+    let npages = get_u32 () in
+    let pages =
+      Array.init npages (fun _ ->
+          let b = Bytes.of_string (String.sub data !pos page_size) in
+          pos := !pos + page_size;
+          b)
+    in
+    Disk.restore_file disk ~id pages
+  done;
+  (* Attach heap files and trees to the restored pages. *)
+  List.iter
+    (fun (name, file_id, reserve) ->
+      let hf = Heap_file.attach ~reserve t.pager ~file:file_id in
+      Hashtbl.replace t.sets name hf;
+      Hashtbl.replace t.data_files file_id (name, hf))
+    set_bindings;
+  List.iter
+    (fun (iname, iset, ifield, file_id, root, count) ->
+      let tree = Btree.attach t.pager ~file:file_id ~root ~count in
+      let value_index = resolve_index_field t ~set:iset ~field:ifield in
+      let def = List.find (fun d -> d.Schema.iname = iname) (Schema.indexes t.schema) in
+      Hashtbl.replace t.indexes iname { def; tree; value_index })
+    index_bindings;
+  List.iter
+    (fun (link_id, file_id) ->
+      Store.bind_link t.store ~link_id (Heap_file.attach t.pager ~file:file_id))
+    link_bindings;
+  List.iter
+    (fun (rep_id, file_id) ->
+      Store.bind_sprime t.store ~rep_id (Heap_file.attach t.pager ~file:file_id))
+    sprime_bindings;
+  Engine.recompile t.engine;
+  t
+
+let space_report t =
+  let sets =
+    Hashtbl.fold (fun name hf acc -> (("set " ^ name), Heap_file.page_count hf) :: acc) t.sets []
+  in
+  let indexes =
+    Hashtbl.fold (fun name rt acc -> (("index " ^ name), Btree.page_count rt.tree) :: acc) t.indexes []
+  in
+  let store = [ ("replication structures", Store.total_pages t.store) ] in
+  List.sort compare (sets @ indexes) @ store
+
+let _ = set_of_oid

@@ -1,0 +1,158 @@
+(** The object engine: the public face of the field-replication DBMS.
+
+    A [Db.t] combines one pager (simulated disk + buffer pool), the catalog,
+    one heap file per set, B+-tree indexes, and the replication engine.
+    Every data mutation goes through this module so that indexes and
+    replicated data stay consistent (paper §3–§5).
+
+    {1 Typical session}
+
+    {[
+      let db = Db.create () in
+      Db.define_type db (Ty.make ~name:"DEPT" [ ... ]);
+      Db.define_type db (Ty.make ~name:"EMP" [ ... ]);
+      Db.create_set db ~name:"Dept" ~elem_type:"DEPT";
+      Db.create_set db ~name:"Emp1" ~elem_type:"EMP";
+      ...insert objects...
+      Db.replicate db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+      Db.deref db emp "dept.name"   (* no functional join *)
+    ]} *)
+
+module Oid = Fieldrep_storage.Oid
+module Stats = Fieldrep_storage.Stats
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Record = Fieldrep_model.Record
+module Schema = Fieldrep_model.Schema
+module Path = Fieldrep_model.Path
+module Key = Fieldrep_btree.Key
+
+type t
+
+val create : ?page_size:int -> ?frames:int -> unit -> t
+val schema : t -> Schema.t
+val pager : t -> Fieldrep_storage.Pager.t
+val stats : t -> Stats.t
+val engine : t -> Fieldrep_replication.Engine.env
+
+(** {1 DDL} *)
+
+val define_type : t -> Ty.t -> unit
+val create_set : t -> ?reserve:int -> name:string -> elem_type:string -> unit -> unit
+(** [reserve] bytes are kept free per page during inserts so later
+    replication declarations can add hidden fields without relocating
+    objects (see {!Fieldrep_storage.Heap_file.create}). *)
+
+val replicate :
+  t -> ?options:Schema.rep_options -> strategy:Schema.strategy -> Path.t -> unit
+(** Declare and bulk-build a replication path (paper §3.1). *)
+
+val build_index : t -> name:string -> set:string -> field:string -> clustered:bool -> unit
+(** Build a B+-tree over a scalar field, or over a replicated path given as
+    a path string such as ["Emp1.dept.org.name"] (paper §3.3.4).  Bulk-loads
+    from existing data and is maintained incrementally afterwards. *)
+
+(** {1 DML} *)
+
+val insert : t -> set:string -> Value.t list -> Oid.t
+(** Values for the user fields, in declaration order.  Typechecked; [VRef]
+    values are verified to point at live objects of the right type. *)
+
+val delete : t -> set:string -> Oid.t -> unit
+(** Raises [Invalid_argument] if the object is still referenced along a
+    replication path. *)
+
+val update_field : t -> set:string -> Oid.t -> field:string -> Value.t -> unit
+(** Update one user field.  Scalar updates propagate to replicated copies;
+    reference updates restructure the inverted paths. *)
+
+(** {1 Reads} *)
+
+val get : t -> set:string -> Oid.t -> Record.t
+(** The raw stored record (user + hidden values). *)
+
+val user_values : t -> set:string -> Record.t -> Value.t list
+(** The user-visible fields only. *)
+
+val field_value : t -> set:string -> Record.t -> string -> Value.t
+(** A user field by name. *)
+
+val deref : t -> set:string -> Oid.t -> string -> Value.t
+(** [deref db ~set oid "dept.org.name"] evaluates a dotted path expression
+    rooted at the object.  Uses a replicated hidden field when one covers
+    the whole path — eliminating the functional joins — and falls back to
+    actual dereferencing otherwise.  Returns [VNull] if a reference on the
+    way is null. *)
+
+val deref_record : ?oid:Oid.t -> t -> set:string -> Record.t -> string -> Value.t
+(** Like {!deref} but starting from an already-fetched record (saves the
+    repeated object read when several paths are projected).  Pass [oid]
+    when known: lazily-propagated paths use it to consult the invalidation
+    table and repair stale hidden copies on read; without it they fall back
+    to evaluating the references whenever anything is pending. *)
+
+val deref_would_join : t -> set:string -> string -> int
+(** Number of functional joins [deref] will actually perform for this path
+    expression (0 when fully covered by in-place replication; 1 when covered
+    by separate replication or for a plain 1-level path; etc.).  Exposes the
+    planner's choice for tests and benchmarks. *)
+
+val scan : t -> set:string -> (Oid.t -> Record.t -> unit) -> unit
+(** Physical-order scan. *)
+
+val set_size : t -> string -> int
+val set_pages : t -> string -> int
+
+(** {1 Index access} *)
+
+val index_lookup : t -> index:string -> Key.t -> Oid.t list
+
+val index_range :
+  t -> index:string -> lo:Key.t -> hi:Key.t -> init:'a -> f:('a -> Key.t -> Oid.t -> 'a) -> 'a
+
+val find_index : t -> set:string -> field:string -> Schema.index_def option
+(** An index usable for a predicate on [set.field], if any. *)
+
+type index_stats = { entries : int; height : int; leaves : int; pages : int }
+
+val index_stats : t -> index:string -> index_stats
+
+(** {1 Inverse references} *)
+
+type inverse_method = Via_links | Via_scan
+
+val referencers :
+  t -> source_set:string -> attr:string -> Oid.t -> Oid.t list * inverse_method
+(** [referencers db ~source_set:"Emp1" ~attr:"dept" d] is the list of
+    Emp1 objects whose [dept] currently references [d] — a bidirectional
+    reference attribute (paper §8).  Answered from the inverted-path link
+    objects when a replication declaration maintains them ([Via_links],
+    no scan), by a set scan otherwise. *)
+
+val check_integrity : t -> unit
+(** Replication invariants plus index invariants; raises [Failure]. *)
+
+val space_report : t -> (string * int) list
+(** [(category, pages)] for data sets, indexes, link files and S' files. *)
+
+val io_breakdown : t -> (string * int * int) list
+(** Per-structure (label, page reads, page writes) attribution of the I/O
+    since the last stats reset: which sets, indexes, link files and S'
+    files a query actually touched. *)
+
+val dangling_references : t -> (string * Oid.t * string) list
+(** Referential-integrity audit: every (set, object, field) whose reference
+    attribute points at a dead object or an object of the wrong type.
+    Replication paths are protected by the engine; this covers the plain
+    references the paper's model leaves to the application. *)
+
+(** {1 Database images} *)
+
+val save : t -> string -> unit
+(** Write a self-contained image of the database — catalog, every data,
+    index, link and S' page — to a file.  Pending lazy propagations are
+    flushed first so the image is fully propagated. *)
+
+val load : ?frames:int -> string -> t
+(** Reopen an image written by {!save}.  Raises [Invalid_argument] on a
+    malformed or foreign file. *)

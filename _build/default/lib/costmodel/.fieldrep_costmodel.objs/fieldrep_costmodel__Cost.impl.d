@@ -1,0 +1,1 @@
+lib/costmodel/cost.ml: Fieldrep_util Float Params

@@ -1,0 +1,1 @@
+lib/costmodel/params.ml: Fieldrep_util Float

@@ -1,0 +1,1 @@
+lib/costmodel/sweep.ml: Cost Float List Params

@@ -1,0 +1,52 @@
+(** The paper's cost equations (§6.5 unclustered, §6.7 clustered).
+
+    All costs are expected page I/Os.  [read] and [update] return a term
+    breakdown so tests can pin each component against hand-computed values;
+    [total] is the paper's C_total = (1 − P_u)·C_read + P_u·C_update. *)
+
+type terms = {
+  index : float;  (** descend the B+-tree and scan its leaves *)
+  data_r : float;  (** touch R (read queries, or propagation writes) *)
+  data_s : float;  (** touch S (the functional join, or the update) *)
+  data_sprime : float;  (** touch S' (separate replication) *)
+  links : float;  (** read link objects (in-place update propagation) *)
+  output : float;  (** generate the output file T *)
+}
+
+val sum : terms -> float
+
+val read : Params.t -> Params.strategy -> Params.clustering -> terms
+(** Cost of one read query:
+    [retrieve (R.fields, R.sref.repfield) where clause on R.field_r]. *)
+
+val update : Params.t -> Params.strategy -> Params.clustering -> terms
+(** Cost of one update query:
+    [replace (S.fields, S.repfield) where clause on S.field_s]. *)
+
+val read_with : Params.t -> Params.derived -> Params.strategy -> Params.clustering -> terms
+(** Like {!read} with explicitly supplied derived quantities — used by the
+    empirical validation harness to price the model with *measured* page
+    counts and fanouts instead of the paper's nominal object sizes. *)
+
+val update_with : Params.t -> Params.derived -> Params.strategy -> Params.clustering -> terms
+
+val total :
+  Params.t -> Params.strategy -> Params.clustering -> update_prob:float -> float
+(** Expected cost under a query mix with update probability [update_prob]. *)
+
+type space = {
+  r_pages : int;
+  s_pages : int;
+  aux_pages : int;  (** link files (in-place) or S' files (separate) *)
+}
+
+val space : Params.t -> Params.strategy -> space
+(** The §4.2 space overhead, analytically: page counts for R and S with the
+    per-strategy size adjustments, plus the auxiliary replication storage —
+    link files for in-place (empty when the small-link elimination removes
+    them at f = 1), the S' file for separate. *)
+
+val percent_vs_no_replication :
+  Params.t -> Params.strategy -> Params.clustering -> update_prob:float -> float
+(** The quantity plotted in Figures 11 and 13: percentage difference of
+    C_total against no replication (negative = replication wins). *)

@@ -1,0 +1,109 @@
+module Combin = Fieldrep_util.Combin
+
+type strategy = No_replication | Inplace | Separate
+type clustering = Unclustered | Clustered
+
+type t = {
+  page_bytes : int;
+  obj_overhead : int;
+  fanout : int;
+  s_count : int;
+  sharing : int;
+  read_sel : float;
+  update_sel : float;
+  oid_bytes : int;
+  link_id_bytes : int;
+  type_tag_bytes : int;
+  rep_field_bytes : int;
+  r_bytes : int;
+  s_bytes : int;
+  t_bytes : int;
+  small_link_elim : bool;
+}
+
+let default =
+  {
+    page_bytes = 4056;
+    obj_overhead = 20;
+    fanout = 350;
+    s_count = 10_000;
+    sharing = 1;
+    read_sel = 0.001;
+    update_sel = 0.001;
+    oid_bytes = 8;
+    link_id_bytes = 1;
+    type_tag_bytes = 2;
+    rep_field_bytes = 20;
+    r_bytes = 100;
+    s_bytes = 200;
+    t_bytes = 100;
+    small_link_elim = true;
+  }
+
+type derived = {
+  r_count : int;
+  r_size : int;
+  s_size : int;
+  sprime_size : int;
+  link_size : int;
+  o_r : int;
+  o_s : int;
+  o_sprime : int;
+  o_l : int;
+  o_t : int;
+  p_r : int;
+  p_s : int;
+  p_sprime : int;
+  p_l : int;
+  read_objects : int;
+  update_objects : int;
+  p_t : int;
+}
+
+let derive p strategy =
+  assert (p.sharing >= 1 && p.s_count >= 1);
+  let r_count = p.sharing * p.s_count in
+  (* Size adjustments per strategy (paper footnote 4):
+     - in-place: R grows by the replicated field, S by a (link-OID, link-ID)
+       pair for propagation bookkeeping;
+     - separate: R grows by a hidden reference to S', S by its sref pair. *)
+  let r_size =
+    match strategy with
+    | No_replication -> p.r_bytes
+    | Inplace -> p.r_bytes + p.rep_field_bytes
+    | Separate -> p.r_bytes + p.oid_bytes
+  in
+  let s_size =
+    match strategy with
+    | No_replication -> p.s_bytes
+    | Inplace | Separate -> p.s_bytes + p.oid_bytes + p.link_id_bytes
+  in
+  let sprime_size = p.rep_field_bytes + p.type_tag_bytes in
+  let link_size = p.link_id_bytes + p.type_tag_bytes + (p.sharing * p.oid_bytes) in
+  let per_page size = max 1 (p.page_bytes / (p.obj_overhead + size)) in
+  let o_r = per_page r_size in
+  let o_s = per_page s_size in
+  let o_sprime = per_page sprime_size in
+  let o_l = per_page link_size in
+  let o_t = per_page p.t_bytes in
+  let read_objects = int_of_float (Float.round (p.read_sel *. float_of_int r_count)) in
+  let update_objects = int_of_float (Float.round (p.update_sel *. float_of_int p.s_count)) in
+  {
+    r_count;
+    r_size;
+    s_size;
+    sprime_size;
+    link_size;
+    o_r;
+    o_s;
+    o_sprime;
+    o_l;
+    o_t;
+    p_r = Combin.ceil_div r_count o_r;
+    p_s = Combin.ceil_div p.s_count o_s;
+    p_sprime = Combin.ceil_div p.s_count o_sprime;
+    p_l = Combin.ceil_div p.s_count o_l;
+    read_objects;
+    update_objects;
+    p_t = Combin.ceil_div read_objects o_t;
+  }

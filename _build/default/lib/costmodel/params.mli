@@ -1,0 +1,58 @@
+(** Parameters of the analytical cost model (paper §6.3, Figure 10).
+
+    The model describes two sets R and S with [replicate R.sref.repfield]:
+    read queries select [read_sel * |R|] objects of R through an index on a
+    scalar field and fetch [sref.repfield]; update queries modify
+    [update_sel * |S|] objects of S, including the replicated field. *)
+
+type strategy = No_replication | Inplace | Separate
+
+type clustering = Unclustered | Clustered
+
+type t = {
+  page_bytes : int;  (** B: usable bytes per disk page (default 4056) *)
+  obj_overhead : int;  (** h: per-object storage overhead (default 20) *)
+  fanout : int;  (** m: B+-tree fanout (default 350) *)
+  s_count : int;  (** |S| (default 10000) *)
+  sharing : int;  (** f: objects in R referencing each object of S *)
+  read_sel : float;  (** f_r: selectivity of read queries (default 0.001) *)
+  update_sel : float;  (** f_s: selectivity of update queries (default 0.001) *)
+  oid_bytes : int;  (** sizeof(OID) (default 8) *)
+  link_id_bytes : int;  (** sizeof(link-ID) (default 1) *)
+  type_tag_bytes : int;  (** sizeof(type-tag) (default 2) *)
+  rep_field_bytes : int;  (** k: size of the replicated field (default 20) *)
+  r_bytes : int;  (** r: size of R objects before adjustment (default 100) *)
+  s_bytes : int;  (** s: size of S objects before adjustment (default 200) *)
+  t_bytes : int;  (** t: size of output objects (default 100) *)
+  small_link_elim : bool;
+      (** apply the §4.3.1 small-link elimination when [sharing = 1]: the
+          single member OID is stored in the S object, so in-place update
+          propagation reads no link pages.  Required to reproduce the
+          paper's Figure 12 value of 42 for in-place updates at f = 1. *)
+}
+
+val default : t
+
+(** Quantities derived from the core parameters for one strategy (sizes
+    already adjusted as footnote 4 of the paper prescribes). *)
+type derived = {
+  r_count : int;  (** |R| = f * |S| *)
+  r_size : int;
+  s_size : int;
+  sprime_size : int;
+  link_size : int;
+  o_r : int;  (** objects of R per page *)
+  o_s : int;
+  o_sprime : int;
+  o_l : int;
+  o_t : int;
+  p_r : int;  (** pages of R *)
+  p_s : int;
+  p_sprime : int;
+  p_l : int;
+  read_objects : int;  (** f_r * |R|, rounded to nearest *)
+  update_objects : int;  (** f_s * |S| *)
+  p_t : int;  (** pages of the output file for a read query *)
+}
+
+val derive : t -> strategy -> derived

@@ -1,0 +1,80 @@
+type series = {
+  strategy : Params.strategy;
+  read_sel : float;
+  points : (float * float) list;
+}
+
+let strategy_name = function
+  | Params.No_replication -> "no replication"
+  | Params.Inplace -> "in-place"
+  | Params.Separate -> "separate"
+
+let default_probs =
+  List.init 21 (fun i -> float_of_int i /. 20.0)
+
+let figure ?(sharings = [ 1; 10; 20; 50 ]) ?(read_sels = [ 0.001; 0.002; 0.005 ])
+    ?(update_probs = default_probs) (p : Params.t) clustering =
+  List.map
+    (fun f ->
+      let p = { p with Params.sharing = f } in
+      let series =
+        List.concat_map
+          (fun strategy ->
+            List.map
+              (fun read_sel ->
+                let p = { p with Params.read_sel } in
+                {
+                  strategy;
+                  read_sel;
+                  points =
+                    List.map
+                      (fun update_prob ->
+                        ( update_prob,
+                          Cost.percent_vs_no_replication p strategy clustering
+                            ~update_prob ))
+                      update_probs;
+                })
+              read_sels)
+          [ Params.Inplace; Params.Separate ]
+      in
+      (f, series))
+    sharings
+
+type table_cell = {
+  t_strategy : Params.strategy;
+  t_sharing : int;
+  c_read : int;
+  c_update : int;
+}
+
+let table ?(sharings = [ 1; 20 ]) ?(read_sel = 0.002) (p : Params.t) clustering =
+  List.concat_map
+    (fun f ->
+      let p = { p with Params.sharing = f; Params.read_sel = read_sel } in
+      List.map
+        (fun strategy ->
+          {
+            t_strategy = strategy;
+            t_sharing = f;
+            c_read = int_of_float (Float.ceil (Cost.sum (Cost.read p strategy clustering)));
+            c_update =
+              int_of_float (Float.ceil (Cost.sum (Cost.update p strategy clustering)));
+          })
+        [ Params.No_replication; Params.Inplace; Params.Separate ])
+    sharings
+
+let crossover p clustering a b =
+  let beats prob =
+    Cost.total p a clustering ~update_prob:prob
+    <= Cost.total p b clustering ~update_prob:prob
+  in
+  if not (beats 0.0) then Some 0.0
+  else begin
+    let rec scan i =
+      if i > 1000 then None
+      else
+        let prob = float_of_int i /. 1000.0 in
+        if not (beats prob) then Some prob else scan (i + 1)
+    in
+    scan 1
+  end

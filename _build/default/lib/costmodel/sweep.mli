@@ -1,0 +1,38 @@
+(** Experiment drivers that regenerate the paper's figures and tables. *)
+
+type series = {
+  strategy : Params.strategy;
+  read_sel : float;
+  points : (float * float) list;  (** (update probability, % diff vs no replication) *)
+}
+
+val figure :
+  ?sharings:int list ->
+  ?read_sels:float list ->
+  ?update_probs:float list ->
+  Params.t ->
+  Params.clustering ->
+  (int * series list) list
+(** The data behind Figure 11 (unclustered) / Figure 13 (clustered): for
+    each sharing level f, one series per (strategy, read selectivity).
+    Defaults follow the paper: f ∈ {1, 10, 20, 50}, f_r ∈ {.001, .002,
+    .005}, update probability 0.0 .. 1.0 in steps of 0.05. *)
+
+type table_cell = {
+  t_strategy : Params.strategy;
+  t_sharing : int;
+  c_read : int;  (** rounded up, as the paper presents them *)
+  c_update : int;
+}
+
+val table : ?sharings:int list -> ?read_sel:float -> Params.t -> Params.clustering -> table_cell list
+(** The data behind Figure 12 (unclustered) / Figure 14 (clustered):
+    C_read and C_update for f ∈ {1, 20} at f_r = 0.002, all strategies. *)
+
+val crossover :
+  Params.t -> Params.clustering -> Params.strategy -> Params.strategy -> float option
+(** Smallest update probability (on a 0.001 grid) where the first strategy
+    stops beating the second, if any — e.g. where separate overtakes
+    in-place (the paper quotes ≈0.15 / ≈0.35 boundaries). *)
+
+val strategy_name : Params.strategy -> string

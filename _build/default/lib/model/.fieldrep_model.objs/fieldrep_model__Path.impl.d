@@ -1,0 +1,1 @@
+lib/model/path.ml: Format List Printf String

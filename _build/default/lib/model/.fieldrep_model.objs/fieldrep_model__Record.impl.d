@@ -1,0 +1,1 @@
+lib/model/record.ml: Array Bytes Fieldrep_storage Fieldrep_util Format Int List Printf Value

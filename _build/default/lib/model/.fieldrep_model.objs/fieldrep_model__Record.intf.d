@@ -1,0 +1,1 @@
+lib/model/record.mli: Bytes Fieldrep_storage Format Value

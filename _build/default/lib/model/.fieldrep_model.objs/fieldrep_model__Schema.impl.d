@@ -1,0 +1,1 @@
+lib/model/schema.ml: Hashtbl List Path Printf String Ty

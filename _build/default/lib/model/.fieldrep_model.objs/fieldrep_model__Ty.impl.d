@@ -1,0 +1,1 @@
+lib/model/ty.ml: Format Hashtbl List Printf

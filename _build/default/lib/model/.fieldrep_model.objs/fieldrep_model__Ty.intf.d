@@ -1,0 +1,1 @@
+lib/model/ty.mli: Format

@@ -1,0 +1,1 @@
+lib/model/value.ml: Fieldrep_storage Fieldrep_util Format Int Printf String Ty

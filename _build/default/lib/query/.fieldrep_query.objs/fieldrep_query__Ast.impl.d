@@ -1,0 +1,1 @@
+lib/query/ast.ml: Fieldrep_model Fieldrep_storage Format List String

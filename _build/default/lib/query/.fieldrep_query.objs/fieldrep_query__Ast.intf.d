@@ -1,0 +1,1 @@
+lib/query/ast.mli: Fieldrep_model Fieldrep_storage Format

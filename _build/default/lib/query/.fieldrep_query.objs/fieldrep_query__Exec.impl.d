@@ -1,0 +1,1 @@
+lib/query/exec.ml: Array Ast Fieldrep Fieldrep_btree Fieldrep_model Fieldrep_storage List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/query/exec.mli: Ast Fieldrep Fieldrep_model Fieldrep_storage

@@ -1,0 +1,1 @@
+lib/query/lang.ml: Ast Buffer Exec Fieldrep Fieldrep_model Fieldrep_storage Format List Printf Str_helpers String

@@ -1,0 +1,1 @@
+lib/query/lang.mli: Fieldrep Fieldrep_model Fieldrep_storage Format

@@ -1,0 +1,1 @@
+lib/query/str_helpers.ml: String

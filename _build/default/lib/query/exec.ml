@@ -1,0 +1,266 @@
+module Db = Fieldrep.Db
+module Heap_file = Fieldrep_storage.Heap_file
+module Pager = Fieldrep_storage.Pager
+module Oid = Fieldrep_storage.Oid
+module Key = Fieldrep_btree.Key
+module Value = Fieldrep_model.Value
+module Record = Fieldrep_model.Record
+module Ty = Fieldrep_model.Ty
+module Schema = Fieldrep_model.Schema
+
+type access = Index_scan of string | File_scan
+
+type retrieve_plan = {
+  access : access;
+  join_counts : (string * int) list;
+}
+
+let key_of_value = function
+  | Value.VInt v -> Some (Key.Int v)
+  | Value.VString s -> Some (Key.String s)
+  | Value.VRef _ | Value.VNull -> None
+
+(* An index is usable when the predicate's bounds translate to keys; an
+   open bound needs a key-space extreme, which only integers have. *)
+let key_bounds (p : Ast.predicate) =
+  let lo =
+    match p.Ast.lo with
+    | Some v -> key_of_value v
+    | None -> Some (Key.Int min_int)
+  in
+  let hi =
+    match p.Ast.hi with
+    | Some v -> key_of_value v
+    | None -> Some (Key.Int max_int)
+  in
+  match (lo, hi) with
+  | Some (Key.Int _ as a), Some (Key.Int _ as b) -> Some (a, b)
+  | Some (Key.String _ as a), Some (Key.String _ as b) -> Some (a, b)
+  | Some _, Some _ | None, _ | _, None -> None
+
+(* Predicates may target a plain field or a dotted path expression; a path
+   predicate can use an index built on the replicated path (paper §3.3.4:
+   "queries that require an associative lookup on the path"). *)
+let index_field_of ~set (p : Ast.predicate) =
+  if String.contains p.Ast.pfield '.' then set ^ "." ^ p.Ast.pfield else p.Ast.pfield
+
+let choose_access db ~set (where : Ast.predicate option) =
+  match where with
+  | None -> File_scan
+  | Some p -> (
+      match (Db.find_index db ~set ~field:(index_field_of ~set p), key_bounds p) with
+      | Some def, Some _ -> Index_scan def.Schema.iname
+      | Some _, None | None, _ -> File_scan)
+
+let value_in_range (p : Ast.predicate) v =
+  let ge = match p.Ast.lo with None -> true | Some lo -> Value.compare v lo >= 0 in
+  let le = match p.Ast.hi with None -> true | Some hi -> Value.compare v hi <= 0 in
+  (match v with Value.VNull -> false | Value.VInt _ | Value.VString _ | Value.VRef _ -> true)
+  && ge && le
+
+let explain_retrieve db (q : Ast.retrieve) =
+  {
+    access = choose_access db ~set:q.Ast.from_set q.Ast.where;
+    join_counts =
+      List.map
+        (fun expr ->
+          let joins =
+            if String.contains expr '.' then
+              Db.deref_would_join db ~set:q.Ast.from_set expr
+            else 0
+          in
+          (expr, joins))
+        q.Ast.projections;
+  }
+
+(* Feed every selected (oid, record) to [f].  Index scans visit in key
+   order; file scans in physical order. *)
+let iter_selected db ~set (where : Ast.predicate option) f =
+  match choose_access db ~set where with
+  | Index_scan index ->
+      let p = Option.get where in
+      let lo, hi = Option.get (key_bounds p) in
+      (* Collect first: callbacks may mutate the tree's pages' residency. *)
+      let oids = Db.index_range db ~index ~lo ~hi ~init:[] ~f:(fun acc _ oid -> oid :: acc) in
+      List.iter (fun oid -> f oid (Db.get db ~set oid)) (List.rev oids)
+  | File_scan ->
+      Db.scan db ~set (fun oid record ->
+          let keep =
+            match where with
+            | None -> true
+            | Some p ->
+                let v =
+                  if String.contains p.Ast.pfield '.' then
+                    Db.deref_record ~oid db ~set record p.Ast.pfield
+                  else Db.field_value db ~set record p.Ast.pfield
+                in
+                value_in_range p v
+          in
+          if keep then f oid record)
+
+let matching_oids db ~set where =
+  let acc = ref [] in
+  iter_selected db ~set where (fun oid _ -> acc := oid :: !acc);
+  List.rev !acc
+
+type retrieve_result = { rows : int; output_file : int; output_pages : int }
+
+let project db ~set ~oid record projections =
+  List.map
+    (fun expr ->
+      if String.contains expr '.' then Db.deref_record ~oid db ~set record expr
+      else Db.field_value db ~set record expr)
+    projections
+
+let retrieve db (q : Ast.retrieve) =
+  let set = q.Ast.from_set in
+  let out = Heap_file.create (Db.pager db) in
+  let rows = ref 0 in
+  iter_selected db ~set q.Ast.where (fun oid record ->
+      let values = project db ~set ~oid record q.Ast.projections in
+      let tuple = Record.make ~type_tag:0 (Array.of_list values) in
+      ignore (Heap_file.insert out (Record.encode tuple));
+      incr rows);
+  { rows = !rows; output_file = Heap_file.file_id out; output_pages = Heap_file.page_count out }
+
+let drop_output db file = Pager.delete_file (Db.pager db) file
+
+let retrieve_values db q =
+  let result = retrieve db q in
+  let out = Heap_file.attach (Db.pager db) ~file:result.output_file in
+  let rows = ref [] in
+  Heap_file.iter out (fun _ bytes ->
+      rows := Array.to_list (Record.decode bytes).Record.values :: !rows);
+  drop_output db result.output_file;
+  List.rev !rows
+
+(* ------------------------------------------------------------------ *)
+(* Aggregates and ordering                                             *)
+
+type aggregate = Count | Sum | Avg | Min | Max
+
+type agg_state = {
+  mutable count : int;
+  mutable sum : int;
+  mutable vmin : Value.t;
+  mutable vmax : Value.t;
+}
+
+let eval_expr db ~set ~oid record expr =
+  if String.contains expr '.' then Db.deref_record ~oid db ~set record expr
+  else Db.field_value db ~set record expr
+
+let aggregate db ~set ~where specs =
+  let states = List.map (fun _ -> { count = 0; sum = 0; vmin = Value.VNull; vmax = Value.VNull }) specs in
+  iter_selected db ~set where (fun oid record ->
+      List.iter2
+        (fun (agg, expr) st ->
+          match eval_expr db ~set ~oid record expr with
+          | Value.VNull -> ()
+          | v ->
+              st.count <- st.count + 1;
+              (match (agg, v) with
+              | (Sum | Avg), Value.VInt i -> st.sum <- st.sum + i
+              | (Sum | Avg), _ ->
+                  invalid_arg
+                    (Printf.sprintf "Exec.aggregate: sum/avg over non-integer %s" expr)
+              | (Count | Min | Max), _ -> ());
+              if st.vmin = Value.VNull || Value.compare v st.vmin < 0 then st.vmin <- v;
+              if st.vmax = Value.VNull || Value.compare v st.vmax > 0 then st.vmax <- v)
+        specs states);
+  List.map2
+    (fun (agg, _) st ->
+      match agg with
+      | Count -> Value.VInt st.count
+      | Sum -> if st.count = 0 then Value.VNull else Value.VInt st.sum
+      | Avg -> if st.count = 0 then Value.VNull else Value.VInt (st.sum / st.count)
+      | Min -> st.vmin
+      | Max -> st.vmax)
+    specs states
+
+let group_by db ~set ~where ~key specs =
+  let module VM = Map.Make (struct
+    type t = Value.t
+
+    let compare = Value.compare
+  end) in
+  let groups = ref VM.empty in
+  iter_selected db ~set where (fun oid record ->
+      let k = eval_expr db ~set ~oid record key in
+      let states =
+        match VM.find_opt k !groups with
+        | Some states -> states
+        | None ->
+            let states =
+              List.map (fun _ -> { count = 0; sum = 0; vmin = Value.VNull; vmax = Value.VNull }) specs
+            in
+            groups := VM.add k states !groups;
+            states
+      in
+      List.iter2
+        (fun (agg, expr) st ->
+          match eval_expr db ~set ~oid record expr with
+          | Value.VNull -> ()
+          | v ->
+              st.count <- st.count + 1;
+              (match (agg, v) with
+              | (Sum | Avg), Value.VInt i -> st.sum <- st.sum + i
+              | (Sum | Avg), _ ->
+                  invalid_arg
+                    (Printf.sprintf "Exec.group_by: sum/avg over non-integer %s" expr)
+              | (Count | Min | Max), _ -> ());
+              if st.vmin = Value.VNull || Value.compare v st.vmin < 0 then st.vmin <- v;
+              if st.vmax = Value.VNull || Value.compare v st.vmax > 0 then st.vmax <- v)
+        specs states);
+  VM.bindings !groups
+  |> List.map (fun (k, states) ->
+         ( k,
+           List.map2
+             (fun (agg, _) st ->
+               match agg with
+               | Count -> Value.VInt st.count
+               | Sum -> if st.count = 0 then Value.VNull else Value.VInt st.sum
+               | Avg -> if st.count = 0 then Value.VNull else Value.VInt (st.sum / st.count)
+               | Min -> st.vmin
+               | Max -> st.vmax)
+             specs states ))
+
+let delete_where db ~set where =
+  let targets = matching_oids db ~set where in
+  List.iter (fun oid -> Db.delete db ~set oid) targets;
+  List.length targets
+
+let retrieve_sorted db (q : Ast.retrieve) ~order_by ?(descending = false) ?limit () =
+  let set = q.Ast.from_set in
+  let rows = ref [] in
+  iter_selected db ~set q.Ast.where (fun oid record ->
+      let key = eval_expr db ~set ~oid record order_by in
+      let values = project db ~set ~oid record q.Ast.projections in
+      rows := (key, values) :: !rows);
+  let compare_rows (a, _) (b, _) =
+    let c = Value.compare a b in
+    if descending then -c else c
+  in
+  let sorted = List.stable_sort compare_rows (List.rev !rows) in
+  let truncated =
+    match limit with
+    | Some n -> List.filteri (fun i _ -> i < n) sorted
+    | None -> sorted
+  in
+  List.map snd truncated
+
+let replace db (q : Ast.replace) =
+  let set = q.Ast.target_set in
+  (* Materialise the target list before mutating. *)
+  let targets = matching_oids db ~set q.Ast.rwhere in
+  List.iter
+    (fun oid ->
+      List.iter
+        (fun (field, rhs) ->
+          let value =
+            match rhs with Ast.Const v -> v | Ast.Computed f -> f oid
+          in
+          Db.update_field db ~set oid ~field value)
+        q.Ast.assignments)
+    targets;
+  List.length targets

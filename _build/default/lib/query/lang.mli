@@ -1,0 +1,52 @@
+(** A small surface language in the EXTRA style of the paper's examples.
+
+    Supported statements:
+
+    {v
+    define type DEPT (name: char[], budget: int, org: ref ORG)
+    create Dept: {own ref DEPT}
+    replicate Emp1.dept.name
+    replicate Emp1.dept.budget using separate
+    replicate Emp1.dept.org.name collapsed
+    replicate Emp1.dept.name threshold 0
+    replicate Emp1.dept.name lazy
+    build btree on Emp1.salary
+    build clustered btree on Emp1.salary
+    build btree on Emp1.dept.org.name          (index on replicated data)
+    retrieve (Emp1.name, Emp1.dept.name) where Emp1.salary > 100000
+    retrieve (count(Emp1.name), avg(Emp1.salary)) where Emp1.age >= 40
+    retrieve (Emp1.name) order by Emp1.salary desc limit 5
+    retrieve (count(Emp1.name)) group by Emp1.dept.org.name
+    replace (Dept.budget = 42) where Dept.name = "toys"
+    insert into Emp1 values ("joe", 30, 50000, ref(Dept.name = "toys"))
+    delete from Emp1 where Emp1.salary < 10000
+    v}
+
+    [ref(Set.field = literal)] resolves to the unique object of [Set]
+    matching the predicate (an error if none or several match).
+
+    Comparisons: [=], [<], [<=], [>], [>=], [between lit and lit].  Strict
+    comparisons are supported for integers only (rewritten to inclusive
+    bounds).  Literals: integers, double-quoted strings, [null]. *)
+
+exception Parse_error of string
+
+type outcome =
+  | Type_defined of string
+  | Set_created of string
+  | Replicated of string
+  | Index_built of string
+  | Rows of Fieldrep_model.Value.t list list
+  | Updated of int
+  | Inserted of Fieldrep_storage.Oid.t
+  | Deleted of int
+
+val exec : Fieldrep.Db.t -> string -> outcome
+(** Parse and execute one statement.  Raises {!Parse_error} on syntax
+    errors and the underlying exceptions on semantic ones. *)
+
+val exec_script : Fieldrep.Db.t -> string -> outcome list
+(** Execute a sequence of statements separated by blank lines or
+    semicolons; lines starting with [--] are comments. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,13 @@
+(* Tiny string utilities (no dependency on the Str library). *)
+
+let find_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then Some 0
+  else begin
+    let rec go i =
+      if i + nn > nh then None
+      else if String.sub haystack i nn = needle then Some i
+      else go (i + 1)
+    in
+    go 0
+  end

@@ -1,0 +1,1 @@
+lib/replication/engine.ml: Array Fieldrep_model Fieldrep_storage Hashtbl Link_object List Option Printf Registry Store

@@ -1,0 +1,1 @@
+lib/replication/engine.mli: Fieldrep_model Fieldrep_storage Hashtbl Registry Store

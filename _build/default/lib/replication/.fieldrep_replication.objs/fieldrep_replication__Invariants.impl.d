@@ -1,0 +1,1 @@
+lib/replication/invariants.ml: Array Engine Fieldrep_model Fieldrep_storage Hashtbl Link_object List Option Printf Registry Store

@@ -1,0 +1,1 @@
+lib/replication/link_object.ml: Array Bytes Fieldrep_storage Fieldrep_util Format List

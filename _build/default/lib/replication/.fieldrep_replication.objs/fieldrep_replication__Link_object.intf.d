@@ -1,0 +1,1 @@
+lib/replication/link_object.mli: Bytes Fieldrep_storage Format

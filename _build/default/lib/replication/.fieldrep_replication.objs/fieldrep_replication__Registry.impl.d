@@ -1,0 +1,1 @@
+lib/replication/registry.ml: Array Fieldrep_model Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/replication/registry.mli: Fieldrep_model

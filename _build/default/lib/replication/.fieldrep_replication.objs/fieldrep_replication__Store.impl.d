@@ -1,0 +1,1 @@
+lib/replication/store.ml: Fieldrep_storage Hashtbl List

@@ -1,0 +1,1 @@
+lib/replication/store.mli: Fieldrep_storage

@@ -1,0 +1,899 @@
+module Oid = Fieldrep_storage.Oid
+module Heap_file = Fieldrep_storage.Heap_file
+module Schema = Fieldrep_model.Schema
+module Path = Fieldrep_model.Path
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Record = Fieldrep_model.Record
+
+type env = {
+  schema : Schema.t;
+  mutable registry : Registry.t;
+  store : Store.t;
+  file_of_set : string -> Heap_file.t;
+  file_of_oid : Oid.t -> Heap_file.t;
+  on_hidden_update : string -> Oid.t -> before:Record.t -> after:Record.t -> unit;
+  pending : (int * int64, unit) Hashtbl.t;
+      (* (rep_id, source oid) pairs whose hidden copies are stale under
+         lazy propagation; the in-memory invalidation table *)
+}
+
+let make_env ~schema ~store ~file_of_set ~file_of_oid
+    ?(on_hidden_update = fun _ _ ~before:_ ~after:_ -> ()) () =
+  {
+    schema;
+    registry = Registry.compile schema;
+    store;
+    file_of_set;
+    file_of_oid;
+    on_hidden_update;
+    pending = Hashtbl.create 64;
+  }
+
+let recompile env = env.registry <- Registry.compile env.schema
+
+(* ------------------------------------------------------------------ *)
+(* Lazy-propagation invalidation table                                 *)
+
+let pending_key (rep : Schema.replication) oid = (rep.Schema.rep_id, Oid.to_int64 oid)
+let is_pending env rep oid = Hashtbl.mem env.pending (pending_key rep oid)
+let mark_pending env rep oid = Hashtbl.replace env.pending (pending_key rep oid) ()
+let clear_pending env rep oid = Hashtbl.remove env.pending (pending_key rep oid)
+let pending_count env = Hashtbl.length env.pending
+
+(* ------------------------------------------------------------------ *)
+(* Record access                                                       *)
+
+let data_file env (oid : Oid.t) =
+  match Store.file_of_oid env.store oid with
+  | Some hf -> hf
+  | None -> env.file_of_oid oid
+
+let read_record env oid = Record.decode (Heap_file.read (data_file env oid) oid)
+
+let write_record env oid record =
+  Heap_file.update (data_file env oid) oid (Record.encode record)
+
+(* Hidden slots may postdate an object: reads beyond the stored width are
+   null, writes extend the array (the subtyping of paper §4 realised lazily). *)
+let value_or_null (record : Record.t) idx =
+  if idx < Array.length record.Record.values then record.Record.values.(idx)
+  else Value.VNull
+
+let set_value_extending (record : Record.t) idx v =
+  let n = Array.length record.Record.values in
+  if idx < n then Record.set_field record idx v
+  else begin
+    let values =
+      Array.init (idx + 1) (fun i ->
+          if i < n then record.Record.values.(i) else Value.VNull)
+    in
+    values.(idx) <- v;
+    { record with Record.values }
+  end
+
+let step_index env ~type_name ~step =
+  Ty.field_index (Schema.find_type env.schema type_name) step
+
+(* The object a node-step points at, or None when the reference is null. *)
+let deref env ~from_type record step =
+  match value_or_null record (step_index env ~type_name:from_type ~step) with
+  | Value.VRef oid -> Some oid
+  | Value.VNull -> None
+  | (Value.VInt _ | Value.VString _) as v ->
+      invalid_arg
+        (Printf.sprintf "Engine: step %s holds non-reference %s" step
+           (Value.to_string v))
+
+(* ------------------------------------------------------------------ *)
+(* Memberships                                                         *)
+
+(* Small-link elimination applies to a link only if every declaration using
+   it opts in (conservative join of the per-path options). *)
+let node_threshold (node : Registry.node) =
+  List.fold_left
+    (fun acc (rep : Schema.replication) ->
+      min acc rep.Schema.options.Schema.small_link_threshold)
+    max_int node.Registry.passing
+
+let untagged lo =
+  List.for_all (fun (e : Link_object.entry) -> Oid.is_nil e.Link_object.tag)
+    (Link_object.entries lo)
+
+(* Current membership of [target] under link [link_id]. *)
+let read_membership env ~link_id (target_rec : Record.t) =
+  match Record.find_link target_rec link_id with
+  | None -> (Link_object.empty, `None)
+  | Some pair ->
+      let loid = pair.Record.link_oid in
+      if Store.is_link_oid env.store loid then
+        let hf = Store.link_file env.store link_id in
+        (Link_object.decode (Heap_file.read hf loid), `Object loid)
+      else
+        ( Link_object.of_entries [ { Link_object.member = loid; tag = Oid.nil } ],
+          `Direct )
+
+(* Apply [f] to the membership of [target] under [node]'s link; persists the
+   result choosing between direct storage, a link object, or nothing.
+   Returns [(was_empty, now_empty)]. *)
+let modify_membership env (node : Registry.node) ~link_id ~threshold target_oid f =
+  let target_rec = read_record env target_oid in
+  ignore node;
+  let lo, state = read_membership env ~link_id target_rec in
+  let lo' = f lo in
+  let was_empty = Link_object.is_empty lo in
+  let now_empty = Link_object.is_empty lo' in
+  let hf = Store.link_file env.store link_id in
+  let delete_old () =
+    match state with `Object loid -> Heap_file.delete hf loid | `Direct | `None -> ()
+  in
+  if now_empty then begin
+    delete_old ();
+    if state <> `None then write_record env target_oid (Record.remove_link target_rec link_id)
+  end
+  else begin
+    let as_direct =
+      threshold >= 1 && Link_object.cardinal lo' <= 1 && untagged lo'
+    in
+    if as_direct then begin
+      let member =
+        match Link_object.members lo' with [ m ] -> m | _ -> assert false
+      in
+      delete_old ();
+      write_record env target_oid
+        (Record.add_link target_rec { Record.link_oid = member; link_id })
+    end
+    else begin
+      match state with
+      | `Object loid ->
+          if lo' != lo then Heap_file.update hf loid (Link_object.encode lo')
+      | `Direct | `None ->
+          let loid = Heap_file.insert hf (Link_object.encode lo') in
+          write_record env target_oid
+            (Record.add_link target_rec { Record.link_oid = loid; link_id })
+    end
+  end;
+  (was_empty, now_empty)
+
+let add_member env node target_oid entry =
+  match node.Registry.link_id with
+  | None -> (false, false)
+  | Some link_id ->
+      modify_membership env node ~link_id ~threshold:(node_threshold node)
+        target_oid (fun lo -> Link_object.add lo entry)
+
+let remove_member env node target_oid member =
+  match node.Registry.link_id with
+  | None -> (false, false)
+  | Some link_id ->
+      modify_membership env node ~link_id ~threshold:(node_threshold node)
+        target_oid (fun lo -> Link_object.remove lo member)
+
+let plain_entry member = { Link_object.member; tag = Oid.nil }
+
+(* ------------------------------------------------------------------ *)
+(* On-path transitions                                                 *)
+
+(* [x] just came on-path at [node]; register it one level deeper on every
+   branch, recursing where the deeper target was off-path too. *)
+let rec ensure_deeper env (node : Registry.node) x_oid =
+  List.iter
+    (fun (child : Registry.node) ->
+      match child.Registry.link_id with
+      | None -> ()
+      | Some _ -> (
+          let x_rec = read_record env x_oid in
+          match deref env ~from_type:child.Registry.from_type x_rec child.Registry.step with
+          | None -> ()
+          | Some y ->
+              let was_empty, now_empty = add_member env child y (plain_entry x_oid) in
+              if was_empty && not now_empty then ensure_deeper env child y))
+    (Registry.children env.registry node)
+
+(* [x] just went off-path at [node]; retract it one level deeper on every
+   branch, cascading further where targets empty out. *)
+let rec cascade_off env (node : Registry.node) x_oid =
+  List.iter
+    (fun (child : Registry.node) ->
+      match child.Registry.link_id with
+      | None -> ()
+      | Some _ -> (
+          let x_rec = read_record env x_oid in
+          match deref env ~from_type:child.Registry.from_type x_rec child.Registry.step with
+          | None -> ()
+          | Some y ->
+              let _, now_empty = remove_member env child y x_oid in
+              if now_empty then cascade_off env child y))
+    (Registry.children env.registry node)
+
+(* ------------------------------------------------------------------ *)
+(* Inverted traversal                                                  *)
+
+let membership_of env (node : Registry.node) x_oid =
+  match node.Registry.link_id with
+  | None -> Link_object.empty
+  | Some link_id ->
+      let x_rec = read_record env x_oid in
+      fst (read_membership env ~link_id x_rec)
+
+let sources_of env node target_oid =
+  let rec collect (node : Registry.node) x_oid =
+    let members = Link_object.members (membership_of env node x_oid) in
+    match Registry.parent env.registry node with
+    | None -> members
+    | Some parent -> List.concat_map (collect parent) members
+  in
+  List.sort_uniq Oid.compare (collect node target_oid)
+
+(* ------------------------------------------------------------------ *)
+(* Forward walks and terminal maintenance                              *)
+
+(* Objects along a path from a source object, as (node, oid) pairs; stops at
+   the first null reference. *)
+let forward_targets env (nodes : Registry.node list) source_rec =
+  let rec go acc current_rec = function
+    | [] -> List.rev acc
+    | (node : Registry.node) :: rest -> (
+        match deref env ~from_type:node.Registry.from_type current_rec node.Registry.step with
+        | None -> List.rev acc
+        | Some oid ->
+            let r = read_record env oid in
+            go ((node, oid, r) :: acc) r rest)
+  in
+  go [] source_rec nodes
+
+let final_of env nodes source_rec =
+  let targets = forward_targets env nodes source_rec in
+  if List.length targets = List.length nodes then
+    match List.rev targets with
+    | (_, oid, r) :: _ -> Some (oid, r)
+    | [] -> None
+  else None
+
+let sprime_field_offset = 2
+
+(* Fetch or create the S' object of a final object for a separate path.
+   Fresh S' objects start with refcount 0; callers bump it. *)
+let sprime_for env (rep : Schema.replication) ~sref_link ~fields final_oid final_rec =
+  match Record.find_link final_rec sref_link with
+  | Some pair -> pair.Record.link_oid
+  | None ->
+      let final_ty = Schema.set_type env.schema rep.Schema.rpath.Path.source_set in
+      ignore final_ty;
+      let ty =
+        Schema.find_type env.schema
+          (List.nth
+             (Schema.resolve_path env.schema rep.Schema.rpath).Schema.type_chain
+             (Path.level rep.Schema.rpath))
+      in
+      let values =
+        Array.of_list
+          (Value.VInt 0 :: Value.VRef final_oid
+          :: List.map
+               (fun (f, _) -> value_or_null final_rec (Ty.field_index ty f))
+               fields)
+      in
+      let tag = Schema.type_tag env.schema ty.Ty.tname in
+      let hf = Store.sprime_file env.store rep.Schema.rep_id in
+      let sp_oid = Heap_file.insert hf (Record.encode (Record.make ~type_tag:tag values)) in
+      write_record env final_oid
+        (Record.add_link final_rec { Record.link_oid = sp_oid; link_id = sref_link });
+      sp_oid
+
+let sprime_refcount_add env ~sref_link sp_oid delta =
+  let hf = data_file env sp_oid in
+  let r = Record.decode (Heap_file.read hf sp_oid) in
+  let count = Value.as_int (Record.field r 0) + delta in
+  assert (count >= 0);
+  if count = 0 then begin
+    let owner = Value.as_ref (Record.field r 1) in
+    Heap_file.delete hf sp_oid;
+    let owner_rec = read_record env owner in
+    write_record env owner (Record.remove_link owner_rec sref_link)
+  end
+  else Heap_file.update hf sp_oid (Record.encode (Record.set_field r 0 (Value.VInt count)))
+
+(* Recompute the hidden fields of one source object from the current state
+   of the forward path (both strategies). *)
+let refresh_terminal env (rep : Schema.replication) source_oid =
+  let set = rep.Schema.rpath.Path.source_set in
+  let nodes = Registry.chain env.registry rep in
+  let _, term = Registry.terminal_of env.registry rep in
+  let source_rec = read_record env source_oid in
+  let final = final_of env nodes source_rec in
+  let changed = ref false in
+  let updated =
+    match term.Registry.kind with
+    | Registry.K_inplace | Registry.K_collapsed _ ->
+        let final_ty_name =
+          (List.nth nodes (List.length nodes - 1)).Registry.to_type
+        in
+        let final_ty = Schema.find_type env.schema final_ty_name in
+        List.fold_left
+          (fun acc (fname, _) ->
+            let idx =
+              Schema.hidden_index env.schema set ~rep_id:rep.Schema.rep_id
+                ~field:(Some fname)
+            in
+            let desired =
+              match final with
+              | Some (_, final_rec) ->
+                  value_or_null final_rec (Ty.field_index final_ty fname)
+              | None -> Value.VNull
+            in
+            if Value.equal (value_or_null acc idx) desired then acc
+            else begin
+              changed := true;
+              set_value_extending acc idx desired
+            end)
+          source_rec term.Registry.fields
+    | Registry.K_separate sref_link ->
+        let idx =
+          Schema.hidden_index env.schema set ~rep_id:rep.Schema.rep_id ~field:None
+        in
+        let desired =
+          match final with
+          | Some (final_oid, final_rec) ->
+              Value.VRef
+                (sprime_for env rep ~sref_link ~fields:term.Registry.fields
+                   final_oid final_rec)
+          | None -> Value.VNull
+        in
+        let current = value_or_null source_rec idx in
+        if Value.equal current desired then source_rec
+        else begin
+          (match current with
+          | Value.VRef old_sp -> sprime_refcount_add env ~sref_link old_sp (-1)
+          | Value.VNull | Value.VInt _ | Value.VString _ -> ());
+          (match desired with
+          | Value.VRef new_sp -> sprime_refcount_add env ~sref_link new_sp 1
+          | Value.VNull | Value.VInt _ | Value.VString _ -> ());
+          changed := true;
+          set_value_extending source_rec idx desired
+        end
+  in
+  if !changed then begin
+    write_record env source_oid updated;
+    env.on_hidden_update set source_oid ~before:source_rec ~after:updated
+  end;
+  clear_pending env rep source_oid
+
+(* ------------------------------------------------------------------ *)
+(* Source attach / detach                                              *)
+
+let collapsed_link_id (term : Registry.terminal) =
+  match term.Registry.kind with
+  | Registry.K_collapsed id -> Some id
+  | Registry.K_inplace | Registry.K_separate _ -> None
+
+(* Membership bookkeeping for one source object joining a path. *)
+let attach_source env (rep : Schema.replication) source_oid =
+  let nodes = Registry.chain env.registry rep in
+  let final_node, term = Registry.terminal_of env.registry rep in
+  let source_rec = read_record env source_oid in
+  (match collapsed_link_id term with
+  | Some link_id -> (
+      (* Collapsed 2-level path: a single tagged link at the final node. *)
+      match forward_targets env nodes source_rec with
+      | [ (_, x1, _); (_, x2, _) ] ->
+          ignore
+            (modify_membership env final_node ~link_id ~threshold:0 x2 (fun lo ->
+                 Link_object.add lo { Link_object.member = source_oid; tag = x1 }))
+      | _ -> () (* path broken by a null reference: nothing to register *))
+  | None -> (
+      match forward_targets env nodes source_rec with
+      | [] -> ()
+      | (node1, x1, _) :: _ ->
+          let was_empty, now_empty = add_member env node1 x1 (plain_entry source_oid) in
+          if was_empty && not now_empty then ensure_deeper env node1 x1));
+  refresh_terminal env rep source_oid
+
+let detach_source env (rep : Schema.replication) source_oid =
+  clear_pending env rep source_oid;
+  let nodes = Registry.chain env.registry rep in
+  let final_node, term = Registry.terminal_of env.registry rep in
+  let source_rec = read_record env source_oid in
+  (match collapsed_link_id term with
+  | Some link_id -> (
+      match forward_targets env nodes source_rec with
+      | [ _; (_, x2, _) ] ->
+          ignore
+            (modify_membership env final_node ~link_id ~threshold:0 x2 (fun lo ->
+                 Link_object.remove lo source_oid))
+      | _ -> ())
+  | None -> (
+      match forward_targets env nodes source_rec with
+      | [] -> ()
+      | (node1, x1, _) :: _ ->
+          let _, now_empty = remove_member env node1 x1 source_oid in
+          if now_empty then cascade_off env node1 x1));
+  (* Separate paths: drop this source's claim on its S' object. *)
+  match term.Registry.kind with
+  | Registry.K_separate sref_link -> (
+      let idx =
+        Schema.hidden_index env.schema rep.Schema.rpath.Path.source_set
+          ~rep_id:rep.Schema.rep_id ~field:None
+      in
+      match value_or_null source_rec idx with
+      | Value.VRef sp -> sprime_refcount_add env ~sref_link sp (-1)
+      | Value.VNull | Value.VInt _ | Value.VString _ -> ())
+  | Registry.K_inplace | Registry.K_collapsed _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Public maintenance entry points                                     *)
+
+let on_insert env ~set oid =
+  List.iter
+    (fun rep -> attach_source env rep oid)
+    (Schema.replications_from env.schema set)
+
+let on_delete env ~set oid =
+  List.iter
+    (fun rep -> detach_source env rep oid)
+    (Schema.replications_from env.schema set);
+  let record = read_record env oid in
+  if record.Record.links <> [] then
+    invalid_arg
+      (Printf.sprintf
+         "Engine: object %s is still referenced along a replication path"
+         (Oid.to_string oid))
+
+let on_scalar_update env ~set oid ~field value =
+  ignore set;
+  let record = read_record env oid in
+  List.iter
+    (fun (pair : Record.link) ->
+      match Registry.link_kind env.registry pair.Record.link_id with
+      | None -> ()
+      | Some (Registry.L_sref node_id) ->
+          let node = Registry.node env.registry node_id in
+          List.iter
+            (fun (term : Registry.terminal) ->
+              match term.Registry.kind with
+              | Registry.K_separate sid when sid = pair.Record.link_id -> (
+                  match
+                    List.find_index (fun (f, _) -> f = field) term.Registry.fields
+                  with
+                  | Some i ->
+                      let sp = pair.Record.link_oid in
+                      let hf = data_file env sp in
+                      let r = Record.decode (Heap_file.read hf sp) in
+                      Heap_file.update hf sp
+                        (Record.encode
+                           (Record.set_field r (sprime_field_offset + i) value))
+                  | None -> ())
+              | Registry.K_separate _ | Registry.K_inplace | Registry.K_collapsed _
+                -> ())
+            node.Registry.terminals
+      | Some (Registry.L_collapsed node_id) ->
+          let node = Registry.node env.registry node_id in
+          List.iter
+            (fun (term : Registry.terminal) ->
+              match term.Registry.kind with
+              | Registry.K_collapsed cid when cid = pair.Record.link_id ->
+                  if List.mem_assoc field term.Registry.fields then begin
+                    let rep = term.Registry.rep in
+                    let set = rep.Schema.rpath.Path.source_set in
+                    let lo, _ = read_membership env ~link_id:cid record in
+                    if rep.Schema.options.Schema.lazy_propagation then
+                      List.iter (mark_pending env rep) (Link_object.members lo)
+                    else begin
+                      let idx =
+                        Schema.hidden_index env.schema set ~rep_id:rep.Schema.rep_id
+                          ~field:(Some field)
+                      in
+                      List.iter
+                        (fun source ->
+                          let r = read_record env source in
+                          let r' = set_value_extending r idx value in
+                          write_record env source r';
+                          env.on_hidden_update set source ~before:r ~after:r')
+                        (Link_object.members lo)
+                    end
+                  end
+              | Registry.K_collapsed _ | Registry.K_inplace | Registry.K_separate _
+                -> ())
+            node.Registry.terminals
+      | Some (Registry.L_path node_id) ->
+          let node = Registry.node env.registry node_id in
+          let interested =
+            List.filter
+              (fun (term : Registry.terminal) ->
+                term.Registry.kind = Registry.K_inplace
+                && List.mem_assoc field term.Registry.fields)
+              node.Registry.terminals
+          in
+          let eager, lazy_ =
+            List.partition
+              (fun (term : Registry.terminal) ->
+                not term.Registry.rep.Schema.options.Schema.lazy_propagation)
+              interested
+          in
+          if interested <> [] then begin
+            let sources = sources_of env node oid in
+            (* Lazy paths: invalidate only — the write to each source is
+               deferred until its hidden copy is next read. *)
+            List.iter
+              (fun (term : Registry.terminal) ->
+                List.iter (mark_pending env term.Registry.rep) sources)
+              lazy_;
+            if eager <> [] then
+              List.iter
+                (fun source ->
+                  let r0 = read_record env source in
+                  let set = node.Registry.source_set in
+                  let r =
+                    List.fold_left
+                      (fun r (term : Registry.terminal) ->
+                        let rep = term.Registry.rep in
+                        let idx =
+                          Schema.hidden_index env.schema set
+                            ~rep_id:rep.Schema.rep_id ~field:(Some field)
+                        in
+                        set_value_extending r idx value)
+                      r0 eager
+                  in
+                  write_record env source r;
+                  env.on_hidden_update set source ~before:r0 ~after:r)
+                sources
+          end)
+    record.Record.links
+
+(* ------------------------------------------------------------------ *)
+(* Reference updates                                                   *)
+
+let as_ref_opt = function
+  | Value.VRef oid -> Some oid
+  | Value.VNull | Value.VInt _ | Value.VString _ -> None
+
+(* The changed object is a source-set member: move its level-1 membership
+   and refresh every terminal rooted under the changed step. *)
+let ref_update_source env ~set source_oid ~field ~old_target ~new_target =
+  List.iter
+    (fun (node1 : Registry.node) ->
+      if node1.Registry.step = field then begin
+        (match node1.Registry.link_id with
+        | Some _ ->
+            (match old_target with
+            | Some o ->
+                let _, now_empty = remove_member env node1 o source_oid in
+                if now_empty then cascade_off env node1 o
+            | None -> ());
+            (match new_target with
+            | Some nw ->
+                let was_empty, now_empty =
+                  add_member env node1 nw (plain_entry source_oid)
+                in
+                if was_empty && not now_empty then ensure_deeper env node1 nw
+            | None -> ())
+        | None -> ());
+        List.iter
+          (fun (rep : Schema.replication) ->
+            let final_node, term = Registry.terminal_of env.registry rep in
+            (match collapsed_link_id term with
+            | Some link_id ->
+                (* Move the collapsed entry between final link objects. *)
+                (match old_target with
+                | Some old_x1 -> (
+                    let x1_rec = read_record env old_x1 in
+                    match
+                      deref env ~from_type:final_node.Registry.from_type x1_rec
+                        final_node.Registry.step
+                    with
+                    | Some old_final ->
+                        ignore
+                          (modify_membership env final_node ~link_id ~threshold:0
+                             old_final (fun lo -> Link_object.remove lo source_oid))
+                    | None -> ())
+                | None -> ());
+                (match new_target with
+                | Some new_x1 -> (
+                    let x1_rec = read_record env new_x1 in
+                    match
+                      deref env ~from_type:final_node.Registry.from_type x1_rec
+                        final_node.Registry.step
+                    with
+                    | Some new_final ->
+                        ignore
+                          (modify_membership env final_node ~link_id ~threshold:0
+                             new_final (fun lo ->
+                               Link_object.add lo
+                                 { Link_object.member = source_oid; tag = new_x1 }))
+                    | None -> ())
+                | None -> ())
+            | None -> ());
+            refresh_terminal env rep source_oid)
+          node1.Registry.passing
+      end)
+    (Registry.roots env.registry set)
+
+(* The changed object sits at level >= 1 of some path: restructure the next
+   level's link and recompute every source it carries. *)
+let ref_update_intermediate env ~elem_type x_oid ~field ~old_target ~new_target =
+  List.iter
+    (fun (node : Registry.node) ->
+      if node.Registry.to_type = elem_type then
+        List.iter
+          (fun (child : Registry.node) ->
+            if child.Registry.step = field then begin
+              (* Collapsed terminals at [child]: move the entries tagged with
+                 this intermediate. *)
+              List.iter
+                (fun (term : Registry.terminal) ->
+                  match collapsed_link_id term with
+                  | Some link_id ->
+                      let moved = ref [] in
+                      (match old_target with
+                      | Some o ->
+                          ignore
+                            (modify_membership env child ~link_id ~threshold:0 o
+                               (fun lo ->
+                                 moved := Link_object.entries_tagged lo x_oid;
+                                 Link_object.remove_tagged lo x_oid))
+                      | None -> ());
+                      (match new_target with
+                      | Some nw when !moved <> [] ->
+                          ignore
+                            (modify_membership env child ~link_id ~threshold:0 nw
+                               (fun lo ->
+                                 List.fold_left Link_object.add lo !moved))
+                      | Some _ | None -> ());
+                      List.iter
+                        (fun (e : Link_object.entry) ->
+                          refresh_terminal env term.Registry.rep e.Link_object.member)
+                        !moved
+                  | None -> ())
+                child.Registry.terminals;
+              (* Ordinary inverted links at [child]. *)
+              match node.Registry.link_id with
+              | None -> ()
+              | Some _ ->
+                  let on_path =
+                    not (Link_object.is_empty (membership_of env node x_oid))
+                  in
+                  if on_path then begin
+                    let sources = sources_of env node x_oid in
+                    (match child.Registry.link_id with
+                    | Some _ ->
+                        (match old_target with
+                        | Some o ->
+                            let _, now_empty = remove_member env child o x_oid in
+                            if now_empty then cascade_off env child o
+                        | None -> ());
+                        (match new_target with
+                        | Some nw ->
+                            let was_empty, now_empty =
+                              add_member env child nw (plain_entry x_oid)
+                            in
+                            if was_empty && not now_empty then
+                              ensure_deeper env child nw
+                        | None -> ())
+                    | None -> ());
+                    (* Refresh every source under this intermediate for every
+                       path continuing through [child]. *)
+                    List.iter
+                      (fun (rep : Schema.replication) ->
+                        List.iter (fun s -> refresh_terminal env rep s) sources)
+                      child.Registry.passing
+                  end
+            end)
+          (Registry.children env.registry node))
+    (Registry.nodes env.registry)
+
+let on_ref_update env ~set oid ~field ~old_value ~new_value =
+  let old_target = as_ref_opt old_value in
+  let new_target = as_ref_opt new_value in
+  if not (Option.equal Oid.equal old_target new_target) then begin
+    ref_update_source env ~set oid ~field ~old_target ~new_target;
+    let elem_type = (Schema.set_type env.schema set).Ty.tname in
+    ref_update_intermediate env ~elem_type oid ~field ~old_target ~new_target
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bulk build                                                          *)
+
+let build env (rep : Schema.replication) =
+  let set = rep.Schema.rpath.Path.source_set in
+  let nodes = Registry.chain env.registry rep in
+  let final_node, term = Registry.terminal_of env.registry rep in
+  let src_file = env.file_of_set set in
+  match collapsed_link_id term with
+  | Some link_id ->
+      (* Gather (source, x1, final) triples, then lay the tagged link
+         objects down in final-set physical order. *)
+      let per_final = Oid.Table.create 64 in
+      Heap_file.iter src_file (fun source_oid bytes ->
+          let source_rec = Record.decode bytes in
+          match forward_targets env nodes source_rec with
+          | [ (_, x1, _); (_, x2, _) ] ->
+              let prev = Option.value ~default:[] (Oid.Table.find_opt per_final x2) in
+              Oid.Table.replace per_final x2
+                ({ Link_object.member = source_oid; tag = x1 } :: prev)
+          | _ -> ());
+      let finals =
+        Oid.Table.fold (fun oid _ acc -> oid :: acc) per_final []
+        |> List.sort Oid.compare
+      in
+      List.iter
+        (fun final_oid ->
+          let entries = Oid.Table.find per_final final_oid in
+          ignore
+            (modify_membership env final_node ~link_id ~threshold:0 final_oid
+               (fun lo -> List.fold_left Link_object.add lo entries)))
+        finals;
+      Heap_file.iter_oids src_file (fun source_oid ->
+          refresh_terminal env rep source_oid)
+  | None ->
+      (* Memberships per level, accumulated in memory, then laid down in
+         target physical order — only for links not built by an earlier
+         declaration sharing the prefix. *)
+      let with_links =
+        List.filter (fun (n : Registry.node) -> n.Registry.link_id <> None) nodes
+      in
+      let fresh_links =
+        List.filter
+          (fun (n : Registry.node) ->
+            match n.Registry.link_id with
+            | Some id -> Store.link_file_opt env.store id = None
+            | None -> false)
+          with_links
+      in
+      let tables =
+        List.map (fun (n : Registry.node) -> (n.Registry.node_id, Oid.Table.create 256)) with_links
+      in
+      let table_for (n : Registry.node) = List.assoc n.Registry.node_id tables in
+      Heap_file.iter src_file (fun source_oid bytes ->
+          let source_rec = Record.decode bytes in
+          let targets = forward_targets env nodes source_rec in
+          ignore
+            (List.fold_left
+               (fun member (node, x_oid, _) ->
+                 (match node.Registry.link_id with
+                 | Some _ ->
+                     let tbl = table_for node in
+                     let prev = Option.value ~default:Oid.Set.empty (Oid.Table.find_opt tbl x_oid) in
+                     Oid.Table.replace tbl x_oid (Oid.Set.add member prev)
+                 | None -> ());
+                 x_oid)
+               source_oid targets));
+      let build_node_target (node : Registry.node) target =
+        let link_id = Option.get node.Registry.link_id in
+        let threshold = node_threshold node in
+        let members = Oid.Table.find (table_for node) target in
+        ignore
+          (modify_membership env node ~link_id ~threshold target (fun lo ->
+               Oid.Set.fold (fun m lo -> Link_object.add lo (plain_entry m)) members lo))
+      in
+      if rep.Schema.options.Schema.cluster_links && fresh_links <> [] then begin
+        (* §4.3.2: all fresh levels share one file, and a target's link
+           object is placed immediately before the link objects of the
+           intermediates it fans out to, so multi-level propagation reads
+           adjacent pages. *)
+        ignore
+          (Store.alias_links env.store
+             (List.filter_map (fun (n : Registry.node) -> n.Registry.link_id) fresh_links));
+        let is_fresh (n : Registry.node) =
+          List.exists (fun (f : Registry.node) -> f.Registry.node_id = n.Registry.node_id) fresh_links
+        in
+        let rec place (node : Registry.node) target =
+          if is_fresh node then begin
+            build_node_target node target;
+            match Registry.parent env.registry node with
+            | Some parent when parent.Registry.link_id <> None ->
+                let members = Oid.Table.find (table_for node) target in
+                Oid.Set.iter
+                  (fun m -> if Oid.Table.mem (table_for parent) m then place parent m)
+                  members
+            | Some _ | None -> ()
+          end
+        in
+        (match List.rev with_links with
+        | [] -> ()
+        | deepest :: _ ->
+            let targets =
+              Oid.Table.fold (fun oid _ acc -> oid :: acc) (table_for deepest) []
+              |> List.sort Oid.compare
+            in
+            List.iter (fun target -> place deepest target) targets;
+            (* Any fresh node not reachable from the deepest level (e.g. the
+               deepest itself was not fresh) is built level by level. *)
+            List.iter
+              (fun (node : Registry.node) ->
+                let tbl = table_for node in
+                Oid.Table.iter
+                  (fun target _ ->
+                    let target_rec = read_record env target in
+                    match Record.find_link target_rec (Option.get node.Registry.link_id) with
+                    | Some _ -> ()
+                    | None -> build_node_target node target)
+                  tbl)
+              fresh_links)
+      end
+      else
+        List.iter
+          (fun (node : Registry.node) ->
+            (* Force creation so a later build treats this link as existing
+               even if it stays empty. *)
+            ignore (Store.link_file env.store (Option.get node.Registry.link_id));
+            let tbl = table_for node in
+            let targets =
+              Oid.Table.fold (fun oid _ acc -> oid :: acc) tbl []
+              |> List.sort Oid.compare
+            in
+            List.iter (fun target -> build_node_target node target) targets)
+          fresh_links;
+      (* Terminals: hidden copies or S' objects (built in final physical
+         order with refcounts set directly). *)
+      (match term.Registry.kind with
+      | Registry.K_inplace | Registry.K_collapsed _ ->
+          Heap_file.iter_oids src_file (fun source_oid ->
+              refresh_terminal env rep source_oid)
+      | Registry.K_separate sref_link ->
+          let counts = Oid.Table.create 256 in
+          let final_for = Oid.Table.create 256 in
+          Heap_file.iter src_file (fun source_oid bytes ->
+              let source_rec = Record.decode bytes in
+              match final_of env nodes source_rec with
+              | Some (final_oid, _) ->
+                  Oid.Table.replace final_for source_oid final_oid;
+                  Oid.Table.replace counts final_oid
+                    (1 + Option.value ~default:0 (Oid.Table.find_opt counts final_oid))
+              | None -> ());
+          let finals =
+            Oid.Table.fold (fun oid _ acc -> oid :: acc) counts []
+            |> List.sort Oid.compare
+          in
+          let sp_of = Oid.Table.create 256 in
+          List.iter
+            (fun final_oid ->
+              let final_rec = read_record env final_oid in
+              let sp =
+                sprime_for env rep ~sref_link ~fields:term.Registry.fields final_oid
+                  final_rec
+              in
+              sprime_refcount_add env ~sref_link sp (Oid.Table.find counts final_oid);
+              Oid.Table.replace sp_of final_oid sp)
+            finals;
+          let idx = Schema.hidden_index env.schema set ~rep_id:rep.Schema.rep_id ~field:None in
+          Heap_file.iter_oids src_file (fun source_oid ->
+              let desired =
+                match Oid.Table.find_opt final_for source_oid with
+                | Some final_oid -> Value.VRef (Oid.Table.find sp_of final_oid)
+                | None -> Value.VNull
+              in
+              let r = read_record env source_oid in
+              if not (Value.equal (value_or_null r idx) desired) then begin
+                let r' = set_value_extending r idx desired in
+                write_record env source_oid r';
+                env.on_hidden_update set source_oid ~before:r ~after:r'
+              end))
+
+(* Objects of [source_set] whose [attr] currently references [target],
+   answered from a level-1 inverted link when one exists. *)
+let referencers_via_links env ~source_set ~attr target_oid =
+  let node =
+    List.find_opt
+      (fun (n : Registry.node) -> n.Registry.step = attr && n.Registry.link_id <> None)
+      (Registry.roots env.registry source_set)
+  in
+  Option.map
+    (fun node -> Link_object.members (membership_of env node target_oid))
+    node
+
+let repair env (rep : Schema.replication) source_oid =
+  if is_pending env rep source_oid then refresh_terminal env rep source_oid
+
+let flush_pending env =
+  let entries = Hashtbl.fold (fun k () acc -> k :: acc) env.pending [] in
+  List.iter
+    (fun (rep_id, oid64) ->
+      match
+        List.find_opt
+          (fun (r : Schema.replication) -> r.Schema.rep_id = rep_id)
+          (Schema.replications env.schema)
+      with
+      | Some rep -> refresh_terminal env rep (Oid.of_int64 oid64)
+      | None -> Hashtbl.remove env.pending (rep_id, oid64))
+    entries
+
+let space_pages env = Store.total_pages env.store

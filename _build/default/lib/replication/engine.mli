@@ -1,0 +1,129 @@
+(** The field-replication engine.
+
+    Owns every replication-specific structure — link objects / inverted
+    paths, hidden fields, S' files, reference counts — and keeps them
+    consistent as the database mutates.  The object engine (lib/core) calls
+    in after each data mutation:
+
+    - {!build} when a [replicate] declaration is added (bulk construction,
+      link and S' files laid out in the same physical order as the sets they
+      invert — paper §4.1, §5);
+    - {!on_insert} / {!on_delete} for source-set membership maintenance
+      (paper §4.1.1);
+    - {!on_scalar_update} to propagate a changed data field to every
+      replicated copy (paper §4.1.3, §5.2);
+    - {!on_ref_update} when a reference attribute changes anywhere on a
+      path, restructuring the inverted path and refreshing affected sources
+      (paper §4.1.2).
+
+    The engine is strategy-complete: in-place, separate, collapsed inverted
+    paths (§4.3.3) and small-link elimination (§4.3.1) all live behind the
+    same entry points. *)
+
+module Oid = Fieldrep_storage.Oid
+module Schema = Fieldrep_model.Schema
+module Record = Fieldrep_model.Record
+
+type env = {
+  schema : Schema.t;
+  mutable registry : Registry.t;
+      (** recompiled by the caller whenever declarations change *)
+  store : Store.t;
+  file_of_set : string -> Fieldrep_storage.Heap_file.t;
+  file_of_oid : Oid.t -> Fieldrep_storage.Heap_file.t;
+      (** resolve any *data* OID to its heap file *)
+  on_hidden_update : string -> Oid.t -> before:Record.t -> after:Record.t -> unit;
+      (** [on_hidden_update set oid]: a source object's hidden fields
+          changed (the caller maintains indexes built on replicated data) *)
+  pending : (int * int64, unit) Hashtbl.t;
+      (** the lazy-propagation invalidation table: (rep_id, packed source
+          OID) pairs whose hidden copies are stale.  Kept in memory, like
+          the special invalidation locks of POSTGRES's caching schemes. *)
+}
+
+val make_env :
+  schema:Schema.t ->
+  store:Store.t ->
+  file_of_set:(string -> Fieldrep_storage.Heap_file.t) ->
+  file_of_oid:(Oid.t -> Fieldrep_storage.Heap_file.t) ->
+  ?on_hidden_update:(string -> Oid.t -> before:Record.t -> after:Record.t -> unit) ->
+  unit ->
+  env
+(** Compiles the registry from the schema's current declarations. *)
+
+val recompile : env -> unit
+(** Refresh [env.registry] after the schema gained a declaration. *)
+
+val build : env -> Schema.replication -> unit
+(** Bulk-build the structures of a declaration over existing data.  Shared
+    links already materialised by earlier declarations are reused, new link
+    levels and S' files are created in target-set physical order, hidden
+    fields are (re)computed for every source object. *)
+
+val on_insert : env -> set:string -> Oid.t -> unit
+(** The object was just inserted (its references already stored).  Attaches
+    it to every replication path rooted at [set] and fills its hidden
+    fields. *)
+
+val on_delete : env -> set:string -> Oid.t -> unit
+(** Must be called *before* the heap delete.  Detaches the object from
+    paths rooted at [set].  Raises [Invalid_argument] if the object is still
+    referenced along some replication path (it is an intermediate or final
+    object with live link memberships), mirroring the paper's assumption
+    that such objects are deleted only when unreferenced. *)
+
+val on_scalar_update :
+  env -> set:string -> Oid.t -> field:string -> Fieldrep_model.Value.t -> unit
+(** Called *after* the object's own record was rewritten with the new value.
+    Uses the object's (link-OID, link-ID) pairs to decide whether the update
+    must be propagated, and propagates it: through the inverted path to
+    hidden copies for in-place paths, to the shared S' object for separate
+    paths. *)
+
+val on_ref_update :
+  env ->
+  set:string ->
+  Oid.t ->
+  field:string ->
+  old_value:Fieldrep_model.Value.t ->
+  new_value:Fieldrep_model.Value.t ->
+  unit
+(** Called *after* the record was rewritten.  Handles all positions of the
+    changed object: a source object re-attaches to the new chain; an
+    intermediate object moves between link objects at the next level (with
+    cascading on-path/off-path transitions) and every source object it
+    carries gets its hidden values or S'-references recomputed. *)
+
+val is_pending : env -> Schema.replication -> Oid.t -> bool
+(** Is this source object's hidden data stale under lazy propagation? *)
+
+val repair : env -> Schema.replication -> Oid.t -> unit
+(** Recompute the source's hidden copies if (and only if) they are stale,
+    clearing the invalidation entry: the read-side half of lazy
+    propagation. *)
+
+val flush_pending : env -> unit
+(** Repair every invalidated source (e.g. before an integrity audit or a
+    bulk export). *)
+
+val pending_count : env -> int
+
+val referencers_via_links :
+  env -> source_set:string -> attr:string -> Oid.t -> Oid.t list option
+(** Objects of [source_set] whose reference attribute [attr] points at the
+    target, answered directly from a level-1 inverted-path link when some
+    replication declaration maintains one ([None] otherwise).  This is the
+    paper's §8 observation that inverted paths double as inverse functions
+    / bidirectional reference attributes. *)
+
+val sources_of : env -> Registry.node -> Oid.t -> Oid.t list
+(** All source-set objects currently reaching the given target object
+    through the node's inverted sub-path, in physical order.  Exposed for
+    tests and the invariant checker. *)
+
+val space_pages : env -> int
+(** Pages consumed by link and S' files. *)
+
+val sprime_field_offset : int
+(** Value-array index of the first replicated field inside an S' object
+    (slot 0 is the reference count, slot 1 the owning final object). *)

@@ -1,0 +1,350 @@
+module Oid = Fieldrep_storage.Oid
+module Heap_file = Fieldrep_storage.Heap_file
+module Schema = Fieldrep_model.Schema
+module Path = Fieldrep_model.Path
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Record = Fieldrep_model.Record
+
+type expected = {
+  (* (link_id, target oid) -> expected entries, keyed by member. *)
+  memberships : (int * Oid.t, (Oid.t, Oid.t) Hashtbl.t) Hashtbl.t;
+  (* source oid -> (rep_id, absolute value index, expected hidden value);
+     separate srefs are checked structurally instead. *)
+  hidden : (Oid.t, (int * int * Value.t) list ref) Hashtbl.t;
+  (* (rep_id, source oid) -> final oid, for separate paths. *)
+  sep_final : (int * Oid.t, Oid.t option) Hashtbl.t;
+}
+
+let value_or_null (record : Record.t) idx =
+  if idx < Array.length record.Record.values then record.Record.values.(idx)
+  else Value.VNull
+
+let membership_key tbl link_id target =
+  match Hashtbl.find_opt tbl.memberships (link_id, target) with
+  | Some t -> t
+  | None ->
+      let t = Hashtbl.create 8 in
+      Hashtbl.replace tbl.memberships (link_id, target) t;
+      t
+
+let hidden_slot tbl source =
+  match Hashtbl.find_opt tbl.hidden source with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace tbl.hidden source r;
+      r
+
+(* Recompute every expected structure by scanning the source sets. *)
+let compute_expected (env : Engine.env) =
+  let schema = env.Engine.schema in
+  let registry = env.Engine.registry in
+  let exp =
+    {
+      memberships = Hashtbl.create 64;
+      hidden = Hashtbl.create 64;
+      sep_final = Hashtbl.create 64;
+    }
+  in
+  List.iter
+    (fun (rep : Schema.replication) ->
+      let set = rep.Schema.rpath.Path.source_set in
+      let nodes = Registry.chain registry rep in
+      let _, term = Registry.terminal_of registry rep in
+      let src_file = env.Engine.file_of_set set in
+      Heap_file.iter src_file (fun source_oid bytes ->
+          let source_rec = Record.decode bytes in
+          (* Forward walk. *)
+          let rec walk current_rec acc = function
+            | [] -> List.rev acc
+            | (node : Registry.node) :: rest -> (
+                let idx =
+                  Ty.field_index
+                    (Schema.find_type schema node.Registry.from_type)
+                    node.Registry.step
+                in
+                match value_or_null current_rec idx with
+                | Value.VRef oid ->
+                    let r =
+                      Record.decode (Heap_file.read (env.Engine.file_of_oid oid) oid)
+                    in
+                    walk r ((node, oid, r) :: acc) rest
+                | Value.VNull | Value.VInt _ | Value.VString _ -> List.rev acc)
+          in
+          let targets = walk source_rec [] nodes in
+          let complete = List.length targets = List.length nodes in
+          let final =
+            if complete then
+              match List.rev targets with t :: _ -> Some t | [] -> None
+            else None
+          in
+          (* Memberships. *)
+          (match term.Registry.kind with
+          | Registry.K_collapsed cid -> (
+              match (final, targets) with
+              | Some (_, final_oid, _), (_, x1, _) :: _ ->
+                  Hashtbl.replace (membership_key exp cid final_oid) source_oid x1
+              | _, _ -> ())
+          | Registry.K_inplace | Registry.K_separate _ ->
+              ignore
+                (List.fold_left
+                   (fun member (node, x_oid, _) ->
+                     (match node.Registry.link_id with
+                     | Some link_id ->
+                         Hashtbl.replace
+                           (membership_key exp link_id x_oid)
+                           member Oid.nil
+                     | None -> ());
+                     x_oid)
+                   source_oid targets));
+          (* Hidden expectations. *)
+          match term.Registry.kind with
+          | Registry.K_inplace | Registry.K_collapsed _ ->
+              let final_ty =
+                Schema.find_type schema
+                  (List.nth nodes (List.length nodes - 1)).Registry.to_type
+              in
+              List.iter
+                (fun (fname, _) ->
+                  let idx =
+                    Schema.hidden_index schema set ~rep_id:rep.Schema.rep_id
+                      ~field:(Some fname)
+                  in
+                  let v =
+                    match final with
+                    | Some (_, _, final_rec) ->
+                        value_or_null final_rec (Ty.field_index final_ty fname)
+                    | None -> Value.VNull
+                  in
+                  let slot = hidden_slot exp source_oid in
+                  slot := (rep.Schema.rep_id, idx, v) :: !slot)
+                term.Registry.fields
+          | Registry.K_separate _ ->
+              Hashtbl.replace exp.sep_final
+                (rep.Schema.rep_id, source_oid)
+                (Option.map (fun (_, oid, _) -> oid) final)))
+    (Schema.replications schema);
+  exp
+
+let errors (env : Engine.env) =
+  let schema = env.Engine.schema in
+  let registry = env.Engine.registry in
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let exp = compute_expected env in
+  (* Pass 1: every data object's link pairs and hidden fields are exactly as
+     expected. *)
+  let seen_memberships = Hashtbl.create 64 in
+  let referenced_link_oids = Hashtbl.create 64 in
+  List.iter
+    (fun (set_name, _) ->
+      let hf = env.Engine.file_of_set set_name in
+      Heap_file.iter hf (fun oid bytes ->
+          let record = Record.decode bytes in
+          (* Hidden copies. *)
+          (match Hashtbl.find_opt exp.hidden oid with
+          | Some slot ->
+              List.iter
+                (fun (rep_id, idx, v) ->
+                  (* Invalidated sources are legitimately stale under lazy
+                     propagation. *)
+                  if not (Hashtbl.mem env.Engine.pending (rep_id, Oid.to_int64 oid))
+                  then begin
+                    let actual = value_or_null record idx in
+                    if not (Value.equal actual v) then
+                      err "object %s: hidden slot %d is %s, expected %s"
+                        (Oid.to_string oid) idx (Value.to_string actual)
+                        (Value.to_string v)
+                  end)
+                !slot
+          | None -> ());
+          (* Link pairs. *)
+          List.iter
+            (fun (pair : Record.link) ->
+              let link_id = pair.Record.link_id in
+              match Registry.link_kind registry link_id with
+              | None -> err "object %s: unknown link id %d" (Oid.to_string oid) link_id
+              | Some (Registry.L_sref _) ->
+                  (* Checked in the S' pass. *)
+                  ()
+              | Some (Registry.L_path _ | Registry.L_collapsed _) -> (
+                  Hashtbl.replace seen_memberships (link_id, oid) ();
+                  let actual =
+                    if Store.is_link_oid env.Engine.store pair.Record.link_oid then begin
+                      Hashtbl.replace referenced_link_oids pair.Record.link_oid ();
+                      Link_object.entries
+                        (Link_object.decode
+                           (Heap_file.read
+                              (Store.link_file env.Engine.store link_id)
+                              pair.Record.link_oid))
+                    end
+                    else
+                      [ { Link_object.member = pair.Record.link_oid; tag = Oid.nil } ]
+                  in
+                  if actual = [] then
+                    err "object %s: empty membership stored for link %d"
+                      (Oid.to_string oid) link_id;
+                  match Hashtbl.find_opt exp.memberships (link_id, oid) with
+                  | None ->
+                      err "object %s: unexpected membership for link %d"
+                        (Oid.to_string oid) link_id
+                  | Some expected_tbl ->
+                      List.iter
+                        (fun (e : Link_object.entry) ->
+                          match Hashtbl.find_opt expected_tbl e.Link_object.member with
+                          | None ->
+                              err "link %d of %s: stray member %s" link_id
+                                (Oid.to_string oid)
+                                (Oid.to_string e.Link_object.member)
+                          | Some expected_tag ->
+                              if
+                                (not (Oid.is_nil e.Link_object.tag))
+                                && not (Oid.equal e.Link_object.tag expected_tag)
+                              then
+                                err "link %d of %s: member %s tagged %s, expected %s"
+                                  link_id (Oid.to_string oid)
+                                  (Oid.to_string e.Link_object.member)
+                                  (Oid.to_string e.Link_object.tag)
+                                  (Oid.to_string expected_tag))
+                        actual;
+                      if Hashtbl.length expected_tbl <> List.length actual then
+                        err "link %d of %s: %d members stored, %d expected" link_id
+                          (Oid.to_string oid) (List.length actual)
+                          (Hashtbl.length expected_tbl)))
+            record.Record.links))
+    (Schema.sets schema);
+  (* Pass 2: every expected membership was seen. *)
+  Hashtbl.iter
+    (fun (link_id, target) tbl ->
+      if Hashtbl.length tbl > 0 && not (Hashtbl.mem seen_memberships (link_id, target))
+      then
+        err "link %d: target %s should hold %d members but has none" link_id
+          (Oid.to_string target) (Hashtbl.length tbl))
+    exp.memberships;
+  (* Pass 3: no orphan link objects. *)
+  List.iter
+    (fun (node : Registry.node) ->
+      let ids =
+        (match node.Registry.link_id with Some id -> [ id ] | None -> [])
+        @ List.filter_map
+            (fun (t : Registry.terminal) ->
+              match t.Registry.kind with
+              | Registry.K_collapsed id -> Some id
+              | Registry.K_inplace | Registry.K_separate _ -> None)
+            node.Registry.terminals
+      in
+      List.iter
+        (fun id ->
+          match Store.link_file_opt env.Engine.store id with
+          | None -> ()
+          | Some hf ->
+              Heap_file.iter_oids hf (fun loid ->
+                  if not (Hashtbl.mem referenced_link_oids loid) then
+                    err "link %d: orphan link object %s" id (Oid.to_string loid)))
+        ids)
+    (Registry.nodes registry);
+  (* Pass 4: S' objects — srefs resolve, values match, refcounts add up. *)
+  List.iter
+    (fun (rep : Schema.replication) ->
+      match rep.Schema.strategy with
+      | Schema.Inplace -> ()
+      | Schema.Separate -> (
+          let set = rep.Schema.rpath.Path.source_set in
+          let nodes = Registry.chain registry rep in
+          let _, term = Registry.terminal_of registry rep in
+          let sref_link =
+            match term.Registry.kind with
+            | Registry.K_separate id -> id
+            | Registry.K_inplace | Registry.K_collapsed _ -> assert false
+          in
+          let idx = Schema.hidden_index schema set ~rep_id:rep.Schema.rep_id ~field:None in
+          let src_file = env.Engine.file_of_set set in
+          let claim_counts = Oid.Table.create 32 in
+          Heap_file.iter src_file (fun source_oid bytes ->
+              let record = Record.decode bytes in
+              let expected_final =
+                Option.join (Hashtbl.find_opt exp.sep_final (rep.Schema.rep_id, source_oid))
+              in
+              match (value_or_null record idx, expected_final) with
+              | Value.VNull, None -> ()
+              | Value.VNull, Some f ->
+                  err "separate %s: source %s should reference S' of %s"
+                    (Path.to_string rep.Schema.rpath) (Oid.to_string source_oid)
+                    (Oid.to_string f)
+              | Value.VRef sp, None ->
+                  err "separate %s: source %s holds stale S' %s"
+                    (Path.to_string rep.Schema.rpath) (Oid.to_string source_oid)
+                    (Oid.to_string sp)
+              | Value.VRef sp, Some final_oid ->
+                  Oid.Table.replace claim_counts sp
+                    (1 + Option.value ~default:0 (Oid.Table.find_opt claim_counts sp));
+                  let sp_rec =
+                    Record.decode
+                      (Heap_file.read (Store.sprime_file env.Engine.store rep.Schema.rep_id) sp)
+                  in
+                  let owner = Value.as_ref (Record.field sp_rec 1) in
+                  if not (Oid.equal owner final_oid) then
+                    err "separate %s: S' %s owned by %s, source %s expects %s"
+                      (Path.to_string rep.Schema.rpath) (Oid.to_string sp)
+                      (Oid.to_string owner) (Oid.to_string source_oid)
+                      (Oid.to_string final_oid);
+                  (* Replicated values match the final object's current state. *)
+                  let final_ty =
+                    Schema.find_type schema
+                      (List.nth nodes (List.length nodes - 1)).Registry.to_type
+                  in
+                  let final_rec =
+                    Record.decode
+                      (Heap_file.read (env.Engine.file_of_oid final_oid) final_oid)
+                  in
+                  List.iteri
+                    (fun i (fname, _) ->
+                      let expected =
+                        value_or_null final_rec (Ty.field_index final_ty fname)
+                      in
+                      let actual = Record.field sp_rec (Engine.sprime_field_offset + i) in
+                      if not (Value.equal actual expected) then
+                        err "separate %s: S' %s field %s is %s, final has %s"
+                          (Path.to_string rep.Schema.rpath) (Oid.to_string sp) fname
+                          (Value.to_string actual) (Value.to_string expected))
+                    term.Registry.fields
+              | (Value.VInt _ | Value.VString _), _ ->
+                  err "separate %s: source %s hidden slot holds a non-reference"
+                    (Path.to_string rep.Schema.rpath) (Oid.to_string source_oid));
+          (* Refcounts and sref pairs. *)
+          match Store.sprime_file_opt env.Engine.store rep.Schema.rep_id with
+          | None -> ()
+          | Some hf ->
+              Heap_file.iter hf (fun sp bytes ->
+                  let sp_rec = Record.decode bytes in
+                  let count = Value.as_int (Record.field sp_rec 0) in
+                  let claimed = Option.value ~default:0 (Oid.Table.find_opt claim_counts sp) in
+                  if count <> claimed then
+                    err "separate %s: S' %s refcount %d but %d sources claim it"
+                      (Path.to_string rep.Schema.rpath) (Oid.to_string sp) count claimed;
+                  if count = 0 then
+                    err "separate %s: S' %s has refcount 0 but still exists"
+                      (Path.to_string rep.Schema.rpath) (Oid.to_string sp);
+                  let owner = Value.as_ref (Record.field sp_rec 1) in
+                  let owner_rec =
+                    Record.decode (Heap_file.read (env.Engine.file_of_oid owner) owner)
+                  in
+                  match Record.find_link owner_rec sref_link with
+                  | Some pair when Oid.equal pair.Record.link_oid sp -> ()
+                  | Some _ ->
+                      err "separate %s: owner %s sref pair points elsewhere"
+                        (Path.to_string rep.Schema.rpath) (Oid.to_string owner)
+                  | None ->
+                      err "separate %s: owner %s is missing its sref pair"
+                        (Path.to_string rep.Schema.rpath) (Oid.to_string owner))))
+    (Schema.replications schema);
+  List.rev !errs
+
+let check env =
+  match errors env with
+  | [] -> ()
+  | e :: rest ->
+      failwith
+        (Printf.sprintf "replication invariants violated (%d total): %s"
+           (List.length rest + 1) e)

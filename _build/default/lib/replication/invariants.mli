@@ -1,0 +1,13 @@
+(** Whole-database consistency checking for replication structures.
+
+    Recomputes from scratch what every link object, hidden field, S' object
+    and reference count *should* contain — by scanning the data sets and
+    walking forward references — and compares with what is actually stored.
+    Test suites call this after every mutation pattern; it is the ground
+    truth that update propagation (paper §4, §5) preserves consistency. *)
+
+val check : Engine.env -> unit
+(** Raises [Failure] describing the first violation. *)
+
+val errors : Engine.env -> string list
+(** All violations (empty list = consistent). *)

@@ -1,0 +1,204 @@
+module Schema = Fieldrep_model.Schema
+module Path = Fieldrep_model.Path
+module Ty = Fieldrep_model.Ty
+
+type terminal_kind = K_inplace | K_separate of int | K_collapsed of int
+
+type terminal = {
+  rep : Schema.replication;
+  fields : (string * Ty.scalar) list;
+  kind : terminal_kind;
+}
+
+type node = {
+  node_id : int;
+  parent : int option;
+  source_set : string;
+  step : string;
+  prefix : string list;
+  level : int;
+  from_type : string;
+  to_type : string;
+  link_id : int option;
+  terminals : terminal list;
+  children : int list;
+  passing : Schema.replication list;
+}
+
+type link_kind = L_path of int | L_sref of int | L_collapsed of int
+
+type t = {
+  node_arr : node array;
+  root_tbl : (string, int list) Hashtbl.t;
+  by_link : (int, link_kind) Hashtbl.t;
+  by_rep : (int, int list) Hashtbl.t;  (* rep_id -> node chain *)
+  max_link : int;
+}
+
+(* Mutable builder mirror of [node]. *)
+type bnode = {
+  b_id : int;
+  b_parent : int option;
+  b_set : string;
+  b_step : string;
+  b_prefix : string list;
+  b_level : int;
+  b_from : string;
+  b_to : string;
+  mutable b_link : int option;
+  mutable b_terminals : terminal list;
+  mutable b_children : int list;
+  mutable b_passing : Schema.replication list;
+}
+
+let max_link_id_space = 255
+
+let compile schema =
+  let bnodes : bnode array ref = ref [||] in
+  let push b = bnodes := Array.append !bnodes [| b |] in
+  let roots : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  let by_link = Hashtbl.create 16 in
+  let by_rep = Hashtbl.create 16 in
+  let next_link = ref 1 in
+  let alloc_link kind =
+    if !next_link > max_link_id_space then
+      invalid_arg "Registry: link-ID space exhausted (255 links)";
+    let id = !next_link in
+    incr next_link;
+    Hashtbl.replace by_link id kind;
+    id
+  in
+  let find_child parent_children step =
+    List.find_opt (fun i -> (!bnodes).(i).b_step = step) parent_children
+  in
+  List.iter
+    (fun (rep : Schema.replication) ->
+      let path = rep.Schema.rpath in
+      let resolved = Schema.resolve_path schema path in
+      let n = Path.level path in
+      let collapse = rep.Schema.options.Schema.collapse in
+      if collapse && n <> 2 then
+        invalid_arg
+          (Printf.sprintf
+             "Registry: collapsed inverted paths are supported for 2-level \
+              paths only (%s has level %d)"
+             (Path.to_string path) n);
+      let types = Array.of_list resolved.Schema.type_chain in
+      (* Walk/extend the trie. *)
+      let chain = ref [] in
+      let parent = ref None in
+      List.iteri
+        (fun i step ->
+          let level = i + 1 in
+          let siblings =
+            match !parent with
+            | None -> Option.value ~default:[] (Hashtbl.find_opt roots path.Path.source_set)
+            | Some p -> (!bnodes).(p).b_children
+          in
+          let id =
+            match find_child siblings step with
+            | Some id -> id
+            | None ->
+                let id = Array.length !bnodes in
+                let prefix =
+                  match !parent with
+                  | None -> [ step ]
+                  | Some p -> (!bnodes).(p).b_prefix @ [ step ]
+                in
+                push
+                  {
+                    b_id = id;
+                    b_parent = !parent;
+                    b_set = path.Path.source_set;
+                    b_step = step;
+                    b_prefix = prefix;
+                    b_level = level;
+                    b_from = types.(i);
+                    b_to = types.(i + 1);
+                    b_link = None;
+                    b_terminals = [];
+                    b_children = [];
+                    b_passing = [];
+                  };
+                (match !parent with
+                | None ->
+                    Hashtbl.replace roots path.Path.source_set (siblings @ [ id ])
+                | Some p -> (!bnodes).(p).b_children <- siblings @ [ id ]);
+                id
+          in
+          let b = (!bnodes).(id) in
+          b.b_passing <- b.b_passing @ [ rep ];
+          (* Does this path need this level inverted? *)
+          let needs_link =
+            (not collapse)
+            &&
+            match rep.Schema.strategy with
+            | Schema.Inplace -> true
+            | Schema.Separate -> level <= n - 1
+          in
+          if needs_link && b.b_link = None then
+            b.b_link <- Some (alloc_link (L_path id));
+          chain := id :: !chain;
+          parent := Some id)
+        path.Path.steps;
+      let chain = List.rev !chain in
+      Hashtbl.replace by_rep rep.Schema.rep_id chain;
+      let final_id = List.nth chain (n - 1) in
+      let final = (!bnodes).(final_id) in
+      let kind =
+        if collapse then K_collapsed (alloc_link (L_collapsed final_id))
+        else
+          match rep.Schema.strategy with
+          | Schema.Inplace -> K_inplace
+          | Schema.Separate -> K_separate (alloc_link (L_sref final_id))
+      in
+      final.b_terminals <-
+        final.b_terminals @ [ { rep; fields = resolved.Schema.terminal_fields; kind } ])
+    (Schema.replications schema);
+  let node_arr =
+    Array.map
+      (fun b ->
+        {
+          node_id = b.b_id;
+          parent = b.b_parent;
+          source_set = b.b_set;
+          step = b.b_step;
+          prefix = b.b_prefix;
+          level = b.b_level;
+          from_type = b.b_from;
+          to_type = b.b_to;
+          link_id = b.b_link;
+          terminals = b.b_terminals;
+          children = b.b_children;
+          passing = b.b_passing;
+        })
+      !bnodes
+  in
+  { node_arr; root_tbl = roots; by_link; by_rep; max_link = !next_link - 1 }
+
+let node t id = t.node_arr.(id)
+let nodes t = Array.to_list t.node_arr
+
+let roots t set =
+  Option.value ~default:[] (Hashtbl.find_opt t.root_tbl set)
+  |> List.map (fun id -> t.node_arr.(id))
+
+let children t n = List.map (fun id -> t.node_arr.(id)) n.children
+let parent t n = Option.map (fun id -> t.node_arr.(id)) n.parent
+let link_kind t id = Hashtbl.find_opt t.by_link id
+let max_link_id t = t.max_link
+
+let chain t (rep : Schema.replication) =
+  match Hashtbl.find_opt t.by_rep rep.Schema.rep_id with
+  | Some ids -> List.map (fun id -> t.node_arr.(id)) ids
+  | None -> raise Not_found
+
+let terminal_of t rep =
+  let nodes = chain t rep in
+  let final = List.nth nodes (List.length nodes - 1) in
+  let term =
+    List.find
+      (fun term -> term.rep.Schema.rep_id = rep.Schema.rep_id)
+      final.terminals
+  in
+  (final, term)

@@ -1,0 +1,88 @@
+module Pager = Fieldrep_storage.Pager
+module Heap_file = Fieldrep_storage.Heap_file
+module Oid = Fieldrep_storage.Oid
+
+type t = {
+  pager : Pager.t;
+  link_files : (int, Heap_file.t) Hashtbl.t;  (* link id -> file *)
+  sprime_files : (int, Heap_file.t) Hashtbl.t;  (* rep id -> file *)
+  by_file_id : (int, Heap_file.t) Hashtbl.t;
+  link_file_ids : (int, unit) Hashtbl.t;  (* disk file ids of link files *)
+}
+
+let create pager =
+  {
+    pager;
+    link_files = Hashtbl.create 8;
+    sprime_files = Hashtbl.create 8;
+    by_file_id = Hashtbl.create 8;
+    link_file_ids = Hashtbl.create 8;
+  }
+
+let pager t = t.pager
+
+let get_or_create table t key ~is_link =
+  match Hashtbl.find_opt table key with
+  | Some hf -> hf
+  | None ->
+      let hf = Heap_file.create t.pager in
+      Hashtbl.replace table key hf;
+      Hashtbl.replace t.by_file_id (Heap_file.file_id hf) hf;
+      if is_link then Hashtbl.replace t.link_file_ids (Heap_file.file_id hf) ();
+      hf
+
+let link_file t id = get_or_create t.link_files t id ~is_link:true
+let link_file_opt t id = Hashtbl.find_opt t.link_files id
+let sprime_file t rep_id = get_or_create t.sprime_files t rep_id ~is_link:false
+let sprime_file_opt t rep_id = Hashtbl.find_opt t.sprime_files rep_id
+
+let is_link_oid t (oid : Oid.t) =
+  (not (Oid.is_nil oid)) && Hashtbl.mem t.link_file_ids oid.Oid.file
+
+let file_of_oid t (oid : Oid.t) = Hashtbl.find_opt t.by_file_id oid.Oid.file
+
+let total_pages t =
+  let count table =
+    Hashtbl.fold (fun _ hf acc -> acc + Heap_file.page_count hf) table 0
+  in
+  count t.link_files + count t.sprime_files
+
+let alias_links t ids =
+  let existing = List.filter_map (fun id -> Hashtbl.find_opt t.link_files id) ids in
+  let hf =
+    match existing with
+    | hf :: _ -> hf
+    | [] ->
+        let hf = Heap_file.create t.pager in
+        Hashtbl.replace t.by_file_id (Heap_file.file_id hf) hf;
+        Hashtbl.replace t.link_file_ids (Heap_file.file_id hf) ();
+        hf
+  in
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem t.link_files id) then Hashtbl.replace t.link_files id hf)
+    ids;
+  hf
+
+let bindings t =
+  let dump table =
+    Hashtbl.fold (fun k hf acc -> (k, Heap_file.file_id hf) :: acc) table []
+    |> List.sort compare
+  in
+  (dump t.link_files, dump t.sprime_files)
+
+let bind_link t ~link_id hf =
+  Hashtbl.replace t.link_files link_id hf;
+  Hashtbl.replace t.by_file_id (Heap_file.file_id hf) hf;
+  Hashtbl.replace t.link_file_ids (Heap_file.file_id hf) ()
+
+let bind_sprime t ~rep_id hf =
+  Hashtbl.replace t.sprime_files rep_id hf;
+  Hashtbl.replace t.by_file_id (Heap_file.file_id hf) hf
+
+let reset t =
+  Hashtbl.iter (fun _ hf -> Pager.delete_file t.pager (Heap_file.file_id hf)) t.by_file_id;
+  Hashtbl.reset t.link_files;
+  Hashtbl.reset t.sprime_files;
+  Hashtbl.reset t.by_file_id;
+  Hashtbl.reset t.link_file_ids

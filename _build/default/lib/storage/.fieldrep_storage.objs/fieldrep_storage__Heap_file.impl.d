@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Bytes Fieldrep_util List Oid Page Pager Printf

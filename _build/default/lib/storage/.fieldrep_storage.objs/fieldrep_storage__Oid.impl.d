@@ -1,0 +1,1 @@
+lib/storage/oid.ml: Fieldrep_util Format Hashtbl Int Int64 Stdlib

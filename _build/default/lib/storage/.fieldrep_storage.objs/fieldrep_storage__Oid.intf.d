@@ -1,0 +1,1 @@
+lib/storage/oid.mli: Bytes Format Stdlib

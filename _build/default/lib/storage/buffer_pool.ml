@@ -1,0 +1,128 @@
+exception Exhausted
+
+type frame = {
+  mutable file : int;
+  mutable page : int;
+  mutable pins : int;
+  mutable dirty : bool;
+  mutable referenced : bool;
+  mutable occupied : bool;
+  data : Bytes.t;
+}
+
+type t = {
+  disk : Disk.t;
+  frames : frame array;
+  table : (int * int, int) Hashtbl.t;  (* (file, page) -> frame index *)
+  mutable hand : int;
+}
+
+let create disk ~frames =
+  if frames <= 0 then invalid_arg "Buffer_pool.create: frames must be positive";
+  let make_frame _ =
+    {
+      file = -1;
+      page = -1;
+      pins = 0;
+      dirty = false;
+      referenced = false;
+      occupied = false;
+      data = Bytes.make (Disk.page_size disk) '\000';
+    }
+  in
+  { disk; frames = Array.init frames make_frame; table = Hashtbl.create (2 * frames); hand = 0 }
+
+let capacity t = Array.length t.frames
+let resident t = Hashtbl.length t.table
+
+let write_back t f =
+  if f.dirty then begin
+    Disk.write_page t.disk ~file:f.file ~page:f.page f.data;
+    f.dirty <- false
+  end
+
+let evict_frame t idx =
+  let f = t.frames.(idx) in
+  assert (f.occupied && f.pins = 0);
+  write_back t f;
+  Hashtbl.remove t.table (f.file, f.page);
+  f.occupied <- false;
+  f.referenced <- false
+
+(* Clock sweep: skip pinned frames, give referenced frames a second chance.
+   Two full sweeps with no victim means everything is pinned. *)
+let find_victim t =
+  let n = Array.length t.frames in
+  let rec loop steps =
+    if steps > 2 * n then raise Exhausted
+    else begin
+      let idx = t.hand in
+      t.hand <- (t.hand + 1) mod n;
+      let f = t.frames.(idx) in
+      if not f.occupied then idx
+      else if f.pins > 0 then loop (steps + 1)
+      else if f.referenced then begin
+        f.referenced <- false;
+        loop (steps + 1)
+      end
+      else idx
+    end
+  in
+  loop 0
+
+let install t ~file ~page ~read =
+  let idx = find_victim t in
+  let f = t.frames.(idx) in
+  if f.occupied then evict_frame t idx;
+  f.file <- file;
+  f.page <- page;
+  f.pins <- 0;
+  f.dirty <- false;
+  f.referenced <- true;
+  f.occupied <- true;
+  if read then Disk.read_page t.disk ~file ~page f.data
+  else Bytes.fill f.data 0 (Bytes.length f.data) '\000';
+  Hashtbl.replace t.table (file, page) idx;
+  idx
+
+let lookup t ~file ~page ~for_new =
+  match Hashtbl.find_opt t.table (file, page) with
+  | Some idx ->
+      let stats = Disk.stats t.disk in
+      stats.buffer_hits <- stats.buffer_hits + 1;
+      t.frames.(idx).referenced <- true;
+      idx
+  | None -> install t ~file ~page ~read:(not for_new)
+
+let with_pinned t ~file ~page ~dirty ~for_new fn =
+  let idx = lookup t ~file ~page ~for_new in
+  let f = t.frames.(idx) in
+  f.pins <- f.pins + 1;
+  if dirty then f.dirty <- true;
+  Fun.protect ~finally:(fun () -> f.pins <- f.pins - 1) (fun () -> fn f.data)
+
+let with_page_read t ~file ~page fn =
+  with_pinned t ~file ~page ~dirty:false ~for_new:false fn
+
+let with_page_write t ~file ~page fn =
+  with_pinned t ~file ~page ~dirty:true ~for_new:false fn
+
+let new_page t ~file =
+  let page = Disk.allocate_page t.disk file in
+  let idx = install t ~file ~page ~read:false in
+  t.frames.(idx).dirty <- true;
+  page
+
+let flush t = Array.iter (fun f -> if f.occupied then write_back t f) t.frames
+
+let clear t =
+  flush t;
+  Array.iter
+    (fun f ->
+      if f.occupied then begin
+        if f.pins > 0 then invalid_arg "Buffer_pool.clear: pinned frame";
+        f.occupied <- false;
+        f.referenced <- false
+      end)
+    t.frames;
+  Hashtbl.reset t.table

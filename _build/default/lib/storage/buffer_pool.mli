@@ -1,0 +1,34 @@
+(** Buffer pool with clock (second-chance) replacement.
+
+    All page access from the upper layers goes through [with_page_read] /
+    [with_page_write]; a frame is pinned for the duration of the callback and
+    unpinned afterwards, even on exceptions.  Dirty frames are written back
+    on eviction or on [flush]. *)
+
+type t
+
+val create : Disk.t -> frames:int -> t
+(** [frames] must be positive. *)
+
+val capacity : t -> int
+val resident : t -> int
+
+val with_page_read : t -> file:int -> page:int -> (Bytes.t -> 'a) -> 'a
+(** The callback must not retain the buffer past its return. *)
+
+val with_page_write : t -> file:int -> page:int -> (Bytes.t -> 'a) -> 'a
+(** Like [with_page_read] but marks the frame dirty. *)
+
+val new_page : t -> file:int -> int
+(** Allocate a page on disk and install a zeroed, dirty frame for it without
+    a physical read.  Returns the page number. *)
+
+val flush : t -> unit
+(** Write back all dirty frames (they stay resident and clean). *)
+
+val clear : t -> unit
+(** [flush] then drop every frame — the next access to any page is a
+    physical read.  Used to run experiment queries cold. *)
+
+exception Exhausted
+(** Raised when every frame is pinned and a new page is requested. *)

@@ -1,0 +1,79 @@
+type file = { mutable pages : Bytes.t array; mutable count : int }
+
+type t = {
+  page_size : int;
+  stats : Stats.t;
+  files : (int, file) Hashtbl.t;
+  mutable next_file : int;
+}
+
+let create ?(page_size = 4096) stats =
+  { page_size; stats; files = Hashtbl.create 16; next_file = 0 }
+
+let page_size t = t.page_size
+let stats t = t.stats
+
+let create_file t =
+  let id = t.next_file in
+  t.next_file <- id + 1;
+  Hashtbl.replace t.files id { pages = [||]; count = 0 };
+  id
+
+let delete_file t id = Hashtbl.remove t.files id
+let file_exists t id = Hashtbl.mem t.files id
+
+let find t id =
+  match Hashtbl.find_opt t.files id with
+  | Some f -> f
+  | None -> raise Not_found
+
+let page_count t id = (find t id).count
+
+let allocate_page t id =
+  let f = find t id in
+  if f.count = Array.length f.pages then begin
+    let cap = max 8 (2 * Array.length f.pages) in
+    let pages = Array.make cap Bytes.empty in
+    Array.blit f.pages 0 pages 0 f.count;
+    f.pages <- pages
+  end;
+  let page_no = f.count in
+  f.pages.(page_no) <- Bytes.make t.page_size '\000';
+  f.count <- f.count + 1;
+  t.stats.pages_allocated <- t.stats.pages_allocated + 1;
+  page_no
+
+let check t f page =
+  if page < 0 || page >= f.count then
+    invalid_arg (Printf.sprintf "Disk: page %d out of range (count %d)" page f.count);
+  ignore t
+
+let read_page t ~file ~page buf =
+  let f = find t file in
+  check t f page;
+  assert (Bytes.length buf = t.page_size);
+  Bytes.blit f.pages.(page) 0 buf 0 t.page_size;
+  t.stats.page_reads <- t.stats.page_reads + 1;
+  Stats.record_read t.stats ~file
+
+let write_page t ~file ~page buf =
+  let f = find t file in
+  check t f page;
+  assert (Bytes.length buf = t.page_size);
+  Bytes.blit buf 0 f.pages.(page) 0 t.page_size;
+  t.stats.page_writes <- t.stats.page_writes + 1;
+  Stats.record_write t.stats ~file
+
+let dump_page t ~file ~page =
+  let f = find t file in
+  check t f page;
+  Bytes.copy f.pages.(page)
+
+let restore_file t ~id pages =
+  let count = Array.length pages in
+  Array.iter (fun p -> assert (Bytes.length p = t.page_size)) pages;
+  Hashtbl.replace t.files id { pages = Array.map Bytes.copy pages; count };
+  if id >= t.next_file then t.next_file <- id + 1
+
+let total_pages t = Hashtbl.fold (fun _ f acc -> acc + f.count) t.files 0
+let file_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.files [] |> List.sort Int.compare

@@ -1,0 +1,50 @@
+(** Simulated disk.
+
+    Files are growable arrays of fixed-size pages held in memory.  Every
+    [read_page]/[write_page] increments the shared {!Stats} counters — this
+    is the "hardware" whose I/O the experiments measure.  All access goes
+    through the buffer pool in normal operation. *)
+
+type t
+
+val create : ?page_size:int -> Stats.t -> t
+(** Default page size is 4096 bytes (EXODUS's page size; the cost model's
+    [B = 4056] is this minus per-page bookkeeping). *)
+
+val page_size : t -> int
+val stats : t -> Stats.t
+
+val create_file : t -> int
+(** Returns a fresh file id. *)
+
+val delete_file : t -> int -> unit
+val file_exists : t -> int -> bool
+
+val page_count : t -> int -> int
+(** Number of pages in a file.  Raises [Not_found] for unknown files. *)
+
+val allocate_page : t -> int -> int
+(** [allocate_page t file] appends a zeroed page and returns its page number.
+    Counted in [pages_allocated], not as a read or write. *)
+
+val read_page : t -> file:int -> page:int -> Bytes.t -> unit
+(** Copy a page into the caller's buffer (one physical read). *)
+
+val write_page : t -> file:int -> page:int -> Bytes.t -> unit
+(** Copy the caller's buffer onto the page (one physical write). *)
+
+val total_pages : t -> int
+(** Pages across all files (for space-overhead reporting). *)
+
+val file_ids : t -> int list
+
+(** {1 Image support}
+
+    Raw access used by database save/load; bypasses the I/O counters. *)
+
+val dump_page : t -> file:int -> page:int -> Bytes.t
+(** Copy of the raw page, not counted as a read. *)
+
+val restore_file : t -> id:int -> Bytes.t array -> unit
+(** (Re)create a file with exactly these pages, not counted as writes.
+    Also bumps the internal file-id allocator past [id]. *)

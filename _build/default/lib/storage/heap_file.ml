@@ -1,0 +1,228 @@
+module Wire = Fieldrep_util.Wire
+
+type t = {
+  pager : Pager.t;
+  file : int;
+  reserve : int;  (* bytes kept free per page during inserts (PCTFREE) *)
+  mutable count : int;
+  mutable tail_page : int;  (* page that receives the next append, -1 if none *)
+}
+
+let kind_head = 0
+let kind_segment = 1
+let header_size = 1 + Oid.encoded_size
+
+let encode_segment ~kind ~next payload_sub =
+  let src, src_off, len = payload_sub in
+  let buf = Bytes.create (header_size + len) in
+  let off = Wire.put_u8 buf 0 kind in
+  let off = Oid.encode buf off next in
+  Bytes.blit src src_off buf off len;
+  buf
+
+let decode_header record =
+  let kind, off = Wire.get_u8 record 0 in
+  let next, off = Oid.decode record off in
+  (kind, next, off)
+
+let create ?(reserve = 0) pager =
+  if reserve < 0 then invalid_arg "Heap_file.create: negative reserve";
+  { pager; file = Pager.create_file pager; reserve; count = 0; tail_page = -1 }
+
+let file_id t = t.file
+let pager t = t.pager
+let reserve t = t.reserve
+let object_count t = t.count
+let page_count t = Pager.page_count t.pager t.file
+
+(* The largest record a fresh page can host. *)
+let max_record t =
+  Pager.page_size t.pager - Page.header_size - Page.dir_entry_size
+
+let insert_record t record =
+  (* Inserts honour the per-page reserve so objects have in-page room to
+     grow (hidden replicated fields, link pairs); a record that could never
+     fit alongside the reserve still goes into a fresh page alone. *)
+  let try_page page =
+    Pager.with_page_write t.pager ~file:t.file ~page (fun buf ->
+        let fits_with_reserve =
+          Page.free_space buf >= Bytes.length record + t.reserve
+          || (Page.live_count buf = 0 && Page.fits buf (Bytes.length record))
+        in
+        if fits_with_reserve then Page.insert buf record else None)
+  in
+  let slot, page =
+    match if t.tail_page >= 0 then try_page t.tail_page else None with
+    | Some slot -> (slot, t.tail_page)
+    | None ->
+        let page = Pager.new_page t.pager ~file:t.file in
+        Pager.with_page_write t.pager ~file:t.file ~page (fun buf ->
+            Page.init buf);
+        t.tail_page <- page;
+        let slot =
+          match try_page page with
+          | Some slot -> slot
+          | None -> invalid_arg "Heap_file: record larger than a page"
+        in
+        (slot, page)
+  in
+  { Oid.file = t.file; page; slot }
+
+(* Append the payload from [pos] onwards as a chain of continuation
+   segments, returning the OID of the first one (or nil when done). *)
+let rec spill t payload pos =
+  let remaining = Bytes.length payload - pos in
+  if remaining = 0 then Oid.nil
+  else begin
+    let room = max_record t - header_size in
+    let chunk = min remaining room in
+    let next = spill t payload (pos + chunk) in
+    let record = encode_segment ~kind:kind_segment ~next (payload, pos, chunk) in
+    insert_record t record
+  end
+
+let insert t payload =
+  (* Head goes first so home slots appear in insertion order; oversize
+     payloads spill their tail into segments allocated just after. *)
+  let head_room = max_record t - header_size in
+  let head_chunk = min (Bytes.length payload) head_room in
+  let head_oid =
+    insert_record t (encode_segment ~kind:kind_head ~next:Oid.nil (payload, 0, head_chunk))
+  in
+  let next = spill t payload head_chunk in
+  if not (Oid.is_nil next) then begin
+    let record = encode_segment ~kind:kind_head ~next (payload, 0, head_chunk) in
+    Pager.with_page_write t.pager ~file:t.file ~page:head_oid.Oid.page (fun buf ->
+        let ok = Page.write buf head_oid.Oid.slot record in
+        assert ok)
+  end;
+  t.count <- t.count + 1;
+  (Pager.stats t.pager).objects_written <- (Pager.stats t.pager).objects_written + 1;
+  head_oid
+
+let read_segment t (oid : Oid.t) =
+  if oid.Oid.file <> t.file then invalid_arg "Heap_file: OID from another file";
+  Pager.with_page_read t.pager ~file:t.file ~page:oid.Oid.page (fun buf ->
+      if not (Page.is_live buf oid.Oid.slot) then
+        invalid_arg (Printf.sprintf "Heap_file: dead OID %s" (Oid.to_string oid));
+      Page.read buf oid.Oid.slot)
+
+let read_chain t oid expected_kind =
+  let head = read_segment t oid in
+  let kind, next, off = decode_header head in
+  if kind <> expected_kind then
+    invalid_arg
+      (Printf.sprintf "Heap_file: OID %s is not an object head" (Oid.to_string oid));
+  let first = Bytes.sub head off (Bytes.length head - off) in
+  if Oid.is_nil next then first
+  else begin
+    let parts = ref [ first ] in
+    let cursor = ref next in
+    while not (Oid.is_nil !cursor) do
+      let seg = read_segment t !cursor in
+      let kind, next, off = decode_header seg in
+      if kind <> kind_segment then
+        raise (Wire.Corrupt "Heap_file: bad segment kind in chain");
+      parts := Bytes.sub seg off (Bytes.length seg - off) :: !parts;
+      cursor := next
+    done;
+    Bytes.concat Bytes.empty (List.rev !parts)
+  end
+
+let read t oid =
+  let payload = read_chain t oid kind_head in
+  (Pager.stats t.pager).objects_read <- (Pager.stats t.pager).objects_read + 1;
+  payload
+
+let exists t (oid : Oid.t) =
+  oid.Oid.file = t.file
+  && oid.Oid.page >= 0
+  && oid.Oid.page < page_count t
+  && Pager.with_page_read t.pager ~file:t.file ~page:oid.Oid.page (fun buf ->
+         Page.is_live buf oid.Oid.slot
+         && fst (Wire.get_u8 (Page.read buf oid.Oid.slot) 0) = kind_head)
+
+let free_chain t first =
+  let cursor = ref first in
+  while not (Oid.is_nil !cursor) do
+    let oid = !cursor in
+    let seg = read_segment t oid in
+    let kind, next, _ = decode_header seg in
+    if kind <> kind_segment then raise (Wire.Corrupt "Heap_file: bad chain");
+    Pager.with_page_write t.pager ~file:t.file ~page:oid.Oid.page (fun buf ->
+        Page.delete buf oid.Oid.slot);
+    cursor := next
+  done
+
+let update t (oid : Oid.t) payload =
+  let head = read_segment t oid in
+  let kind, old_next, _ = decode_header head in
+  if kind <> kind_head then
+    invalid_arg "Heap_file.update: OID is not an object head";
+  let write_head record =
+    Pager.with_page_write t.pager ~file:t.file ~page:oid.Oid.page (fun buf ->
+        Page.write buf oid.Oid.slot record)
+  in
+  let full = encode_segment ~kind:kind_head ~next:Oid.nil (payload, 0, Bytes.length payload) in
+  let placed =
+    Bytes.length full <= max_record t && write_head full
+  in
+  if not placed then begin
+    (* Keep the head at its old size (an equal-size write always succeeds)
+       and spill the remainder. *)
+    let head_chunk = min (Bytes.length payload) (Bytes.length head - header_size) in
+    let next = spill t payload head_chunk in
+    let record = encode_segment ~kind:kind_head ~next (payload, 0, head_chunk) in
+    let ok = write_head record in
+    assert ok
+  end;
+  if not (Oid.is_nil old_next) then free_chain t old_next;
+  (Pager.stats t.pager).objects_written <- (Pager.stats t.pager).objects_written + 1
+
+let delete t (oid : Oid.t) =
+  let head = read_segment t oid in
+  let kind, next, _ = decode_header head in
+  if kind <> kind_head then
+    invalid_arg "Heap_file.delete: OID is not an object head";
+  Pager.with_page_write t.pager ~file:t.file ~page:oid.Oid.page (fun buf ->
+      Page.delete buf oid.Oid.slot);
+  if not (Oid.is_nil next) then free_chain t next;
+  t.count <- t.count - 1
+
+let iter_heads t f =
+  let pages = page_count t in
+  for page = 0 to pages - 1 do
+    (* Collect head slots while the page is pinned, then call back unpinned
+       so the callback may itself touch storage. *)
+    let heads =
+      Pager.with_page_read t.pager ~file:t.file ~page (fun buf ->
+          Page.fold
+            (fun acc slot record ->
+              if fst (Wire.get_u8 record 0) = kind_head then slot :: acc else acc)
+            [] buf)
+    in
+    List.iter (fun slot -> f { Oid.file = t.file; page; slot }) (List.rev heads)
+  done
+
+let iter t f = iter_heads t (fun oid -> f oid (read t oid))
+
+let chained_count t =
+  let count = ref 0 in
+  iter_heads t (fun oid ->
+      let head = read_segment t oid in
+      let _, next, _ = decode_header head in
+      if not (Oid.is_nil next) then incr count);
+  !count
+let iter_oids t f = iter_heads t f
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun oid payload -> acc := f !acc oid payload);
+  !acc
+
+let attach ?(reserve = 0) pager ~file =
+  let t =
+    { pager; file; reserve; count = 0; tail_page = Pager.page_count pager file - 1 }
+  in
+  iter_oids t (fun _ -> t.count <- t.count + 1);
+  t

@@ -1,0 +1,68 @@
+(** Heap files of variable-length objects with stable physical OIDs.
+
+    Every object owns a *home slot*; its OID names that slot and never
+    changes.  Stored records are chains of segments:
+
+    {v segment = [ kind:u8 | next:oid(8) | payload chunk ] v}
+
+    with [kind] 0 for the head (the home slot) and 1 for continuation
+    segments.  An object that outgrows its page keeps its head in place —
+    shrunk to a 9-byte chain header if necessary — and spills the rest into
+    continuation segments on other pages, so objects larger than a page and
+    in-place growth (e.g. adding hidden replicated fields) both work without
+    forwarding.
+
+    Objects are laid down in strictly increasing physical order by
+    [insert], which is how the replication engine builds link files and
+    separate-replication files "in the same order as S" (paper §4.1, §5). *)
+
+type t
+
+val create : ?reserve:int -> Pager.t -> t
+(** Create a new file on the pager's disk.  [reserve] bytes are kept free
+    on each page during inserts (a PCTFREE-style fill factor) so objects
+    can later grow in place — e.g. when a [replicate] declaration adds
+    hidden fields — without spilling into continuation segments. *)
+
+val attach : ?reserve:int -> Pager.t -> file:int -> t
+(** Open an existing heap file (scans once to recover the object count). *)
+
+val file_id : t -> int
+val pager : t -> Pager.t
+
+val reserve : t -> int
+(** The per-page insert reserve this handle was opened with. *)
+
+val object_count : t -> int
+(** Live objects (heads only). *)
+
+val page_count : t -> int
+
+val insert : t -> Bytes.t -> Oid.t
+(** Append an object; its home slot lands at or after every previously
+    inserted object's home slot. *)
+
+val read : t -> Oid.t -> Bytes.t
+(** Raises [Invalid_argument] if the OID does not name a live object head. *)
+
+val exists : t -> Oid.t -> bool
+
+val update : t -> Oid.t -> Bytes.t -> unit
+(** Replace the object's payload in place; the OID remains valid even when
+    the object grows or shrinks across the page boundary. *)
+
+val delete : t -> Oid.t -> unit
+(** Frees the home slot and any continuation segments. *)
+
+val iter : t -> (Oid.t -> Bytes.t -> unit) -> unit
+(** Physical order (page then slot), heads only.  The callback receives the
+    payload with chain plumbing stripped. *)
+
+val fold : t -> init:'a -> f:('a -> Oid.t -> Bytes.t -> 'a) -> 'a
+
+val iter_oids : t -> (Oid.t -> unit) -> unit
+(** Like {!iter} without materialising payloads (still reads each page). *)
+
+val chained_count : t -> int
+(** Objects whose payload spans more than one segment — fragmentation
+    introduced by growth beyond the page's free space. *)

@@ -1,0 +1,64 @@
+(** Slotted pages.
+
+    A page is a byte buffer with a 4-byte header, a data area growing up from
+    the header, and a slot directory growing down from the end.  Slots give
+    records stable in-page identifiers across compaction, which is what makes
+    physical OIDs possible.
+
+    Layout:
+    {v
+      [ n_slots:u16 | free_off:u16 | record data ... free ... directory ]
+      directory entry i (4 bytes, at size - 4*(i+1)): [ off:u16 | len:u16 ]
+      off = 0xFFFF marks a free directory entry.
+    v} *)
+
+type slot = int
+
+val header_size : int
+val dir_entry_size : int
+
+val init : Bytes.t -> unit
+(** Format a fresh page in place. *)
+
+val slot_count : Bytes.t -> int
+(** Number of directory entries (live or free). *)
+
+val live_count : Bytes.t -> int
+(** Number of live records. *)
+
+val is_live : Bytes.t -> slot -> bool
+(** [is_live page s] is false for free or out-of-range slots. *)
+
+val free_space : Bytes.t -> int
+(** Bytes available for a new record, assuming its directory entry must be
+    newly allocated and after compaction. *)
+
+val fits : Bytes.t -> int -> bool
+(** [fits page len] — would a record of [len] bytes fit (possibly after
+    compaction)? *)
+
+val insert : Bytes.t -> Bytes.t -> slot option
+(** [insert page data] places a record, compacting if needed.  [None] when it
+    cannot fit. *)
+
+val read : Bytes.t -> slot -> Bytes.t
+(** Copy of the record bytes.  Raises [Invalid_argument] on a dead slot. *)
+
+val read_length : Bytes.t -> slot -> int
+
+val write : Bytes.t -> slot -> Bytes.t -> bool
+(** [write page s data] replaces the record in [s].  Returns [false] when the
+    new record cannot fit even after compaction (the old record is then left
+    intact). *)
+
+val delete : Bytes.t -> slot -> unit
+(** Frees the slot.  Raises [Invalid_argument] on a dead slot. *)
+
+val iter : (slot -> Bytes.t -> unit) -> Bytes.t -> unit
+(** Live records in slot order. *)
+
+val fold : ('a -> slot -> Bytes.t -> 'a) -> 'a -> Bytes.t -> 'a
+
+val compact : Bytes.t -> unit
+(** Squeeze out holes left by deletes and in-place shrinks.  Slot numbers are
+    preserved.  Called automatically by [insert]/[write] when needed. *)

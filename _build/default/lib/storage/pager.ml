@@ -1,0 +1,33 @@
+type t = { disk : Disk.t; pool : Buffer_pool.t; stats : Stats.t }
+
+let create ?(page_size = 4096) ?(frames = 256) () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size stats in
+  { disk; pool = Buffer_pool.create disk ~frames; stats }
+
+let page_size t = Disk.page_size t.disk
+let stats t = t.stats
+let disk t = t.disk
+let create_file t = Disk.create_file t.disk
+
+let delete_file t id =
+  (* Frames of a deleted file must not be written back later. *)
+  Buffer_pool.clear t.pool;
+  Disk.delete_file t.disk id
+
+let page_count t id = Disk.page_count t.disk id
+let with_page_read t = Buffer_pool.with_page_read t.pool
+let with_page_write t = Buffer_pool.with_page_write t.pool
+let new_page t ~file = Buffer_pool.new_page t.pool ~file
+let flush t = Buffer_pool.flush t.pool
+
+let reset_stats t = Stats.reset t.stats
+
+let run_cold t f =
+  Buffer_pool.clear t.pool;
+  Stats.reset t.stats;
+  let result = f () in
+  Buffer_pool.flush t.pool;
+  result
+
+let total_pages t = Disk.total_pages t.disk

@@ -1,0 +1,33 @@
+(** Storage-manager facade: one disk, one buffer pool, one stats block.
+
+    Heap files and B+-trees are built against this interface only, so tests
+    can substitute pool sizes freely and experiments read a single stats
+    block. *)
+
+type t
+
+val create : ?page_size:int -> ?frames:int -> unit -> t
+(** Defaults: 4096-byte pages, 256 frames. *)
+
+val page_size : t -> int
+val stats : t -> Stats.t
+val disk : t -> Disk.t
+val create_file : t -> int
+val delete_file : t -> int -> unit
+val page_count : t -> int -> int
+val with_page_read : t -> file:int -> page:int -> (Bytes.t -> 'a) -> 'a
+val with_page_write : t -> file:int -> page:int -> (Bytes.t -> 'a) -> 'a
+
+val new_page : t -> file:int -> int
+(** Fresh zeroed page, resident and dirty; no physical read. *)
+
+val flush : t -> unit
+
+val run_cold : t -> (unit -> 'a) -> 'a
+(** [run_cold t f] empties the buffer pool, zeroes the stats, runs [f], and
+    flushes — so [stats t] afterwards reflects exactly the cold-cache I/O of
+    [f].  This realises the cost model's assumption that a query reads each
+    page it needs exactly once. *)
+
+val reset_stats : t -> unit
+val total_pages : t -> int

@@ -1,0 +1,75 @@
+type t = {
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable buffer_hits : int;
+  mutable pages_allocated : int;
+  mutable objects_read : int;
+  mutable objects_written : int;
+  by_file : (int, int * int) Hashtbl.t;
+}
+
+let create () =
+  {
+    page_reads = 0;
+    page_writes = 0;
+    buffer_hits = 0;
+    pages_allocated = 0;
+    objects_read = 0;
+    objects_written = 0;
+    by_file = Hashtbl.create 16;
+  }
+
+let reset t =
+  t.page_reads <- 0;
+  t.page_writes <- 0;
+  t.buffer_hits <- 0;
+  t.pages_allocated <- 0;
+  t.objects_read <- 0;
+  t.objects_written <- 0;
+  Hashtbl.reset t.by_file
+
+let record_read t ~file =
+  let r, w = Option.value ~default:(0, 0) (Hashtbl.find_opt t.by_file file) in
+  Hashtbl.replace t.by_file file (r + 1, w)
+
+let record_write t ~file =
+  let r, w = Option.value ~default:(0, 0) (Hashtbl.find_opt t.by_file file) in
+  Hashtbl.replace t.by_file file (r, w + 1)
+
+let file_io t ~file = Option.value ~default:(0, 0) (Hashtbl.find_opt t.by_file file)
+
+let copy t =
+  {
+    page_reads = t.page_reads;
+    page_writes = t.page_writes;
+    buffer_hits = t.buffer_hits;
+    pages_allocated = t.pages_allocated;
+    objects_read = t.objects_read;
+    objects_written = t.objects_written;
+    by_file = Hashtbl.copy t.by_file;
+  }
+
+let diff now before =
+  let by_file = Hashtbl.copy now.by_file in
+  Hashtbl.iter
+    (fun file (r0, w0) ->
+      let r1, w1 = Option.value ~default:(0, 0) (Hashtbl.find_opt by_file file) in
+      Hashtbl.replace by_file file (r1 - r0, w1 - w0))
+    before.by_file;
+  {
+    page_reads = now.page_reads - before.page_reads;
+    page_writes = now.page_writes - before.page_writes;
+    buffer_hits = now.buffer_hits - before.buffer_hits;
+    pages_allocated = now.pages_allocated - before.pages_allocated;
+    objects_read = now.objects_read - before.objects_read;
+    objects_written = now.objects_written - before.objects_written;
+    by_file;
+  }
+
+let total_io t = t.page_reads + t.page_writes
+
+let pp fmt t =
+  Format.fprintf fmt
+    "reads=%d writes=%d hits=%d allocated=%d obj_read=%d obj_written=%d"
+    t.page_reads t.page_writes t.buffer_hits t.pages_allocated t.objects_read
+    t.objects_written

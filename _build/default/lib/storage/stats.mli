@@ -1,0 +1,35 @@
+(** I/O accounting.
+
+    The paper's entire evaluation is in units of page I/Os, so the storage
+    layer counts every physical page read and write.  Buffer-pool hits are
+    tracked separately: a hit is a logical access that costs no I/O. *)
+
+type t = {
+  mutable page_reads : int;  (** physical page reads from disk *)
+  mutable page_writes : int;  (** physical page writes to disk *)
+  mutable buffer_hits : int;  (** logical accesses served from the pool *)
+  mutable pages_allocated : int;
+  mutable objects_read : int;
+  mutable objects_written : int;
+  by_file : (int, int * int) Hashtbl.t;
+      (** per-file (reads, writes) attribution, keyed by disk file id *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val diff : t -> t -> t
+(** [diff now before] is the per-counter difference. *)
+
+val total_io : t -> int
+(** [page_reads + page_writes] — the quantity the paper's C functions
+    estimate. *)
+
+val record_read : t -> file:int -> unit
+val record_write : t -> file:int -> unit
+
+val file_io : t -> file:int -> int * int
+(** (reads, writes) charged to one file since the last reset. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/tableprint.ml: Buffer List Option Printf String

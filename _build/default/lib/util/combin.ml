@@ -1,0 +1,48 @@
+let log_binomial n k =
+  assert (0 <= k && k <= n);
+  (* lgamma-based computation keeps this O(1) and stable for the large
+     populations (|R| up to 500k) used by the cost model. *)
+  let lgamma_int x =
+    (* Stirling series for ln((x-1)!) = ln Gamma(x); exact enough (< 1e-10
+       relative) for x >= 10, with a small exact table below that. *)
+    let rec lift x acc =
+      if x >= 10.0 then (x, acc) else lift (x +. 1.0) (acc -. log x)
+    in
+    let x, shift = lift (float_of_int x) 0.0 in
+    let inv = 1.0 /. x in
+    let inv2 = inv *. inv in
+    shift
+    +. ((x -. 0.5) *. log x) -. x
+    +. (0.5 *. log (2.0 *. Float.pi))
+    +. (inv /. 12.0)
+    -. (inv *. inv2 /. 360.0)
+    +. (inv *. inv2 *. inv2 /. 1260.0)
+  in
+  if k = 0 || k = n then 0.0
+  else lgamma_int (n + 1) -. lgamma_int (k + 1) -. lgamma_int (n - k + 1)
+
+let binomial_ratio a b k =
+  assert (0 <= k && k <= a && a <= b);
+  if k = 0 then 1.0
+  else if a = b then 1.0
+  else exp (log_binomial a k -. log_binomial b k)
+
+let yao ~n ~per_page ~k =
+  assert (n >= 0 && per_page >= 0 && k >= 0);
+  if k = 0 || per_page = 0 || n = 0 then 0.0
+  else if k > n - per_page then 1.0
+  else 1.0 -. binomial_ratio (n - per_page) n k
+
+let expected_pages ~pages ~n ~per_page ~k =
+  float_of_int pages *. yao ~n ~per_page ~k
+
+let ceil_div a b =
+  assert (b > 0);
+  if a <= 0 then 0 else (a + b - 1) / b
+
+let ceil_log ~base n =
+  assert (base >= 2 && n >= 1);
+  let rec loop power count =
+    if power >= n then count else loop (power * base) (count + 1)
+  in
+  loop 1 0

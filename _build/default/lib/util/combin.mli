@@ -1,0 +1,34 @@
+(** Combinatorics for the analytical cost model.
+
+    The central quantity is Yao's block-access estimate [Yao77], used by the
+    paper for every expected-pages-touched term:
+
+    {v y(n, m, k) = 1 - C(n - m, k) / C(n, k) v}
+
+    i.e. the probability that a page holding [m] of [n] objects is touched
+    when [k] objects are picked at random without replacement. *)
+
+val log_binomial : int -> int -> float
+(** [log_binomial n k] is [ln C(n, k)].  Requires [0 <= k <= n]. *)
+
+val binomial_ratio : int -> int -> int -> float
+(** [binomial_ratio a b k] is [C(a, k) / C(b, k)] computed in log space for
+    numerical stability.  Requires [0 <= k <= a <= b].  Returns a value in
+    [0, 1]. *)
+
+val yao : n:int -> per_page:int -> k:int -> float
+(** [yao ~n ~per_page ~k] is the paper's [y(n, per_page, k)]: the probability
+    that a given page containing [per_page] of the [n] objects is touched
+    when [k] distinct objects are accessed.  Edge cases: result is [0.] when
+    [k = 0] or [per_page = 0], and [1.] when [k > n - per_page]. *)
+
+val expected_pages : pages:int -> n:int -> per_page:int -> k:int -> float
+(** [expected_pages ~pages ~n ~per_page ~k] is [pages *. yao ~n ~per_page ~k],
+    the expected number of pages read. *)
+
+val ceil_div : int -> int -> int
+(** Ceiling integer division; divisor must be positive. *)
+
+val ceil_log : base:int -> int -> int
+(** [ceil_log ~base n] is [ceil (log_base n)], with [ceil_log ~base 1 = 0].
+    Requires [base >= 2] and [n >= 1]. *)

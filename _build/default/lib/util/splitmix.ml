@@ -1,0 +1,94 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_nonneg t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  assert (bound > 0);
+  next_nonneg t mod bound
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let max53 = float_of_int (1 lsl 53) in
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  v /. max53 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let permutation t n =
+  let arr = Array.init n (fun i -> i) in
+  shuffle t arr;
+  arr
+
+let sample_without_replacement t ~n ~k =
+  assert (0 <= k && k <= n);
+  if k = 0 then [||]
+  else if 2 * k >= n then Array.sub (permutation t n) 0 k
+  else begin
+    (* Sparse rejection sampling: expected O(k) for k << n. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = int t n in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end
+
+let zipf t ~n ~theta =
+  assert (n > 0);
+  if theta <= 0.0 then int t n
+  else begin
+    (* Gray et al. "Quickly generating billion-record synthetic databases":
+       closed-form inverse for the zipf-like distribution. *)
+    let zeta m s =
+      let acc = ref 0.0 in
+      for i = 1 to m do
+        acc := !acc +. (1.0 /. Float.pow (float_of_int i) s)
+      done;
+      !acc
+    in
+    let zetan = zeta n theta in
+    let alpha = 1.0 /. (1.0 -. theta) in
+    let eta =
+      (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+      /. (1.0 -. (zeta 2 theta /. zetan))
+    in
+    let u = float t 1.0 in
+    let uz = u *. zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. Float.pow 0.5 theta then 1
+    else
+      let v =
+        float_of_int n *. Float.pow ((eta *. u) -. eta +. 1.0) alpha
+      in
+      let v = int_of_float v in
+      if v >= n then n - 1 else if v < 0 then 0 else v
+  end

@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every experiment in the repository must be reproducible from a seed, so
+    all randomness goes through this module rather than [Stdlib.Random]. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy with the same current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive.  Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0 .. n-1]. *)
+
+val sample_without_replacement : t -> n:int -> k:int -> int array
+(** [sample_without_replacement t ~n ~k] draws [k] distinct values from
+    [0 .. n-1], in random order.  Requires [0 <= k <= n]. *)
+
+val zipf : t -> n:int -> theta:float -> int
+(** [zipf t ~n ~theta] draws from a Zipf distribution over [0 .. n-1] with
+    skew [theta] (0 = uniform).  Uses inverse-CDF on a precomputed table is
+    too large for repeated calls, so this uses the standard rejection-free
+    approximation of Gray et al.;  adequate for workload skew generation. *)

@@ -1,0 +1,57 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    let given = Option.value align ~default:[] in
+    List.init ncols (fun i ->
+        match List.nth_opt given i with
+        | Some a -> a
+        | None -> if i = 0 then Left else Right)
+  in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> pad (List.nth aligns i) (List.nth widths i) cell)
+        row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?align ~header rows = print_string (render ?align ~header rows)
+let fixed d v = Printf.sprintf "%.*f" d v
+let pct v = Printf.sprintf "%.1f%%" v

@@ -1,0 +1,21 @@
+(** Aligned plain-text tables for benchmark and experiment output.
+
+    The benchmark harness reports every paper table and figure as text; this
+    keeps the formatting in one place so the output stays diffable. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with a header rule.  Columns
+    default to right-aligned except the first, which is left-aligned; an
+    explicit [align] list (padded with [Right]) overrides this.  Rows shorter
+    than the header are padded with empty cells. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** [print] is [render] followed by [print_string]. *)
+
+val fixed : int -> float -> string
+(** [fixed d v] formats [v] with [d] decimal places. *)
+
+val pct : float -> string
+(** [pct v] formats a percentage with one decimal and a [%] suffix. *)

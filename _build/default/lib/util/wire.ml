@@ -1,0 +1,64 @@
+exception Corrupt of string
+
+let check_bounds buf off len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    raise (Corrupt (Printf.sprintf "out of bounds: off=%d len=%d buflen=%d"
+                      off len (Bytes.length buf)))
+
+let put_u8 buf off v =
+  check_bounds buf off 1;
+  Bytes.unsafe_set buf off (Char.unsafe_chr (v land 0xff));
+  off + 1
+
+let get_u8 buf off =
+  check_bounds buf off 1;
+  (Char.code (Bytes.unsafe_get buf off), off + 1)
+
+let put_u16 buf off v =
+  check_bounds buf off 2;
+  Bytes.set_uint16_le buf off (v land 0xffff);
+  off + 2
+
+let get_u16 buf off =
+  check_bounds buf off 2;
+  (Bytes.get_uint16_le buf off, off + 2)
+
+let put_u32 buf off v =
+  check_bounds buf off 4;
+  assert (v >= 0 && v < 0x1_0000_0000);
+  Bytes.set_int32_le buf off (Int32.of_int v);
+  off + 4
+
+let get_u32 buf off =
+  check_bounds buf off 4;
+  (Int32.to_int (Bytes.get_int32_le buf off) land 0xffff_ffff, off + 4)
+
+let put_i64 buf off v =
+  check_bounds buf off 8;
+  Bytes.set_int64_le buf off v;
+  off + 8
+
+let get_i64 buf off =
+  check_bounds buf off 8;
+  (Bytes.get_int64_le buf off, off + 8)
+
+let put_int buf off v = put_i64 buf off (Int64.of_int v)
+
+let get_int buf off =
+  let v, off = get_i64 buf off in
+  (Int64.to_int v, off)
+
+let put_string buf off s =
+  let n = String.length s in
+  if n >= 0x10000 then raise (Corrupt "string too long");
+  let off = put_u16 buf off n in
+  check_bounds buf off n;
+  Bytes.blit_string s 0 buf off n;
+  off + n
+
+let get_string buf off =
+  let n, off = get_u16 buf off in
+  check_bounds buf off n;
+  (Bytes.sub_string buf off n, off + n)
+
+let string_size s = 2 + String.length s

@@ -1,0 +1,47 @@
+(** Little-endian binary codecs over [Bytes.t].
+
+    All storage-level structures (records, link objects, B+-tree nodes)
+    serialize through this module so that the on-page layout is defined in
+    exactly one place.  Writers take a buffer and an offset and return the
+    offset just past what they wrote; readers mirror that shape. *)
+
+exception Corrupt of string
+(** Raised by readers on malformed input (bad bounds, bad tags). *)
+
+val put_u8 : Bytes.t -> int -> int -> int
+(** [put_u8 buf off v] writes the low 8 bits of [v] at [off]. *)
+
+val get_u8 : Bytes.t -> int -> int * int
+(** [get_u8 buf off] is [(v, off')] with [0 <= v < 256]. *)
+
+val put_u16 : Bytes.t -> int -> int -> int
+(** [put_u16 buf off v] writes the low 16 bits of [v], little-endian. *)
+
+val get_u16 : Bytes.t -> int -> int * int
+
+val put_u32 : Bytes.t -> int -> int -> int
+(** [put_u32 buf off v] writes the low 32 bits of [v]; [v] must be
+    non-negative and fit in 32 bits. *)
+
+val get_u32 : Bytes.t -> int -> int * int
+
+val put_i64 : Bytes.t -> int -> int64 -> int
+val get_i64 : Bytes.t -> int -> int64 * int
+
+val put_int : Bytes.t -> int -> int -> int
+(** [put_int] stores an OCaml [int] as a signed 64-bit value. *)
+
+val get_int : Bytes.t -> int -> int * int
+
+val put_string : Bytes.t -> int -> string -> int
+(** [put_string buf off s] writes a [u16] length prefix followed by the raw
+    bytes of [s].  [String.length s] must be < 65536. *)
+
+val get_string : Bytes.t -> int -> string * int
+
+val string_size : string -> int
+(** Encoded size of a string (2 + length). *)
+
+val check_bounds : Bytes.t -> int -> int -> unit
+(** [check_bounds buf off len] raises {!Corrupt} unless [off, off+len) lies
+    inside [buf]. *)

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Char Fieldrep Fieldrep_costmodel Fieldrep_model Fieldrep_query Fieldrep_replication Fieldrep_storage Fieldrep_util Float List Printf String

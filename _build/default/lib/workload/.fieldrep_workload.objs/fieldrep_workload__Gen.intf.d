@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Fieldrep Fieldrep_costmodel Fieldrep_storage

@@ -1,0 +1,1 @@
+lib/workload/mix.ml: Fieldrep Fieldrep_costmodel Fieldrep_model Fieldrep_query Fieldrep_storage Fieldrep_util Float Gen Printf

@@ -1,0 +1,277 @@
+module Db = Fieldrep.Db
+module Oid = Fieldrep_storage.Oid
+module Heap_file = Fieldrep_storage.Heap_file
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Schema = Fieldrep_model.Schema
+module Path = Fieldrep_model.Path
+module Params = Fieldrep_costmodel.Params
+module Registry = Fieldrep_replication.Registry
+module Store = Fieldrep_replication.Store
+module Engine = Fieldrep_replication.Engine
+module Splitmix = Fieldrep_util.Splitmix
+module Combin = Fieldrep_util.Combin
+
+type spec = {
+  s_count : int;
+  sharing : int;
+  clustering : Params.clustering;
+  strategy : Params.strategy;
+  rep_field_bytes : int;
+  r_pad_bytes : int;
+  s_pad_bytes : int;
+  page_size : int;
+  frames : int;
+  seed : int;
+}
+
+let default_spec =
+  {
+    s_count = 2000;
+    sharing = 1;
+    clustering = Params.Unclustered;
+    strategy = Params.No_replication;
+    rep_field_bytes = 20;
+    r_pad_bytes = 65;
+    s_pad_bytes = 140;
+    page_size = 4096;
+    frames = 512;
+    seed = 42;
+  }
+
+type built = {
+  spec : spec;
+  db : Db.t;
+  r_keys : int array;
+  s_keys : int array;
+}
+
+let r_index = "idx_r_field_r"
+let s_index = "idx_s_field_s"
+let rep_path = Path.parse "R.sref.repfield"
+
+let random_string rng len =
+  String.init len (fun _ -> Char.chr (Char.code 'a' + Splitmix.int rng 26))
+
+let build spec =
+  assert (spec.s_count > 0 && spec.sharing >= 1);
+  let rng = Splitmix.create spec.seed in
+  let db = Db.create ~page_size:spec.page_size ~frames:spec.frames () in
+  Db.define_type db
+    (Ty.make ~name:"STYPE"
+       [
+         { Ty.fname = "field_s"; ftype = Ty.Scalar Ty.SInt };
+         { Ty.fname = "repfield"; ftype = Ty.Scalar Ty.SString };
+         { Ty.fname = "pad"; ftype = Ty.Scalar Ty.SString };
+       ]);
+  Db.define_type db
+    (Ty.make ~name:"RTYPE"
+       [
+         { Ty.fname = "field_r"; ftype = Ty.Scalar Ty.SInt };
+         { Ty.fname = "pad"; ftype = Ty.Scalar Ty.SString };
+         { Ty.fname = "sref"; ftype = Ty.Ref "STYPE" };
+       ]);
+  (* Reserve in-page room for the growth replication will cause: hidden
+     fields in R (a k-byte string copy or an 8-byte S' reference) and a
+     (link-OID, link-ID) pair in S.  Without the reserve every object would
+     spill into a continuation segment when the hidden data arrives,
+     doubling the pages touched per object. *)
+  let per_page_estimate rec_bytes = max 1 (spec.page_size / (rec_bytes + 13)) in
+  let r_growth =
+    match spec.strategy with
+    | Params.No_replication -> 0
+    | Params.Inplace -> spec.rep_field_bytes + 3
+    | Params.Separate -> 9
+  in
+  let s_growth = match spec.strategy with Params.No_replication -> 0 | Params.Inplace | Params.Separate -> 12 in
+  let r_reserve = per_page_estimate (26 + spec.r_pad_bytes) * r_growth * 11 / 10 in
+  let s_reserve =
+    per_page_estimate (31 + spec.rep_field_bytes + spec.s_pad_bytes) * s_growth * 11 / 10
+  in
+  Db.create_set db ~reserve:s_reserve ~name:"S" ~elem_type:"STYPE" ();
+  Db.create_set db ~reserve:r_reserve ~name:"R" ~elem_type:"RTYPE" ();
+  let r_count = spec.s_count * spec.sharing in
+  (* Key assignment: insertion order equals key order in the clustered
+     setting; a random permutation otherwise. *)
+  let keys n =
+    match spec.clustering with
+    | Params.Clustered -> Array.init n (fun i -> i)
+    | Params.Unclustered -> Splitmix.permutation rng n
+  in
+  let s_keys = keys spec.s_count in
+  let r_keys = keys r_count in
+  let s_oids =
+    Array.init spec.s_count (fun i ->
+        Db.insert db ~set:"S"
+          [
+            Value.VInt s_keys.(i);
+            Value.VString (random_string rng spec.rep_field_bytes);
+            Value.VString (random_string rng spec.s_pad_bytes);
+          ])
+  in
+  (* Exactly f references to each S object, shuffled: R and S relatively
+     unclustered, the model's central layout assumption (§6.2). *)
+  let refs = Array.init r_count (fun i -> s_oids.(i mod spec.s_count)) in
+  Splitmix.shuffle rng refs;
+  Array.iteri
+    (fun i key ->
+      ignore
+        (Db.insert db ~set:"R"
+           [
+             Value.VInt key;
+             Value.VString (random_string rng spec.r_pad_bytes);
+             Value.VRef refs.(i);
+           ]))
+    r_keys;
+  let clustered = spec.clustering = Params.Clustered in
+  Db.build_index db ~name:r_index ~set:"R" ~field:"field_r" ~clustered;
+  Db.build_index db ~name:s_index ~set:"S" ~field:"field_s" ~clustered;
+  (match spec.strategy with
+  | Params.No_replication -> ()
+  | Params.Inplace -> Db.replicate db ~strategy:Schema.Inplace rep_path
+  | Params.Separate -> Db.replicate db ~strategy:Schema.Separate rep_path);
+  { spec; db; r_keys; s_keys }
+
+(* ------------------------------------------------------------------ *)
+(* Model parameters from the actual physical layout                    *)
+
+let round_div a b = if b = 0 then 0 else int_of_float (Float.round (float_of_int a /. float_of_int b))
+
+let measured_params built ~read_sel ~update_sel =
+  let spec = built.spec in
+  let db = built.db in
+  let r_count = spec.s_count * spec.sharing in
+  let p_r = Db.set_pages db "R" in
+  let p_s = Db.set_pages db "S" in
+  let eng = Db.engine db in
+  let rep = Schema.find_replication (Db.schema db) rep_path in
+  let p_l, o_l =
+    match rep with
+    | Some r when r.Schema.strategy = Schema.Inplace -> (
+        let node = List.hd (Registry.roots eng.Engine.registry "R") in
+        match node.Registry.link_id with
+        | Some id -> (
+            match Store.link_file_opt eng.Engine.store id with
+            | Some hf when Heap_file.page_count hf > 0 ->
+                (Heap_file.page_count hf, round_div spec.s_count (Heap_file.page_count hf))
+            | Some _ | None -> (0, 1))
+        | None -> (0, 1))
+    | Some _ | None -> (0, 1)
+  in
+  let p_sprime, o_sprime =
+    match rep with
+    | Some r when r.Schema.strategy = Schema.Separate -> (
+        match Store.sprime_file_opt eng.Engine.store r.Schema.rep_id with
+        | Some hf -> (Heap_file.page_count hf, round_div spec.s_count (Heap_file.page_count hf))
+        | None -> (0, 1))
+    | Some _ | None -> (0, 1)
+  in
+  let rstats = Db.index_stats db ~index:r_index in
+  let fanout = max 2 (round_div rstats.Db.entries (max 1 rstats.Db.leaves)) in
+  let read_objects = max 1 (int_of_float (Float.round (read_sel *. float_of_int r_count))) in
+  let update_objects =
+    max 1 (int_of_float (Float.round (update_sel *. float_of_int spec.s_count)))
+  in
+  (* Output density: measure one sample result file. *)
+  let o_t =
+    let q =
+      {
+        Fieldrep_query.Ast.from_set = "R";
+        projections = [ "field_r"; "pad"; "sref.repfield" ];
+        where = Some (Fieldrep_query.Ast.between "field_r" (Value.VInt 0) (Value.VInt (read_objects - 1)));
+      }
+    in
+    let res = Fieldrep_query.Exec.retrieve db q in
+    let per_page = round_div res.Fieldrep_query.Exec.rows (max 1 res.Fieldrep_query.Exec.output_pages) in
+    Fieldrep_query.Exec.drop_output db res.Fieldrep_query.Exec.output_file;
+    max 1 per_page
+  in
+  let strategy = spec.strategy in
+  let params =
+    {
+      Params.default with
+      Params.s_count = spec.s_count;
+      sharing = spec.sharing;
+      read_sel;
+      update_sel;
+      fanout;
+      rep_field_bytes = spec.rep_field_bytes;
+      small_link_elim = true;
+    }
+  in
+  let nominal = Params.derive params strategy in
+  let derived =
+    {
+      nominal with
+      Params.r_count;
+      o_r = round_div r_count p_r;
+      o_s = round_div spec.s_count p_s;
+      o_sprime;
+      o_l;
+      o_t;
+      p_r;
+      p_s;
+      p_sprime;
+      p_l;
+      read_objects;
+      update_objects;
+      p_t = Combin.ceil_div read_objects o_t;
+    }
+  in
+  (params, derived)
+
+(* ------------------------------------------------------------------ *)
+(* The paper's employee database                                       *)
+
+let employee_db ?(norgs = 5) ?(ndepts = 20) ?(nemps = 500) ?(seed = 7) () =
+  let rng = Splitmix.create seed in
+  let db = Db.create ~page_size:4096 ~frames:256 () in
+  Db.define_type db
+    (Ty.make ~name:"ORG"
+       [
+         { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+         { Ty.fname = "budget"; ftype = Ty.Scalar Ty.SInt };
+       ]);
+  Db.define_type db
+    (Ty.make ~name:"DEPT"
+       [
+         { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+         { Ty.fname = "budget"; ftype = Ty.Scalar Ty.SInt };
+         { Ty.fname = "org"; ftype = Ty.Ref "ORG" };
+       ]);
+  Db.define_type db
+    (Ty.make ~name:"EMP"
+       [
+         { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+         { Ty.fname = "age"; ftype = Ty.Scalar Ty.SInt };
+         { Ty.fname = "salary"; ftype = Ty.Scalar Ty.SInt };
+         { Ty.fname = "dept"; ftype = Ty.Ref "DEPT" };
+       ]);
+  Db.create_set db ~name:"Org" ~elem_type:"ORG" ();
+  Db.create_set db ~name:"Dept" ~elem_type:"DEPT" ();
+  Db.create_set db ~name:"Emp1" ~elem_type:"EMP" ();
+  let orgs =
+    Array.init norgs (fun i ->
+        Db.insert db ~set:"Org"
+          [ Value.VString (Printf.sprintf "org-%02d" i); Value.VInt (100_000 * (i + 1)) ])
+  in
+  let depts =
+    Array.init ndepts (fun i ->
+        Db.insert db ~set:"Dept"
+          [
+            Value.VString (Printf.sprintf "dept-%02d" i);
+            Value.VInt (10_000 + (100 * i));
+            Value.VRef orgs.(i mod norgs);
+          ])
+  in
+  for i = 0 to nemps - 1 do
+    ignore
+      (Db.insert db ~set:"Emp1"
+         [
+           Value.VString (Printf.sprintf "emp-%04d" i);
+           Value.VInt (21 + Splitmix.int rng 44);
+           Value.VInt (30_000 + Splitmix.int rng 120_000);
+           Value.VRef depts.(Splitmix.int rng ndepts);
+         ])
+  done;
+  db

@@ -1,0 +1,63 @@
+(** Synthetic database generation for the experiments.
+
+    Builds the cost model's two-set schema (paper §6):
+
+    {v define type RTYPE (field_r: int, pad: char[], sref: ref STYPE)
+       define type STYPE (field_s: int, repfield: char[], pad: char[]) v}
+
+    with exactly [sharing] R objects per S object, R and S *relatively
+    unclustered* (reference assignment shuffled — the paper's key layout
+    assumption), B+-tree indexes on [field_r] and [field_s], and optionally
+    a replication path on [R.sref.repfield].
+
+    Clustered setting: objects are laid down in key order so the indexes
+    are clustered.  Unclustered: key values are a random permutation of the
+    insertion order. *)
+
+module Db = Fieldrep.Db
+module Oid = Fieldrep_storage.Oid
+module Params = Fieldrep_costmodel.Params
+
+type spec = {
+  s_count : int;
+  sharing : int;  (** f *)
+  clustering : Params.clustering;
+  strategy : Params.strategy;
+  rep_field_bytes : int;  (** k: length of [repfield] strings *)
+  r_pad_bytes : int;  (** padding string length in R objects *)
+  s_pad_bytes : int;
+  page_size : int;
+  frames : int;
+  seed : int;
+}
+
+val default_spec : spec
+(** |S| = 2000, f = 1, unclustered, no replication, k = 20, pads sized so
+    R ≈ 100 and S ≈ 200 bytes as in the paper, 4096-byte pages. *)
+
+type built = {
+  spec : spec;
+  db : Db.t;
+  r_keys : int array;  (** key of R object i (R objects hold keys 0..|R|-1) *)
+  s_keys : int array;
+}
+
+val build : spec -> built
+(** Deterministic in [spec.seed]. *)
+
+val r_index : string
+(** Name of the index on [R.field_r]. *)
+
+val s_index : string
+
+val measured_params : built -> read_sel:float -> update_sel:float -> Params.t * Params.derived
+(** Cost-model parameters derived from the *actual* layout: measured pages
+    and objects-per-page for R, S, S', L, the real index fanout, and the
+    real output-tuple density.  Feeding these to {!Fieldrep_costmodel.Cost}
+    prices the model on the same physical database the measurements run
+    against. *)
+
+val employee_db :
+  ?norgs:int -> ?ndepts:int -> ?nemps:int -> ?seed:int -> unit -> Db.t
+(** The paper's §2 employee database (sets Org, Dept, Emp1), populated with
+    deterministic data.  Used by examples and integration tests. *)

@@ -1,0 +1,103 @@
+module Db = Fieldrep.Db
+module Pager = Fieldrep_storage.Pager
+module Stats = Fieldrep_storage.Stats
+module Value = Fieldrep_model.Value
+module Ast = Fieldrep_query.Ast
+module Exec = Fieldrep_query.Exec
+module Params = Fieldrep_costmodel.Params
+module Cost = Fieldrep_costmodel.Cost
+module Splitmix = Fieldrep_util.Splitmix
+
+type measurement = {
+  read_queries : int;
+  update_queries : int;
+  avg_read_io : float;
+  avg_update_io : float;
+}
+
+let cold_io db f =
+  Pager.run_cold (Db.pager db) f;
+  float_of_int (Stats.total_io (Db.stats db))
+
+let read_query built rng ~read_sel =
+  let spec = built.Gen.spec in
+  let r_count = spec.Gen.s_count * spec.Gen.sharing in
+  let k = max 1 (int_of_float (Float.round (read_sel *. float_of_int r_count))) in
+  let lo = Splitmix.int rng (max 1 (r_count - k + 1)) in
+  {
+    Ast.from_set = "R";
+    projections = [ "field_r"; "pad"; "sref.repfield" ];
+    where = Some (Ast.between "field_r" (Value.VInt lo) (Value.VInt (lo + k - 1)));
+  }
+
+let update_query built rng ~update_sel =
+  let spec = built.Gen.spec in
+  let k = max 1 (int_of_float (Float.round (update_sel *. float_of_int spec.Gen.s_count))) in
+  let lo = Splitmix.int rng (max 1 (spec.Gen.s_count - k + 1)) in
+  let stamp = Splitmix.int rng 1_000_000 in
+  {
+    Ast.target_set = "S";
+    assignments =
+      [
+        ( "repfield",
+          Ast.Computed
+            (fun oid ->
+              Value.VString
+                (Printf.sprintf "%0*d" spec.Gen.rep_field_bytes
+                   ((stamp + oid.Fieldrep_storage.Oid.slot) mod 1_000_000))) );
+      ];
+    rwhere = Some (Ast.between "field_s" (Value.VInt lo) (Value.VInt (lo + k - 1)));
+  }
+
+let measure built ~read_sel ~update_sel ?(queries = 20) ?(seed = 99) () =
+  let db = built.Gen.db in
+  let rng = Splitmix.create seed in
+  let read_total = ref 0.0 in
+  for _ = 1 to queries do
+    let q = read_query built rng ~read_sel in
+    read_total :=
+      !read_total
+      +. cold_io db (fun () ->
+             let res = Exec.retrieve db q in
+             Exec.drop_output db res.Exec.output_file)
+  done;
+  let update_total = ref 0.0 in
+  for _ = 1 to queries do
+    let q = update_query built rng ~update_sel in
+    update_total := !update_total +. cold_io db (fun () -> ignore (Exec.replace db q))
+  done;
+  {
+    read_queries = queries;
+    update_queries = queries;
+    avg_read_io = !read_total /. float_of_int queries;
+    avg_update_io = !update_total /. float_of_int queries;
+  }
+
+let mixed_cost m ~update_prob =
+  ((1.0 -. update_prob) *. m.avg_read_io) +. (update_prob *. m.avg_update_io)
+
+type comparison = {
+  strategy : Params.strategy;
+  clustering : Params.clustering;
+  sharing : int;
+  measured_read : float;
+  model_read : float;
+  measured_update : float;
+  model_update : float;
+}
+
+let validate spec ~read_sel ~update_sel ?(queries = 20) () =
+  let built = Gen.build spec in
+  let m = measure built ~read_sel ~update_sel ~queries () in
+  let params, derived = Gen.measured_params built ~read_sel ~update_sel in
+  let strategy = spec.Gen.strategy in
+  let clustering = spec.Gen.clustering in
+  {
+    strategy;
+    clustering;
+    sharing = spec.Gen.sharing;
+    measured_read = m.avg_read_io;
+    model_read = Cost.sum (Cost.read_with params derived strategy clustering);
+    measured_update = m.avg_update_io;
+    model_update = Cost.sum (Cost.update_with params derived strategy clustering);
+  }

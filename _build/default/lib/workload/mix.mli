@@ -1,0 +1,44 @@
+(** Query-mix driver: runs the cost model's read and update queries against
+    a generated database and measures real page I/O.
+
+    Each query runs *cold* (empty buffer pool, zeroed counters) so the
+    measured I/O is the number of distinct pages touched — the same quantity
+    the analytical model estimates under its "optimal join" assumption
+    (paper §6.2). *)
+
+type measurement = {
+  read_queries : int;
+  update_queries : int;
+  avg_read_io : float;  (** mean page reads+writes per read query *)
+  avg_update_io : float;
+}
+
+val measure :
+  Gen.built ->
+  read_sel:float ->
+  update_sel:float ->
+  ?queries:int ->
+  ?seed:int ->
+  unit ->
+  measurement
+(** Runs [queries] read queries and [queries] update queries (default 20)
+    at random key ranges of the given selectivities. *)
+
+val mixed_cost : measurement -> update_prob:float -> float
+(** C_total of the measured costs under a query mix. *)
+
+type comparison = {
+  strategy : Fieldrep_costmodel.Params.strategy;
+  clustering : Fieldrep_costmodel.Params.clustering;
+  sharing : int;
+  measured_read : float;
+  model_read : float;
+  measured_update : float;
+  model_update : float;
+}
+
+val validate :
+  Gen.spec -> read_sel:float -> update_sel:float -> ?queries:int -> unit -> comparison
+(** Build the database for [spec], measure, and price the analytical model
+    with the measured physical layout ({!Gen.measured_params}) — the
+    experiment the paper never ran: model vs implementation. *)

@@ -1,0 +1,401 @@
+(* Tests for the page-based B+-tree: ordering, duplicates, splits, deletes
+   with rebalancing, range scans, bulk load, and model-based properties. *)
+
+module Oid = Fieldrep_storage.Oid
+module Pager = Fieldrep_storage.Pager
+module Btree = Fieldrep_btree.Btree
+module Key = Fieldrep_btree.Key
+module Splitmix = Fieldrep_util.Splitmix
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let oid i = { Oid.file = 1; page = i / 100; slot = i mod 100 }
+let mk_pager ?(page_size = 512) () = Pager.create ~page_size ~frames:64 ()
+
+let mk_tree ?page_size ?max_leaf_entries ?max_internal_entries () =
+  Btree.create ?max_leaf_entries ?max_internal_entries (mk_pager ?page_size ())
+
+(* ------------------------------------------------------------------ *)
+(* Key                                                                 *)
+
+let test_key_roundtrip () =
+  List.iter
+    (fun k ->
+      let buf = Bytes.create (Key.encoded_size k) in
+      ignore (Key.encode buf 0 k);
+      let k', off = Key.decode buf 0 in
+      checkb "equal" true (Key.equal k k');
+      checki "size" (Key.encoded_size k) off)
+    [ Key.Int 0; Key.Int (-5); Key.Int max_int; Key.String ""; Key.String "salary" ]
+
+let test_key_order () =
+  checkb "int order" true (Key.compare (Key.Int 1) (Key.Int 2) < 0);
+  checkb "string order" true (Key.compare (Key.String "a") (Key.String "b") < 0);
+  checkb "same variant check" true (Key.same_variant (Key.Int 1) (Key.Int 9));
+  checkb "cross variant check" false (Key.same_variant (Key.Int 1) (Key.String "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Basic operations                                                    *)
+
+let test_insert_find () =
+  let t = mk_tree () in
+  for i = 0 to 99 do
+    Btree.insert t (Key.Int i) (oid i)
+  done;
+  checki "count" 100 (Btree.entry_count t);
+  for i = 0 to 99 do
+    match Btree.find_first t (Key.Int i) with
+    | Some o -> checkb "found right oid" true (Oid.equal o (oid i))
+    | None -> Alcotest.failf "missing key %d" i
+  done;
+  checkb "absent key" true (Btree.find_first t (Key.Int 1000) = None);
+  Btree.check_invariants t
+
+let test_duplicate_keys () =
+  let t = mk_tree () in
+  for i = 0 to 9 do
+    Btree.insert t (Key.Int 5) (oid i)
+  done;
+  let oids = Btree.find t (Key.Int 5) in
+  checki "all duplicates found" 10 (List.length oids);
+  (* Returned in OID order. *)
+  let sorted = List.sort Oid.compare oids in
+  checkb "oid order" true (List.equal Oid.equal oids sorted);
+  Btree.check_invariants t
+
+let test_duplicate_entry_rejected () =
+  let t = mk_tree () in
+  Btree.insert t (Key.Int 1) (oid 1);
+  try
+    Btree.insert t (Key.Int 1) (oid 1);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_mixed_variants_rejected () =
+  let t = mk_tree () in
+  Btree.insert t (Key.Int 1) (oid 1);
+  try
+    Btree.insert t (Key.String "x") (oid 2);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_string_keys () =
+  let t = mk_tree () in
+  let words = [ "zeta"; "alpha"; "mu"; "beta"; "omega"; "gamma" ] in
+  List.iteri (fun i w -> Btree.insert t (Key.String w) (oid i)) words;
+  let collected = ref [] in
+  Btree.iter_all t (fun k _ -> collected := k :: !collected);
+  let got = List.rev_map (function Key.String s -> s | Key.Int _ -> "?") !collected in
+  Alcotest.(check (list string)) "sorted" (List.sort String.compare words) got;
+  Btree.check_invariants t
+
+(* ------------------------------------------------------------------ *)
+(* Splits / height growth                                              *)
+
+let test_split_growth () =
+  let t = mk_tree ~page_size:256 () in
+  checki "initial height" 1 (Btree.height t);
+  for i = 0 to 499 do
+    Btree.insert t (Key.Int i) (oid i)
+  done;
+  checkb "grew" true (Btree.height t >= 3);
+  Btree.check_invariants t;
+  for i = 0 to 499 do
+    checkb "all present" true (Btree.find_first t (Key.Int i) <> None)
+  done
+
+let test_capped_fanout () =
+  let t = mk_tree ~max_leaf_entries:4 ~max_internal_entries:4 () in
+  for i = 0 to 63 do
+    Btree.insert t (Key.Int i) (oid i)
+  done;
+  Btree.check_invariants t;
+  (* With fanout <= 5 and 64 entries, height must be at least 3. *)
+  checkb "height reflects cap" true (Btree.height t >= 3)
+
+let test_reverse_and_random_insert_orders () =
+  List.iter
+    (fun order ->
+      let t = mk_tree ~page_size:256 () in
+      Array.iter (fun i -> Btree.insert t (Key.Int i) (oid i)) order;
+      Btree.check_invariants t;
+      let prev = ref min_int in
+      Btree.iter_all t (fun k _ ->
+          match k with
+          | Key.Int v ->
+              checkb "ascending" true (v > !prev);
+              prev := v
+          | Key.String _ -> Alcotest.fail "unexpected"))
+    [
+      Array.init 300 (fun i -> 299 - i);
+      Splitmix.permutation (Splitmix.create 5) 300;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Range scans                                                         *)
+
+let test_range_scan () =
+  let t = mk_tree ~page_size:256 () in
+  for i = 0 to 199 do
+    Btree.insert t (Key.Int (2 * i)) (oid i)
+  done;
+  let seen =
+    Btree.fold_range t ~lo:(Key.Int 100) ~hi:(Key.Int 120) ~init:[] ~f:(fun acc k _ ->
+        k :: acc)
+  in
+  let expected = List.init 11 (fun i -> Key.Int (100 + (2 * i))) in
+  Alcotest.(check (list string))
+    "inclusive range"
+    (List.map Key.to_string expected)
+    (List.rev_map Key.to_string seen)
+
+let test_range_scan_empty_and_degenerate () =
+  let t = mk_tree () in
+  Btree.iter_range t ~lo:(Key.Int 0) ~hi:(Key.Int 100) (fun _ _ ->
+      Alcotest.fail "empty tree yields nothing");
+  Btree.insert t (Key.Int 5) (oid 1);
+  Btree.iter_range t ~lo:(Key.Int 10) ~hi:(Key.Int 0) (fun _ _ ->
+      Alcotest.fail "inverted range yields nothing");
+  let hits = ref 0 in
+  Btree.iter_range t ~lo:(Key.Int 5) ~hi:(Key.Int 5) (fun _ _ -> incr hits);
+  checki "point range" 1 !hits
+
+let test_range_scan_spans_leaves () =
+  let t = mk_tree ~max_leaf_entries:4 () in
+  for i = 0 to 99 do
+    Btree.insert t (Key.Int i) (oid i)
+  done;
+  let count = ref 0 in
+  Btree.iter_range t ~lo:(Key.Int 10) ~hi:(Key.Int 89) (fun _ _ -> incr count);
+  checki "spans many leaves" 80 !count
+
+(* ------------------------------------------------------------------ *)
+(* Deletes                                                             *)
+
+let test_delete_basic () =
+  let t = mk_tree () in
+  for i = 0 to 49 do
+    Btree.insert t (Key.Int i) (oid i)
+  done;
+  checkb "delete present" true (Btree.delete t (Key.Int 25) (oid 25));
+  checkb "delete absent" false (Btree.delete t (Key.Int 25) (oid 25));
+  checkb "gone" true (Btree.find_first t (Key.Int 25) = None);
+  checki "count" 49 (Btree.entry_count t);
+  Btree.check_invariants t
+
+let test_delete_one_duplicate () =
+  let t = mk_tree () in
+  for i = 0 to 5 do
+    Btree.insert t (Key.Int 7) (oid i)
+  done;
+  checkb "deleted" true (Btree.delete t (Key.Int 7) (oid 3));
+  let remaining = Btree.find t (Key.Int 7) in
+  checki "five left" 5 (List.length remaining);
+  checkb "right one removed" false (List.exists (Oid.equal (oid 3)) remaining)
+
+let test_delete_everything () =
+  let t = mk_tree ~page_size:256 () in
+  let n = 400 in
+  for i = 0 to n - 1 do
+    Btree.insert t (Key.Int i) (oid i)
+  done;
+  let order = Splitmix.permutation (Splitmix.create 9) n in
+  Array.iter (fun i -> checkb "deleted" true (Btree.delete t (Key.Int i) (oid i))) order;
+  checki "empty" 0 (Btree.entry_count t);
+  checki "height collapsed" 1 (Btree.height t);
+  Btree.check_invariants t;
+  (* Tree is reusable after being emptied. *)
+  Btree.insert t (Key.Int 1) (oid 1);
+  checkb "reusable" true (Btree.find_first t (Key.Int 1) <> None)
+
+let test_delete_interleaved_with_insert () =
+  let t = mk_tree ~page_size:256 () in
+  let rng = Splitmix.create 21 in
+  let model = Hashtbl.create 64 in
+  for round = 0 to 1500 do
+    let k = Splitmix.int rng 200 in
+    if Splitmix.bool rng then begin
+      if not (Hashtbl.mem model k) then begin
+        Btree.insert t (Key.Int k) (oid k);
+        Hashtbl.add model k ()
+      end
+    end
+    else begin
+      let present = Hashtbl.mem model k in
+      let deleted = Btree.delete t (Key.Int k) (oid k) in
+      checkb "delete agrees with model" present deleted;
+      if present then Hashtbl.remove model k
+    end;
+    if round mod 300 = 0 then Btree.check_invariants t
+  done;
+  Btree.check_invariants t;
+  checki "final count" (Hashtbl.length model) (Btree.entry_count t)
+
+(* ------------------------------------------------------------------ *)
+(* Bulk load                                                           *)
+
+let test_bulk_load_matches_inserts () =
+  let entries = Array.init 1000 (fun i -> (Key.Int (i * 3), oid i)) in
+  let t = mk_tree ~page_size:256 () in
+  (* Bulk load from a shuffled copy; internal sort must fix the order. *)
+  let shuffled = Array.copy entries in
+  Splitmix.shuffle (Splitmix.create 31) shuffled;
+  Btree.bulk_load t shuffled;
+  checki "count" 1000 (Btree.entry_count t);
+  Btree.check_invariants t;
+  Array.iter
+    (fun (k, o) ->
+      match Btree.find_first t k with
+      | Some found -> checkb "present" true (Oid.equal found o)
+      | None -> Alcotest.failf "missing %s" (Key.to_string k))
+    entries
+
+let test_bulk_load_empty_and_single () =
+  let t = mk_tree () in
+  Btree.bulk_load t [||];
+  checki "empty" 0 (Btree.entry_count t);
+  let t2 = mk_tree () in
+  Btree.bulk_load t2 [| (Key.Int 9, oid 9) |];
+  checki "single" 1 (Btree.entry_count t2);
+  Btree.check_invariants t2
+
+let test_bulk_load_rejects_nonempty () =
+  let t = mk_tree () in
+  Btree.insert t (Key.Int 1) (oid 1);
+  try
+    Btree.bulk_load t [| (Key.Int 2, oid 2) |];
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_bulk_load_then_mutate () =
+  let t = mk_tree ~page_size:256 () in
+  Btree.bulk_load t (Array.init 500 (fun i -> (Key.Int i, oid i)));
+  for i = 500 to 599 do
+    Btree.insert t (Key.Int i) (oid i)
+  done;
+  for i = 0 to 99 do
+    checkb "deleted" true (Btree.delete t (Key.Int i) (oid i))
+  done;
+  Btree.check_invariants t;
+  checki "count" 500 (Btree.entry_count t)
+
+(* ------------------------------------------------------------------ *)
+(* I/O behaviour                                                       *)
+
+let test_lookup_io_is_height_bound () =
+  let pager = Pager.create ~page_size:512 ~frames:128 () in
+  let t = Btree.create pager in
+  for i = 0 to 4999 do
+    Btree.insert t (Key.Int i) (oid i)
+  done;
+  let h = Btree.height t in
+  Pager.run_cold pager (fun () -> ignore (Btree.find_first t (Key.Int 2500)));
+  let reads = (Pager.stats pager).Fieldrep_storage.Stats.page_reads in
+  checkb "descent reads <= height + 1" true (reads <= h + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"btree matches sorted-assoc model" ~count:40
+      (list_of_size Gen.(1 -- 300) (pair (int_range 0 100) bool))
+      (fun ops ->
+        let t = mk_tree ~page_size:256 () in
+        let model = Hashtbl.create 64 in
+        List.iter
+          (fun (k, ins) ->
+            if ins then begin
+              if not (Hashtbl.mem model k) then begin
+                Btree.insert t (Key.Int k) (oid k);
+                Hashtbl.add model k ()
+              end
+            end
+            else begin
+              ignore (Btree.delete t (Key.Int k) (oid k));
+              Hashtbl.remove model k
+            end)
+          ops;
+        Btree.check_invariants t;
+        let expected = Hashtbl.fold (fun k () acc -> k :: acc) model [] in
+        let expected = List.sort Int.compare expected in
+        let got = ref [] in
+        Btree.iter_all t (fun k _ ->
+            match k with Key.Int v -> got := v :: !got | Key.String _ -> ());
+        List.rev !got = expected);
+    Test.make ~name:"range scan agrees with filter" ~count:40
+      (triple (list_of_size Gen.(0 -- 150) (int_range 0 500)) (int_range 0 500) (int_range 0 500))
+      (fun (keys, a, b) ->
+        let lo = min a b and hi = max a b in
+        let keys = List.sort_uniq Int.compare keys in
+        let t = mk_tree ~page_size:256 () in
+        List.iter (fun k -> Btree.insert t (Key.Int k) (oid k)) keys;
+        let expected = List.filter (fun k -> k >= lo && k <= hi) keys in
+        let got =
+          Btree.fold_range t ~lo:(Key.Int lo) ~hi:(Key.Int hi) ~init:[] ~f:(fun acc k _ ->
+              match k with Key.Int v -> v :: acc | Key.String _ -> acc)
+        in
+        List.rev got = expected);
+    Test.make ~name:"bulk load equals incremental build" ~count:25
+      (list_of_size Gen.(0 -- 400) (int_range 0 1000))
+      (fun keys ->
+        let keys = List.sort_uniq Int.compare keys in
+        let incremental = mk_tree ~page_size:256 () in
+        List.iter (fun k -> Btree.insert incremental (Key.Int k) (oid k)) keys;
+        let bulk = mk_tree ~page_size:256 () in
+        Btree.bulk_load bulk (Array.of_list (List.map (fun k -> (Key.Int k, oid k)) keys));
+        Btree.check_invariants bulk;
+        let dump t =
+          let acc = ref [] in
+          Btree.iter_all t (fun k o -> acc := (Key.to_string k, Oid.to_string o) :: !acc);
+          List.rev !acc
+        in
+        dump incremental = dump bulk);
+  ]
+
+let () =
+  Alcotest.run "fieldrep_btree"
+    [
+      ( "key",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_key_roundtrip;
+          Alcotest.test_case "order" `Quick test_key_order;
+        ] );
+      ( "basic",
+        [
+          Alcotest.test_case "insert/find" `Quick test_insert_find;
+          Alcotest.test_case "duplicate keys" `Quick test_duplicate_keys;
+          Alcotest.test_case "duplicate entries rejected" `Quick test_duplicate_entry_rejected;
+          Alcotest.test_case "mixed variants rejected" `Quick test_mixed_variants_rejected;
+          Alcotest.test_case "string keys" `Quick test_string_keys;
+        ] );
+      ( "splits",
+        [
+          Alcotest.test_case "height growth" `Quick test_split_growth;
+          Alcotest.test_case "capped fanout" `Quick test_capped_fanout;
+          Alcotest.test_case "insert orders" `Quick test_reverse_and_random_insert_orders;
+        ] );
+      ( "range",
+        [
+          Alcotest.test_case "inclusive scan" `Quick test_range_scan;
+          Alcotest.test_case "empty/degenerate" `Quick test_range_scan_empty_and_degenerate;
+          Alcotest.test_case "spans leaves" `Quick test_range_scan_spans_leaves;
+        ] );
+      ( "delete",
+        [
+          Alcotest.test_case "basic" `Quick test_delete_basic;
+          Alcotest.test_case "one duplicate" `Quick test_delete_one_duplicate;
+          Alcotest.test_case "delete everything" `Quick test_delete_everything;
+          Alcotest.test_case "interleaved" `Quick test_delete_interleaved_with_insert;
+        ] );
+      ( "bulk_load",
+        [
+          Alcotest.test_case "matches inserts" `Quick test_bulk_load_matches_inserts;
+          Alcotest.test_case "empty and single" `Quick test_bulk_load_empty_and_single;
+          Alcotest.test_case "rejects non-empty" `Quick test_bulk_load_rejects_nonempty;
+          Alcotest.test_case "mutate after load" `Quick test_bulk_load_then_mutate;
+        ] );
+      ("io", [ Alcotest.test_case "lookup bounded by height" `Quick test_lookup_io_is_height_bound ]);
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+    ]

@@ -1,0 +1,324 @@
+(* Tests for the analytical cost model (paper §6).
+
+   The headline tests pin every cell of the paper's Figure 12 (unclustered)
+   and Figure 14 (clustered) tables — our equations reproduce all 24 numbers
+   exactly — plus the qualitative claims the paper makes about Figures 11
+   and 13 (who wins where, and the crossover regions). *)
+
+module Params = Fieldrep_costmodel.Params
+module Cost = Fieldrep_costmodel.Cost
+module Sweep = Fieldrep_costmodel.Sweep
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let cell p strategy clustering =
+  let p = { p with Params.read_sel = 0.002 } in
+  ( int_of_float (Float.ceil (Cost.sum (Cost.read p strategy clustering))),
+    int_of_float (Float.ceil (Cost.sum (Cost.update p strategy clustering))) )
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: selected values, unclustered access                      *)
+
+let test_figure12 () =
+  let check_cell ~f strategy expected_read expected_update =
+    let p = { Params.default with Params.sharing = f } in
+    let r, u = cell p strategy Params.Unclustered in
+    checki (Printf.sprintf "f=%d %s read" f (Sweep.strategy_name strategy)) expected_read r;
+    checki (Printf.sprintf "f=%d %s update" f (Sweep.strategy_name strategy)) expected_update u
+  in
+  check_cell ~f:1 Params.No_replication 43 22;
+  check_cell ~f:1 Params.Inplace 23 42;
+  check_cell ~f:1 Params.Separate 41 42;
+  check_cell ~f:20 Params.No_replication 691 22;
+  check_cell ~f:20 Params.Inplace 407 427;
+  check_cell ~f:20 Params.Separate 509 42
+
+(* ------------------------------------------------------------------ *)
+(* Figure 14: selected values, clustered access                        *)
+
+let test_figure14 () =
+  let check_cell ~f strategy expected_read expected_update =
+    let p = { Params.default with Params.sharing = f } in
+    let r, u = cell p strategy Params.Clustered in
+    checki (Printf.sprintf "f=%d %s read" f (Sweep.strategy_name strategy)) expected_read r;
+    checki (Printf.sprintf "f=%d %s update" f (Sweep.strategy_name strategy)) expected_update u
+  in
+  check_cell ~f:1 Params.No_replication 24 4;
+  check_cell ~f:1 Params.Inplace 4 24;
+  check_cell ~f:1 Params.Separate 23 6;
+  check_cell ~f:20 Params.No_replication 316 4;
+  check_cell ~f:20 Params.Inplace 32 400;
+  check_cell ~f:20 Params.Separate 133 6
+
+(* The f=1 in-place update value (42) depends on the §4.3.1 small-link
+   elimination; without it the equations give ≈51. *)
+let test_figure12_requires_small_link_elimination () =
+  let p = { Params.default with Params.small_link_elim = false } in
+  let _, u = cell p Params.Inplace Params.Unclustered in
+  checkb "without elimination in-place update is ~51" true (u >= 50 && u <= 52)
+
+(* ------------------------------------------------------------------ *)
+(* Derived parameters (Figure 10 sanity)                               *)
+
+let test_derived_defaults () =
+  let d = Params.derive Params.default Params.No_replication in
+  checki "|R| = f|S|" 10_000 d.Params.r_count;
+  checki "O_r = B/(h+r)" 33 d.Params.o_r;
+  checki "O_s" 18 d.Params.o_s;
+  checki "P_r" 304 d.Params.p_r;
+  checki "P_s" 556 d.Params.p_s;
+  checki "read objects" 10 d.Params.read_objects;
+  checki "update objects" 10 d.Params.update_objects
+
+let test_derived_adjustments () =
+  let p = Params.default in
+  let no = Params.derive p Params.No_replication in
+  let ip = Params.derive p Params.Inplace in
+  let sep = Params.derive p Params.Separate in
+  checki "in-place grows R by k" (p.Params.r_bytes + p.Params.rep_field_bytes) ip.Params.r_size;
+  checki "separate grows R by an OID" (p.Params.r_bytes + p.Params.oid_bytes) sep.Params.r_size;
+  checkb "replication makes R pages grow" true
+    (ip.Params.p_r > no.Params.p_r && sep.Params.p_r > no.Params.p_r);
+  checki "S' object size" (p.Params.rep_field_bytes + p.Params.type_tag_bytes)
+    sep.Params.sprime_size;
+  checki "link object size" (1 + 2 + (p.Params.sharing * 8)) ip.Params.link_size
+
+let test_sharing_scales_r () =
+  let p = { Params.default with Params.sharing = 50 } in
+  let d = Params.derive p Params.No_replication in
+  checki "|R| at f=50" 500_000 d.Params.r_count
+
+(* ------------------------------------------------------------------ *)
+(* Qualitative claims about Figures 11 and 13                          *)
+
+let pct p strategy clustering ~update_prob =
+  Cost.percent_vs_no_replication p strategy clustering ~update_prob
+
+let test_inplace_wins_at_low_update_prob () =
+  (* "in-place replication reduces I/O costs by approximately 15 to 45
+     percent" for p_update < 0.15 (unclustered). *)
+  List.iter
+    (fun f ->
+      let p = { Params.default with Params.sharing = f; Params.read_sel = 0.002 } in
+      let d = pct p Params.Inplace Params.Unclustered ~update_prob:0.05 in
+      checkb (Printf.sprintf "in-place wins at f=%d (%.1f%%)" f d) true
+        (d < -10.0 && d > -50.0))
+    [ 1; 10; 20; 50 ]
+
+let test_inplace_beats_separate_at_low_update_prob () =
+  (* The paper quotes "roughly 0.15"; the exact boundary shrinks with f
+     (0.97 at f=1 down to ~0.095 at f=50), so test below the smallest. *)
+  List.iter
+    (fun f ->
+      let p = { Params.default with Params.sharing = f; Params.read_sel = 0.002 } in
+      List.iter
+        (fun prob ->
+          let ip = Cost.total p Params.Inplace Params.Unclustered ~update_prob:prob in
+          let sep = Cost.total p Params.Separate Params.Unclustered ~update_prob:prob in
+          checkb (Printf.sprintf "f=%d p=%.2f in-place <= separate" f prob) true (ip <= sep))
+        [ 0.0; 0.025; 0.05 ])
+    [ 1; 10; 20; 50 ]
+
+let test_separate_beats_inplace_above_035 () =
+  (* Excluding f = 1, separate wins for update probability > 0.35. *)
+  List.iter
+    (fun f ->
+      let p = { Params.default with Params.sharing = f; Params.read_sel = 0.002 } in
+      List.iter
+        (fun prob ->
+          let ip = Cost.total p Params.Inplace Params.Unclustered ~update_prob:prob in
+          let sep = Cost.total p Params.Separate Params.Unclustered ~update_prob:prob in
+          checkb (Printf.sprintf "f=%d p=%.2f separate <= in-place" f prob) true (sep <= ip))
+        [ 0.4; 0.6; 0.8; 1.0 ])
+    [ 10; 20; 50 ]
+
+let test_separate_useless_at_f1 () =
+  (* "for f = 1, separate replication provides almost no benefit". *)
+  let p = { Params.default with Params.sharing = 1; Params.read_sel = 0.002 } in
+  let d = pct p Params.Separate Params.Unclustered ~update_prob:0.0 in
+  checkb (Printf.sprintf "separate near no-replication at f=1 (%.1f%%)" d) true
+    (d > -10.0)
+
+let test_inplace_degrades_with_f () =
+  (* In-place propagation cost grows with f, so its curve rises faster. *)
+  let at f =
+    let p = { Params.default with Params.sharing = f; Params.read_sel = 0.002 } in
+    Cost.sum (Cost.update p Params.Inplace Params.Unclustered)
+  in
+  checkb "update cost grows with f" true (at 1 < at 10 && at 10 < at 20 && at 20 < at 50)
+
+let test_separate_update_cost_independent_of_f () =
+  let at f =
+    let p = { Params.default with Params.sharing = f; Params.read_sel = 0.002 } in
+    Cost.sum (Cost.update p Params.Separate Params.Unclustered)
+  in
+  checkb "separate update flat in f" true (Float.abs (at 1 -. at 50) < 2.0)
+
+let test_clustered_savings_larger () =
+  (* "when both indexes are clustered ... the savings in I/O due to
+     replication will be larger on a percentage basis." *)
+  List.iter
+    (fun f ->
+      let p = { Params.default with Params.sharing = f; Params.read_sel = 0.002 } in
+      let u = pct p Params.Inplace Params.Unclustered ~update_prob:0.05 in
+      let c = pct p Params.Inplace Params.Clustered ~update_prob:0.05 in
+      checkb (Printf.sprintf "clustered savings larger at f=%d" f) true (c < u))
+    [ 1; 10; 20 ]
+
+let test_flip_of_read_selectivity_lines () =
+  (* §6.6: at f=10 separate does best at f_r = .005; by f=50 the lines flip
+     and f_r = .001 is best. *)
+  let pct_at ~f ~fr =
+    let p = { Params.default with Params.sharing = f; Params.read_sel = fr } in
+    pct p Params.Separate Params.Unclustered ~update_prob:0.1
+  in
+  checkb "f=10: higher selectivity better" true
+    (pct_at ~f:10 ~fr:0.005 < pct_at ~f:10 ~fr:0.001);
+  checkb "f=50: lines flipped" true (pct_at ~f:50 ~fr:0.001 < pct_at ~f:50 ~fr:0.005)
+
+let test_crossover_region () =
+  (* In-place stops beating separate early, and earlier as f grows:
+     computed 0.322 / 0.209 / 0.095 at f = 10 / 20 / 50. *)
+  let at f =
+    let p = { Params.default with Params.sharing = f; Params.read_sel = 0.002 } in
+    match Sweep.crossover p Params.Unclustered Params.Inplace Params.Separate with
+    | Some x -> x
+    | None -> Alcotest.failf "no crossover at f=%d" f
+  in
+  let x10 = at 10 and x20 = at 20 and x50 = at 50 in
+  checkb "f=10 crossover in (0.25,0.4)" true (x10 > 0.25 && x10 < 0.4);
+  checkb "f=20 crossover in (0.15,0.3)" true (x20 > 0.15 && x20 < 0.3);
+  checkb "f=50 crossover in (0.05,0.15)" true (x50 > 0.05 && x50 < 0.15);
+  checkb "crossover shrinks with f" true (x10 > x20 && x20 > x50)
+
+(* ------------------------------------------------------------------ *)
+(* Space overhead (§4.2)                                               *)
+
+let test_space_overhead () =
+  let p = Params.default in
+  let none = Cost.space p Params.No_replication in
+  let ip = Cost.space p Params.Inplace in
+  let sep = Cost.space p Params.Separate in
+  checkb "in-place grows R" true (ip.Cost.r_pages > none.Cost.r_pages);
+  checkb "separate grows R less" true
+    (sep.Cost.r_pages > none.Cost.r_pages && sep.Cost.r_pages < ip.Cost.r_pages);
+  checki "no aux without replication" 0 none.Cost.aux_pages;
+  checki "f=1 in-place links eliminated" 0 ip.Cost.aux_pages;
+  checkb "separate has S'" true (sep.Cost.aux_pages > 0);
+  (* At f=20, in-place keeps link files. *)
+  let ip20 = Cost.space { p with Params.sharing = 20 } Params.Inplace in
+  checkb "links materialised at f=20" true (ip20.Cost.aux_pages > 0);
+  (* Exact P_r / P_s at the defaults (O_r = 33, O_s = 18). *)
+  checki "P_r" 304 none.Cost.r_pages;
+  checki "P_s" 556 none.Cost.s_pages
+
+(* ------------------------------------------------------------------ *)
+(* Sweep plumbing                                                      *)
+
+let test_figure_shape () =
+  let fig = Sweep.figure Params.default Params.Unclustered in
+  checki "four sharing levels" 4 (List.length fig);
+  let _, series = List.hd fig in
+  checki "2 strategies x 3 selectivities" 6 (List.length series);
+  List.iter
+    (fun s -> checki "21 points" 21 (List.length s.Sweep.points))
+    series
+
+let test_table_shape () =
+  let tbl = Sweep.table Params.default Params.Unclustered in
+  checki "2 sharings x 3 strategies" 6 (List.length tbl)
+
+let test_no_replication_pct_is_zero () =
+  let p = Params.default in
+  List.iter
+    (fun prob ->
+      let d = pct p Params.No_replication Params.Unclustered ~update_prob:prob in
+      Alcotest.(check (float 1e-9)) "zero" 0.0 d)
+    [ 0.0; 0.5; 1.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let qcheck_tests =
+  let open QCheck in
+  let params_gen =
+    Gen.(
+      let* f = oneofl [ 1; 2; 5; 10; 20; 50 ] in
+      let* fr = oneofl [ 0.001; 0.002; 0.005; 0.01 ] in
+      let* fs = oneofl [ 0.0005; 0.001; 0.002 ] in
+      let* sc = oneofl [ 1000; 5000; 10_000 ] in
+      return { Params.default with Params.sharing = f; read_sel = fr; update_sel = fs; s_count = sc })
+  in
+  let arb = make params_gen in
+  [
+    Test.make ~name:"costs are positive and finite" ~count:200 arb (fun p ->
+        List.for_all
+          (fun strategy ->
+            List.for_all
+              (fun clustering ->
+                let r = Cost.sum (Cost.read p strategy clustering) in
+                let u = Cost.sum (Cost.update p strategy clustering) in
+                r > 0.0 && u > 0.0 && Float.is_finite r && Float.is_finite u)
+              [ Params.Unclustered; Params.Clustered ])
+          [ Params.No_replication; Params.Inplace; Params.Separate ]);
+    Test.make ~name:"replication never loses on pure reads (unclustered)" ~count:100 arb
+      (fun p ->
+        let base = Cost.sum (Cost.read p Params.No_replication Params.Unclustered) in
+        Cost.sum (Cost.read p Params.Inplace Params.Unclustered) <= base +. 1e-9
+        && Cost.sum (Cost.read p Params.Separate Params.Unclustered) <= base +. 2.0);
+    Test.make ~name:"no-replication update never loses" ~count:100 arb (fun p ->
+        let base = Cost.sum (Cost.update p Params.No_replication Params.Unclustered) in
+        Cost.sum (Cost.update p Params.Inplace Params.Unclustered) >= base -. 1e-9
+        && Cost.sum (Cost.update p Params.Separate Params.Unclustered) >= base -. 1e-9);
+    Test.make ~name:"total is monotone between endpoints" ~count:100
+      (pair arb (float_range 0.0 1.0))
+      (fun (p, prob) ->
+        let t = Cost.total p Params.Inplace Params.Unclustered ~update_prob:prob in
+        let r = Cost.sum (Cost.read p Params.Inplace Params.Unclustered) in
+        let u = Cost.sum (Cost.update p Params.Inplace Params.Unclustered) in
+        t >= Float.min r u -. 1e-6 && t <= Float.max r u +. 1e-6);
+  ]
+
+let () =
+  Alcotest.run "fieldrep_costmodel"
+    [
+      ( "paper tables",
+        [
+          Alcotest.test_case "figure 12 exact" `Quick test_figure12;
+          Alcotest.test_case "figure 14 exact" `Quick test_figure14;
+          Alcotest.test_case "figure 12 needs small-link elimination" `Quick
+            test_figure12_requires_small_link_elimination;
+        ] );
+      ( "derived parameters",
+        [
+          Alcotest.test_case "defaults" `Quick test_derived_defaults;
+          Alcotest.test_case "per-strategy adjustments" `Quick test_derived_adjustments;
+          Alcotest.test_case "sharing scales |R|" `Quick test_sharing_scales_r;
+        ] );
+      ( "paper claims",
+        [
+          Alcotest.test_case "in-place wins at low update prob" `Quick
+            test_inplace_wins_at_low_update_prob;
+          Alcotest.test_case "in-place beats separate at low update prob" `Quick
+            test_inplace_beats_separate_at_low_update_prob;
+          Alcotest.test_case "separate beats in-place above 0.35" `Quick
+            test_separate_beats_inplace_above_035;
+          Alcotest.test_case "separate useless at f=1" `Quick test_separate_useless_at_f1;
+          Alcotest.test_case "in-place degrades with f" `Quick test_inplace_degrades_with_f;
+          Alcotest.test_case "separate update flat in f" `Quick
+            test_separate_update_cost_independent_of_f;
+          Alcotest.test_case "clustered savings larger" `Quick test_clustered_savings_larger;
+          Alcotest.test_case "selectivity lines flip" `Quick test_flip_of_read_selectivity_lines;
+          Alcotest.test_case "crossover region" `Quick test_crossover_region;
+        ] );
+      ( "space",
+        [ Alcotest.test_case "overhead per strategy" `Quick test_space_overhead ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "figure shape" `Quick test_figure_shape;
+          Alcotest.test_case "table shape" `Quick test_table_shape;
+          Alcotest.test_case "baseline pct is zero" `Quick test_no_replication_pct_is_zero;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+    ]

@@ -1,0 +1,322 @@
+(* Tests for replication paths deeper than the paper's examples: a 3-level
+   reference chain EMP -> DEPT -> ORG -> REGION.  The engine's inverted
+   paths, link sharing and propagation must generalise to any depth
+   (paper §3.3.2 "two or more levels"). *)
+
+module Db = Fieldrep.Db
+module Oid = Fieldrep_storage.Oid
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Schema = Fieldrep_model.Schema
+module Path = Fieldrep_model.Path
+module Registry = Fieldrep_replication.Registry
+module Splitmix = Fieldrep_util.Splitmix
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let value_testable = Alcotest.testable Value.pp Value.equal
+let checkv = Alcotest.check value_testable
+let vstr s = Value.VString s
+let vint i = Value.VInt i
+
+type fixture = {
+  db : Db.t;
+  regions : Oid.t array;
+  orgs : Oid.t array;
+  depts : Oid.t array;
+  emps : Oid.t array;
+}
+
+(* regions <- orgs (2 per region) <- depts (2 per org) <- emps (2 per dept) *)
+let deep_db ?(nregions = 2) () =
+  let db = Db.create ~page_size:1024 ~frames:256 () in
+  Db.define_type db
+    (Ty.make ~name:"REGION"
+       [
+         { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+         { Ty.fname = "code"; ftype = Ty.Scalar Ty.SInt };
+       ]);
+  Db.define_type db
+    (Ty.make ~name:"ORG"
+       [
+         { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+         { Ty.fname = "region"; ftype = Ty.Ref "REGION" };
+       ]);
+  Db.define_type db
+    (Ty.make ~name:"DEPT"
+       [
+         { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+         { Ty.fname = "org"; ftype = Ty.Ref "ORG" };
+       ]);
+  Db.define_type db
+    (Ty.make ~name:"EMP"
+       [
+         { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+         { Ty.fname = "dept"; ftype = Ty.Ref "DEPT" };
+       ]);
+  Db.create_set db ~name:"Region" ~elem_type:"REGION" ();
+  Db.create_set db ~name:"Org" ~elem_type:"ORG" ();
+  Db.create_set db ~name:"Dept" ~elem_type:"DEPT" ();
+  Db.create_set db ~name:"Emp1" ~elem_type:"EMP" ();
+  let regions =
+    Array.init nregions (fun i ->
+        Db.insert db ~set:"Region" [ vstr (Printf.sprintf "region-%d" i); vint i ])
+  in
+  let orgs =
+    Array.init (2 * nregions) (fun i ->
+        Db.insert db ~set:"Org"
+          [ vstr (Printf.sprintf "org-%d" i); Value.VRef regions.(i mod nregions) ])
+  in
+  let depts =
+    Array.init (2 * Array.length orgs) (fun i ->
+        Db.insert db ~set:"Dept"
+          [ vstr (Printf.sprintf "dept-%d" i); Value.VRef orgs.(i mod Array.length orgs) ])
+  in
+  let emps =
+    Array.init (2 * Array.length depts) (fun i ->
+        Db.insert db ~set:"Emp1"
+          [ vstr (Printf.sprintf "emp-%d" i); Value.VRef depts.(i mod Array.length depts) ])
+  in
+  { db; regions; orgs; depts; emps }
+
+let path = Path.parse "Emp1.dept.org.region.name"
+let deref fx e = Db.deref fx.db ~set:"Emp1" e "dept.org.region.name"
+
+let manual fx e =
+  let get set oid = Db.get fx.db ~set oid in
+  match Db.field_value fx.db ~set:"Emp1" (get "Emp1" e) "dept" with
+  | Value.VRef d -> (
+      match Db.field_value fx.db ~set:"Dept" (get "Dept" d) "org" with
+      | Value.VRef o -> (
+          match Db.field_value fx.db ~set:"Org" (get "Org" o) "region" with
+          | Value.VRef r -> Db.field_value fx.db ~set:"Region" (get "Region" r) "name"
+          | _ -> Value.VNull)
+      | _ -> Value.VNull)
+  | _ -> Value.VNull
+
+let check_all_emps fx =
+  Db.check_integrity fx.db;
+  Array.iter (fun e -> checkv "deref = manual walk" (manual fx e) (deref fx e)) fx.emps
+
+(* ------------------------------------------------------------------ *)
+
+let test_three_level_inplace () =
+  let fx = deep_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace path;
+  checki "three joins eliminated" 0
+    (Db.deref_would_join fx.db ~set:"Emp1" "dept.org.region.name");
+  checkv "initial" (vstr "region-0") (deref fx fx.emps.(0));
+  check_all_emps fx
+
+let test_three_level_separate () =
+  let fx = deep_db () in
+  Db.replicate fx.db ~strategy:Schema.Separate path;
+  checki "one hop" 1 (Db.deref_would_join fx.db ~set:"Emp1" "dept.org.region.name");
+  check_all_emps fx
+
+let test_three_level_field_propagation () =
+  List.iter
+    (fun strategy ->
+      let fx = deep_db () in
+      Db.replicate fx.db ~strategy path;
+      Db.update_field fx.db ~set:"Region" fx.regions.(0) ~field:"name" (vstr "pangaea");
+      checkv "propagates three levels" (vstr "pangaea") (deref fx fx.emps.(0));
+      check_all_emps fx)
+    [ Schema.Inplace; Schema.Separate ]
+
+let test_ref_update_each_level () =
+  List.iter
+    (fun strategy ->
+      let fx = deep_db () in
+      Db.replicate fx.db ~strategy path;
+      (* Level 3: org moves region. *)
+      Db.update_field fx.db ~set:"Org" fx.orgs.(0) ~field:"region"
+        (Value.VRef fx.regions.(1));
+      check_all_emps fx;
+      (* Level 2: dept moves org. *)
+      Db.update_field fx.db ~set:"Dept" fx.depts.(0) ~field:"org" (Value.VRef fx.orgs.(1));
+      check_all_emps fx;
+      (* Level 1: employee moves dept. *)
+      Db.update_field fx.db ~set:"Emp1" fx.emps.(0) ~field:"dept" (Value.VRef fx.depts.(3));
+      check_all_emps fx;
+      (* Null out in the middle, then restore. *)
+      Db.update_field fx.db ~set:"Dept" fx.depts.(1) ~field:"org" Value.VNull;
+      check_all_emps fx;
+      Db.update_field fx.db ~set:"Dept" fx.depts.(1) ~field:"org" (Value.VRef fx.orgs.(2));
+      check_all_emps fx)
+    [ Schema.Inplace; Schema.Separate ]
+
+let test_link_sequence_depth () =
+  let fx = deep_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace path;
+  let eng = Db.engine fx.db in
+  let rep = Option.get (Schema.find_replication (Db.schema fx.db) path) in
+  let chain = Registry.chain eng.Fieldrep_replication.Engine.registry rep in
+  checki "three links" 3 (List.length chain);
+  checkb "all levels inverted" true
+    (List.for_all (fun (n : Registry.node) -> n.Registry.link_id <> None) chain)
+
+let test_separate_inverts_two_levels_only () =
+  let fx = deep_db () in
+  Db.replicate fx.db ~strategy:Schema.Separate path;
+  let eng = Db.engine fx.db in
+  let rep = Option.get (Schema.find_replication (Db.schema fx.db) path) in
+  let chain = Registry.chain eng.Fieldrep_replication.Engine.registry rep in
+  let with_links =
+    List.filter (fun (n : Registry.node) -> n.Registry.link_id <> None) chain
+  in
+  (* n-level separate path needs an (n-1)-level inverted path (paper §5). *)
+  checki "two of three levels inverted" 2 (List.length with_links)
+
+let test_mixed_depth_sharing () =
+  (* Shorter paths share the prefix links of the deep path. *)
+  let fx = deep_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.org.name");
+  Db.replicate fx.db ~strategy:Schema.Inplace path;
+  let eng = Db.engine fx.db in
+  let reg = eng.Fieldrep_replication.Engine.registry in
+  let chain_of p =
+    Registry.chain reg (Option.get (Schema.find_replication (Db.schema fx.db) (Path.parse p)))
+  in
+  let deep = chain_of "Emp1.dept.org.region.name" in
+  let mid = chain_of "Emp1.dept.org.name" in
+  let short = chain_of "Emp1.dept.name" in
+  checkb "level-1 link shared by all three" true
+    ((List.hd deep).Registry.link_id = (List.hd short).Registry.link_id
+    && (List.hd deep).Registry.link_id = (List.hd mid).Registry.link_id);
+  checkb "level-2 link shared by deep and mid" true
+    ((List.nth deep 1).Registry.link_id = (List.nth mid 1).Registry.link_id);
+  (* All three stay consistent under updates at every level. *)
+  Db.update_field fx.db ~set:"Region" fx.regions.(1) ~field:"name" (vstr "laurasia");
+  Db.update_field fx.db ~set:"Org" fx.orgs.(1) ~field:"name" (vstr "borg");
+  Db.update_field fx.db ~set:"Dept" fx.depts.(1) ~field:"name" (vstr "bdept");
+  Db.check_integrity fx.db;
+  checkv "deep" (manual fx fx.emps.(1)) (deref fx fx.emps.(1));
+  checkv "mid" (vstr "borg") (Db.deref fx.db ~set:"Emp1" fx.emps.(1) "dept.org.name");
+  checkv "short" (vstr "bdept") (Db.deref fx.db ~set:"Emp1" fx.emps.(1) "dept.name")
+
+let test_insert_delete_on_deep_path () =
+  let fx = deep_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace path;
+  let e = Db.insert fx.db ~set:"Emp1" [ vstr "newbie"; Value.VRef fx.depts.(2) ] in
+  checkv "hidden filled through 3 levels" (manual fx e) (deref fx e);
+  Db.check_integrity fx.db;
+  (* Delete every employee of org 0's departments: their memberships must
+     unwind through all three levels. *)
+  Array.iteri
+    (fun i e -> if i mod Array.length fx.depts mod 4 = 0 then Db.delete fx.db ~set:"Emp1" e)
+    fx.emps;
+  Db.check_integrity fx.db
+
+let test_deep_random_soak () =
+  let fx = deep_db ~nregions:3 () in
+  Db.replicate fx.db ~strategy:Schema.Inplace path;
+  Db.replicate fx.db ~strategy:Schema.Separate (Path.parse "Emp1.dept.org.name");
+  let rng = Splitmix.create 77 in
+  for i = 1 to 150 do
+    let pick arr = arr.(Splitmix.int rng (Array.length arr)) in
+    (match Splitmix.int rng 6 with
+    | 0 ->
+        Db.update_field fx.db ~set:"Region" (pick fx.regions) ~field:"name"
+          (vstr (Printf.sprintf "r%d" i))
+    | 1 ->
+        Db.update_field fx.db ~set:"Org" (pick fx.orgs) ~field:"region"
+          (if Splitmix.int rng 5 = 0 then Value.VNull else Value.VRef (pick fx.regions))
+    | 2 ->
+        Db.update_field fx.db ~set:"Dept" (pick fx.depts) ~field:"org"
+          (if Splitmix.int rng 5 = 0 then Value.VNull else Value.VRef (pick fx.orgs))
+    | 3 ->
+        Db.update_field fx.db ~set:"Emp1" (pick fx.emps) ~field:"dept"
+          (Value.VRef (pick fx.depts))
+    | 4 ->
+        Db.update_field fx.db ~set:"Org" (pick fx.orgs) ~field:"name"
+          (vstr (Printf.sprintf "o%d" i))
+    | _ -> ());
+    if i mod 25 = 0 then check_all_emps fx
+  done;
+  check_all_emps fx
+
+(* ------------------------------------------------------------------ *)
+(* §4.3.2: co-clustered link objects                                   *)
+
+let cluster_options =
+  { Schema.default_options with Schema.cluster_links = true }
+
+let test_clustered_links_correctness () =
+  let fx = deep_db () in
+  Db.replicate fx.db ~options:cluster_options ~strategy:Schema.Inplace path;
+  check_all_emps fx;
+  (* All three levels share one link file. *)
+  let eng = Db.engine fx.db in
+  let rep = Option.get (Schema.find_replication (Db.schema fx.db) path) in
+  let chain = Registry.chain eng.Fieldrep_replication.Engine.registry rep in
+  let files =
+    List.filter_map
+      (fun (n : Registry.node) ->
+        Option.map
+          (fun id ->
+            Fieldrep_storage.Heap_file.file_id
+              (Fieldrep_replication.Store.link_file eng.Fieldrep_replication.Engine.store id))
+          n.Registry.link_id)
+      chain
+  in
+  checki "three links" 3 (List.length files);
+  checkb "one shared file" true
+    (match files with f :: rest -> List.for_all (Int.equal f) rest | [] -> false);
+  (* Propagation and restructuring still fully correct. *)
+  Db.update_field fx.db ~set:"Region" fx.regions.(0) ~field:"name" (vstr "clustered!");
+  checkv "propagates" (vstr "clustered!") (deref fx fx.emps.(0));
+  Db.update_field fx.db ~set:"Org" fx.orgs.(0) ~field:"region" (Value.VRef fx.regions.(1));
+  check_all_emps fx;
+  Db.update_field fx.db ~set:"Emp1" fx.emps.(0) ~field:"dept" (Value.VRef fx.depts.(5));
+  check_all_emps fx
+
+let test_clustered_links_validation () =
+  let fx = deep_db () in
+  (try
+     Db.replicate fx.db ~options:cluster_options ~strategy:Schema.Inplace
+       (Path.parse "Emp1.dept.name");
+     Alcotest.fail "1-level cluster_links accepted"
+   with Invalid_argument _ -> ());
+  try
+    Db.replicate fx.db
+      ~options:{ cluster_options with Schema.collapse = true }
+      ~strategy:Schema.Inplace path;
+    Alcotest.fail "collapse+cluster accepted"
+  with Invalid_argument _ -> ()
+
+let test_clustered_links_shared_prefix_best_effort () =
+  (* The level-1 link already exists from an earlier plain path; clustering
+     the longer path is best effort but must stay correct. *)
+  let fx = deep_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  Db.replicate fx.db ~options:cluster_options ~strategy:Schema.Inplace path;
+  check_all_emps fx;
+  Db.update_field fx.db ~set:"Region" fx.regions.(1) ~field:"name" (vstr "be");
+  check_all_emps fx
+
+let () =
+  Alcotest.run "fieldrep_deep_paths"
+    [
+      ( "three-level",
+        [
+          Alcotest.test_case "in-place" `Quick test_three_level_inplace;
+          Alcotest.test_case "separate" `Quick test_three_level_separate;
+          Alcotest.test_case "field propagation" `Quick test_three_level_field_propagation;
+          Alcotest.test_case "ref update at each level" `Quick test_ref_update_each_level;
+          Alcotest.test_case "link sequence depth" `Quick test_link_sequence_depth;
+          Alcotest.test_case "separate inverts n-1 levels" `Quick
+            test_separate_inverts_two_levels_only;
+          Alcotest.test_case "mixed depth sharing" `Quick test_mixed_depth_sharing;
+          Alcotest.test_case "insert/delete" `Quick test_insert_delete_on_deep_path;
+          Alcotest.test_case "random soak" `Quick test_deep_random_soak;
+        ] );
+      ( "clustered links (4.3.2)",
+        [
+          Alcotest.test_case "correctness" `Quick test_clustered_links_correctness;
+          Alcotest.test_case "validation" `Quick test_clustered_links_validation;
+          Alcotest.test_case "shared prefix best effort" `Quick
+            test_clustered_links_shared_prefix_best_effort;
+        ] );
+    ]

@@ -1,0 +1,210 @@
+(* Tests for database images (Db.save / Db.load): a full round-trip must
+   preserve the catalog, all data, indexes, replication structures and the
+   engine's ability to keep propagating afterwards. *)
+
+module Db = Fieldrep.Db
+module Oid = Fieldrep_storage.Oid
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Schema = Fieldrep_model.Schema
+module Path = Fieldrep_model.Path
+module Key = Fieldrep_btree.Key
+module Ast = Fieldrep_query.Ast
+module Exec = Fieldrep_query.Exec
+module Lang = Fieldrep_query.Lang
+module Gen = Fieldrep_workload.Gen
+module Engine = Fieldrep_replication.Engine
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let value_testable = Alcotest.testable Value.pp Value.equal
+let checkv = Alcotest.check value_testable
+let vstr s = Value.VString s
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("fieldrep_" ^ name ^ ".img")
+
+let rich_db () =
+  let db = Gen.employee_db ~norgs:3 ~ndepts:10 ~nemps:120 ~seed:19 () in
+  Db.replicate db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  Db.replicate db ~strategy:Schema.Separate (Path.parse "Emp1.dept.org.name");
+  Db.build_index db ~name:"by_salary" ~set:"Emp1" ~field:"salary" ~clustered:false;
+  Db.build_index db ~name:"by_deptname" ~set:"Emp1" ~field:"Emp1.dept.name" ~clustered:false;
+  db
+
+let dump_rows db =
+  Exec.retrieve_values db
+    {
+      Ast.from_set = "Emp1";
+      projections = [ "name"; "salary"; "dept.name"; "dept.org.name" ];
+      where = None;
+    }
+
+let test_roundtrip_preserves_everything () =
+  let db = rich_db () in
+  let before = dump_rows db in
+  let path = tmp "roundtrip" in
+  Db.save db path;
+  let db2 = Db.load path in
+  (* Catalog. *)
+  checki "types" 3 (List.length (Schema.types (Db.schema db2)));
+  checki "sets" 3 (List.length (Schema.sets (Db.schema db2)));
+  checki "replications" 2 (List.length (Schema.replications (Db.schema db2)));
+  checki "indexes" 2 (List.length (Schema.indexes (Db.schema db2)));
+  (* Data. *)
+  checki "employees" 120 (Db.set_size db2 "Emp1");
+  let after = dump_rows db2 in
+  checkb "identical query results" true
+    (List.equal (List.equal Value.equal) before after);
+  (* Planner still avoids the joins. *)
+  checki "inplace covered" 0 (Db.deref_would_join db2 ~set:"Emp1" "dept.name");
+  checki "separate covered" 1 (Db.deref_would_join db2 ~set:"Emp1" "dept.org.name");
+  Db.check_integrity db2;
+  Sys.remove path
+
+let test_mutations_after_load () =
+  let db = rich_db () in
+  let path = tmp "mutate" in
+  Db.save db path;
+  let db2 = Db.load path in
+  (* Propagation machinery still works on the reopened database. *)
+  let dept = List.hd (Exec.matching_oids db2 ~set:"Dept" None) in
+  Db.update_field db2 ~set:"Dept" dept ~field:"name" (vstr "post-load");
+  let emps, how = Db.referencers db2 ~source_set:"Emp1" ~attr:"dept" dept in
+  checkb "inverse via links after load" true (how = Db.Via_links);
+  List.iter
+    (fun e -> checkv "propagated" (vstr "post-load") (Db.deref db2 ~set:"Emp1" e "dept.name"))
+    emps;
+  (* Index on the replicated path was maintained. *)
+  checki "path index tracks rename" (List.length emps)
+    (List.length (Db.index_lookup db2 ~index:"by_deptname" (Key.String "post-load")));
+  (* Inserts and deletes still work. *)
+  let e =
+    Db.insert db2 ~set:"Emp1"
+      [ vstr "fresh"; Value.VInt 30; Value.VInt 1; Value.VRef dept ]
+  in
+  checkv "new object attached" (vstr "post-load") (Db.deref db2 ~set:"Emp1" e "dept.name");
+  Db.delete db2 ~set:"Emp1" e;
+  Db.check_integrity db2;
+  Sys.remove path
+
+let test_index_survives () =
+  let db = rich_db () in
+  let hits_before = Db.index_range db ~index:"by_salary" ~lo:(Key.Int 0) ~hi:(Key.Int max_int) ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+  let path = tmp "index" in
+  Db.save db path;
+  let db2 = Db.load path in
+  let hits_after = Db.index_range db2 ~index:"by_salary" ~lo:(Key.Int 0) ~hi:(Key.Int max_int) ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+  checki "index entries" hits_before hits_after;
+  let st = Db.index_stats db2 ~index:"by_salary" in
+  checki "entry count" 120 st.Db.entries;
+  Sys.remove path
+
+let test_lazy_flushed_on_save () =
+  let db = Db.create () in
+  ignore
+    (Lang.exec_script db
+       {|
+       define type D (name: char[]);
+       define type E (name: char[], d: ref D);
+       create Ds: {own ref D};
+       create Es: {own ref E}
+       |});
+  let d = Db.insert db ~set:"Ds" [ vstr "d0" ] in
+  let e = Db.insert db ~set:"Es" [ vstr "e0"; Value.VRef d ] in
+  ignore (Lang.exec db "replicate Es.d.name lazy");
+  Db.update_field db ~set:"Ds" d ~field:"name" (vstr "later");
+  checkb "pending before save" true (Engine.pending_count (Db.engine db) > 0);
+  let path = tmp "lazy" in
+  Db.save db path;
+  checki "flushed by save" 0 (Engine.pending_count (Db.engine db));
+  let db2 = Db.load path in
+  checkv "image fully propagated" (vstr "later") (Db.deref db2 ~set:"Es" e "d.name");
+  Db.check_integrity db2;
+  Sys.remove path
+
+let test_options_roundtrip () =
+  let db = Db.create () in
+  ignore
+    (Lang.exec_script db
+       {|
+       define type O (name: char[]);
+       define type D (name: char[], org: ref O);
+       define type E (name: char[], d: ref D);
+       create Os: {own ref O};
+       create Ds: {own ref D};
+       create Es: {own ref E}
+       |});
+  let o = Db.insert db ~set:"Os" [ vstr "o" ] in
+  let d = Db.insert db ~set:"Ds" [ vstr "d"; Value.VRef o ] in
+  ignore (Db.insert db ~set:"Es" [ vstr "e"; Value.VRef d ]);
+  ignore (Lang.exec db "replicate Es.d.org.name collapsed");
+  ignore (Lang.exec db "replicate Es.d.name threshold 0");
+  let path = tmp "options" in
+  Db.save db path;
+  let db2 = Db.load path in
+  let r1 =
+    Option.get (Schema.find_replication (Db.schema db2) (Path.parse "Es.d.org.name"))
+  in
+  let r2 = Option.get (Schema.find_replication (Db.schema db2) (Path.parse "Es.d.name")) in
+  checkb "collapse preserved" true r1.Schema.options.Schema.collapse;
+  checki "threshold preserved" 0 r2.Schema.options.Schema.small_link_threshold;
+  Db.check_integrity db2;
+  Sys.remove path
+
+let test_load_rejects_garbage () =
+  let path = tmp "garbage" in
+  let oc = open_out_bin path in
+  output_string oc "this is not a database image at all";
+  close_out oc;
+  (try
+     ignore (Db.load path);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  Sys.remove path
+
+let test_rs_database_roundtrip () =
+  (* The full workload database with clustered indexes. *)
+  let built =
+    Gen.build
+      {
+        Gen.default_spec with
+        Gen.s_count = 300;
+        sharing = 3;
+        strategy = Fieldrep_costmodel.Params.Inplace;
+        clustering = Fieldrep_costmodel.Params.Clustered;
+      }
+  in
+  let path = tmp "rs" in
+  Db.save built.Gen.db path;
+  let db2 = Db.load path in
+  checki "R preserved" 900 (Db.set_size db2 "R");
+  (* A range query through the clustered index returns the same rows. *)
+  let q =
+    {
+      Ast.from_set = "R";
+      projections = [ "field_r"; "sref.repfield" ];
+      where = Some (Ast.between "field_r" (Value.VInt 100) (Value.VInt 120));
+    }
+  in
+  checkb "query identical" true
+    (List.equal (List.equal Value.equal)
+       (Exec.retrieve_values built.Gen.db q)
+       (Exec.retrieve_values db2 q));
+  Db.check_integrity db2;
+  Sys.remove path
+
+let () =
+  Alcotest.run "fieldrep_image"
+    [
+      ( "images",
+        [
+          Alcotest.test_case "roundtrip preserves everything" `Quick
+            test_roundtrip_preserves_everything;
+          Alcotest.test_case "mutations after load" `Quick test_mutations_after_load;
+          Alcotest.test_case "index survives" `Quick test_index_survives;
+          Alcotest.test_case "lazy flushed on save" `Quick test_lazy_flushed_on_save;
+          Alcotest.test_case "options roundtrip" `Quick test_options_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_load_rejects_garbage;
+          Alcotest.test_case "R/S database roundtrip" `Quick test_rs_database_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,437 @@
+(* Tests for the data-model layer: type definitions, values, stored-record
+   serialization, path expressions, and the catalog (including hidden-field
+   layout and link-related validation). *)
+
+module Oid = Fieldrep_storage.Oid
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Record = Fieldrep_model.Record
+module Schema = Fieldrep_model.Schema
+module Path = Fieldrep_model.Path
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let value_testable = Alcotest.testable Value.pp Value.equal
+let checkv = Alcotest.check value_testable
+
+let oid i = { Oid.file = 1; page = i; slot = i mod 7 }
+
+(* ------------------------------------------------------------------ *)
+(* Ty                                                                  *)
+
+let emp_ty =
+  Ty.make ~name:"EMP"
+    [
+      { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+      { Ty.fname = "salary"; ftype = Ty.Scalar Ty.SInt };
+      { Ty.fname = "dept"; ftype = Ty.Ref "DEPT" };
+    ]
+
+let test_ty_basics () =
+  checki "arity" 3 (Ty.arity emp_ty);
+  checki "field index" 1 (Ty.field_index emp_ty "salary");
+  checkb "is_ref" true (Ty.is_ref (Ty.field emp_ty "dept"));
+  checkb "scalar not ref" false (Ty.is_ref (Ty.field emp_ty "name"));
+  Alcotest.(check (list (pair string string)))
+    "ref fields" [ ("dept", "DEPT") ] (Ty.ref_fields emp_ty);
+  checki "scalar fields" 2 (List.length (Ty.scalar_fields emp_ty))
+
+let test_ty_validation () =
+  (try
+     ignore (Ty.make ~name:"" [ ]);
+     Alcotest.fail "empty name accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Ty.make ~name:"X"
+         [
+           { Ty.fname = "a"; ftype = Ty.Scalar Ty.SInt };
+           { Ty.fname = "a"; ftype = Ty.Scalar Ty.SInt };
+         ]);
+    Alcotest.fail "duplicate field accepted"
+  with Invalid_argument _ -> ()
+
+let test_ty_missing_field () =
+  (try
+     ignore (Ty.field emp_ty "nope");
+     Alcotest.fail "expected Not_found"
+   with Not_found -> ());
+  checkb "field_opt" true (Ty.field_opt emp_ty "nope" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Value                                                               *)
+
+let test_value_roundtrip () =
+  let buf = Bytes.create 128 in
+  List.iter
+    (fun v ->
+      let off = Value.encode buf 0 v in
+      checki "size matches" (Value.encoded_size v) off;
+      let v', off' = Value.decode buf 0 in
+      checkv "roundtrip" v v';
+      checki "read size" off off')
+    [
+      Value.VNull;
+      Value.VInt 0;
+      Value.VInt (-12345);
+      Value.VInt max_int;
+      Value.VString "";
+      Value.VString "hello";
+      Value.VRef (oid 9);
+      Value.VRef Oid.nil;
+    ]
+
+let test_value_typing () =
+  checkb "int matches" true (Value.matches (Ty.Scalar Ty.SInt) (Value.VInt 1));
+  checkb "string mismatch" false (Value.matches (Ty.Scalar Ty.SInt) (Value.VString "x"));
+  checkb "null ref ok" true (Value.matches (Ty.Ref "D") Value.VNull);
+  checkb "null scalar not ok" false (Value.matches (Ty.Scalar Ty.SString) Value.VNull);
+  checkb "ref matches" true (Value.matches (Ty.Ref "D") (Value.VRef (oid 1)))
+
+let test_value_accessors () =
+  checki "as_int" 5 (Value.as_int (Value.VInt 5));
+  checks "as_string" "x" (Value.as_string (Value.VString "x"));
+  (try
+     ignore (Value.as_int (Value.VString "x"));
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_value_order_total () =
+  let values =
+    [ Value.VNull; Value.VInt 1; Value.VInt 2; Value.VString "a"; Value.VRef (oid 1) ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c1 = Value.compare a b and c2 = Value.compare b a in
+          checkb "antisymmetric" true ((c1 = 0 && c2 = 0) || c1 * c2 < 0))
+        values)
+    values
+
+(* ------------------------------------------------------------------ *)
+(* Record                                                              *)
+
+let sample_record () =
+  Record.make ~type_tag:7
+    [| Value.VString "alice"; Value.VInt 99; Value.VRef (oid 3) |]
+
+let test_record_roundtrip () =
+  let r = sample_record () in
+  let r = Record.add_link r { Record.link_oid = oid 11; link_id = 2 } in
+  let r = Record.add_link r { Record.link_oid = oid 12; link_id = 1 } in
+  let bytes = Record.encode r in
+  let r' = Record.decode bytes in
+  checki "tag" 7 r'.Record.type_tag;
+  checki "links" 2 (List.length r'.Record.links);
+  checkv "field 0" (Value.VString "alice") (Record.field r' 0);
+  checkv "field 2" (Value.VRef (oid 3)) (Record.field r' 2);
+  checki "encoded size" (Record.encoded_size r) (Bytes.length bytes);
+  checki "peek tag" 7 (Record.type_tag_of_bytes bytes)
+
+let test_record_links_sorted_and_unique () =
+  let r = sample_record () in
+  let r = Record.add_link r { Record.link_oid = oid 5; link_id = 9 } in
+  let r = Record.add_link r { Record.link_oid = oid 6; link_id = 3 } in
+  let r = Record.add_link r { Record.link_oid = oid 7; link_id = 9 } in
+  checki "replacing same id" 2 (List.length r.Record.links);
+  (match r.Record.links with
+  | [ a; b ] ->
+      checki "sorted" 3 a.Record.link_id;
+      checki "second" 9 b.Record.link_id;
+      checkb "id 9 replaced" true (Oid.equal b.Record.link_oid (oid 7))
+  | _ -> Alcotest.fail "wrong link count");
+  let r = Record.remove_link r 3 in
+  checki "removed" 1 (List.length r.Record.links);
+  checkb "find_link" true (Record.find_link r 9 <> None);
+  checkb "find_link absent" true (Record.find_link r 3 = None)
+
+let test_record_set_field () =
+  let r = sample_record () in
+  let r2 = Record.set_field r 1 (Value.VInt 100) in
+  checkv "updated" (Value.VInt 100) (Record.field r2 1);
+  checkv "original intact" (Value.VInt 99) (Record.field r 1);
+  try
+    ignore (Record.set_field r 5 Value.VNull);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Path                                                                *)
+
+let test_path_parse () =
+  let p = Path.parse "Emp1.dept.org.name" in
+  checks "set" "Emp1" p.Path.source_set;
+  Alcotest.(check (list string)) "steps" [ "dept"; "org" ] p.Path.steps;
+  checkb "terminal" true (p.Path.terminal = Path.Field "name");
+  checki "level" 2 (Path.level p);
+  checks "to_string" "Emp1.dept.org.name" (Path.to_string p)
+
+let test_path_parse_all () =
+  let p = Path.parse "Emp1.dept.all" in
+  checkb "all terminal" true (p.Path.terminal = Path.All);
+  checki "level" 1 (Path.level p);
+  let p2 = Path.parse "Emp1.dept.ALL" in
+  checkb "case-insensitive all" true (p2.Path.terminal = Path.All)
+
+let test_path_parse_errors () =
+  List.iter
+    (fun s ->
+      try
+        ignore (Path.parse s);
+        Alcotest.failf "accepted %S" s
+      with Invalid_argument _ -> ())
+    [ ""; "Emp1"; "Emp1.name"; "Emp1..name" ]
+
+let test_path_prefix () =
+  let a = Path.parse "Emp1.dept.org.name" in
+  let b = Path.parse "Emp1.dept.budget" in
+  let c = Path.parse "Emp2.dept.name" in
+  checki "shared prefix" 1 (Path.prefix_length a b);
+  checki "different sets" 0 (Path.prefix_length a c);
+  checki "self" 2 (Path.prefix_length a a)
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+
+let mk_schema () =
+  let s = Schema.create () in
+  Schema.define_type s
+    (Ty.make ~name:"ORG"
+       [
+         { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+         { Ty.fname = "budget"; ftype = Ty.Scalar Ty.SInt };
+       ]);
+  Schema.define_type s
+    (Ty.make ~name:"DEPT"
+       [
+         { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+         { Ty.fname = "budget"; ftype = Ty.Scalar Ty.SInt };
+         { Ty.fname = "org"; ftype = Ty.Ref "ORG" };
+       ]);
+  Schema.define_type s
+    (Ty.make ~name:"EMP"
+       [
+         { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+         { Ty.fname = "salary"; ftype = Ty.Scalar Ty.SInt };
+         { Ty.fname = "dept"; ftype = Ty.Ref "DEPT" };
+       ]);
+  Schema.create_set s ~name:"Org" ~elem_type:"ORG";
+  Schema.create_set s ~name:"Dept" ~elem_type:"DEPT";
+  Schema.create_set s ~name:"Emp1" ~elem_type:"EMP";
+  s
+
+let test_schema_types_and_tags () =
+  let s = mk_schema () in
+  checki "three types" 3 (List.length (Schema.types s));
+  let tag = Schema.type_tag s "DEPT" in
+  checks "tag roundtrip" "DEPT" (Schema.type_of_tag s tag).Ty.tname;
+  (try
+     Schema.define_type s (Ty.make ~name:"DEPT" []);
+     Alcotest.fail "redefinition accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Schema.type_tag s "NOPE");
+    Alcotest.fail "expected Not_found"
+  with Not_found -> ()
+
+let test_schema_sets () =
+  let s = mk_schema () in
+  checki "three sets" 3 (List.length (Schema.sets s));
+  checks "set type" "EMP" (Schema.set_type s "Emp1").Ty.tname;
+  (try
+     Schema.create_set s ~name:"Emp1" ~elem_type:"EMP";
+     Alcotest.fail "duplicate set accepted"
+   with Invalid_argument _ -> ());
+  try
+    Schema.create_set s ~name:"Bad" ~elem_type:"NOPE";
+    Alcotest.fail "unknown type accepted"
+  with Not_found -> ()
+
+let test_schema_set_with_dangling_ref_type () =
+  let s = Schema.create () in
+  Schema.define_type s
+    (Ty.make ~name:"A" [ { Ty.fname = "b"; ftype = Ty.Ref "MISSING" } ]);
+  try
+    Schema.create_set s ~name:"As" ~elem_type:"A";
+    Alcotest.fail "dangling ref accepted"
+  with Invalid_argument _ -> ()
+
+let test_schema_resolve_path () =
+  let s = mk_schema () in
+  let r = Schema.resolve_path s (Path.parse "Emp1.dept.org.name") in
+  Alcotest.(check (list string)) "type chain" [ "EMP"; "DEPT"; "ORG" ] r.Schema.type_chain;
+  checki "one terminal field" 1 (List.length r.Schema.terminal_fields);
+  let r_all = Schema.resolve_path s (Path.parse "Emp1.dept.all") in
+  checki "all scalar fields" 2 (List.length r_all.Schema.terminal_fields)
+
+let test_schema_resolve_path_errors () =
+  let s = mk_schema () in
+  List.iter
+    (fun p ->
+      try
+        ignore (Schema.resolve_path s (Path.parse p));
+        Alcotest.failf "accepted %s" p
+      with Invalid_argument _ -> ())
+    [
+      "Nope.dept.name";  (* unknown set *)
+      "Emp1.salary.name";  (* step through a scalar *)
+      "Emp1.nope.name";  (* unknown step *)
+      "Emp1.dept.nope";  (* unknown terminal *)
+      "Emp1.dept.org";  (* ref-valued terminal *)
+    ]
+
+let test_schema_replication_and_hidden_layout () =
+  let s = mk_schema () in
+  let r1 = Schema.add_replication s ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name") in
+  let r2 = Schema.add_replication s ~strategy:Schema.Separate (Path.parse "Emp1.dept.budget") in
+  let r3 = Schema.add_replication s ~strategy:Schema.Inplace (Path.parse "Emp1.dept.all") in
+  checkb "distinct ids" true
+    (r1.Schema.rep_id <> r2.Schema.rep_id && r2.Schema.rep_id <> r3.Schema.rep_id);
+  (* Layout: user arity 3, then [copy name; sref; copy name; copy budget]. *)
+  checki "user arity" 3 (Schema.user_arity s "Emp1");
+  checki "record width" 7 (Schema.record_width s "Emp1");
+  checki "r1 hidden" 3
+    (Schema.hidden_index s "Emp1" ~rep_id:r1.Schema.rep_id ~field:(Some "name"));
+  checki "r2 sref" 4 (Schema.hidden_index s "Emp1" ~rep_id:r2.Schema.rep_id ~field:None);
+  checki "r3 name copy" 5
+    (Schema.hidden_index s "Emp1" ~rep_id:r3.Schema.rep_id ~field:(Some "name"));
+  checki "r3 budget copy" 6
+    (Schema.hidden_index s "Emp1" ~rep_id:r3.Schema.rep_id ~field:(Some "budget"));
+  (try
+     ignore (Schema.hidden_index s "Emp1" ~rep_id:r1.Schema.rep_id ~field:(Some "budget"));
+     Alcotest.fail "expected Not_found"
+   with Not_found -> ());
+  (* Duplicate path rejected. *)
+  try
+    ignore (Schema.add_replication s ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name"));
+    Alcotest.fail "duplicate replication accepted"
+  with Invalid_argument _ -> ()
+
+let test_schema_rep_options_validation () =
+  let s = mk_schema () in
+  (try
+     ignore
+       (Schema.add_replication s
+          ~options:{ Schema.default_options with Schema.small_link_threshold = -1 }
+          ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name"));
+     Alcotest.fail "negative threshold accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Schema.add_replication s
+         ~options:{ Schema.default_options with Schema.collapse = true }
+         ~strategy:Schema.Separate (Path.parse "Emp1.dept.name"));
+    Alcotest.fail "separate+collapse accepted"
+  with Invalid_argument _ -> ()
+
+let test_schema_indexes () =
+  let s = mk_schema () in
+  Schema.add_index s { Schema.iname = "i1"; iset = "Emp1"; ifield = "salary"; clustered = true };
+  checki "one index" 1 (List.length (Schema.indexes_on s "Emp1"));
+  (try
+     Schema.add_index s
+       { Schema.iname = "i2"; iset = "Emp1"; ifield = "name"; clustered = true };
+     Alcotest.fail "second clustered index accepted"
+   with Invalid_argument _ -> ());
+  (try
+     Schema.add_index s
+       { Schema.iname = "i3"; iset = "Emp1"; ifield = "dept"; clustered = false };
+     Alcotest.fail "ref index accepted"
+   with Invalid_argument _ -> ());
+  (* A replicated path can be indexed once declared. *)
+  (try
+     Schema.add_index s
+       { Schema.iname = "i4"; iset = "Emp1"; ifield = "Emp1.dept.name"; clustered = false };
+     Alcotest.fail "unreplicated path index accepted"
+   with Invalid_argument _ -> ());
+  ignore (Schema.add_replication s ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name"));
+  Schema.add_index s
+    { Schema.iname = "i4"; iset = "Emp1"; ifield = "Emp1.dept.name"; clustered = false };
+  checki "path index added" 2 (List.length (Schema.indexes_on s "Emp1"))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let qcheck_tests =
+  let open QCheck in
+  let value_gen =
+    Gen.(
+      oneof
+        [
+          return Value.VNull;
+          map (fun i -> Value.VInt i) int;
+          map (fun s -> Value.VString s) (string_size (0 -- 50));
+          map (fun (a, b) -> Value.VRef { Oid.file = a mod 100; page = b mod 1000; slot = (a + b) mod 50 })
+            (pair nat nat);
+        ])
+  in
+  [
+    Test.make ~name:"value roundtrip" ~count:300 (make value_gen) (fun v ->
+        let buf = Bytes.create (Value.encoded_size v) in
+        ignore (Value.encode buf 0 v);
+        Value.equal v (fst (Value.decode buf 0)));
+    Test.make ~name:"record roundtrip" ~count:200
+      (make Gen.(pair (int_bound 1000) (list_size (0 -- 12) value_gen)))
+      (fun (tag, values) ->
+        let r = Record.make ~type_tag:tag (Array.of_list values) in
+        let r' = Record.decode (Record.encode r) in
+        r'.Record.type_tag = tag
+        && Array.for_all2 Value.equal r.Record.values r'.Record.values);
+    Test.make ~name:"path parse/print roundtrip" ~count:100
+      (make
+         Gen.(
+           let ident = map (fun n -> Printf.sprintf "id%d" (abs n mod 50)) int in
+           let* set = ident in
+           let* steps = list_size (1 -- 4) ident in
+           let* field = ident in
+           return (set, steps, field)))
+      (fun (set, steps, field) ->
+        let p = Path.make ~source_set:set ~steps ~terminal:(Path.Field field) in
+        Path.equal p (Path.parse (Path.to_string p)));
+  ]
+
+let () =
+  Alcotest.run "fieldrep_model"
+    [
+      ( "ty",
+        [
+          Alcotest.test_case "basics" `Quick test_ty_basics;
+          Alcotest.test_case "validation" `Quick test_ty_validation;
+          Alcotest.test_case "missing field" `Quick test_ty_missing_field;
+        ] );
+      ( "value",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_value_roundtrip;
+          Alcotest.test_case "typing" `Quick test_value_typing;
+          Alcotest.test_case "accessors" `Quick test_value_accessors;
+          Alcotest.test_case "total order" `Quick test_value_order_total;
+        ] );
+      ( "record",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_record_roundtrip;
+          Alcotest.test_case "link section" `Quick test_record_links_sorted_and_unique;
+          Alcotest.test_case "set_field" `Quick test_record_set_field;
+        ] );
+      ( "path",
+        [
+          Alcotest.test_case "parse" `Quick test_path_parse;
+          Alcotest.test_case "parse all" `Quick test_path_parse_all;
+          Alcotest.test_case "parse errors" `Quick test_path_parse_errors;
+          Alcotest.test_case "prefix length" `Quick test_path_prefix;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "types and tags" `Quick test_schema_types_and_tags;
+          Alcotest.test_case "sets" `Quick test_schema_sets;
+          Alcotest.test_case "dangling ref type" `Quick test_schema_set_with_dangling_ref_type;
+          Alcotest.test_case "resolve path" `Quick test_schema_resolve_path;
+          Alcotest.test_case "resolve errors" `Quick test_schema_resolve_path_errors;
+          Alcotest.test_case "replication + hidden layout" `Quick
+            test_schema_replication_and_hidden_layout;
+          Alcotest.test_case "replication options" `Quick test_schema_rep_options_validation;
+          Alcotest.test_case "indexes" `Quick test_schema_indexes;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+    ]

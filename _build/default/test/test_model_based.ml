@@ -1,0 +1,261 @@
+(* Capstone model-based test: the full engine (storage, indexes,
+   replication in every flavour, query execution) is driven with random
+   operation streams and compared, operation by operation, against a naive
+   in-memory reference implementation that stores plain association lists
+   and evaluates every query by brute force.
+
+   If field replication, index maintenance or the planner ever return
+   anything different from the naive semantics, this suite fails. *)
+
+module Db = Fieldrep.Db
+module Oid = Fieldrep_storage.Oid
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Schema = Fieldrep_model.Schema
+module Path = Fieldrep_model.Path
+module Ast = Fieldrep_query.Ast
+module Exec = Fieldrep_query.Exec
+module Splitmix = Fieldrep_util.Splitmix
+
+(* ------------------------------------------------------------------ *)
+(* The naive reference: departments and employees as hashtables        *)
+
+type ref_dept = { mutable dname : string; mutable dbudget : int }
+
+type ref_emp = {
+  mutable ename : string;
+  mutable esalary : int;
+  mutable edept : int option;  (* index into depts *)
+}
+
+type reference = {
+  depts : (int, ref_dept) Hashtbl.t;
+  emps : (int, ref_emp) Hashtbl.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The system under test, with OID maps to mirror the reference ids    *)
+
+type sut = {
+  db : Db.t;
+  dept_oids : (int, Oid.t) Hashtbl.t;
+  emp_oids : (int, Oid.t) Hashtbl.t;
+}
+
+let make_sut options strategy =
+  let db = Db.create ~page_size:1024 ~frames:256 () in
+  Db.define_type db
+    (Ty.make ~name:"DEPT"
+       [
+         { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+         { Ty.fname = "budget"; ftype = Ty.Scalar Ty.SInt };
+       ]);
+  Db.define_type db
+    (Ty.make ~name:"EMP"
+       [
+         { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+         { Ty.fname = "salary"; ftype = Ty.Scalar Ty.SInt };
+         { Ty.fname = "dept"; ftype = Ty.Ref "DEPT" };
+       ]);
+  Db.create_set db ~name:"Dept" ~elem_type:"DEPT" ();
+  Db.create_set db ~name:"Emp1" ~elem_type:"EMP" ();
+  Db.build_index db ~name:"by_salary" ~set:"Emp1" ~field:"salary" ~clustered:false;
+  (match strategy with
+  | Some s -> Db.replicate db ~options ~strategy:s (Path.parse "Emp1.dept.name")
+  | None -> ());
+  { db; dept_oids = Hashtbl.create 16; emp_oids = Hashtbl.create 64 }
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                          *)
+
+type op =
+  | Add_dept of int * string * int
+  | Add_emp of int * string * int * int option  (* id, name, salary, dept id *)
+  | Del_emp of int
+  | Rename_dept of int * string
+  | Rebudget_dept of int * int
+  | Set_salary of int * int
+  | Move_emp of int * int option
+  | Query_salary_range of int * int
+  | Query_by_dept_name of string
+
+let apply_ref r = function
+  | Add_dept (id, name, budget) ->
+      Hashtbl.replace r.depts id { dname = name; dbudget = budget }
+  | Add_emp (id, name, salary, dept) ->
+      Hashtbl.replace r.emps id { ename = name; esalary = salary; edept = dept }
+  | Del_emp id -> Hashtbl.remove r.emps id
+  | Rename_dept (id, name) -> (Hashtbl.find r.depts id).dname <- name
+  | Rebudget_dept (id, budget) -> (Hashtbl.find r.depts id).dbudget <- budget
+  | Set_salary (id, salary) -> (Hashtbl.find r.emps id).esalary <- salary
+  | Move_emp (id, dept) -> (Hashtbl.find r.emps id).edept <- dept
+  | Query_salary_range _ | Query_by_dept_name _ -> ()
+
+let ref_rows r = function
+  | Query_salary_range (lo, hi) ->
+      Hashtbl.fold
+        (fun _ e acc ->
+          if e.esalary >= lo && e.esalary <= hi then
+            let dept =
+              match e.edept with
+              | Some d -> Value.VString (Hashtbl.find r.depts d).dname
+              | None -> Value.VNull
+            in
+            [ Value.VString e.ename; Value.VInt e.esalary; dept ] :: acc
+          else acc)
+        r.emps []
+      |> List.sort compare
+  | Query_by_dept_name name ->
+      Hashtbl.fold
+        (fun _ e acc ->
+          match e.edept with
+          | Some d when (Hashtbl.find r.depts d).dname = name ->
+              [ Value.VString e.ename ] :: acc
+          | Some _ | None -> acc)
+        r.emps []
+      |> List.sort compare
+  | _ -> []
+
+let apply_sut s = function
+  | Add_dept (id, name, budget) ->
+      Hashtbl.replace s.dept_oids id
+        (Db.insert s.db ~set:"Dept" [ Value.VString name; Value.VInt budget ])
+  | Add_emp (id, name, salary, dept) ->
+      let dv =
+        match dept with
+        | Some d -> Value.VRef (Hashtbl.find s.dept_oids d)
+        | None -> Value.VNull
+      in
+      Hashtbl.replace s.emp_oids id
+        (Db.insert s.db ~set:"Emp1" [ Value.VString name; Value.VInt salary; dv ])
+  | Del_emp id ->
+      Db.delete s.db ~set:"Emp1" (Hashtbl.find s.emp_oids id);
+      Hashtbl.remove s.emp_oids id
+  | Rename_dept (id, name) ->
+      Db.update_field s.db ~set:"Dept" (Hashtbl.find s.dept_oids id) ~field:"name"
+        (Value.VString name)
+  | Rebudget_dept (id, budget) ->
+      Db.update_field s.db ~set:"Dept" (Hashtbl.find s.dept_oids id) ~field:"budget"
+        (Value.VInt budget)
+  | Set_salary (id, salary) ->
+      Db.update_field s.db ~set:"Emp1" (Hashtbl.find s.emp_oids id) ~field:"salary"
+        (Value.VInt salary)
+  | Move_emp (id, dept) ->
+      let dv =
+        match dept with
+        | Some d -> Value.VRef (Hashtbl.find s.dept_oids d)
+        | None -> Value.VNull
+      in
+      Db.update_field s.db ~set:"Emp1" (Hashtbl.find s.emp_oids id) ~field:"dept" dv
+  | Query_salary_range _ | Query_by_dept_name _ -> ()
+
+let sut_rows s = function
+  | Query_salary_range (lo, hi) ->
+      Exec.retrieve_values s.db
+        {
+          Ast.from_set = "Emp1";
+          projections = [ "name"; "salary"; "dept.name" ];
+          where = Some (Ast.between "salary" (Value.VInt lo) (Value.VInt hi));
+        }
+      |> List.sort compare
+  | Query_by_dept_name name ->
+      Exec.retrieve_values s.db
+        {
+          Ast.from_set = "Emp1";
+          projections = [ "name" ];
+          where = Some (Ast.eq "dept.name" (Value.VString name));
+        }
+      |> List.sort compare
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Random op streams                                                   *)
+
+let gen_ops seed n =
+  let rng = Splitmix.create seed in
+  let next_dept = ref 0 and next_emp = ref 0 in
+  let live_emps = ref [] in
+  let ops = ref [] in
+  let push o = ops := o :: !ops in
+  (* Seed data. *)
+  for _ = 1 to 3 do
+    let id = !next_dept in
+    incr next_dept;
+    push (Add_dept (id, Printf.sprintf "d%d" id, 100 * id))
+  done;
+  for _ = 1 to n do
+    let dept_arg () =
+      if Splitmix.int rng 6 = 0 then None else Some (Splitmix.int rng !next_dept)
+    in
+    match Splitmix.int rng 10 with
+    | 0 when !next_dept < 8 ->
+        let id = !next_dept in
+        incr next_dept;
+        push (Add_dept (id, Printf.sprintf "d%d" id, 100 * id))
+    | 0 | 1 ->
+        let id = !next_emp in
+        incr next_emp;
+        live_emps := id :: !live_emps;
+        push (Add_emp (id, Printf.sprintf "e%d" id, 1000 + Splitmix.int rng 200, dept_arg ()))
+    | 2 -> (
+        match !live_emps with
+        | [] -> ()
+        | id :: rest ->
+            live_emps := rest;
+            push (Del_emp id))
+    | 3 -> push (Rename_dept (Splitmix.int rng !next_dept, Printf.sprintf "r%d" (Splitmix.int rng 100)))
+    | 4 -> push (Rebudget_dept (Splitmix.int rng !next_dept, Splitmix.int rng 10_000))
+    | 5 -> (
+        match !live_emps with
+        | [] -> ()
+        | id :: _ -> push (Set_salary (id, 1000 + Splitmix.int rng 200)))
+    | 6 -> (
+        match !live_emps with
+        | [] -> ()
+        | id :: _ -> push (Move_emp (id, dept_arg ())))
+    | 7 ->
+        let lo = 1000 + Splitmix.int rng 150 in
+        push (Query_salary_range (lo, lo + Splitmix.int rng 80))
+    | _ -> push (Query_by_dept_name (Printf.sprintf "r%d" (Splitmix.int rng 100)))
+  done;
+  List.rev !ops
+
+let run_conformance ~options ~strategy seed =
+  let r = { depts = Hashtbl.create 16; emps = Hashtbl.create 64 } in
+  let s = make_sut options strategy in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      apply_ref r op;
+      apply_sut s op;
+      match op with
+      | Query_salary_range _ | Query_by_dept_name _ ->
+          if ref_rows r op <> sut_rows s op then ok := false
+      | _ -> ())
+    (gen_ops seed 120);
+  Db.check_integrity s.db;
+  (* Final full comparison. *)
+  let final = Query_salary_range (0, max_int) in
+  !ok && ref_rows r final = sut_rows s final
+
+let qcheck_tests =
+  let open QCheck in
+  let mk name options strategy =
+    Test.make ~name ~count:20 (int_bound 1_000_000) (fun seed ->
+        run_conformance ~options ~strategy seed)
+  in
+  [
+    mk "conforms: no replication" Schema.default_options None;
+    mk "conforms: in-place" Schema.default_options (Some Schema.Inplace);
+    mk "conforms: separate" Schema.default_options (Some Schema.Separate);
+    mk "conforms: in-place, no link elimination"
+      { Schema.default_options with Schema.small_link_threshold = 0 }
+      (Some Schema.Inplace);
+    mk "conforms: in-place, lazy propagation"
+      { Schema.default_options with Schema.lazy_propagation = true }
+      (Some Schema.Inplace);
+  ]
+
+let () =
+  Alcotest.run "fieldrep_model_based"
+    [ ("conformance", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests) ]

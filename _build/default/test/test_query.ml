@@ -1,0 +1,576 @@
+(* Tests for the query layer: planning (index selection, replication-aware
+   projection), execution (retrieve/replace, output files), and the
+   EXTRA-style surface language. *)
+
+module Db = Fieldrep.Db
+module Oid = Fieldrep_storage.Oid
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Schema = Fieldrep_model.Schema
+module Path = Fieldrep_model.Path
+module Ast = Fieldrep_query.Ast
+module Exec = Fieldrep_query.Exec
+module Lang = Fieldrep_query.Lang
+module Wgen = Fieldrep_workload.Gen
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let value_testable = Alcotest.testable Value.pp Value.equal
+let checkv = Alcotest.check value_testable
+
+(* The paper's §3.1 example database, via the surface language. *)
+let paper_db () =
+  let db = Db.create ~page_size:2048 ~frames:128 () in
+  List.iter
+    (fun stmt -> ignore (Lang.exec db stmt))
+    [
+      "define type ORG (name: char[], budget: int)";
+      "define type DEPT (name: char[], budget: int, org: ref ORG)";
+      "define type EMP (name: char[], age: int, salary: int, dept: ref DEPT)";
+      "create Org: {own ref ORG}";
+      "create Dept: {own ref DEPT}";
+      "create Emp1: {own ref EMP}";
+    ];
+  let org =
+    Db.insert db ~set:"Org" [ Value.VString "acme"; Value.VInt 1_000_000 ]
+  in
+  let depts =
+    Array.init 3 (fun i ->
+        Db.insert db ~set:"Dept"
+          [
+            Value.VString (Printf.sprintf "dept-%d" i);
+            Value.VInt (100 * (i + 1));
+            Value.VRef org;
+          ])
+  in
+  let emps =
+    Array.init 12 (fun i ->
+        Db.insert db ~set:"Emp1"
+          [
+            Value.VString (Printf.sprintf "emp-%d" i);
+            Value.VInt (25 + i);
+            Value.VInt (50_000 + (10_000 * i));
+            Value.VRef depts.(i mod 3);
+          ])
+  in
+  (db, org, depts, emps)
+
+(* ------------------------------------------------------------------ *)
+(* Planner                                                             *)
+
+let test_planner_picks_index () =
+  let db, _, _, _ = paper_db () in
+  let q =
+    {
+      Ast.from_set = "Emp1";
+      projections = [ "name" ];
+      where = Some (Ast.between "salary" (Value.VInt 0) (Value.VInt 60_000));
+    }
+  in
+  (match (Exec.explain_retrieve db q).Exec.access with
+  | Exec.File_scan -> ()
+  | Exec.Index_scan _ -> Alcotest.fail "no index yet");
+  ignore (Lang.exec db "build btree on Emp1.salary");
+  match (Exec.explain_retrieve db q).Exec.access with
+  | Exec.Index_scan name -> Alcotest.(check string) "index" "btree_Emp1_salary" name
+  | Exec.File_scan -> Alcotest.fail "index not chosen"
+
+let test_planner_join_counts_follow_replication () =
+  let db, _, _, _ = paper_db () in
+  let q =
+    { Ast.from_set = "Emp1"; projections = [ "name"; "dept.name" ]; where = None }
+  in
+  let joins () = List.assoc "dept.name" (Exec.explain_retrieve db q).Exec.join_counts in
+  checki "join before replication" 1 (joins ());
+  ignore (Lang.exec db "replicate Emp1.dept.name");
+  checki "no join after replication" 0 (joins ())
+
+(* ------------------------------------------------------------------ *)
+(* Retrieve                                                            *)
+
+let test_retrieve_with_predicate () =
+  let db, _, _, _ = paper_db () in
+  ignore (Lang.exec db "build btree on Emp1.salary");
+  let rows =
+    Exec.retrieve_values db
+      {
+        Ast.from_set = "Emp1";
+        projections = [ "name"; "salary"; "dept.name" ];
+        where = Some { Ast.pfield = "salary"; lo = Some (Value.VInt 100_000); hi = None };
+      }
+  in
+  checki "rows" 7 (List.length rows);
+  List.iter
+    (fun row ->
+      match row with
+      | [ _; Value.VInt salary; Value.VString dept ] ->
+          checkb "salary filter" true (salary >= 100_000);
+          checkb "dept projected" true (String.length dept > 0)
+      | _ -> Alcotest.fail "bad row shape")
+    rows
+
+let test_retrieve_full_scan () =
+  let db, _, _, _ = paper_db () in
+  let rows =
+    Exec.retrieve_values db
+      { Ast.from_set = "Emp1"; projections = [ "name" ]; where = None }
+  in
+  checki "all rows" 12 (List.length rows)
+
+let test_retrieve_empty_result () =
+  let db, _, _, _ = paper_db () in
+  let rows =
+    Exec.retrieve_values db
+      {
+        Ast.from_set = "Emp1";
+        projections = [ "name" ];
+        where = Some (Ast.eq "salary" (Value.VInt 1));
+      }
+  in
+  checki "no rows" 0 (List.length rows)
+
+let test_retrieve_output_file_counted () =
+  let db, _, _, _ = paper_db () in
+  let res =
+    Exec.retrieve db { Ast.from_set = "Emp1"; projections = [ "name" ]; where = None }
+  in
+  checkb "output pages" true (res.Exec.output_pages >= 1);
+  checki "rows" 12 res.Exec.rows;
+  Exec.drop_output db res.Exec.output_file
+
+let test_retrieve_same_result_with_and_without_replication () =
+  let db, _, _, _ = paper_db () in
+  let q =
+    {
+      Ast.from_set = "Emp1";
+      projections = [ "name"; "dept.name"; "dept.org.name" ];
+      where = None;
+    }
+  in
+  let before = Exec.retrieve_values db q in
+  ignore (Lang.exec db "replicate Emp1.dept.name");
+  ignore (Lang.exec db "replicate Emp1.dept.org.name using separate");
+  let after = Exec.retrieve_values db q in
+  checkb "identical results" true
+    (List.equal (List.equal Value.equal) before after)
+
+(* ------------------------------------------------------------------ *)
+(* Replace                                                             *)
+
+let test_replace_updates_and_propagates () =
+  let db, _, depts, emps = paper_db () in
+  ignore depts;
+  ignore (Lang.exec db "replicate Emp1.dept.budget");
+  let n =
+    Exec.replace db
+      {
+        Ast.target_set = "Dept";
+        assignments = [ ("budget", Ast.Const (Value.VInt 777)) ];
+        rwhere = Some (Ast.eq "name" (Value.VString "dept-0"));
+      }
+  in
+  checki "one dept updated" 1 n;
+  checkv "propagated to employees" (Value.VInt 777)
+    (Db.deref db ~set:"Emp1" emps.(0) "dept.budget");
+  Db.check_integrity db
+
+let test_replace_computed_rhs () =
+  let db, _, _, _ = paper_db () in
+  let n =
+    Exec.replace db
+      {
+        Ast.target_set = "Emp1";
+        assignments =
+          [ ("salary", Ast.Computed (fun oid -> Value.VInt (1000 + oid.Oid.slot))) ];
+        rwhere = None;
+      }
+  in
+  checki "all employees" 12 n;
+  Db.check_integrity db
+
+(* ------------------------------------------------------------------ *)
+(* Surface language                                                    *)
+
+let test_lang_retrieve_paper_example () =
+  let db, _, _, _ = paper_db () in
+  ignore (Lang.exec db "replicate Emp1.dept.name");
+  match
+    Lang.exec db
+      "retrieve (Emp1.name, Emp1.salary, Emp1.dept.name) where Emp1.salary > 100000"
+  with
+  | Lang.Rows rows ->
+      (* salaries 50k + 10k*i for i in 0..11: strictly above 100k are i = 6..11 *)
+      checki "rows" 6 (List.length rows);
+      List.iter
+        (fun row -> checki "three columns" 3 (List.length row))
+        rows
+  | _ -> Alcotest.fail "expected rows"
+
+let test_lang_replace () =
+  let db, _, _, _ = paper_db () in
+  (match Lang.exec db {|replace (Dept.budget = 5) where Dept.name = "dept-1"|} with
+  | Lang.Updated 1 -> ()
+  | _ -> Alcotest.fail "expected Updated 1");
+  match Lang.exec db {|retrieve (Dept.budget) where Dept.name = "dept-1"|} with
+  | Lang.Rows [ [ Value.VInt 5 ] ] -> ()
+  | _ -> Alcotest.fail "update not visible"
+
+let test_lang_between_and_comparisons () =
+  let db, _, _, _ = paper_db () in
+  let count stmt =
+    match Lang.exec db stmt with
+    | Lang.Rows rows -> List.length rows
+    | _ -> Alcotest.fail "expected rows"
+  in
+  checki "between" 3 (count "retrieve (Emp1.name) where Emp1.age between 25 and 27");
+  checki "lt" 2 (count "retrieve (Emp1.name) where Emp1.age < 27");
+  checki "ge" 11 (count "retrieve (Emp1.name) where Emp1.age >= 26");
+  checki "eq" 1 (count "retrieve (Emp1.name) where Emp1.age = 30")
+
+let test_lang_replication_modifiers () =
+  let db, _, _, emps = paper_db () in
+  ignore (Lang.exec db "replicate Emp1.dept.budget using separate");
+  ignore (Lang.exec db "replicate Emp1.dept.org.name collapsed");
+  ignore (Lang.exec db "replicate Emp1.dept.name threshold 0");
+  checki "separate hop" 1 (Db.deref_would_join db ~set:"Emp1" "dept.budget");
+  checki "collapsed covered" 0 (Db.deref_would_join db ~set:"Emp1" "dept.org.name");
+  checkv "value intact" (Value.VString "dept-0") (Db.deref db ~set:"Emp1" emps.(0) "dept.name");
+  Db.check_integrity db
+
+let test_lang_script () =
+  let db = Db.create () in
+  let outcomes =
+    Lang.exec_script db
+      {|
+      -- the paper's schema
+      define type DEPT (name: char[], budget: int);
+      define type EMP (name: char[], salary: int, dept: ref DEPT);
+      create Dept: {own ref DEPT};
+      create Emp1: {own ref EMP}
+      |}
+  in
+  checki "four statements" 4 (List.length outcomes)
+
+let test_lang_errors () =
+  let db, _, _, _ = paper_db () in
+  List.iter
+    (fun stmt ->
+      try
+        ignore (Lang.exec db stmt);
+        Alcotest.failf "accepted %S" stmt
+      with Lang.Parse_error _ -> ())
+    [
+      "frobnicate Emp1";
+      "retrieve ()";
+      "retrieve (Emp1.name) where Emp1.name ~ 3";
+      "define type X (a: blob)";
+      {|retrieve (Emp1.name) where Emp1.name < "x"|};
+      "retrieve (Emp1.name, Dept.name)";
+    ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Predicates on path expressions (§3.3.4 associative lookups)         *)
+
+let test_path_predicate_file_scan () =
+  let db, _, _, _ = paper_db () in
+  (* No index, no replication: evaluated by scan + functional joins. *)
+  let rows =
+    Exec.retrieve_values db
+      {
+        Ast.from_set = "Emp1";
+        projections = [ "name" ];
+        where = Some (Ast.eq "dept.name" (Value.VString "dept-1"));
+      }
+  in
+  checki "matching employees" 4 (List.length rows)
+
+let test_path_predicate_uses_path_index () =
+  let db, _, _, _ = paper_db () in
+  ignore (Lang.exec db "replicate Emp1.dept.org.name");
+  ignore (Lang.exec db "build btree on Emp1.dept.org.name");
+  let q =
+    {
+      Ast.from_set = "Emp1";
+      projections = [ "name" ];
+      where = Some (Ast.eq "dept.org.name" (Value.VString "acme"));
+    }
+  in
+  (match (Exec.explain_retrieve db q).Exec.access with
+  | Exec.Index_scan name ->
+      Alcotest.(check string) "path index chosen" "btree_Emp1_dept_org_name" name
+  | Exec.File_scan -> Alcotest.fail "path index not chosen");
+  checki "all employees of acme" 12 (List.length (Exec.retrieve_values db q));
+  (* Same answer without the index. *)
+  let db2, _, _, _ = paper_db () in
+  checki "scan agrees" 12 (List.length (Exec.retrieve_values db2 q))
+
+let test_lang_path_predicate () =
+  let db, _, _, _ = paper_db () in
+  match Lang.exec db {|retrieve (Emp1.name) where Emp1.dept.name = "dept-0"|} with
+  | Lang.Rows rows -> checki "rows" 4 (List.length rows)
+  | _ -> Alcotest.fail "expected rows"
+
+(* ------------------------------------------------------------------ *)
+(* Aggregates, ordering, limits                                        *)
+
+let test_aggregates () =
+  let db, _, _, _ = paper_db () in
+  let vals =
+    Exec.aggregate db ~set:"Emp1" ~where:None
+      [
+        (Exec.Count, "name");
+        (Exec.Sum, "salary");
+        (Exec.Avg, "salary");
+        (Exec.Min, "salary");
+        (Exec.Max, "salary");
+      ]
+  in
+  (* salaries are 50k + 10k*i, i = 0..11 *)
+  Alcotest.(check (list string))
+    "aggregate values"
+    [ "12"; string_of_int (12 * 50_000 + 10_000 * 66); "105000"; "50000"; "160000" ]
+    (List.map Value.to_string vals)
+
+let test_aggregate_with_predicate_and_path () =
+  let db, _, _, _ = paper_db () in
+  ignore (Lang.exec db "replicate Emp1.dept.name");
+  let vals =
+    Exec.aggregate db ~set:"Emp1"
+      ~where:(Some { Ast.pfield = "salary"; lo = Some (Value.VInt 100_000); hi = None })
+      [ (Exec.Count, "dept.name"); (Exec.Max, "dept.name") ]
+  in
+  checki "count over path" 7 (Value.as_int (List.nth vals 0));
+  checkb "max over strings" true (match List.nth vals 1 with Value.VString _ -> true | _ -> false)
+
+let test_aggregate_empty_selection () =
+  let db, _, _, _ = paper_db () in
+  let vals =
+    Exec.aggregate db ~set:"Emp1"
+      ~where:(Some (Ast.eq "salary" (Value.VInt 1)))
+      [ (Exec.Count, "name"); (Exec.Sum, "salary"); (Exec.Min, "salary") ]
+  in
+  Alcotest.(check (list string)) "empty aggregates" [ "0"; "null"; "null" ]
+    (List.map Value.to_string vals)
+
+let test_retrieve_sorted_and_limit () =
+  let db, _, _, _ = paper_db () in
+  let rows =
+    Exec.retrieve_sorted db
+      { Ast.from_set = "Emp1"; projections = [ "name" ]; where = None }
+      ~order_by:"salary" ~descending:true ~limit:3 ()
+  in
+  Alcotest.(check (list (list string)))
+    "top three earners"
+    [ [ {|"emp-11"|} ]; [ {|"emp-10"|} ]; [ {|"emp-9"|} ] ]
+    (List.map (List.map Value.to_string) rows)
+
+let test_lang_aggregates () =
+  let db, _, _, _ = paper_db () in
+  (match Lang.exec db "retrieve (count(Emp1.name), avg(Emp1.salary)) where Emp1.salary >= 100000" with
+  | Lang.Rows [ [ Value.VInt 7; Value.VInt 130000 ] ] -> ()
+  | Lang.Rows rows ->
+      Alcotest.failf "unexpected rows: %s"
+        (String.concat ";"
+           (List.map (fun r -> String.concat "," (List.map Value.to_string r)) rows))
+  | _ -> Alcotest.fail "expected rows");
+  match Lang.exec db "retrieve (Emp1.name) order by Emp1.salary desc limit 2" with
+  | Lang.Rows [ [ Value.VString "emp-11" ]; [ Value.VString "emp-10" ] ] -> ()
+  | _ -> Alcotest.fail "order by desc limit failed"
+
+let test_lang_aggregate_mix_rejected () =
+  let db, _, _, _ = paper_db () in
+  try
+    ignore (Lang.exec db "retrieve (Emp1.name, count(Emp1.name))");
+    Alcotest.fail "mixed projections accepted"
+  with Lang.Parse_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Group-by, insert/delete statements                                  *)
+
+let test_group_by_api () =
+  let db, _, _, _ = paper_db () in
+  let groups =
+    Exec.group_by db ~set:"Emp1" ~where:None ~key:"dept.name"
+      [ (Exec.Count, "name"); (Exec.Max, "salary") ]
+  in
+  (* 12 employees round-robin over three departments. *)
+  checki "three groups" 3 (List.length groups);
+  List.iter
+    (fun (_, vals) -> checki "four per group" 4 (Value.as_int (List.nth vals 0)))
+    groups;
+  (* Keys ascend. *)
+  let keys = List.map fst groups in
+  checkb "sorted keys" true (keys = List.sort Value.compare keys)
+
+let test_group_by_replicated_path_no_joins () =
+  let db, _, _, _ = paper_db () in
+  ignore (Lang.exec db "replicate Emp1.dept.org.name");
+  checki "grouping key fully covered" 0
+    (Db.deref_would_join db ~set:"Emp1" "dept.org.name");
+  match Lang.exec db "retrieve (count(Emp1.name)) group by Emp1.dept.org.name" with
+  | Lang.Rows [ [ Value.VString "acme"; Value.VInt 12 ] ] -> ()
+  | Lang.Rows rows ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat ";"
+           (List.map (fun r -> String.concat "," (List.map Value.to_string r)) rows))
+  | _ -> Alcotest.fail "expected rows"
+
+let test_lang_group_by_validation () =
+  let db, _, _, _ = paper_db () in
+  List.iter
+    (fun stmt ->
+      try
+        ignore (Lang.exec db stmt);
+        Alcotest.failf "accepted %S" stmt
+      with Lang.Parse_error _ -> ())
+    [
+      "retrieve (Emp1.name) group by Emp1.dept.name";  (* no aggregate *)
+      "retrieve (Emp1.age, count(Emp1.name)) group by Emp1.dept.name";  (* col <> key *)
+      "retrieve (count(Emp1.name)) group by Emp1.dept.name limit 2";
+    ]
+
+let test_lang_insert_with_ref_lookup () =
+  let db, _, _, _ = paper_db () in
+  (match
+     Lang.exec db {|insert into Emp1 values ("zoe", 28, 70000, ref(Dept.name = "dept-2"))|}
+   with
+  | Lang.Inserted _ -> ()
+  | _ -> Alcotest.fail "expected Inserted");
+  checki "13 employees now" 13 (Db.set_size db "Emp1");
+  (match Lang.exec db {|retrieve (Emp1.dept.name) where Emp1.name = "zoe"|} with
+  | Lang.Rows [ [ Value.VString "dept-2" ] ] -> ()
+  | _ -> Alcotest.fail "reference not resolved");
+  (* Ambiguous and empty lookups rejected. *)
+  List.iter
+    (fun stmt ->
+      try
+        ignore (Lang.exec db stmt);
+        Alcotest.failf "accepted %S" stmt
+      with Lang.Parse_error _ -> ())
+    [
+      {|insert into Emp1 values ("x", 1, 1, ref(Dept.name = "nope"))|};
+      {|insert into Emp1 values ("x", 1, 1, ref(Dept.budget >= 0))|};
+    ]
+
+let test_lang_delete_from () =
+  let db, _, _, _ = paper_db () in
+  (match Lang.exec db "delete from Emp1 where Emp1.salary >= 120000" with
+  | Lang.Deleted 5 -> ()
+  | Lang.Deleted n -> Alcotest.failf "deleted %d" n
+  | _ -> Alcotest.fail "expected Deleted");
+  checki "7 left" 7 (Db.set_size db "Emp1");
+  Db.check_integrity db;
+  (match Lang.exec db "delete from Emp1" with
+  | Lang.Deleted 7 -> ()
+  | _ -> Alcotest.fail "unfiltered delete");
+  checki "empty" 0 (Db.set_size db "Emp1")
+
+let test_delete_from_respects_replication_protection () =
+  let db, _, _, _ = paper_db () in
+  ignore (Lang.exec db "replicate Emp1.dept.name");
+  try
+    ignore (Lang.exec db "delete from Dept");
+    Alcotest.fail "deleted referenced departments"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"index scan equals file scan" ~count:20
+      (pair (int_range 0 2000) (int_range 0 2000))
+      (fun (a, b) ->
+        let lo = min a b and hi = max a b in
+        let built =
+          Wgen.build { Wgen.default_spec with Wgen.s_count = 150; sharing = 2; seed = a + (b * 7) }
+        in
+        let db = built.Wgen.db in
+        let q where =
+          Exec.retrieve_values db
+            {
+              Ast.from_set = "R";
+              projections = [ "field_r"; "sref.repfield" ];
+              where;
+            }
+          |> List.sort compare
+        in
+        let with_index =
+          q (Some (Ast.between "field_r" (Value.VInt lo) (Value.VInt hi)))
+        in
+        (* Force a file scan by filtering manually. *)
+        let all = q None in
+        let filtered =
+          List.filter
+            (fun row ->
+              match row with
+              | Value.VInt k :: _ -> k >= lo && k <= hi
+              | _ -> false)
+            all
+        in
+        with_index = filtered);
+  ]
+
+let () =
+  Alcotest.run "fieldrep_query"
+    [
+      ( "planner",
+        [
+          Alcotest.test_case "picks index" `Quick test_planner_picks_index;
+          Alcotest.test_case "join counts follow replication" `Quick
+            test_planner_join_counts_follow_replication;
+        ] );
+      ( "retrieve",
+        [
+          Alcotest.test_case "with predicate" `Quick test_retrieve_with_predicate;
+          Alcotest.test_case "full scan" `Quick test_retrieve_full_scan;
+          Alcotest.test_case "empty result" `Quick test_retrieve_empty_result;
+          Alcotest.test_case "output file" `Quick test_retrieve_output_file_counted;
+          Alcotest.test_case "replication transparent" `Quick
+            test_retrieve_same_result_with_and_without_replication;
+        ] );
+      ( "replace",
+        [
+          Alcotest.test_case "updates and propagates" `Quick test_replace_updates_and_propagates;
+          Alcotest.test_case "computed rhs" `Quick test_replace_computed_rhs;
+        ] );
+      ( "path predicates",
+        [
+          Alcotest.test_case "file scan" `Quick test_path_predicate_file_scan;
+          Alcotest.test_case "uses path index" `Quick test_path_predicate_uses_path_index;
+          Alcotest.test_case "language" `Quick test_lang_path_predicate;
+        ] );
+      ( "aggregates",
+        [
+          Alcotest.test_case "basic aggregates" `Quick test_aggregates;
+          Alcotest.test_case "predicate + path" `Quick test_aggregate_with_predicate_and_path;
+          Alcotest.test_case "empty selection" `Quick test_aggregate_empty_selection;
+          Alcotest.test_case "sorted + limit" `Quick test_retrieve_sorted_and_limit;
+          Alcotest.test_case "language aggregates" `Quick test_lang_aggregates;
+          Alcotest.test_case "mixed projections rejected" `Quick
+            test_lang_aggregate_mix_rejected;
+        ] );
+      ( "group-by and dml statements",
+        [
+          Alcotest.test_case "group_by api" `Quick test_group_by_api;
+          Alcotest.test_case "group by replicated path" `Quick
+            test_group_by_replicated_path_no_joins;
+          Alcotest.test_case "group-by validation" `Quick test_lang_group_by_validation;
+          Alcotest.test_case "insert with ref lookup" `Quick test_lang_insert_with_ref_lookup;
+          Alcotest.test_case "delete from" `Quick test_lang_delete_from;
+          Alcotest.test_case "delete respects protection" `Quick
+            test_delete_from_respects_replication_protection;
+        ] );
+      ( "language",
+        [
+          Alcotest.test_case "paper retrieve" `Quick test_lang_retrieve_paper_example;
+          Alcotest.test_case "replace" `Quick test_lang_replace;
+          Alcotest.test_case "comparisons" `Quick test_lang_between_and_comparisons;
+          Alcotest.test_case "replication modifiers" `Quick test_lang_replication_modifiers;
+          Alcotest.test_case "script" `Quick test_lang_script;
+          Alcotest.test_case "errors" `Quick test_lang_errors;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+    ]

@@ -1,0 +1,710 @@
+(* End-to-end tests of the field-replication engine through the Db facade,
+   built around the paper's employee database (ORG / DEPT / EMP, §2).
+
+   Covers: in-place and separate strategies at 1 and 2 levels, full-object
+   replication, link sharing across paths with common prefixes (§4.1.4),
+   insert/delete maintenance (§4.1.1), scalar- and reference-update
+   propagation (§4.1.2-3, §5.2), small-link elimination (§4.3.1), collapsed
+   inverted paths (§4.3.3), indexes on replicated data (§3.3.4), and the
+   from-scratch invariant checker. *)
+
+module Db = Fieldrep.Db
+module Oid = Fieldrep_storage.Oid
+module Heap_file = Fieldrep_storage.Heap_file
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Record = Fieldrep_model.Record
+module Schema = Fieldrep_model.Schema
+module Path = Fieldrep_model.Path
+module Key = Fieldrep_btree.Key
+module Registry = Fieldrep_replication.Registry
+module Store = Fieldrep_replication.Store
+module Engine = Fieldrep_replication.Engine
+module Invariants = Fieldrep_replication.Invariants
+module Splitmix = Fieldrep_util.Splitmix
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+let checkv = Alcotest.check value_testable
+
+(* ------------------------------------------------------------------ *)
+(* Fixture: the employee database                                      *)
+
+type fixture = {
+  db : Db.t;
+  orgs : Oid.t array;
+  depts : Oid.t array;
+  emps : Oid.t array;
+}
+
+let org_ty =
+  Ty.make ~name:"ORG"
+    [
+      { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+      { Ty.fname = "budget"; ftype = Ty.Scalar Ty.SInt };
+    ]
+
+let dept_ty =
+  Ty.make ~name:"DEPT"
+    [
+      { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+      { Ty.fname = "budget"; ftype = Ty.Scalar Ty.SInt };
+      { Ty.fname = "org"; ftype = Ty.Ref "ORG" };
+    ]
+
+let emp_ty =
+  Ty.make ~name:"EMP"
+    [
+      { Ty.fname = "name"; ftype = Ty.Scalar Ty.SString };
+      { Ty.fname = "age"; ftype = Ty.Scalar Ty.SInt };
+      { Ty.fname = "salary"; ftype = Ty.Scalar Ty.SInt };
+      { Ty.fname = "dept"; ftype = Ty.Ref "DEPT" };
+    ]
+
+let employee_db ?(norgs = 2) ?(ndepts = 4) ?(nemps = 16) ?(two_sets = false) () =
+  let db = Db.create ~page_size:1024 ~frames:128 () in
+  Db.define_type db org_ty;
+  Db.define_type db dept_ty;
+  Db.define_type db emp_ty;
+  Db.create_set db ~name:"Org" ~elem_type:"ORG" ();
+  Db.create_set db ~name:"Dept" ~elem_type:"DEPT" ();
+  Db.create_set db ~name:"Emp1" ~elem_type:"EMP" ();
+  if two_sets then Db.create_set db ~name:"Emp2" ~elem_type:"EMP" ();
+  let orgs =
+    Array.init norgs (fun i ->
+        Db.insert db ~set:"Org"
+          [ Value.VString (Printf.sprintf "org-%d" i); Value.VInt (1000 * (i + 1)) ])
+  in
+  let depts =
+    Array.init ndepts (fun i ->
+        Db.insert db ~set:"Dept"
+          [
+            Value.VString (Printf.sprintf "dept-%d" i);
+            Value.VInt (100 * (i + 1));
+            Value.VRef orgs.(i mod norgs);
+          ])
+  in
+  let emps =
+    Array.init nemps (fun i ->
+        Db.insert db ~set:"Emp1"
+          [
+            Value.VString (Printf.sprintf "emp-%d" i);
+            Value.VInt (20 + (i mod 40));
+            Value.VInt (30_000 + (1000 * i));
+            Value.VRef depts.(i mod ndepts);
+          ])
+  in
+  { db; orgs; depts; emps }
+
+let check_all fx = Db.check_integrity fx.db
+
+let vstr s = Value.VString s
+let vint i = Value.VInt i
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+
+let test_registry_link_sharing () =
+  (* The paper's §4.1.4 example: three paths from Emp1 share link 1; a path
+     from Emp2 gets its own. *)
+  let fx = employee_db ~two_sets:true () in
+  let s = Db.schema fx.db in
+  List.iter
+    (fun p -> ignore (Schema.add_replication s ~strategy:Schema.Inplace (Path.parse p)))
+    [ "Emp1.dept.budget"; "Emp1.dept.name"; "Emp1.dept.org.name"; "Emp2.dept.org.name" ];
+  let reg = Registry.compile s in
+  let link_ids_of p =
+    let rep = Option.get (Schema.find_replication s (Path.parse p)) in
+    List.map (fun (n : Registry.node) -> n.Registry.link_id) (Registry.chain reg rep)
+  in
+  let budget = link_ids_of "Emp1.dept.budget" in
+  let name = link_ids_of "Emp1.dept.name" in
+  let orgname = link_ids_of "Emp1.dept.org.name" in
+  let other = link_ids_of "Emp2.dept.org.name" in
+  checkb "shared level-1 link" true (List.hd budget = List.hd name);
+  checkb "longer path shares level-1 link" true (List.hd budget = List.hd orgname);
+  checkb "different source set gets a new link" true (List.hd other <> List.hd budget);
+  checki "link sequence lengths" 2 (List.length orgname);
+  checkb "all links materialised" true
+    (List.for_all Option.is_some (budget @ name @ orgname @ other))
+
+let test_registry_stable_ids () =
+  let fx = employee_db () in
+  let s = Db.schema fx.db in
+  ignore (Schema.add_replication s ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name"));
+  let reg1 = Registry.compile s in
+  let id1 = (List.hd (Registry.roots reg1 "Emp1")).Registry.link_id in
+  ignore
+    (Schema.add_replication s ~strategy:Schema.Inplace (Path.parse "Emp1.dept.org.name"));
+  let reg2 = Registry.compile s in
+  let id2 = (List.hd (Registry.roots reg2 "Emp1")).Registry.link_id in
+  checkb "level-1 link id stable across recompiles" true (id1 = id2)
+
+let test_registry_collapse_validation () =
+  let fx = employee_db () in
+  let s = Db.schema fx.db in
+  let options = { Schema.default_options with Schema.collapse = true } in
+  ignore
+    (Schema.add_replication s ~options ~strategy:Schema.Inplace
+       (Path.parse "Emp1.dept.name"));
+  try
+    ignore (Registry.compile s);
+    Alcotest.fail "expected Invalid_argument for 1-level collapse"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* In-place replication, 1 level                                       *)
+
+let test_inplace_deref_no_join () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  checki "no functional join" 0 (Db.deref_would_join fx.db ~set:"Emp1" "dept.name");
+  checkv "replicated value" (vstr "dept-1") (Db.deref fx.db ~set:"Emp1" fx.emps.(1) "dept.name");
+  (* An uncovered path still walks. *)
+  checki "uncovered path joins" 1 (Db.deref_would_join fx.db ~set:"Emp1" "dept.budget");
+  check_all fx
+
+let test_inplace_scalar_propagation () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  Db.update_field fx.db ~set:"Dept" fx.depts.(2) ~field:"name" (vstr "renamed");
+  (* Every employee of dept 2 sees the new value without a join. *)
+  Array.iteri
+    (fun i e ->
+      if i mod 4 = 2 then
+        checkv "propagated" (vstr "renamed") (Db.deref fx.db ~set:"Emp1" e "dept.name"))
+    fx.emps;
+  (* Unrelated departments untouched. *)
+  checkv "other dept" (vstr "dept-1") (Db.deref fx.db ~set:"Emp1" fx.emps.(1) "dept.name");
+  check_all fx
+
+let test_inplace_update_to_unreferenced_dept_is_free () =
+  let fx = employee_db ~ndepts:5 ~nemps:4 () in
+  (* Dept 4 has no employees (emps cover depts 0-3). *)
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  let d4 = Db.get fx.db ~set:"Dept" fx.depts.(4) in
+  checki "unreferenced dept has no link pairs" 0 (List.length d4.Record.links);
+  Db.update_field fx.db ~set:"Dept" fx.depts.(4) ~field:"name" (vstr "quiet");
+  check_all fx
+
+let test_inplace_insert_maintenance () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  let e =
+    Db.insert fx.db ~set:"Emp1"
+      [ vstr "newhire"; vint 30; vint 55_000; Value.VRef fx.depts.(0) ]
+  in
+  checkv "hidden filled at insert" (vstr "dept-0") (Db.deref fx.db ~set:"Emp1" e "dept.name");
+  Db.update_field fx.db ~set:"Dept" fx.depts.(0) ~field:"name" (vstr "d0x");
+  checkv "new member receives updates" (vstr "d0x") (Db.deref fx.db ~set:"Emp1" e "dept.name");
+  check_all fx
+
+let test_inplace_delete_maintenance () =
+  let fx = employee_db ~ndepts:2 ~nemps:4 () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  (* Employees 1 and 3 belong to dept 1; delete both. *)
+  Db.delete fx.db ~set:"Emp1" fx.emps.(1);
+  check_all fx;
+  Db.delete fx.db ~set:"Emp1" fx.emps.(3);
+  check_all fx;
+  (* Dept 1 is now off-path: no link pairs left. *)
+  let d1 = Db.get fx.db ~set:"Dept" fx.depts.(1) in
+  checki "dept off path" 0 (List.length d1.Record.links);
+  (* Its updates no longer propagate anywhere (nothing to check beyond
+     invariants, but the call must not fail). *)
+  Db.update_field fx.db ~set:"Dept" fx.depts.(1) ~field:"name" (vstr "empty");
+  check_all fx
+
+let test_inplace_ref_update_source () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  Db.update_field fx.db ~set:"Emp1" fx.emps.(0) ~field:"dept" (Value.VRef fx.depts.(3));
+  checkv "hidden refreshed" (vstr "dept-3") (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.name");
+  check_all fx;
+  (* And updates now follow the new department. *)
+  Db.update_field fx.db ~set:"Dept" fx.depts.(3) ~field:"name" (vstr "d3x");
+  checkv "tracks new dept" (vstr "d3x") (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.name");
+  Db.update_field fx.db ~set:"Dept" fx.depts.(0) ~field:"name" (vstr "d0x");
+  checkv "old dept no longer tracked" (vstr "d3x")
+    (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.name");
+  check_all fx
+
+let test_inplace_ref_update_to_null_and_back () =
+  let fx = employee_db ~nemps:4 () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  Db.update_field fx.db ~set:"Emp1" fx.emps.(0) ~field:"dept" Value.VNull;
+  checkv "null path yields null" Value.VNull
+    (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.name");
+  check_all fx;
+  Db.update_field fx.db ~set:"Emp1" fx.emps.(0) ~field:"dept" (Value.VRef fx.depts.(1));
+  checkv "reattached" (vstr "dept-1") (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.name");
+  check_all fx
+
+(* ------------------------------------------------------------------ *)
+(* In-place replication, 2 levels                                      *)
+
+let test_two_level_propagation () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.org.name");
+  checki "two joins eliminated" 0 (Db.deref_would_join fx.db ~set:"Emp1" "dept.org.name");
+  checkv "initial" (vstr "org-0") (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  Db.update_field fx.db ~set:"Org" fx.orgs.(0) ~field:"name" (vstr "megacorp");
+  (* Emps in depts 0 and 2 (org 0) see it; others do not. *)
+  checkv "propagates through two links" (vstr "megacorp")
+    (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  checkv "org-1 employees untouched" (vstr "org-1")
+    (Db.deref fx.db ~set:"Emp1" fx.emps.(1) "dept.org.name");
+  check_all fx
+
+let test_two_level_intermediate_ref_update () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.org.name");
+  (* Move dept 0 from org 0 to org 1: all its employees' hidden values must
+     flip, and future org-1 updates must reach them. *)
+  Db.update_field fx.db ~set:"Dept" fx.depts.(0) ~field:"org" (Value.VRef fx.orgs.(1));
+  checkv "refreshed after move" (vstr "org-1")
+    (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  check_all fx;
+  Db.update_field fx.db ~set:"Org" fx.orgs.(1) ~field:"name" (vstr "newcorp");
+  checkv "tracked via new org" (vstr "newcorp")
+    (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  Db.update_field fx.db ~set:"Org" fx.orgs.(0) ~field:"name" (vstr "oldcorp");
+  checkv "old org detached" (vstr "newcorp")
+    (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  check_all fx
+
+let test_two_level_source_ref_update () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.org.name");
+  (* Employee 0 moves from dept 0 (org 0) to dept 1 (org 1). *)
+  Db.update_field fx.db ~set:"Emp1" fx.emps.(0) ~field:"dept" (Value.VRef fx.depts.(1));
+  checkv "hidden follows both levels" (vstr "org-1")
+    (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  check_all fx
+
+let test_shared_prefix_paths () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.budget");
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.org.name");
+  check_all fx;
+  Db.update_field fx.db ~set:"Dept" fx.depts.(0) ~field:"budget" (vint 777);
+  checkv "budget propagated" (vint 777) (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.budget");
+  Db.update_field fx.db ~set:"Org" fx.orgs.(0) ~field:"name" (vstr "shared");
+  checkv "org name propagated" (vstr "shared")
+    (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  checkv "dept name untouched" (vstr "dept-0")
+    (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.name");
+  (* Moving an employee updates all three hidden groups. *)
+  Db.update_field fx.db ~set:"Emp1" fx.emps.(0) ~field:"dept" (Value.VRef fx.depts.(1));
+  checkv "name follows" (vstr "dept-1") (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.name");
+  checkv "budget follows" (vint 200) (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.budget");
+  checkv "org follows" (vstr "org-1") (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  check_all fx
+
+let test_full_object_replication () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.all");
+  checkv "name covered" (vstr "dept-0") (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.name");
+  checki "name: no join" 0 (Db.deref_would_join fx.db ~set:"Emp1" "dept.name");
+  checkv "budget covered" (vint 100) (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.budget");
+  Db.update_field fx.db ~set:"Dept" fx.depts.(0) ~field:"budget" (vint 42);
+  checkv "all fields propagate" (vint 42) (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.budget");
+  check_all fx
+
+(* ------------------------------------------------------------------ *)
+(* Separate replication                                                *)
+
+let test_separate_basic () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Separate (Path.parse "Emp1.dept.name");
+  checki "separate costs one hop" 1 (Db.deref_would_join fx.db ~set:"Emp1" "dept.name");
+  checkv "value via S'" (vstr "dept-2") (Db.deref fx.db ~set:"Emp1" fx.emps.(2) "dept.name");
+  check_all fx
+
+let test_separate_update_is_shared () =
+  let fx = employee_db ~ndepts:2 ~nemps:10 () in
+  Db.replicate fx.db ~strategy:Schema.Separate (Path.parse "Emp1.dept.name");
+  (* One update, one S' object rewritten, all five employees see it. *)
+  Db.update_field fx.db ~set:"Dept" fx.depts.(0) ~field:"name" (vstr "sep0");
+  Array.iteri
+    (fun i e ->
+      if i mod 2 = 0 then
+        checkv "shared copy" (vstr "sep0") (Db.deref fx.db ~set:"Emp1" e "dept.name"))
+    fx.emps;
+  check_all fx
+
+let test_separate_sprime_sharing_and_refcounts () =
+  let fx = employee_db ~ndepts:2 ~nemps:6 () in
+  Db.replicate fx.db ~strategy:Schema.Separate (Path.parse "Emp1.dept.name");
+  let eng = Db.engine fx.db in
+  let rep = Option.get (Schema.find_replication (Db.schema fx.db) (Path.parse "Emp1.dept.name")) in
+  let sp_file = Option.get (Store.sprime_file_opt eng.Engine.store rep.Schema.rep_id) in
+  checki "one S' object per referenced dept" 2 (Heap_file.object_count sp_file);
+  (* Deleting all employees of dept 1 reclaims its S' object. *)
+  Array.iteri (fun i e -> if i mod 2 = 1 then Db.delete fx.db ~set:"Emp1" e) fx.emps;
+  checki "S' reclaimed" 1 (Heap_file.object_count sp_file);
+  check_all fx
+
+let test_separate_two_level () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Separate (Path.parse "Emp1.dept.org.name");
+  checkv "initial" (vstr "org-0") (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  Db.update_field fx.db ~set:"Org" fx.orgs.(0) ~field:"name" (vstr "sep-org");
+  checkv "S' updated in place" (vstr "sep-org")
+    (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  check_all fx;
+  (* The paper's Figure 8 scenario: D.org changes, sources must repoint
+     their S' references. *)
+  Db.update_field fx.db ~set:"Dept" fx.depts.(0) ~field:"org" (Value.VRef fx.orgs.(1));
+  checkv "sref repointed" (vstr "org-1")
+    (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  check_all fx
+
+let test_separate_and_inplace_coexist () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  Db.replicate fx.db ~strategy:Schema.Separate (Path.parse "Emp1.dept.budget");
+  Db.update_field fx.db ~set:"Dept" fx.depts.(0) ~field:"name" (vstr "both-n");
+  Db.update_field fx.db ~set:"Dept" fx.depts.(0) ~field:"budget" (vint 9);
+  checkv "inplace side" (vstr "both-n") (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.name");
+  checkv "separate side" (vint 9) (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.budget");
+  check_all fx
+
+(* ------------------------------------------------------------------ *)
+(* Optimizations                                                       *)
+
+let test_small_link_elimination () =
+  (* f = 1: every link object would hold exactly one OID, so none should be
+     materialised (paper §4.3.1). *)
+  let fx = employee_db ~ndepts:4 ~nemps:4 () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  let eng = Db.engine fx.db in
+  let reg = eng.Engine.registry in
+  let link_id = Option.get (List.hd (Registry.roots reg "Emp1")).Registry.link_id in
+  let lf = Fieldrep_replication.Store.link_file eng.Engine.store link_id in
+  checki "no link objects at f=1" 0 (Heap_file.object_count lf);
+  check_all fx;
+  (* A second member forces materialisation... *)
+  let e =
+    Db.insert fx.db ~set:"Emp1" [ vstr "x"; vint 30; vint 1; Value.VRef fx.depts.(0) ]
+  in
+  checki "link object materialised" 1 (Heap_file.object_count lf);
+  check_all fx;
+  (* ...and deleting back to one member eliminates it again. *)
+  Db.delete fx.db ~set:"Emp1" e;
+  checki "re-eliminated" 0 (Heap_file.object_count lf);
+  check_all fx
+
+let test_elimination_disabled () =
+  let fx = employee_db ~ndepts:4 ~nemps:4 () in
+  let options = { Schema.default_options with Schema.small_link_threshold = 0 } in
+  Db.replicate fx.db ~options ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  let eng = Db.engine fx.db in
+  let link_id =
+    Option.get (List.hd (Registry.roots eng.Engine.registry "Emp1")).Registry.link_id
+  in
+  let lf = Fieldrep_replication.Store.link_file eng.Engine.store link_id in
+  checki "link objects even at f=1" 4 (Heap_file.object_count lf);
+  check_all fx
+
+let test_collapsed_path () =
+  let fx = employee_db () in
+  let options = { Schema.default_options with Schema.collapse = true } in
+  Db.replicate fx.db ~options ~strategy:Schema.Inplace (Path.parse "Emp1.dept.org.name");
+  checki "collapsed still no join" 0 (Db.deref_would_join fx.db ~set:"Emp1" "dept.org.name");
+  checkv "initial" (vstr "org-0") (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  check_all fx;
+  (* Field update propagates straight from org to employees. *)
+  Db.update_field fx.db ~set:"Org" fx.orgs.(0) ~field:"name" (vstr "collapsed");
+  checkv "one-hop propagation" (vstr "collapsed")
+    (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  check_all fx;
+  (* The paper's tagged-move scenario: D.org flips, entries tagged D move. *)
+  Db.update_field fx.db ~set:"Dept" fx.depts.(0) ~field:"org" (Value.VRef fx.orgs.(1));
+  checkv "tagged entries moved" (vstr "org-1")
+    (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  check_all fx;
+  (* Source-side move under a collapsed path. *)
+  Db.update_field fx.db ~set:"Emp1" fx.emps.(0) ~field:"dept" (Value.VRef fx.depts.(1));
+  checkv "source move" (vstr "org-1") (Db.deref fx.db ~set:"Emp1" fx.emps.(0) "dept.org.name");
+  check_all fx
+
+(* ------------------------------------------------------------------ *)
+(* Deletion protection                                                 *)
+
+let test_delete_referenced_dept_rejected () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  try
+    Db.delete fx.db ~set:"Dept" fx.depts.(0);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> check_all fx
+
+let test_delete_unreferenced_dept_ok () =
+  let fx = employee_db ~ndepts:5 ~nemps:4 () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  (* Dept 4 has no employees. *)
+  Db.delete fx.db ~set:"Dept" fx.depts.(4);
+  checki "gone" 4 (Db.set_size fx.db "Dept");
+  check_all fx
+
+(* ------------------------------------------------------------------ *)
+(* Indexes on replicated data (§3.3.4)                                 *)
+
+let test_path_index () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.org.name");
+  Db.build_index fx.db ~name:"emp_by_orgname" ~set:"Emp1" ~field:"Emp1.dept.org.name"
+    ~clustered:false;
+  let hits = Db.index_lookup fx.db ~index:"emp_by_orgname" (Key.String "org-0") in
+  checki "index maps org names to employees" 8 (List.length hits);
+  check_all fx;
+  (* Propagated updates keep the index current. *)
+  Db.update_field fx.db ~set:"Org" fx.orgs.(0) ~field:"name" (vstr "indexed-org");
+  checki "old key empty" 0
+    (List.length (Db.index_lookup fx.db ~index:"emp_by_orgname" (Key.String "org-0")));
+  checki "new key found" 8
+    (List.length (Db.index_lookup fx.db ~index:"emp_by_orgname" (Key.String "indexed-org")));
+  check_all fx;
+  (* Employee moves also maintain the index. *)
+  Db.update_field fx.db ~set:"Emp1" fx.emps.(0) ~field:"dept" (Value.VRef fx.depts.(1));
+  checki "after move: old key" 7
+    (List.length (Db.index_lookup fx.db ~index:"emp_by_orgname" (Key.String "indexed-org")));
+  checki "after move: new key" 9
+    (List.length (Db.index_lookup fx.db ~index:"emp_by_orgname" (Key.String "org-1")));
+  check_all fx
+
+let test_user_field_index_maintained () =
+  let fx = employee_db () in
+  Db.build_index fx.db ~name:"emp_by_salary" ~set:"Emp1" ~field:"salary" ~clustered:false;
+  Db.update_field fx.db ~set:"Emp1" fx.emps.(0) ~field:"salary" (vint 99_999);
+  checki "new salary indexed" 1
+    (List.length (Db.index_lookup fx.db ~index:"emp_by_salary" (Key.Int 99_999)));
+  checki "old salary gone" 0
+    (List.length (Db.index_lookup fx.db ~index:"emp_by_salary" (Key.Int 30_000)));
+  Db.delete fx.db ~set:"Emp1" fx.emps.(1);
+  checki "deleted employee unindexed" 0
+    (List.length (Db.index_lookup fx.db ~index:"emp_by_salary" (Key.Int 31_000)));
+  check_all fx
+
+(* ------------------------------------------------------------------ *)
+(* Inverse references (paper §8: inverted paths as inverse functions)  *)
+
+let test_referencers_via_links () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  let members, how = Db.referencers fx.db ~source_set:"Emp1" ~attr:"dept" fx.depts.(0) in
+  checkb "answered from link objects" true (how = Db.Via_links);
+  checki "four employees" 4 (List.length members);
+  (* Physical order, as stored in the link object. *)
+  let sorted = List.sort Oid.compare members in
+  checkb "physical order" true (List.equal Oid.equal members sorted);
+  (* Follows reference updates. *)
+  Db.update_field fx.db ~set:"Emp1" fx.emps.(0) ~field:"dept" (Value.VRef fx.depts.(1));
+  let members', _ = Db.referencers fx.db ~source_set:"Emp1" ~attr:"dept" fx.depts.(0) in
+  checki "one fewer" 3 (List.length members')
+
+let test_referencers_via_scan () =
+  let fx = employee_db () in
+  (* No replication: falls back to a scan but gives the same answer. *)
+  let members, how = Db.referencers fx.db ~source_set:"Emp1" ~attr:"dept" fx.depts.(2) in
+  checkb "scan fallback" true (how = Db.Via_scan);
+  checki "four employees" 4 (List.length members);
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  let members', how' = Db.referencers fx.db ~source_set:"Emp1" ~attr:"dept" fx.depts.(2) in
+  checkb "now via links" true (how' = Db.Via_links);
+  checkb "same answer" true (List.equal Oid.equal members members')
+
+let test_referencers_validates_attr () =
+  let fx = employee_db () in
+  try
+    ignore (Db.referencers fx.db ~source_set:"Emp1" ~attr:"salary" fx.depts.(0));
+    Alcotest.fail "scalar attr accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The invariant checker detects corruption                            *)
+
+let test_invariants_detect_corruption () =
+  let fx = employee_db () in
+  Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+  let eng = Db.engine fx.db in
+  checki "clean before corruption" 0 (List.length (Invariants.errors eng));
+  (* Corrupt one hidden copy behind the engine's back. *)
+  let hf = eng.Engine.file_of_set "Emp1" in
+  let record = Record.decode (Heap_file.read hf fx.emps.(0)) in
+  let idx =
+    Schema.hidden_index (Db.schema fx.db) "Emp1"
+      ~rep_id:
+        (Option.get (Schema.find_replication (Db.schema fx.db) (Path.parse "Emp1.dept.name")))
+          .Schema.rep_id
+      ~field:(Some "name")
+  in
+  Heap_file.update hf fx.emps.(0)
+    (Record.encode (Record.set_field record idx (vstr "corrupted")));
+  checkb "corruption detected" true (List.length (Invariants.errors eng) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Randomised soak: arbitrary mutation sequences keep every invariant  *)
+
+let qcheck_tests =
+  let open QCheck in
+  let ops_gen = list_of_size Gen.(5 -- 60) (pair (int_range 0 5) (pair small_nat small_nat)) in
+  [
+    Test.make ~name:"mutation soup preserves invariants" ~count:25 ops_gen (fun ops ->
+        let fx = employee_db ~norgs:3 ~ndepts:5 ~nemps:12 () in
+        Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.name");
+        Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.org.name");
+        Db.replicate fx.db ~strategy:Schema.Separate (Path.parse "Emp1.dept.budget");
+        let live = ref (Array.to_list fx.emps) in
+        let counter = ref 0 in
+        List.iter
+          (fun (op, (a, b)) ->
+            incr counter;
+            let pick arr = arr.(a mod Array.length arr) in
+            match op with
+            | 0 ->
+                let e =
+                  Db.insert fx.db ~set:"Emp1"
+                    [
+                      vstr (Printf.sprintf "rnd-%d" !counter);
+                      vint (20 + (b mod 40));
+                      vint (10_000 + b);
+                      (if b mod 5 = 0 then Value.VNull else Value.VRef (pick fx.depts));
+                    ]
+                in
+                live := e :: !live
+            | 1 -> (
+                match !live with
+                | e :: rest ->
+                    Db.delete fx.db ~set:"Emp1" e;
+                    live := rest
+                | [] -> ())
+            | 2 -> (
+                match !live with
+                | e :: _ ->
+                    Db.update_field fx.db ~set:"Emp1" e ~field:"dept"
+                      (if b mod 4 = 0 then Value.VNull else Value.VRef (pick fx.depts))
+                | [] -> ())
+            | 3 ->
+                Db.update_field fx.db ~set:"Dept" (pick fx.depts) ~field:"name"
+                  (vstr (Printf.sprintf "dept-r%d" !counter))
+            | 4 ->
+                Db.update_field fx.db ~set:"Dept" (pick fx.depts) ~field:"org"
+                  (if b mod 4 = 0 then Value.VNull else Value.VRef (pick fx.orgs))
+            | _ ->
+                Db.update_field fx.db ~set:"Org" (pick fx.orgs) ~field:"name"
+                  (vstr (Printf.sprintf "org-r%d" !counter)))
+          ops;
+        Db.check_integrity fx.db;
+        true);
+    Test.make ~name:"deref always equals actual walk" ~count:20
+      (list_of_size Gen.(5 -- 30) (pair (int_range 0 2) small_nat))
+      (fun ops ->
+        let fx = employee_db ~norgs:2 ~ndepts:4 ~nemps:10 () in
+        Db.replicate fx.db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.org.name");
+        Db.replicate fx.db ~strategy:Schema.Separate (Path.parse "Emp1.dept.name");
+        List.iter
+          (fun (op, b) ->
+            match op with
+            | 0 ->
+                Db.update_field fx.db ~set:"Org" fx.orgs.(b mod 2) ~field:"name"
+                  (vstr (Printf.sprintf "o%d" b))
+            | 1 ->
+                Db.update_field fx.db ~set:"Dept" fx.depts.(b mod 4) ~field:"org"
+                  (Value.VRef fx.orgs.(b mod 2))
+            | _ ->
+                Db.update_field fx.db ~set:"Emp1"
+                  fx.emps.(b mod Array.length fx.emps)
+                  ~field:"dept" (Value.VRef fx.depts.(b mod 4)))
+          ops;
+        (* The replicated answer must equal the manual functional join. *)
+        Array.for_all
+          (fun e ->
+            let manual path =
+              let r = Db.get fx.db ~set:"Emp1" e in
+              match Db.field_value fx.db ~set:"Emp1" r "dept" with
+              | Value.VRef d -> (
+                  let dr = Db.get fx.db ~set:"Dept" d in
+                  match path with
+                  | `Dept_name -> Db.field_value fx.db ~set:"Dept" dr "name"
+                  | `Org_name -> (
+                      match Db.field_value fx.db ~set:"Dept" dr "org" with
+                      | Value.VRef o ->
+                          Db.field_value fx.db ~set:"Org" (Db.get fx.db ~set:"Org" o) "name"
+                      | _ -> Value.VNull))
+              | _ -> Value.VNull
+            in
+            Value.equal (Db.deref fx.db ~set:"Emp1" e "dept.name") (manual `Dept_name)
+            && Value.equal (Db.deref fx.db ~set:"Emp1" e "dept.org.name") (manual `Org_name))
+          fx.emps);
+  ]
+
+let () =
+  Alcotest.run "fieldrep_replication"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "link sharing" `Quick test_registry_link_sharing;
+          Alcotest.test_case "stable link ids" `Quick test_registry_stable_ids;
+          Alcotest.test_case "collapse validation" `Quick test_registry_collapse_validation;
+        ] );
+      ( "inplace-1level",
+        [
+          Alcotest.test_case "deref without join" `Quick test_inplace_deref_no_join;
+          Alcotest.test_case "scalar propagation" `Quick test_inplace_scalar_propagation;
+          Alcotest.test_case "unreferenced dept update free" `Quick
+            test_inplace_update_to_unreferenced_dept_is_free;
+          Alcotest.test_case "insert maintenance" `Quick test_inplace_insert_maintenance;
+          Alcotest.test_case "delete maintenance" `Quick test_inplace_delete_maintenance;
+          Alcotest.test_case "source ref update" `Quick test_inplace_ref_update_source;
+          Alcotest.test_case "null and back" `Quick test_inplace_ref_update_to_null_and_back;
+        ] );
+      ( "inplace-2level",
+        [
+          Alcotest.test_case "propagation" `Quick test_two_level_propagation;
+          Alcotest.test_case "intermediate ref update" `Quick
+            test_two_level_intermediate_ref_update;
+          Alcotest.test_case "source ref update" `Quick test_two_level_source_ref_update;
+          Alcotest.test_case "shared prefixes" `Quick test_shared_prefix_paths;
+          Alcotest.test_case "full object replication" `Quick test_full_object_replication;
+        ] );
+      ( "separate",
+        [
+          Alcotest.test_case "basic" `Quick test_separate_basic;
+          Alcotest.test_case "shared update" `Quick test_separate_update_is_shared;
+          Alcotest.test_case "S' sharing and refcounts" `Quick
+            test_separate_sprime_sharing_and_refcounts;
+          Alcotest.test_case "two level" `Quick test_separate_two_level;
+          Alcotest.test_case "coexists with inplace" `Quick test_separate_and_inplace_coexist;
+        ] );
+      ( "optimizations",
+        [
+          Alcotest.test_case "small-link elimination" `Quick test_small_link_elimination;
+          Alcotest.test_case "elimination disabled" `Quick test_elimination_disabled;
+          Alcotest.test_case "collapsed path" `Quick test_collapsed_path;
+        ] );
+      ( "deletion",
+        [
+          Alcotest.test_case "referenced dept rejected" `Quick
+            test_delete_referenced_dept_rejected;
+          Alcotest.test_case "unreferenced dept ok" `Quick test_delete_unreferenced_dept_ok;
+        ] );
+      ( "indexes",
+        [
+          Alcotest.test_case "path index" `Quick test_path_index;
+          Alcotest.test_case "user field index" `Quick test_user_field_index_maintained;
+        ] );
+      ( "inverse",
+        [
+          Alcotest.test_case "via links" `Quick test_referencers_via_links;
+          Alcotest.test_case "via scan" `Quick test_referencers_via_scan;
+          Alcotest.test_case "validates attribute" `Quick test_referencers_validates_attr;
+        ] );
+      ( "invariants",
+        [ Alcotest.test_case "detects corruption" `Quick test_invariants_detect_corruption ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+    ]

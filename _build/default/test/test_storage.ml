@@ -1,0 +1,497 @@
+(* Tests for the storage manager: OIDs, slotted pages, the simulated disk,
+   the buffer pool, and heap files (including chained oversize objects). *)
+
+module Oid = Fieldrep_storage.Oid
+module Stats = Fieldrep_storage.Stats
+module Page = Fieldrep_storage.Page
+module Disk = Fieldrep_storage.Disk
+module Buffer_pool = Fieldrep_storage.Buffer_pool
+module Pager = Fieldrep_storage.Pager
+module Heap_file = Fieldrep_storage.Heap_file
+module Splitmix = Fieldrep_util.Splitmix
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Oid                                                                 *)
+
+let test_oid_roundtrip () =
+  List.iter
+    (fun oid ->
+      let buf = Bytes.create Oid.encoded_size in
+      ignore (Oid.encode buf 0 oid);
+      let decoded, off = Oid.decode buf 0 in
+      checkb "equal" true (Oid.equal oid decoded);
+      checki "advance" Oid.encoded_size off;
+      checkb "int64 roundtrip" true (Oid.equal oid (Oid.of_int64 (Oid.to_int64 oid))))
+    [
+      { Oid.file = 0; page = 0; slot = 0 };
+      { Oid.file = 5; page = 12345; slot = 77 };
+      { Oid.file = 65534; page = 0xFFFF_FFFE; slot = 65534 };
+      Oid.nil;
+    ]
+
+let test_oid_order_is_physical () =
+  let a = { Oid.file = 1; page = 5; slot = 9 } in
+  let b = { Oid.file = 1; page = 6; slot = 0 } in
+  let c = { Oid.file = 2; page = 0; slot = 0 } in
+  checkb "page order" true (Oid.compare a b < 0);
+  checkb "file order" true (Oid.compare b c < 0);
+  checkb "reflexive" true (Oid.compare a a = 0)
+
+let test_oid_nil () =
+  checkb "nil is nil" true (Oid.is_nil Oid.nil);
+  checkb "ordinary oid" false (Oid.is_nil { Oid.file = 0; page = 0; slot = 0 })
+
+let test_oid_containers () =
+  let oids = List.init 100 (fun i -> { Oid.file = i mod 3; page = i; slot = i * 7 mod 11 }) in
+  let set = Oid.Set.of_list oids in
+  checki "set size" 100 (Oid.Set.cardinal set);
+  let tbl = Oid.Table.create 16 in
+  List.iteri (fun i oid -> Oid.Table.replace tbl oid i) oids;
+  checki "table size" 100 (Oid.Table.length tbl)
+
+(* ------------------------------------------------------------------ *)
+(* Page                                                                *)
+
+let fresh_page ?(size = 512) () =
+  let page = Bytes.create size in
+  Page.init page;
+  page
+
+let payload n c = Bytes.make n c
+
+let test_page_insert_read () =
+  let page = fresh_page () in
+  let s1 = Option.get (Page.insert page (payload 10 'a')) in
+  let s2 = Option.get (Page.insert page (payload 20 'b')) in
+  checki "distinct slots" 1 (s2 - s1);
+  Alcotest.(check bytes) "read back a" (payload 10 'a') (Page.read page s1);
+  Alcotest.(check bytes) "read back b" (payload 20 'b') (Page.read page s2);
+  checki "live" 2 (Page.live_count page)
+
+let test_page_delete_and_reuse () =
+  let page = fresh_page () in
+  let s1 = Option.get (Page.insert page (payload 10 'a')) in
+  let _s2 = Option.get (Page.insert page (payload 10 'b')) in
+  Page.delete page s1;
+  checkb "dead" false (Page.is_live page s1);
+  checki "live" 1 (Page.live_count page);
+  (* The freed directory entry is reused. *)
+  let s3 = Option.get (Page.insert page (payload 5 'c')) in
+  checki "slot reused" s1 s3
+
+let test_page_fill_to_capacity () =
+  let page = fresh_page ~size:256 () in
+  let inserted = ref 0 in
+  (try
+     while true do
+       match Page.insert page (payload 16 'x') with
+       | Some _ -> incr inserted
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  (* 256 - 4 header; each record costs 16 + 4 directory = 20. *)
+  checki "capacity" 12 !inserted;
+  checkb "page full" false (Page.fits page 16)
+
+let test_page_compaction_recovers_space () =
+  let page = fresh_page ~size:256 () in
+  let slots = List.init 12 (fun _ -> Option.get (Page.insert page (payload 16 'x'))) in
+  (* Free alternating slots, then a 32-byte record must fit via compaction. *)
+  List.iteri (fun i s -> if i mod 2 = 0 then Page.delete page s) slots;
+  (match Page.insert page (payload 32 'y') with
+  | Some s -> Alcotest.(check bytes) "read" (payload 32 'y') (Page.read page s)
+  | None -> Alcotest.fail "compaction failed to recover space")
+
+let test_page_write_in_place_and_grow () =
+  let page = fresh_page () in
+  let s = Option.get (Page.insert page (payload 50 'a')) in
+  checkb "shrink" true (Page.write page s (payload 10 'b'));
+  Alcotest.(check bytes) "shrunk" (payload 10 'b') (Page.read page s);
+  checkb "grow" true (Page.write page s (payload 100 'c'));
+  Alcotest.(check bytes) "grown" (payload 100 'c') (Page.read page s)
+
+let test_page_write_too_big_fails_cleanly () =
+  let page = fresh_page ~size:128 () in
+  let s = Option.get (Page.insert page (payload 40 'a')) in
+  checkb "rejected" false (Page.write page s (payload 1000 'b'));
+  Alcotest.(check bytes) "old intact" (payload 40 'a') (Page.read page s)
+
+let test_page_iter_order () =
+  let page = fresh_page () in
+  let s0 = Option.get (Page.insert page (payload 4 '0')) in
+  let s1 = Option.get (Page.insert page (payload 4 '1')) in
+  let s2 = Option.get (Page.insert page (payload 4 '2')) in
+  Page.delete page s1;
+  let visited = Page.fold (fun acc s _ -> s :: acc) [] page in
+  Alcotest.(check (list int)) "slot order" [ s0; s2 ] (List.rev visited)
+
+let test_page_dead_slot_raises () =
+  let page = fresh_page () in
+  let s = Option.get (Page.insert page (payload 4 'a')) in
+  Page.delete page s;
+  (try
+     ignore (Page.read page s);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  (try
+     Page.delete page s;
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Disk                                                                *)
+
+let test_disk_io_counting () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:128 stats in
+  let f = Disk.create_file disk in
+  let p = Disk.allocate_page disk f in
+  checki "no reads yet" 0 stats.Stats.page_reads;
+  checki "allocation tracked" 1 stats.Stats.pages_allocated;
+  let buf = Bytes.make 128 'z' in
+  Disk.write_page disk ~file:f ~page:p buf;
+  checki "one write" 1 stats.Stats.page_writes;
+  let out = Bytes.create 128 in
+  Disk.read_page disk ~file:f ~page:p out;
+  checki "one read" 1 stats.Stats.page_reads;
+  Alcotest.(check bytes) "data" buf out
+
+let test_disk_many_pages () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let f = Disk.create_file disk in
+  for i = 0 to 99 do
+    let p = Disk.allocate_page disk f in
+    checki "sequential page numbers" i p
+  done;
+  checki "page count" 100 (Disk.page_count disk f)
+
+let test_disk_bad_page_rejected () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let f = Disk.create_file disk in
+  (try
+     Disk.read_page disk ~file:f ~page:0 (Bytes.create 64);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Buffer pool                                                         *)
+
+let test_pool_hit_avoids_io () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let pool = Buffer_pool.create disk ~frames:4 in
+  let f = Disk.create_file disk in
+  let p = Buffer_pool.new_page pool ~file:f in
+  checki "no read on new page" 0 stats.Stats.page_reads;
+  Buffer_pool.with_page_write pool ~file:f ~page:p (fun buf -> Bytes.fill buf 0 8 'q');
+  Buffer_pool.with_page_read pool ~file:f ~page:p (fun buf ->
+      Alcotest.(check char) "resident data" 'q' (Bytes.get buf 0));
+  checki "still no physical read" 0 stats.Stats.page_reads;
+  checki "hits recorded" 2 stats.Stats.buffer_hits
+
+let test_pool_eviction_writes_dirty () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let pool = Buffer_pool.create disk ~frames:2 in
+  let f = Disk.create_file disk in
+  let pages = List.init 4 (fun _ -> Buffer_pool.new_page pool ~file:f) in
+  List.iteri
+    (fun i p ->
+      Buffer_pool.with_page_write pool ~file:f ~page:p (fun buf ->
+          Bytes.fill buf 0 8 (Char.chr (Char.code 'a' + i))))
+    pages;
+  (* Pool holds 2 frames; 4 dirty pages forced at least 2 evictions. *)
+  checkb "evictions wrote" true (stats.Stats.page_writes >= 2);
+  (* All data must survive eviction. *)
+  List.iteri
+    (fun i p ->
+      Buffer_pool.with_page_read pool ~file:f ~page:p (fun buf ->
+          Alcotest.(check char) "survives" (Char.chr (Char.code 'a' + i)) (Bytes.get buf 0)))
+    pages
+
+let test_pool_clear_forces_cold_reads () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let pool = Buffer_pool.create disk ~frames:8 in
+  let f = Disk.create_file disk in
+  let p = Buffer_pool.new_page pool ~file:f in
+  Buffer_pool.with_page_write pool ~file:f ~page:p (fun buf -> Bytes.fill buf 0 4 'k');
+  Buffer_pool.clear pool;
+  let before = stats.Stats.page_reads in
+  Buffer_pool.with_page_read pool ~file:f ~page:p (fun buf ->
+      Alcotest.(check char) "data flushed" 'k' (Bytes.get buf 0));
+  checki "cold read" (before + 1) stats.Stats.page_reads
+
+let test_pool_exhaustion () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let pool = Buffer_pool.create disk ~frames:1 in
+  let f = Disk.create_file disk in
+  let p0 = Buffer_pool.new_page pool ~file:f in
+  let p1 = Buffer_pool.new_page pool ~file:f in
+  (try
+     Buffer_pool.with_page_read pool ~file:f ~page:p0 (fun _ ->
+         Buffer_pool.with_page_read pool ~file:f ~page:p1 (fun _ -> ()));
+     Alcotest.fail "expected Exhausted"
+   with Buffer_pool.Exhausted -> ())
+
+let test_pool_pin_released_on_exception () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let pool = Buffer_pool.create disk ~frames:1 in
+  let f = Disk.create_file disk in
+  let p0 = Buffer_pool.new_page pool ~file:f in
+  (try
+     Buffer_pool.with_page_read pool ~file:f ~page:p0 (fun _ -> failwith "boom")
+   with Failure _ -> ());
+  (* The pin must have been dropped: a different page can now evict p0. *)
+  let p1 = Buffer_pool.new_page pool ~file:f in
+  Buffer_pool.with_page_read pool ~file:f ~page:p1 (fun _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Heap file                                                           *)
+
+let mk_pager ?(page_size = 512) ?(frames = 32) () = Pager.create ~page_size ~frames ()
+
+let test_heap_insert_read () =
+  let pager = mk_pager () in
+  let hf = Heap_file.create pager in
+  let data = List.init 50 (fun i -> Bytes.of_string (Printf.sprintf "object-%04d" i)) in
+  let oids = List.map (Heap_file.insert hf) data in
+  checki "count" 50 (Heap_file.object_count hf);
+  List.iter2
+    (fun oid d -> Alcotest.(check bytes) "payload" d (Heap_file.read hf oid))
+    oids data
+
+let test_heap_physical_order () =
+  let pager = mk_pager () in
+  let hf = Heap_file.create pager in
+  let oids = List.init 100 (fun i -> Heap_file.insert hf (Bytes.make 20 (Char.chr (i mod 256)))) in
+  (* Home slots must be non-decreasing in physical order. *)
+  List.iteri
+    (fun i oid ->
+      if i > 0 then
+        checkb "insertion order is physical order" true
+          (Oid.compare (List.nth oids (i - 1)) oid < 0))
+    oids;
+  (* iter yields the same order. *)
+  let visited = ref [] in
+  Heap_file.iter hf (fun oid _ -> visited := oid :: !visited);
+  Alcotest.(check (list string))
+    "iter order" (List.map Oid.to_string oids)
+    (List.rev_map Oid.to_string !visited |> List.rev |> List.rev)
+
+let test_heap_update_same_size () =
+  let pager = mk_pager () in
+  let hf = Heap_file.create pager in
+  let oid = Heap_file.insert hf (Bytes.make 30 'a') in
+  Heap_file.update hf oid (Bytes.make 30 'b');
+  Alcotest.(check bytes) "updated" (Bytes.make 30 'b') (Heap_file.read hf oid)
+
+let test_heap_update_grow_within_page () =
+  let pager = mk_pager () in
+  let hf = Heap_file.create pager in
+  let oid = Heap_file.insert hf (Bytes.make 10 'a') in
+  Heap_file.update hf oid (Bytes.make 200 'b');
+  Alcotest.(check bytes) "grown" (Bytes.make 200 'b') (Heap_file.read hf oid)
+
+let test_heap_update_grow_spills () =
+  let pager = mk_pager () in
+  let hf = Heap_file.create pager in
+  (* Fill a page almost completely so in-place growth is impossible. *)
+  let oid = Heap_file.insert hf (Bytes.make 100 'a') in
+  let _fill = List.init 3 (fun _ -> Heap_file.insert hf (Bytes.make 110 'f')) in
+  Heap_file.update hf oid (Bytes.make 400 'g');
+  Alcotest.(check bytes) "spilled object readable" (Bytes.make 400 'g') (Heap_file.read hf oid);
+  (* The OID is stable: still the same home slot. *)
+  checkb "oid still live" true (Heap_file.exists hf oid)
+
+let test_heap_object_larger_than_page () =
+  let pager = mk_pager () in
+  let hf = Heap_file.create pager in
+  let big = Bytes.init 2500 (fun i -> Char.chr (i mod 251)) in
+  let oid = Heap_file.insert hf big in
+  Alcotest.(check bytes) "multi-page object" big (Heap_file.read hf oid);
+  Heap_file.delete hf oid;
+  checkb "gone" false (Heap_file.exists hf oid);
+  checki "count" 0 (Heap_file.object_count hf)
+
+let test_heap_shrink_frees_chain () =
+  let pager = mk_pager () in
+  let hf = Heap_file.create pager in
+  let big = Bytes.make 2000 'x' in
+  let oid = Heap_file.insert hf big in
+  Heap_file.update hf oid (Bytes.make 8 'y');
+  Alcotest.(check bytes) "shrunk" (Bytes.make 8 'y') (Heap_file.read hf oid);
+  (* Chain segments freed: a same-size reinsert should not grow the file. *)
+  let pages_before = Heap_file.page_count hf in
+  let _ = Heap_file.insert hf (Bytes.make 400 'z') in
+  checkb "space reused" true (Heap_file.page_count hf <= pages_before + 1)
+
+let test_heap_delete_then_scan () =
+  let pager = mk_pager () in
+  let hf = Heap_file.create pager in
+  let oids = Array.init 30 (fun i -> Heap_file.insert hf (Bytes.make 25 (Char.chr (65 + (i mod 26))))) in
+  Array.iteri (fun i oid -> if i mod 3 = 0 then Heap_file.delete hf oid) oids;
+  checki "count after deletes" 20 (Heap_file.object_count hf);
+  let seen = ref 0 in
+  Heap_file.iter hf (fun _ _ -> incr seen);
+  checki "scan count" 20 !seen
+
+let test_heap_attach_recovers () =
+  let pager = mk_pager () in
+  let hf = Heap_file.create pager in
+  let _ = List.init 40 (fun i -> Heap_file.insert hf (Bytes.make 25 (Char.chr (65 + (i mod 26))))) in
+  let hf2 = Heap_file.attach pager ~file:(Heap_file.file_id hf) in
+  checki "recovered count" 40 (Heap_file.object_count hf2)
+
+let test_heap_dead_oid_raises () =
+  let pager = mk_pager () in
+  let hf = Heap_file.create pager in
+  let oid = Heap_file.insert hf (Bytes.make 10 'a') in
+  Heap_file.delete hf oid;
+  (try
+     ignore (Heap_file.read hf oid);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* run_cold                                                            *)
+
+let test_run_cold_measures_distinct_pages () =
+  let pager = mk_pager ~page_size:512 ~frames:64 () in
+  let hf = Heap_file.create pager in
+  let oids = Array.init 200 (fun _ -> Heap_file.insert hf (Bytes.make 40 'd')) in
+  let npages = Heap_file.page_count hf in
+  Pager.run_cold pager (fun () ->
+      (* Read every object twice; each page must be read exactly once. *)
+      Array.iter (fun oid -> ignore (Heap_file.read hf oid)) oids;
+      Array.iter (fun oid -> ignore (Heap_file.read hf oid)) oids);
+  checki "reads = distinct pages" npages (Pager.stats pager).Stats.page_reads;
+  checki "no writes for read-only work" 0 (Pager.stats pager).Stats.page_writes
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests                                                *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"heap model conformance" ~count:60
+      (list_of_size Gen.(1 -- 120) (pair (int_range 0 3) (int_range 1 600)))
+      (fun ops ->
+        (* Model: a growable list of live payloads, mirrored against the
+           heap file through insert / update / delete / read, randomised by
+           the op stream. *)
+        let pager = Pager.create ~page_size:256 ~frames:16 () in
+        let hf = Heap_file.create pager in
+        let live = ref [] in
+        let counter = ref 0 in
+        let ok = ref true in
+        List.iter
+          (fun (op, size) ->
+            match op with
+            | 0 ->
+                incr counter;
+                let payload = Bytes.make size (Char.chr (!counter mod 256)) in
+                let oid = Heap_file.insert hf payload in
+                live := (oid, payload) :: !live
+            | 1 -> (
+                match !live with
+                | [] -> ()
+                | (oid, _) :: rest ->
+                    incr counter;
+                    let payload = Bytes.make size (Char.chr (!counter mod 256)) in
+                    Heap_file.update hf oid payload;
+                    live := (oid, payload) :: rest)
+            | 2 -> (
+                match !live with
+                | [] -> ()
+                | (oid, _) :: rest ->
+                    Heap_file.delete hf oid;
+                    live := rest)
+            | _ ->
+                List.iter
+                  (fun (oid, payload) ->
+                    if not (Bytes.equal (Heap_file.read hf oid) payload) then ok := false)
+                  !live)
+          ops;
+        List.iter
+          (fun (oid, payload) ->
+            if not (Bytes.equal (Heap_file.read hf oid) payload) then ok := false)
+          !live;
+        !ok && Heap_file.object_count hf = List.length !live);
+    Test.make ~name:"page never corrupts neighbours" ~count:100
+      (list_of_size Gen.(1 -- 40) (int_range 1 60))
+      (fun sizes ->
+        let page = Bytes.create 512 in
+        Page.init page;
+        let stored = Hashtbl.create 16 in
+        List.iteri
+          (fun i size ->
+            let data = Bytes.make size (Char.chr (i mod 256)) in
+            match Page.insert page data with
+            | Some slot -> Hashtbl.replace stored slot data
+            | None -> ())
+          sizes;
+        Hashtbl.fold
+          (fun slot data acc -> acc && Bytes.equal (Page.read page slot) data)
+          stored true);
+  ]
+
+let () =
+  Alcotest.run "fieldrep_storage"
+    [
+      ( "oid",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_oid_roundtrip;
+          Alcotest.test_case "physical order" `Quick test_oid_order_is_physical;
+          Alcotest.test_case "nil" `Quick test_oid_nil;
+          Alcotest.test_case "containers" `Quick test_oid_containers;
+        ] );
+      ( "page",
+        [
+          Alcotest.test_case "insert/read" `Quick test_page_insert_read;
+          Alcotest.test_case "delete and slot reuse" `Quick test_page_delete_and_reuse;
+          Alcotest.test_case "fill to capacity" `Quick test_page_fill_to_capacity;
+          Alcotest.test_case "compaction" `Quick test_page_compaction_recovers_space;
+          Alcotest.test_case "write in place / grow" `Quick test_page_write_in_place_and_grow;
+          Alcotest.test_case "oversized write rejected" `Quick test_page_write_too_big_fails_cleanly;
+          Alcotest.test_case "iter order" `Quick test_page_iter_order;
+          Alcotest.test_case "dead slot raises" `Quick test_page_dead_slot_raises;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "io counting" `Quick test_disk_io_counting;
+          Alcotest.test_case "many pages" `Quick test_disk_many_pages;
+          Alcotest.test_case "bad page rejected" `Quick test_disk_bad_page_rejected;
+        ] );
+      ( "buffer_pool",
+        [
+          Alcotest.test_case "hits avoid io" `Quick test_pool_hit_avoids_io;
+          Alcotest.test_case "eviction writes dirty pages" `Quick test_pool_eviction_writes_dirty;
+          Alcotest.test_case "clear forces cold reads" `Quick test_pool_clear_forces_cold_reads;
+          Alcotest.test_case "exhaustion raises" `Quick test_pool_exhaustion;
+          Alcotest.test_case "pin released on exception" `Quick test_pool_pin_released_on_exception;
+        ] );
+      ( "heap_file",
+        [
+          Alcotest.test_case "insert/read" `Quick test_heap_insert_read;
+          Alcotest.test_case "physical order" `Quick test_heap_physical_order;
+          Alcotest.test_case "update same size" `Quick test_heap_update_same_size;
+          Alcotest.test_case "update grows in page" `Quick test_heap_update_grow_within_page;
+          Alcotest.test_case "update spills to chain" `Quick test_heap_update_grow_spills;
+          Alcotest.test_case "object larger than page" `Quick test_heap_object_larger_than_page;
+          Alcotest.test_case "shrink frees chain" `Quick test_heap_shrink_frees_chain;
+          Alcotest.test_case "delete then scan" `Quick test_heap_delete_then_scan;
+          Alcotest.test_case "attach recovers" `Quick test_heap_attach_recovers;
+          Alcotest.test_case "dead oid raises" `Quick test_heap_dead_oid_raises;
+        ] );
+      ( "cold runs",
+        [ Alcotest.test_case "distinct pages counted once" `Quick test_run_cold_measures_distinct_pages ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+    ]

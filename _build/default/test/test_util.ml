@@ -1,0 +1,306 @@
+(* Tests for fieldrep_util: wire codecs, combinatorics/Yao, RNG, tables. *)
+
+module Wire = Fieldrep_util.Wire
+module Combin = Fieldrep_util.Combin
+module Splitmix = Fieldrep_util.Splitmix
+module Tableprint = Fieldrep_util.Tableprint
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkf msg = check (Alcotest.float 1e-9) msg
+let checks = check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+
+let test_wire_roundtrip_ints () =
+  let buf = Bytes.create 64 in
+  List.iter
+    (fun v ->
+      let off = Wire.put_u8 buf 0 v in
+      checki "u8 advance" 1 off;
+      checki "u8 value" (v land 0xff) (fst (Wire.get_u8 buf 0)))
+    [ 0; 1; 127; 255 ];
+  List.iter
+    (fun v ->
+      ignore (Wire.put_u16 buf 3 v);
+      checki "u16" (v land 0xffff) (fst (Wire.get_u16 buf 3)))
+    [ 0; 1; 0xffff; 0x1234 ];
+  List.iter
+    (fun v ->
+      ignore (Wire.put_u32 buf 8 v);
+      checki "u32" v (fst (Wire.get_u32 buf 8)))
+    [ 0; 1; 0xffff_ffff; 0x1234_5678 ];
+  List.iter
+    (fun v ->
+      ignore (Wire.put_int buf 16 v);
+      checki "int" v (fst (Wire.get_int buf 16)))
+    [ 0; 1; -1; max_int; min_int; 42 ]
+
+let test_wire_roundtrip_strings () =
+  let buf = Bytes.create 256 in
+  List.iter
+    (fun s ->
+      let off = Wire.put_string buf 5 s in
+      checki "advance" (5 + Wire.string_size s) off;
+      let s', off' = Wire.get_string buf 5 in
+      checks "value" s s';
+      checki "read advance" off off')
+    [ ""; "x"; "hello world"; String.make 100 'z' ]
+
+let test_wire_bounds () =
+  let buf = Bytes.create 4 in
+  Alcotest.check_raises "u32 overflow write" (Wire.Corrupt "out of bounds: off=2 len=4 buflen=4")
+    (fun () -> ignore (Wire.put_u32 buf 2 1));
+  Alcotest.check_raises "negative offset"
+    (Wire.Corrupt "out of bounds: off=-1 len=1 buflen=4") (fun () ->
+      ignore (Wire.put_u8 buf (-1) 0))
+
+let test_wire_string_too_long () =
+  let buf = Bytes.create 10 in
+  (try
+     ignore (Wire.put_string buf 0 (String.make 70000 'a'));
+     Alcotest.fail "expected Corrupt"
+   with Wire.Corrupt _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Combin                                                              *)
+
+let naive_binomial n k =
+  let rec go n k acc =
+    if k = 0 then acc else go (n - 1) (k - 1) (acc *. float_of_int n /. float_of_int k)
+  in
+  go n k 1.0
+
+let test_log_binomial () =
+  List.iter
+    (fun (n, k) ->
+      let expected = log (naive_binomial n k) in
+      let got = Combin.log_binomial n k in
+      check (Alcotest.float 1e-6) (Printf.sprintf "C(%d,%d)" n k) expected got)
+    [ (5, 2); (10, 3); (100, 10); (1000, 5); (52, 26) ]
+
+let test_binomial_ratio_extremes () =
+  checkf "k=0" 1.0 (Combin.binomial_ratio 10 20 0);
+  checkf "a=b" 1.0 (Combin.binomial_ratio 20 20 7);
+  let r = Combin.binomial_ratio 90 100 5 in
+  (* C(90,5)/C(100,5) = (90*89*88*87*86)/(100*99*98*97*96) *)
+  let expected = naive_binomial 90 5 /. naive_binomial 100 5 in
+  check (Alcotest.float 1e-9) "ratio" expected r
+
+let test_yao_edges () =
+  checkf "k=0" 0.0 (Combin.yao ~n:100 ~per_page:10 ~k:0);
+  checkf "per_page=0" 0.0 (Combin.yao ~n:100 ~per_page:0 ~k:5);
+  checkf "k beyond complement" 1.0 (Combin.yao ~n:100 ~per_page:10 ~k:91);
+  checkf "all objects" 1.0 (Combin.yao ~n:100 ~per_page:10 ~k:100)
+
+let test_yao_exact_small () =
+  (* n=4 objects, 2 on the page, pick 1: P(touch) = 2/4. *)
+  check (Alcotest.float 1e-9) "n4" 0.5 (Combin.yao ~n:4 ~per_page:2 ~k:1);
+  (* n=4, 2 on page, pick 2: 1 - C(2,2)/C(4,2) = 1 - 1/6. *)
+  check (Alcotest.float 1e-9) "n4k2" (1.0 -. (1.0 /. 6.0))
+    (Combin.yao ~n:4 ~per_page:2 ~k:2)
+
+let test_yao_monotone_in_k () =
+  let prev = ref (-1.0) in
+  for k = 0 to 50 do
+    let y = Combin.yao ~n:1000 ~per_page:20 ~k in
+    if y < !prev then Alcotest.failf "yao not monotone at k=%d" k;
+    prev := y
+  done
+
+let test_yao_paper_scale () =
+  (* The magnitude used throughout the cost model: |R|=10000, 33 objects per
+     page, 20 objects read. *)
+  let y = Combin.yao ~n:10000 ~per_page:33 ~k:20 in
+  if y < 0.063 || y > 0.066 then Alcotest.failf "unexpected yao %.6f" y
+
+let test_ceil_div_and_log () =
+  checki "7/2" 4 (Combin.ceil_div 7 2);
+  checki "8/2" 4 (Combin.ceil_div 8 2);
+  checki "0/5" 0 (Combin.ceil_div 0 5);
+  checki "neg" 0 (Combin.ceil_div (-3) 5);
+  checki "log350(10000)" 2 (Combin.ceil_log ~base:350 10000);
+  checki "log350(200000)" 3 (Combin.ceil_log ~base:350 200000);
+  checki "log2(1)" 0 (Combin.ceil_log ~base:2 1);
+  checki "log2(2)" 1 (Combin.ceil_log ~base:2 2);
+  checki "log2(3)" 2 (Combin.ceil_log ~base:2 3)
+
+(* ------------------------------------------------------------------ *)
+(* Splitmix                                                            *)
+
+let test_rng_deterministic () =
+  let a = Splitmix.create 42 and b = Splitmix.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Splitmix.next_int64 a) (Splitmix.next_int64 b)
+  done
+
+let test_rng_bounds () =
+  let rng = Splitmix.create 7 in
+  for _ = 1 to 1000 do
+    let v = Splitmix.int rng 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "int out of bounds: %d" v;
+    let v = Splitmix.int_in rng 5 8 in
+    if v < 5 || v > 8 then Alcotest.failf "int_in out of bounds: %d" v;
+    let f = Splitmix.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let test_permutation () =
+  let rng = Splitmix.create 3 in
+  let p = Splitmix.permutation rng 100 in
+  let sorted = Array.copy p in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_sample_without_replacement () =
+  let rng = Splitmix.create 11 in
+  List.iter
+    (fun (n, k) ->
+      let s = Splitmix.sample_without_replacement rng ~n ~k in
+      checki "size" k (Array.length s);
+      let set = Hashtbl.create 16 in
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then Alcotest.failf "value %d out of range" v;
+          if Hashtbl.mem set v then Alcotest.failf "duplicate %d" v;
+          Hashtbl.add set v ())
+        s)
+    [ (10, 0); (10, 10); (1000, 5); (10, 7); (5, 3) ]
+
+let test_zipf_range () =
+  let rng = Splitmix.create 13 in
+  for _ = 1 to 500 do
+    let v = Splitmix.zipf rng ~n:50 ~theta:0.8 in
+    if v < 0 || v >= 50 then Alcotest.failf "zipf out of range: %d" v
+  done;
+  (* theta = 0 degenerates to uniform. *)
+  let v = Splitmix.zipf rng ~n:50 ~theta:0.0 in
+  if v < 0 || v >= 50 then Alcotest.failf "uniform zipf out of range: %d" v
+
+let test_zipf_skew () =
+  let rng = Splitmix.create 17 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let v = Splitmix.zipf rng ~n:100 ~theta:0.99 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Rank 0 must dominate the tail decisively under high skew. *)
+  if counts.(0) < 5 * counts.(50) then
+    Alcotest.failf "zipf not skewed: head=%d mid=%d" counts.(0) counts.(50)
+
+(* ------------------------------------------------------------------ *)
+(* Tableprint                                                          *)
+
+let test_table_render () =
+  let out =
+    Tableprint.render ~header:[ "name"; "value" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  checki "line count" 4 (List.length lines);
+  (match lines with
+  | header :: _ ->
+      if not (String.length header > 0 && header.[0] = '|') then
+        Alcotest.fail "missing border"
+  | [] -> Alcotest.fail "empty output");
+  (* All lines share a width. *)
+  let widths = List.map String.length lines in
+  List.iter (fun w -> checki "uniform width" (List.hd widths) w) widths
+
+let test_table_pads_short_rows () =
+  let out = Tableprint.render ~header:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  if not (String.length out > 0) then Alcotest.fail "no output"
+
+let test_formatters () =
+  checks "fixed" "3.14" (Tableprint.fixed 2 3.14159);
+  checks "pct" "12.5%" (Tableprint.pct 12.5)
+
+(* ------------------------------------------------------------------ *)
+(* Property-based tests                                                *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"wire int roundtrip" ~count:500 (int)
+      (fun v ->
+        let buf = Bytes.create 16 in
+        ignore (Fieldrep_util.Wire.put_int buf 0 v);
+        fst (Fieldrep_util.Wire.get_int buf 0) = v);
+    Test.make ~name:"wire string roundtrip" ~count:200 (string_of_size Gen.(0 -- 200))
+      (fun s ->
+        let buf = Bytes.create (Fieldrep_util.Wire.string_size s) in
+        ignore (Fieldrep_util.Wire.put_string buf 0 s);
+        fst (Fieldrep_util.Wire.get_string buf 0) = s);
+    Test.make ~name:"yao within [0,1]" ~count:500
+      (triple (int_range 1 5000) (int_range 0 200) (int_range 0 5000))
+      (fun (n, per_page, k) ->
+        let per_page = min per_page n and k = min k n in
+        let y = Combin.yao ~n ~per_page ~k in
+        y >= 0.0 && y <= 1.0);
+    Test.make ~name:"yao vs monte carlo" ~count:20
+      (triple (int_range 20 200) (int_range 1 10) (int_range 1 20))
+      (fun (n, per_page, k) ->
+        let per_page = min per_page n and k = min k n in
+        let y = Combin.yao ~n ~per_page ~k in
+        let rng = Splitmix.create (n + (per_page * 1000) + (k * 100000)) in
+        let trials = 2000 in
+        let hits = ref 0 in
+        for _ = 1 to trials do
+          let picked = Splitmix.sample_without_replacement rng ~n ~k in
+          if Array.exists (fun v -> v < per_page) picked then incr hits
+        done;
+        let estimate = float_of_int !hits /. float_of_int trials in
+        Float.abs (estimate -. y) < 0.05);
+    Test.make ~name:"sample_without_replacement distinct" ~count:200
+      (pair (int_range 1 100) (int_range 0 100))
+      (fun (n, k) ->
+        let k = min k n in
+        let rng = Splitmix.create (n * 131 + k) in
+        let s = Splitmix.sample_without_replacement rng ~n ~k in
+        let sorted = Array.copy s in
+        Array.sort Int.compare sorted;
+        let distinct = ref true in
+        for i = 0 to Array.length sorted - 2 do
+          if sorted.(i) = sorted.(i + 1) then distinct := false
+        done;
+        !distinct && Array.length s = k);
+  ]
+
+let () =
+  Alcotest.run "fieldrep_util"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "int roundtrips" `Quick test_wire_roundtrip_ints;
+          Alcotest.test_case "string roundtrips" `Quick test_wire_roundtrip_strings;
+          Alcotest.test_case "bounds checking" `Quick test_wire_bounds;
+          Alcotest.test_case "oversized string rejected" `Quick test_wire_string_too_long;
+        ] );
+      ( "combin",
+        [
+          Alcotest.test_case "log_binomial matches naive" `Quick test_log_binomial;
+          Alcotest.test_case "binomial_ratio extremes" `Quick test_binomial_ratio_extremes;
+          Alcotest.test_case "yao edge cases" `Quick test_yao_edges;
+          Alcotest.test_case "yao exact small cases" `Quick test_yao_exact_small;
+          Alcotest.test_case "yao monotone in k" `Quick test_yao_monotone_in_k;
+          Alcotest.test_case "yao at paper scale" `Quick test_yao_paper_scale;
+          Alcotest.test_case "ceil_div / ceil_log" `Quick test_ceil_div_and_log;
+        ] );
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "permutation" `Quick test_permutation;
+          Alcotest.test_case "sampling" `Quick test_sample_without_replacement;
+          Alcotest.test_case "zipf range" `Quick test_zipf_range;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+        ] );
+      ( "tableprint",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "short rows padded" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "formatters" `Quick test_formatters;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
+    ]
