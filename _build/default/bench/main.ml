@@ -26,6 +26,7 @@ module Cost = Fieldrep_costmodel.Cost
 module Sweep = Fieldrep_costmodel.Sweep
 module Gen = Fieldrep_workload.Gen
 module Mix = Fieldrep_workload.Mix
+module Wal = Fieldrep_wal.Wal
 module T = Fieldrep_util.Tableprint
 module Splitmix = Fieldrep_util.Splitmix
 
@@ -752,6 +753,63 @@ let micro () =
   T.print ~header:[ "operation"; "time/op" ] rows
 
 (* ------------------------------------------------------------------ *)
+(* W1: write-ahead logging overhead on the paper's update mixes        *)
+
+let wal_overhead () =
+  section "W1: write-ahead logging overhead on the 6 update mixes";
+  Printf.printf
+    "(the same update mix run on a plain and on a durable database; the log\n\
+    \ adds one logical redo record per update, so its cost is the appended\n\
+    \ bytes — expressed below as incremental page I/O per update query)\n\n";
+  let page_size = Gen.default_spec.Gen.page_size in
+  let rows = ref [] in
+  List.iter
+    (fun strategy ->
+      let spec =
+        {
+          Gen.default_spec with
+          Gen.strategy;
+          s_count = 1000;
+          sharing = 4;
+          seed = 19;
+        }
+      in
+      let plain = Gen.build spec in
+      let m_plain = Mix.measure plain ~read_sel:0.002 ~update_sel:0.001 ~queries:10 () in
+      let durable = Gen.build { spec with Gen.durable = true } in
+      let w = Option.get (Db.wal durable.Gen.db) in
+      let appends0 = Wal.appended w and bytes0 = Wal.bytes_written w in
+      let m_durable =
+        Mix.measure durable ~read_sel:0.002 ~update_sel:0.001 ~queries:10 ()
+      in
+      let queries = float_of_int m_durable.Mix.update_queries in
+      let appends = float_of_int (Wal.appended w - appends0) /. queries in
+      let bytes = float_of_int (Wal.bytes_written w - bytes0) /. queries in
+      let log_pages = bytes /. float_of_int page_size in
+      rows :=
+        [
+          strategy_label strategy;
+          T.fixed 1 m_plain.Mix.avg_update_io;
+          T.fixed 1 m_durable.Mix.avg_update_io;
+          T.fixed 1 appends;
+          T.fixed 0 bytes;
+          T.fixed 3 log_pages;
+        ]
+        :: !rows)
+    [ Params.No_replication; Params.Inplace; Params.Separate ];
+  T.print
+    ~header:
+      [
+        "strategy";
+        "upd I/O plain";
+        "upd I/O durable";
+        "log recs/upd";
+        "log bytes/upd";
+        "log pages/upd";
+      ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let all_benches =
@@ -772,23 +830,67 @@ let all_benches =
     ("warm-cache", warm_cache);
     ("space", space);
     ("micro", micro);
+    ("wal", wal_overhead);
   ]
 
+(* Machine-readable results: one object per scenario run, with wall time and
+   the process-wide physical page I/O it caused (Stats.grand_total_io is
+   monotonic across every database the scenario builds). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path results =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n  \"benchmarks\": [\n";
+      List.iteri
+        (fun i (name, wall, io) ->
+          Printf.fprintf oc
+            "    {\"name\": \"%s\", \"wall_seconds\": %.6f, \"total_io\": %d}%s\n"
+            (json_escape name) wall io
+            (if i = List.length results - 1 then "" else ","))
+        results;
+      output_string oc "  ]\n}\n")
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_benches
+  let rec parse names json = function
+    | [] -> (List.rev names, json)
+    | "--json" :: path :: rest -> parse names (Some path) rest
+    | [ "--json" ] ->
+        prerr_endline "--json requires a path";
+        exit 1
+    | name :: rest -> parse (name :: names) json rest
   in
+  let names, json_path = parse [] None (List.tl (Array.to_list Sys.argv)) in
+  let requested = if names = [] then List.map fst all_benches else names in
   Printf.printf
     "Field replication in an object-oriented DBMS - benchmark harness\n\
      Reproduces Shekita & Carey (1989), TR #817.\n";
-  List.iter
-    (fun name ->
-      match List.assoc_opt name all_benches with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown bench %S; available: %s\n" name
-            (String.concat ", " (List.map fst all_benches));
-          exit 1)
-    requested
+  let results =
+    List.map
+      (fun name ->
+        match List.assoc_opt name all_benches with
+        | Some f ->
+            let t0 = Unix.gettimeofday () in
+            let io0 = Stats.grand_total_io () in
+            f ();
+            (name, Unix.gettimeofday () -. t0, Stats.grand_total_io () - io0)
+        | None ->
+            Printf.eprintf "unknown bench %S; available: %s\n" name
+              (String.concat ", " (List.map fst all_benches));
+            exit 1)
+      requested
+  in
+  Option.iter (fun path -> write_json path results) json_path

@@ -1,1 +1,1 @@
-lib/core/db.ml: Array Buffer Bytes Char Fieldrep_btree Fieldrep_model Fieldrep_replication Fieldrep_storage Format Fun Hashtbl Int32 Int64 Lazy List Option Printf String
+lib/core/db.ml: Array Buffer Bytes Char Fieldrep_btree Fieldrep_model Fieldrep_replication Fieldrep_storage Fieldrep_wal Filename Format Fun Hashtbl Int32 Int64 Lazy List Option Printf String

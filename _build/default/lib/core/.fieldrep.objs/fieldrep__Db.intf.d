@@ -1,1 +1,1 @@
-lib/core/db.mli: Fieldrep_btree Fieldrep_model Fieldrep_replication Fieldrep_storage
+lib/core/db.mli: Fieldrep_btree Fieldrep_model Fieldrep_replication Fieldrep_storage Fieldrep_wal

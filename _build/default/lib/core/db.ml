@@ -13,6 +13,8 @@ module Path = Fieldrep_model.Path
 module Engine = Fieldrep_replication.Engine
 module Store = Fieldrep_replication.Store
 module Invariants = Fieldrep_replication.Invariants
+module Wal = Fieldrep_wal.Wal
+module Recovery = Fieldrep_wal.Recovery
 
 type index_rt = {
   def : Schema.index_def;
@@ -28,12 +30,33 @@ type t = {
   indexes : (string, index_rt) Hashtbl.t;
   store : Store.t;
   mutable engine : Engine.env;
+  mutable wal : Wal.t option;
+  mutable replaying : bool;  (* suppress WAL appends while redoing the log *)
 }
 
 let schema t = t.schema
 let pager t = t.pager
 let stats t = Pager.stats t.pager
 let engine t = t.engine
+let wal t = t.wal
+
+(* Write-ahead rule: the record is durable before the operation touches any
+   page.  If the operation then fails validation (no crash, an ordinary
+   exception), the record is rescinded with an abort marker so recovery
+   will not redo it.  A [Disk.Crash] rescinds nothing: the record survives
+   and replay *completes* the half-applied operation. *)
+let log_mutation t record f =
+  match t.wal with
+  | None -> f ()
+  | Some _ when t.replaying -> f ()
+  | Some w -> (
+      let lsn = Wal.append w record in
+      try f ()
+      with
+      | Disk.Crash _ as e -> raise e
+      | e ->
+          Wal.append_abort w ~aborted:lsn;
+          raise e)
 
 let set_file t name =
   match Hashtbl.find_opt t.sets name with
@@ -95,7 +118,7 @@ let on_hidden_update t set oid ~before ~after =
         index_update rt oid ~before ~after)
     (indexes_of_set t set)
 
-let create ?(page_size = 4096) ?(frames = 256) () =
+let create ?(page_size = 4096) ?(frames = 256) ?(durable = false) ?wal_path () =
   let pager = Pager.create ~page_size ~frames () in
   let schema = Schema.create () in
   let store = Store.create pager in
@@ -119,25 +142,50 @@ let create ?(page_size = 4096) ?(frames = 256) () =
              on_hidden_update (Lazy.force t) set oid ~before ~after)
            ()
        in
-       { pager; schema; sets; data_files; indexes = Hashtbl.create 8; store; engine })
+       {
+         pager;
+         schema;
+         sets;
+         data_files;
+         indexes = Hashtbl.create 8;
+         store;
+         engine;
+         wal = None;
+         replaying = false;
+       })
   in
-  Lazy.force t
+  let t = Lazy.force t in
+  if durable || wal_path <> None then begin
+    let path =
+      match wal_path with
+      | Some p -> p
+      | None -> Filename.temp_file "fieldrep" ".wal"
+    in
+    t.wal <- Some (Wal.open_ ~stats:(Pager.stats pager) path)
+  end;
+  t
 
 (* ------------------------------------------------------------------ *)
 (* DDL                                                                 *)
 
-let define_type t ty = Schema.define_type t.schema ty
+let define_type t ty =
+  log_mutation t (Wal.Define_type ty) (fun () -> Schema.define_type t.schema ty)
 
 let create_set t ?(reserve = 0) ~name ~elem_type () =
-  Schema.create_set t.schema ~name ~elem_type;
-  let hf = Heap_file.create ~reserve t.pager in
-  Hashtbl.replace t.sets name hf;
-  Hashtbl.replace t.data_files (Heap_file.file_id hf) (name, hf)
+  log_mutation t (Wal.Create_set { name; elem_type; reserve }) (fun () ->
+      Schema.create_set t.schema ~name ~elem_type;
+      let hf = Heap_file.create ~reserve t.pager in
+      Hashtbl.replace t.sets name hf;
+      Hashtbl.replace t.data_files (Heap_file.file_id hf) (name, hf))
 
 let replicate t ?options ~strategy path =
-  let rep = Schema.add_replication t.schema ?options ~strategy path in
-  Engine.recompile t.engine;
-  Engine.build t.engine rep
+  let options = Option.value ~default:Schema.default_options options in
+  log_mutation t
+    (Wal.Replicate { path = Path.to_string path; strategy; options })
+    (fun () ->
+      let rep = Schema.add_replication t.schema ~options ~strategy path in
+      Engine.recompile t.engine;
+      Engine.build t.engine rep)
 
 (* Resolve an index field spec to an absolute value index. *)
 let resolve_index_field t ~set ~field =
@@ -164,19 +212,27 @@ let resolve_index_field t ~set ~field =
                field set))
 
 let build_index t ~name ~set ~field ~clustered =
-  Schema.add_index t.schema { Schema.iname = name; iset = set; ifield = field; clustered };
-  let value_index = resolve_index_field t ~set ~field in
-  let tree = Btree.create t.pager in
-  let rt = { def = List.find (fun d -> d.Schema.iname = name) (Schema.indexes t.schema); tree; value_index } in
-  (* Bulk-load from existing data. *)
-  let entries = ref [] in
-  Heap_file.iter (set_file t set) (fun oid bytes ->
-      let record = Record.decode bytes in
-      match key_of_value (value_at record value_index) with
-      | Some key -> entries := (key, oid) :: !entries
-      | None -> ());
-  Btree.bulk_load tree (Array.of_list !entries);
-  Hashtbl.replace t.indexes name rt
+  log_mutation t (Wal.Build_index { name; set; field; clustered }) (fun () ->
+      Schema.add_index t.schema
+        { Schema.iname = name; iset = set; ifield = field; clustered };
+      let value_index = resolve_index_field t ~set ~field in
+      let tree = Btree.create t.pager in
+      let rt =
+        {
+          def = List.find (fun d -> d.Schema.iname = name) (Schema.indexes t.schema);
+          tree;
+          value_index;
+        }
+      in
+      (* Bulk-load from existing data. *)
+      let entries = ref [] in
+      Heap_file.iter (set_file t set) (fun oid bytes ->
+          let record = Record.decode bytes in
+          match key_of_value (value_at record value_index) with
+          | Some key -> entries := (key, oid) :: !entries
+          | None -> ());
+      Btree.bulk_load tree (Array.of_list !entries);
+      Hashtbl.replace t.indexes name rt)
 
 (* ------------------------------------------------------------------ *)
 (* Validation                                                          *)
@@ -216,21 +272,25 @@ let insert t ~set values =
   let record =
     Record.make ~type_tag:(Schema.type_tag t.schema ty.Ty.tname) (Array.of_list values)
   in
-  let oid = Heap_file.insert (set_file t set) (Record.encode record) in
-  List.iter (fun rt -> index_insert rt oid record) (indexes_of_set t set);
-  Engine.on_insert t.engine ~set oid;
-  oid
+  (* The OID is not logged: physical allocation is deterministic, so the
+     replayed insert lands on the same OID as the original run. *)
+  log_mutation t (Wal.Insert { set; values }) (fun () ->
+      let oid = Heap_file.insert (set_file t set) (Record.encode record) in
+      List.iter (fun rt -> index_insert rt oid record) (indexes_of_set t set);
+      Engine.on_insert t.engine ~set oid;
+      oid)
 
 let get t ~set oid =
   let hf = set_file t set in
   Record.decode (Heap_file.read hf oid)
 
 let delete t ~set oid =
-  Engine.on_delete t.engine ~set oid;
-  let hf = set_file t set in
-  let record = Record.decode (Heap_file.read hf oid) in
-  List.iter (fun rt -> index_remove rt oid record) (indexes_of_set t set);
-  Heap_file.delete hf oid
+  log_mutation t (Wal.Delete { set; oid }) (fun () ->
+      Engine.on_delete t.engine ~set oid;
+      let hf = set_file t set in
+      let record = Record.decode (Heap_file.read hf oid) in
+      List.iter (fun rt -> index_remove rt oid record) (indexes_of_set t set);
+      Heap_file.delete hf oid)
 
 let update_field t ~set oid ~field value =
   let ty = Schema.set_type t.schema set in
@@ -244,19 +304,19 @@ let update_field t ~set oid ~field value =
   let hf = set_file t set in
   let before = Record.decode (Heap_file.read hf oid) in
   let old_value = value_at before idx in
-  if not (Value.equal old_value value) then begin
-    let after = Record.set_field before idx value in
-    Heap_file.update hf oid (Record.encode after);
-    (* User-field indexes first, then replication propagation (which may
-       fire hidden-index maintenance via the engine callback). *)
-    List.iter
-      (fun rt -> if rt.value_index = idx then index_update rt oid ~before ~after)
-      (indexes_of_set t set);
-    match fdef.Ty.ftype with
-    | Ty.Scalar _ -> Engine.on_scalar_update t.engine ~set oid ~field value
-    | Ty.Ref _ ->
-        Engine.on_ref_update t.engine ~set oid ~field ~old_value ~new_value:value
-  end
+  if not (Value.equal old_value value) then
+    log_mutation t (Wal.Update { set; oid; field; value }) (fun () ->
+        let after = Record.set_field before idx value in
+        Heap_file.update hf oid (Record.encode after);
+        (* User-field indexes first, then replication propagation (which may
+           fire hidden-index maintenance via the engine callback). *)
+        List.iter
+          (fun rt -> if rt.value_index = idx then index_update rt oid ~before ~after)
+          (indexes_of_set t set);
+        match fdef.Ty.ftype with
+        | Ty.Scalar _ -> Engine.on_scalar_update t.engine ~set oid ~field value
+        | Ty.Ref _ ->
+            Engine.on_ref_update t.engine ~set oid ~field ~old_value ~new_value:value)
 
 (* ------------------------------------------------------------------ *)
 (* Reads                                                               *)
@@ -595,6 +655,13 @@ let save t path =
   in
   Buffer.add_string buf image_magic;
   put_u32 (Pager.page_size t.pager);
+  (* Durability header: the checkpoint's LSN stamp (recovery redoes only
+     log records beyond it), the log this database was writing to, and the
+     disk's file-id watermark (deleted files leave holes that allocation
+     replay must not re-fill). *)
+  put_u64 (match t.wal with Some w -> Int64.to_int (Wal.last_lsn w) | None -> 0);
+  put_str (match t.wal with Some w -> Wal.path w | None -> "");
+  put_u32 (Disk.next_file_id (Pager.disk t.pager));
   (* Types, in tag order so replay reassigns identical tags. *)
   let types =
     List.map (fun ty -> (Schema.type_tag t.schema ty.Ty.tname, ty)) (Schema.types t.schema)
@@ -687,7 +754,9 @@ let save t path =
     ~finally:(fun () -> close_out oc)
     (fun () -> Buffer.output_buffer oc buf)
 
-let load ?(frames = 256) path =
+(* Restore a database from an image, returning the checkpoint's durability
+   header alongside it: (db, checkpoint lsn, wal path recorded at save). *)
+let load_image ?(frames = 256) path =
   let data =
     let ic = open_in_bin path in
     Fun.protect
@@ -722,6 +791,9 @@ let load ?(frames = 256) path =
   pos := String.length image_magic;
   if magic <> image_magic then invalid_arg "Db.load: not a fieldrep database image";
   let page_size = get_u32 () in
+  let checkpoint_lsn = Int64.of_int (get_u64 ()) in
+  let saved_wal_path = get_str () in
+  let next_file_id = get_u32 () in
   let t = create ~page_size ~frames () in
   (* Types. *)
   let ntypes = get_u16 () in
@@ -812,6 +884,10 @@ let load ?(frames = 256) path =
     in
     Disk.restore_file disk ~id pages
   done;
+  (* Re-establish the file-id watermark: files created and later deleted
+     before the checkpoint left holes, and replayed allocations must not
+     re-fill them or every subsequent file id would diverge. *)
+  Disk.reserve_file_ids disk next_file_id;
   (* Attach heap files and trees to the restored pages. *)
   List.iter
     (fun (name, file_id, reserve) ->
@@ -835,6 +911,57 @@ let load ?(frames = 256) path =
       Store.bind_sprime t.store ~rep_id (Heap_file.attach t.pager ~file:file_id))
     sprime_bindings;
   Engine.recompile t.engine;
+  (t, checkpoint_lsn, saved_wal_path)
+
+let load ?frames path =
+  let t, _, _ = load_image ?frames path in
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints and crash recovery                                      *)
+
+let checkpoint t path = save t path
+
+let recovery_applier t =
+  {
+    Recovery.define_type = (fun ty -> define_type t ty);
+    create_set =
+      (fun ~name ~elem_type ~reserve -> create_set t ~reserve ~name ~elem_type ());
+    insert = (fun ~set values -> ignore (insert t ~set values));
+    update = (fun ~set ~oid ~field value -> update_field t ~set oid ~field value);
+    delete = (fun ~set ~oid -> delete t ~set oid);
+    replicate =
+      (fun ~strategy ~options ~path ->
+        replicate t ~options ~strategy (Path.parse path));
+    build_index =
+      (fun ~name ~set ~field ~clustered -> build_index t ~name ~set ~field ~clustered);
+  }
+
+let recover ?frames ?wal_path path =
+  let t, checkpoint_lsn, saved_wal_path = load_image ?frames path in
+  let wal_file =
+    match wal_path with
+    | Some p -> p
+    | None ->
+        if saved_wal_path = "" then
+          invalid_arg
+            "Db.recover: image was not checkpointed from a durable database \
+             and no ~wal_path was given"
+        else saved_wal_path
+  in
+  let w = Wal.open_ ~stats:(Pager.stats t.pager) wal_file in
+  Wal.ensure_lsn w checkpoint_lsn;
+  t.wal <- Some w;
+  t.replaying <- true;
+  let replayed =
+    Fun.protect
+      ~finally:(fun () -> t.replaying <- false)
+      (fun () -> Recovery.replay w ~after:checkpoint_lsn (recovery_applier t))
+  in
+  ignore replayed;
+  let stats = Pager.stats t.pager in
+  stats.Stats.recovery_replays <- stats.Stats.recovery_replays + 1;
+  Invariants.check_all t.engine;
   t
 
 let space_report t =

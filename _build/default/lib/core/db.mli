@@ -29,11 +29,21 @@ module Key = Fieldrep_btree.Key
 
 type t
 
-val create : ?page_size:int -> ?frames:int -> unit -> t
+val create :
+  ?page_size:int -> ?frames:int -> ?durable:bool -> ?wal_path:string -> unit -> t
+(** [~durable:true] attaches a write-ahead log: every DDL/DML mutation
+    appends a logical redo record — before touching any page — so the
+    database can be rebuilt after a crash from the last checkpoint plus the
+    log tail ({!recover}).  The log lives at [wal_path] when given, else at
+    a fresh temp file; passing [wal_path] alone implies durability. *)
+
 val schema : t -> Schema.t
 val pager : t -> Fieldrep_storage.Pager.t
 val stats : t -> Stats.t
 val engine : t -> Fieldrep_replication.Engine.env
+
+val wal : t -> Fieldrep_wal.Wal.t option
+(** The attached write-ahead log, when the database is durable. *)
 
 (** {1 DDL} *)
 
@@ -155,4 +165,29 @@ val save : t -> string -> unit
 
 val load : ?frames:int -> string -> t
 (** Reopen an image written by {!save}.  Raises [Invalid_argument] on a
-    malformed or foreign file. *)
+    malformed or foreign file.  The reopened database is not durable;
+    use {!recover} to reattach the log. *)
+
+(** {1 Checkpoints and crash recovery}
+
+    The durability protocol is redo-from-checkpoint: a checkpoint is an
+    ordinary {!save} image stamped with the log's LSN, and {!recover}
+    discards the crashed in-memory disk entirely — it reopens the
+    checkpoint and redoes the log tail through the normal DML code, which
+    re-runs index maintenance and replication propagation (re-queuing lazy
+    invalidations) exactly as the original run did.  Determinism of
+    physical allocation makes the replayed state converge on the uncrashed
+    one. *)
+
+val checkpoint : t -> string -> unit
+(** Synonym for {!save}: flushes pending lazy propagations and the buffer
+    pool, then writes the LSN-stamped image.  Records at or below the
+    stamp are never redone. *)
+
+val recover : ?frames:int -> ?wal_path:string -> string -> t
+(** [recover path] reopens the checkpoint image at [path] and replays the
+    tail of its write-ahead log ([wal_path] overrides the log location
+    recorded in the image — use it when the log was moved, or to attach a
+    fresh log to a copied image).  The recovered database is durable and
+    keeps appending to the same log.  Ends by re-verifying every
+    replication invariant; raises [Failure] if the redo did not converge. *)

@@ -348,3 +348,5 @@ let check env =
       failwith
         (Printf.sprintf "replication invariants violated (%d total): %s"
            (List.length rest + 1) e)
+
+let check_all = check

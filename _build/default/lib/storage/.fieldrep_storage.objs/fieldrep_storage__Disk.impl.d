@@ -1,1 +1,1 @@
-lib/storage/disk.ml: Array Bytes Hashtbl Int List Printf Stats
+lib/storage/disk.ml: Array Bytes Hashtbl Int List Option Printf Stats

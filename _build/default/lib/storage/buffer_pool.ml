@@ -115,6 +115,18 @@ let new_page t ~file =
 
 let flush t = Array.iter (fun f -> if f.occupied then write_back t f) t.frames
 
+let drop_file t ~file =
+  Array.iter
+    (fun f ->
+      if f.occupied && f.file = file then begin
+        if f.pins > 0 then invalid_arg "Buffer_pool.drop_file: pinned frame";
+        Hashtbl.remove t.table (f.file, f.page);
+        f.occupied <- false;
+        f.referenced <- false;
+        f.dirty <- false
+      end)
+    t.frames
+
 let clear t =
   flush t;
   Array.iter

@@ -30,5 +30,11 @@ val clear : t -> unit
 (** [flush] then drop every frame — the next access to any page is a
     physical read.  Used to run experiment queries cold. *)
 
+val drop_file : t -> file:int -> unit
+(** Discard (without write-back) every frame belonging to one file — used
+    when that file is deleted, so its dirty pages are never flushed to a
+    dead file.  Frames of other files stay resident.  Raises
+    [Invalid_argument] if one of the file's frames is pinned. *)
+
 exception Exhausted
 (** Raised when every frame is pinned and a new page is requested. *)

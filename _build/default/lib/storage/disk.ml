@@ -1,14 +1,19 @@
+exception Crash of string
+
 type file = { mutable pages : Bytes.t array; mutable count : int }
+
+type failpoint = { mutable remaining : int; torn : bool }
 
 type t = {
   page_size : int;
   stats : Stats.t;
   files : (int, file) Hashtbl.t;
   mutable next_file : int;
+  mutable failpoint : failpoint option;
 }
 
 let create ?(page_size = 4096) stats =
-  { page_size; stats; files = Hashtbl.create 16; next_file = 0 }
+  { page_size; stats; files = Hashtbl.create 16; next_file = 0; failpoint = None }
 
 let page_size t = t.page_size
 let stats t = t.stats
@@ -56,10 +61,33 @@ let read_page t ~file ~page buf =
   t.stats.page_reads <- t.stats.page_reads + 1;
   Stats.record_read t.stats ~file
 
+(* Fault injection: arm with [set_failpoint] and the N+1-th physical write
+   raises {!Crash} instead of completing.  In torn mode the first half of
+   the buffer lands on the platter before the crash — the classic
+   half-written page a real machine can leave behind on power loss. *)
+let set_failpoint ?(torn = false) t ~after_writes =
+  if after_writes < 0 then invalid_arg "Disk.set_failpoint: negative count";
+  t.failpoint <- Some { remaining = after_writes; torn }
+
+let clear_failpoint t = t.failpoint <- None
+
+let writes_until_crash t = Option.map (fun fp -> fp.remaining) t.failpoint
+
 let write_page t ~file ~page buf =
   let f = find t file in
   check t f page;
   assert (Bytes.length buf = t.page_size);
+  (match t.failpoint with
+  | Some fp when fp.remaining <= 0 ->
+      if fp.torn then Bytes.blit buf 0 f.pages.(page) 0 (t.page_size / 2);
+      t.failpoint <- None;
+      raise
+        (Crash
+           (Printf.sprintf "injected crash on write to file %d page %d%s" file
+              page
+              (if fp.torn then " (torn)" else "")))
+  | Some fp -> fp.remaining <- fp.remaining - 1
+  | None -> ());
   Bytes.blit buf 0 f.pages.(page) 0 t.page_size;
   t.stats.page_writes <- t.stats.page_writes + 1;
   Stats.record_write t.stats ~file
@@ -74,6 +102,9 @@ let restore_file t ~id pages =
   Array.iter (fun p -> assert (Bytes.length p = t.page_size)) pages;
   Hashtbl.replace t.files id { pages = Array.map Bytes.copy pages; count };
   if id >= t.next_file then t.next_file <- id + 1
+
+let next_file_id t = t.next_file
+let reserve_file_ids t n = if n > t.next_file then t.next_file <- n
 
 let total_pages t = Hashtbl.fold (fun _ f acc -> acc + f.count) t.files 0
 let file_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.files [] |> List.sort Int.compare

@@ -7,6 +7,12 @@
 
 type t
 
+exception Crash of string
+(** Raised by {!write_page} when an armed failpoint fires: the simulated
+    machine lost power mid-workload.  Everything the buffer pool had not
+    yet written back is gone; recovery must restart from the last
+    checkpoint image and the write-ahead log. *)
+
 val create : ?page_size:int -> Stats.t -> t
 (** Default page size is 4096 bytes (EXODUS's page size; the cost model's
     [B = 4056] is this minus per-page bookkeeping). *)
@@ -37,6 +43,30 @@ val total_pages : t -> int
 (** Pages across all files (for space-overhead reporting). *)
 
 val file_ids : t -> int list
+
+val next_file_id : t -> int
+(** The id {!create_file} would hand out next.  Checkpoint images record it
+    so that replayed DDL allocates the same file ids as the original run
+    even when deleted files left holes in the id space. *)
+
+val reserve_file_ids : t -> int -> unit
+(** [reserve_file_ids t n] bumps the file-id allocator to at least [n]. *)
+
+(** {1 Fault injection}
+
+    Crash-recovery tests arm a failpoint, run a workload, and catch
+    {!Crash} — proving that a crash between any two physical writes is
+    recoverable.  The failpoint fires once and disarms itself. *)
+
+val set_failpoint : ?torn:bool -> t -> after_writes:int -> unit
+(** Let [after_writes] more physical writes succeed, then raise {!Crash} on
+    the next one.  With [torn:true] the first half of the crashing write
+    lands on the page before the exception — a half-written (torn) page. *)
+
+val clear_failpoint : t -> unit
+
+val writes_until_crash : t -> int option
+(** Remaining successful writes before the armed failpoint fires, if any. *)
 
 (** {1 Image support}
 

@@ -11,8 +11,10 @@ let disk t = t.disk
 let create_file t = Disk.create_file t.disk
 
 let delete_file t id =
-  (* Frames of a deleted file must not be written back later. *)
-  Buffer_pool.clear t.pool;
+  (* Frames of the deleted file must not be written back later; frames of
+     every other file stay resident (dropping them all skewed the I/O
+     counts of whatever ran next). *)
+  Buffer_pool.drop_file t.pool ~file:id;
   Disk.delete_file t.disk id
 
 let page_count t id = Disk.page_count t.disk id

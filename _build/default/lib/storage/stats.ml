@@ -5,6 +5,9 @@ type t = {
   mutable pages_allocated : int;
   mutable objects_read : int;
   mutable objects_written : int;
+  mutable wal_appends : int;
+  mutable wal_bytes : int;
+  mutable recovery_replays : int;
   by_file : (int, int * int) Hashtbl.t;
 }
 
@@ -16,6 +19,9 @@ let create () =
     pages_allocated = 0;
     objects_read = 0;
     objects_written = 0;
+    wal_appends = 0;
+    wal_bytes = 0;
+    recovery_replays = 0;
     by_file = Hashtbl.create 16;
   }
 
@@ -26,13 +32,25 @@ let reset t =
   t.pages_allocated <- 0;
   t.objects_read <- 0;
   t.objects_written <- 0;
+  t.wal_appends <- 0;
+  t.wal_bytes <- 0;
+  t.recovery_replays <- 0;
   Hashtbl.reset t.by_file
 
+(* Process-wide physical I/O, across every Stats block ever created.  Never
+   reset: callers take deltas.  Lets the benchmark driver attribute total
+   I/O to a scenario even when the scenario builds several databases. *)
+let grand_io = ref 0
+
+let grand_total_io () = !grand_io
+
 let record_read t ~file =
+  incr grand_io;
   let r, w = Option.value ~default:(0, 0) (Hashtbl.find_opt t.by_file file) in
   Hashtbl.replace t.by_file file (r + 1, w)
 
 let record_write t ~file =
+  incr grand_io;
   let r, w = Option.value ~default:(0, 0) (Hashtbl.find_opt t.by_file file) in
   Hashtbl.replace t.by_file file (r, w + 1)
 
@@ -46,6 +64,9 @@ let copy t =
     pages_allocated = t.pages_allocated;
     objects_read = t.objects_read;
     objects_written = t.objects_written;
+    wal_appends = t.wal_appends;
+    wal_bytes = t.wal_bytes;
+    recovery_replays = t.recovery_replays;
     by_file = Hashtbl.copy t.by_file;
   }
 
@@ -63,6 +84,9 @@ let diff now before =
     pages_allocated = now.pages_allocated - before.pages_allocated;
     objects_read = now.objects_read - before.objects_read;
     objects_written = now.objects_written - before.objects_written;
+    wal_appends = now.wal_appends - before.wal_appends;
+    wal_bytes = now.wal_bytes - before.wal_bytes;
+    recovery_replays = now.recovery_replays - before.recovery_replays;
     by_file;
   }
 
@@ -70,6 +94,7 @@ let total_io t = t.page_reads + t.page_writes
 
 let pp fmt t =
   Format.fprintf fmt
-    "reads=%d writes=%d hits=%d allocated=%d obj_read=%d obj_written=%d"
+    "reads=%d writes=%d hits=%d allocated=%d obj_read=%d obj_written=%d \
+     wal_appends=%d wal_bytes=%d replays=%d"
     t.page_reads t.page_writes t.buffer_hits t.pages_allocated t.objects_read
-    t.objects_written
+    t.objects_written t.wal_appends t.wal_bytes t.recovery_replays

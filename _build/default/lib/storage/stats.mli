@@ -11,6 +11,9 @@ type t = {
   mutable pages_allocated : int;
   mutable objects_read : int;
   mutable objects_written : int;
+  mutable wal_appends : int;  (** records appended to the write-ahead log *)
+  mutable wal_bytes : int;  (** bytes written to the write-ahead log *)
+  mutable recovery_replays : int;  (** log records redone by [Db.recover] *)
   by_file : (int, int * int) Hashtbl.t;
       (** per-file (reads, writes) attribution, keyed by disk file id *)
 }
@@ -31,5 +34,11 @@ val record_write : t -> file:int -> unit
 
 val file_io : t -> file:int -> int * int
 (** (reads, writes) charged to one file since the last reset. *)
+
+val grand_total_io : unit -> int
+(** Process-wide physical page I/O across every stats block ever created.
+    Monotonic (never reset); callers take before/after deltas.  Lets the
+    benchmark driver attribute I/O to a scenario that builds several
+    databases. *)
 
 val pp : Format.formatter -> t -> unit

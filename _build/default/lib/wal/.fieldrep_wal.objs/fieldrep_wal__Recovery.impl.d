@@ -1,0 +1,1 @@
+lib/wal/recovery.ml: Fieldrep_model Fieldrep_storage Int64 List Wal

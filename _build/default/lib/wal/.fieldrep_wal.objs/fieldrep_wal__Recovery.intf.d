@@ -1,0 +1,1 @@
+lib/wal/recovery.mli: Fieldrep_model Fieldrep_storage Wal

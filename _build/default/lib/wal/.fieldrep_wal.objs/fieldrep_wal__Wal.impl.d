@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Bytes Char Fieldrep_model Fieldrep_storage Fieldrep_util Fun Int64 List Printf String Sys

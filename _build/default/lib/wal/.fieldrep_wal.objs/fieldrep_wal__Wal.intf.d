@@ -1,0 +1,1 @@
+lib/wal/wal.mli: Fieldrep_model Fieldrep_storage

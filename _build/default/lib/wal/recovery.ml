@@ -1,0 +1,42 @@
+type applier = {
+  define_type : Fieldrep_model.Ty.t -> unit;
+  create_set : name:string -> elem_type:string -> reserve:int -> unit;
+  insert : set:string -> Fieldrep_model.Value.t list -> unit;
+  update :
+    set:string ->
+    oid:Fieldrep_storage.Oid.t ->
+    field:string ->
+    Fieldrep_model.Value.t ->
+    unit;
+  delete : set:string -> oid:Fieldrep_storage.Oid.t -> unit;
+  replicate :
+    strategy:Fieldrep_model.Schema.strategy ->
+    options:Fieldrep_model.Schema.rep_options ->
+    path:string ->
+    unit;
+  build_index :
+    name:string -> set:string -> field:string -> clustered:bool -> unit;
+}
+
+let apply a = function
+  | Wal.Define_type ty -> a.define_type ty
+  | Wal.Create_set { name; elem_type; reserve } ->
+      a.create_set ~name ~elem_type ~reserve
+  | Wal.Insert { set; values } -> a.insert ~set values
+  | Wal.Update { set; oid; field; value } -> a.update ~set ~oid ~field value
+  | Wal.Delete { set; oid } -> a.delete ~set ~oid
+  | Wal.Replicate { path; strategy; options } ->
+      a.replicate ~strategy ~options ~path
+  | Wal.Build_index { name; set; field; clustered } ->
+      a.build_index ~name ~set ~field ~clustered
+  | Wal.Abort _ -> ()  (* already filtered by Wal.records; belt and braces *)
+
+let replay wal ~after applier =
+  List.fold_left
+    (fun n (lsn, record) ->
+      if Int64.compare lsn after > 0 then begin
+        apply applier record;
+        n + 1
+      end
+      else n)
+    0 (Wal.records wal)

@@ -1,0 +1,39 @@
+(** Redo-from-checkpoint recovery.
+
+    Recovery reopens the last checkpoint image (an LSN-stamped [Db.save]
+    image) and redoes every log record with a larger LSN {e through the
+    normal engine code}: each replayed insert/update/delete re-runs index
+    maintenance and replication propagation, so hidden copies, link
+    objects, S' objects and B+-trees are rebuilt exactly as the original
+    run built them — including re-queuing lazy-propagation invalidations.
+    Determinism of the storage layer (physical OIDs, file ids, page
+    layout) makes the redo converge on the uncrashed state.
+
+    This module is engine-agnostic: the caller (lib/core's [Db.recover])
+    provides an {!applier} of closures over its own DML entry points, which
+    keeps the dependency arrow pointing from core to wal. *)
+
+type applier = {
+  define_type : Fieldrep_model.Ty.t -> unit;
+  create_set : name:string -> elem_type:string -> reserve:int -> unit;
+  insert : set:string -> Fieldrep_model.Value.t list -> unit;
+  update :
+    set:string ->
+    oid:Fieldrep_storage.Oid.t ->
+    field:string ->
+    Fieldrep_model.Value.t ->
+    unit;
+  delete : set:string -> oid:Fieldrep_storage.Oid.t -> unit;
+  replicate :
+    strategy:Fieldrep_model.Schema.strategy ->
+    options:Fieldrep_model.Schema.rep_options ->
+    path:string ->
+    unit;
+  build_index :
+    name:string -> set:string -> field:string -> clustered:bool -> unit;
+}
+
+val replay : Wal.t -> after:int64 -> applier -> int
+(** Redo, in LSN order, every record of the log (as found when it was
+    opened) whose LSN is strictly greater than [after] — the checkpoint's
+    LSN stamp.  Returns the number of records redone. *)

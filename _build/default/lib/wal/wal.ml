@@ -1,0 +1,332 @@
+module Oid = Fieldrep_storage.Oid
+module Stats = Fieldrep_storage.Stats
+module Wire = Fieldrep_util.Wire
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Schema = Fieldrep_model.Schema
+
+type record =
+  | Define_type of Ty.t
+  | Create_set of { name : string; elem_type : string; reserve : int }
+  | Insert of { set : string; values : Value.t list }
+  | Update of { set : string; oid : Oid.t; field : string; value : Value.t }
+  | Delete of { set : string; oid : Oid.t }
+  | Replicate of {
+      path : string;
+      strategy : Schema.strategy;
+      options : Schema.rep_options;
+    }
+  | Build_index of {
+      name : string;
+      set : string;
+      field : string;
+      clustered : bool;
+    }
+  | Abort of int64
+
+let magic = "FREPWAL1"
+
+(* ------------------------------------------------------------------ *)
+(* Record codec (body only; lsn and kind are framed by the caller)     *)
+
+let ftype_size = function
+  | Ty.Scalar _ -> 1
+  | Ty.Ref target -> 1 + Wire.string_size target
+
+let put_ftype buf off = function
+  | Ty.Scalar Ty.SInt -> Wire.put_u8 buf off 0
+  | Ty.Scalar Ty.SString -> Wire.put_u8 buf off 1
+  | Ty.Ref target ->
+      let off = Wire.put_u8 buf off 2 in
+      Wire.put_string buf off target
+
+let get_ftype buf off =
+  let k, off = Wire.get_u8 buf off in
+  match k with
+  | 0 -> (Ty.Scalar Ty.SInt, off)
+  | 1 -> (Ty.Scalar Ty.SString, off)
+  | 2 ->
+      let target, off = Wire.get_string buf off in
+      (Ty.Ref target, off)
+  | k -> raise (Wire.Corrupt (Printf.sprintf "Wal: bad field kind %d" k))
+
+let kind_of = function
+  | Define_type _ -> 0
+  | Create_set _ -> 1
+  | Insert _ -> 2
+  | Update _ -> 3
+  | Delete _ -> 4
+  | Replicate _ -> 5
+  | Build_index _ -> 6
+  | Abort _ -> 7
+
+let body_size = function
+  | Define_type ty ->
+      Wire.string_size ty.Ty.tname + 2
+      + List.fold_left
+          (fun acc (f : Ty.field) ->
+            acc + Wire.string_size f.Ty.fname + ftype_size f.Ty.ftype)
+          0 ty.Ty.fields
+  | Create_set { name; elem_type; reserve = _ } ->
+      Wire.string_size name + Wire.string_size elem_type + 4
+  | Insert { set; values } ->
+      Wire.string_size set + 2
+      + List.fold_left (fun acc v -> acc + Value.encoded_size v) 0 values
+  | Update { set; oid = _; field; value } ->
+      Wire.string_size set + Oid.encoded_size + Wire.string_size field
+      + Value.encoded_size value
+  | Delete { set; oid = _ } -> Wire.string_size set + Oid.encoded_size
+  | Replicate { path; strategy = _; options = _ } -> Wire.string_size path + 6
+  | Build_index { name; set; field; clustered = _ } ->
+      Wire.string_size name + Wire.string_size set + Wire.string_size field + 1
+  | Abort _ -> 8
+
+let put_body buf off = function
+  | Define_type ty ->
+      let off = Wire.put_string buf off ty.Ty.tname in
+      let off = Wire.put_u16 buf off (List.length ty.Ty.fields) in
+      List.fold_left
+        (fun off (f : Ty.field) ->
+          let off = Wire.put_string buf off f.Ty.fname in
+          put_ftype buf off f.Ty.ftype)
+        off ty.Ty.fields
+  | Create_set { name; elem_type; reserve } ->
+      let off = Wire.put_string buf off name in
+      let off = Wire.put_string buf off elem_type in
+      Wire.put_u32 buf off reserve
+  | Insert { set; values } ->
+      let off = Wire.put_string buf off set in
+      let off = Wire.put_u16 buf off (List.length values) in
+      List.fold_left (fun off v -> Value.encode buf off v) off values
+  | Update { set; oid; field; value } ->
+      let off = Wire.put_string buf off set in
+      let off = Oid.encode buf off oid in
+      let off = Wire.put_string buf off field in
+      Value.encode buf off value
+  | Delete { set; oid } ->
+      let off = Wire.put_string buf off set in
+      Oid.encode buf off oid
+  | Replicate { path; strategy; options } ->
+      let off = Wire.put_string buf off path in
+      let off =
+        Wire.put_u8 buf off
+          (match strategy with Schema.Inplace -> 0 | Schema.Separate -> 1)
+      in
+      let off = Wire.put_u8 buf off (if options.Schema.collapse then 1 else 0) in
+      let off = Wire.put_u16 buf off options.Schema.small_link_threshold in
+      let off =
+        Wire.put_u8 buf off (if options.Schema.lazy_propagation then 1 else 0)
+      in
+      Wire.put_u8 buf off (if options.Schema.cluster_links then 1 else 0)
+  | Build_index { name; set; field; clustered } ->
+      let off = Wire.put_string buf off name in
+      let off = Wire.put_string buf off set in
+      let off = Wire.put_string buf off field in
+      Wire.put_u8 buf off (if clustered then 1 else 0)
+  | Abort lsn -> Wire.put_i64 buf off lsn
+
+let get_body kind buf off =
+  match kind with
+  | 0 ->
+      let tname, off = Wire.get_string buf off in
+      let nfields, off = Wire.get_u16 buf off in
+      let off = ref off in
+      let fields =
+        List.init nfields (fun _ ->
+            let fname, o = Wire.get_string buf !off in
+            let ftype, o = get_ftype buf o in
+            off := o;
+            { Ty.fname; ftype })
+      in
+      (Define_type (Ty.make ~name:tname fields), !off)
+  | 1 ->
+      let name, off = Wire.get_string buf off in
+      let elem_type, off = Wire.get_string buf off in
+      let reserve, off = Wire.get_u32 buf off in
+      (Create_set { name; elem_type; reserve }, off)
+  | 2 ->
+      let set, off = Wire.get_string buf off in
+      let n, off = Wire.get_u16 buf off in
+      let off = ref off in
+      let values =
+        List.init n (fun _ ->
+            let v, o = Value.decode buf !off in
+            off := o;
+            v)
+      in
+      (Insert { set; values }, !off)
+  | 3 ->
+      let set, off = Wire.get_string buf off in
+      let oid, off = Oid.decode buf off in
+      let field, off = Wire.get_string buf off in
+      let value, off = Value.decode buf off in
+      (Update { set; oid; field; value }, off)
+  | 4 ->
+      let set, off = Wire.get_string buf off in
+      let oid, off = Oid.decode buf off in
+      (Delete { set; oid }, off)
+  | 5 ->
+      let path, off = Wire.get_string buf off in
+      let s, off = Wire.get_u8 buf off in
+      let strategy =
+        match s with
+        | 0 -> Schema.Inplace
+        | 1 -> Schema.Separate
+        | s -> raise (Wire.Corrupt (Printf.sprintf "Wal: bad strategy %d" s))
+      in
+      let collapse, off = Wire.get_u8 buf off in
+      let small_link_threshold, off = Wire.get_u16 buf off in
+      let lazy_propagation, off = Wire.get_u8 buf off in
+      let cluster_links, off = Wire.get_u8 buf off in
+      ( Replicate
+          {
+            path;
+            strategy;
+            options =
+              {
+                Schema.collapse = collapse = 1;
+                small_link_threshold;
+                lazy_propagation = lazy_propagation = 1;
+                cluster_links = cluster_links = 1;
+              };
+          },
+        off )
+  | 6 ->
+      let name, off = Wire.get_string buf off in
+      let set, off = Wire.get_string buf off in
+      let field, off = Wire.get_string buf off in
+      let clustered, off = Wire.get_u8 buf off in
+      (Build_index { name; set; field; clustered = clustered = 1 }, off)
+  | 7 ->
+      let lsn, off = Wire.get_i64 buf off in
+      (Abort lsn, off)
+  | k -> raise (Wire.Corrupt (Printf.sprintf "Wal: bad record kind %d" k))
+
+(* FNV-1a, 32-bit: cheap, dependency-free, catches torn frames. *)
+let crc bytes off len =
+  let h = ref 0x811c9dc5 in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (Bytes.get bytes i)) * 0x01000193 land 0xffff_ffff
+  done;
+  !h
+
+(* ------------------------------------------------------------------ *)
+(* The log handle                                                      *)
+
+type t = {
+  path : string;
+  oc : out_channel;
+  mutable next_lsn : int64;  (* last assigned *)
+  existing : (int64 * record) list;
+  mutable appends : int;
+  mutable bytes : int;
+  stats : Stats.t option;
+}
+
+let path t = t.path
+let last_lsn t = t.next_lsn
+let ensure_lsn t lsn = if t.next_lsn < lsn then t.next_lsn <- lsn
+let records t = t.existing
+let appended t = t.appends
+let bytes_written t = t.bytes
+
+(* Scan the frames of an existing log file.  Returns the raw (lsn, record)
+   list and the offset just past the last well-formed frame. *)
+let scan data =
+  let len = String.length data in
+  let buf = Bytes.unsafe_of_string data in
+  let acc = ref [] in
+  let pos = ref (String.length magic) in
+  let stop = ref false in
+  while not !stop do
+    if !pos + 8 > len then stop := true
+    else begin
+      let flen, p = Wire.get_u32 buf !pos in
+      let fcrc, p = Wire.get_u32 buf p in
+      if flen < 9 || p + flen > len then stop := true
+      else if crc buf p flen <> fcrc then stop := true
+      else begin
+        match
+          let lsn, o = Wire.get_i64 buf p in
+          let kind, o = Wire.get_u8 buf o in
+          let r, o = get_body kind buf o in
+          if o <> p + flen then raise (Wire.Corrupt "Wal: frame length mismatch");
+          (lsn, r)
+        with
+        | entry ->
+            acc := entry :: !acc;
+            pos := p + flen
+        | exception Wire.Corrupt _ -> stop := true
+        | exception Invalid_argument _ -> stop := true
+      end
+    end
+  done;
+  (List.rev !acc, !pos)
+
+let open_ ?stats path =
+  let raw, good_end =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let data =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      if String.length data < String.length magic then
+        if String.length data = 0 then ([], 0)
+        else invalid_arg "Wal.open_: not a fieldrep log"
+      else if String.sub data 0 (String.length magic) <> magic then
+        invalid_arg "Wal.open_: not a fieldrep log"
+      else scan data
+    end
+    else ([], 0)
+  in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_binary ] 0o644 path in
+  if good_end = 0 then begin
+    output_string oc magic;
+    flush oc
+  end
+  else seek_out oc good_end;
+  let aborted =
+    List.filter_map (function _, Abort l -> Some l | _ -> None) raw
+  in
+  let existing =
+    List.filter
+      (fun (lsn, r) ->
+        (match r with Abort _ -> false | _ -> true)
+        && not (List.mem lsn aborted))
+      raw
+  in
+  let next_lsn = List.fold_left (fun acc (l, _) -> max acc l) 0L raw in
+  { path; oc; next_lsn; existing; appends = 0; bytes = 0; stats }
+
+let write_record t lsn record =
+  let blen = body_size record in
+  let flen = 8 + 1 + blen in
+  let frame = Bytes.create (8 + flen) in
+  let off = Wire.put_u32 frame 0 flen in
+  let off = Wire.put_u32 frame off 0 (* crc patched below *) in
+  let off = Wire.put_i64 frame off lsn in
+  let off = Wire.put_u8 frame off (kind_of record) in
+  let off = put_body frame off record in
+  assert (off = 8 + flen);
+  ignore (Wire.put_u32 frame 4 (crc frame 8 flen));
+  output_bytes t.oc frame;
+  flush t.oc;
+  t.appends <- t.appends + 1;
+  t.bytes <- t.bytes + Bytes.length frame;
+  (match t.stats with
+  | Some s ->
+      s.Stats.wal_appends <- s.Stats.wal_appends + 1;
+      s.Stats.wal_bytes <- s.Stats.wal_bytes + Bytes.length frame
+  | None -> ())
+
+let append t record =
+  let lsn = Int64.add t.next_lsn 1L in
+  t.next_lsn <- lsn;
+  write_record t lsn record;
+  lsn
+
+let append_abort t ~aborted = ignore (append t (Abort aborted))
+
+let close t = close_out t.oc

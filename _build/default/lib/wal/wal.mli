@@ -1,0 +1,105 @@
+(** Write-ahead log of logical DML/DDL redo records.
+
+    The log is the durability substrate under the replication engine: a
+    single logical update may touch many pages (the object itself, hidden
+    copies in every source object, link objects, S' objects, B+-tree
+    nodes), and a crash mid-propagation would otherwise leave replicas and
+    indexes silently inconsistent.  Instead of physical page logging, the
+    engine appends one {e logical redo record} per mutation — before it
+    touches any page — and recovery reopens the last checkpoint image and
+    redoes the tail deterministically through the same engine code
+    ({!Recovery}).
+
+    {1 On-disk format}
+
+    The log is an append-only file:
+
+    {v "FREPWAL1"                                    file header
+       frame*                                        one frame per record
+       frame = [ len:u32 | crc:u32 | payload ]
+       payload = [ lsn:i64 | kind:u8 | body ]        via Fieldrep_util.Wire v}
+
+    [crc] is an FNV-1a checksum of the payload.  {!open_} scans existing
+    frames and stops at the first short or corrupt frame — a torn tail
+    written during a crash is ignored, and subsequent appends overwrite it.
+
+    Appends are flushed to the OS immediately, so every record that
+    {!append} returned an LSN for survives a simulated crash
+    ([Fieldrep_storage.Disk.Crash]).
+
+    {1 Aborted records}
+
+    A record is appended before its operation runs, so an operation that
+    then fails validation (e.g. deleting a still-referenced object) leaves
+    a record that must not be redone.  Rather than truncating — the log is
+    append-only — the engine appends an {!record.Abort} marker naming the
+    failed record's LSN; {!records} filters both out. *)
+
+module Oid = Fieldrep_storage.Oid
+module Stats = Fieldrep_storage.Stats
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Schema = Fieldrep_model.Schema
+
+(** Logical redo records.  Everything a record needs to be redone is
+    captured by value; OIDs are physical and stable, and replay is
+    deterministic, so inserted objects land on the same OIDs as in the
+    original run. *)
+type record =
+  | Define_type of Ty.t
+  | Create_set of { name : string; elem_type : string; reserve : int }
+  | Insert of { set : string; values : Value.t list }
+  | Update of { set : string; oid : Oid.t; field : string; value : Value.t }
+  | Delete of { set : string; oid : Oid.t }
+  | Replicate of {
+      path : string;
+      strategy : Schema.strategy;
+      options : Schema.rep_options;
+    }
+  | Build_index of {
+      name : string;
+      set : string;
+      field : string;
+      clustered : bool;
+    }
+  | Abort of int64  (** rescind the record with this LSN *)
+
+type t
+
+val open_ : ?stats:Stats.t -> string -> t
+(** Open (creating if absent) the log at a path.  Existing frames are
+    scanned and validated; the scan stops at the first torn or corrupt
+    frame, and the write position is placed just after the last good one.
+    Raises [Invalid_argument] on a file that is not a fieldrep log.
+    [stats], when given, accrues [wal_appends] / [wal_bytes]. *)
+
+val path : t -> string
+
+val append : t -> record -> int64
+(** Serialize, frame, write and flush one record; returns its LSN.  Must
+    be called {e before} the operation it describes touches any page. *)
+
+val append_abort : t -> aborted:int64 -> unit
+(** Rescind a previously appended record (its operation failed). *)
+
+val last_lsn : t -> int64
+(** The most recently assigned LSN (0 for an empty log). *)
+
+val ensure_lsn : t -> int64 -> unit
+(** Raise the LSN counter to at least the given value — used when attaching
+    a log to a database restored from an LSN-stamped checkpoint, so fresh
+    appends sort after the checkpoint. *)
+
+val records : t -> (int64 * record) list
+(** The valid records found at {!open_} time, in LSN order, with aborted
+    records and [Abort] markers filtered out.  Records appended through
+    this handle afterwards are not included. *)
+
+val appended : t -> int
+(** Records appended through this handle (monotonic, survives
+    [Stats.reset] — benchmarks read this). *)
+
+val bytes_written : t -> int
+(** Bytes written through this handle, including framing. *)
+
+val close : t -> unit

@@ -23,6 +23,7 @@ type spec = {
   page_size : int;
   frames : int;
   seed : int;
+  durable : bool;
 }
 
 let default_spec =
@@ -37,6 +38,7 @@ let default_spec =
     page_size = 4096;
     frames = 512;
     seed = 42;
+    durable = false;
   }
 
 type built = {
@@ -56,7 +58,10 @@ let random_string rng len =
 let build spec =
   assert (spec.s_count > 0 && spec.sharing >= 1);
   let rng = Splitmix.create spec.seed in
-  let db = Db.create ~page_size:spec.page_size ~frames:spec.frames () in
+  let db =
+    Db.create ~page_size:spec.page_size ~frames:spec.frames ~durable:spec.durable
+      ()
+  in
   Db.define_type db
     (Ty.make ~name:"STYPE"
        [

@@ -29,6 +29,7 @@ type spec = {
   page_size : int;
   frames : int;
   seed : int;
+  durable : bool;  (** attach a write-ahead log ([Db.create ~durable]) *)
 }
 
 val default_spec : spec

@@ -151,6 +151,61 @@ let test_options_roundtrip () =
   Db.check_integrity db2;
   Sys.remove path
 
+let test_pending_lazy_with_mixed_indexes () =
+  (* The hardest image case: clustered AND unclustered indexes present and
+     lazy propagations still pending at save time.  Save must flush the
+     pending work, and the reloaded database must satisfy every replication
+     and index invariant. *)
+  let built =
+    Gen.build
+      {
+        Gen.default_spec with
+        Gen.s_count = 200;
+        sharing = 4;
+        strategy = Fieldrep_costmodel.Params.No_replication;
+        clustering = Fieldrep_costmodel.Params.Clustered;
+        seed = 29;
+      }
+  in
+  let db = built.Gen.db in
+  (* Gen built clustered indexes on field_r / field_s; add an unclustered
+     one over the same set. *)
+  Db.build_index db ~name:"r_by_pad" ~set:"R" ~field:"pad" ~clustered:false;
+  let options = { Schema.default_options with Schema.lazy_propagation = true } in
+  Db.replicate db ~options ~strategy:Schema.Inplace (Path.parse "R.sref.repfield");
+  (* Touch several S objects so invalidations are pending when we save. *)
+  let dirty = [ 0; 7; 42; 199 ] in
+  List.iter
+    (fun key ->
+      let s = List.hd (Db.index_lookup db ~index:Gen.s_index (Key.Int key)) in
+      Db.update_field db ~set:"S" s ~field:"repfield"
+        (vstr (Printf.sprintf "%020d" key)))
+    dirty;
+  checkb "pending before save" true (Engine.pending_count (Db.engine db) > 0);
+  let path = tmp "pending_mixed" in
+  Db.save db path;
+  let db2 = Db.load path in
+  checki "nothing pending after load" 0 (Engine.pending_count (Db.engine db2));
+  (* The flushed hidden copies are visible through every R referencing a
+     dirty S object. *)
+  List.iter
+    (fun key ->
+      let s = List.hd (Db.index_lookup db2 ~index:Gen.s_index (Key.Int key)) in
+      let rs, _ = Db.referencers db2 ~source_set:"R" ~attr:"sref" s in
+      checki "sharing preserved" 4 (List.length rs);
+      List.iter
+        (fun r ->
+          checkv "lazy update propagated into image"
+            (vstr (Printf.sprintf "%020d" key))
+            (Db.deref db2 ~set:"R" r "sref.repfield"))
+        rs)
+    dirty;
+  (* All three indexes — two clustered, one unclustered — and the
+     replication structures are consistent. *)
+  Fieldrep_replication.Invariants.check_all (Db.engine db2);
+  Db.check_integrity db2;
+  Sys.remove path
+
 let test_load_rejects_garbage () =
   let path = tmp "garbage" in
   let oc = open_out_bin path in
@@ -204,6 +259,8 @@ let () =
           Alcotest.test_case "index survives" `Quick test_index_survives;
           Alcotest.test_case "lazy flushed on save" `Quick test_lazy_flushed_on_save;
           Alcotest.test_case "options roundtrip" `Quick test_options_roundtrip;
+          Alcotest.test_case "pending lazy + mixed indexes" `Quick
+            test_pending_lazy_with_mixed_indexes;
           Alcotest.test_case "garbage rejected" `Quick test_load_rejects_garbage;
           Alcotest.test_case "R/S database roundtrip" `Quick test_rs_database_roundtrip;
         ] );

@@ -227,6 +227,38 @@ let test_pool_clear_forces_cold_reads () =
       Alcotest.(check char) "data flushed" 'k' (Bytes.get buf 0));
   checki "cold read" (before + 1) stats.Stats.page_reads
 
+(* Regression: Pager.delete_file used to clear the WHOLE pool, evicting
+   every other file's frames; it must only drop the deleted file's. *)
+let test_delete_file_keeps_other_files_resident () =
+  let pager = Pager.create ~page_size:64 ~frames:8 () in
+  let stats = Pager.stats pager in
+  let keep = Pager.create_file pager in
+  let doomed = Pager.create_file pager in
+  let kp = Pager.new_page pager ~file:keep in
+  Pager.with_page_write pager ~file:keep ~page:kp (fun buf -> Bytes.fill buf 0 4 'k');
+  let dp = Pager.new_page pager ~file:doomed in
+  Pager.with_page_write pager ~file:doomed ~page:dp (fun buf -> Bytes.fill buf 0 4 'd');
+  Pager.delete_file pager doomed;
+  let before = stats.Stats.page_reads in
+  Pager.with_page_read pager ~file:keep ~page:kp (fun buf ->
+      Alcotest.(check char) "data intact" 'k' (Bytes.get buf 0));
+  checki "still resident: no physical read" before stats.Stats.page_reads
+
+let test_drop_file_discards_without_writeback () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let pool = Buffer_pool.create disk ~frames:4 in
+  let f = Disk.create_file disk in
+  let p = Buffer_pool.new_page pool ~file:f in
+  Buffer_pool.with_page_write pool ~file:f ~page:p (fun buf -> Bytes.fill buf 0 4 'x');
+  let writes = stats.Stats.page_writes in
+  Buffer_pool.drop_file pool ~file:f;
+  checki "dirty frame dropped, not written" writes stats.Stats.page_writes;
+  (* The frame really is gone: re-reading goes to the disk. *)
+  let reads = stats.Stats.page_reads in
+  Buffer_pool.with_page_read pool ~file:f ~page:p (fun _ -> ());
+  checki "cold read after drop" (reads + 1) stats.Stats.page_reads
+
 let test_pool_exhaustion () =
   let stats = Stats.create () in
   let disk = Disk.create ~page_size:64 stats in
@@ -475,6 +507,10 @@ let () =
           Alcotest.test_case "hits avoid io" `Quick test_pool_hit_avoids_io;
           Alcotest.test_case "eviction writes dirty pages" `Quick test_pool_eviction_writes_dirty;
           Alcotest.test_case "clear forces cold reads" `Quick test_pool_clear_forces_cold_reads;
+          Alcotest.test_case "delete_file keeps other files resident" `Quick
+            test_delete_file_keeps_other_files_resident;
+          Alcotest.test_case "drop_file discards without writeback" `Quick
+            test_drop_file_discards_without_writeback;
           Alcotest.test_case "exhaustion raises" `Quick test_pool_exhaustion;
           Alcotest.test_case "pin released on exception" `Quick test_pool_pin_released_on_exception;
         ] );

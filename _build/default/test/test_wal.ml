@@ -1,0 +1,446 @@
+(* Write-ahead logging, crash injection, and recovery.
+
+   The crash matrix is the centrepiece: a 200-operation mixed workload is
+   crashed at EVERY physical write offset (alternating clean and torn
+   crashing writes), recovered from the checkpoint image plus the log tail,
+   resumed, and compared against an uncrashed reference — for all three
+   replication strategies. *)
+
+module Db = Fieldrep.Db
+module Oid = Fieldrep_storage.Oid
+module Stats = Fieldrep_storage.Stats
+module Disk = Fieldrep_storage.Disk
+module Pager = Fieldrep_storage.Pager
+module Wal = Fieldrep_wal.Wal
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Schema = Fieldrep_model.Schema
+module Path = Fieldrep_model.Path
+module Key = Fieldrep_btree.Key
+module Engine = Fieldrep_replication.Engine
+module Params = Fieldrep_costmodel.Params
+module Gen = Fieldrep_workload.Gen
+module Splitmix = Fieldrep_util.Splitmix
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let value_testable = Alcotest.testable Value.pp Value.equal
+let checkv = Alcotest.check value_testable
+
+let tmp name ext =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ()) ("fieldrep_wal_" ^ name ^ ext)
+  in
+  if Sys.file_exists path then Sys.remove path;
+  path
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection in the simulated disk                               *)
+
+let test_failpoint_fires_and_disarms () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let f = Disk.create_file disk in
+  let p = Disk.allocate_page disk f in
+  let buf = Bytes.make 64 'x' in
+  Disk.set_failpoint disk ~after_writes:2;
+  Disk.write_page disk ~file:f ~page:p buf;
+  Disk.write_page disk ~file:f ~page:p buf;
+  checki "no writes left" 0 (Option.get (Disk.writes_until_crash disk));
+  (try
+     Disk.write_page disk ~file:f ~page:p buf;
+     Alcotest.fail "expected Crash"
+   with Disk.Crash _ -> ());
+  checkb "disarmed after firing" true (Disk.writes_until_crash disk = None);
+  (* The machine "rebooted": writes work again. *)
+  Disk.write_page disk ~file:f ~page:p buf;
+  checki "post-crash write counted" 3 stats.Stats.page_writes
+
+let test_failpoint_torn_write () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let f = Disk.create_file disk in
+  let p = Disk.allocate_page disk f in
+  Disk.write_page disk ~file:f ~page:p (Bytes.make 64 'o');
+  Disk.set_failpoint ~torn:true disk ~after_writes:0;
+  (try
+     Disk.write_page disk ~file:f ~page:p (Bytes.make 64 'n');
+     Alcotest.fail "expected Crash"
+   with Disk.Crash _ -> ());
+  let page = Disk.dump_page disk ~file:f ~page:p in
+  Alcotest.(check char) "first half landed" 'n' (Bytes.get page 0);
+  Alcotest.(check char) "second half did not" 'o' (Bytes.get page 63)
+
+(* ------------------------------------------------------------------ *)
+(* The log itself                                                      *)
+
+let sample_records =
+  [
+    Wal.Define_type
+      (Ty.make ~name:"T"
+         [
+           { Ty.fname = "a"; ftype = Ty.Scalar Ty.SInt };
+           { Ty.fname = "b"; ftype = Ty.Scalar Ty.SString };
+           { Ty.fname = "r"; ftype = Ty.Ref "T" };
+         ]);
+    Wal.Create_set { name = "Ts"; elem_type = "T"; reserve = 128 };
+    Wal.Insert
+      { set = "Ts"; values = [ Value.VInt 7; Value.VString "hello"; Value.VNull ] };
+    Wal.Update
+      {
+        set = "Ts";
+        oid = { Oid.file = 3; page = 9; slot = 2 };
+        field = "r";
+        value = Value.VRef { Oid.file = 1; page = 2; slot = 3 };
+      };
+    Wal.Delete { set = "Ts"; oid = { Oid.file = 1; page = 0; slot = 0 } };
+    Wal.Replicate
+      {
+        path = "Ts.r.b";
+        strategy = Schema.Separate;
+        options =
+          {
+            Schema.collapse = true;
+            small_link_threshold = 3;
+            lazy_propagation = true;
+            cluster_links = false;
+          };
+      };
+    Wal.Build_index { name = "i"; set = "Ts"; field = "a"; clustered = true };
+  ]
+
+let test_wal_roundtrip () =
+  let path = tmp "roundtrip" ".wal" in
+  let w = Wal.open_ path in
+  let lsns = List.map (Wal.append w) sample_records in
+  checkb "lsns ascend from 1" true
+    (lsns = List.init (List.length lsns) (fun i -> Int64.of_int (i + 1)));
+  Wal.close w;
+  let w2 = Wal.open_ path in
+  let back = Wal.records w2 in
+  checki "all records recovered" (List.length sample_records) (List.length back);
+  List.iter2
+    (fun r (_, r') -> checkb "record survives the codec" true (r = r'))
+    sample_records back;
+  checkb "lsn counter continues" true
+    (Wal.last_lsn w2 = Int64.of_int (List.length sample_records));
+  Wal.close w2;
+  Sys.remove path
+
+let test_wal_abort_rescinds () =
+  let path = tmp "abort" ".wal" in
+  let w = Wal.open_ path in
+  ignore (Wal.append w (Wal.Delete { set = "S"; oid = Oid.nil }));
+  let l2 = Wal.append w (Wal.Insert { set = "S"; values = [ Value.VInt 1 ] }) in
+  Wal.append_abort w ~aborted:l2;
+  Wal.close w;
+  let w2 = Wal.open_ path in
+  checki "aborted record and marker filtered" 1 (List.length (Wal.records w2));
+  checkb "lsn counter past the marker" true (Wal.last_lsn w2 = 3L);
+  Wal.close w2;
+  Sys.remove path
+
+let test_wal_torn_tail () =
+  let path = tmp "torn" ".wal" in
+  let w = Wal.open_ path in
+  ignore (Wal.append w (Wal.Delete { set = "A"; oid = Oid.nil }));
+  ignore (Wal.append w (Wal.Delete { set = "B"; oid = Oid.nil }));
+  Wal.close w;
+  (* A crash tore the next append: a frame header promising more bytes than
+     were ever written. *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\x40\x00\x00\x00GARB";
+  close_out oc;
+  let w2 = Wal.open_ path in
+  checki "torn tail dropped" 2 (List.length (Wal.records w2));
+  ignore (Wal.append w2 (Wal.Delete { set = "C"; oid = Oid.nil }));
+  Wal.close w2;
+  let w3 = Wal.open_ path in
+  checki "new append overwrote the garbage" 3 (List.length (Wal.records w3));
+  Wal.close w3;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+(* A canonical observation of everything user-visible: object contents in
+   physical order, full dumps of both indexes, and the replicated-field
+   read of every R object.  Two databases in the same state produce the
+   same string. *)
+let observe db =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun set ->
+      Buffer.add_string b (Printf.sprintf "== set %s (%d)\n" set (Db.set_size db set));
+      Db.scan db ~set (fun oid record ->
+          Buffer.add_string b (Oid.to_string oid);
+          List.iter
+            (fun v ->
+              Buffer.add_char b '|';
+              Buffer.add_string b (Value.to_string v))
+            (Db.user_values db ~set record);
+          Buffer.add_char b '\n'))
+    [ "S"; "R" ];
+  List.iter
+    (fun index ->
+      Buffer.add_string b ("== index " ^ index ^ "\n");
+      Db.index_range db ~index ~lo:Key.min_int_key ~hi:(Key.Int max_int) ~init:()
+        ~f:(fun () k oid ->
+          Buffer.add_string b
+            (Printf.sprintf "%s->%s\n" (Key.to_string k) (Oid.to_string oid))))
+    [ Gen.r_index; Gen.s_index ];
+  Buffer.add_string b "== derefs\n";
+  Db.scan db ~set:"R" (fun oid _ ->
+      Buffer.add_string b (Value.to_string (Db.deref db ~set:"R" oid "sref.repfield"));
+      Buffer.add_char b '\n');
+  Buffer.contents b
+
+let test_recover_basic () =
+  let img = tmp "basic" ".img" in
+  let built =
+    Gen.build
+      {
+        Gen.default_spec with
+        Gen.s_count = 30;
+        sharing = 2;
+        strategy = Params.Inplace;
+        page_size = 1024;
+        frames = 32;
+        seed = 5;
+        durable = true;
+      }
+  in
+  let db = built.Gen.db in
+  Db.checkpoint db img;
+  (* Post-checkpoint work lives only in the log. *)
+  let s_oids = ref [] in
+  Db.scan db ~set:"S" (fun oid _ -> s_oids := oid :: !s_oids);
+  let s_oids = Array.of_list (List.rev !s_oids) in
+  Db.update_field db ~set:"S" s_oids.(3) ~field:"repfield"
+    (Value.VString (String.make 20 'z'));
+  ignore
+    (Db.insert db ~set:"R"
+       [ Value.VInt 9999; Value.VString (String.make 65 'q'); Value.VRef s_oids.(0) ]);
+  let expected = observe db in
+  (* The machine dies: the in-memory disk is lost, only the checkpoint
+     image and the log file survive.  [recover] finds the log through the
+     path recorded in the image. *)
+  Wal.close (Option.get (Db.wal db));
+  let db2 = Db.recover img in
+  checks "recovered state identical" expected (observe db2);
+  checki "replay counted" 1 (Db.stats db2).Stats.recovery_replays;
+  Db.check_integrity db2;
+  (* The recovered database is durable: new mutations keep logging. *)
+  let appends = Wal.appended (Option.get (Db.wal db2)) in
+  Db.update_field db2 ~set:"S" s_oids.(1) ~field:"repfield"
+    (Value.VString (String.make 20 'y'));
+  checkb "still logging" true (Wal.appended (Option.get (Db.wal db2)) > appends);
+  Sys.remove img
+
+let test_recover_requeues_lazy () =
+  let img = tmp "lazy" ".img" in
+  let built =
+    Gen.build
+      {
+        Gen.default_spec with
+        Gen.s_count = 20;
+        sharing = 3;
+        strategy = Params.No_replication;
+        page_size = 1024;
+        frames = 32;
+        seed = 11;
+        durable = true;
+      }
+  in
+  let db = built.Gen.db in
+  let options = { Schema.default_options with Schema.lazy_propagation = true } in
+  Db.replicate db ~options ~strategy:Schema.Inplace (Path.parse "R.sref.repfield");
+  Db.checkpoint db img;
+  (* A lazy update after the checkpoint: the hidden copies are NOT written,
+     only an in-memory invalidation is queued — and then the machine dies.
+     Replay must re-run the update and re-queue the invalidation. *)
+  let s = ref Oid.nil in
+  Db.scan db ~set:"S" (fun oid _ -> if Oid.is_nil !s then s := oid);
+  let s = !s in
+  Db.update_field db ~set:"S" s ~field:"repfield" (Value.VString (String.make 20 'w'));
+  checkb "invalidation pending before crash" true
+    (Engine.pending_count (Db.engine db) > 0);
+  Wal.close (Option.get (Db.wal db));
+  let db2 = Db.recover img in
+  checkb "invalidation re-queued by replay" true
+    (Engine.pending_count (Db.engine db2) > 0);
+  let rs, _ = Db.referencers db2 ~source_set:"R" ~attr:"sref" s in
+  checki "sharing preserved" 3 (List.length rs);
+  List.iter
+    (fun r ->
+      checkv "read repairs the replayed lazy update"
+        (Value.VString (String.make 20 'w'))
+        (Db.deref db2 ~set:"R" r "sref.repfield"))
+    rs;
+  Db.check_integrity db2;
+  Sys.remove img
+
+(* ------------------------------------------------------------------ *)
+(* The crash matrix                                                    *)
+
+(* 200 concrete operations over a built R/S database: updates to the
+   replicated field, key and pad updates on R, inserts of new R objects,
+   and deletes from a reserved tail of R.  Everything is baked upfront —
+   OIDs and values are fixed — so the same list can drive the reference
+   run, every crashed run, and every resumed run. *)
+let bake_ops ~s_oids ~r_oids ~count ~seed =
+  let rng = Splitmix.create seed in
+  let ns = Array.length s_oids in
+  let n_deletable = 20 in
+  let r_updatable = Array.sub r_oids 0 (Array.length r_oids - n_deletable) in
+  let nu = Array.length r_updatable in
+  let deletable =
+    ref (Array.to_list (Array.sub r_oids (Array.length r_oids - n_deletable) n_deletable))
+  in
+  List.init count (fun i ->
+      let i = i + 1 in
+      let roll = Splitmix.int rng 100 in
+      let op =
+        if roll < 40 then begin
+          let s = s_oids.(Splitmix.int rng ns) in
+          fun db ->
+            Db.update_field db ~set:"S" s ~field:"repfield"
+              (Value.VString (Printf.sprintf "%020d" i))
+        end
+        else if roll < 60 then begin
+          let r = r_updatable.(Splitmix.int rng nu) in
+          fun db -> Db.update_field db ~set:"R" r ~field:"field_r" (Value.VInt (100_000 + i))
+        end
+        else if roll < 72 then begin
+          let r = r_updatable.(Splitmix.int rng nu) in
+          fun db ->
+            Db.update_field db ~set:"R" r ~field:"pad"
+              (Value.VString (Printf.sprintf "%-65d" i))
+        end
+        else if roll < 90 then begin
+          let s = s_oids.(Splitmix.int rng ns) in
+          fun db ->
+            ignore
+              (Db.insert db ~set:"R"
+                 [
+                   Value.VInt (200_000 + i);
+                   Value.VString (String.make 65 'i');
+                   Value.VRef s;
+                 ])
+        end
+        else
+          match !deletable with
+          | r :: rest ->
+              deletable := rest;
+              fun db -> Db.delete db ~set:"R" r
+          | [] ->
+              let s = s_oids.(Splitmix.int rng ns) in
+              fun db ->
+                Db.update_field db ~set:"S" s ~field:"repfield"
+                  (Value.VString (Printf.sprintf "%020d" (500_000 + i)))
+      in
+      (i, op))
+
+let oids_of db set =
+  let acc = ref [] in
+  Db.scan db ~set (fun oid _ -> acc := oid :: !acc);
+  Array.of_list (List.rev !acc)
+
+let crash_matrix strategy () =
+  let name = Fieldrep_costmodel.Sweep.strategy_name strategy in
+  let spec =
+    {
+      Gen.default_spec with
+      Gen.s_count = 40;
+      sharing = 2;
+      strategy;
+      page_size = 1024;
+      frames = 12;
+      seed = 77;
+      durable = true;
+    }
+  in
+  let built = Gen.build spec in
+  let db0 = built.Gen.db in
+  let img = tmp ("matrix_" ^ name) ".img" in
+  Db.checkpoint db0 img;
+  let base_lsn = Wal.last_lsn (Option.get (Db.wal db0)) in
+  let s_oids = oids_of db0 "S" in
+  let r_oids = oids_of db0 "R" in
+  let ops = bake_ops ~s_oids ~r_oids ~count:200 ~seed:101 in
+  Wal.close (Option.get (Db.wal db0));
+  (* One log file per test, recreated empty for every simulated history. *)
+  let wal_k = Filename.concat (Filename.get_temp_dir_name ())
+      ("fieldrep_wal_matrix_" ^ name ^ ".wal") in
+  let fresh_recover () =
+    if Sys.file_exists wal_k then Sys.remove wal_k;
+    Db.recover ~frames:spec.Gen.frames ~wal_path:wal_k img
+  in
+  (* Uncrashed reference: recover from the checkpoint (empty log tail) and
+     run the whole workload. *)
+  let refdb = fresh_recover () in
+  let writes0 = (Db.stats refdb).Stats.page_writes in
+  List.iter (fun (_, op) -> op refdb) ops;
+  let total_writes = (Db.stats refdb).Stats.page_writes - writes0 in
+  let reference = observe refdb in
+  Wal.close (Option.get (Db.wal refdb));
+  checkb "workload does physical writes" true (total_writes > 0);
+  (* Crash at every write offset; odd offsets also tear the crashing
+     write.  Recovery must reproduce the reference exactly each time. *)
+  for k = 1 to total_writes do
+    let db = fresh_recover () in
+    Disk.set_failpoint ~torn:(k mod 2 = 1) (Pager.disk (Db.pager db))
+      ~after_writes:(k - 1);
+    let crashed =
+      try
+        List.iter (fun (_, op) -> op db) ops;
+        false
+      with Disk.Crash _ -> true
+    in
+    checkb (Printf.sprintf "%s: write %d/%d crashes" name k total_writes) true crashed;
+    let w = Option.get (Db.wal db) in
+    (* Ops 1..done_ops are in the log (the last possibly half-applied on
+       the lost disk — replay completes it); resumption starts after. *)
+    let done_ops = Int64.to_int (Int64.sub (Wal.last_lsn w) base_lsn) in
+    Wal.close w;
+    let db2 = Db.recover ~frames:spec.Gen.frames ~wal_path:wal_k img in
+    List.iter (fun (i, op) -> if i > done_ops then op db2) ops;
+    let obs = observe db2 in
+    if not (String.equal reference obs) then
+      Alcotest.failf "%s: crash at write %d/%d diverged (%d ops were durable)"
+        name k total_writes done_ops;
+    Db.check_integrity db2;
+    Wal.close (Option.get (Db.wal db2))
+  done;
+  Sys.remove img;
+  if Sys.file_exists wal_k then Sys.remove wal_k
+
+let () =
+  Alcotest.run "fieldrep_wal"
+    [
+      ( "failpoints",
+        [
+          Alcotest.test_case "fires and disarms" `Quick test_failpoint_fires_and_disarms;
+          Alcotest.test_case "torn write" `Quick test_failpoint_torn_write;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "codec roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "abort rescinds" `Quick test_wal_abort_rescinds;
+          Alcotest.test_case "torn tail ignored" `Quick test_wal_torn_tail;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "checkpoint + log tail" `Quick test_recover_basic;
+          Alcotest.test_case "lazy invalidations re-queued" `Quick
+            test_recover_requeues_lazy;
+        ] );
+      ( "crash matrix",
+        [
+          Alcotest.test_case "no replication" `Slow
+            (crash_matrix Params.No_replication);
+          Alcotest.test_case "in-place" `Slow (crash_matrix Params.Inplace);
+          Alcotest.test_case "separate" `Slow (crash_matrix Params.Separate);
+        ] );
+    ]

@@ -11,3 +11,7 @@ val check : Engine.env -> unit
 
 val errors : Engine.env -> string list
 (** All violations (empty list = consistent). *)
+
+val check_all : Engine.env -> unit
+(** Alias of {!check} under the name recovery code reads naturally:
+    the final step of [Db.recover] re-verifies every invariant. *)
