@@ -26,6 +26,7 @@ module Cost = Fieldrep_costmodel.Cost
 module Sweep = Fieldrep_costmodel.Sweep
 module Gen = Fieldrep_workload.Gen
 module Mix = Fieldrep_workload.Mix
+module Multi = Fieldrep_workload.Multi
 module Wal = Fieldrep_wal.Wal
 module T = Fieldrep_util.Tableprint
 module Splitmix = Fieldrep_util.Splitmix
@@ -810,6 +811,84 @@ let wal_overhead () =
     (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* T1: transaction throughput under contention                         *)
+
+let txn_bench () =
+  section "T1: interleaved transactions under contention (strict 2PL)";
+  Printf.printf
+    "(N round-robin clients run 64 transactions of 6 operations each over an\n\
+    \ |S|=200, f=4 database with a 24-frame pool; the total work is the\n\
+    \ same at every client count, so the deltas are pure concurrency-\n\
+    \ control effects: blocked turns, deadlock aborts, and the retries\n\
+    \ they cause)\n\n";
+  let total_txns = 64 and ops_per_txn = 6 in
+  let rows = ref [] in
+  List.iter
+    (fun (mix_name, mix) ->
+      List.iter
+        (fun strategy ->
+          List.iter
+            (fun clients ->
+              let spec =
+                {
+                  Gen.default_spec with
+                  Gen.s_count = 200;
+                  sharing = 4;
+                  strategy;
+                  frames = 24;
+                  seed = 29;
+                }
+              in
+              let built = Gen.build spec in
+              let before = Stats.copy (Db.stats built.Gen.db) in
+              let t0 = Unix.gettimeofday () in
+              let res =
+                Multi.run ~abort_prob:0.02 ~clients
+                  ~txns_per_client:(total_txns / clients) ~ops_per_txn ~mix
+                  ~seed:(41 + clients) built
+              in
+              let wall = Unix.gettimeofday () -. t0 in
+              let d = Stats.diff (Db.stats built.Gen.db) before in
+              let io_per_txn =
+                if res.Multi.commits = 0 then 0.0
+                else
+                  float_of_int res.Multi.committed_io
+                  /. float_of_int res.Multi.commits
+              in
+              rows :=
+                [
+                  mix_name;
+                  strategy_label strategy;
+                  string_of_int clients;
+                  string_of_int res.Multi.commits;
+                  T.fixed 0 (float_of_int res.Multi.commits /. wall);
+                  T.fixed 1 io_per_txn;
+                  string_of_int res.Multi.blocked_turns;
+                  string_of_int d.Stats.lock_waits;
+                  string_of_int res.Multi.deadlock_aborts;
+                  string_of_int res.Multi.discarded;
+                ]
+                :: !rows)
+            [ 1; 2; 4; 8; 16 ])
+        [ Params.No_replication; Params.Inplace; Params.Separate ])
+    [ ("read", Multi.read_mix); ("update", Multi.update_mix) ];
+  T.print
+    ~header:
+      [
+        "mix";
+        "strategy";
+        "clients";
+        "commits";
+        "txn/s";
+        "I/O per txn";
+        "blocked";
+        "lock waits";
+        "dl aborts";
+        "discarded";
+      ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let all_benches =
@@ -831,6 +910,7 @@ let all_benches =
     ("space", space);
     ("micro", micro);
     ("wal", wal_overhead);
+    ("txn", txn_bench);
   ]
 
 (* Machine-readable results: one object per scenario run, with wall time and

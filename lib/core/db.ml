@@ -15,6 +15,10 @@ module Store = Fieldrep_replication.Store
 module Invariants = Fieldrep_replication.Invariants
 module Wal = Fieldrep_wal.Wal
 module Recovery = Fieldrep_wal.Recovery
+module Lock = Fieldrep_txn.Lock
+module Txn = Fieldrep_txn.Txn
+
+type txn = Txn.t
 
 type index_rt = {
   def : Schema.index_def;
@@ -32,6 +36,14 @@ type t = {
   mutable engine : Engine.env;
   mutable wal : Wal.t option;
   mutable replaying : bool;  (* suppress WAL appends while redoing the log *)
+  locks : Lock.t;
+  mutable next_txn : int;
+  active : (int, Txn.t) Hashtbl.t;
+  mutable compensating : bool;
+      (* rollback in progress: operations skip locking, undo capture and
+         reference-liveness validation, and log as plain (untagged) records
+         so the rollback itself is replayable *)
+  mutable charging : bool;  (* re-entrancy guard for per-txn I/O accounting *)
 }
 
 let schema t = t.schema
@@ -39,17 +51,36 @@ let pager t = t.pager
 let stats t = Pager.stats t.pager
 let engine t = t.engine
 let wal t = t.wal
+let lock_manager t = t.locks
+let active_txn_count t = Hashtbl.length t.active
 
 (* Write-ahead rule: the record is durable before the operation touches any
    page.  If the operation then fails validation (no crash, an ordinary
    exception), the record is rescinded with an abort marker so recovery
    will not redo it.  A [Disk.Crash] rescinds nothing: the record survives
    and replay *completes* the half-applied operation. *)
-let log_mutation t record f =
+(* Begin records are logged lazily, just before the transaction's first
+   logged record, so read-only transactions leave no trace in the log. *)
+let ensure_begin t tx =
+  if not (Txn.begun tx) then begin
+    Txn.mark_begun tx;
+    match t.wal with
+    | Some w when not t.replaying -> ignore (Wal.append w (Wal.Txn_begin (Txn.id tx)))
+    | _ -> ()
+  end
+
+let log_mutation ?txn t record f =
   match t.wal with
   | None -> f ()
   | Some _ when t.replaying -> f ()
   | Some w -> (
+      let record =
+        match txn with
+        | Some tx when not t.compensating ->
+            ensure_begin t tx;
+            Wal.Txn_op { txn = Txn.id tx; op = record }
+        | _ -> record
+      in
       let lsn = Wal.append w record in
       try f ()
       with
@@ -152,6 +183,11 @@ let create ?(page_size = 4096) ?(frames = 256) ?(durable = false) ?wal_path () =
          engine;
          wal = None;
          replaying = false;
+         locks = Lock.create ~stats:(Pager.stats pager) ();
+         next_txn = 1;
+         active = Hashtbl.create 8;
+         compensating = false;
+         charging = false;
        })
   in
   let t = Lazy.force t in
@@ -168,10 +204,16 @@ let create ?(page_size = 4096) ?(frames = 256) ?(durable = false) ?wal_path () =
 (* ------------------------------------------------------------------ *)
 (* DDL                                                                 *)
 
+let no_active_txns t context =
+  if Hashtbl.length t.active > 0 then
+    invalid_arg (context ^ ": not allowed while transactions are active")
+
 let define_type t ty =
+  no_active_txns t "Db.define_type";
   log_mutation t (Wal.Define_type ty) (fun () -> Schema.define_type t.schema ty)
 
 let create_set t ?(reserve = 0) ~name ~elem_type () =
+  no_active_txns t "Db.create_set";
   log_mutation t (Wal.Create_set { name; elem_type; reserve }) (fun () ->
       Schema.create_set t.schema ~name ~elem_type;
       let hf = Heap_file.create ~reserve t.pager in
@@ -179,6 +221,7 @@ let create_set t ?(reserve = 0) ~name ~elem_type () =
       Hashtbl.replace t.data_files (Heap_file.file_id hf) (name, hf))
 
 let replicate t ?options ~strategy path =
+  no_active_txns t "Db.replicate";
   let options = Option.value ~default:Schema.default_options options in
   log_mutation t
     (Wal.Replicate { path = Path.to_string path; strategy; options })
@@ -212,6 +255,7 @@ let resolve_index_field t ~set ~field =
                field set))
 
 let build_index t ~name ~set ~field ~clustered =
+  no_active_txns t "Db.build_index";
   log_mutation t (Wal.Build_index { name; set; field; clustered }) (fun () ->
       Schema.add_index t.schema
         { Schema.iname = name; iset = set; ifield = field; clustered };
@@ -244,7 +288,9 @@ let check_value t ~context (field : Ty.field) v =
          (Format.asprintf "%a" Ty.pp_ftype field.Ty.ftype)
          (Value.to_string v));
   match (field.Ty.ftype, v) with
-  | Ty.Ref target, Value.VRef oid ->
+  (* Compensations restore a prior state wholesale; intermediate states may
+     legitimately hold references their restore order has not revived yet. *)
+  | Ty.Ref target, Value.VRef oid when not t.compensating ->
       let hf = file_of_oid t oid in
       if not (Heap_file.exists hf oid) then
         invalid_arg
@@ -260,9 +306,85 @@ let check_value t ~context (field : Ty.field) v =
   | (Ty.Ref _ | Ty.Scalar _), _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Locking and undo-capture plumbing                                   *)
+
+(* Operations on behalf of a transaction acquire their whole lock set
+   before mutating anything, so a [Lock.Would_block] or [Lock.Deadlock]
+   surfaces with no partial effects and the operation can simply be
+   retried (or the transaction aborted).  Compensations and log replay
+   run lock-free: rollback only ever touches objects the transaction
+   already holds exclusively, and replay is single-threaded. *)
+let locking t txn k =
+  match txn with
+  | Some tx when not (t.compensating || t.replaying) ->
+      if not (Txn.is_active tx && Hashtbl.mem t.active (Txn.id tx)) then
+        invalid_arg "Db: transaction is not active";
+      k tx
+  | _ -> ()
+
+let lock t tx resource mode = Lock.acquire t.locks ~txn:(Txn.id tx) resource mode
+
+let lock_read t tx ~set oid =
+  lock t tx (Lock.Set set) Lock.IS;
+  lock t tx (Lock.Obj oid) Lock.S
+
+let lock_write t tx ~set oid =
+  lock t tx (Lock.Set set) Lock.IX;
+  lock t tx (Lock.Obj oid) Lock.X
+
+(* Exclusive locks on an estimated write set (data objects propagation
+   will touch), each with an intention lock on its owning set. *)
+let lock_targets t tx oids =
+  List.iter (fun oid -> lock_write t tx ~set:(set_of_oid t oid) oid) oids
+
+(* Attribute the physical I/O of one operation to the transaction that
+   issued it.  Re-entrancy guard: [deref] calls [get] internally and the
+   pages must not be counted twice. *)
+let with_charge t txn f =
+  match txn with
+  | Some tx when not (t.compensating || t.replaying || t.charging) ->
+      t.charging <- true;
+      Fun.protect
+        ~finally:(fun () -> t.charging <- false)
+        (fun () ->
+          let io0 = Stats.grand_total_io () in
+          let r = f () in
+          Txn.charge_io tx (Stats.grand_total_io () - io0);
+          Txn.bump_ops tx;
+          r)
+  | _ -> f ()
+
+(* Capture the object's before-image the first time this transaction
+   touches it, and log it ahead of the operation's redo record so crash
+   recovery can roll the transaction back from the log alone. *)
+let capture_undo t txn ~set oid ~present =
+  match txn with
+  | None -> ()
+  | Some tx ->
+      if (not (t.compensating || t.replaying)) && not (Txn.touched tx ~set oid)
+      then begin
+        let values =
+          if not present then []
+          else
+            let record = Record.decode (Heap_file.read (set_file t set) oid) in
+            let n = Ty.arity (Schema.set_type t.schema set) in
+            List.init n (fun i -> value_at record i)
+        in
+        ensure_begin t tx;
+        (match t.wal with
+        | Some w ->
+            ignore
+              (Wal.append w
+                 (Wal.Undo_image { txn = Txn.id tx; set; oid; present; values }))
+        | None -> ());
+        Txn.record_touch tx ~set oid
+          { Txn.u_set = set; u_oid = oid; u_present = present; u_values = values }
+      end
+
+(* ------------------------------------------------------------------ *)
 (* DML                                                                 *)
 
-let insert t ~set values =
+let insert ?txn t ~set values =
   let ty = Schema.set_type t.schema set in
   if List.length values <> Ty.arity ty then
     invalid_arg
@@ -274,25 +396,76 @@ let insert t ~set values =
   in
   (* The OID is not logged: physical allocation is deterministic, so the
      replayed insert lands on the same OID as the original run. *)
-  log_mutation t (Wal.Insert { set; values }) (fun () ->
-      let oid = Heap_file.insert (set_file t set) (Record.encode record) in
-      List.iter (fun rt -> index_insert rt oid record) (indexes_of_set t set);
-      Engine.on_insert t.engine ~set oid;
+  with_charge t txn (fun () ->
+      locking t txn (fun tx ->
+          lock t tx (Lock.Set set) Lock.IX;
+          (* referenced objects stay shared-locked so validation cannot be
+             invalidated by a concurrent committed delete *)
+          List.iter
+            (function
+              | Value.VRef o -> lock_read t tx ~set:(set_of_oid t o) o
+              | Value.VInt _ | Value.VString _ | Value.VNull -> ())
+            values;
+          lock_targets t tx (Engine.write_set_attach t.engine ~set record));
+      let oid =
+        log_mutation ?txn t (Wal.Insert { set; values }) (fun () ->
+            let oid = Heap_file.insert (set_file t set) (Record.encode record) in
+            List.iter (fun rt -> index_insert rt oid record) (indexes_of_set t set);
+            Engine.on_insert t.engine ~set oid;
+            oid)
+      in
+      locking t txn (fun tx -> Lock.grant t.locks ~txn:(Txn.id tx) (Lock.Obj oid) Lock.X);
+      (* first touch is the creation itself: undo deletes the object *)
+      capture_undo t txn ~set oid ~present:false;
       oid)
 
-let get t ~set oid =
-  let hf = set_file t set in
-  Record.decode (Heap_file.read hf oid)
+(* Re-create an object in its original slot: the second half of undoing a
+   delete.  The slot is still pinned by the deleting transaction's
+   tombstone, so the OID cannot have been recycled. *)
+let insert_at_impl t ~set oid values =
+  log_mutation t (Wal.Insert_at { set; oid; values }) (fun () ->
+      let ty = Schema.set_type t.schema set in
+      let record =
+        Record.make ~type_tag:(Schema.type_tag t.schema ty.Ty.tname)
+          (Array.of_list values)
+      in
+      Heap_file.insert_at (set_file t set) oid (Record.encode record);
+      List.iter (fun rt -> index_insert rt oid record) (indexes_of_set t set);
+      Engine.on_insert t.engine ~set oid)
 
-let delete t ~set oid =
-  log_mutation t (Wal.Delete { set; oid }) (fun () ->
-      Engine.on_delete t.engine ~set oid;
+let get ?txn t ~set oid =
+  locking t txn (fun tx -> lock_read t tx ~set oid);
+  with_charge t txn (fun () ->
       let hf = set_file t set in
-      let record = Record.decode (Heap_file.read hf oid) in
-      List.iter (fun rt -> index_remove rt oid record) (indexes_of_set t set);
-      Heap_file.delete hf oid)
+      Record.decode (Heap_file.read hf oid))
 
-let update_field t ~set oid ~field value =
+(* [pin]: leave a tombstone in the slot instead of freeing it, so the OID
+   cannot be recycled while the deleting transaction is undecided. *)
+let delete_impl ?txn ~pin t ~set oid =
+  with_charge t txn (fun () ->
+      locking t txn (fun tx ->
+          lock_write t tx ~set oid;
+          lock_targets t tx (Engine.write_set_delete t.engine ~set oid));
+      capture_undo t txn ~set oid ~present:true;
+      log_mutation ?txn t (Wal.Delete { set; oid }) (fun () ->
+          Engine.on_delete t.engine ~set oid;
+          let hf = set_file t set in
+          let record = Record.decode (Heap_file.read hf oid) in
+          List.iter (fun rt -> index_remove rt oid record) (indexes_of_set t set);
+          if pin then Heap_file.delete_pinned hf oid else Heap_file.delete hf oid);
+      match txn with
+      | Some tx when pin -> Txn.add_tombstone tx ~set oid
+      | Some _ | None -> ())
+
+let delete ?txn t ~set oid =
+  let pin =
+    match txn with
+    | Some _ when not (t.compensating || t.replaying) -> true
+    | Some _ | None -> false
+  in
+  delete_impl ?txn ~pin t ~set oid
+
+let update_field ?txn t ~set oid ~field value =
   let ty = Schema.set_type t.schema set in
   let fdef =
     match Ty.field_opt ty field with
@@ -302,10 +475,37 @@ let update_field t ~set oid ~field value =
   check_value t ~context:"Db.update_field" fdef value;
   let idx = Ty.field_index ty field in
   let hf = set_file t set in
+  with_charge t txn @@ fun () ->
+  locking t txn (fun tx ->
+      lock_write t tx ~set oid;
+      match fdef.Ty.ftype with
+      | Ty.Scalar _ ->
+          (* inverted-path fan-out: sources whose hidden copies change *)
+          lock_targets t tx (Engine.write_set_scalar t.engine oid ~field)
+      | Ty.Ref _ ->
+          (* A reference update restructures inverted paths; the set of
+             affected sources is unbounded, so escalate to set-level
+             exclusive locks on every source set of a path through this
+             step (the inverted path names them directly). *)
+          List.iter
+            (fun s -> lock t tx (Lock.Set s) Lock.X)
+            (Engine.ref_update_scope t.engine ~set ~field);
+          (match value with
+          | Value.VRef o -> lock_read t tx ~set:(set_of_oid t o) o
+          | Value.VInt _ | Value.VString _ | Value.VNull -> ());
+          let old_v = value_at (Record.decode (Heap_file.read hf oid)) idx in
+          let targets =
+            List.filter_map
+              (function Value.VRef o -> Some o | _ -> None)
+              [ old_v; value ]
+          in
+          lock_targets t tx
+            (Engine.write_set_ref_targets t.engine ~set ~field targets));
   let before = Record.decode (Heap_file.read hf oid) in
   let old_value = value_at before idx in
-  if not (Value.equal old_value value) then
-    log_mutation t (Wal.Update { set; oid; field; value }) (fun () ->
+  if not (Value.equal old_value value) then begin
+    capture_undo t txn ~set oid ~present:true;
+    log_mutation ?txn t (Wal.Update { set; oid; field; value }) (fun () ->
         let after = Record.set_field before idx value in
         Heap_file.update hf oid (Record.encode after);
         (* User-field indexes first, then replication propagation (which may
@@ -317,6 +517,96 @@ let update_field t ~set oid ~field value =
         | Ty.Scalar _ -> Engine.on_scalar_update t.engine ~set oid ~field value
         | Ty.Ref _ ->
             Engine.on_ref_update t.engine ~set oid ~field ~old_value ~new_value:value)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+
+let begin_txn t =
+  if t.replaying then invalid_arg "Db.begin_txn: recovery in progress";
+  let tx = Txn.make t.next_txn in
+  t.next_txn <- t.next_txn + 1;
+  (* Snapshot the lazy-invalidation table so abort can settle exactly the
+     repair debt this transaction adds (and no other transaction's). *)
+  Txn.set_pending_snapshot tx (Engine.pending_keys t.engine);
+  Hashtbl.replace t.active (Txn.id tx) tx;
+  tx
+
+let txn_check t tx =
+  if not (Txn.is_active tx && Hashtbl.mem t.active (Txn.id tx)) then
+    invalid_arg "Db: transaction is not active"
+
+let free_txn_tombstones t stones =
+  List.iter
+    (fun (set, oid) ->
+      let hf = set_file t set in
+      (* revived slots (abort path) are no longer tombstones *)
+      if Heap_file.is_tombstone hf oid then Heap_file.free_tombstone hf oid)
+    (List.rev stones)
+
+let finish t tx state =
+  Hashtbl.remove t.active (Txn.id tx);
+  Txn.set_state tx state;
+  Lock.release_all t.locks ~txn:(Txn.id tx)
+
+let commit t tx =
+  txn_check t tx;
+  let io0 = Stats.grand_total_io () in
+  free_txn_tombstones t (Txn.tombstones tx);
+  (match t.wal with
+  | Some w when Txn.begun tx && not t.replaying ->
+      ignore (Wal.append w (Wal.Txn_commit (Txn.id tx)))
+  | _ -> ());
+  Txn.charge_io tx (Stats.grand_total_io () - io0);
+  finish t tx Txn.Committed;
+  let s = stats t in
+  s.Stats.txn_commits <- s.Stats.txn_commits + 1
+
+(* Roll one before-image back through the normal engine code, so indexes,
+   link objects, hidden copies and S' objects all follow.  Runs with
+   [t.compensating] set: lock-free, no fresh undo capture, logged as plain
+   records (CLR-style: the rollback replays like any other work). *)
+let restore_image t (img : Txn.undo_image) =
+  let set = img.Txn.u_set and oid = img.Txn.u_oid in
+  let present_now = Heap_file.exists (set_file t set) oid in
+  (match (img.Txn.u_present, present_now) with
+  | true, true ->
+      let ty = Schema.set_type t.schema set in
+      List.iteri
+        (fun i v ->
+          update_field t ~set oid ~field:(List.nth ty.Ty.fields i).Ty.fname v)
+        img.Txn.u_values
+  | true, false -> insert_at_impl t ~set oid img.Txn.u_values
+  | false, true -> delete t ~set oid
+  | false, false -> ());
+  let s = stats t in
+  s.Stats.undo_applied <- s.Stats.undo_applied + 1
+
+let abort t tx =
+  txn_check t tx;
+  let io0 = Stats.grand_total_io () in
+  t.compensating <- true;
+  Fun.protect
+    ~finally:(fun () -> t.compensating <- false)
+    (fun () ->
+      List.iter (restore_image t) (Txn.undo_images tx);
+      (* Settle the lazy-propagation debt this transaction created: its
+         invalidation entries must not leak repair work (and I/O) onto
+         whichever innocent reader touches the source next. *)
+      let snap = Txn.pending_snapshot tx in
+      let added =
+        List.filter (fun k -> not (List.mem k snap)) (Engine.pending_keys t.engine)
+      in
+      Engine.flush_keys t.engine added;
+      free_txn_tombstones t (Txn.tombstones tx));
+  (match t.wal with
+  | Some w when Txn.begun tx && not t.replaying ->
+      ignore (Wal.append w (Wal.Txn_abort (Txn.id tx)))
+  | _ -> ());
+  Txn.charge_io tx (Stats.grand_total_io () - io0);
+  finish t tx Txn.Aborted;
+  let s = stats t in
+  s.Stats.txn_aborts <- s.Stats.txn_aborts + 1
 
 (* ------------------------------------------------------------------ *)
 (* Reads                                                               *)
@@ -329,8 +619,10 @@ let field_value t ~set record field =
   let ty = Schema.set_type t.schema set in
   value_at record (Ty.field_index ty field)
 
-let scan t ~set f =
-  Heap_file.iter (set_file t set) (fun oid bytes -> f oid (Record.decode bytes))
+let scan ?txn t ~set f =
+  locking t txn (fun tx -> lock t tx (Lock.Set set) Lock.S);
+  with_charge t txn (fun () ->
+      Heap_file.iter (set_file t set) (fun oid bytes -> f oid (Record.decode bytes)))
 
 let set_size t set = Heap_file.object_count (set_file t set)
 let set_pages t set = Heap_file.page_count (set_file t set)
@@ -438,7 +730,7 @@ let deref_walk t ~set record expr =
   in
   walk (Schema.set_type t.schema set).Ty.tname record parts
 
-let deref_record ?oid t ~set record expr =
+let deref_record ?txn ?oid t ~set record expr =
   match plan_deref t ~set expr with
   | P_hidden (idx, rep) -> (
       if not rep.Schema.options.Schema.lazy_propagation then value_at record idx
@@ -448,6 +740,9 @@ let deref_record ?oid t ~set record expr =
            the actual walk if anything at all is pending. *)
         match oid with
         | Some oid ->
+            (* the repair rewrites the source object itself *)
+            locking t txn (fun tx ->
+                if Engine.is_pending t.engine rep oid then lock_write t tx ~set oid);
             Engine.repair t.engine rep oid;
             let record = Record.decode (Heap_file.read (set_file t set) oid) in
             value_at record idx
@@ -465,7 +760,15 @@ let deref_record ?oid t ~set record expr =
             | Some f -> f
             | None -> invalid_arg "Db.deref: dangling S' reference"
           in
-          value_at (Record.decode (Heap_file.read file sp)) offset
+          let sp_rec = Record.decode (Heap_file.read file sp) in
+          (* The S' object is guarded by the final object that owns it
+             (named in slot 1): a shared lock there serialises this read
+             against writers of the replicated fields. *)
+          locking t txn (fun tx ->
+              match value_at sp_rec 1 with
+              | Value.VRef owner -> lock_read t tx ~set:(set_of_oid t owner) owner
+              | Value.VInt _ | Value.VString _ | Value.VNull -> ());
+          value_at sp_rec offset
       | Value.VNull -> Value.VNull
       | Value.VInt _ | Value.VString _ -> invalid_arg "Db.deref: corrupt sref slot")
   | P_walk (hops, terminal_idx) ->
@@ -474,6 +777,7 @@ let deref_record ?oid t ~set record expr =
         | (_, step_idx) :: rest -> (
             match value_at record step_idx with
             | Value.VRef oid ->
+                locking t txn (fun tx -> lock_read t tx ~set:(set_of_oid t oid) oid);
                 let hf = file_of_oid t oid in
                 walk (Record.decode (Heap_file.read hf oid)) rest
             | Value.VNull -> Value.VNull
@@ -482,7 +786,9 @@ let deref_record ?oid t ~set record expr =
       in
       walk record hops
 
-let deref t ~set oid expr = deref_record ~oid t ~set (get t ~set oid) expr
+let deref ?txn t ~set oid expr =
+  with_charge t txn (fun () ->
+      deref_record ?txn ~oid t ~set (get ?txn t ~set oid) expr)
 
 let deref_would_join t ~set expr =
   match plan_deref t ~set expr with
@@ -498,10 +804,19 @@ let index_rt t name =
   | Some rt -> rt
   | None -> invalid_arg (Printf.sprintf "Db: unknown index %s" name)
 
-let index_lookup t ~index key = Btree.find (index_rt t index).tree key
+let index_lookup ?txn t ~index key =
+  let rt = index_rt t index in
+  locking t txn (fun tx -> lock t tx (Lock.Set rt.def.Schema.iset) Lock.IS);
+  let oids = with_charge t txn (fun () -> Btree.find rt.tree key) in
+  locking t txn (fun tx ->
+      List.iter (fun o -> lock_read t tx ~set:rt.def.Schema.iset o) oids);
+  oids
 
-let index_range t ~index ~lo ~hi ~init ~f =
-  Btree.fold_range (index_rt t index).tree ~lo ~hi ~init ~f
+let index_range ?txn t ~index ~lo ~hi ~init ~f =
+  let rt = index_rt t index in
+  (* range reads lock the whole set: no per-key phantom protection *)
+  locking t txn (fun tx -> lock t tx (Lock.Set rt.def.Schema.iset) Lock.S);
+  with_charge t txn (fun () -> Btree.fold_range rt.tree ~lo ~hi ~init ~f)
 
 type index_stats = { entries : int; height : int; leaves : int; pages : int }
 
@@ -920,16 +1235,27 @@ let load ?frames path =
 (* ------------------------------------------------------------------ *)
 (* Checkpoints and crash recovery                                      *)
 
-let checkpoint t path = save t path
+let checkpoint t path =
+  (* A checkpoint is a transaction-consistent image: in-flight undo state
+     lives only in memory, so an image taken mid-transaction could not be
+     rolled back after a restart. *)
+  no_active_txns t "Db.checkpoint";
+  save t path
 
 let recovery_applier t =
   {
     Recovery.define_type = (fun ty -> define_type t ty);
     create_set =
       (fun ~name ~elem_type ~reserve -> create_set t ~reserve ~name ~elem_type ());
-    insert = (fun ~set values -> ignore (insert t ~set values));
+    insert = (fun ~set values -> insert t ~set values);
     update = (fun ~set ~oid ~field value -> update_field t ~set oid ~field value);
-    delete = (fun ~set ~oid -> delete t ~set oid);
+    delete = (fun ~set ~oid -> delete_impl ~pin:false t ~set oid);
+    delete_pinned = (fun ~set ~oid -> delete_impl ~pin:true t ~set oid);
+    insert_at = (fun ~set ~oid values -> insert_at_impl t ~set oid values);
+    free_tombstone =
+      (fun ~set ~oid ->
+        let hf = set_file t set in
+        if Heap_file.is_tombstone hf oid then Heap_file.free_tombstone hf oid);
     replicate =
       (fun ~strategy ~options ~path ->
         replicate t ~options ~strategy (Path.parse path));
@@ -953,12 +1279,45 @@ let recover ?frames ?wal_path path =
   Wal.ensure_lsn w checkpoint_lsn;
   t.wal <- Some w;
   t.replaying <- true;
-  let replayed =
+  let _replayed, losers =
     Fun.protect
       ~finally:(fun () -> t.replaying <- false)
       (fun () -> Recovery.replay w ~after:checkpoint_lsn (recovery_applier t))
   in
-  ignore replayed;
+  (* Roll back the losers: transactions live at the crash.  Replay left
+     their operations applied and their delete slots tombstoned; undo them
+     from the logged before-images, newest first.  The compensations are
+     logged as plain records plus a final [Txn_abort] marker, so a second
+     crash during (or after) rollback recovers to the same state. *)
+  List.iter
+    (fun (l : Recovery.loser) ->
+      t.compensating <- true;
+      Fun.protect
+        ~finally:(fun () -> t.compensating <- false)
+        (fun () ->
+          (* An insert whose before-image never made the log (the crash cut
+             between the two records) is necessarily the newest operation:
+             undo it first. *)
+          List.iter
+            (fun (set, oid) ->
+              if
+                (not
+                   (List.exists
+                      (fun (s, o, _, _) -> s = set && Oid.equal o oid)
+                      l.Recovery.l_images))
+                && Heap_file.exists (set_file t set) oid
+              then delete t ~set oid)
+            l.Recovery.l_inserts;
+          List.iter
+            (fun (set, oid, present, values) ->
+              restore_image t
+                { Txn.u_set = set; u_oid = oid; u_present = present; u_values = values })
+            l.Recovery.l_images;
+          free_txn_tombstones t l.Recovery.l_tombstones);
+      ignore (Wal.append w (Wal.Txn_abort l.Recovery.l_txn));
+      let s = Pager.stats t.pager in
+      s.Stats.txn_aborts <- s.Stats.txn_aborts + 1)
+    losers;
   let stats = Pager.stats t.pager in
   stats.Stats.recovery_replays <- stats.Stats.recovery_replays + 1;
   Invariants.check_all t.engine;
@@ -974,4 +1333,3 @@ let space_report t =
   let store = [ ("replication structures", Store.total_pages t.store) ] in
   List.sort compare (sets @ indexes) @ store
 
-let _ = set_of_oid

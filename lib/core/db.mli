@@ -26,8 +26,13 @@ module Record = Fieldrep_model.Record
 module Schema = Fieldrep_model.Schema
 module Path = Fieldrep_model.Path
 module Key = Fieldrep_btree.Key
+module Txn = Fieldrep_txn.Txn
+module Lock = Fieldrep_txn.Lock
 
 type t
+
+type txn = Txn.t
+(** A transaction handle — see {!begin_txn}. *)
 
 val create :
   ?page_size:int -> ?frames:int -> ?durable:bool -> ?wal_path:string -> unit -> t
@@ -44,6 +49,51 @@ val engine : t -> Fieldrep_replication.Engine.env
 
 val wal : t -> Fieldrep_wal.Wal.t option
 (** The attached write-ahead log, when the database is durable. *)
+
+(** {1 Transactions}
+
+    Multi-operation ACID transactions under strict two-phase locking.
+    Pass the handle as [?txn] to any DML or read entry point; the
+    operation then acquires its whole hierarchical lock set (intention
+    locks on sets, shared/exclusive locks on objects — including every
+    object that replication propagation will touch, enumerated through
+    the inverted paths) {e before} executing, so a refused operation has
+    no partial effects.  Locks are held until {!commit} or {!abort}.
+
+    Contention surfaces as exceptions from the lock manager, raised
+    before the operation has done anything:
+
+    - {!Fieldrep_txn.Lock.Would_block} — another transaction holds a
+      conflicting lock; retry the operation later or abort.
+    - {!Fieldrep_txn.Lock.Deadlock} — granting would close a cycle in
+      the wait-for graph; the requester is the victim and should abort.
+
+    Operations issued without [?txn] are autocommitted singletons,
+    byte-identical to the pre-transactional behaviour; mixing them with
+    concurrent transactions is unprotected by locks. *)
+
+val begin_txn : t -> txn
+(** Start a transaction.  Its [Txn_begin] log record is written lazily,
+    before the transaction's first logged operation, so read-only
+    transactions leave no trace in the log. *)
+
+val commit : t -> txn -> unit
+(** Release the transaction's delete slots for reuse, append the
+    [Txn_commit] marker, and release all its locks. *)
+
+val abort : t -> txn -> unit
+(** Roll the transaction back: every touched object is restored to its
+    before-image (captured at first touch) through the normal engine
+    code, so indexes, link objects, hidden copies and S' objects follow.
+    The compensations are logged as plain records plus a [Txn_abort]
+    marker, making the rollback itself replayable.  Lazy-propagation
+    invalidations the transaction queued are repaired so no deferred
+    work leaks to other transactions. *)
+
+val active_txn_count : t -> int
+
+val lock_manager : t -> Lock.t
+(** The hierarchical lock manager (exposed for tests and benchmarks). *)
 
 (** {1 DDL} *)
 
@@ -64,21 +114,23 @@ val build_index : t -> name:string -> set:string -> field:string -> clustered:bo
 
 (** {1 DML} *)
 
-val insert : t -> set:string -> Value.t list -> Oid.t
+val insert : ?txn:txn -> t -> set:string -> Value.t list -> Oid.t
 (** Values for the user fields, in declaration order.  Typechecked; [VRef]
     values are verified to point at live objects of the right type. *)
 
-val delete : t -> set:string -> Oid.t -> unit
+val delete : ?txn:txn -> t -> set:string -> Oid.t -> unit
 (** Raises [Invalid_argument] if the object is still referenced along a
-    replication path. *)
+    replication path.  Inside a transaction the slot is tombstoned, not
+    freed: the OID cannot be recycled until the transaction resolves, so
+    an abort can revive the object in place. *)
 
-val update_field : t -> set:string -> Oid.t -> field:string -> Value.t -> unit
+val update_field : ?txn:txn -> t -> set:string -> Oid.t -> field:string -> Value.t -> unit
 (** Update one user field.  Scalar updates propagate to replicated copies;
     reference updates restructure the inverted paths. *)
 
 (** {1 Reads} *)
 
-val get : t -> set:string -> Oid.t -> Record.t
+val get : ?txn:txn -> t -> set:string -> Oid.t -> Record.t
 (** The raw stored record (user + hidden values). *)
 
 val user_values : t -> set:string -> Record.t -> Value.t list
@@ -87,14 +139,15 @@ val user_values : t -> set:string -> Record.t -> Value.t list
 val field_value : t -> set:string -> Record.t -> string -> Value.t
 (** A user field by name. *)
 
-val deref : t -> set:string -> Oid.t -> string -> Value.t
+val deref : ?txn:txn -> t -> set:string -> Oid.t -> string -> Value.t
 (** [deref db ~set oid "dept.org.name"] evaluates a dotted path expression
     rooted at the object.  Uses a replicated hidden field when one covers
     the whole path — eliminating the functional joins — and falls back to
     actual dereferencing otherwise.  Returns [VNull] if a reference on the
     way is null. *)
 
-val deref_record : ?oid:Oid.t -> t -> set:string -> Record.t -> string -> Value.t
+val deref_record :
+  ?txn:txn -> ?oid:Oid.t -> t -> set:string -> Record.t -> string -> Value.t
 (** Like {!deref} but starting from an already-fetched record (saves the
     repeated object read when several paths are projected).  Pass [oid]
     when known: lazily-propagated paths use it to consult the invalidation
@@ -107,7 +160,7 @@ val deref_would_join : t -> set:string -> string -> int
     by separate replication or for a plain 1-level path; etc.).  Exposes the
     planner's choice for tests and benchmarks. *)
 
-val scan : t -> set:string -> (Oid.t -> Record.t -> unit) -> unit
+val scan : ?txn:txn -> t -> set:string -> (Oid.t -> Record.t -> unit) -> unit
 (** Physical-order scan. *)
 
 val set_size : t -> string -> int
@@ -115,9 +168,10 @@ val set_pages : t -> string -> int
 
 (** {1 Index access} *)
 
-val index_lookup : t -> index:string -> Key.t -> Oid.t list
+val index_lookup : ?txn:txn -> t -> index:string -> Key.t -> Oid.t list
 
 val index_range :
+  ?txn:txn ->
   t -> index:string -> lo:Key.t -> hi:Key.t -> init:'a -> f:('a -> Key.t -> Oid.t -> 'a) -> 'a
 
 val find_index : t -> set:string -> field:string -> Schema.index_def option
@@ -180,9 +234,12 @@ val load : ?frames:int -> string -> t
     one. *)
 
 val checkpoint : t -> string -> unit
-(** Synonym for {!save}: flushes pending lazy propagations and the buffer
-    pool, then writes the LSN-stamped image.  Records at or below the
-    stamp are never redone. *)
+(** {!save} plus an active-transaction guard: flushes pending lazy
+    propagations and the buffer pool, then writes the LSN-stamped image.
+    Records at or below the stamp are never redone.  Raises
+    [Invalid_argument] while transactions are active — in-flight undo
+    state lives only in memory, so such an image could not be rolled
+    back after a restart. *)
 
 val recover : ?frames:int -> ?wal_path:string -> string -> t
 (** [recover path] reopens the checkpoint image at [path] and replays the
@@ -190,4 +247,9 @@ val recover : ?frames:int -> ?wal_path:string -> string -> t
     recorded in the image — use it when the log was moved, or to attach a
     fresh log to a copied image).  The recovered database is durable and
     keeps appending to the same log.  Ends by re-verifying every
-    replication invariant; raises [Failure] if the redo did not converge. *)
+    replication invariant; raises [Failure] if the redo did not converge.
+
+    Transactions that were live at the crash (a logged footprint but no
+    commit/abort marker) are rolled back from their logged before-images
+    after the redo pass, and a [Txn_abort] marker is appended for each:
+    the recovered state contains exactly the committed transactions. *)

@@ -40,6 +40,7 @@ let is_pending env rep oid = Hashtbl.mem env.pending (pending_key rep oid)
 let mark_pending env rep oid = Hashtbl.replace env.pending (pending_key rep oid) ()
 let clear_pending env rep oid = Hashtbl.remove env.pending (pending_key rep oid)
 let pending_count env = Hashtbl.length env.pending
+let pending_keys env = Hashtbl.fold (fun k () acc -> k :: acc) env.pending []
 
 (* ------------------------------------------------------------------ *)
 (* Record access                                                       *)
@@ -896,4 +897,156 @@ let flush_pending env =
       | None -> Hashtbl.remove env.pending (rep_id, oid64))
     entries
 
+(* Repair exactly the given invalidation keys (if still pending) — used by
+   transaction abort to settle only the repair debt that transaction
+   created, leaving other transactions' entries lazy. *)
+let flush_keys env keys =
+  List.iter
+    (fun (rep_id, oid64) ->
+      if Hashtbl.mem env.pending (rep_id, oid64) then
+        match
+          List.find_opt
+            (fun (r : Schema.replication) -> r.Schema.rep_id = rep_id)
+            (Schema.replications env.schema)
+        with
+        | Some rep -> refresh_terminal env rep (Oid.of_int64 oid64)
+        | None -> Hashtbl.remove env.pending (rep_id, oid64))
+    keys
+
 let space_pages env = Store.total_pages env.store
+
+(* ------------------------------------------------------------------ *)
+(* Write-set estimation for transactional locking                      *)
+
+(* The transaction manager must X-lock, up front, every data object a
+   mutation will write — including objects reached only through
+   propagation.  These helpers compute that footprint read-only, by
+   walking the same structures the mutating entry points walk.  They are
+   conservative supersets; link and S' objects are never returned because
+   they are owned by (and guarded by the lock on) a data object. *)
+
+let alive env oid =
+  let hf = data_file env oid in
+  Heap_file.exists hf oid
+
+let chain_objects env (rep : Schema.replication) source_rec =
+  List.map
+    (fun (_, oid, _) -> oid)
+    (forward_targets env (Registry.chain env.registry rep) source_rec)
+
+(* Objects [attach_source]/[detach_source] will touch for a record of
+   [set]: the forward-path chain of every declaration rooted there. *)
+let write_set_attach env ~set record =
+  List.concat_map
+    (fun rep -> chain_objects env rep record)
+    (Schema.replications_from env.schema set)
+  |> List.sort_uniq Oid.compare
+
+let write_set_delete env ~set oid =
+  let record = read_record env oid in
+  let chain = write_set_attach env ~set record in
+  (* A separate path's S' object names its owning final object; dropping
+     the last refcount rewrites the owner, which the forward walk may no
+     longer reach. *)
+  let owners =
+    List.filter_map
+      (fun (rep : Schema.replication) ->
+        match rep.Schema.strategy with
+        | Schema.Separate when not rep.Schema.options.Schema.collapse -> (
+            let idx =
+              Schema.hidden_index env.schema set ~rep_id:rep.Schema.rep_id
+                ~field:None
+            in
+            match value_or_null record idx with
+            | Value.VRef sp when alive env sp -> (
+                match Record.field (read_record env sp) 1 with
+                | Value.VRef owner -> Some owner
+                | _ -> None)
+            | _ -> None)
+        | _ -> None)
+      (Schema.replications_from env.schema set)
+  in
+  List.sort_uniq Oid.compare (chain @ owners)
+
+(* Source objects whose hidden copies (or invalidation entries) a scalar
+   update of [field] on this object will write. *)
+let write_set_scalar env oid ~field =
+  let record = read_record env oid in
+  List.concat_map
+    (fun (pair : Record.link) ->
+      match Registry.link_kind env.registry pair.Record.link_id with
+      | None | Some (Registry.L_sref _) -> []
+      | Some (Registry.L_collapsed node_id) ->
+          let node = Registry.node env.registry node_id in
+          let interested =
+            List.exists
+              (fun (term : Registry.terminal) ->
+                match term.Registry.kind with
+                | Registry.K_collapsed cid ->
+                    cid = pair.Record.link_id
+                    && List.mem_assoc field term.Registry.fields
+                | Registry.K_inplace | Registry.K_separate _ -> false)
+              node.Registry.terminals
+          in
+          if interested then
+            Link_object.members
+              (fst (read_membership env ~link_id:pair.Record.link_id record))
+          else []
+      | Some (Registry.L_path node_id) ->
+          let node = Registry.node env.registry node_id in
+          let interested =
+            List.exists
+              (fun (term : Registry.terminal) ->
+                term.Registry.kind = Registry.K_inplace
+                && List.mem_assoc field term.Registry.fields)
+              node.Registry.terminals
+          in
+          if interested then sources_of env node oid else [])
+    record.Record.links
+  |> List.sort_uniq Oid.compare
+
+(* Source sets of every declaration whose path uses [set].[field] as a
+   step.  A reference update restructures inverted paths, touching an
+   unbounded subset of those sources — the caller escalates to set-level
+   exclusive locks instead of enumerating them. *)
+let ref_update_scope env ~set ~field =
+  let elem_type = (Schema.set_type env.schema set).Ty.tname in
+  List.filter_map
+    (fun (node : Registry.node) ->
+      if node.Registry.step = field && node.Registry.from_type = elem_type then
+        Some node.Registry.source_set
+      else None)
+    (Registry.nodes env.registry)
+  |> List.sort_uniq compare
+
+(* The target of a moved reference plus everything reachable from it along
+   the registry subtree rooted at the step — the objects
+   [ensure_deeper]/[cascade_off] may rewrite. *)
+let downstream env (node : Registry.node) target_oid =
+  let rec walk (node : Registry.node) oid acc =
+    if not (alive env oid) then acc
+    else
+      let acc = oid :: acc in
+      let r = read_record env oid in
+      List.fold_left
+        (fun acc (child : Registry.node) ->
+          match
+            deref env ~from_type:child.Registry.from_type r
+              child.Registry.step
+          with
+          | Some next -> walk child next acc
+          | None -> acc)
+        acc
+        (Registry.children env.registry node)
+  in
+  walk node target_oid []
+
+let write_set_ref_targets env ~set ~field targets =
+  let elem_type = (Schema.set_type env.schema set).Ty.tname in
+  List.concat_map
+    (fun (node : Registry.node) ->
+      if node.Registry.step = field && node.Registry.from_type = elem_type then
+        List.concat_map (fun t -> downstream env node t) targets
+      else [])
+    (Registry.nodes env.registry)
+  |> List.sort_uniq Oid.compare

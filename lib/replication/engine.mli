@@ -108,6 +108,13 @@ val flush_pending : env -> unit
 
 val pending_count : env -> int
 
+val pending_keys : env -> (int * int64) list
+(** Raw invalidation-table keys ((rep id, source OID) pairs) — snapshot
+    taken at transaction begin so abort can settle only its own debt. *)
+
+val flush_keys : env -> (int * int64) list -> unit
+(** Repair exactly the given keys, where still pending. *)
+
 val referencers_via_links :
   env -> source_set:string -> attr:string -> Oid.t -> Oid.t list option
 (** Objects of [source_set] whose reference attribute [attr] points at the
@@ -123,6 +130,35 @@ val sources_of : env -> Registry.node -> Oid.t -> Oid.t list
 
 val space_pages : env -> int
 (** Pages consumed by link and S' files. *)
+
+(** {1 Write-set estimation}
+
+    Read-only estimates of the data objects a mutation's propagation will
+    write, used by the transaction manager to acquire exclusive locks {e
+    before} executing anything.  Conservative supersets; link and S'
+    objects are excluded because they are guarded by the data object that
+    owns them. *)
+
+val write_set_attach : env -> set:string -> Fieldrep_model.Record.t -> Oid.t list
+(** Forward-path objects that attaching (inserting) a record of [set]
+    will touch. *)
+
+val write_set_delete : env -> set:string -> Oid.t -> Oid.t list
+(** Forward-path objects plus any S' owner that detaching (deleting) the
+    object will touch. *)
+
+val write_set_scalar : env -> Oid.t -> field:string -> Oid.t list
+(** Source objects whose hidden copies (or lazy-invalidation entries) a
+    scalar update of [field] will write — the inverted-path fan-out. *)
+
+val ref_update_scope : env -> set:string -> field:string -> string list
+(** Source sets of declarations whose path steps through [set].[field]; a
+    reference update escalates to set-level exclusive locks on these. *)
+
+val write_set_ref_targets :
+  env -> set:string -> field:string -> Oid.t list -> Oid.t list
+(** Old/new reference targets plus everything reachable from them along
+    the registry subtrees rooted at the step. *)
 
 val sprime_field_offset : int
 (** Value-array index of the first replicated field inside an S' object

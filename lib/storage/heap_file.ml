@@ -10,6 +10,12 @@ type t = {
 
 let kind_head = 0
 let kind_segment = 1
+
+(* A tombstone is a deleted object whose home slot stays allocated, so the
+   OID cannot be recycled while a transaction that deleted the object is
+   still undecided.  [free_tombstone] releases the slot at commit;
+   [insert_at] revives the object in place on abort. *)
+let kind_tombstone = 2
 let header_size = 1 + Oid.encoded_size
 
 let encode_segment ~kind ~next payload_sub =
@@ -188,6 +194,62 @@ let delete t (oid : Oid.t) =
       Page.delete buf oid.Oid.slot);
   if not (Oid.is_nil next) then free_chain t next;
   t.count <- t.count - 1
+
+let tombstone_record () =
+  encode_segment ~kind:kind_tombstone ~next:Oid.nil (Bytes.empty, 0, 0)
+
+let delete_pinned t (oid : Oid.t) =
+  let head = read_segment t oid in
+  let kind, next, _ = decode_header head in
+  if kind <> kind_head then
+    invalid_arg "Heap_file.delete_pinned: OID is not an object head";
+  (* A head record is at least [header_size] bytes, so an equal-or-smaller
+     in-place write always succeeds. *)
+  Pager.with_page_write t.pager ~file:t.file ~page:oid.Oid.page (fun buf ->
+      let ok = Page.write buf oid.Oid.slot (tombstone_record ()) in
+      assert ok);
+  if not (Oid.is_nil next) then free_chain t next;
+  t.count <- t.count - 1
+
+let is_tombstone t (oid : Oid.t) =
+  oid.Oid.file = t.file
+  && oid.Oid.page >= 0
+  && oid.Oid.page < page_count t
+  && Pager.with_page_read t.pager ~file:t.file ~page:oid.Oid.page (fun buf ->
+         Page.is_live buf oid.Oid.slot
+         && fst (Wire.get_u8 (Page.read buf oid.Oid.slot) 0) = kind_tombstone)
+
+let free_tombstone t (oid : Oid.t) =
+  let head = read_segment t oid in
+  let kind, _, _ = decode_header head in
+  if kind <> kind_tombstone then
+    invalid_arg "Heap_file.free_tombstone: OID is not a tombstone";
+  Pager.with_page_write t.pager ~file:t.file ~page:oid.Oid.page (fun buf ->
+      Page.delete buf oid.Oid.slot)
+
+let insert_at t (oid : Oid.t) payload =
+  let head = read_segment t oid in
+  let kind, _, _ = decode_header head in
+  if kind <> kind_tombstone then
+    invalid_arg "Heap_file.insert_at: slot is not a tombstone";
+  let write_head record =
+    Pager.with_page_write t.pager ~file:t.file ~page:oid.Oid.page (fun buf ->
+        Page.write buf oid.Oid.slot record)
+  in
+  let full =
+    encode_segment ~kind:kind_head ~next:Oid.nil (payload, 0, Bytes.length payload)
+  in
+  let placed = Bytes.length full <= max_record t && write_head full in
+  if not placed then begin
+    (* Keep the head at the tombstone's size (an equal-size write always
+       succeeds) and spill the whole payload into segments. *)
+    let next = spill t payload 0 in
+    let record = encode_segment ~kind:kind_head ~next (payload, 0, 0) in
+    let ok = write_head record in
+    assert ok
+  end;
+  t.count <- t.count + 1;
+  (Pager.stats t.pager).objects_written <- (Pager.stats t.pager).objects_written + 1
 
 let iter_heads t f =
   let pages = page_count t in

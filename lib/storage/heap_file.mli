@@ -54,6 +54,23 @@ val update : t -> Oid.t -> Bytes.t -> unit
 val delete : t -> Oid.t -> unit
 (** Frees the home slot and any continuation segments. *)
 
+val delete_pinned : t -> Oid.t -> unit
+(** Delete the object but keep its home slot allocated as a *tombstone* (a
+    9-byte chain header with kind 2), so the OID cannot be recycled while
+    the deleting transaction is undecided.  Continuation segments are freed
+    immediately.  Resolve with {!free_tombstone} (commit) or {!insert_at}
+    (abort). *)
+
+val free_tombstone : t -> Oid.t -> unit
+(** Release a tombstoned home slot for reuse. *)
+
+val insert_at : t -> Oid.t -> Bytes.t -> unit
+(** Revive a tombstoned home slot with the given payload — the rollback of
+    {!delete_pinned}.  The OID is unchanged; an oversize payload spills into
+    continuation segments as usual. *)
+
+val is_tombstone : t -> Oid.t -> bool
+
 val iter : t -> (Oid.t -> Bytes.t -> unit) -> unit
 (** Physical order (page then slot), heads only.  The callback receives the
     payload with chain plumbing stripped. *)

@@ -8,6 +8,11 @@ type t = {
   mutable wal_appends : int;
   mutable wal_bytes : int;
   mutable recovery_replays : int;
+  mutable txn_commits : int;
+  mutable txn_aborts : int;
+  mutable lock_waits : int;
+  mutable deadlocks : int;
+  mutable undo_applied : int;
   by_file : (int, int * int) Hashtbl.t;
 }
 
@@ -22,6 +27,11 @@ let create () =
     wal_appends = 0;
     wal_bytes = 0;
     recovery_replays = 0;
+    txn_commits = 0;
+    txn_aborts = 0;
+    lock_waits = 0;
+    deadlocks = 0;
+    undo_applied = 0;
     by_file = Hashtbl.create 16;
   }
 
@@ -35,6 +45,11 @@ let reset t =
   t.wal_appends <- 0;
   t.wal_bytes <- 0;
   t.recovery_replays <- 0;
+  t.txn_commits <- 0;
+  t.txn_aborts <- 0;
+  t.lock_waits <- 0;
+  t.deadlocks <- 0;
+  t.undo_applied <- 0;
   Hashtbl.reset t.by_file
 
 (* Process-wide physical I/O, across every Stats block ever created.  Never
@@ -67,6 +82,11 @@ let copy t =
     wal_appends = t.wal_appends;
     wal_bytes = t.wal_bytes;
     recovery_replays = t.recovery_replays;
+    txn_commits = t.txn_commits;
+    txn_aborts = t.txn_aborts;
+    lock_waits = t.lock_waits;
+    deadlocks = t.deadlocks;
+    undo_applied = t.undo_applied;
     by_file = Hashtbl.copy t.by_file;
   }
 
@@ -87,6 +107,11 @@ let diff now before =
     wal_appends = now.wal_appends - before.wal_appends;
     wal_bytes = now.wal_bytes - before.wal_bytes;
     recovery_replays = now.recovery_replays - before.recovery_replays;
+    txn_commits = now.txn_commits - before.txn_commits;
+    txn_aborts = now.txn_aborts - before.txn_aborts;
+    lock_waits = now.lock_waits - before.lock_waits;
+    deadlocks = now.deadlocks - before.deadlocks;
+    undo_applied = now.undo_applied - before.undo_applied;
     by_file;
   }
 
@@ -95,6 +120,8 @@ let total_io t = t.page_reads + t.page_writes
 let pp fmt t =
   Format.fprintf fmt
     "reads=%d writes=%d hits=%d allocated=%d obj_read=%d obj_written=%d \
-     wal_appends=%d wal_bytes=%d replays=%d"
+     wal_appends=%d wal_bytes=%d replays=%d commits=%d aborts=%d lock_waits=%d \
+     deadlocks=%d undone=%d"
     t.page_reads t.page_writes t.buffer_hits t.pages_allocated t.objects_read
     t.objects_written t.wal_appends t.wal_bytes t.recovery_replays
+    t.txn_commits t.txn_aborts t.lock_waits t.deadlocks t.undo_applied

@@ -14,6 +14,11 @@ type t = {
   mutable wal_appends : int;  (** records appended to the write-ahead log *)
   mutable wal_bytes : int;  (** bytes written to the write-ahead log *)
   mutable recovery_replays : int;  (** log records redone by [Db.recover] *)
+  mutable txn_commits : int;  (** transactions committed *)
+  mutable txn_aborts : int;  (** transactions rolled back (any reason) *)
+  mutable lock_waits : int;  (** lock requests that blocked *)
+  mutable deadlocks : int;  (** wait-for cycles broken by aborting a victim *)
+  mutable undo_applied : int;  (** before-images restored by abort/recovery *)
   by_file : (int, int * int) Hashtbl.t;
       (** per-file (reads, writes) attribution, keyed by disk file id *)
 }

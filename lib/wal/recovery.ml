@@ -1,14 +1,15 @@
+module Oid = Fieldrep_storage.Oid
+module Value = Fieldrep_model.Value
+
 type applier = {
   define_type : Fieldrep_model.Ty.t -> unit;
   create_set : name:string -> elem_type:string -> reserve:int -> unit;
-  insert : set:string -> Fieldrep_model.Value.t list -> unit;
-  update :
-    set:string ->
-    oid:Fieldrep_storage.Oid.t ->
-    field:string ->
-    Fieldrep_model.Value.t ->
-    unit;
-  delete : set:string -> oid:Fieldrep_storage.Oid.t -> unit;
+  insert : set:string -> Value.t list -> Oid.t;
+  update : set:string -> oid:Oid.t -> field:string -> Value.t -> unit;
+  delete : set:string -> oid:Oid.t -> unit;
+  delete_pinned : set:string -> oid:Oid.t -> unit;
+  insert_at : set:string -> oid:Oid.t -> Value.t list -> unit;
+  free_tombstone : set:string -> oid:Oid.t -> unit;
   replicate :
     strategy:Fieldrep_model.Schema.strategy ->
     options:Fieldrep_model.Schema.rep_options ->
@@ -18,11 +19,25 @@ type applier = {
     name:string -> set:string -> field:string -> clustered:bool -> unit;
 }
 
-let apply a = function
+type loser = {
+  l_txn : int;
+  l_images : (string * Oid.t * bool * Value.t list) list;  (* newest first *)
+  l_inserts : (string * Oid.t) list;  (* newest first *)
+  l_tombstones : (string * Oid.t) list;
+}
+
+(* Replay-time trace of one logged transaction. *)
+type trace = {
+  mutable t_images : (string * Oid.t * bool * Value.t list) list;
+  mutable t_inserts : (string * Oid.t) list;
+  mutable t_tombs : (string * Oid.t) list;
+}
+
+let apply_plain a = function
   | Wal.Define_type ty -> a.define_type ty
   | Wal.Create_set { name; elem_type; reserve } ->
       a.create_set ~name ~elem_type ~reserve
-  | Wal.Insert { set; values } -> a.insert ~set values
+  | Wal.Insert { set; values } -> ignore (a.insert ~set values)
   | Wal.Update { set; oid; field; value } -> a.update ~set ~oid ~field value
   | Wal.Delete { set; oid } -> a.delete ~set ~oid
   | Wal.Replicate { path; strategy; options } ->
@@ -30,13 +45,76 @@ let apply a = function
   | Wal.Build_index { name; set; field; clustered } ->
       a.build_index ~name ~set ~field ~clustered
   | Wal.Abort _ -> ()  (* already filtered by Wal.records; belt and braces *)
+  | Wal.Txn_begin _ | Wal.Txn_commit _ | Wal.Txn_abort _ | Wal.Undo_image _
+  | Wal.Insert_at _ | Wal.Txn_op _ ->
+      invalid_arg "Recovery: transaction record outside replay"
 
 let replay wal ~after applier =
-  List.fold_left
-    (fun n (lsn, record) ->
-      if Int64.compare lsn after > 0 then begin
-        apply applier record;
-        n + 1
-      end
-      else n)
-    0 (Wal.records wal)
+  let txns : (int, trace) Hashtbl.t = Hashtbl.create 8 in
+  let trace txn =
+    match Hashtbl.find_opt txns txn with
+    | Some t -> t
+    | None ->
+        let t = { t_images = []; t_inserts = []; t_tombs = [] } in
+        Hashtbl.replace txns txn t;
+        t
+  in
+  (* A tombstone revived by a compensation record is no longer pending. *)
+  let unpin set oid =
+    Hashtbl.iter
+      (fun _ t ->
+        t.t_tombs <- List.filter (fun e -> e <> (set, oid)) t.t_tombs)
+      txns
+  in
+  let resolve txn =
+    match Hashtbl.find_opt txns txn with
+    | None -> ()
+    | Some t ->
+        List.iter
+          (fun (set, oid) -> applier.free_tombstone ~set ~oid)
+          (List.rev t.t_tombs);
+        Hashtbl.remove txns txn
+  in
+  let n = ref 0 in
+  List.iter
+    (fun (lsn, record) ->
+      if Int64.compare lsn after > 0 then
+        match record with
+        | Wal.Txn_begin txn -> ignore (trace txn)
+        | Wal.Txn_commit txn | Wal.Txn_abort txn -> resolve txn
+        | Wal.Undo_image { txn; set; oid; present; values } ->
+            let t = trace txn in
+            t.t_images <- (set, oid, present, values) :: t.t_images
+        | Wal.Insert_at { set; oid; values } ->
+            applier.insert_at ~set ~oid values;
+            unpin set oid;
+            incr n
+        | Wal.Txn_op { txn; op } -> (
+            let t = trace txn in
+            incr n;
+            match op with
+            | Wal.Insert { set; values } ->
+                let oid = applier.insert ~set values in
+                t.t_inserts <- (set, oid) :: t.t_inserts
+            | Wal.Delete { set; oid } ->
+                applier.delete_pinned ~set ~oid;
+                t.t_tombs <- (set, oid) :: t.t_tombs
+            | op -> apply_plain applier op)
+        | record ->
+            apply_plain applier record;
+            incr n)
+    (Wal.records wal);
+  let losers =
+    Hashtbl.fold
+      (fun txn t acc ->
+        {
+          l_txn = txn;
+          l_images = t.t_images;
+          l_inserts = t.t_inserts;
+          l_tombstones = t.t_tombs;
+        }
+        :: acc)
+      txns []
+    |> List.sort (fun a b -> compare a.l_txn b.l_txn)
+  in
+  (!n, losers)

@@ -1,4 +1,4 @@
-(** Redo-from-checkpoint recovery.
+(** Redo-from-checkpoint recovery with transaction resolution.
 
     Recovery reopens the last checkpoint image (an LSN-stamped [Db.save]
     image) and redoes every log record with a larger LSN {e through the
@@ -9,6 +9,22 @@
     Determinism of the storage layer (physical OIDs, file ids, page
     layout) makes the redo converge on the uncrashed state.
 
+    Transactions extend the picture in three ways:
+
+    - [Txn_op]-tagged records redo like plain ones, but the tag lets the
+      replay reconstruct each transaction's footprint.  A tagged delete
+      redoes as [delete_pinned] (the slot stays tombstoned, exactly as it
+      was in the original run), and a [Txn_commit]/[Txn_abort] marker frees
+      the transaction's still-pinned tombstones — reproducing the original
+      timing of slot reuse, which OID determinism depends on.
+    - [Undo_image] records are redo no-ops; they are collected per
+      transaction.
+    - Transactions with a logged footprint but no commit/abort marker are
+      {e losers} — they were live at the crash.  Their images, replayed
+      insert OIDs and pending tombstones are returned so the caller can
+      roll them back (and append the compensations plus a [Txn_abort]
+      marker, making the rollback itself replayable).
+
     This module is engine-agnostic: the caller (lib/core's [Db.recover])
     provides an {!applier} of closures over its own DML entry points, which
     keeps the dependency arrow pointing from core to wal. *)
@@ -16,7 +32,7 @@
 type applier = {
   define_type : Fieldrep_model.Ty.t -> unit;
   create_set : name:string -> elem_type:string -> reserve:int -> unit;
-  insert : set:string -> Fieldrep_model.Value.t list -> unit;
+  insert : set:string -> Fieldrep_model.Value.t list -> Fieldrep_storage.Oid.t;
   update :
     set:string ->
     oid:Fieldrep_storage.Oid.t ->
@@ -24,6 +40,13 @@ type applier = {
     Fieldrep_model.Value.t ->
     unit;
   delete : set:string -> oid:Fieldrep_storage.Oid.t -> unit;
+  delete_pinned : set:string -> oid:Fieldrep_storage.Oid.t -> unit;
+  insert_at :
+    set:string ->
+    oid:Fieldrep_storage.Oid.t ->
+    Fieldrep_model.Value.t list ->
+    unit;
+  free_tombstone : set:string -> oid:Fieldrep_storage.Oid.t -> unit;
   replicate :
     strategy:Fieldrep_model.Schema.strategy ->
     options:Fieldrep_model.Schema.rep_options ->
@@ -33,7 +56,24 @@ type applier = {
     name:string -> set:string -> field:string -> clustered:bool -> unit;
 }
 
-val replay : Wal.t -> after:int64 -> applier -> int
+(** A transaction that was live at the crash: everything the caller needs
+    to roll it back.  Lists are newest-first — already in undo order. *)
+type loser = {
+  l_txn : int;
+  l_images :
+    (string * Fieldrep_storage.Oid.t * bool * Fieldrep_model.Value.t list)
+    list;
+      (** logged before-images: (set, oid, existed-before, user values) *)
+  l_inserts : (string * Fieldrep_storage.Oid.t) list;
+      (** OIDs the transaction's replayed inserts produced — covers the
+          crash window where an insert ran but its image was not yet
+          logged *)
+  l_tombstones : (string * Fieldrep_storage.Oid.t) list;
+      (** slots still pinned by the transaction's deletes *)
+}
+
+val replay : Wal.t -> after:int64 -> applier -> int * loser list
 (** Redo, in LSN order, every record of the log (as found when it was
     opened) whose LSN is strictly greater than [after] — the checkpoint's
-    LSN stamp.  Returns the number of records redone. *)
+    LSN stamp.  Returns the number of records redone and the losers to
+    roll back. *)

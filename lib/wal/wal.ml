@@ -23,6 +23,18 @@ type record =
       clustered : bool;
     }
   | Abort of int64
+  | Txn_begin of int
+  | Txn_commit of int
+  | Txn_abort of int
+  | Undo_image of {
+      txn : int;
+      set : string;
+      oid : Oid.t;
+      present : bool;
+      values : Value.t list;
+    }
+  | Insert_at of { set : string; oid : Oid.t; values : Value.t list }
+  | Txn_op of { txn : int; op : record }
 
 let magic = "FREPWAL1"
 
@@ -59,8 +71,14 @@ let kind_of = function
   | Replicate _ -> 5
   | Build_index _ -> 6
   | Abort _ -> 7
+  | Txn_begin _ -> 8
+  | Txn_commit _ -> 9
+  | Txn_abort _ -> 10
+  | Undo_image _ -> 11
+  | Insert_at _ -> 12
+  | Txn_op _ -> 13
 
-let body_size = function
+let rec body_size = function
   | Define_type ty ->
       Wire.string_size ty.Ty.tname + 2
       + List.fold_left
@@ -80,8 +98,16 @@ let body_size = function
   | Build_index { name; set; field; clustered = _ } ->
       Wire.string_size name + Wire.string_size set + Wire.string_size field + 1
   | Abort _ -> 8
+  | Txn_begin _ | Txn_commit _ | Txn_abort _ -> 4
+  | Undo_image { txn = _; set; oid = _; present = _; values } ->
+      4 + Wire.string_size set + Oid.encoded_size + 1 + 2
+      + List.fold_left (fun acc v -> acc + Value.encoded_size v) 0 values
+  | Insert_at { set; oid = _; values } ->
+      Wire.string_size set + Oid.encoded_size + 2
+      + List.fold_left (fun acc v -> acc + Value.encoded_size v) 0 values
+  | Txn_op { txn = _; op } -> 4 + 1 + body_size op
 
-let put_body buf off = function
+let rec put_body buf off = function
   | Define_type ty ->
       let off = Wire.put_string buf off ty.Ty.tname in
       let off = Wire.put_u16 buf off (List.length ty.Ty.fields) in
@@ -124,8 +150,25 @@ let put_body buf off = function
       let off = Wire.put_string buf off field in
       Wire.put_u8 buf off (if clustered then 1 else 0)
   | Abort lsn -> Wire.put_i64 buf off lsn
+  | Txn_begin txn | Txn_commit txn | Txn_abort txn -> Wire.put_u32 buf off txn
+  | Undo_image { txn; set; oid; present; values } ->
+      let off = Wire.put_u32 buf off txn in
+      let off = Wire.put_string buf off set in
+      let off = Oid.encode buf off oid in
+      let off = Wire.put_u8 buf off (if present then 1 else 0) in
+      let off = Wire.put_u16 buf off (List.length values) in
+      List.fold_left (fun off v -> Value.encode buf off v) off values
+  | Insert_at { set; oid; values } ->
+      let off = Wire.put_string buf off set in
+      let off = Oid.encode buf off oid in
+      let off = Wire.put_u16 buf off (List.length values) in
+      List.fold_left (fun off v -> Value.encode buf off v) off values
+  | Txn_op { txn; op } ->
+      let off = Wire.put_u32 buf off txn in
+      let off = Wire.put_u8 buf off (kind_of op) in
+      put_body buf off op
 
-let get_body kind buf off =
+let rec get_body kind buf off =
   match kind with
   | 0 ->
       let tname, off = Wire.get_string buf off in
@@ -200,6 +243,47 @@ let get_body kind buf off =
   | 7 ->
       let lsn, off = Wire.get_i64 buf off in
       (Abort lsn, off)
+  | 8 ->
+      let txn, off = Wire.get_u32 buf off in
+      (Txn_begin txn, off)
+  | 9 ->
+      let txn, off = Wire.get_u32 buf off in
+      (Txn_commit txn, off)
+  | 10 ->
+      let txn, off = Wire.get_u32 buf off in
+      (Txn_abort txn, off)
+  | 11 ->
+      let txn, off = Wire.get_u32 buf off in
+      let set, off = Wire.get_string buf off in
+      let oid, off = Oid.decode buf off in
+      let present, off = Wire.get_u8 buf off in
+      let n, off = Wire.get_u16 buf off in
+      let off = ref off in
+      let values =
+        List.init n (fun _ ->
+            let v, o = Value.decode buf !off in
+            off := o;
+            v)
+      in
+      (Undo_image { txn; set; oid; present = present = 1; values }, !off)
+  | 12 ->
+      let set, off = Wire.get_string buf off in
+      let oid, off = Oid.decode buf off in
+      let n, off = Wire.get_u16 buf off in
+      let off = ref off in
+      let values =
+        List.init n (fun _ ->
+            let v, o = Value.decode buf !off in
+            off := o;
+            v)
+      in
+      (Insert_at { set; oid; values }, !off)
+  | 13 ->
+      let txn, off = Wire.get_u32 buf off in
+      let ikind, off = Wire.get_u8 buf off in
+      if ikind = 13 then raise (Wire.Corrupt "Wal: nested Txn_op");
+      let op, off = get_body ikind buf off in
+      (Txn_op { txn; op }, off)
   | k -> raise (Wire.Corrupt (Printf.sprintf "Wal: bad record kind %d" k))
 
 (* FNV-1a, 32-bit: cheap, dependency-free, catches torn frames. *)
@@ -264,7 +348,7 @@ let scan data =
   (List.rev !acc, !pos)
 
 let open_ ?stats path =
-  let raw, good_end =
+  let raw, good_end, data =
     if Sys.file_exists path then begin
       let ic = open_in_bin path in
       let data =
@@ -273,20 +357,42 @@ let open_ ?stats path =
           (fun () -> really_input_string ic (in_channel_length ic))
       in
       if String.length data < String.length magic then
-        if String.length data = 0 then ([], 0)
+        if String.length data = 0 then ([], 0, data)
         else invalid_arg "Wal.open_: not a fieldrep log"
       else if String.sub data 0 (String.length magic) <> magic then
         invalid_arg "Wal.open_: not a fieldrep log"
-      else scan data
+      else
+        let raw, good_end = scan data in
+        (raw, good_end, data)
     end
-    else ([], 0)
+    else ([], 0, "")
   in
-  let oc = open_out_gen [ Open_wronly; Open_creat; Open_binary ] 0o644 path in
-  if good_end = 0 then begin
-    output_string oc magic;
-    flush oc
-  end
-  else seek_out oc good_end;
+  let oc =
+    if good_end > 0 && good_end < String.length data then begin
+      (* Discard everything past the last well-formed frame immediately.
+         Merely seeking there and letting the next append overwrite is not
+         enough: if a corrupt frame in the middle of the log happens to be
+         the same size as the overwriting one, a stale frame beyond it
+         would come back to life with its old LSN. *)
+      let oc =
+        open_out_gen [ Open_wronly; Open_trunc; Open_binary ] 0o644 path
+      in
+      output_string oc (String.sub data 0 good_end);
+      flush oc;
+      oc
+    end
+    else begin
+      let oc =
+        open_out_gen [ Open_wronly; Open_creat; Open_binary ] 0o644 path
+      in
+      if good_end = 0 then begin
+        output_string oc magic;
+        flush oc
+      end
+      else seek_out oc good_end;
+      oc
+    end
+  in
   let aborted =
     List.filter_map (function _, Abort l -> Some l | _ -> None) raw
   in

@@ -63,6 +63,27 @@ type record =
       clustered : bool;
     }
   | Abort of int64  (** rescind the record with this LSN *)
+  | Txn_begin of int  (** transaction boundary: txn id *)
+  | Txn_commit of int
+  | Txn_abort of int
+      (** the txn was rolled back — compensation records for it appear
+          between its last [Txn_op] and this marker *)
+  | Undo_image of {
+      txn : int;
+      set : string;
+      oid : Oid.t;
+      present : bool;
+      values : Value.t list;
+    }
+      (** before-image of an object, logged at the transaction's first
+          write touch; [present = false] records that the object was
+          created by the transaction.  Undo-only: skipped during redo. *)
+  | Insert_at of { set : string; oid : Oid.t; values : Value.t list }
+      (** revive a tombstoned OID with these values — the compensation
+          record for an aborted delete *)
+  | Txn_op of { txn : int; op : record }
+      (** a DML record executed inside transaction [txn]; redo applies
+          [op], recovery uses the tag to resolve winners and losers *)
 
 type t
 

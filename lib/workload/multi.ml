@@ -1,0 +1,363 @@
+module Db = Fieldrep.Db
+module Oid = Fieldrep_storage.Oid
+module Disk = Fieldrep_storage.Disk
+module Value = Fieldrep_model.Value
+module Lock = Fieldrep_txn.Lock
+module Txn = Fieldrep_txn.Txn
+module Splitmix = Fieldrep_util.Splitmix
+
+(* Operations name objects by their immutable generation key (the value
+   [Gen.build] stored in [field_r] / [field_s]), never by OID: OID
+   allocation differs between an interleaved run and its serial re-
+   execution, but the key space is identical, which is what makes the
+   serializability comparison possible. *)
+type op =
+  | Deref of int  (* R[key].sref.repfield — the replicated read *)
+  | Read of int  (* fetch R[key] *)
+  | Update_rep of int * string  (* S[key].repfield <- v : fan-out write *)
+  | Update_key of int * int  (* R[key].field_r <- v : plain indexed scalar *)
+  | Update_ref of int * int  (* R[key].sref <- S[key'] : path restructure *)
+  | Insert_r of int * int  (* fresh key, S[key'] for sref *)
+  | Delete_r of int  (* key in the issuing client's private range *)
+
+type program = {
+  ops : op array;
+  abort_after : int option;
+      (* voluntary rollback after this many operations; the program is
+         discarded, not retried — it models a user abort *)
+}
+
+type mix = {
+  w_deref : int;
+  w_read : int;
+  w_update_rep : int;
+  w_update_key : int;
+  w_update_ref : int;
+  w_insert : int;
+  w_delete : int;
+}
+
+let read_mix =
+  {
+    w_deref = 6;
+    w_read = 2;
+    w_update_rep = 1;
+    w_update_key = 1;
+    w_update_ref = 0;
+    w_insert = 0;
+    w_delete = 0;
+  }
+
+let update_mix =
+  {
+    w_deref = 2;
+    w_read = 1;
+    w_update_rep = 3;
+    w_update_key = 2;
+    w_update_ref = 1;
+    w_insert = 1;
+    w_delete = 1;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Key -> OID maps                                                     *)
+
+type maps = {
+  r_oid : (int, Oid.t) Hashtbl.t;
+  s_oid : (int, Oid.t) Hashtbl.t;
+}
+
+let build_maps db =
+  let r_oid = Hashtbl.create 1024 and s_oid = Hashtbl.create 256 in
+  Db.scan db ~set:"R" (fun oid record ->
+      match Db.field_value db ~set:"R" record "field_r" with
+      | Value.VInt k -> Hashtbl.replace r_oid k oid
+      | _ -> assert false);
+  Db.scan db ~set:"S" (fun oid record ->
+      match Db.field_value db ~set:"S" record "field_s" with
+      | Value.VInt k -> Hashtbl.replace s_oid k oid
+      | _ -> assert false);
+  { r_oid; s_oid }
+
+(* The driver's view of inserts/deletes must roll back with the
+   transaction; an aborted delete revives the object in its original slot,
+   so re-adding the remembered OID is exact. *)
+type journal_entry = J_removed of int * Oid.t | J_added of int
+
+let rollback_maps maps journal =
+  List.iter
+    (function
+      | J_added key -> Hashtbl.remove maps.r_oid key
+      | J_removed (key, oid) -> Hashtbl.replace maps.r_oid key oid)
+    journal
+
+(* ------------------------------------------------------------------ *)
+(* Operation execution (shared by the interleaved and serial drivers)  *)
+
+let exec db maps txn journal op =
+  match op with
+  | Deref key -> (
+      match Hashtbl.find_opt maps.r_oid key with
+      | Some oid -> ignore (Db.deref ?txn db ~set:"R" oid "sref.repfield")
+      | None -> ())
+  | Read key -> (
+      match Hashtbl.find_opt maps.r_oid key with
+      | Some oid -> ignore (Db.get ?txn db ~set:"R" oid)
+      | None -> ())
+  | Update_rep (key, v) ->
+      Db.update_field ?txn db ~set:"S" (Hashtbl.find maps.s_oid key)
+        ~field:"repfield" (Value.VString v)
+  | Update_key (key, v) -> (
+      match Hashtbl.find_opt maps.r_oid key with
+      | Some oid -> Db.update_field ?txn db ~set:"R" oid ~field:"field_r" (Value.VInt v)
+      | None -> ())
+  | Update_ref (key, skey) -> (
+      match Hashtbl.find_opt maps.r_oid key with
+      | Some oid ->
+          Db.update_field ?txn db ~set:"R" oid ~field:"sref"
+            (Value.VRef (Hashtbl.find maps.s_oid skey))
+      | None -> ())
+  | Insert_r (key, skey) ->
+      let oid =
+        Db.insert ?txn db ~set:"R"
+          [
+            Value.VInt key;
+            Value.VString "inserted";
+            Value.VRef (Hashtbl.find maps.s_oid skey);
+          ]
+      in
+      Hashtbl.replace maps.r_oid key oid;
+      journal := J_added key :: !journal
+  | Delete_r key -> (
+      match Hashtbl.find_opt maps.r_oid key with
+      | Some oid ->
+          Db.delete ?txn db ~set:"R" oid;
+          Hashtbl.remove maps.r_oid key;
+          journal := J_removed (key, oid) :: !journal
+      | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Program generation                                                  *)
+
+let random_string rng len =
+  String.init len (fun _ -> Char.chr (Char.code 'a' + Splitmix.int rng 26))
+
+let gen_programs ~rng ~mix ~shared_r ~s_count ~delete_pool ~next_key
+    ~txns_per_client ~ops_per_txn ~abort_prob =
+  let total =
+    mix.w_deref + mix.w_read + mix.w_update_rep + mix.w_update_key
+    + mix.w_update_ref + mix.w_insert + mix.w_delete
+  in
+  assert (total > 0 && shared_r > 0 && s_count > 0);
+  let gen_op () =
+    let roll = Splitmix.int rng total in
+    let r = ref roll and chosen = ref None in
+    let bucket w make =
+      if !chosen = None then
+        if !r < w then chosen := Some (make ()) else r := !r - w
+    in
+    bucket mix.w_deref (fun () -> Deref (Splitmix.int rng shared_r));
+    bucket mix.w_read (fun () -> Read (Splitmix.int rng shared_r));
+    bucket mix.w_update_rep (fun () ->
+        Update_rep (Splitmix.int rng s_count, random_string rng 20));
+    bucket mix.w_update_key (fun () ->
+        Update_key (Splitmix.int rng shared_r, 10_000_000 + Splitmix.int rng 1_000_000));
+    bucket mix.w_update_ref (fun () ->
+        Update_ref (Splitmix.int rng shared_r, Splitmix.int rng s_count));
+    bucket mix.w_insert (fun () ->
+        incr next_key;
+        Insert_r (!next_key, Splitmix.int rng s_count));
+    bucket mix.w_delete (fun () ->
+        match !delete_pool with
+        | key :: rest ->
+            delete_pool := rest;
+            Delete_r key
+        | [] ->
+            (* private range exhausted: degrade to an update *)
+            Update_key (Splitmix.int rng shared_r, 10_000_000 + Splitmix.int rng 1_000_000));
+    Option.get !chosen
+  in
+  List.init txns_per_client (fun _ ->
+      let ops = Array.init ops_per_txn (fun _ -> gen_op ()) in
+      let abort_after =
+        if abort_prob > 0.0 && Splitmix.float rng 1.0 < abort_prob then
+          Some (Splitmix.int rng (max 1 ops_per_txn))
+        else None
+      in
+      { ops; abort_after })
+
+(* ------------------------------------------------------------------ *)
+(* The interleaved scheduler                                           *)
+
+type result = {
+  committed : program list;  (* in commit order — the serialization order *)
+  commits : int;
+  voluntary_aborts : int;
+  deadlock_aborts : int;  (* abort events, including retried attempts *)
+  discarded : int;  (* programs given up after [max_retries] deadlocks *)
+  blocked_turns : int;
+  ops_executed : int;
+  committed_io : int;  (* page I/O attributed to committed transactions *)
+  aborted_io : int;  (* including the undo writes of each rollback *)
+  crashed : bool;
+}
+
+type running = {
+  prog : program;
+  mutable tx : Db.txn;
+  mutable pc : int;
+  journal : journal_entry list ref;
+  mutable retries : int;
+}
+
+type client = { mutable todo : program list; mutable cur : running option }
+
+let run ?(abort_prob = 0.0) ?(max_retries = 20) ?(before_commit = fun _ -> ())
+    ~clients ~txns_per_client ~ops_per_txn ~mix ~seed (built : Gen.built) =
+  let db = built.Gen.db in
+  let maps = build_maps db in
+  let r_count = Array.length built.Gen.r_keys in
+  let s_count = Array.length built.Gen.s_keys in
+  (* Each client owns a private slice at the top of the key space for its
+     deletes; every other operation targets the shared prefix, so no
+     program can reference an object another client may have removed. *)
+  let quota = min (txns_per_client * ops_per_txn) (r_count / (2 * clients)) in
+  let shared_r = r_count - (clients * quota) in
+  let next_key = ref 20_000_000 in
+  let clients_arr =
+    Array.init clients (fun c ->
+        let rng = Splitmix.create (seed + (1_000_003 * (c + 1))) in
+        let delete_pool =
+          ref (List.init quota (fun i -> shared_r + (c * quota) + i))
+        in
+        {
+          todo =
+            gen_programs ~rng ~mix ~shared_r ~s_count ~delete_pool ~next_key
+              ~txns_per_client ~ops_per_txn ~abort_prob;
+          cur = None;
+        })
+  in
+  let committed = ref [] in
+  let commits = ref 0 in
+  let voluntary = ref 0 in
+  let deadlocks = ref 0 in
+  let discarded = ref 0 in
+  let blocked = ref 0 in
+  let ops_executed = ref 0 in
+  let committed_io = ref 0 in
+  let aborted_io = ref 0 in
+  let crashed = ref false in
+  let turns = ref 0 in
+  let limit = 1000 * clients * txns_per_client * (ops_per_txn + 2) in
+  let alive () =
+    Array.exists (fun c -> c.cur <> None || c.todo <> []) clients_arr
+  in
+  let step c =
+    match c.cur with
+    | None -> (
+        match c.todo with
+        | [] -> ()
+        | p :: rest ->
+            c.todo <- rest;
+            c.cur <-
+              Some
+                { prog = p; tx = Db.begin_txn db; pc = 0; journal = ref []; retries = 0 })
+    | Some r ->
+        let voluntary_now =
+          match r.prog.abort_after with Some k -> r.pc >= k | None -> false
+        in
+        if voluntary_now then begin
+          Db.abort db r.tx;
+          aborted_io := !aborted_io + Txn.io r.tx;
+          rollback_maps maps !(r.journal);
+          incr voluntary;
+          c.cur <- None
+        end
+        else if r.pc >= Array.length r.prog.ops then begin
+          before_commit !commits;
+          Db.commit db r.tx;
+          committed_io := !committed_io + Txn.io r.tx;
+          committed := r.prog :: !committed;
+          incr commits;
+          c.cur <- None
+        end
+        else begin
+          match exec db maps (Some r.tx) r.journal r.prog.ops.(r.pc) with
+          | () ->
+              r.pc <- r.pc + 1;
+              incr ops_executed
+          | exception Lock.Would_block _ ->
+              (* no partial effects: simply try again next turn *)
+              incr blocked
+          | exception Lock.Deadlock _ ->
+              Db.abort db r.tx;
+              aborted_io := !aborted_io + Txn.io r.tx;
+              rollback_maps maps !(r.journal);
+              incr deadlocks;
+              if r.retries >= max_retries then begin
+                incr discarded;
+                c.cur <- None
+              end
+              else
+                c.cur <-
+                  Some
+                    {
+                      prog = r.prog;
+                      tx = Db.begin_txn db;
+                      pc = 0;
+                      journal = ref [];
+                      retries = r.retries + 1;
+                    }
+        end
+  in
+  (try
+     while (not !crashed) && alive () do
+       incr turns;
+       if !turns > limit then failwith "Multi.run: scheduler made no progress";
+       Array.iter (fun c -> if not !crashed then step c) clients_arr
+     done
+   with Disk.Crash _ -> crashed := true);
+  {
+    committed = List.rev !committed;
+    commits = !commits;
+    voluntary_aborts = !voluntary;
+    deadlock_aborts = !deadlocks;
+    discarded = !discarded;
+    blocked_turns = !blocked;
+    ops_executed = !ops_executed;
+    committed_io = !committed_io;
+    aborted_io = !aborted_io;
+    crashed = !crashed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Serial re-execution and state observation                           *)
+
+let replay_serial db programs =
+  let maps = build_maps db in
+  List.iter
+    (fun p ->
+      let journal = ref [] in
+      Array.iter (fun op -> exec db maps None journal op) p.ops)
+    programs
+
+let observe db =
+  let rows = ref [] in
+  Db.scan db ~set:"S" (fun _ record ->
+      let vs = Db.user_values db ~set:"S" record in
+      rows := ("S:" ^ String.concat "|" (List.map Value.to_string vs)) :: !rows);
+  Db.scan db ~set:"R" (fun _ record ->
+      let key = Db.field_value db ~set:"R" record "field_r" in
+      let pad = Db.field_value db ~set:"R" record "pad" in
+      let sref =
+        (* resolve the reference to the target's immutable key: rows then
+           compare across runs with different OID assignments *)
+        match Db.field_value db ~set:"R" record "sref" with
+        | Value.VRef s -> Db.field_value db ~set:"S" (Db.get db ~set:"S" s) "field_s"
+        | v -> v
+      in
+      rows :=
+        ("R:"
+        ^ String.concat "|" (List.map Value.to_string [ key; pad; sref ]))
+        :: !rows);
+  List.sort compare !rows

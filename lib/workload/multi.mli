@@ -1,0 +1,90 @@
+(** Deterministic interleaved-client transaction driver.
+
+    Simulates N concurrent clients over one {!Fieldrep.Db} with cooperative
+    round-robin scheduling: each turn a client executes (at most) one
+    operation of its current transaction.  Because every operation acquires
+    its whole lock set before touching anything, a conflict surfaces as
+    {!Fieldrep_txn.Lock.Would_block} (the client retries the operation on
+    its next turn) or {!Fieldrep_txn.Lock.Deadlock} (the client aborts and
+    restarts the same program, up to a retry bound).  Everything is driven
+    by SplitMix seeds, so a run is reproducible bit-for-bit.
+
+    The central correctness check this enables: strict two-phase locking
+    guarantees the interleaved execution is equivalent to {e some} serial
+    execution — namely the commit order.  {!run} returns the committed
+    programs in commit order; {!replay_serial} re-executes them one at a
+    time on a freshly generated identical database; {!observe} projects
+    both final states OID-independently for comparison. *)
+
+module Db = Fieldrep.Db
+
+(** One client operation, naming objects by generation key (the [field_r] /
+    [field_s] values assigned by {!Gen.build}), never by OID — OID
+    allocation differs between an interleaved run and its serial replay. *)
+type op =
+  | Deref of int  (** R[key].sref.repfield — the replicated read *)
+  | Read of int
+  | Update_rep of int * string  (** S[key].repfield: propagating write *)
+  | Update_key of int * int  (** R[key].field_r: plain indexed scalar *)
+  | Update_ref of int * int  (** R[key].sref <- S[key']: path restructure *)
+  | Insert_r of int * int
+  | Delete_r of int  (** key in the issuing client's private range *)
+
+type program = { ops : op array; abort_after : int option }
+(** [abort_after = Some k]: the client voluntarily rolls back after [k]
+    operations and discards the program (a user abort, never retried). *)
+
+type mix = {
+  w_deref : int;
+  w_read : int;
+  w_update_rep : int;
+  w_update_key : int;
+  w_update_ref : int;
+  w_insert : int;
+  w_delete : int;
+}
+(** Relative operation weights. *)
+
+val read_mix : mix
+(** Read-dominated: mostly replicated derefs, occasional updates. *)
+
+val update_mix : mix
+(** Update-heavy: propagating writes, restructures, inserts and deletes. *)
+
+type result = {
+  committed : program list;  (** in commit order — the serialization order *)
+  commits : int;
+  voluntary_aborts : int;
+  deadlock_aborts : int;  (** abort events, including retried attempts *)
+  discarded : int;  (** programs given up after the deadlock-retry bound *)
+  blocked_turns : int;  (** turns spent waiting on a lock *)
+  ops_executed : int;
+  committed_io : int;  (** page I/O attributed to committed transactions *)
+  aborted_io : int;  (** page I/O of aborted attempts, undo writes included *)
+  crashed : bool;  (** a [Disk.Crash] failpoint fired; the run stopped *)
+}
+
+val run :
+  ?abort_prob:float ->
+  ?max_retries:int ->
+  ?before_commit:(int -> unit) ->
+  clients:int ->
+  txns_per_client:int ->
+  ops_per_txn:int ->
+  mix:mix ->
+  seed:int ->
+  Gen.built ->
+  result
+(** Generate each client's programs from [seed] and run them interleaved.
+    [before_commit] is called with the commit ordinal just before each
+    commit — crash tests use it to arm a disk failpoint.  A [Disk.Crash]
+    anywhere stops the run and is reported as [crashed] (the in-flight
+    transaction is not in [committed]). *)
+
+val replay_serial : Db.t -> program list -> unit
+(** Re-execute the programs one at a time (autocommit, no locks) against a
+    database freshly built from the same {!Gen.spec}. *)
+
+val observe : Db.t -> string list
+(** OID-independent projection of the logical state: one sorted row per
+    object, references resolved to the target's key. *)

@@ -161,6 +161,91 @@ let test_wal_torn_tail () =
   Wal.close w3;
   Sys.remove path
 
+let test_wal_corrupt_frame_mid_log () =
+  let path = tmp "corrupt_mid" ".wal" in
+  let ins k = Wal.Insert { set = "T"; values = [ Value.VInt k ] } in
+  let w = Wal.open_ path in
+  ignore (Wal.append w (ins 1));
+  ignore (Wal.append w (ins 2));
+  Wal.close w;
+  let good =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  let w = Wal.open_ path in
+  ignore (Wal.append w (ins 3));
+  ignore (Wal.append w (ins 4));
+  Wal.close w;
+  (* Flip one payload byte of frame 3 (its payload starts 8 framing bytes
+     past the end of the good prefix): bit rot in the middle of the log,
+     not a torn tail. *)
+  let pos = good + 12 in
+  let orig =
+    let ic = open_in_bin path in
+    seek_in ic pos;
+    let c = input_char ic in
+    close_in ic;
+    c
+  in
+  let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+  seek_out oc pos;
+  output_char oc (Char.chr (Char.code orig lxor 0xff));
+  close_out oc;
+  (* The scan must stop at the CRC mismatch: frame 3 AND everything after
+     it is discarded — a prefix of the log is all that can be trusted. *)
+  let w2 = Wal.open_ path in
+  checki "scan stops at the corrupt frame" 2 (List.length (Wal.records w2));
+  checkb "lsn counter rewound to the good prefix" true (Wal.last_lsn w2 = 2L);
+  ignore (Wal.append w2 (ins 5));
+  Wal.close w2;
+  let w3 = Wal.open_ path in
+  (match List.map snd (Wal.records w3) with
+  | [
+   Wal.Insert { values = [ Value.VInt 1 ]; _ };
+   Wal.Insert { values = [ Value.VInt 2 ]; _ };
+   Wal.Insert { values = [ Value.VInt 5 ]; _ };
+  ] ->
+      ()
+  | recs ->
+      Alcotest.failf "unexpected records after corruption: %d" (List.length recs));
+  Wal.close w3;
+  Sys.remove path
+
+let test_wal_duplicate_abort_markers () =
+  let path = tmp "dup_abort" ".wal" in
+  let w = Wal.open_ path in
+  let l1 = Wal.append w (Wal.Insert { set = "T"; values = [ Value.VInt 1 ] }) in
+  ignore (Wal.append w (Wal.Insert { set = "T"; values = [ Value.VInt 2 ] }));
+  (* An abort retried across a crash can log its marker twice; the second
+     marker must be harmless. *)
+  Wal.append_abort w ~aborted:l1;
+  Wal.append_abort w ~aborted:l1;
+  Wal.close w;
+  let w2 = Wal.open_ path in
+  (match List.map snd (Wal.records w2) with
+  | [ Wal.Insert { values = [ Value.VInt 2 ]; _ } ] -> ()
+  | recs -> Alcotest.failf "expected one survivor, got %d" (List.length recs));
+  checkb "both markers consumed lsns" true (Wal.last_lsn w2 = 4L);
+  Wal.close w2;
+  Sys.remove path
+
+let test_wal_abort_marker_missing_target () =
+  let path = tmp "abort_missing" ".wal" in
+  let w = Wal.open_ path in
+  (* A marker whose target fell off the log (e.g. the aborted record was
+     itself in a torn tail): nothing to rescind, nothing to break. *)
+  Wal.append_abort w ~aborted:9999L;
+  ignore (Wal.append w (Wal.Insert { set = "T"; values = [ Value.VInt 7 ] }));
+  Wal.close w;
+  let w2 = Wal.open_ path in
+  (match List.map snd (Wal.records w2) with
+  | [ Wal.Insert { values = [ Value.VInt 7 ]; _ } ] -> ()
+  | recs -> Alcotest.failf "expected one record, got %d" (List.length recs));
+  Wal.close w2;
+  Sys.remove path
+
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
 
@@ -429,6 +514,12 @@ let () =
           Alcotest.test_case "codec roundtrip" `Quick test_wal_roundtrip;
           Alcotest.test_case "abort rescinds" `Quick test_wal_abort_rescinds;
           Alcotest.test_case "torn tail ignored" `Quick test_wal_torn_tail;
+          Alcotest.test_case "corrupt frame mid-log" `Quick
+            test_wal_corrupt_frame_mid_log;
+          Alcotest.test_case "duplicate abort markers" `Quick
+            test_wal_duplicate_abort_markers;
+          Alcotest.test_case "abort marker without target" `Quick
+            test_wal_abort_marker_missing_target;
         ] );
       ( "recovery",
         [
