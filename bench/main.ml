@@ -28,6 +28,8 @@ module Gen = Fieldrep_workload.Gen
 module Mix = Fieldrep_workload.Mix
 module Multi = Fieldrep_workload.Multi
 module Wal = Fieldrep_wal.Wal
+module Disk = Fieldrep_storage.Disk
+module Scrub = Fieldrep_scrub.Scrub
 module T = Fieldrep_util.Tableprint
 module Splitmix = Fieldrep_util.Splitmix
 
@@ -889,6 +891,84 @@ let txn_bench () =
     (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* R1: corruption scrubbing and degraded reads                         *)
+
+let scrub_bench () =
+  section "R1: checksum scrub, self-repair, and degraded reads";
+  Printf.printf
+    "(every auxiliary page — link objects and S' — gets bit-rot injected;\n\
+    \ reads before the scrub detour through functional joins, the scrub\n\
+    \ rebuilds the replicated state from the source objects, and a second\n\
+    \ sweep confirms the repair converged)\n\n";
+  let rows = ref [] in
+  List.iter
+    (fun (label, strategy, collapse) ->
+      let db = Gen.employee_db ~norgs:6 ~ndepts:40 ~nemps:2500 ~seed:83 () in
+      let options = { Schema.default_options with Schema.collapse } in
+      Db.replicate db ~options ~strategy (Path.parse "Emp1.dept.org.name");
+      let pager = Db.pager db in
+      let disk = Pager.disk pager in
+      Pager.flush pager;
+      (* Bit-rot every auxiliary page (link objects and, for the separate
+         strategy, the S' file). *)
+      let eng = Db.engine db in
+      let links, sprimes =
+        Fieldrep_replication.Store.bindings eng.Fieldrep_replication.Engine.store
+      in
+      let ps = Disk.page_size disk in
+      let corrupted = ref 0 in
+      List.iter
+        (fun (_, fid) ->
+          for page = 0 to Disk.page_count disk fid - 1 do
+            Disk.corrupt_page disk ~file:fid ~page [ ps / 8; ps / 3 ];
+            incr corrupted
+          done)
+        (links @ sprimes);
+      (* Cold reads against the corrupted replicas: every deref that lands on
+         a quarantined page must detour through the functional join. *)
+      let emps = Exec.matching_oids db ~set:"Emp1" None |> Array.of_list in
+      Pager.run_cold pager (fun () ->
+          for i = 0 to 199 do
+            ignore (Db.deref db ~set:"Emp1" emps.(i * 7 mod Array.length emps) "dept.org.name")
+          done);
+      let degraded = (Db.stats db).Stats.degraded_reads in
+      let t0 = Unix.gettimeofday () in
+      let report = Db.scrub db in
+      let wall = Unix.gettimeofday () -. t0 in
+      Db.check_integrity db;
+      let second = Db.scrub db in
+      rows :=
+        [
+          label;
+          string_of_int !corrupted;
+          string_of_int report.Scrub.pages_scanned;
+          string_of_int report.Scrub.checksum_failures;
+          string_of_int report.Scrub.repairs;
+          string_of_int degraded;
+          T.fixed 1 (wall *. 1000.0);
+          string_of_int (second.Scrub.checksum_failures + second.Scrub.repairs);
+        ]
+        :: !rows)
+    [
+      ("in-place", Schema.Inplace, false);
+      ("separate", Schema.Separate, false);
+      ("collapsed", Schema.Inplace, true);
+    ];
+  T.print
+    ~header:
+      [
+        "strategy";
+        "rotted";
+        "scanned";
+        "failures";
+        "repairs";
+        "degraded reads";
+        "scrub ms";
+        "2nd sweep";
+      ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let all_benches =
@@ -911,6 +991,7 @@ let all_benches =
     ("micro", micro);
     ("wal", wal_overhead);
     ("txn", txn_bench);
+    ("scrub", scrub_bench);
   ]
 
 (* Machine-readable results: one object per scenario run, with wall time and
@@ -936,10 +1017,12 @@ let write_json path results =
     (fun () ->
       output_string oc "{\n  \"benchmarks\": [\n";
       List.iteri
-        (fun i (name, wall, io) ->
+        (fun i (name, wall, io, (cf, sp, rp, dr, rr)) ->
           Printf.fprintf oc
-            "    {\"name\": \"%s\", \"wall_seconds\": %.6f, \"total_io\": %d}%s\n"
-            (json_escape name) wall io
+            "    {\"name\": \"%s\", \"wall_seconds\": %.6f, \"total_io\": %d, \
+             \"checksum_failures\": %d, \"scrub_pages\": %d, \"repairs\": %d, \
+             \"degraded_reads\": %d, \"read_retries\": %d}%s\n"
+            (json_escape name) wall io cf sp rp dr rr
             (if i = List.length results - 1 then "" else ","))
         results;
       output_string oc "  ]\n}\n")
@@ -965,8 +1048,13 @@ let () =
         | Some f ->
             let t0 = Unix.gettimeofday () in
             let io0 = Stats.grand_total_io () in
+            let cf0, sp0, rp0, dr0, rr0 = Stats.grand_robustness () in
             f ();
-            (name, Unix.gettimeofday () -. t0, Stats.grand_total_io () - io0)
+            let cf, sp, rp, dr, rr = Stats.grand_robustness () in
+            ( name,
+              Unix.gettimeofday () -. t0,
+              Stats.grand_total_io () - io0,
+              (cf - cf0, sp - sp0, rp - rp0, dr - dr0, rr - rr0) )
         | None ->
             Printf.eprintf "unknown bench %S; available: %s\n" name
               (String.concat ", " (List.map fst all_benches));

@@ -13,6 +13,7 @@ module Path = Fieldrep_model.Path
 module Engine = Fieldrep_replication.Engine
 module Store = Fieldrep_replication.Store
 module Invariants = Fieldrep_replication.Invariants
+module Scrub = Fieldrep_scrub.Scrub
 module Wal = Fieldrep_wal.Wal
 module Recovery = Fieldrep_wal.Recovery
 module Lock = Fieldrep_txn.Lock
@@ -752,23 +753,28 @@ let deref_record ?txn ?oid t ~set record expr =
               deref_walk t ~set record expr)
   | P_sprime (idx, offset) -> (
       match value_at record idx with
-      | Value.VRef sp ->
-          let hf = Store.sprime_file_opt t.store 0 in
-          ignore hf;
-          let file =
-            match Store.file_of_oid t.store sp with
-            | Some f -> f
-            | None -> invalid_arg "Db.deref: dangling S' reference"
-          in
-          let sp_rec = Record.decode (Heap_file.read file sp) in
-          (* The S' object is guarded by the final object that owns it
-             (named in slot 1): a shared lock there serialises this read
-             against writers of the replicated fields. *)
-          locking t txn (fun tx ->
-              match value_at sp_rec 1 with
-              | Value.VRef owner -> lock_read t tx ~set:(set_of_oid t owner) owner
-              | Value.VInt _ | Value.VString _ | Value.VNull -> ());
-          value_at sp_rec offset
+      | Value.VRef sp -> (
+          try
+            let file =
+              match Store.file_of_oid t.store sp with
+              | Some f -> f
+              | None -> invalid_arg "Db.deref: dangling S' reference"
+            in
+            let sp_rec = Record.decode (Heap_file.read file sp) in
+            (* The S' object is guarded by the final object that owns it
+               (named in slot 1): a shared lock there serialises this read
+               against writers of the replicated fields. *)
+            locking t txn (fun tx ->
+                match value_at sp_rec 1 with
+                | Value.VRef owner -> lock_read t tx ~set:(set_of_oid t owner) owner
+                | Value.VInt _ | Value.VString _ | Value.VNull -> ());
+            value_at sp_rec offset
+          with Disk.Corrupt_page _ ->
+            (* The S' page is quarantined.  The replicated value is only a
+               copy: degrade gracefully to the functional join over the
+               source objects, which remain authoritative. *)
+            Stats.note_degraded_read (stats t);
+            deref_walk t ~set record expr)
       | Value.VNull -> Value.VNull
       | Value.VInt _ | Value.VString _ -> invalid_arg "Db.deref: corrupt sref slot")
   | P_walk (hops, terminal_idx) ->
@@ -848,17 +854,25 @@ let referencers t ~source_set ~attr target_oid =
       invalid_arg
         (Printf.sprintf "Db.referencers: %s.%s is not a reference attribute"
            source_set attr));
+  let scan () =
+    let idx = Ty.field_index ty attr in
+    let acc = ref [] in
+    Heap_file.iter (set_file t source_set) (fun oid bytes ->
+        let record = Record.decode bytes in
+        match value_at record idx with
+        | Value.VRef r when Oid.equal r target_oid -> acc := oid :: !acc
+        | Value.VRef _ | Value.VNull | Value.VInt _ | Value.VString _ -> ());
+    (List.rev !acc, Via_scan)
+  in
   match Engine.referencers_via_links t.engine ~source_set ~attr target_oid with
   | Some members -> (members, Via_links)
-  | None ->
-      let idx = Ty.field_index ty attr in
-      let acc = ref [] in
-      Heap_file.iter (set_file t source_set) (fun oid bytes ->
-          let record = Record.decode bytes in
-          match value_at record idx with
-          | Value.VRef r when Oid.equal r target_oid -> acc := oid :: !acc
-          | Value.VRef _ | Value.VNull | Value.VInt _ | Value.VString _ -> ());
-      (List.rev !acc, Via_scan)
+  | None -> scan ()
+  | exception Disk.Corrupt_page _ ->
+      (* The level-1 link page is quarantined: the inverted path is just
+         replicated data, so degrade to scanning the (authoritative) source
+         set. *)
+      Stats.note_degraded_read (stats t);
+      scan ()
 
 (* ------------------------------------------------------------------ *)
 (* Integrity and space                                                 *)
@@ -886,6 +900,20 @@ let check_integrity t =
           (Printf.sprintf "index %s: %d entries, %d expected" name
              (Btree.entry_count rt.tree) !expected))
     t.indexes
+
+let scrub t =
+  no_active_txns t "Db.scrub";
+  let data_sets =
+    Hashtbl.fold (fun name hf acc -> (name, hf) :: acc) t.sets []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let log_repair ~rep_id ~source =
+    match t.wal with
+    | Some w when not t.replaying ->
+        ignore (Wal.append w (Wal.Scrub_repair { rep_id; source }))
+    | Some _ | None -> ()
+  in
+  Scrub.run ~log_repair t.engine ~data_sets
 
 (* ------------------------------------------------------------------ *)
 (* Observability and referential integrity                             *)
@@ -1261,6 +1289,26 @@ let recovery_applier t =
         replicate t ~options ~strategy (Path.parse path));
     build_index =
       (fun ~name ~set ~field ~clustered -> build_index t ~name ~set ~field ~clustered);
+    scrub_repair =
+      (fun ~rep_id ~source ->
+        (* Re-run the logged repair.  The record carries the replication and
+           the source (or membership-target) object; if the object no longer
+           exists at this point in the log, or the repair was a membership
+           rebuild whose "source" lives in another set, refreshing is either
+           impossible or a no-op — skip silently, replay continues to a
+           consistent state either way. *)
+        match
+          List.find_opt
+            (fun (r : Schema.replication) -> r.Schema.rep_id = rep_id)
+            (Schema.replications t.schema)
+        with
+        | None -> ()
+        | Some rep ->
+            let set = rep.Schema.rpath.Path.source_set in
+            if
+              Hashtbl.mem t.sets set
+              && Heap_file.exists (set_file t set) source
+            then Engine.refresh t.engine rep source);
   }
 
 let recover ?frames ?wal_path path =

@@ -196,6 +196,19 @@ val referencers :
 val check_integrity : t -> unit
 (** Replication invariants plus index invariants; raises [Failure]. *)
 
+val scrub : t -> Fieldrep_scrub.Scrub.report
+(** Online scrub and self-repair.  Verifies the checksum of every data,
+    link and S' page, then compares all derived replication state (hidden
+    copies, link-object memberships, S' records) against a recomputation
+    from the source objects and repairs divergences in place.  Corrupt link
+    and S' pages are rebuilt from scratch — they hold pure redundancy;
+    corrupt {e data} pages are salvaged when possible but their source
+    fields are only ever {e reported} as suspect, never silently rewritten,
+    because no second authoritative copy exists.  On a durable database
+    every repair is WAL-logged (as [Scrub_repair]) before it is applied, so
+    {!recover} replays repairs after a crash.  Raises [Invalid_argument]
+    while transactions are active. *)
+
 val space_report : t -> (string * int) list
 (** [(category, pages)] for data sets, indexes, link files and S' files. *)
 

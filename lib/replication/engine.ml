@@ -884,6 +884,8 @@ let referencers_via_links env ~source_set ~attr target_oid =
 let repair env (rep : Schema.replication) source_oid =
   if is_pending env rep source_oid then refresh_terminal env rep source_oid
 
+let refresh = refresh_terminal
+
 let flush_pending env =
   let entries = Hashtbl.fold (fun k () acc -> k :: acc) env.pending [] in
   List.iter

@@ -102,6 +102,14 @@ val repair : env -> Schema.replication -> Oid.t -> unit
     clearing the invalidation entry: the read-side half of lazy
     propagation. *)
 
+val refresh : env -> Schema.replication -> Oid.t -> unit
+(** Unconditionally recompute one source object's replicated state (hidden
+    copies or S' reference) from the current forward path, clearing any
+    pending invalidation.  Idempotent — a no-op when the stored state
+    already matches.  This is the repair primitive the scrub subsystem
+    drives, and the operation a replayed [Scrub_repair] WAL record
+    re-runs. *)
+
 val flush_pending : env -> unit
 (** Repair every invalidated source (e.g. before an integrity audit or a
     bulk export). *)

@@ -1,0 +1,53 @@
+(** Online scrubbing and self-repair of replicated fields.
+
+    Field replication stores {e derivable redundancy}: every hidden copy,
+    link-object membership and S' record can be recomputed by walking the
+    forward path from clean source objects ({!Fieldrep_replication.Recompute}
+    is that walk, shared with the invariant checker).  Scrub exploits this to
+    turn detected corruption back into clean state:
+
+    - a {b physical sweep} reads every page of the data, link and S' files
+      through the checksum-verifying disk layer, counting and quarantining
+      pages whose trailer no longer matches;
+    - {b triage}: corrupt link and S' pages are blanked — their contents are
+      pure redundancy and will be rebuilt; corrupt {e data} pages are
+      re-sealed only if every record on them still decodes, because source
+      fields have no second authoritative copy and can only be {e reported},
+      never silently "fixed";
+    - a {b logical pass} compares stored derived state against the
+      recomputed expectation and repairs divergences: hidden copies are
+      refreshed through {!Fieldrep_replication.Engine.refresh}, memberships
+      are rebuilt from fresh link objects, S' records are reconstructed and
+      their reference counts re-audited.
+
+    Every repair is announced through [log_repair] {e before} it mutates
+    anything, so a write-ahead log can persist a [Scrub_repair] record and
+    recovery can replay the repair after a crash. *)
+
+module Oid = Fieldrep_storage.Oid
+module Heap_file = Fieldrep_storage.Heap_file
+module Engine = Fieldrep_replication.Engine
+
+type report = {
+  pages_scanned : int;  (** pages whose checksums were verified *)
+  checksum_failures : int;  (** pages that failed verification *)
+  repairs : int;  (** logical repair actions performed *)
+  quarantined : (int * int) list;
+      (** (file, page) pairs still quarantined when scrub finished —
+          unrepairable data pages *)
+  unrepairable : string list;
+      (** human-readable reports of damage scrub could not (or must not)
+          repair, e.g. corrupt source fields *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run :
+  ?log_repair:(rep_id:int -> source:Oid.t -> unit) ->
+  Engine.env ->
+  data_sets:(string * Heap_file.t) list ->
+  report
+(** Scrub the whole database: [data_sets] names every data heap file (the
+    link and S' files are discovered from the engine's store).  [log_repair]
+    is invoked before each repair with the replication and source object
+    about to be refreshed; wire it to WAL appending for durable repairs. *)

@@ -70,6 +70,23 @@ let find_victim t =
   in
   loop 0
 
+(* Transient faults ({!Disk.Read_error}) are retried a bounded number of
+   times; the disk is simulated, so the backoff between attempts is a
+   counted retry rather than a wall-clock sleep.  Permanent faults
+   ({!Disk.Corrupt_page}) are never retried — rereading cannot fix a bad
+   checksum. *)
+let max_read_attempts = 3
+
+let read_with_retry t ~file ~page buf =
+  let stats = Disk.stats t.disk in
+  let rec attempt n =
+    try Disk.read_page t.disk ~file ~page buf
+    with Disk.Read_error _ when n < max_read_attempts ->
+      Stats.note_read_retry stats;
+      attempt (n + 1)
+  in
+  attempt 1
+
 let install t ~file ~page ~read =
   let idx = find_victim t in
   let f = t.frames.(idx) in
@@ -80,8 +97,12 @@ let install t ~file ~page ~read =
   f.dirty <- false;
   f.referenced <- true;
   f.occupied <- true;
-  if read then Disk.read_page t.disk ~file ~page f.data
-  else Bytes.fill f.data 0 (Bytes.length f.data) '\000';
+  (try
+     if read then read_with_retry t ~file ~page f.data
+     else Bytes.fill f.data 0 (Bytes.length f.data) '\000'
+   with e ->
+     f.occupied <- false;
+     raise e);
   Hashtbl.replace t.table (file, page) idx;
   idx
 
@@ -114,6 +135,17 @@ let new_page t ~file =
   page
 
 let flush t = Array.iter (fun f -> if f.occupied then write_back t f) t.frames
+
+let invalidate t ~file ~page =
+  match Hashtbl.find_opt t.table (file, page) with
+  | None -> ()
+  | Some idx ->
+      let f = t.frames.(idx) in
+      if f.pins > 0 then invalid_arg "Buffer_pool.invalidate: pinned frame";
+      Hashtbl.remove t.table (file, page);
+      f.occupied <- false;
+      f.referenced <- false;
+      f.dirty <- false
 
 let drop_file t ~file =
   Array.iter

@@ -30,6 +30,11 @@ val clear : t -> unit
 (** [flush] then drop every frame — the next access to any page is a
     physical read.  Used to run experiment queries cold. *)
 
+val invalidate : t -> file:int -> page:int -> unit
+(** Discard (without write-back) the frame caching one page, if resident —
+    used after the page is repaired on disk so the stale copy is never
+    served.  Raises [Invalid_argument] if the frame is pinned. *)
+
 val drop_file : t -> file:int -> unit
 (** Discard (without write-back) every frame belonging to one file — used
     when that file is deleted, so its dirty pages are never flushed to a

@@ -1,0 +1,10 @@
+(* 32-bit FNV-1a.  One hash for the whole store: WAL frames and page
+   trailers use the same function, so a checksum mismatch means the bytes
+   changed, not that two subsystems disagree about hashing. *)
+
+let fnv1a32 bytes off len =
+  let h = ref 0x811c9dc5 in
+  for i = off to off + len - 1 do
+    h := (!h lxor Char.code (Bytes.get bytes i)) * 0x01000193 land 0xffffffff
+  done;
+  !h

@@ -1,0 +1,7 @@
+(** Shared FNV-1a 32-bit checksum.
+
+    Used by the WAL for frame CRCs and by {!Disk} for per-page checksums, so
+    both layers detect corruption with the same function. *)
+
+val fnv1a32 : Bytes.t -> int -> int -> int
+(** [fnv1a32 bytes off len] hashes [len] bytes starting at [off]. *)

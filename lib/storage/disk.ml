@@ -1,30 +1,66 @@
 exception Crash of string
+exception Read_error of string
+exception Corrupt_page of { file : int; page : int }
 
-type file = { mutable pages : Bytes.t array; mutable count : int }
+(* [sums] is a per-page checksum sidecar — conceptually the page trailer a
+   real disk format would store in the 8 spare bytes of a 520-byte sector.
+   Keeping it out of the page image means the slotted-page layout (whose
+   directory grows down from the page end) and the cost model's page
+   capacity are untouched. *)
+type file = {
+  mutable pages : Bytes.t array;
+  mutable count : int;
+  mutable sums : int array;
+}
 
-type failpoint = { mutable remaining : int; torn : bool }
+type failpoint = { mutable remaining : int; mutable fires : int; torn : bool }
+
+type read_failpoint = {
+  mutable r_remaining : int;
+  mutable r_fires : int;
+  every : int;
+  mutable tick : int;
+}
 
 type t = {
   page_size : int;
+  zero_sum : int;
   stats : Stats.t;
   files : (int, file) Hashtbl.t;
   mutable next_file : int;
   mutable failpoint : failpoint option;
+  mutable read_failpoint : read_failpoint option;
+  quarantine_tbl : (int * int, unit) Hashtbl.t;
 }
 
 let create ?(page_size = 4096) stats =
-  { page_size; stats; files = Hashtbl.create 16; next_file = 0; failpoint = None }
+  {
+    page_size;
+    zero_sum = Checksum.fnv1a32 (Bytes.make page_size '\000') 0 page_size;
+    stats;
+    files = Hashtbl.create 16;
+    next_file = 0;
+    failpoint = None;
+    read_failpoint = None;
+    quarantine_tbl = Hashtbl.create 8;
+  }
 
 let page_size t = t.page_size
 let stats t = t.stats
+let sum_of t bytes = Checksum.fnv1a32 bytes 0 t.page_size
 
 let create_file t =
   let id = t.next_file in
   t.next_file <- id + 1;
-  Hashtbl.replace t.files id { pages = [||]; count = 0 };
+  Hashtbl.replace t.files id { pages = [||]; count = 0; sums = [||] };
   id
 
-let delete_file t id = Hashtbl.remove t.files id
+let delete_file t id =
+  Hashtbl.remove t.files id;
+  Hashtbl.iter
+    (fun (f, p) () -> if f = id then Hashtbl.remove t.quarantine_tbl (f, p))
+    (Hashtbl.copy t.quarantine_tbl)
+
 let file_exists t id = Hashtbl.mem t.files id
 
 let find t id =
@@ -40,10 +76,14 @@ let allocate_page t id =
     let cap = max 8 (2 * Array.length f.pages) in
     let pages = Array.make cap Bytes.empty in
     Array.blit f.pages 0 pages 0 f.count;
-    f.pages <- pages
+    f.pages <- pages;
+    let sums = Array.make cap 0 in
+    Array.blit f.sums 0 sums 0 f.count;
+    f.sums <- sums
   end;
   let page_no = f.count in
   f.pages.(page_no) <- Bytes.make t.page_size '\000';
+  f.sums.(page_no) <- t.zero_sum;
   f.count <- f.count + 1;
   t.stats.pages_allocated <- t.stats.pages_allocated + 1;
   page_no
@@ -53,25 +93,84 @@ let check t f page =
     invalid_arg (Printf.sprintf "Disk: page %d out of range (count %d)" page f.count);
   ignore t
 
-let read_page t ~file ~page buf =
-  let f = find t file in
-  check t f page;
-  assert (Bytes.length buf = t.page_size);
-  Bytes.blit f.pages.(page) 0 buf 0 t.page_size;
-  t.stats.page_reads <- t.stats.page_reads + 1;
-  Stats.record_read t.stats ~file
+(* {2 Quarantine} *)
 
-(* Fault injection: arm with [set_failpoint] and the N+1-th physical write
-   raises {!Crash} instead of completing.  In torn mode the first half of
-   the buffer lands on the platter before the crash — the classic
-   half-written page a real machine can leave behind on power loss. *)
-let set_failpoint ?(torn = false) t ~after_writes =
+let quarantine t ~file ~page = Hashtbl.replace t.quarantine_tbl (file, page) ()
+let quarantined t ~file ~page = Hashtbl.mem t.quarantine_tbl (file, page)
+let clear_quarantine t ~file ~page = Hashtbl.remove t.quarantine_tbl (file, page)
+
+let quarantined_pages t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.quarantine_tbl [] |> List.sort compare
+
+(* {2 Fault injection} *)
+
+let set_failpoint ?(torn = false) ?(count = 1) t ~after_writes =
   if after_writes < 0 then invalid_arg "Disk.set_failpoint: negative count";
-  t.failpoint <- Some { remaining = after_writes; torn }
+  if count < 1 then invalid_arg "Disk.set_failpoint: count must be >= 1";
+  t.failpoint <- Some { remaining = after_writes; fires = count; torn }
 
 let clear_failpoint t = t.failpoint <- None
 
 let writes_until_crash t = Option.map (fun fp -> fp.remaining) t.failpoint
+
+let set_read_failpoint ?(count = 1) ?(every = 1) t ~after_reads =
+  if after_reads < 0 then invalid_arg "Disk.set_read_failpoint: negative count";
+  if count < 1 then invalid_arg "Disk.set_read_failpoint: count must be >= 1";
+  if every < 1 then invalid_arg "Disk.set_read_failpoint: every must be >= 1";
+  t.read_failpoint <- Some { r_remaining = after_reads; r_fires = count; every; tick = 0 }
+
+let clear_read_failpoint t = t.read_failpoint <- None
+
+let corrupt_page t ~file ~page offsets =
+  let f = find t file in
+  check t f page;
+  let bytes = f.pages.(page) in
+  List.iter
+    (fun off ->
+      if off < 0 || off >= t.page_size then
+        invalid_arg "Disk.corrupt_page: offset out of range";
+      Bytes.set bytes off (Char.chr (Char.code (Bytes.get bytes off) lxor 0xff)))
+    offsets
+(* the stored checksum is deliberately left stale: that is the corruption *)
+
+let tear_page t ~file ~page =
+  let f = find t file in
+  check t f page;
+  Bytes.fill f.pages.(page) (t.page_size / 2) (t.page_size - (t.page_size / 2)) '\000'
+
+let verify_page t ~file ~page =
+  let f = find t file in
+  check t f page;
+  f.sums.(page) = sum_of t f.pages.(page)
+
+(* {2 Physical I/O} *)
+
+let read_page t ~file ~page buf =
+  let f = find t file in
+  check t f page;
+  assert (Bytes.length buf = t.page_size);
+  if quarantined t ~file ~page then raise (Corrupt_page { file; page });
+  (match t.read_failpoint with
+  | Some rf when rf.r_remaining > 0 -> rf.r_remaining <- rf.r_remaining - 1
+  | Some rf ->
+      rf.tick <- rf.tick + 1;
+      if rf.tick mod rf.every = 0 then begin
+        rf.r_fires <- rf.r_fires - 1;
+        if rf.r_fires <= 0 then t.read_failpoint <- None;
+        raise
+          (Read_error
+             (Printf.sprintf "injected transient read error on file %d page %d"
+                file page))
+      end
+  | None -> ());
+  if f.sums.(page) <> sum_of t f.pages.(page) then begin
+    quarantine t ~file ~page;
+    Stats.note_checksum_failure t.stats;
+    raise (Corrupt_page { file; page })
+  end;
+  Bytes.blit f.pages.(page) 0 buf 0 t.page_size;
+  t.stats.page_reads <- t.stats.page_reads + 1;
+  Stats.record_read t.stats ~file
 
 let write_page t ~file ~page buf =
   let f = find t file in
@@ -79,8 +178,12 @@ let write_page t ~file ~page buf =
   assert (Bytes.length buf = t.page_size);
   (match t.failpoint with
   | Some fp when fp.remaining <= 0 ->
+      (* A torn write lands half the buffer but never the trailer update, so
+         the page fails verification on the next read — exactly how a real
+         checksummed store detects torn data pages. *)
       if fp.torn then Bytes.blit buf 0 f.pages.(page) 0 (t.page_size / 2);
-      t.failpoint <- None;
+      fp.fires <- fp.fires - 1;
+      if fp.fires <= 0 then t.failpoint <- None;
       raise
         (Crash
            (Printf.sprintf "injected crash on write to file %d page %d%s" file
@@ -89,6 +192,9 @@ let write_page t ~file ~page buf =
   | Some fp -> fp.remaining <- fp.remaining - 1
   | None -> ());
   Bytes.blit buf 0 f.pages.(page) 0 t.page_size;
+  f.sums.(page) <- sum_of t buf;
+  (* rewriting a page with fresh, checksummed content lifts its quarantine *)
+  clear_quarantine t ~file ~page;
   t.stats.page_writes <- t.stats.page_writes + 1;
   Stats.record_write t.stats ~file
 
@@ -100,7 +206,12 @@ let dump_page t ~file ~page =
 let restore_file t ~id pages =
   let count = Array.length pages in
   Array.iter (fun p -> assert (Bytes.length p = t.page_size)) pages;
-  Hashtbl.replace t.files id { pages = Array.map Bytes.copy pages; count };
+  Hashtbl.replace t.files id
+    {
+      pages = Array.map Bytes.copy pages;
+      count;
+      sums = Array.map (fun p -> sum_of t p) pages;
+    };
   if id >= t.next_file then t.next_file <- id + 1
 
 let next_file_id t = t.next_file

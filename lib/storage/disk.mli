@@ -3,7 +3,13 @@
     Files are growable arrays of fixed-size pages held in memory.  Every
     [read_page]/[write_page] increments the shared {!Stats} counters — this
     is the "hardware" whose I/O the experiments measure.  All access goes
-    through the buffer pool in normal operation. *)
+    through the buffer pool in normal operation.
+
+    Each page carries an FNV-1a checksum trailer (stored out of band, like
+    the spare bytes of a 520-byte sector, so the slotted-page layout and the
+    cost model's page capacity are untouched).  [write_page] seals the page;
+    [read_page] verifies it and raises {!Corrupt_page} instead of returning
+    garbage. *)
 
 type t
 
@@ -12,6 +18,16 @@ exception Crash of string
     machine lost power mid-workload.  Everything the buffer pool had not
     yet written back is gone; recovery must restart from the last
     checkpoint image and the write-ahead log. *)
+
+exception Read_error of string
+(** A {e transient} read fault (injected by {!set_read_failpoint}): the page
+    itself is intact and retrying may succeed.  The buffer pool retries
+    these a bounded number of times before giving up. *)
+
+exception Corrupt_page of { file : int; page : int }
+(** A {e permanent} read fault: the page failed checksum verification (or
+    was already quarantined).  Retrying cannot help; the page needs repair
+    (see [Scrub]) or the query must degrade to a path that avoids it. *)
 
 val create : ?page_size:int -> Stats.t -> t
 (** Default page size is 4096 bytes (EXODUS's page size; the cost model's
@@ -34,10 +50,14 @@ val allocate_page : t -> int -> int
     Counted in [pages_allocated], not as a read or write. *)
 
 val read_page : t -> file:int -> page:int -> Bytes.t -> unit
-(** Copy a page into the caller's buffer (one physical read). *)
+(** Copy a page into the caller's buffer (one physical read).  Verifies the
+    page checksum first: on mismatch the page is quarantined,
+    [checksum_failures] is bumped, and {!Corrupt_page} is raised. *)
 
 val write_page : t -> file:int -> page:int -> Bytes.t -> unit
-(** Copy the caller's buffer onto the page (one physical write). *)
+(** Copy the caller's buffer onto the page (one physical write), recompute
+    its checksum, and lift any quarantine — rewriting a page with fresh
+    content is how repair heals it. *)
 
 val total_pages : t -> int
 (** Pages across all files (for space-overhead reporting). *)
@@ -52,29 +72,69 @@ val next_file_id : t -> int
 val reserve_file_ids : t -> int -> unit
 (** [reserve_file_ids t n] bumps the file-id allocator to at least [n]. *)
 
+(** {1 Quarantine}
+
+    Pages that failed verification.  Reads of a quarantined page raise
+    {!Corrupt_page} without touching the bytes; a {!write_page} of fresh
+    content clears the entry. *)
+
+val quarantine : t -> file:int -> page:int -> unit
+val quarantined : t -> file:int -> page:int -> bool
+val clear_quarantine : t -> file:int -> page:int -> unit
+
+val quarantined_pages : t -> (int * int) list
+(** Sorted [(file, page)] list of currently quarantined pages. *)
+
 (** {1 Fault injection}
 
-    Crash-recovery tests arm a failpoint, run a workload, and catch
+    Crash-recovery tests arm a write failpoint, run a workload, and catch
     {!Crash} — proving that a crash between any two physical writes is
-    recoverable.  The failpoint fires once and disarms itself. *)
+    recoverable.  Corruption tests flip stored bytes with {!corrupt_page} /
+    {!tear_page} and exercise detection, scrubbing, and repair.  Read
+    failpoints inject transient faults for the retry path. *)
 
-val set_failpoint : ?torn:bool -> t -> after_writes:int -> unit
-(** Let [after_writes] more physical writes succeed, then raise {!Crash} on
-    the next one.  With [torn:true] the first half of the crashing write
-    lands on the page before the exception — a half-written (torn) page. *)
+val set_failpoint : ?torn:bool -> ?count:int -> t -> after_writes:int -> unit
+(** Let [after_writes] more physical writes succeed, then raise {!Crash}.
+    With [torn:true] the first half of the crashing write lands on the page
+    (but not its checksum) before the exception — a half-written page that
+    the next read detects.  [count] (default 1) is how many consecutive
+    write attempts fire before the failpoint disarms itself; pass a large
+    count for a persistent fault that needs no re-arming. *)
 
 val clear_failpoint : t -> unit
 
 val writes_until_crash : t -> int option
 (** Remaining successful writes before the armed failpoint fires, if any. *)
 
+val set_read_failpoint : ?count:int -> ?every:int -> t -> after_reads:int -> unit
+(** Let [after_reads] more physical reads succeed, then raise {!Read_error}
+    on subsequent reads: [count] (default 1) faults in total, one every
+    [every]-th attempt (default 1, i.e. back-to-back; larger values give an
+    intermittent fault).  Disarms after the last fault fires. *)
+
+val clear_read_failpoint : t -> unit
+
+val corrupt_page : t -> file:int -> page:int -> int list -> unit
+(** Bit-rot: XOR [0xff] into the stored page at each byte offset, leaving
+    the stored checksum stale so the next verified read fails.  Not counted
+    as I/O. *)
+
+val tear_page : t -> file:int -> page:int -> unit
+(** Zero the second half of the stored page without updating its checksum —
+    the on-disk aftermath of a torn write. *)
+
+val verify_page : t -> file:int -> page:int -> bool
+(** Does the stored page match its checksum?  No counters, no quarantine —
+    pure inspection (scrub and tests use the counted {!read_page} path). *)
+
 (** {1 Image support}
 
     Raw access used by database save/load; bypasses the I/O counters. *)
 
 val dump_page : t -> file:int -> page:int -> Bytes.t
-(** Copy of the raw page, not counted as a read. *)
+(** Copy of the raw page, not counted as a read and not verified. *)
 
 val restore_file : t -> id:int -> Bytes.t array -> unit
 (** (Re)create a file with exactly these pages, not counted as writes.
-    Also bumps the internal file-id allocator past [id]. *)
+    Page checksums are recomputed from the restored bytes.  Also bumps the
+    internal file-id allocator past [id]. *)

@@ -195,6 +195,45 @@ let delete t (oid : Oid.t) =
   if not (Oid.is_nil next) then free_chain t next;
   t.count <- t.count - 1
 
+(* Best-effort removal for scrub: drop whatever survives of an object whose
+   chain may pass through a blanked (repaired-empty) page.  Deletes the
+   slot if it is still live and follows the continuation chain while the
+   segments remain readable, stopping silently at the first dead or
+   malformed one — [delete] would raise there, but during repair the
+   missing tail is exactly the damage being cleaned up. *)
+let purge t (oid : Oid.t) =
+  if oid.Oid.file <> t.file then invalid_arg "Heap_file.purge: OID from another file";
+  let drop_slot (o : Oid.t) =
+    Pager.with_page_write t.pager ~file:t.file ~page:o.Oid.page (fun buf ->
+        Page.delete buf o.Oid.slot)
+  in
+  let segment_of (o : Oid.t) =
+    if o.Oid.page < 0 || o.Oid.page >= page_count t then None
+    else
+      Pager.with_page_read t.pager ~file:t.file ~page:o.Oid.page (fun buf ->
+          if Page.is_live buf o.Oid.slot then Some (Page.read buf o.Oid.slot)
+          else None)
+  in
+  match segment_of oid with
+  | None -> ()
+  | Some head ->
+      let kind, next, _ = decode_header head in
+      drop_slot oid;
+      if kind = kind_head then t.count <- t.count - 1;
+      let cursor = ref next in
+      let continue = ref true in
+      while !continue && not (Oid.is_nil !cursor) do
+        match segment_of !cursor with
+        | None -> continue := false
+        | Some seg ->
+            let kind, next, _ = decode_header seg in
+            if kind <> kind_segment then continue := false
+            else begin
+              drop_slot !cursor;
+              cursor := next
+            end
+      done
+
 let tombstone_record () =
   encode_segment ~kind:kind_tombstone ~next:Oid.nil (Bytes.empty, 0, 0)
 
@@ -281,6 +320,10 @@ let fold t ~init ~f =
   let acc = ref init in
   iter t (fun oid payload -> acc := f !acc oid payload);
   !acc
+
+let recount t =
+  t.count <- 0;
+  iter_oids t (fun _ -> t.count <- t.count + 1)
 
 let attach ?(reserve = 0) pager ~file =
   let t =

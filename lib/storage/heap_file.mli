@@ -54,6 +54,13 @@ val update : t -> Oid.t -> Bytes.t -> unit
 val delete : t -> Oid.t -> unit
 (** Frees the home slot and any continuation segments. *)
 
+val purge : t -> Oid.t -> unit
+(** Best-effort {!delete} for repair: frees the slot if still live and
+    follows the continuation chain only while segments remain readable,
+    stopping silently at the first dead or malformed one.  Scrub uses this
+    to clear the surviving fragments of objects whose chains passed through
+    a corrupt page; {!delete} would raise on the severed chain. *)
+
 val delete_pinned : t -> Oid.t -> unit
 (** Delete the object but keep its home slot allocated as a *tombstone* (a
     9-byte chain header with kind 2), so the OID cannot be recycled while
@@ -79,6 +86,11 @@ val fold : t -> init:'a -> f:('a -> Oid.t -> Bytes.t -> 'a) -> 'a
 
 val iter_oids : t -> (Oid.t -> unit) -> unit
 (** Like {!iter} without materialising payloads (still reads each page). *)
+
+val recount : t -> unit
+(** Rescan the file and reset {!object_count}.  Needed after scrub blanks a
+    corrupt page: the heads it held vanish without going through
+    {!delete}. *)
 
 val chained_count : t -> int
 (** Objects whose payload spans more than one segment — fragmentation

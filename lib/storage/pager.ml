@@ -22,6 +22,7 @@ let with_page_read t = Buffer_pool.with_page_read t.pool
 let with_page_write t = Buffer_pool.with_page_write t.pool
 let new_page t ~file = Buffer_pool.new_page t.pool ~file
 let flush t = Buffer_pool.flush t.pool
+let invalidate t ~file ~page = Buffer_pool.invalidate t.pool ~file ~page
 
 let reset_stats t = Stats.reset t.stats
 

@@ -23,6 +23,12 @@ val new_page : t -> file:int -> int
 
 val flush : t -> unit
 
+val invalidate : t -> file:int -> page:int -> unit
+(** Drop one page's frame without write-back (see
+    {!Buffer_pool.invalidate}); scrub calls this after rewriting a page
+    directly on disk.  Transient read faults are retried by the pool with
+    bounded backoff before an error reaches the caller. *)
+
 val run_cold : t -> (unit -> 'a) -> 'a
 (** [run_cold t f] empties the buffer pool, zeroes the stats, runs [f], and
     flushes — so [stats t] afterwards reflects exactly the cold-cache I/O of

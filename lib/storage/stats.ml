@@ -13,6 +13,11 @@ type t = {
   mutable lock_waits : int;
   mutable deadlocks : int;
   mutable undo_applied : int;
+  mutable checksum_failures : int;
+  mutable scrub_pages : int;
+  mutable repairs : int;
+  mutable degraded_reads : int;
+  mutable read_retries : int;
   by_file : (int, int * int) Hashtbl.t;
 }
 
@@ -32,6 +37,11 @@ let create () =
     lock_waits = 0;
     deadlocks = 0;
     undo_applied = 0;
+    checksum_failures = 0;
+    scrub_pages = 0;
+    repairs = 0;
+    degraded_reads = 0;
+    read_retries = 0;
     by_file = Hashtbl.create 16;
   }
 
@@ -50,6 +60,11 @@ let reset t =
   t.lock_waits <- 0;
   t.deadlocks <- 0;
   t.undo_applied <- 0;
+  t.checksum_failures <- 0;
+  t.scrub_pages <- 0;
+  t.repairs <- 0;
+  t.degraded_reads <- 0;
+  t.read_retries <- 0;
   Hashtbl.reset t.by_file
 
 (* Process-wide physical I/O, across every Stats block ever created.  Never
@@ -58,6 +73,38 @@ let reset t =
 let grand_io = ref 0
 
 let grand_total_io () = !grand_io
+
+(* Same idea for the robustness counters: process-wide monotonic totals so
+   the bench driver can report per-scenario deltas even when a scenario
+   builds several databases (each with its own Stats block). *)
+let g_checksum_failures = ref 0
+let g_scrub_pages = ref 0
+let g_repairs = ref 0
+let g_degraded_reads = ref 0
+let g_read_retries = ref 0
+
+let grand_robustness () =
+  (!g_checksum_failures, !g_scrub_pages, !g_repairs, !g_degraded_reads, !g_read_retries)
+
+let note_checksum_failure t =
+  t.checksum_failures <- t.checksum_failures + 1;
+  incr g_checksum_failures
+
+let note_scrub_page t =
+  t.scrub_pages <- t.scrub_pages + 1;
+  incr g_scrub_pages
+
+let note_repair t =
+  t.repairs <- t.repairs + 1;
+  incr g_repairs
+
+let note_degraded_read t =
+  t.degraded_reads <- t.degraded_reads + 1;
+  incr g_degraded_reads
+
+let note_read_retry t =
+  t.read_retries <- t.read_retries + 1;
+  incr g_read_retries
 
 let record_read t ~file =
   incr grand_io;
@@ -87,6 +134,11 @@ let copy t =
     lock_waits = t.lock_waits;
     deadlocks = t.deadlocks;
     undo_applied = t.undo_applied;
+    checksum_failures = t.checksum_failures;
+    scrub_pages = t.scrub_pages;
+    repairs = t.repairs;
+    degraded_reads = t.degraded_reads;
+    read_retries = t.read_retries;
     by_file = Hashtbl.copy t.by_file;
   }
 
@@ -112,6 +164,11 @@ let diff now before =
     lock_waits = now.lock_waits - before.lock_waits;
     deadlocks = now.deadlocks - before.deadlocks;
     undo_applied = now.undo_applied - before.undo_applied;
+    checksum_failures = now.checksum_failures - before.checksum_failures;
+    scrub_pages = now.scrub_pages - before.scrub_pages;
+    repairs = now.repairs - before.repairs;
+    degraded_reads = now.degraded_reads - before.degraded_reads;
+    read_retries = now.read_retries - before.read_retries;
     by_file;
   }
 
@@ -121,7 +178,10 @@ let pp fmt t =
   Format.fprintf fmt
     "reads=%d writes=%d hits=%d allocated=%d obj_read=%d obj_written=%d \
      wal_appends=%d wal_bytes=%d replays=%d commits=%d aborts=%d lock_waits=%d \
-     deadlocks=%d undone=%d"
+     deadlocks=%d undone=%d checksum_failures=%d scrub_pages=%d repairs=%d \
+     degraded_reads=%d read_retries=%d"
     t.page_reads t.page_writes t.buffer_hits t.pages_allocated t.objects_read
     t.objects_written t.wal_appends t.wal_bytes t.recovery_replays
     t.txn_commits t.txn_aborts t.lock_waits t.deadlocks t.undo_applied
+    t.checksum_failures t.scrub_pages t.repairs t.degraded_reads
+    t.read_retries

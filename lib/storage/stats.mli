@@ -19,6 +19,15 @@ type t = {
   mutable lock_waits : int;  (** lock requests that blocked *)
   mutable deadlocks : int;  (** wait-for cycles broken by aborting a victim *)
   mutable undo_applied : int;  (** before-images restored by abort/recovery *)
+  mutable checksum_failures : int;
+      (** physical reads rejected because the page checksum did not match *)
+  mutable scrub_pages : int;  (** pages verified by {!Scrub} sweeps *)
+  mutable repairs : int;  (** replicated values / link objects rebuilt *)
+  mutable degraded_reads : int;
+      (** queries that fell back to the functional join because a replica
+          page was quarantined *)
+  mutable read_retries : int;
+      (** physical reads retried after a transient fault *)
   by_file : (int, int * int) Hashtbl.t;
       (** per-file (reads, writes) attribution, keyed by disk file id *)
 }
@@ -45,5 +54,20 @@ val grand_total_io : unit -> int
     Monotonic (never reset); callers take before/after deltas.  Lets the
     benchmark driver attribute I/O to a scenario that builds several
     databases. *)
+
+val grand_robustness : unit -> int * int * int * int * int
+(** Process-wide monotonic totals of [(checksum_failures, scrub_pages,
+    repairs, degraded_reads, read_retries)] across every stats block ever
+    created; callers take before/after deltas, like {!grand_total_io}. *)
+
+(** Incrementers for the robustness counters.  They bump both the per-block
+    field and the process-wide total, so use these rather than assigning the
+    fields directly. *)
+
+val note_checksum_failure : t -> unit
+val note_scrub_page : t -> unit
+val note_repair : t -> unit
+val note_degraded_read : t -> unit
+val note_read_retry : t -> unit
 
 val pp : Format.formatter -> t -> unit

@@ -17,6 +17,7 @@ type applier = {
     unit;
   build_index :
     name:string -> set:string -> field:string -> clustered:bool -> unit;
+  scrub_repair : rep_id:int -> source:Oid.t -> unit;
 }
 
 type loser = {
@@ -44,6 +45,7 @@ let apply_plain a = function
       a.replicate ~strategy ~options ~path
   | Wal.Build_index { name; set; field; clustered } ->
       a.build_index ~name ~set ~field ~clustered
+  | Wal.Scrub_repair { rep_id; source } -> a.scrub_repair ~rep_id ~source
   | Wal.Abort _ -> ()  (* already filtered by Wal.records; belt and braces *)
   | Wal.Txn_begin _ | Wal.Txn_commit _ | Wal.Txn_abort _ | Wal.Undo_image _
   | Wal.Insert_at _ | Wal.Txn_op _ ->

@@ -54,6 +54,7 @@ type applier = {
     unit;
   build_index :
     name:string -> set:string -> field:string -> clustered:bool -> unit;
+  scrub_repair : rep_id:int -> source:Fieldrep_storage.Oid.t -> unit;
 }
 
 (** A transaction that was live at the crash: everything the caller needs

@@ -35,6 +35,7 @@ type record =
     }
   | Insert_at of { set : string; oid : Oid.t; values : Value.t list }
   | Txn_op of { txn : int; op : record }
+  | Scrub_repair of { rep_id : int; source : Oid.t }
 
 let magic = "FREPWAL1"
 
@@ -77,6 +78,7 @@ let kind_of = function
   | Undo_image _ -> 11
   | Insert_at _ -> 12
   | Txn_op _ -> 13
+  | Scrub_repair _ -> 14
 
 let rec body_size = function
   | Define_type ty ->
@@ -106,6 +108,7 @@ let rec body_size = function
       Wire.string_size set + Oid.encoded_size + 2
       + List.fold_left (fun acc v -> acc + Value.encoded_size v) 0 values
   | Txn_op { txn = _; op } -> 4 + 1 + body_size op
+  | Scrub_repair { rep_id = _; source = _ } -> 4 + Oid.encoded_size
 
 let rec put_body buf off = function
   | Define_type ty ->
@@ -167,6 +170,9 @@ let rec put_body buf off = function
       let off = Wire.put_u32 buf off txn in
       let off = Wire.put_u8 buf off (kind_of op) in
       put_body buf off op
+  | Scrub_repair { rep_id; source } ->
+      let off = Wire.put_u32 buf off rep_id in
+      Oid.encode buf off source
 
 let rec get_body kind buf off =
   match kind with
@@ -284,15 +290,15 @@ let rec get_body kind buf off =
       if ikind = 13 then raise (Wire.Corrupt "Wal: nested Txn_op");
       let op, off = get_body ikind buf off in
       (Txn_op { txn; op }, off)
+  | 14 ->
+      let rep_id, off = Wire.get_u32 buf off in
+      let source, off = Oid.decode buf off in
+      (Scrub_repair { rep_id; source }, off)
   | k -> raise (Wire.Corrupt (Printf.sprintf "Wal: bad record kind %d" k))
 
-(* FNV-1a, 32-bit: cheap, dependency-free, catches torn frames. *)
-let crc bytes off len =
-  let h = ref 0x811c9dc5 in
-  for i = off to off + len - 1 do
-    h := (!h lxor Char.code (Bytes.get bytes i)) * 0x01000193 land 0xffff_ffff
-  done;
-  !h
+(* FNV-1a, 32-bit: cheap, dependency-free, catches torn frames.  The same
+   function seals disk pages (see [Fieldrep_storage.Disk]). *)
+let crc = Fieldrep_storage.Checksum.fnv1a32
 
 (* ------------------------------------------------------------------ *)
 (* The log handle                                                      *)

@@ -84,6 +84,11 @@ type record =
   | Txn_op of { txn : int; op : record }
       (** a DML record executed inside transaction [txn]; redo applies
           [op], recovery uses the tag to resolve winners and losers *)
+  | Scrub_repair of { rep_id : int; source : Oid.t }
+      (** scrub rebuilt the replicated state derived from [source] under
+          replication [rep_id].  Replay re-runs the (idempotent) refresh:
+          on a cleanly recovered store it is a no-op, and after a crash
+          mid-repair it completes the repair. *)
 
 type t
 

@@ -1,0 +1,528 @@
+(* Page checksums, read-path fault injection, online scrubbing and
+   self-repair.
+
+   The matrix is the centrepiece: for every replication strategy, corruption
+   is injected into every kind of derived page — inverted-path link pages,
+   S' pages, and the hidden/replicated values themselves — and scrub must
+   detect it, repair it, and leave the invariant checker happy.  Source
+   fields are the counter-case: they are not derivable, so scrub must report
+   them and leave them alone. *)
+
+module Db = Fieldrep.Db
+module Oid = Fieldrep_storage.Oid
+module Stats = Fieldrep_storage.Stats
+module Disk = Fieldrep_storage.Disk
+module Pager = Fieldrep_storage.Pager
+module Heap_file = Fieldrep_storage.Heap_file
+module Checksum = Fieldrep_storage.Checksum
+module Wal = Fieldrep_wal.Wal
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Schema = Fieldrep_model.Schema
+module Path = Fieldrep_model.Path
+module Record = Fieldrep_model.Record
+module Engine = Fieldrep_replication.Engine
+module Store = Fieldrep_replication.Store
+module Invariants = Fieldrep_replication.Invariants
+module Scrub = Fieldrep_scrub.Scrub
+module Gen = Fieldrep_workload.Gen
+module Params = Fieldrep_costmodel.Params
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let value_testable = Alcotest.testable Value.pp Value.equal
+let checkv = Alcotest.check value_testable
+
+(* CI runs the suite under several seeds; corruption targets and database
+   contents shift with it. *)
+let seed_base =
+  match Sys.getenv_opt "FIELDREP_TEST_SEED" with
+  | Some s -> ( try int_of_string s with _ -> 0)
+  | None -> 0
+
+let tmp name ext =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      ("fieldrep_scrub_" ^ name ^ ext)
+  in
+  if Sys.file_exists path then Sys.remove path;
+  path
+
+(* ------------------------------------------------------------------ *)
+(* Detection: the checksum layer                                       *)
+
+let test_checksum_detects_bit_rot () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:128 stats in
+  let f = Disk.create_file disk in
+  let p = Disk.allocate_page disk f in
+  Disk.write_page disk ~file:f ~page:p (Bytes.make 128 'd');
+  let buf = Bytes.create 128 in
+  Disk.read_page disk ~file:f ~page:p buf;
+  checki "clean read passes" 0 stats.Stats.checksum_failures;
+  Disk.corrupt_page disk ~file:f ~page:p [ 64 ];
+  checkb "verify sees the rot" false (Disk.verify_page disk ~file:f ~page:p);
+  (try
+     Disk.read_page disk ~file:f ~page:p buf;
+     Alcotest.fail "expected Corrupt_page"
+   with Disk.Corrupt_page { file; page } ->
+     checki "file identified" f file;
+     checki "page identified" p page);
+  checki "failure counted" 1 stats.Stats.checksum_failures;
+  checkb "page quarantined" true (Disk.quarantined disk ~file:f ~page:p);
+  (* Quarantine is sticky even though the bytes happen to verify again. *)
+  Disk.corrupt_page disk ~file:f ~page:p [ 64 ];
+  (try
+     Disk.read_page disk ~file:f ~page:p buf;
+     Alcotest.fail "expected Corrupt_page from quarantine"
+   with Disk.Corrupt_page _ -> ());
+  (* Rewriting with fresh content is the repair: it lifts the quarantine. *)
+  Disk.write_page disk ~file:f ~page:p (Bytes.make 128 'r');
+  Disk.read_page disk ~file:f ~page:p buf;
+  checkb "healed" true (Bytes.get buf 0 = 'r')
+
+let test_checksum_detects_torn_page () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:128 stats in
+  let f = Disk.create_file disk in
+  let p = Disk.allocate_page disk f in
+  Disk.write_page disk ~file:f ~page:p (Bytes.make 128 'x');
+  Disk.tear_page disk ~file:f ~page:p;
+  checkb "torn page fails verification" false (Disk.verify_page disk ~file:f ~page:p);
+  let buf = Bytes.create 128 in
+  (try
+     Disk.read_page disk ~file:f ~page:p buf;
+     Alcotest.fail "expected Corrupt_page"
+   with Disk.Corrupt_page _ -> ());
+  checki "failure counted" 1 stats.Stats.checksum_failures
+
+let test_fnv1a_known_values () =
+  (* Cross-checked reference values for the 32-bit FNV-1a of "" and "a". *)
+  checki "offset basis" 0x811c9dc5 (Checksum.fnv1a32 Bytes.empty 0 0);
+  checki "fnv1a of 'a'" 0xe40c292c (Checksum.fnv1a32 (Bytes.of_string "a") 0 1)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: armed failpoints                                   *)
+
+let test_write_failpoint_count () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let f = Disk.create_file disk in
+  let p = Disk.allocate_page disk f in
+  let buf = Bytes.make 64 'w' in
+  (* Persistent arming: the failpoint fires on two consecutive writes
+     before disarming, unlike the default one-shot. *)
+  Disk.set_failpoint ~count:2 disk ~after_writes:0;
+  (try
+     Disk.write_page disk ~file:f ~page:p buf;
+     Alcotest.fail "expected first Crash"
+   with Disk.Crash _ -> ());
+  (try
+     Disk.write_page disk ~file:f ~page:p buf;
+     Alcotest.fail "expected second Crash"
+   with Disk.Crash _ -> ());
+  checkb "disarmed after both fires" true (Disk.writes_until_crash disk = None);
+  Disk.write_page disk ~file:f ~page:p buf;
+  checki "third write landed" 1 stats.Stats.page_writes
+
+let test_read_failpoint_retry () =
+  let pager = Pager.create ~page_size:256 ~frames:4 () in
+  let disk = Pager.disk pager in
+  let file = Pager.create_file pager in
+  let p = Pager.new_page pager ~file in
+  Pager.with_page_write pager ~file ~page:p (fun buf -> Bytes.set buf 0 'a');
+  (* Transient: two injected errors, absorbed by the pool's bounded retry. *)
+  Pager.run_cold pager (fun () -> ());
+  Disk.set_read_failpoint ~count:2 disk ~after_reads:0;
+  let c = Pager.with_page_read pager ~file ~page:p (fun buf -> Bytes.get buf 0) in
+  checkb "read succeeded through retries" true (c = 'a');
+  checki "both retries counted" 2 (Pager.stats pager).Stats.read_retries;
+  (* Persistent: more errors than the retry budget — the error surfaces. *)
+  Pager.run_cold pager (fun () -> ());
+  Disk.set_read_failpoint ~count:5 disk ~after_reads:0;
+  (try
+     ignore (Pager.with_page_read pager ~file ~page:p (fun buf -> Bytes.get buf 0));
+     Alcotest.fail "expected Read_error"
+   with Disk.Read_error _ -> ());
+  checki "budget exhausted after two retries" 2
+    (Pager.stats pager).Stats.read_retries;
+  Disk.clear_read_failpoint disk;
+  let c = Pager.with_page_read pager ~file ~page:p (fun buf -> Bytes.get buf 0) in
+  checkb "cleared failpoint reads fine" true (c = 'a')
+
+let test_read_failpoint_intermittent () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let f = Disk.create_file disk in
+  let p = Disk.allocate_page disk f in
+  Disk.write_page disk ~file:f ~page:p (Bytes.make 64 'i');
+  let buf = Bytes.create 64 in
+  (* every:2 — every second read attempt fails, twice in total. *)
+  Disk.set_read_failpoint ~count:2 ~every:2 disk ~after_reads:0;
+  let outcomes =
+    List.init 5 (fun _ ->
+        try
+          Disk.read_page disk ~file:f ~page:p buf;
+          `Ok
+        with Disk.Read_error _ -> `Err)
+  in
+  checkb "alternating failures then disarmed" true
+    (outcomes = [ `Ok; `Err; `Ok; `Err; `Ok ])
+
+(* ------------------------------------------------------------------ *)
+(* WAL: the Scrub_repair record                                        *)
+
+let test_wal_scrub_repair_roundtrip () =
+  let path = tmp "wal" ".wal" in
+  let w = Wal.open_ path in
+  let r =
+    Wal.Scrub_repair { rep_id = 3; source = { Oid.file = 4; page = 7; slot = 2 } }
+  in
+  ignore (Wal.append w r);
+  Wal.close w;
+  let w2 = Wal.open_ path in
+  (match Wal.records w2 with
+  | [ (_, r') ] -> checkb "record survives the codec" true (r = r')
+  | l -> Alcotest.failf "expected one record, got %d" (List.length l));
+  Wal.close w2;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* The corruption matrix                                               *)
+
+type strat = S_inplace | S_separate | S_collapsed
+
+let strat_name = function
+  | S_inplace -> "in-place"
+  | S_separate -> "separate"
+  | S_collapsed -> "collapsed"
+
+(* The paper's employee database with Emp1.dept.org.name replicated under
+   the given strategy: a level-2 path, so it exercises link files at both
+   levels (or a tagged collapsed link, or a level-1 link plus an S'
+   file). *)
+let build_employee strat =
+  let db = Gen.employee_db ~seed:(7 + seed_base) () in
+  (match strat with
+  | S_inplace ->
+      Db.replicate db ~strategy:Schema.Inplace (Path.parse "Emp1.dept.org.name")
+  | S_separate ->
+      Db.replicate db ~strategy:Schema.Separate (Path.parse "Emp1.dept.org.name")
+  | S_collapsed ->
+      Db.replicate db
+        ~options:{ Schema.default_options with Schema.collapse = true }
+        ~strategy:Schema.Inplace
+        (Path.parse "Emp1.dept.org.name"));
+  Db.check_integrity db;
+  db
+
+(* Snapshot of every replicated read, for before/after comparison. *)
+let snapshot db =
+  let acc = ref [] in
+  Db.scan db ~set:"Emp1" (fun oid _ ->
+      acc := (oid, Db.deref db ~set:"Emp1" oid "dept.org.name") :: !acc);
+  List.rev !acc
+
+let assert_snapshot db expected =
+  List.iter
+    (fun (oid, v) -> checkv "replicated read intact" v (Db.deref db ~set:"Emp1" oid "dept.org.name"))
+    expected
+
+let scrub_and_verify db expected =
+  let r = Db.scrub db in
+  checkb "corruption detected" true (r.Scrub.checksum_failures >= 1);
+  checkb "repairs performed" true (r.Scrub.repairs >= 1);
+  checkb "nothing left quarantined" true (r.Scrub.quarantined = []);
+  Db.check_integrity db;
+  assert_snapshot db expected;
+  (* A second scrub over the repaired database finds nothing to do. *)
+  let r2 = Db.scrub db in
+  checki "second scrub is clean" 0 r2.Scrub.checksum_failures;
+  checki "second scrub repairs nothing" 0 r2.Scrub.repairs
+
+let corrupt_first_page db files =
+  (* Flush and empty the pool first: cached frames would either mask the
+     rot or overwrite it at the next flush. *)
+  Pager.run_cold (Db.pager db) (fun () -> ());
+  let disk = Pager.disk (Db.pager db) in
+  let ps = Disk.page_size disk in
+  List.iter
+    (fun fid ->
+      checkb "target file has pages" true (Disk.page_count disk fid > 0);
+      Disk.corrupt_page disk ~file:fid ~page:0 [ ps / 64; ps / 2; ps - 7 ])
+    files
+
+let test_matrix_link_page strat () =
+  let db = build_employee strat in
+  let expected = snapshot db in
+  let link_bindings, _ = Store.bindings (Db.engine db).Engine.store in
+  checkb "strategy maintains link files" true (link_bindings <> []);
+  let files = List.sort_uniq compare (List.map snd link_bindings) in
+  corrupt_first_page db files;
+  scrub_and_verify db expected
+
+let test_matrix_sprime_page () =
+  let db = build_employee S_separate in
+  let expected = snapshot db in
+  let _, sprime_bindings = Store.bindings (Db.engine db).Engine.store in
+  checkb "separate strategy maintains an S' file" true (sprime_bindings <> []);
+  corrupt_first_page db (List.map snd sprime_bindings);
+  scrub_and_verify db expected
+
+(* Logical corruption: the page checksums are fine, the derived values are
+   wrong.  Scrub's recompute pass must still catch and repair it. *)
+let overwrite_derived db strat =
+  let env = Db.engine db in
+  let schema = Db.schema db in
+  let rep = List.hd (Schema.replications schema) in
+  match strat with
+  | S_inplace | S_collapsed ->
+      let hf = env.Engine.file_of_set "Emp1" in
+      let idx =
+        Schema.hidden_index schema "Emp1" ~rep_id:rep.Schema.rep_id
+          ~field:(Some "name")
+      in
+      let victim = ref Oid.nil in
+      Heap_file.iter_oids hf (fun o -> if Oid.is_nil !victim then victim := o);
+      let r = Record.decode (Heap_file.read hf !victim) in
+      Heap_file.update hf !victim
+        (Record.encode (Record.set_field r idx (Value.VString "__rotten__")))
+  | S_separate ->
+      let sp_file =
+        Option.get (Store.sprime_file_opt env.Engine.store rep.Schema.rep_id)
+      in
+      let victim = ref Oid.nil in
+      Heap_file.iter_oids sp_file (fun o -> if Oid.is_nil !victim then victim := o);
+      let r = Record.decode (Heap_file.read sp_file !victim) in
+      let r = Record.set_field r Engine.sprime_field_offset (Value.VString "__rotten__") in
+      (* Also break the reference count, so the audit half is exercised. *)
+      let r = Record.set_field r 0 (Value.VInt 99) in
+      Heap_file.update sp_file !victim (Record.encode r)
+
+let test_matrix_derived_values strat () =
+  let db = build_employee strat in
+  let expected = snapshot db in
+  overwrite_derived db strat;
+  checkb "corruption visible to the invariant checker" true
+    (Invariants.errors (Db.engine db) <> []);
+  let r = Db.scrub db in
+  checkb "logical repairs performed" true (r.Scrub.repairs >= 1);
+  Db.check_integrity db;
+  assert_snapshot db expected
+
+(* ------------------------------------------------------------------ *)
+(* Source fields are not derivable                                     *)
+
+let find_sub hay needle =
+  let n = Bytes.length hay and m = String.length needle in
+  let rec go i =
+    if i + m > n then None
+    else if String.equal (Bytes.sub_string hay i m) needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let test_source_field_unrepairable () =
+  let db = build_employee S_inplace in
+  let env = Db.engine db in
+  (* Give one Org a unique name so its bytes can be located on disk, and
+     let the update propagate to every hidden copy. *)
+  let org = ref Oid.nil in
+  Db.scan db ~set:"Org" (fun oid _ -> if Oid.is_nil !org then org := oid);
+  let org = !org in
+  Db.update_field db ~set:"Org" org ~field:"name" (Value.VString "XMARKSTHESPOT");
+  Db.check_integrity db;
+  Pager.run_cold (Db.pager db) (fun () -> ());
+  let disk = Pager.disk (Db.pager db) in
+  let fid = Heap_file.file_id (env.Engine.file_of_set "Org") in
+  let dump = Disk.dump_page disk ~file:fid ~page:org.Oid.page in
+  let off =
+    match find_sub dump "XMARKSTHESPOT" with
+    | Some o -> o
+    | None -> Alcotest.fail "marker string not found on the org page"
+  in
+  (* Flip one content byte: the record still decodes, but the stored name
+     is now silently wrong — and there is no second copy to prove it. *)
+  Disk.corrupt_page disk ~file:fid ~page:org.Oid.page [ off + 1 ];
+  let r = Db.scrub db in
+  checki "rot detected" 1 r.Scrub.checksum_failures;
+  checkb "page salvaged, not quarantined" true (r.Scrub.quarantined = []);
+  checkb "source corruption reported as unrepairable" true
+    (List.exists
+       (fun s ->
+         let has sub =
+           let n = String.length s and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+           go 0
+         in
+         has "source fields" || has "unrepairable")
+       r.Scrub.unrepairable);
+  (* The value was NOT silently "fixed": the flipped byte is still there,
+     and the hidden copies follow the (authoritative, now corrupt) source. *)
+  let name = List.hd (Db.user_values db ~set:"Org" (Db.get db ~set:"Org" org)) in
+  checkb "corrupt source value left in place" true
+    (not (Value.equal name (Value.VString "XMARKSTHESPOT")));
+  Db.check_integrity db;
+  let rs, _ = Db.referencers db ~source_set:"Dept" ~attr:"org" org in
+  checkb "org still referenced" true (rs <> [])
+
+let test_undecodable_data_page_stays_quarantined () =
+  let db = build_employee S_inplace in
+  let env = Db.engine db in
+  Pager.run_cold (Db.pager db) (fun () -> ());
+  let disk = Pager.disk (Db.pager db) in
+  let fid = Heap_file.file_id (env.Engine.file_of_set "Emp1") in
+  (* Shred the page header: the slot directory itself is garbage, no
+     record can be trusted, the page must stay fenced off. *)
+  Disk.corrupt_page disk ~file:fid ~page:0 [ 0; 1; 2; 3; 4; 5 ];
+  let r = Db.scrub db in
+  checki "rot detected" 1 r.Scrub.checksum_failures;
+  checkb "page stays quarantined" true (List.mem (fid, 0) r.Scrub.quarantined);
+  checkb "reported unrepairable" true (r.Scrub.unrepairable <> []);
+  (try
+     ignore
+       (Pager.with_page_read (Db.pager db) ~file:fid ~page:0 (fun b ->
+            Bytes.get b 0));
+     Alcotest.fail "expected Corrupt_page"
+   with Disk.Corrupt_page _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* End to end: degrade, scrub, repair, crash, recover                  *)
+
+let test_end_to_end_degraded_then_repaired () =
+  let img = tmp "e2e" ".img" in
+  let built =
+    Gen.build
+      {
+        Gen.default_spec with
+        Gen.s_count = 30;
+        sharing = 2;
+        strategy = Params.Separate;
+        page_size = 1024;
+        frames = 32;
+        seed = 13 + seed_base;
+        durable = true;
+      }
+  in
+  let db = built.Gen.db in
+  Db.checkpoint db img;
+  let r_oids = ref [] in
+  Db.scan db ~set:"R" (fun oid _ -> r_oids := oid :: !r_oids);
+  let r_oids = List.rev !r_oids in
+  let expected =
+    List.map (fun r -> (r, Db.deref db ~set:"R" r "sref.repfield")) r_oids
+  in
+  checkb "reads are replica-served before corruption" true
+    (Db.deref_would_join db ~set:"R" "sref.repfield" = 1);
+  (* Bit-rot on every S' page, with the buffer pool emptied so the next
+     read really hits the disk. *)
+  Pager.run_cold (Db.pager db) (fun () -> ());
+  let disk = Pager.disk (Db.pager db) in
+  let _, sprime_bindings = Store.bindings (Db.engine db).Engine.store in
+  let sp_fid = snd (List.hd sprime_bindings) in
+  let sp_pages = Disk.page_count disk sp_fid in
+  for page = 0 to sp_pages - 1 do
+    Disk.corrupt_page disk ~file:sp_fid ~page [ 11; 19 ]
+  done;
+  (* Degraded reads: every query still answers, via the functional join
+     over the authoritative source objects. *)
+  let degraded_before = (Db.stats db).Stats.degraded_reads in
+  List.iter
+    (fun (r, v) -> checkv "degraded read still correct" v (Db.deref db ~set:"R" r "sref.repfield"))
+    expected;
+  checkb "fallback counted" true ((Db.stats db).Stats.degraded_reads > degraded_before);
+  (* Scrub: detect, rebuild the S' file, re-verify. *)
+  let report = Db.scrub db in
+  checkb "all S' pages failed their checksums" true
+    (report.Scrub.checksum_failures >= sp_pages);
+  checkb "repairs performed" true (report.Scrub.repairs >= 1);
+  checkb "nothing quarantined" true (report.Scrub.quarantined = []);
+  Db.check_integrity db;
+  let degraded_after_scrub = (Db.stats db).Stats.degraded_reads in
+  List.iter
+    (fun (r, v) -> checkv "replica-served read restored" v (Db.deref db ~set:"R" r "sref.repfield"))
+    expected;
+  checki "no more degraded reads" degraded_after_scrub
+    (Db.stats db).Stats.degraded_reads;
+  (* The repairs were WAL-logged: crash now and recover from the
+     checkpoint — replay must converge back to a clean, repaired state. *)
+  Wal.close (Option.get (Db.wal db));
+  let db2 = Db.recover img in
+  Db.check_integrity db2;
+  List.iter
+    (fun (r, v) -> checkv "repair survives recovery" v (Db.deref db2 ~set:"R" r "sref.repfield"))
+    expected;
+  Sys.remove img
+
+(* A scrub on a durable database logs Scrub_repair records. *)
+let test_scrub_repairs_are_logged () =
+  let built =
+    Gen.build
+      {
+        Gen.default_spec with
+        Gen.s_count = 20;
+        sharing = 2;
+        strategy = Params.Inplace;
+        page_size = 1024;
+        frames = 32;
+        seed = 29 + seed_base;
+        durable = true;
+      }
+  in
+  let db = built.Gen.db in
+  let link_bindings, _ = Store.bindings (Db.engine db).Engine.store in
+  corrupt_first_page db (List.sort_uniq compare (List.map snd link_bindings));
+  let before = Wal.appended (Option.get (Db.wal db)) in
+  let r = Db.scrub db in
+  checkb "repairs performed" true (r.Scrub.repairs >= 1);
+  checkb "each repair hit the log" true
+    (Wal.appended (Option.get (Db.wal db)) > before);
+  Db.check_integrity db
+
+let () =
+  Alcotest.run "fieldrep_scrub"
+    [
+      ( "detection",
+        [
+          Alcotest.test_case "bit rot" `Quick test_checksum_detects_bit_rot;
+          Alcotest.test_case "torn page" `Quick test_checksum_detects_torn_page;
+          Alcotest.test_case "fnv1a vectors" `Quick test_fnv1a_known_values;
+        ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "write failpoint count" `Quick test_write_failpoint_count;
+          Alcotest.test_case "read retry" `Quick test_read_failpoint_retry;
+          Alcotest.test_case "intermittent reads" `Quick test_read_failpoint_intermittent;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "scrub_repair codec" `Quick test_wal_scrub_repair_roundtrip;
+        ] );
+      ( "scrub matrix",
+        List.concat_map
+          (fun strat ->
+            [
+              Alcotest.test_case
+                (strat_name strat ^ ": link page rot")
+                `Quick (test_matrix_link_page strat);
+              Alcotest.test_case
+                (strat_name strat ^ ": derived values")
+                `Quick (test_matrix_derived_values strat);
+            ])
+          [ S_inplace; S_separate; S_collapsed ]
+        @ [ Alcotest.test_case "separate: S' page rot" `Quick test_matrix_sprime_page ]
+      );
+      ( "unrepairable",
+        [
+          Alcotest.test_case "source field reported, not fixed" `Quick
+            test_source_field_unrepairable;
+          Alcotest.test_case "undecodable page quarantined" `Quick
+            test_undecodable_data_page_stays_quarantined;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "degrade, scrub, recover" `Quick
+            test_end_to_end_degraded_then_repaired;
+          Alcotest.test_case "repairs are logged" `Quick test_scrub_repairs_are_logged;
+        ] );
+    ]

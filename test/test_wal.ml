@@ -35,6 +35,14 @@ let tmp name ext =
   if Sys.file_exists path then Sys.remove path;
   path
 
+(* CI re-runs the crash matrix under several fixed seeds by exporting
+   FIELDREP_TEST_SEED; the offset perturbs both the generated database and
+   the baked workload, so each seed crashes at a different write history. *)
+let seed_base =
+  match Sys.getenv_opt "FIELDREP_TEST_SEED" with
+  | Some s -> ( try int_of_string s with _ -> 0)
+  | None -> 0
+
 (* ------------------------------------------------------------------ *)
 (* Fault injection in the simulated disk                               *)
 
@@ -442,7 +450,7 @@ let crash_matrix strategy () =
       strategy;
       page_size = 1024;
       frames = 12;
-      seed = 77;
+      seed = 77 + seed_base;
       durable = true;
     }
   in
@@ -453,7 +461,7 @@ let crash_matrix strategy () =
   let base_lsn = Wal.last_lsn (Option.get (Db.wal db0)) in
   let s_oids = oids_of db0 "S" in
   let r_oids = oids_of db0 "R" in
-  let ops = bake_ops ~s_oids ~r_oids ~count:200 ~seed:101 in
+  let ops = bake_ops ~s_oids ~r_oids ~count:200 ~seed:(101 + seed_base) in
   Wal.close (Option.get (Db.wal db0));
   (* One log file per test, recreated empty for every simulated history. *)
   let wal_k = Filename.concat (Filename.get_temp_dir_name ())
