@@ -813,6 +813,110 @@ let wal_overhead () =
     (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* Gate metrics: named scalars a bench wants surfaced in the JSON       *)
+(* output for CI regression gates, beyond the generic per-bench         *)
+(* counters the driver collects.                                        *)
+
+let gate_metrics : (string * (string * int) list) list ref = ref []
+
+let add_gate_metrics bench kvs =
+  gate_metrics :=
+    (bench, (try List.assoc bench !gate_metrics with Not_found -> []) @ kvs)
+    :: List.remove_assoc bench !gate_metrics
+
+(* ------------------------------------------------------------------ *)
+(* P1: batched physically-ordered propagation and read-ahead            *)
+
+let p1 () =
+  section "P1: batched propagation (physical order) vs per-object reference path";
+  Printf.printf
+    "(the same seeded 1-level update mix, cold, against identical databases;\n\
+    \ batching sorts every update fan-out by physical OID and rewrites each\n\
+    \ page's hidden copies under one pin, so unclustered index-order target\n\
+    \ lists stop re-fetching pages)\n\n";
+  let queries = 12 in
+  let run built =
+    let db = built.Gen.db in
+    let rng = Splitmix.create 77 in
+    Pager.run_cold (Db.pager db) (fun () ->
+        for _ = 1 to queries do
+          ignore (Exec.replace db (Mix.update_query built rng ~update_sel:0.05))
+        done);
+    let s = Db.stats db in
+    (s.Stats.page_reads, s.Stats.page_writes)
+  in
+  let rows = ref [] in
+  let batched_io = ref 0 in
+  List.iter
+    (fun strategy ->
+      let spec =
+        {
+          Gen.default_spec with
+          Gen.strategy;
+          s_count = 1000;
+          sharing = 4;
+          frames = 16;
+          seed = 59;
+        }
+      in
+      let batched = Gen.build spec in
+      let reference = Gen.build spec in
+      Db.set_batching reference.Gen.db false;
+      let br, bw = run batched in
+      let rr, rw = run reference in
+      batched_io := !batched_io + br + bw;
+      rows :=
+        [
+          strategy_label strategy;
+          string_of_int rr;
+          string_of_int br;
+          T.fixed 1 (100.0 *. float_of_int (rr - br) /. float_of_int (max 1 rr));
+          string_of_int rw;
+          string_of_int bw;
+        ]
+        :: !rows)
+    [ Params.No_replication; Params.Inplace; Params.Separate ];
+  T.print
+    ~header:
+      [
+        "strategy";
+        "reads per-obj";
+        "reads batched";
+        "reads saved %";
+        "writes per-obj";
+        "writes batched";
+      ]
+    (List.rev !rows);
+  add_gate_metrics "p1" [ ("p1_update_io", !batched_io) ];
+  (* Read-ahead: a cold full scan with sequential prefetch on vs off.  The
+     simulated disk charges the same page reads either way; the win is that
+     prefetched pages arrive before the demand miss (prefetch hits), i.e.
+     the reads become sequential batches instead of synchronous stalls. *)
+  Printf.printf "\nSequential read-ahead on a cold full scan of R:\n\n";
+  let scan_rows =
+    List.map
+      (fun depth ->
+        let b =
+          Gen.build { Gen.default_spec with Gen.s_count = 2000; seed = 59 }
+        in
+        let db = b.Gen.db in
+        Pager.set_prefetch (Db.pager db) depth;
+        Pager.run_cold (Db.pager db) (fun () ->
+            Db.scan db ~set:"R" (fun _ _ -> ()));
+        let s = Db.stats db in
+        [
+          string_of_int depth;
+          string_of_int s.Stats.page_reads;
+          string_of_int s.Stats.prefetch_issued;
+          string_of_int s.Stats.prefetch_hits;
+        ])
+      [ 0; 4; 16 ]
+  in
+  T.print
+    ~header:[ "prefetch depth"; "page reads"; "issued"; "hits" ]
+    scan_rows
+
+(* ------------------------------------------------------------------ *)
 (* T1: transaction throughput under contention                         *)
 
 let txn_bench () =
@@ -822,8 +926,10 @@ let txn_bench () =
     \ |S|=200, f=4 database with a 24-frame pool; the total work is the\n\
     \ same at every client count, so the deltas are pure concurrency-\n\
     \ control effects: blocked turns, deadlock aborts, and the retries\n\
-    \ they cause)\n\n";
+    \ they cause; the databases are durable, and group commit amortises\n\
+    \ one WAL flush over a whole transaction's records)\n\n";
   let total_txns = 64 and ops_per_txn = 6 in
+  let appends_8c = ref 0 and flushes_8c = ref 0 in
   let rows = ref [] in
   List.iter
     (fun (mix_name, mix) ->
@@ -839,9 +945,12 @@ let txn_bench () =
                   strategy;
                   frames = 24;
                   seed = 29;
+                  durable = true;
                 }
               in
               let built = Gen.build spec in
+              let w = Option.get (Db.wal built.Gen.db) in
+              let wa0 = Wal.appended w and wf0 = Wal.flushes w in
               let before = Stats.copy (Db.stats built.Gen.db) in
               let t0 = Unix.gettimeofday () in
               let res =
@@ -850,6 +959,11 @@ let txn_bench () =
                   ~seed:(41 + clients) built
               in
               let wall = Unix.gettimeofday () -. t0 in
+              let wa = Wal.appended w - wa0 and wf = Wal.flushes w - wf0 in
+              if clients = 8 then begin
+                appends_8c := !appends_8c + wa;
+                flushes_8c := !flushes_8c + wf
+              end;
               let d = Stats.diff (Db.stats built.Gen.db) before in
               let io_per_txn =
                 if res.Multi.commits = 0 then 0.0
@@ -869,6 +983,8 @@ let txn_bench () =
                   string_of_int d.Stats.lock_waits;
                   string_of_int res.Multi.deadlock_aborts;
                   string_of_int res.Multi.discarded;
+                  string_of_int wa;
+                  string_of_int wf;
                 ]
                 :: !rows)
             [ 1; 2; 4; 8; 16 ])
@@ -887,8 +1003,12 @@ let txn_bench () =
         "lock waits";
         "dl aborts";
         "discarded";
+        "wal app";
+        "wal fl";
       ]
-    (List.rev !rows)
+    (List.rev !rows);
+  add_gate_metrics "txn"
+    [ ("wal_appends_8c", !appends_8c); ("wal_flushes_8c", !flushes_8c) ]
 
 (* ------------------------------------------------------------------ *)
 (* R1: corruption scrubbing and degraded reads                         *)
@@ -992,6 +1112,7 @@ let all_benches =
     ("wal", wal_overhead);
     ("txn", txn_bench);
     ("scrub", scrub_bench);
+    ("p1", p1);
   ]
 
 (* Machine-readable results: one object per scenario run, with wall time and
@@ -1017,12 +1138,20 @@ let write_json path results =
     (fun () ->
       output_string oc "{\n  \"benchmarks\": [\n";
       List.iteri
-        (fun i (name, wall, io, (cf, sp, rp, dr, rr)) ->
+        (fun i (name, wall, io, (cf, sp, rp, dr, rr), (wa, wf)) ->
+          let extras =
+            match List.assoc_opt name !gate_metrics with
+            | None -> ""
+            | Some kvs ->
+                String.concat ""
+                  (List.map (fun (k, v) -> Printf.sprintf ", \"%s\": %d" k v) kvs)
+          in
           Printf.fprintf oc
             "    {\"name\": \"%s\", \"wall_seconds\": %.6f, \"total_io\": %d, \
              \"checksum_failures\": %d, \"scrub_pages\": %d, \"repairs\": %d, \
-             \"degraded_reads\": %d, \"read_retries\": %d}%s\n"
-            (json_escape name) wall io cf sp rp dr rr
+             \"degraded_reads\": %d, \"read_retries\": %d, \"wal_appends\": %d, \
+             \"wal_flushes\": %d%s}%s\n"
+            (json_escape name) wall io cf sp rp dr rr wa wf extras
             (if i = List.length results - 1 then "" else ","))
         results;
       output_string oc "  ]\n}\n")
@@ -1049,12 +1178,15 @@ let () =
             let t0 = Unix.gettimeofday () in
             let io0 = Stats.grand_total_io () in
             let cf0, sp0, rp0, dr0, rr0 = Stats.grand_robustness () in
+            let wa0, wf0 = Stats.grand_wal () in
             f ();
             let cf, sp, rp, dr, rr = Stats.grand_robustness () in
+            let wa, wf = Stats.grand_wal () in
             ( name,
               Unix.gettimeofday () -. t0,
               Stats.grand_total_io () - io0,
-              (cf - cf0, sp - sp0, rp - rp0, dr - dr0, rr - rr0) )
+              (cf - cf0, sp - sp0, rp - rp0, dr - dr0, rr - rr0),
+              (wa - wa0, wf - wf0) )
         | None ->
             Printf.eprintf "unknown bench %S; available: %s\n" name
               (String.concat ", " (List.map fst all_benches));

@@ -52,6 +52,8 @@ let pager t = t.pager
 let stats t = Pager.stats t.pager
 let engine t = t.engine
 let wal t = t.wal
+let batching t = t.engine.Engine.batching
+let set_batching t v = t.engine.Engine.batching <- v
 let lock_manager t = t.locks
 let active_txn_count t = Hashtbl.length t.active
 
@@ -75,19 +77,25 @@ let log_mutation ?txn t record f =
   | None -> f ()
   | Some _ when t.replaying -> f ()
   | Some w -> (
-      let record =
+      let record, buffered =
         match txn with
         | Some tx when not t.compensating ->
             ensure_begin t tx;
-            Wal.Txn_op { txn = Txn.id tx; op = record }
-        | _ -> record
+            (Wal.Txn_op { txn = Txn.id tx; op = record }, true)
+        | _ -> (record, t.compensating)
       in
       let lsn = Wal.append w record in
+      (* Group commit: transactional records (and abort compensations) stay
+         buffered until their commit/abort marker syncs; an autocommit
+         record is its own commit point and must be durable before the
+         operation touches any page. *)
+      if not buffered then Wal.sync w;
       try f ()
       with
       | Disk.Crash _ as e -> raise e
       | e ->
           Wal.append_abort w ~aborted:lsn;
+          Wal.sync w;
           raise e)
 
 let set_file t name =
@@ -150,8 +158,9 @@ let on_hidden_update t set oid ~before ~after =
         index_update rt oid ~before ~after)
     (indexes_of_set t set)
 
-let create ?(page_size = 4096) ?(frames = 256) ?(durable = false) ?wal_path () =
-  let pager = Pager.create ~page_size ~frames () in
+let create ?(page_size = 4096) ?(frames = 256) ?(prefetch = 0) ?(durable = false)
+    ?wal_path () =
+  let pager = Pager.create ~page_size ~frames ~prefetch () in
   let schema = Schema.create () in
   let store = Store.create pager in
   let rec t =
@@ -556,7 +565,10 @@ let commit t tx =
   free_txn_tombstones t (Txn.tombstones tx);
   (match t.wal with
   | Some w when Txn.begun tx && not t.replaying ->
-      ignore (Wal.append w (Wal.Txn_commit (Txn.id tx)))
+      ignore (Wal.append w (Wal.Txn_commit (Txn.id tx)));
+      (* The group-commit point: one physical flush covers this marker and
+         every record the transaction buffered. *)
+      Wal.sync w
   | _ -> ());
   Txn.charge_io tx (Stats.grand_total_io () - io0);
   finish t tx Txn.Committed;
@@ -602,7 +614,8 @@ let abort t tx =
       free_txn_tombstones t (Txn.tombstones tx));
   (match t.wal with
   | Some w when Txn.begun tx && not t.replaying ->
-      ignore (Wal.append w (Wal.Txn_abort (Txn.id tx)))
+      ignore (Wal.append w (Wal.Txn_abort (Txn.id tx)));
+      Wal.sync w
   | _ -> ());
   Txn.charge_io tx (Stats.grand_total_io () - io0);
   finish t tx Txn.Aborted;
@@ -910,7 +923,10 @@ let scrub t =
   let log_repair ~rep_id ~source =
     match t.wal with
     | Some w when not t.replaying ->
-        ignore (Wal.append w (Wal.Scrub_repair { rep_id; source }))
+        ignore (Wal.append w (Wal.Scrub_repair { rep_id; source }));
+        (* Repair records run outside any transaction: durable before the
+           repair itself touches pages, like autocommit mutations. *)
+        Wal.sync w
     | Some _ | None -> ()
   in
   Scrub.run ~log_repair t.engine ~data_sets
@@ -981,8 +997,11 @@ let dangling_references t =
 let image_magic = "FREPIMG1"
 
 let save t path =
-  (* Make the on-disk state complete and self-describing first. *)
+  (* Make the on-disk state complete and self-describing first.  The log
+     must reach the OS before its LSN is stamped into the image: a
+     checkpoint is a durability point. *)
   Engine.flush_pending t.engine;
+  (match t.wal with Some w -> Wal.sync w | None -> ());
   Pager.flush t.pager;
   let buf = Buffer.create (1 lsl 20) in
   let put_u8 v = Buffer.add_uint8 buf (v land 0xff) in
@@ -1363,6 +1382,7 @@ let recover ?frames ?wal_path path =
             l.Recovery.l_images;
           free_txn_tombstones t l.Recovery.l_tombstones);
       ignore (Wal.append w (Wal.Txn_abort l.Recovery.l_txn));
+      Wal.sync w;
       let s = Pager.stats t.pager in
       s.Stats.txn_aborts <- s.Stats.txn_aborts + 1)
     losers;

@@ -35,12 +35,30 @@ type txn = Txn.t
 (** A transaction handle — see {!begin_txn}. *)
 
 val create :
-  ?page_size:int -> ?frames:int -> ?durable:bool -> ?wal_path:string -> unit -> t
+  ?page_size:int ->
+  ?frames:int ->
+  ?prefetch:int ->
+  ?durable:bool ->
+  ?wal_path:string ->
+  unit ->
+  t
 (** [~durable:true] attaches a write-ahead log: every DDL/DML mutation
     appends a logical redo record — before touching any page — so the
     database can be rebuilt after a crash from the last checkpoint plus the
     log tail ({!recover}).  The log lives at [wal_path] when given, else at
-    a fresh temp file; passing [wal_path] alone implies durability. *)
+    a fresh temp file; passing [wal_path] alone implies durability.
+    [prefetch] sets the buffer pool's sequential read-ahead depth in pages
+    (default 0 = off, so cost-model validation sees exact per-page
+    counts). *)
+
+val batching : t -> bool
+(** Whether replication propagation runs page-batched in physical order
+    (the default) — see {!Fieldrep_replication.Engine.env}. *)
+
+val set_batching : t -> bool -> unit
+(** Toggle page-batched propagation; [false] restores the per-object
+    reference path, used as the comparison baseline in tests and
+    benchmarks. *)
 
 val schema : t -> Schema.t
 val pager : t -> Fieldrep_storage.Pager.t

@@ -251,8 +251,15 @@ let retrieve_sorted db (q : Ast.retrieve) ~order_by ?(descending = false) ?limit
 
 let replace db (q : Ast.replace) =
   let set = q.Ast.target_set in
-  (* Materialise the target list before mutating. *)
+  (* Materialise the target list before mutating.  Index-driven selection
+     returns targets in key order — physically random when the set is
+     unclustered — so under batching the updates are applied in ascending
+     OID order instead: each data page (and each propagation fan-out) is
+     visited once, sequentially, rather than re-fetched per key. *)
   let targets = matching_oids db ~set q.Ast.rwhere in
+  let targets =
+    if Db.batching db then List.sort Oid.compare targets else targets
+  in
   List.iter
     (fun oid ->
       List.iter

@@ -12,7 +12,11 @@ type env = {
   store : Store.t;
   file_of_set : string -> Heap_file.t;
   file_of_oid : Oid.t -> Heap_file.t;
-  on_hidden_update : string -> Oid.t -> before:Record.t -> after:Record.t -> unit;
+  mutable on_hidden_update :
+    string -> Oid.t -> before:Record.t -> after:Record.t -> unit;
+  mutable batching : bool;
+      (* group propagation fan-outs by page and rewrite each page under one
+         pin; off = the per-object reference path (kept for comparison) *)
   pending : (int * int64, unit) Hashtbl.t;
       (* (rep_id, source oid) pairs whose hidden copies are stale under
          lazy propagation; the in-memory invalidation table *)
@@ -27,6 +31,7 @@ let make_env ~schema ~store ~file_of_set ~file_of_oid
     file_of_set;
     file_of_oid;
     on_hidden_update;
+    batching = true;
     pending = Hashtbl.create 64;
   }
 
@@ -294,6 +299,105 @@ let sprime_refcount_add env ~sref_link sp_oid delta =
   end
   else Heap_file.update hf sp_oid (Record.encode (Record.set_field r 0 (Value.VInt count)))
 
+(* ------------------------------------------------------------------ *)
+(* Page-batched fan-out                                                 *)
+
+(* Runs of OIDs sharing one (file, page), in ascending physical order. *)
+let group_by_page oids =
+  let close acc = function
+    | None -> acc
+    | Some (key, xs) -> (key, List.rev xs) :: acc
+  in
+  let rec go acc current = function
+    | [] -> List.rev (close acc current)
+    | (oid : Oid.t) :: rest -> (
+        let key = (oid.Oid.file, oid.Oid.page) in
+        match current with
+        | Some (key', xs) when key' = key -> go acc (Some (key, oid :: xs)) rest
+        | (Some _ | None) as prev -> go (close acc prev) (Some (key, [ oid ])) rest)
+  in
+  go [] None oids
+
+(* Apply [transform] to every object in [oids] (all of [set]), visiting
+   pages in ascending (file, page) order.  With batching on, each page is
+   read under one pin and rewritten under one pin — the paper's reason for
+   keeping inverted structures in the referenced set's physical order —
+   instead of one pin pair per object.  [transform] must only *read* other
+   objects (it runs between the page's read and write pins, unpinned); it
+   returns [Some updated] to rewrite the object or [None] to leave it.
+   Change callbacks fire per object after the page's write completes. *)
+let batched_rewrite env ~set oids ~transform =
+  let sorted = List.sort_uniq Oid.compare oids in
+  if not env.batching then
+    List.iter
+      (fun oid ->
+        let r = read_record env oid in
+        match transform oid r with
+        | Some r' ->
+            write_record env oid r';
+            env.on_hidden_update set oid ~before:r ~after:r'
+        | None -> ())
+      sorted
+  else
+    List.iter
+      (fun ((_file, page), oids) ->
+        let hf = data_file env (List.hd oids) in
+        let slots = List.map (fun (o : Oid.t) -> o.Oid.slot) oids in
+        let payloads = Heap_file.read_batch hf ~page slots in
+        (* [None] marks a chained object: fetch its full payload normally. *)
+        let records =
+          List.map2
+            (fun oid payload ->
+              match payload with
+              | Some bytes -> (oid, Record.decode bytes)
+              | None -> (oid, read_record env oid))
+            oids payloads
+        in
+        let changes =
+          List.filter_map
+            (fun (oid, r) ->
+              match transform oid r with
+              | Some r' -> Some (oid, r, r')
+              | None -> None)
+            records
+        in
+        Heap_file.update_batch hf ~page
+          (List.map
+             (fun ((oid : Oid.t), _, r') -> (oid.Oid.slot, Record.encode r'))
+             changes);
+        List.iter
+          (fun (oid, r, r') -> env.on_hidden_update set oid ~before:r ~after:r')
+          changes)
+      (group_by_page sorted)
+
+(* Desired hidden-field rewrite of one source record under an in-place or
+   collapsed terminal; [None] when the stored copies already match. *)
+let inplace_refresh_transform env (rep : Schema.replication) ~set ~nodes
+    ~final_ty ~fields source_rec =
+  let final = final_of env nodes source_rec in
+  let changed = ref false in
+  let updated =
+    List.fold_left
+      (fun acc (fname, _) ->
+        let idx =
+          Schema.hidden_index env.schema set ~rep_id:rep.Schema.rep_id
+            ~field:(Some fname)
+        in
+        let desired =
+          match final with
+          | Some (_, final_rec) ->
+              value_or_null final_rec (Ty.field_index final_ty fname)
+          | None -> Value.VNull
+        in
+        if Value.equal (value_or_null acc idx) desired then acc
+        else begin
+          changed := true;
+          set_value_extending acc idx desired
+        end)
+      source_rec fields
+  in
+  if !changed then Some updated else None
+
 (* Recompute the hidden fields of one source object from the current state
    of the forward path (both strategies). *)
 let refresh_terminal env (rep : Schema.replication) source_oid =
@@ -301,39 +405,28 @@ let refresh_terminal env (rep : Schema.replication) source_oid =
   let nodes = Registry.chain env.registry rep in
   let _, term = Registry.terminal_of env.registry rep in
   let source_rec = read_record env source_oid in
-  let final = final_of env nodes source_rec in
   let changed = ref false in
   let updated =
     match term.Registry.kind with
-    | Registry.K_inplace | Registry.K_collapsed _ ->
+    | Registry.K_inplace | Registry.K_collapsed _ -> (
         let final_ty_name =
           (List.nth nodes (List.length nodes - 1)).Registry.to_type
         in
         let final_ty = Schema.find_type env.schema final_ty_name in
-        List.fold_left
-          (fun acc (fname, _) ->
-            let idx =
-              Schema.hidden_index env.schema set ~rep_id:rep.Schema.rep_id
-                ~field:(Some fname)
-            in
-            let desired =
-              match final with
-              | Some (_, final_rec) ->
-                  value_or_null final_rec (Ty.field_index final_ty fname)
-              | None -> Value.VNull
-            in
-            if Value.equal (value_or_null acc idx) desired then acc
-            else begin
-              changed := true;
-              set_value_extending acc idx desired
-            end)
-          source_rec term.Registry.fields
+        match
+          inplace_refresh_transform env rep ~set ~nodes ~final_ty
+            ~fields:term.Registry.fields source_rec
+        with
+        | Some updated ->
+            changed := true;
+            updated
+        | None -> source_rec)
     | Registry.K_separate sref_link ->
         let idx =
           Schema.hidden_index env.schema set ~rep_id:rep.Schema.rep_id ~field:None
         in
         let desired =
-          match final with
+          match final_of env nodes source_rec with
           | Some (final_oid, final_rec) ->
               Value.VRef
                 (sprime_for env rep ~sref_link ~fields:term.Registry.fields
@@ -358,6 +451,28 @@ let refresh_terminal env (rep : Schema.replication) source_oid =
     env.on_hidden_update set source_oid ~before:source_rec ~after:updated
   end;
   clear_pending env rep source_oid
+
+(* Refresh many sources of one declaration, page-batched where the terminal
+   allows it.  Separate terminals stay per-object — [sprime_for] /
+   [sprime_refcount_add] rewrite final and S' objects as they go, which the
+   read-then-write page batch must not interleave with — but still run in
+   ascending physical order. *)
+let refresh_batch env (rep : Schema.replication) oids =
+  let _, term = Registry.terminal_of env.registry rep in
+  match term.Registry.kind with
+  | Registry.K_separate _ ->
+      List.iter (refresh_terminal env rep) (List.sort_uniq Oid.compare oids)
+  | Registry.K_inplace | Registry.K_collapsed _ ->
+      let set = rep.Schema.rpath.Path.source_set in
+      let nodes = Registry.chain env.registry rep in
+      let final_ty =
+        Schema.find_type env.schema
+          (List.nth nodes (List.length nodes - 1)).Registry.to_type
+      in
+      batched_rewrite env ~set oids ~transform:(fun oid source_rec ->
+          clear_pending env rep oid;
+          inplace_refresh_transform env rep ~set ~nodes ~final_ty
+            ~fields:term.Registry.fields source_rec)
 
 (* ------------------------------------------------------------------ *)
 (* Source attach / detach                                              *)
@@ -483,13 +598,9 @@ let on_scalar_update env ~set oid ~field value =
                         Schema.hidden_index env.schema set ~rep_id:rep.Schema.rep_id
                           ~field:(Some field)
                       in
-                      List.iter
-                        (fun source ->
-                          let r = read_record env source in
-                          let r' = set_value_extending r idx value in
-                          write_record env source r';
-                          env.on_hidden_update set source ~before:r ~after:r')
-                        (Link_object.members lo)
+                      batched_rewrite env ~set (Link_object.members lo)
+                        ~transform:(fun _ r ->
+                          Some (set_value_extending r idx value))
                     end
                   end
               | Registry.K_collapsed _ | Registry.K_inplace | Registry.K_separate _
@@ -518,25 +629,20 @@ let on_scalar_update env ~set oid ~field value =
               (fun (term : Registry.terminal) ->
                 List.iter (mark_pending env term.Registry.rep) sources)
               lazy_;
-            if eager <> [] then
-              List.iter
-                (fun source ->
-                  let r0 = read_record env source in
-                  let set = node.Registry.source_set in
-                  let r =
-                    List.fold_left
-                      (fun r (term : Registry.terminal) ->
-                        let rep = term.Registry.rep in
-                        let idx =
-                          Schema.hidden_index env.schema set
-                            ~rep_id:rep.Schema.rep_id ~field:(Some field)
-                        in
-                        set_value_extending r idx value)
-                      r0 eager
-                  in
-                  write_record env source r;
-                  env.on_hidden_update set source ~before:r0 ~after:r)
-                sources
+            if eager <> [] then begin
+              let set = node.Registry.source_set in
+              batched_rewrite env ~set sources ~transform:(fun _ r0 ->
+                  Some
+                    (List.fold_left
+                       (fun r (term : Registry.terminal) ->
+                         let rep = term.Registry.rep in
+                         let idx =
+                           Schema.hidden_index env.schema set
+                             ~rep_id:rep.Schema.rep_id ~field:(Some field)
+                         in
+                         set_value_extending r idx value)
+                       r0 eager))
+            end
           end)
     record.Record.links
 
@@ -722,8 +828,9 @@ let build env (rep : Schema.replication) =
             (modify_membership env final_node ~link_id ~threshold:0 final_oid
                (fun lo -> List.fold_left Link_object.add lo entries)))
         finals;
-      Heap_file.iter_oids src_file (fun source_oid ->
-          refresh_terminal env rep source_oid)
+      let sources = ref [] in
+      Heap_file.iter_oids src_file (fun o -> sources := o :: !sources);
+      refresh_batch env rep (List.rev !sources)
   | None ->
       (* Memberships per level, accumulated in memory, then laid down in
          target physical order — only for links not built by an earlier
@@ -827,8 +934,9 @@ let build env (rep : Schema.replication) =
          order with refcounts set directly). *)
       (match term.Registry.kind with
       | Registry.K_inplace | Registry.K_collapsed _ ->
-          Heap_file.iter_oids src_file (fun source_oid ->
-              refresh_terminal env rep source_oid)
+          let sources = ref [] in
+          Heap_file.iter_oids src_file (fun o -> sources := o :: !sources);
+          refresh_batch env rep (List.rev !sources)
       | Registry.K_separate sref_link ->
           let counts = Oid.Table.create 256 in
           let final_for = Oid.Table.create 256 in
@@ -856,18 +964,20 @@ let build env (rep : Schema.replication) =
               Oid.Table.replace sp_of final_oid sp)
             finals;
           let idx = Schema.hidden_index env.schema set ~rep_id:rep.Schema.rep_id ~field:None in
-          Heap_file.iter_oids src_file (fun source_oid ->
+          let sources = ref [] in
+          Heap_file.iter_oids src_file (fun o -> sources := o :: !sources);
+          (* The S' objects and refcounts are already in place, so the final
+             hidden-reference writes are a pure per-source rewrite: batch
+             them page by page. *)
+          batched_rewrite env ~set (List.rev !sources)
+            ~transform:(fun source_oid r ->
               let desired =
                 match Oid.Table.find_opt final_for source_oid with
                 | Some final_oid -> Value.VRef (Oid.Table.find sp_of final_oid)
                 | None -> Value.VNull
               in
-              let r = read_record env source_oid in
-              if not (Value.equal (value_or_null r idx) desired) then begin
-                let r' = set_value_extending r idx desired in
-                write_record env source_oid r';
-                env.on_hidden_update set source_oid ~before:r ~after:r'
-              end))
+              if Value.equal (value_or_null r idx) desired then None
+              else Some (set_value_extending r idx desired)))
 
 (* Objects of [source_set] whose [attr] currently references [target],
    answered from a level-1 inverted link when one exists. *)
@@ -886,34 +996,38 @@ let repair env (rep : Schema.replication) source_oid =
 
 let refresh = refresh_terminal
 
-let flush_pending env =
-  let entries = Hashtbl.fold (fun k () acc -> k :: acc) env.pending [] in
+(* Settle invalidation entries grouped by declaration, so each drain walks
+   its sources in one physically ordered, page-batched pass rather than
+   hashtable order. *)
+let drain_keys env keys =
+  let by_rep = Hashtbl.create 8 in
   List.iter
     (fun (rep_id, oid64) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_rep rep_id) in
+      Hashtbl.replace by_rep rep_id (Oid.of_int64 oid64 :: prev))
+    keys;
+  Hashtbl.iter
+    (fun rep_id oids ->
       match
         List.find_opt
           (fun (r : Schema.replication) -> r.Schema.rep_id = rep_id)
           (Schema.replications env.schema)
       with
-      | Some rep -> refresh_terminal env rep (Oid.of_int64 oid64)
-      | None -> Hashtbl.remove env.pending (rep_id, oid64))
-    entries
+      | Some rep -> refresh_batch env rep oids
+      | None ->
+          List.iter
+            (fun oid -> Hashtbl.remove env.pending (rep_id, Oid.to_int64 oid))
+            oids)
+    by_rep
+
+let flush_pending env =
+  drain_keys env (Hashtbl.fold (fun k () acc -> k :: acc) env.pending [])
 
 (* Repair exactly the given invalidation keys (if still pending) — used by
    transaction abort to settle only the repair debt that transaction
    created, leaving other transactions' entries lazy. *)
 let flush_keys env keys =
-  List.iter
-    (fun (rep_id, oid64) ->
-      if Hashtbl.mem env.pending (rep_id, oid64) then
-        match
-          List.find_opt
-            (fun (r : Schema.replication) -> r.Schema.rep_id = rep_id)
-            (Schema.replications env.schema)
-        with
-        | Some rep -> refresh_terminal env rep (Oid.of_int64 oid64)
-        | None -> Hashtbl.remove env.pending (rep_id, oid64))
-    keys
+  drain_keys env (List.filter (fun key -> Hashtbl.mem env.pending key) keys)
 
 let space_pages env = Store.total_pages env.store
 

@@ -32,9 +32,18 @@ type env = {
   file_of_set : string -> Fieldrep_storage.Heap_file.t;
   file_of_oid : Oid.t -> Fieldrep_storage.Heap_file.t;
       (** resolve any *data* OID to its heap file *)
-  on_hidden_update : string -> Oid.t -> before:Record.t -> after:Record.t -> unit;
+  mutable on_hidden_update :
+    string -> Oid.t -> before:Record.t -> after:Record.t -> unit;
       (** [on_hidden_update set oid]: a source object's hidden fields
-          changed (the caller maintains indexes built on replicated data) *)
+          changed (the caller maintains indexes built on replicated data).
+          Mutable so tests can observe propagation order. *)
+  mutable batching : bool;
+      (** When set (the default), propagation fan-outs are sorted by
+          physical OID, grouped by page, and each page's hidden-field
+          writes happen under one pin pair — the access-layer half of the
+          paper's keep-links-in-referenced-set-order argument.  Clearing it
+          restores the per-object reference path (one read pin + one write
+          pin per source), used as the comparison baseline. *)
   pending : (int * int64, unit) Hashtbl.t;
       (** the lazy-propagation invalidation table: (rep_id, packed source
           OID) pairs whose hidden copies are stale.  Kept in memory, like

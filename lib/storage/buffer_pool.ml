@@ -7,6 +7,7 @@ type frame = {
   mutable dirty : bool;
   mutable referenced : bool;
   mutable occupied : bool;
+  mutable prefetched : bool;
   data : Bytes.t;
 }
 
@@ -15,9 +16,17 @@ type t = {
   frames : frame array;
   table : (int * int, int) Hashtbl.t;  (* (file, page) -> frame index *)
   mutable hand : int;
+  scratch : Bytes.t;
+      (* staging buffer for installs: the physical read lands here before
+         the victim frame is touched *)
+  mutable prefetch_depth : int;  (* 0 disables read-ahead *)
+  mutable seq_file : int;
+  mutable seq_next : int;
+      (* last demand miss was (seq_file, seq_next - 1): a miss landing on
+         (seq_file, seq_next) means a sequential run *)
 }
 
-let create disk ~frames =
+let create ?(prefetch = 0) disk ~frames =
   if frames <= 0 then invalid_arg "Buffer_pool.create: frames must be positive";
   let make_frame _ =
     {
@@ -27,13 +36,25 @@ let create disk ~frames =
       dirty = false;
       referenced = false;
       occupied = false;
+      prefetched = false;
       data = Bytes.make (Disk.page_size disk) '\000';
     }
   in
-  { disk; frames = Array.init frames make_frame; table = Hashtbl.create (2 * frames); hand = 0 }
+  {
+    disk;
+    frames = Array.init frames make_frame;
+    table = Hashtbl.create (2 * frames);
+    hand = 0;
+    scratch = Bytes.make (Disk.page_size disk) '\000';
+    prefetch_depth = max 0 prefetch;
+    seq_file = -1;
+    seq_next = -1;
+  }
 
 let capacity t = Array.length t.frames
 let resident t = Hashtbl.length t.table
+let set_prefetch t depth = t.prefetch_depth <- max 0 depth
+let prefetch_depth t = t.prefetch_depth
 
 let write_back t f =
   if f.dirty then begin
@@ -47,7 +68,8 @@ let evict_frame t idx =
   write_back t f;
   Hashtbl.remove t.table (f.file, f.page);
   f.occupied <- false;
-  f.referenced <- false
+  f.referenced <- false;
+  f.prefetched <- false
 
 (* Clock sweep: skip pinned frames, give referenced frames a second chance.
    Two full sweeps with no victim means everything is pinned. *)
@@ -87,8 +109,11 @@ let read_with_retry t ~file ~page buf =
   in
   attempt 1
 
-let install t ~file ~page ~read =
-  let idx = find_victim t in
+(* Retarget an unpinned (or just-vacated) frame at (file, page).  The page
+   image is already in hand — [src] — or the frame is zeroed for a fresh
+   page, so nothing here can fail between evicting the old resident and
+   mapping the new one. *)
+let install_at t idx ~file ~page src =
   let f = t.frames.(idx) in
   if f.occupied then evict_frame t idx;
   f.file <- file;
@@ -97,23 +122,80 @@ let install t ~file ~page ~read =
   f.dirty <- false;
   f.referenced <- true;
   f.occupied <- true;
-  (try
-     if read then read_with_retry t ~file ~page f.data
-     else Bytes.fill f.data 0 (Bytes.length f.data) '\000'
-   with e ->
-     f.occupied <- false;
-     raise e);
+  f.prefetched <- false;
+  (match src with
+  | Some bytes -> Bytes.blit bytes 0 f.data 0 (Bytes.length f.data)
+  | None -> Bytes.fill f.data 0 (Bytes.length f.data) '\000');
   Hashtbl.replace t.table (file, page) idx;
   idx
+
+(* The physical read goes through [t.scratch] *before* the victim is
+   evicted: a read that still fails after retries must not cost a clean
+   cached page.  Failed installs leave the pool exactly as it was and are
+   counted ([failed_reads]), so every lookup lands in exactly one of
+   [buffer_hits], [page_reads] or [failed_reads]. *)
+let install t ~file ~page ~read =
+  let idx = find_victim t in
+  if read then begin
+    (try read_with_retry t ~file ~page t.scratch
+     with e ->
+       Stats.note_failed_read (Disk.stats t.disk);
+       raise e);
+    install_at t idx ~file ~page (Some t.scratch)
+  end
+  else install_at t idx ~file ~page None
+
+(* Read pages (page+1 .. page+depth) of [file] into the pool ahead of
+   demand.  Called with the frame for [page] pinned, so the demand page
+   cannot be chosen as a victim.  Best-effort: an exhausted pool or a
+   failing read simply ends the run — the demand path will face the fault
+   itself if the page is ever actually needed. *)
+let prefetch_run t ~file ~page =
+  let stats = Disk.stats t.disk in
+  let last = min (page + t.prefetch_depth) (Disk.page_count t.disk file - 1) in
+  (try
+     for p = page + 1 to last do
+       if not (Hashtbl.mem t.table (file, p)) then begin
+         let idx = install t ~file ~page:p ~read:true in
+         t.frames.(idx).prefetched <- true;
+         Stats.note_prefetch_issued stats
+       end
+     done
+   with Exhausted | Disk.Read_error _ | Disk.Corrupt_page _ -> ());
+  if last > page then begin
+    t.seq_file <- file;
+    t.seq_next <- last + 1
+  end
 
 let lookup t ~file ~page ~for_new =
   match Hashtbl.find_opt t.table (file, page) with
   | Some idx ->
       let stats = Disk.stats t.disk in
       stats.buffer_hits <- stats.buffer_hits + 1;
-      t.frames.(idx).referenced <- true;
+      let f = t.frames.(idx) in
+      if f.prefetched then begin
+        f.prefetched <- false;
+        Stats.note_prefetch_hit stats
+      end;
+      f.referenced <- true;
       idx
-  | None -> install t ~file ~page ~read:(not for_new)
+  | None ->
+      let idx = install t ~file ~page ~read:(not for_new) in
+      if t.prefetch_depth > 0 && not for_new then begin
+        let sequential = file = t.seq_file && page = t.seq_next in
+        t.seq_file <- file;
+        t.seq_next <- page + 1;
+        if sequential then begin
+          (* Pin the demand frame across the run so the prefetcher's own
+             installs cannot evict it. *)
+          let f = t.frames.(idx) in
+          f.pins <- f.pins + 1;
+          Fun.protect
+            ~finally:(fun () -> f.pins <- f.pins - 1)
+            (fun () -> prefetch_run t ~file ~page)
+        end
+      end;
+      idx
 
 let with_pinned t ~file ~page ~dirty ~for_new fn =
   let idx = lookup t ~file ~page ~for_new in
@@ -129,8 +211,12 @@ let with_page_write t ~file ~page fn =
   with_pinned t ~file ~page ~dirty:true ~for_new:false fn
 
 let new_page t ~file =
+  (* Claim the victim frame *before* allocating: there is no
+     [Disk.free_page], so allocating first would leak the disk page when an
+     all-pinned pool raises [Exhausted]. *)
+  let idx = find_victim t in
   let page = Disk.allocate_page t.disk file in
-  let idx = install t ~file ~page ~read:false in
+  let idx = install_at t idx ~file ~page None in
   t.frames.(idx).dirty <- true;
   page
 
@@ -145,28 +231,42 @@ let invalidate t ~file ~page =
       Hashtbl.remove t.table (file, page);
       f.occupied <- false;
       f.referenced <- false;
+      f.prefetched <- false;
       f.dirty <- false
 
+(* Both bulk-discard operations refuse *before* touching anything: a pinned
+   frame found mid-sweep must not leave some pages unmapped and others not. *)
+let check_unpinned t ~op ~file =
+  Array.iter
+    (fun f ->
+      if f.occupied && f.pins > 0 && (file = -1 || f.file = file) then
+        invalid_arg (Printf.sprintf "Buffer_pool.%s: pinned frame" op))
+    t.frames
+
 let drop_file t ~file =
+  check_unpinned t ~op:"drop_file" ~file;
   Array.iter
     (fun f ->
       if f.occupied && f.file = file then begin
-        if f.pins > 0 then invalid_arg "Buffer_pool.drop_file: pinned frame";
         Hashtbl.remove t.table (f.file, f.page);
         f.occupied <- false;
         f.referenced <- false;
+        f.prefetched <- false;
         f.dirty <- false
       end)
     t.frames
 
 let clear t =
+  check_unpinned t ~op:"clear" ~file:(-1);
   flush t;
   Array.iter
     (fun f ->
       if f.occupied then begin
-        if f.pins > 0 then invalid_arg "Buffer_pool.clear: pinned frame";
         f.occupied <- false;
-        f.referenced <- false
+        f.referenced <- false;
+        f.prefetched <- false
       end)
     t.frames;
-  Hashtbl.reset t.table
+  Hashtbl.reset t.table;
+  t.seq_file <- -1;
+  t.seq_next <- -1

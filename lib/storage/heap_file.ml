@@ -290,6 +290,72 @@ let insert_at t (oid : Oid.t) payload =
   t.count <- t.count + 1;
   (Pager.stats t.pager).objects_written <- (Pager.stats t.pager).objects_written + 1
 
+(* Batched page access: the replication engine groups a propagation fan-out
+   by page and touches every slot under a single pin, instead of one
+   pin/lookup per object.  Only unchained heads are served — an object whose
+   payload spills into continuation segments needs other pages anyway, so
+   the caller falls back to {!read} / {!update} for it. *)
+
+let read_batch t ~page slots =
+  let heads =
+    Pager.with_page_read t.pager ~file:t.file ~page (fun buf ->
+        List.map
+          (fun slot ->
+            if not (Page.is_live buf slot) then
+              invalid_arg
+                (Printf.sprintf "Heap_file: dead OID %s"
+                   (Oid.to_string { Oid.file = t.file; page; slot }));
+            Page.read buf slot)
+          slots)
+  in
+  let stats = Pager.stats t.pager in
+  List.map
+    (fun head ->
+      let kind, next, off = decode_header head in
+      if kind <> kind_head then
+        invalid_arg "Heap_file.read_batch: OID is not an object head";
+      if Oid.is_nil next then begin
+        stats.objects_read <- stats.objects_read + 1;
+        Some (Bytes.sub head off (Bytes.length head - off))
+      end
+      else None)
+    heads
+
+let update_batch t ~page entries =
+  let stats = Pager.stats t.pager in
+  (* In-place rewrites happen under one pin; entries that are chained or no
+     longer fit fall through to the general [update] (which may spill). *)
+  let deferred =
+    Pager.with_page_write t.pager ~file:t.file ~page (fun buf ->
+        List.filter
+          (fun (slot, payload) ->
+            if not (Page.is_live buf slot) then
+              invalid_arg
+                (Printf.sprintf "Heap_file: dead OID %s"
+                   (Oid.to_string { Oid.file = t.file; page; slot }));
+            let head = Page.read buf slot in
+            let kind, old_next, _ = decode_header head in
+            if kind <> kind_head then
+              invalid_arg "Heap_file.update_batch: OID is not an object head";
+            if not (Oid.is_nil old_next) then true
+            else begin
+              let record =
+                encode_segment ~kind:kind_head ~next:Oid.nil
+                  (payload, 0, Bytes.length payload)
+              in
+              if Bytes.length record <= max_record t && Page.write buf slot record
+              then begin
+                stats.objects_written <- stats.objects_written + 1;
+                false
+              end
+              else true
+            end)
+          entries)
+  in
+  List.iter
+    (fun (slot, payload) -> update t { Oid.file = t.file; page; slot } payload)
+    deferred
+
 let iter_heads t f =
   let pages = page_count t in
   for page = 0 to pages - 1 do

@@ -78,6 +78,19 @@ val insert_at : t -> Oid.t -> Bytes.t -> unit
 
 val is_tombstone : t -> Oid.t -> bool
 
+val read_batch : t -> page:int -> int list -> Bytes.t option list
+(** [read_batch t ~page slots] reads the head record of every slot under a
+    {e single} page pin, in the given order.  An object whose payload spills
+    into continuation segments yields [None] — fetch it with {!read} — so a
+    [Some] payload cost exactly this one page access.  Raises
+    [Invalid_argument] on a dead slot or a non-head record. *)
+
+val update_batch : t -> page:int -> (int * Bytes.t) list -> unit
+(** [update_batch t ~page entries] rewrites [(slot, payload)] pairs under a
+    {e single} page pin.  Entries that are chained, or that no longer fit in
+    place, fall back to {!update} (which may spill) after the pin is
+    released.  Raises like {!read_batch}. *)
+
 val iter : t -> (Oid.t -> Bytes.t -> unit) -> unit
 (** Physical order (page then slot), heads only.  The callback receives the
     payload with chain plumbing stripped. *)

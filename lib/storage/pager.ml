@@ -1,11 +1,13 @@
 type t = { disk : Disk.t; pool : Buffer_pool.t; stats : Stats.t }
 
-let create ?(page_size = 4096) ?(frames = 256) () =
+let create ?(page_size = 4096) ?(frames = 256) ?(prefetch = 0) () =
   let stats = Stats.create () in
   let disk = Disk.create ~page_size stats in
-  { disk; pool = Buffer_pool.create disk ~frames; stats }
+  { disk; pool = Buffer_pool.create ~prefetch disk ~frames; stats }
 
 let page_size t = Disk.page_size t.disk
+let set_prefetch t depth = Buffer_pool.set_prefetch t.pool depth
+let prefetch_depth t = Buffer_pool.prefetch_depth t.pool
 let stats t = t.stats
 let disk t = t.disk
 let create_file t = Disk.create_file t.disk

@@ -6,10 +6,16 @@
 
 type t
 
-val create : ?page_size:int -> ?frames:int -> unit -> t
-(** Defaults: 4096-byte pages, 256 frames. *)
+val create : ?page_size:int -> ?frames:int -> ?prefetch:int -> unit -> t
+(** Defaults: 4096-byte pages, 256 frames, no read-ahead.  [prefetch] is
+    the sequential read-ahead depth in pages (see {!Buffer_pool}). *)
 
 val page_size : t -> int
+
+val set_prefetch : t -> int -> unit
+(** Change the sequential read-ahead depth; 0 disables. *)
+
+val prefetch_depth : t -> int
 val stats : t -> Stats.t
 val disk : t -> Disk.t
 val create_file : t -> int

@@ -18,6 +18,10 @@ type t = {
   mutable repairs : int;
   mutable degraded_reads : int;
   mutable read_retries : int;
+  mutable failed_reads : int;
+  mutable prefetch_issued : int;
+  mutable prefetch_hits : int;
+  mutable wal_flushes : int;
   by_file : (int, int * int) Hashtbl.t;
 }
 
@@ -42,6 +46,10 @@ let create () =
     repairs = 0;
     degraded_reads = 0;
     read_retries = 0;
+    failed_reads = 0;
+    prefetch_issued = 0;
+    prefetch_hits = 0;
+    wal_flushes = 0;
     by_file = Hashtbl.create 16;
   }
 
@@ -65,6 +73,10 @@ let reset t =
   t.repairs <- 0;
   t.degraded_reads <- 0;
   t.read_retries <- 0;
+  t.failed_reads <- 0;
+  t.prefetch_issued <- 0;
+  t.prefetch_hits <- 0;
+  t.wal_flushes <- 0;
   Hashtbl.reset t.by_file
 
 (* Process-wide physical I/O, across every Stats block ever created.  Never
@@ -106,6 +118,26 @@ let note_read_retry t =
   t.read_retries <- t.read_retries + 1;
   incr g_read_retries
 
+let note_failed_read t = t.failed_reads <- t.failed_reads + 1
+let note_prefetch_issued t = t.prefetch_issued <- t.prefetch_issued + 1
+let note_prefetch_hit t = t.prefetch_hits <- t.prefetch_hits + 1
+
+(* Process-wide WAL totals, like [grand_io]: the bench driver reports
+   per-scenario append/flush deltas even when a scenario builds several
+   databases (each with its own Stats block and log handle). *)
+let g_wal_appends = ref 0
+let g_wal_flushes = ref 0
+let grand_wal () = (!g_wal_appends, !g_wal_flushes)
+
+let note_wal_append t ~bytes =
+  t.wal_appends <- t.wal_appends + 1;
+  t.wal_bytes <- t.wal_bytes + bytes;
+  incr g_wal_appends
+
+let note_wal_flush t =
+  t.wal_flushes <- t.wal_flushes + 1;
+  incr g_wal_flushes
+
 let record_read t ~file =
   incr grand_io;
   let r, w = Option.value ~default:(0, 0) (Hashtbl.find_opt t.by_file file) in
@@ -139,6 +171,10 @@ let copy t =
     repairs = t.repairs;
     degraded_reads = t.degraded_reads;
     read_retries = t.read_retries;
+    failed_reads = t.failed_reads;
+    prefetch_issued = t.prefetch_issued;
+    prefetch_hits = t.prefetch_hits;
+    wal_flushes = t.wal_flushes;
     by_file = Hashtbl.copy t.by_file;
   }
 
@@ -169,6 +205,10 @@ let diff now before =
     repairs = now.repairs - before.repairs;
     degraded_reads = now.degraded_reads - before.degraded_reads;
     read_retries = now.read_retries - before.read_retries;
+    failed_reads = now.failed_reads - before.failed_reads;
+    prefetch_issued = now.prefetch_issued - before.prefetch_issued;
+    prefetch_hits = now.prefetch_hits - before.prefetch_hits;
+    wal_flushes = now.wal_flushes - before.wal_flushes;
     by_file;
   }
 
@@ -177,11 +217,13 @@ let total_io t = t.page_reads + t.page_writes
 let pp fmt t =
   Format.fprintf fmt
     "reads=%d writes=%d hits=%d allocated=%d obj_read=%d obj_written=%d \
-     wal_appends=%d wal_bytes=%d replays=%d commits=%d aborts=%d lock_waits=%d \
-     deadlocks=%d undone=%d checksum_failures=%d scrub_pages=%d repairs=%d \
-     degraded_reads=%d read_retries=%d"
+     wal_appends=%d wal_bytes=%d wal_flushes=%d replays=%d commits=%d \
+     aborts=%d lock_waits=%d deadlocks=%d undone=%d checksum_failures=%d \
+     scrub_pages=%d repairs=%d degraded_reads=%d read_retries=%d \
+     failed_reads=%d prefetch_issued=%d prefetch_hits=%d"
     t.page_reads t.page_writes t.buffer_hits t.pages_allocated t.objects_read
-    t.objects_written t.wal_appends t.wal_bytes t.recovery_replays
-    t.txn_commits t.txn_aborts t.lock_waits t.deadlocks t.undo_applied
-    t.checksum_failures t.scrub_pages t.repairs t.degraded_reads
-    t.read_retries
+    t.objects_written t.wal_appends t.wal_bytes t.wal_flushes
+    t.recovery_replays t.txn_commits t.txn_aborts t.lock_waits t.deadlocks
+    t.undo_applied t.checksum_failures t.scrub_pages t.repairs
+    t.degraded_reads t.read_retries t.failed_reads t.prefetch_issued
+    t.prefetch_hits

@@ -28,6 +28,17 @@ type t = {
           page was quarantined *)
   mutable read_retries : int;
       (** physical reads retried after a transient fault *)
+  mutable failed_reads : int;
+      (** buffer-pool installs whose physical read failed after retries;
+          the victim frame is kept, so [buffer_hits + page_reads +
+          failed_reads] accounts for every lookup *)
+  mutable prefetch_issued : int;
+      (** pages read ahead of demand by the sequential prefetcher *)
+  mutable prefetch_hits : int;
+      (** lookups served by a frame the prefetcher loaded *)
+  mutable wal_flushes : int;
+      (** physical flushes of the write-ahead log (group commit batches
+          many appends per flush) *)
   by_file : (int, int * int) Hashtbl.t;
       (** per-file (reads, writes) attribution, keyed by disk file id *)
 }
@@ -69,5 +80,19 @@ val note_scrub_page : t -> unit
 val note_repair : t -> unit
 val note_degraded_read : t -> unit
 val note_read_retry : t -> unit
+val note_failed_read : t -> unit
+val note_prefetch_issued : t -> unit
+val note_prefetch_hit : t -> unit
+
+val grand_wal : unit -> int * int
+(** Process-wide monotonic [(wal_appends, wal_flushes)] across every stats
+    block; callers take before/after deltas, like {!grand_total_io}. *)
+
+val note_wal_append : t -> bytes:int -> unit
+(** Count one appended log record of [bytes] framed bytes (bumps the
+    per-block and process-wide counters). *)
+
+val note_wal_flush : t -> unit
+(** Count one physical flush of the log. *)
 
 val pp : Format.formatter -> t -> unit

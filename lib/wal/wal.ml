@@ -303,6 +303,14 @@ let crc = Fieldrep_storage.Checksum.fnv1a32
 (* ------------------------------------------------------------------ *)
 (* The log handle                                                      *)
 
+(* Group commit: appends accumulate in the channel buffer and reach the OS
+   only on {!sync} — issued by the database layer at commit points (an
+   autocommit mutation, [Txn_commit], a checkpoint) — or when the buffered
+   bytes pass [flush_limit].  Buffering preserves append order, so the
+   on-disk log is always a prefix of the appended sequence and recovery
+   lands exactly on the last synced record. *)
+let default_flush_limit = 1 lsl 16
+
 type t = {
   path : string;
   oc : out_channel;
@@ -310,6 +318,9 @@ type t = {
   existing : (int64 * record) list;
   mutable appends : int;
   mutable bytes : int;
+  mutable pending_bytes : int;  (* appended but not yet flushed *)
+  mutable flushes : int;
+  flush_limit : int;
   stats : Stats.t option;
 }
 
@@ -319,6 +330,16 @@ let ensure_lsn t lsn = if t.next_lsn < lsn then t.next_lsn <- lsn
 let records t = t.existing
 let appended t = t.appends
 let bytes_written t = t.bytes
+let flushes t = t.flushes
+let pending_bytes t = t.pending_bytes
+
+let sync t =
+  if t.pending_bytes > 0 then begin
+    flush t.oc;
+    t.pending_bytes <- 0;
+    t.flushes <- t.flushes + 1;
+    match t.stats with Some s -> Stats.note_wal_flush s | None -> ()
+  end
 
 (* Scan the frames of an existing log file.  Returns the raw (lsn, record)
    list and the offset just past the last well-formed frame. *)
@@ -353,7 +374,7 @@ let scan data =
   done;
   (List.rev !acc, !pos)
 
-let open_ ?stats path =
+let open_ ?stats ?(flush_limit = default_flush_limit) path =
   let raw, good_end, data =
     if Sys.file_exists path then begin
       let ic = open_in_bin path in
@@ -410,7 +431,18 @@ let open_ ?stats path =
       raw
   in
   let next_lsn = List.fold_left (fun acc (l, _) -> max acc l) 0L raw in
-  { path; oc; next_lsn; existing; appends = 0; bytes = 0; stats }
+  {
+    path;
+    oc;
+    next_lsn;
+    existing;
+    appends = 0;
+    bytes = 0;
+    pending_bytes = 0;
+    flushes = 0;
+    flush_limit = max 1 flush_limit;
+    stats;
+  }
 
 let write_record t lsn record =
   let blen = body_size record in
@@ -424,14 +456,13 @@ let write_record t lsn record =
   assert (off = 8 + flen);
   ignore (Wire.put_u32 frame 4 (crc frame 8 flen));
   output_bytes t.oc frame;
-  flush t.oc;
   t.appends <- t.appends + 1;
   t.bytes <- t.bytes + Bytes.length frame;
+  t.pending_bytes <- t.pending_bytes + Bytes.length frame;
   (match t.stats with
-  | Some s ->
-      s.Stats.wal_appends <- s.Stats.wal_appends + 1;
-      s.Stats.wal_bytes <- s.Stats.wal_bytes + Bytes.length frame
-  | None -> ())
+  | Some s -> Stats.note_wal_append s ~bytes:(Bytes.length frame)
+  | None -> ());
+  if t.pending_bytes >= t.flush_limit then sync t
 
 let append t record =
   let lsn = Int64.add t.next_lsn 1L in
@@ -441,4 +472,6 @@ let append t record =
 
 let append_abort t ~aborted = ignore (append t (Abort aborted))
 
-let close t = close_out t.oc
+let close t =
+  sync t;
+  close_out t.oc

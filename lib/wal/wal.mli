@@ -23,9 +23,21 @@
     frames and stops at the first short or corrupt frame — a torn tail
     written during a crash is ignored, and subsequent appends overwrite it.
 
-    Appends are flushed to the OS immediately, so every record that
-    {!append} returned an LSN for survives a simulated crash
-    ([Fieldrep_storage.Disk.Crash]).
+    {1 Group commit}
+
+    Appends accumulate in an in-memory buffer; {!sync} writes the buffer
+    through to the OS in one physical flush.  The database layer syncs at
+    every durability point — an autocommit mutation before it touches
+    pages, [Txn_commit] / [Txn_abort], a checkpoint — so N interleaved
+    clients amortise one flush over all the [Txn_op] and [Undo_image]
+    records appended since the last commit.  A byte threshold
+    ([?flush_limit], default 64 KiB) bounds the unflushed window, and
+    {!close} syncs.  Buffering preserves append order, so the on-disk log
+    is always a {e prefix} of the appended sequence: after a crash,
+    recovery lands exactly on the committed prefix — records past the last
+    sync belong to transactions that had not committed (their commit
+    marker syncs before {!append} returns to the caller) and are rolled
+    back as losers.
 
     {1 Aborted records}
 
@@ -92,18 +104,34 @@ type record =
 
 type t
 
-val open_ : ?stats:Stats.t -> string -> t
+val open_ : ?stats:Stats.t -> ?flush_limit:int -> string -> t
 (** Open (creating if absent) the log at a path.  Existing frames are
     scanned and validated; the scan stops at the first torn or corrupt
     frame, and the write position is placed just after the last good one.
     Raises [Invalid_argument] on a file that is not a fieldrep log.
-    [stats], when given, accrues [wal_appends] / [wal_bytes]. *)
+    [stats], when given, accrues [wal_appends] / [wal_bytes] /
+    [wal_flushes].  [flush_limit] caps the bytes buffered between
+    {!sync}s (default 64 KiB). *)
 
 val path : t -> string
 
 val append : t -> record -> int64
-(** Serialize, frame, write and flush one record; returns its LSN.  Must
-    be called {e before} the operation it describes touches any page. *)
+(** Serialize, frame and buffer one record; returns its LSN.  Must be
+    called {e before} the operation it describes touches any page.  The
+    record reaches the OS at the next {!sync} (or when the buffered bytes
+    pass the flush limit). *)
+
+val sync : t -> unit
+(** Flush every buffered record to the OS in one physical flush (a no-op
+    when nothing is buffered).  The group-commit point: callers invoke it
+    when a durability boundary is reached, not per append. *)
+
+val flushes : t -> int
+(** Physical flushes performed through this handle (monotonic, survives
+    [Stats.reset] — benchmarks read this alongside {!appended}). *)
+
+val pending_bytes : t -> int
+(** Bytes appended but not yet synced. *)
 
 val append_abort : t -> aborted:int64 -> unit
 (** Rescind a previously appended record (its operation failed). *)
@@ -126,6 +154,7 @@ val appended : t -> int
     [Stats.reset] — benchmarks read this). *)
 
 val bytes_written : t -> int
-(** Bytes written through this handle, including framing. *)
+(** Bytes appended through this handle, including framing. *)
 
 val close : t -> unit
+(** {!sync}, then close the underlying channel. *)

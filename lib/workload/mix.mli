@@ -13,6 +13,17 @@ type measurement = {
   avg_update_io : float;
 }
 
+val read_query :
+  Gen.built -> Fieldrep_util.Splitmix.t -> read_sel:float -> Fieldrep_query.Ast.retrieve
+(** One cost-model read query at a random key range of the given
+    selectivity (exposed so tests and benchmarks can replay the exact mix
+    {!measure} runs). *)
+
+val update_query :
+  Gen.built -> Fieldrep_util.Splitmix.t -> update_sel:float -> Fieldrep_query.Ast.replace
+(** One cost-model update query: rewrite the replicated field of a random
+    key range of S objects. *)
+
 val measure :
   Gen.built ->
   read_sel:float ->

@@ -285,6 +285,143 @@ let test_pool_pin_released_on_exception () =
   let p1 = Buffer_pool.new_page pool ~file:f in
   Buffer_pool.with_page_read pool ~file:f ~page:p1 (fun _ -> ())
 
+(* Regression: new_page used to call Disk.allocate_page before claiming a
+   victim frame, so an exhausted pool leaked the freshly allocated disk
+   page (there is no Disk.free_page to return it). *)
+let test_new_page_no_leak_when_exhausted () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let pool = Buffer_pool.create disk ~frames:2 in
+  let f = Disk.create_file disk in
+  let p0 = Buffer_pool.new_page pool ~file:f in
+  let p1 = Buffer_pool.new_page pool ~file:f in
+  checki "two pages allocated" 2 (Disk.page_count disk f);
+  (* Fill the pool with pinned frames, then ask for a third page. *)
+  (try
+     Buffer_pool.with_page_read pool ~file:f ~page:p0 (fun _ ->
+         Buffer_pool.with_page_read pool ~file:f ~page:p1 (fun _ ->
+             ignore (Buffer_pool.new_page pool ~file:f);
+             Alcotest.fail "expected Exhausted"))
+   with Buffer_pool.Exhausted -> ());
+  checki "no disk page leaked" 2 (Disk.page_count disk f);
+  (* Once unpinned, allocation proceeds and lands on the next page. *)
+  checki "next allocation contiguous" 2 (Buffer_pool.new_page pool ~file:f)
+
+(* Regression: drop_file / clear raised on a pinned frame mid-sweep,
+   leaving some of the file's pages unmapped and others resident.  They
+   must refuse before mutating anything. *)
+let test_delete_file_with_pinned_page_is_atomic () =
+  let pager = Pager.create ~page_size:64 ~frames:8 () in
+  let stats = Pager.stats pager in
+  let f = Pager.create_file pager in
+  let p0 = Pager.new_page pager ~file:f in
+  let p1 = Pager.new_page pager ~file:f in
+  Pager.with_page_write pager ~file:f ~page:p0 (fun buf -> Bytes.fill buf 0 4 'a');
+  Pager.with_page_write pager ~file:f ~page:p1 (fun buf -> Bytes.fill buf 0 4 'b');
+  (try
+     Pager.with_page_read pager ~file:f ~page:p0 (fun _ ->
+         Pager.delete_file pager f;
+         Alcotest.fail "expected Invalid_argument")
+   with Invalid_argument _ -> ());
+  (* Nothing was unmapped and the disk file survived: both pages are still
+     served from the pool without physical reads. *)
+  checkb "file still exists" true (Disk.file_exists (Pager.disk pager) f);
+  let reads = stats.Stats.page_reads in
+  Pager.with_page_read pager ~file:f ~page:p0 (fun buf ->
+      Alcotest.(check char) "p0 intact" 'a' (Bytes.get buf 0));
+  Pager.with_page_read pager ~file:f ~page:p1 (fun buf ->
+      Alcotest.(check char) "p1 intact" 'b' (Bytes.get buf 0));
+  checki "both pages stayed resident" reads stats.Stats.page_reads;
+  (* With the pin gone the delete goes through. *)
+  Pager.delete_file pager f;
+  checkb "file deleted" false (Disk.file_exists (Pager.disk pager) f)
+
+let test_clear_with_pinned_page_is_atomic () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let pool = Buffer_pool.create disk ~frames:4 in
+  let f = Disk.create_file disk in
+  let p0 = Buffer_pool.new_page pool ~file:f in
+  let p1 = Buffer_pool.new_page pool ~file:f in
+  Buffer_pool.flush pool;
+  (try
+     Buffer_pool.with_page_read pool ~file:f ~page:p0 (fun _ ->
+         Buffer_pool.clear pool;
+         Alcotest.fail "expected Invalid_argument")
+   with Invalid_argument _ -> ());
+  let reads = stats.Stats.page_reads in
+  Buffer_pool.with_page_read pool ~file:f ~page:p0 (fun _ -> ());
+  Buffer_pool.with_page_read pool ~file:f ~page:p1 (fun _ -> ());
+  checki "no frame was dropped" reads stats.Stats.page_reads
+
+(* Regression: install evicted the victim before attempting the physical
+   read, so a read that failed after retries silently dropped a clean
+   cached page.  The failure must leave the pool untouched and be counted
+   in [failed_reads], keeping hits + reads + failed_reads consistent. *)
+let test_install_read_failure_keeps_victim () =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:64 stats in
+  let pool = Buffer_pool.create disk ~frames:1 in
+  let f = Disk.create_file disk in
+  let p0 = Buffer_pool.new_page pool ~file:f in
+  let p1 = Buffer_pool.new_page pool ~file:f in
+  Buffer_pool.with_page_write pool ~file:f ~page:p0 (fun buf ->
+      Bytes.fill buf 0 4 'v');
+  Buffer_pool.flush pool;
+  (* p0 is the sole resident (clean) frame.  Make every read of p1 fail,
+     past the retry budget. *)
+  Disk.set_read_failpoint ~count:10 disk ~after_reads:0;
+  (try
+     Buffer_pool.with_page_read pool ~file:f ~page:p1 (fun _ -> ());
+     Alcotest.fail "expected Read_error"
+   with Disk.Read_error _ -> ());
+  Disk.clear_read_failpoint disk;
+  checki "failure counted" 1 stats.Stats.failed_reads;
+  checki "all attempts retried" 2 stats.Stats.read_retries;
+  (* The clean victim survived: p0 is served without a physical read. *)
+  let reads = stats.Stats.page_reads in
+  Buffer_pool.with_page_read pool ~file:f ~page:p0 (fun buf ->
+      Alcotest.(check char) "victim intact" 'v' (Bytes.get buf 0));
+  checki "victim still resident" reads stats.Stats.page_reads;
+  (* And the faulty page remains fetchable once the fault clears. *)
+  Buffer_pool.with_page_read pool ~file:f ~page:p1 (fun _ -> ())
+
+(* Sequential read-ahead: two adjacent demand misses start a run; the next
+   [depth] pages are read ahead and later accesses to them are hits. *)
+let test_prefetch_sequential_scan () =
+  let pager = Pager.create ~page_size:64 ~frames:16 ~prefetch:4 () in
+  let stats = Pager.stats pager in
+  let f = Pager.create_file pager in
+  for _ = 0 to 7 do
+    ignore (Pager.new_page pager ~file:f)
+  done;
+  Pager.flush pager;
+  Pager.run_cold pager (fun () ->
+      for p = 0 to 7 do
+        Pager.with_page_read pager ~file:f ~page:p (fun _ -> ())
+      done);
+  (* Misses at 0 and 1; the miss at 1 prefetches 2-5; the miss at 6
+     continues the run and prefetches 7. *)
+  checki "pages read ahead" 5 stats.Stats.prefetch_issued;
+  checki "read-ahead absorbed the demand" 5 stats.Stats.prefetch_hits;
+  checki "every page read exactly once" 8 stats.Stats.page_reads;
+  checki "prefetched pages were hits" 5 stats.Stats.buffer_hits
+
+let test_prefetch_off_by_default () =
+  let pager = Pager.create ~page_size:64 ~frames:16 () in
+  let stats = Pager.stats pager in
+  let f = Pager.create_file pager in
+  for _ = 0 to 3 do
+    ignore (Pager.new_page pager ~file:f)
+  done;
+  Pager.flush pager;
+  Pager.run_cold pager (fun () ->
+      for p = 0 to 3 do
+        Pager.with_page_read pager ~file:f ~page:p (fun _ -> ())
+      done);
+  checki "no read-ahead" 0 stats.Stats.prefetch_issued;
+  checki "one read per page" 4 stats.Stats.page_reads
+
 (* ------------------------------------------------------------------ *)
 (* Heap file                                                           *)
 
@@ -513,6 +650,16 @@ let () =
             test_drop_file_discards_without_writeback;
           Alcotest.test_case "exhaustion raises" `Quick test_pool_exhaustion;
           Alcotest.test_case "pin released on exception" `Quick test_pool_pin_released_on_exception;
+          Alcotest.test_case "new_page leaks nothing when exhausted" `Quick
+            test_new_page_no_leak_when_exhausted;
+          Alcotest.test_case "delete_file with pinned page is atomic" `Quick
+            test_delete_file_with_pinned_page_is_atomic;
+          Alcotest.test_case "clear with pinned page is atomic" `Quick
+            test_clear_with_pinned_page_is_atomic;
+          Alcotest.test_case "install read failure keeps victim" `Quick
+            test_install_read_failure_keeps_victim;
+          Alcotest.test_case "sequential read-ahead" `Quick test_prefetch_sequential_scan;
+          Alcotest.test_case "read-ahead off by default" `Quick test_prefetch_off_by_default;
         ] );
       ( "heap_file",
         [

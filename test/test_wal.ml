@@ -255,6 +255,79 @@ let test_wal_abort_marker_missing_target () =
   Sys.remove path
 
 (* ------------------------------------------------------------------ *)
+(* Group commit                                                        *)
+
+let count_on_disk path =
+  let w = Wal.open_ path in
+  let n = List.length (Wal.records w) in
+  Wal.close w;
+  n
+
+let test_wal_sync_is_the_durability_point () =
+  let path = tmp "group" ".wal" in
+  let w = Wal.open_ path in
+  ignore (Wal.append w (Wal.Delete { set = "A"; oid = Oid.nil }));
+  ignore (Wal.append w (Wal.Delete { set = "B"; oid = Oid.nil }));
+  Wal.sync w;
+  ignore (Wal.append w (Wal.Delete { set = "C"; oid = Oid.nil }));
+  ignore (Wal.append w (Wal.Delete { set = "D"; oid = Oid.nil }));
+  checkb "appends buffered" true (Wal.pending_bytes w > 0);
+  (* Only the synced prefix is on disk — a crash here loses exactly the
+     unsynced tail, never an interior record. *)
+  checki "synced prefix visible" 2 (count_on_disk path);
+  Wal.sync w;
+  checki "buffer drained" 0 (Wal.pending_bytes w);
+  checki "everything visible after sync" 4 (count_on_disk path);
+  checki "two physical flushes" 2 (Wal.flushes w);
+  Wal.sync w;
+  checki "empty sync is free" 2 (Wal.flushes w);
+  Wal.close w;
+  Sys.remove path
+
+let test_wal_close_syncs () =
+  let path = tmp "close_syncs" ".wal" in
+  let w = Wal.open_ path in
+  ignore (Wal.append w (Wal.Delete { set = "A"; oid = Oid.nil }));
+  Wal.close w;
+  checki "close flushed the tail" 1 (count_on_disk path);
+  Sys.remove path
+
+let test_wal_flush_limit_bounds_buffer () =
+  let path = tmp "flush_limit" ".wal" in
+  let w = Wal.open_ ~flush_limit:1 path in
+  ignore (Wal.append w (Wal.Delete { set = "A"; oid = Oid.nil }));
+  ignore (Wal.append w (Wal.Delete { set = "B"; oid = Oid.nil }));
+  checki "threshold forced a flush per append" 2 (Wal.flushes w);
+  checki "records on disk without explicit sync" 2 (count_on_disk path);
+  Wal.close w;
+  Sys.remove path
+
+let test_txn_commit_is_one_flush () =
+  let db = Db.create ~durable:true () in
+  let w = Option.get (Db.wal db) in
+  Db.define_type db
+    (Ty.make ~name:"GT" [ { Ty.fname = "a"; ftype = Ty.Scalar Ty.SInt } ]);
+  Db.create_set db ~name:"G" ~elem_type:"GT" ();
+  let oids =
+    List.init 8 (fun i -> Db.insert db ~set:"G" [ Value.VInt i ])
+  in
+  let appends0 = Wal.appended w and flushes0 = Wal.flushes w in
+  let tx = Db.begin_txn db in
+  List.iteri
+    (fun i oid -> Db.update_field ~txn:tx db ~set:"G" oid ~field:"a" (Value.VInt (100 + i)))
+    oids;
+  Db.commit db tx;
+  (* Begin + 8 ops + 8 undo images + commit appended; one flush covers
+     them all. *)
+  checkb "many records appended" true (Wal.appended w - appends0 >= 10);
+  checki "single group-commit flush" 1 (Wal.flushes w - flushes0);
+  (* Autocommit stays synchronous: each mutation is its own commit point. *)
+  let a1 = Wal.appended w and f1 = Wal.flushes w in
+  ignore (Db.insert db ~set:"G" [ Value.VInt 99 ]);
+  checki "autocommit append" 1 (Wal.appended w - a1);
+  checki "autocommit flush" 1 (Wal.flushes w - f1)
+
+(* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
 
 (* A canonical observation of everything user-visible: object contents in
@@ -528,6 +601,16 @@ let () =
             test_wal_duplicate_abort_markers;
           Alcotest.test_case "abort marker without target" `Quick
             test_wal_abort_marker_missing_target;
+        ] );
+      ( "group commit",
+        [
+          Alcotest.test_case "sync is the durability point" `Quick
+            test_wal_sync_is_the_durability_point;
+          Alcotest.test_case "close syncs" `Quick test_wal_close_syncs;
+          Alcotest.test_case "flush limit bounds the buffer" `Quick
+            test_wal_flush_limit_bounds_buffer;
+          Alcotest.test_case "one flush per committed txn" `Quick
+            test_txn_commit_is_one_flush;
         ] );
       ( "recovery",
         [
