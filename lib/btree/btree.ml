@@ -1,4 +1,5 @@
 module Wire = Fieldrep_util.Wire
+module Listx = Fieldrep_util.Listx
 module Oid = Fieldrep_storage.Oid
 module Pager = Fieldrep_storage.Pager
 
@@ -187,7 +188,9 @@ let attach ?(max_leaf_entries = max_int) ?(max_internal_entries = max_int) pager
        | Internal { children; _ } -> first children.(0)
      in
      first root
-   with _ -> ());
+   (* Decode failures just mean no witness; storage faults (Corrupt_page,
+      Read_error) must keep propagating to the scrub machinery. *)
+   with Invalid_argument _ | Failure _ | Wire.Corrupt _ -> ());
   t
 let page_count t = Pager.page_count t.pager t.file
 
@@ -733,7 +736,7 @@ let check_invariants t =
           match lows with
           | [] -> None
           | (lo, _) :: _ ->
-              let _, hi = List.nth lows (List.length lows - 1) in
+              let _, hi = Listx.last_exn ~what:"Btree: empty bounds" lows in
               Some (lo, hi)
         in
         (depth0 + 1, bounds, total)

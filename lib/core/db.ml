@@ -1,4 +1,5 @@
 module Oid = Fieldrep_storage.Oid
+module Listx = Fieldrep_util.Listx
 module Stats = Fieldrep_storage.Stats
 module Pager = Fieldrep_storage.Pager
 module Heap_file = Fieldrep_storage.Heap_file
@@ -34,7 +35,7 @@ type t = {
   data_files : (int, string * Heap_file.t) Hashtbl.t;  (* file id -> set, file *)
   indexes : (string, index_rt) Hashtbl.t;
   store : Store.t;
-  mutable engine : Engine.env;
+  engine : Engine.env;
   mutable wal : Wal.t option;
   mutable replaying : bool;  (* suppress WAL appends while redoing the log *)
   locks : Lock.t;
@@ -587,7 +588,11 @@ let restore_image t (img : Txn.undo_image) =
       let ty = Schema.set_type t.schema set in
       List.iteri
         (fun i v ->
-          update_field t ~set oid ~field:(List.nth ty.Ty.fields i).Ty.fname v)
+          update_field t ~set oid
+            ~field:
+              (Listx.nth_exn ~what:"Db.restore_image: undo arity mismatch"
+                 ty.Ty.fields i)
+                .Ty.fname v)
         img.Txn.u_values
   | true, false -> insert_at_impl t ~set oid img.Txn.u_values
   | false, true -> delete t ~set oid
@@ -1051,7 +1056,11 @@ let save t path =
   put_u16 (List.length sets);
   List.iter
     (fun (name, elem) ->
-      let hf = Hashtbl.find t.sets name in
+      let hf =
+        match Hashtbl.find_opt t.sets name with
+        | Some hf -> hf
+        | None -> invalid_arg ("Db.checkpoint: set without heap file: " ^ name)
+      in
       put_str name;
       put_str elem;
       put_u32 (Heap_file.file_id hf);
@@ -1075,7 +1084,11 @@ let save t path =
   put_u16 (List.length index_defs);
   List.iter
     (fun (d : Schema.index_def) ->
-      let rt = Hashtbl.find t.indexes d.Schema.iname in
+      let rt =
+        match Hashtbl.find_opt t.indexes d.Schema.iname with
+        | Some rt -> rt
+        | None -> invalid_arg ("Db.checkpoint: unknown index: " ^ d.Schema.iname)
+      in
       put_str d.Schema.iname;
       put_str d.Schema.iset;
       put_str d.Schema.ifield;

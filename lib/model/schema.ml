@@ -1,3 +1,4 @@
+module Listx = Fieldrep_util.Listx
 type strategy = Inplace | Separate
 
 type rep_options = {
@@ -107,7 +108,13 @@ let set_type t name =
   | Some elem -> find_type t elem
   | None -> raise Not_found
 
-let sets t = List.rev_map (fun name -> (name, Hashtbl.find t.set_table name)) t.set_order
+let sets t =
+  List.rev_map
+    (fun name ->
+      match Hashtbl.find_opt t.set_table name with
+      | Some elem -> (name, elem)
+      | None -> invalid_arg ("Schema.sets: unregistered set " ^ name))
+    t.set_order
 
 (* ------------------------------------------------------------------ *)
 (* Paths                                                               *)
@@ -132,7 +139,9 @@ let resolve_path t (path : Path.t) =
         | None -> bad "path %s: type %s has no field %s" (Path.to_string path) ty_name step)
   in
   let type_chain = walk start_type path.Path.steps [] in
-  let final_ty = find_type t (List.nth type_chain (List.length type_chain - 1)) in
+  let final_ty =
+    find_type t (Listx.last_exn ~what:"Schema.resolve_path: empty type chain" type_chain)
+  in
   let terminal_fields =
     match path.Path.terminal with
     | Path.All ->

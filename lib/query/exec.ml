@@ -5,7 +5,6 @@ module Oid = Fieldrep_storage.Oid
 module Key = Fieldrep_btree.Key
 module Value = Fieldrep_model.Value
 module Record = Fieldrep_model.Record
-module Ty = Fieldrep_model.Ty
 module Schema = Fieldrep_model.Schema
 
 type access = Index_scan of string | File_scan
@@ -78,8 +77,12 @@ let explain_retrieve db (q : Ast.retrieve) =
 let iter_selected db ~set (where : Ast.predicate option) f =
   match choose_access db ~set where with
   | Index_scan index ->
-      let p = Option.get where in
-      let lo, hi = Option.get (key_bounds p) in
+      (* choose_access only picks an index scan off a bounded predicate. *)
+      let lo, hi =
+        match Option.map key_bounds where with
+        | Some (Some bounds) -> bounds
+        | Some None | None -> invalid_arg "Exec: index plan without key bounds"
+      in
       (* Collect first: callbacks may mutate the tree's pages' residency. *)
       let oids = Db.index_range db ~index ~lo ~hi ~init:[] ~f:(fun acc _ oid -> oid :: acc) in
       List.iter (fun oid -> f oid (Db.get db ~set oid)) (List.rev oids)

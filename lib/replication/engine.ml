@@ -1,5 +1,6 @@
 module Oid = Fieldrep_storage.Oid
 module Heap_file = Fieldrep_storage.Heap_file
+module Listx = Fieldrep_util.Listx
 module Schema = Fieldrep_model.Schema
 module Path = Fieldrep_model.Path
 module Ty = Fieldrep_model.Ty
@@ -177,6 +178,13 @@ let remove_member env node target_oid member =
 
 let plain_entry member = { Link_object.member; tag = Oid.nil }
 
+(* Registry.compile assigns a link id to every node the build/propagation
+   paths reach; a [None] here is a compiler bug, not a data condition. *)
+let require_link (node : Registry.node) =
+  match node.Registry.link_id with
+  | Some link_id -> link_id
+  | None -> invalid_arg "Engine: node unexpectedly has no link id"
+
 (* ------------------------------------------------------------------ *)
 (* On-path transitions                                                 *)
 
@@ -268,7 +276,7 @@ let sprime_for env (rep : Schema.replication) ~sref_link ~fields final_oid final
       ignore final_ty;
       let ty =
         Schema.find_type env.schema
-          (List.nth
+          (Listx.nth_exn ~what:"Engine.sprime_for: path level out of type chain"
              (Schema.resolve_path env.schema rep.Schema.rpath).Schema.type_chain
              (Path.level rep.Schema.rpath))
       in
@@ -341,33 +349,38 @@ let batched_rewrite env ~set oids ~transform =
   else
     List.iter
       (fun ((_file, page), oids) ->
-        let hf = data_file env (List.hd oids) in
-        let slots = List.map (fun (o : Oid.t) -> o.Oid.slot) oids in
-        let payloads = Heap_file.read_batch hf ~page slots in
-        (* [None] marks a chained object: fetch its full payload normally. *)
-        let records =
-          List.map2
-            (fun oid payload ->
-              match payload with
-              | Some bytes -> (oid, Record.decode bytes)
-              | None -> (oid, read_record env oid))
-            oids payloads
-        in
-        let changes =
-          List.filter_map
-            (fun (oid, r) ->
-              match transform oid r with
-              | Some r' -> Some (oid, r, r')
-              | None -> None)
-            records
-        in
-        Heap_file.update_batch hf ~page
-          (List.map
-             (fun ((oid : Oid.t), _, r') -> (oid.Oid.slot, Record.encode r'))
-             changes);
+        match oids with
+        | [] -> ()
+        | first :: _ ->
+            let hf = data_file env first in
+            let slots = List.map (fun (o : Oid.t) -> o.Oid.slot) oids in
+            let changes = ref [] in
+            (* One pin covers the head reads and the in-place rewrites;
+               [transform] runs under it but only reads (chained objects
+               re-pin their own pages, including this one, re-entrantly). *)
+            Heap_file.modify_batch hf ~page slots ~f:(fun payloads ->
+                (* [None] marks a chained object: fetch it normally. *)
+                let records =
+                  List.map2
+                    (fun oid payload ->
+                      match payload with
+                      | Some bytes -> (oid, Record.decode bytes)
+                      | None -> (oid, read_record env oid))
+                    oids payloads
+                in
+                changes :=
+                  List.filter_map
+                    (fun (oid, r) ->
+                      match transform oid r with
+                      | Some r' -> Some (oid, r, r')
+                      | None -> None)
+                    records;
+                List.map
+                  (fun ((oid : Oid.t), _, r') -> (oid.Oid.slot, Record.encode r'))
+                  !changes);
         List.iter
           (fun (oid, r, r') -> env.on_hidden_update set oid ~before:r ~after:r')
-          changes)
+          !changes)
       (group_by_page sorted)
 
 (* Desired hidden-field rewrite of one source record under an in-place or
@@ -410,7 +423,8 @@ let refresh_terminal env (rep : Schema.replication) source_oid =
     match term.Registry.kind with
     | Registry.K_inplace | Registry.K_collapsed _ -> (
         let final_ty_name =
-          (List.nth nodes (List.length nodes - 1)).Registry.to_type
+          (Listx.last_exn ~what:"Engine.refresh_terminal: empty chain" nodes)
+            .Registry.to_type
         in
         let final_ty = Schema.find_type env.schema final_ty_name in
         match
@@ -467,7 +481,8 @@ let refresh_batch env (rep : Schema.replication) oids =
       let nodes = Registry.chain env.registry rep in
       let final_ty =
         Schema.find_type env.schema
-          (List.nth nodes (List.length nodes - 1)).Registry.to_type
+          (Listx.last_exn ~what:"Engine.refresh_batch: empty chain" nodes)
+            .Registry.to_type
       in
       batched_rewrite env ~set oids ~transform:(fun oid source_rec ->
           clear_pending env rep oid;
@@ -865,7 +880,7 @@ let build env (rep : Schema.replication) =
                  x_oid)
                source_oid targets));
       let build_node_target (node : Registry.node) target =
-        let link_id = Option.get node.Registry.link_id in
+        let link_id = require_link node in
         let threshold = node_threshold node in
         let members = Oid.Table.find (table_for node) target in
         ignore
@@ -911,7 +926,7 @@ let build env (rep : Schema.replication) =
                 Oid.Table.iter
                   (fun target _ ->
                     let target_rec = read_record env target in
-                    match Record.find_link target_rec (Option.get node.Registry.link_id) with
+                    match Record.find_link target_rec (require_link node) with
                     | Some _ -> ()
                     | None -> build_node_target node target)
                   tbl)
@@ -922,7 +937,7 @@ let build env (rep : Schema.replication) =
           (fun (node : Registry.node) ->
             (* Force creation so a later build treats this link as existing
                even if it stays empty. *)
-            ignore (Store.link_file env.store (Option.get node.Registry.link_id));
+            ignore (Store.link_file env.store (require_link node));
             let tbl = table_for node in
             let targets =
               Oid.Table.fold (fun oid _ acc -> oid :: acc) tbl []

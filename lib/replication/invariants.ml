@@ -1,3 +1,4 @@
+module Listx = Fieldrep_util.Listx
 module Oid = Fieldrep_storage.Oid
 module Heap_file = Fieldrep_storage.Heap_file
 module Schema = Fieldrep_model.Schema
@@ -176,7 +177,8 @@ let errors (env : Engine.env) =
                   (* Replicated values match the final object's current state. *)
                   let final_ty =
                     Schema.find_type schema
-                      (List.nth nodes (List.length nodes - 1)).Registry.to_type
+                      (Listx.last_exn ~what:"Invariants: empty chain" nodes)
+                        .Registry.to_type
                   in
                   let final_rec =
                     Record.decode

@@ -1,3 +1,4 @@
+module Listx = Fieldrep_util.Listx
 module Oid = Fieldrep_storage.Oid
 module Heap_file = Fieldrep_storage.Heap_file
 module Schema = Fieldrep_model.Schema
@@ -107,7 +108,8 @@ let compute (env : Engine.env) =
           | Registry.K_inplace | Registry.K_collapsed _ ->
               let final_ty =
                 Schema.find_type schema
-                  (List.nth nodes (List.length nodes - 1)).Registry.to_type
+                  (Listx.last_exn ~what:"Recompute: empty chain" nodes)
+                    .Registry.to_type
               in
               List.iter
                 (fun (fname, _) ->

@@ -1,3 +1,4 @@
+module Listx = Fieldrep_util.Listx
 module Schema = Fieldrep_model.Schema
 module Path = Fieldrep_model.Path
 module Ty = Fieldrep_model.Ty
@@ -143,7 +144,7 @@ let compile schema =
         path.Path.steps;
       let chain = List.rev !chain in
       Hashtbl.replace by_rep rep.Schema.rep_id chain;
-      let final_id = List.nth chain (n - 1) in
+      let final_id = Listx.last_exn ~what:"Registry.compile: empty chain" chain in
       let final = (!bnodes).(final_id) in
       let kind =
         if collapse then K_collapsed (alloc_link (L_collapsed final_id))
@@ -195,7 +196,7 @@ let chain t (rep : Schema.replication) =
 
 let terminal_of t rep =
   let nodes = chain t rep in
-  let final = List.nth nodes (List.length nodes - 1) in
+  let final = Listx.last_exn ~what:"Registry.terminal_of: empty chain" nodes in
   let term =
     List.find
       (fun term -> term.rep.Schema.rep_id = rep.Schema.rep_id)

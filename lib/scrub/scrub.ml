@@ -1,4 +1,6 @@
 module Oid = Fieldrep_storage.Oid
+module Listx = Fieldrep_util.Listx
+module Wire = Fieldrep_util.Wire
 module Disk = Fieldrep_storage.Disk
 module Pager = Fieldrep_storage.Pager
 module Page = Fieldrep_storage.Page
@@ -116,9 +118,10 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
       | `Data set_name -> (
           let dump = Disk.dump_page disk ~file:fid ~page in
           let slots =
-            try
-              Some (Page.fold (fun acc slot _ -> slot :: acc) [] dump)
-            with _ -> None
+            (* Pure decoding of an already-corrupt image: only malformed-
+               bytes exceptions can arise, no storage faults to swallow. *)
+            try Some (Page.fold (fun acc slot _ -> slot :: acc) [] dump)
+            with Invalid_argument _ | Failure _ | Wire.Corrupt _ -> None
           in
           match slots with
           | None ->
@@ -133,18 +136,22 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
               Pager.invalidate pager ~file:fid ~page;
               let hf = List.assoc set_name data_sets in
               let broken =
-                List.exists
-                  (fun slot ->
-                    let oid = { Oid.file = fid; page; slot } in
-                    match Heap_file.exists hf oid with
-                    | false -> false
-                    | true -> (
-                        try
-                          ignore (Record.decode (Heap_file.read hf oid));
-                          false
-                        with _ -> true)
-                    | exception _ -> true)
-                  slots
+                (* Any failure at all — including a Corrupt_page raised by a
+                   continuation chain crossing another bad page — means the
+                   salvage attempt failed and the page must stay
+                   quarantined; swallowing wide here is the point. *)
+                (List.exists
+                   (fun slot ->
+                     let oid = { Oid.file = fid; page; slot } in
+                     match Heap_file.exists hf oid with
+                     | false -> false
+                     | true -> (
+                         try
+                           ignore (Record.decode (Heap_file.read hf oid));
+                           false
+                         with _ -> true)
+                     | exception _ -> true)
+                   slots [@lint.allow "E1"])
               in
               if broken then begin
                 Disk.quarantine disk ~file:fid ~page;
@@ -472,7 +479,8 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
               let sp_file_opt = Store.sprime_file_opt store rep.Schema.rep_id in
               let final_ty =
                 Schema.find_type schema
-                  (List.nth nodes (List.length nodes - 1)).Registry.to_type
+                  (Listx.last_exn ~what:"Scrub: empty chain" nodes)
+                    .Registry.to_type
               in
               let detach_dead_sref source_oid sp =
                 (* The S' object died with a blanked page.  Null the slot and

@@ -197,18 +197,27 @@ let lookup t ~file ~page ~for_new =
       end;
       idx
 
-let with_pinned t ~file ~page ~dirty ~for_new fn =
-  let idx = lookup t ~file ~page ~for_new in
+let pin t ~file ~page ~dirty =
+  let idx = lookup t ~file ~page ~for_new:false in
   let f = t.frames.(idx) in
   f.pins <- f.pins + 1;
   if dirty then f.dirty <- true;
-  Fun.protect ~finally:(fun () -> f.pins <- f.pins - 1) (fun () -> fn f.data)
+  f.data
 
-let with_page_read t ~file ~page fn =
-  with_pinned t ~file ~page ~dirty:false ~for_new:false fn
+let unpin t ~file ~page =
+  match Hashtbl.find_opt t.table (file, page) with
+  | None -> invalid_arg "Buffer_pool.unpin: page not resident"
+  | Some idx ->
+      let f = t.frames.(idx) in
+      if f.pins <= 0 then invalid_arg "Buffer_pool.unpin: frame is not pinned";
+      f.pins <- f.pins - 1
 
-let with_page_write t ~file ~page fn =
-  with_pinned t ~file ~page ~dirty:true ~for_new:false fn
+let with_pin t ~file ~page ~dirty fn =
+  let buf = pin t ~file ~page ~dirty in
+  Fun.protect ~finally:(fun () -> unpin t ~file ~page) (fun () -> fn buf)
+
+let with_page_read t ~file ~page fn = with_pin t ~file ~page ~dirty:false fn
+let with_page_write t ~file ~page fn = with_pin t ~file ~page ~dirty:true fn
 
 let new_page t ~file =
   (* Claim the victim frame *before* allocating: there is no

@@ -30,6 +30,22 @@ val set_prefetch : t -> int -> unit
 
 val prefetch_depth : t -> int
 
+val pin : t -> file:int -> page:int -> dirty:bool -> Bytes.t
+(** Low-level: install (reading if absent) and pin the page's frame, and
+    return its buffer.  Every [pin] must be balanced by {!unpin} on all
+    paths, including exceptional ones — fieldrep-lint rule P1 enforces this,
+    so prefer {!with_pin} / {!with_page_read} / {!with_page_write}, which
+    cannot leak the pin. *)
+
+val unpin : t -> file:int -> page:int -> unit
+(** Release one pin taken by {!pin}.  Raises [Invalid_argument] if the page
+    is not resident or not pinned. *)
+
+val with_pin : t -> file:int -> page:int -> dirty:bool -> (Bytes.t -> 'a) -> 'a
+(** [pin], run the callback, [unpin] — even on exceptions.  The blessed
+    combinator behind {!with_page_read} and {!with_page_write}; the callback
+    must not retain the buffer past its return. *)
+
 val with_page_read : t -> file:int -> page:int -> (Bytes.t -> 'a) -> 'a
 (** The callback must not retain the buffer past its return. *)
 

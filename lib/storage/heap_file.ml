@@ -296,61 +296,73 @@ let insert_at t (oid : Oid.t) payload =
    payload spills into continuation segments needs other pages anyway, so
    the caller falls back to {!read} / {!update} for it. *)
 
+(* Shared per-slot plumbing for the batch entry points: the page buffer is
+   already pinned by the caller. *)
+
+let batch_head t ~op buf ~page slot =
+  if not (Page.is_live buf slot) then
+    invalid_arg
+      (Printf.sprintf "Heap_file: dead OID %s"
+         (Oid.to_string { Oid.file = t.file; page; slot }));
+  let head = Page.read buf slot in
+  let kind, next, off = decode_header head in
+  if kind <> kind_head then
+    invalid_arg (Printf.sprintf "Heap_file.%s: OID is not an object head" op);
+  (head, next, off)
+
+let batch_payload t ~op buf ~page slot =
+  let head, next, off = batch_head t ~op buf ~page slot in
+  if Oid.is_nil next then begin
+    (Pager.stats t.pager).objects_read <- (Pager.stats t.pager).objects_read + 1;
+    Some (Bytes.sub head off (Bytes.length head - off))
+  end
+  else None
+
+(* Rewrite one slot in place if the payload still fits an unchained head;
+   [true] means the caller must fall back to the general [update] (which may
+   spill) after the pin is released. *)
+let batch_write_deferred t ~op buf ~page (slot, payload) =
+  let _, old_next, _ = batch_head t ~op buf ~page slot in
+  if not (Oid.is_nil old_next) then true
+  else begin
+    let record =
+      encode_segment ~kind:kind_head ~next:Oid.nil (payload, 0, Bytes.length payload)
+    in
+    if Bytes.length record <= max_record t && Page.write buf slot record then begin
+      let stats = Pager.stats t.pager in
+      stats.objects_written <- stats.objects_written + 1;
+      false
+    end
+    else true
+  end
+
 let read_batch t ~page slots =
-  let heads =
-    Pager.with_page_read t.pager ~file:t.file ~page (fun buf ->
-        List.map
-          (fun slot ->
-            if not (Page.is_live buf slot) then
-              invalid_arg
-                (Printf.sprintf "Heap_file: dead OID %s"
-                   (Oid.to_string { Oid.file = t.file; page; slot }));
-            Page.read buf slot)
-          slots)
-  in
-  let stats = Pager.stats t.pager in
-  List.map
-    (fun head ->
-      let kind, next, off = decode_header head in
-      if kind <> kind_head then
-        invalid_arg "Heap_file.read_batch: OID is not an object head";
-      if Oid.is_nil next then begin
-        stats.objects_read <- stats.objects_read + 1;
-        Some (Bytes.sub head off (Bytes.length head - off))
-      end
-      else None)
-    heads
+  Pager.with_page_read t.pager ~file:t.file ~page (fun buf ->
+      List.map (batch_payload t ~op:"read_batch" buf ~page) slots)
 
 let update_batch t ~page entries =
-  let stats = Pager.stats t.pager in
   (* In-place rewrites happen under one pin; entries that are chained or no
      longer fit fall through to the general [update] (which may spill). *)
   let deferred =
     Pager.with_page_write t.pager ~file:t.file ~page (fun buf ->
-        List.filter
-          (fun (slot, payload) ->
-            if not (Page.is_live buf slot) then
-              invalid_arg
-                (Printf.sprintf "Heap_file: dead OID %s"
-                   (Oid.to_string { Oid.file = t.file; page; slot }));
-            let head = Page.read buf slot in
-            let kind, old_next, _ = decode_header head in
-            if kind <> kind_head then
-              invalid_arg "Heap_file.update_batch: OID is not an object head";
-            if not (Oid.is_nil old_next) then true
-            else begin
-              let record =
-                encode_segment ~kind:kind_head ~next:Oid.nil
-                  (payload, 0, Bytes.length payload)
-              in
-              if Bytes.length record <= max_record t && Page.write buf slot record
-              then begin
-                stats.objects_written <- stats.objects_written + 1;
-                false
-              end
-              else true
-            end)
-          entries)
+        List.filter (batch_write_deferred t ~op:"update_batch" buf ~page) entries)
+  in
+  List.iter
+    (fun (slot, payload) -> update t { Oid.file = t.file; page; slot } payload)
+    deferred
+
+let modify_batch t ~page slots ~f =
+  (* Read-modify-write under a single pin: the page is pinned once for both
+     the head reads and the in-place rewrites, instead of once per phase.
+     [f] runs with the page pinned, so it may read other objects (a
+     re-entrant pin on this page just increments the count) but must not
+     write through this heap file. *)
+  let deferred =
+    Pager.with_pin t.pager ~file:t.file ~page ~dirty:true (fun buf ->
+        let payloads =
+          List.map (batch_payload t ~op:"modify_batch" buf ~page) slots
+        in
+        List.filter (batch_write_deferred t ~op:"modify_batch" buf ~page) (f payloads))
   in
   List.iter
     (fun (slot, payload) -> update t { Oid.file = t.file; page; slot } payload)

@@ -91,6 +91,17 @@ val update_batch : t -> page:int -> (int * Bytes.t) list -> unit
     place, fall back to {!update} (which may spill) after the pin is
     released.  Raises like {!read_batch}. *)
 
+val modify_batch :
+  t -> page:int -> int list -> f:(Bytes.t option list -> (int * Bytes.t) list) -> unit
+(** [modify_batch t ~page slots ~f] is a {!read_batch} and an
+    {!update_batch} fused under a {e single} page pin: [f] receives the head
+    payloads of [slots] ([None] for chained objects, as in {!read_batch})
+    and returns the [(slot, payload)] rewrites to apply, which land in place
+    where they still fit and fall back to {!update} after the pin is
+    released otherwise.  [f] runs with the page pinned — it may read other
+    objects but must not write through this file.  Raises like
+    {!read_batch}. *)
+
 val iter : t -> (Oid.t -> Bytes.t -> unit) -> unit
 (** Physical order (page then slot), heads only.  The callback receives the
     payload with chain plumbing stripped. *)

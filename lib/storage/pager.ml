@@ -6,7 +6,10 @@ let create ?(page_size = 4096) ?(frames = 256) ?(prefetch = 0) () =
   { disk; pool = Buffer_pool.create ~prefetch disk ~frames; stats }
 
 let page_size t = Disk.page_size t.disk
-let set_prefetch t depth = Buffer_pool.set_prefetch t.pool depth
+
+(* Clamp here as well as in the pool: a negative depth must read as
+   "disabled" at every layer of the facade. *)
+let set_prefetch t depth = Buffer_pool.set_prefetch t.pool (max 0 depth)
 let prefetch_depth t = Buffer_pool.prefetch_depth t.pool
 let stats t = t.stats
 let disk t = t.disk
@@ -22,6 +25,7 @@ let delete_file t id =
 let page_count t id = Disk.page_count t.disk id
 let with_page_read t = Buffer_pool.with_page_read t.pool
 let with_page_write t = Buffer_pool.with_page_write t.pool
+let with_pin t = Buffer_pool.with_pin t.pool
 let new_page t ~file = Buffer_pool.new_page t.pool ~file
 let flush t = Buffer_pool.flush t.pool
 let invalidate t ~file ~page = Buffer_pool.invalidate t.pool ~file ~page

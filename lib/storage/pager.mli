@@ -13,7 +13,8 @@ val create : ?page_size:int -> ?frames:int -> ?prefetch:int -> unit -> t
 val page_size : t -> int
 
 val set_prefetch : t -> int -> unit
-(** Change the sequential read-ahead depth; 0 disables. *)
+(** Change the sequential read-ahead depth; 0 disables.  Negative depths
+    are clamped to 0. *)
 
 val prefetch_depth : t -> int
 val stats : t -> Stats.t
@@ -23,6 +24,10 @@ val delete_file : t -> int -> unit
 val page_count : t -> int -> int
 val with_page_read : t -> file:int -> page:int -> (Bytes.t -> 'a) -> 'a
 val with_page_write : t -> file:int -> page:int -> (Bytes.t -> 'a) -> 'a
+
+val with_pin : t -> file:int -> page:int -> dirty:bool -> (Bytes.t -> 'a) -> 'a
+(** Generalised pinned access (see {!Buffer_pool.with_pin}); the pin is
+    released even on exceptions. *)
 
 val new_page : t -> file:int -> int
 (** Fresh zeroed page, resident and dirty; no physical read. *)

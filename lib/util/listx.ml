@@ -1,0 +1,13 @@
+let last xs =
+  let rec go = function [] -> None | [ x ] -> Some x | _ :: rest -> go rest in
+  go xs
+
+let last_exn ~what xs =
+  match last xs with
+  | Some x -> x
+  | None -> invalid_arg (what ^ ": empty list")
+
+let nth_exn ~what xs n =
+  match List.nth_opt xs n with
+  | Some x -> x
+  | None -> invalid_arg (Printf.sprintf "%s: index %d out of bounds" what n)

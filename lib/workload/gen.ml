@@ -153,14 +153,16 @@ let measured_params built ~read_sel ~update_sel =
   let p_l, o_l =
     match rep with
     | Some r when r.Schema.strategy = Schema.Inplace -> (
-        let node = List.hd (Registry.roots eng.Engine.registry "R") in
+        match Registry.roots eng.Engine.registry "R" with
+        | [] -> (0, 1)
+        | node :: _ -> (
         match node.Registry.link_id with
         | Some id -> (
             match Store.link_file_opt eng.Engine.store id with
             | Some hf when Heap_file.page_count hf > 0 ->
                 (Heap_file.page_count hf, round_div spec.s_count (Heap_file.page_count hf))
             | Some _ | None -> (0, 1))
-        | None -> (0, 1))
+        | None -> (0, 1)))
     | Some _ | None -> (0, 1)
   in
   let p_sprime, o_sprime =

@@ -67,6 +67,13 @@ type maps = {
   s_oid : (int, Oid.t) Hashtbl.t;
 }
 
+(* S objects are never deleted by the generated mixes, so every S key the
+   generator can draw stays mapped for the whole run. *)
+let s_oid_of maps key =
+  match Hashtbl.find_opt maps.s_oid key with
+  | Some oid -> oid
+  | None -> invalid_arg (Printf.sprintf "Multi: unmapped S key %d" key)
+
 let build_maps db =
   let r_oid = Hashtbl.create 1024 and s_oid = Hashtbl.create 256 in
   Db.scan db ~set:"R" (fun oid record ->
@@ -105,7 +112,7 @@ let exec db maps txn journal op =
       | Some oid -> ignore (Db.get ?txn db ~set:"R" oid)
       | None -> ())
   | Update_rep (key, v) ->
-      Db.update_field ?txn db ~set:"S" (Hashtbl.find maps.s_oid key)
+      Db.update_field ?txn db ~set:"S" (s_oid_of maps key)
         ~field:"repfield" (Value.VString v)
   | Update_key (key, v) -> (
       match Hashtbl.find_opt maps.r_oid key with
@@ -115,7 +122,7 @@ let exec db maps txn journal op =
       match Hashtbl.find_opt maps.r_oid key with
       | Some oid ->
           Db.update_field ?txn db ~set:"R" oid ~field:"sref"
-            (Value.VRef (Hashtbl.find maps.s_oid skey))
+            (Value.VRef (s_oid_of maps skey))
       | None -> ())
   | Insert_r (key, skey) ->
       let oid =
@@ -123,7 +130,7 @@ let exec db maps txn journal op =
           [
             Value.VInt key;
             Value.VString "inserted";
-            Value.VRef (Hashtbl.find maps.s_oid skey);
+            Value.VRef (s_oid_of maps skey);
           ]
       in
       Hashtbl.replace maps.r_oid key oid;
@@ -175,7 +182,9 @@ let gen_programs ~rng ~mix ~shared_r ~s_count ~delete_pool ~next_key
         | [] ->
             (* private range exhausted: degrade to an update *)
             Update_key (Splitmix.int rng shared_r, 10_000_000 + Splitmix.int rng 1_000_000));
-    Option.get !chosen
+    match !chosen with
+    | Some op -> op
+    | None -> invalid_arg "Multi: operation mix selected no bucket"
   in
   List.init txns_per_client (fun _ ->
       let ops = Array.init ops_per_txn (fun _ -> gen_op ()) in
@@ -204,10 +213,10 @@ type result = {
 
 type running = {
   prog : program;
-  mutable tx : Db.txn;
+  tx : Db.txn;
   mutable pc : int;
   journal : journal_entry list ref;
-  mutable retries : int;
+  retries : int;
 }
 
 type client = { mutable todo : program list; mutable cur : running option }

@@ -235,10 +235,13 @@ let scrub_and_verify db expected =
   checkb "nothing left quarantined" true (r.Scrub.quarantined = []);
   Db.check_integrity db;
   assert_snapshot db expected;
-  (* A second scrub over the repaired database finds nothing to do. *)
+  (* A second scrub over the repaired database finds nothing to do, and
+     the deep invariant check still passes after it ran. *)
   let r2 = Db.scrub db in
   checki "second scrub is clean" 0 r2.Scrub.checksum_failures;
-  checki "second scrub repairs nothing" 0 r2.Scrub.repairs
+  checki "second scrub repairs nothing" 0 r2.Scrub.repairs;
+  Db.check_integrity db;
+  assert_snapshot db expected
 
 let corrupt_first_page db files =
   (* Flush and empty the pool first: cached frames would either mask the

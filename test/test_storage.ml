@@ -422,6 +422,28 @@ let test_prefetch_off_by_default () =
   checki "no read-ahead" 0 stats.Stats.prefetch_issued;
   checki "one read per page" 4 stats.Stats.page_reads
 
+(* Regression: a negative depth must clamp to "off", not poison the
+   adjacency arithmetic inside the pool. *)
+let test_prefetch_negative_depth_clamps () =
+  let pager = Pager.create ~page_size:64 ~frames:16 ~prefetch:4 () in
+  Pager.set_prefetch pager (-3);
+  checki "negative depth reads as off" 0 (Pager.prefetch_depth pager);
+  let stats = Pager.stats pager in
+  let f = Pager.create_file pager in
+  for _ = 0 to 3 do
+    ignore (Pager.new_page pager ~file:f)
+  done;
+  Pager.flush pager;
+  Pager.run_cold pager (fun () ->
+      for p = 0 to 3 do
+        Pager.with_page_read pager ~file:f ~page:p (fun _ -> ())
+      done);
+  checki "no read-ahead with clamped depth" 0 stats.Stats.prefetch_issued;
+  checki "one read per page" 4 stats.Stats.page_reads;
+  (* And setting a sane depth afterwards re-enables read-ahead. *)
+  Pager.set_prefetch pager 2;
+  checki "positive depth sticks" 2 (Pager.prefetch_depth pager)
+
 (* ------------------------------------------------------------------ *)
 (* Heap file                                                           *)
 
@@ -660,6 +682,8 @@ let () =
             test_install_read_failure_keeps_victim;
           Alcotest.test_case "sequential read-ahead" `Quick test_prefetch_sequential_scan;
           Alcotest.test_case "read-ahead off by default" `Quick test_prefetch_off_by_default;
+          Alcotest.test_case "negative depth clamps" `Quick
+            test_prefetch_negative_depth_clamps;
         ] );
       ( "heap_file",
         [

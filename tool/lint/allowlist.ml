@@ -1,0 +1,86 @@
+(* lint.toml: the checked-in allowlist.  Deliberately a tiny subset of
+   TOML — comments, [section] headers (ignored), and
+
+     RULE = ["path", "path:LINE", ...]
+
+   entries, possibly spread over several lines.  Entries without a line
+   number allowlist the whole file for that rule. *)
+
+type entry = { rule : string; path : string; line : int option }
+type t = entry list
+
+let empty : t = []
+
+let parse_item rule item =
+  match String.rindex_opt item ':' with
+  | Some i -> (
+      let tail = String.sub item (i + 1) (String.length item - i - 1) in
+      match int_of_string_opt tail with
+      | Some line -> { rule; path = String.sub item 0 i; line = Some line }
+      | None -> { rule; path = item; line = None })
+  | None -> { rule; path = item; line = None }
+
+(* Pull every "quoted string" out of a line. *)
+let quoted_items line =
+  let acc = ref [] in
+  let buf = Buffer.create 32 in
+  let in_str = ref false in
+  String.iter
+    (fun c ->
+      match (c, !in_str) with
+      | '"', false -> in_str := true
+      | '"', true ->
+          acc := Buffer.contents buf :: !acc;
+          Buffer.clear buf;
+          in_str := false
+      | _, true -> Buffer.add_char buf c
+      | _, false -> ())
+    line;
+  List.rev !acc
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i when not (String.contains_from line 0 '"') || i < String.index line '"'
+    ->
+      String.sub line 0 i
+  | _ -> line
+
+let parse_string contents =
+  let entries = ref [] in
+  let current_rule = ref None in
+  String.split_on_char '\n' contents
+  |> List.iter (fun raw ->
+         let line = String.trim (strip_comment raw) in
+         if line = "" || (String.length line > 0 && line.[0] = '[') then ()
+         else begin
+           (match String.index_opt line '=' with
+           | Some i ->
+               let key = String.trim (String.sub line 0 i) in
+               if key <> "" then current_rule := Some key
+           | None -> ());
+           match !current_rule with
+           | Some rule ->
+               List.iter
+                 (fun item -> entries := parse_item rule item :: !entries)
+                 (quoted_items line);
+               if String.contains line ']' then current_rule := None
+           | None -> ()
+         end);
+  List.rev !entries
+
+let load path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
+  end
+  else empty
+
+let allows (t : t) (d : Diag.t) =
+  List.exists
+    (fun e ->
+      e.rule = d.Diag.rule
+      && e.path = Diag.file d
+      && match e.line with None -> true | Some l -> l = Diag.line d)
+    t

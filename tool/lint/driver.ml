@@ -1,0 +1,69 @@
+(* Scan, parse, run rules, filter by suppressions and allowlist. *)
+
+let parse_channel ~path ic =
+  let lexbuf = Lexing.from_channel ic in
+  Location.init lexbuf path;
+  Parse.implementation lexbuf
+
+let parse_error_diag path loc =
+  { Diag.rule = "parse-error"; loc; message = path ^ ": does not parse" }
+
+(* [as_path] lets the self-tests lint a fixture as if it lived somewhere in
+   the repo (rule scoping is path-based); it is also how scanned files are
+   reported repo-relative. *)
+let lint_file ?as_path ~allow real_path =
+  let rel_path = Option.value as_path ~default:real_path in
+  let ic = open_in_bin real_path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match parse_channel ~path:rel_path ic with
+      | str ->
+          let env = Lint_ast.collect_env str in
+          let sups = Lint_ast.suppressions str in
+          Rules.all { Rules.rel_path; str; env }
+          |> List.filter (fun d -> not (Lint_ast.suppressed sups d))
+          |> List.filter (fun d -> not (Allowlist.allows allow d))
+      | exception Syntaxerr.Error err ->
+          [ parse_error_diag rel_path (Syntaxerr.location_of_error err) ]
+      | exception Lexer.Error (_, loc) -> [ parse_error_diag rel_path loc ])
+
+(* Directories never linted: build artifacts and test fixtures (fixtures
+   deliberately contain violations). *)
+let skip_dir name =
+  name = "_build" || name = "fixtures"
+  || (String.length name > 0 && name.[0] = '.')
+
+let rec scan_dir acc path =
+  Sys.readdir path |> Array.to_list |> List.sort String.compare
+  |> List.fold_left
+       (fun acc name ->
+         let child = Filename.concat path name in
+         if Sys.is_directory child then
+           if skip_dir name then acc else scan_dir acc child
+         else if Filename.check_suffix name ".ml" then child :: acc
+         else acc)
+       acc
+
+let default_dirs = [ "lib"; "bin"; "bench"; "test"; "tool" ]
+
+let lint_tree ~root ~allow =
+  let files =
+    List.concat_map
+      (fun dir ->
+        let abs = Filename.concat root dir in
+        if Sys.file_exists abs && Sys.is_directory abs then scan_dir [] abs
+        else [])
+      default_dirs
+    |> List.sort String.compare
+  in
+  let rel abs =
+    let prefix = root ^ "/" in
+    let p =
+      if String.starts_with ~prefix abs then
+        String.sub abs (String.length prefix) (String.length abs - String.length prefix)
+      else abs
+    in
+    String.map (fun c -> if c = '\\' then '/' else c) p
+  in
+  List.concat_map (fun f -> lint_file ~as_path:(rel f) ~allow f) files

@@ -1,0 +1,53 @@
+(* fieldrep_lint: enforce the storage/durability/layering disciplines.
+
+   Usage:
+     fieldrep_lint [--root DIR] [--allowlist FILE]
+     fieldrep_lint [--allowlist FILE] [--as-path REL] FILE.ml ...
+
+   With --root (default "."), lints lib/ bin/ bench/ test/ tool/ under the
+   given repo root against tool/lint/lint.toml.  With explicit files, lints
+   just those (each under the virtual path given by --as-path, if any —
+   used by the self-tests).  Exits 1 if any diagnostic survives the
+   [@lint.allow] attributes and the allowlist. *)
+
+module Core = Fieldrep_lint_core
+
+let usage = "fieldrep_lint [--root DIR] [--allowlist FILE] [--as-path REL] [files...]"
+
+let () =
+  let root = ref "." in
+  let allowlist_path = ref None in
+  let as_path = ref None in
+  let files = ref [] in
+  Arg.parse
+    [
+      ("--root", Arg.Set_string root, "DIR repo root to lint (default .)");
+      ( "--allowlist",
+        Arg.String (fun s -> allowlist_path := Some s),
+        "FILE allowlist (default ROOT/tool/lint/lint.toml)" );
+      ( "--as-path",
+        Arg.String (fun s -> as_path := Some s),
+        "REL lint the given files under this repo-relative path" );
+    ]
+    (fun f -> files := f :: !files)
+    usage;
+  let allow =
+    match !allowlist_path with
+    | Some p -> Core.Allowlist.load p
+    | None ->
+        Core.Allowlist.load (Filename.concat !root "tool/lint/lint.toml")
+  in
+  let diags =
+    match List.rev !files with
+    | [] -> Core.Driver.lint_tree ~root:!root ~allow
+    | files ->
+        List.concat_map
+          (fun f -> Core.Driver.lint_file ?as_path:!as_path ~allow f)
+          files
+  in
+  let diags = List.sort Core.Diag.compare diags in
+  List.iter (fun d -> print_endline (Core.Diag.to_string d)) diags;
+  if diags <> [] then begin
+    Printf.eprintf "fieldrep_lint: %d violation(s)\n" (List.length diags);
+    exit 1
+  end

@@ -1,0 +1,65 @@
+(* The allowed-edges table behind rule L1 — DESIGN.md's architecture
+   diagram, executable.
+
+   The storage stack exports a two-module facade: [Pager] (pages, stats,
+   files) and [Heap_file]/[Btree] above it.  Everything underneath —
+   [Disk], the raw [Page] layout, the [Buffer_pool] — is an internal that
+   upper layers must not see, because the durability and corruption
+   machinery (WAL sealing, checksums, quarantine, pin accounting) lives in
+   the facade's contracts.  Likewise the WAL is driven only by the layers
+   that own durability decisions.
+
+   Exceptions to this table are not edited here: they get an explicit entry
+   in tool/lint/lint.toml (or a [@lint.allow "L1"] attribute) with a
+   comment, so every sanctioned back-door is enumerated in one place. *)
+
+type guard = {
+  library : string;  (* wrapping library module, e.g. "Fieldrep_storage" *)
+  name : string;  (* guarded submodule, e.g. "Disk" *)
+  allowed_dirs : string list;  (* repo-relative directory prefixes *)
+  why : string;
+}
+
+let guards =
+  [
+    {
+      library = "Fieldrep_storage";
+      name = "Disk";
+      allowed_dirs = [ "lib/storage" ];
+      why = "raw disk I/O bypasses checksums, stats and the buffer pool";
+    };
+    {
+      library = "Fieldrep_storage";
+      name = "Page";
+      allowed_dirs = [ "lib/storage"; "lib/wal" ];
+      why = "slot layout is private to the heap file and WAL framing";
+    };
+    {
+      library = "Fieldrep_storage";
+      name = "Buffer_pool";
+      allowed_dirs = [ "lib/storage"; "lib/wal" ];
+      why = "pin accounting is owned by the Pager facade";
+    };
+    {
+      library = "Fieldrep_wal";
+      name = "Wal";
+      allowed_dirs = [ "lib/wal"; "lib/core"; "lib/scrub" ];
+      why = "only durability owners may append/sync the log";
+    };
+    {
+      library = "Fieldrep_wal";
+      name = "Recovery";
+      allowed_dirs = [ "lib/wal"; "lib/core" ];
+      why = "replay is driven by Db.recover only";
+    };
+  ]
+
+(* (directory prefix, library it must not reference, why).  The replication
+   engine calls into no transaction code and vice versa: Db mediates, so
+   that lock acquisition order stays in one file. *)
+let forbidden_edges =
+  [
+    ( "lib/txn",
+      "Fieldrep_replication",
+      "no txn -> replication back-edge; Db mediates between the two" );
+  ]

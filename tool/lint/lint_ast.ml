@@ -1,0 +1,202 @@
+(* Shared AST plumbing: longident flattening, alias/open tracking,
+   [@lint.allow] suppression spans, and small traversal helpers.  Written
+   against the 5.1 Parsetree (see the ocaml-compiler pin in CI). *)
+
+open Parsetree
+
+let flatten lid = try Longident.flatten lid with Misc.Fatal_error -> []
+
+(* ------------------------------------------------------------------ *)
+(* Per-file name environment: module aliases and opens.                 *)
+
+type env = {
+  mutable aliases : (string * string list) list;
+      (* [module Disk = Fieldrep_storage.Disk] -> ("Disk", [storage; Disk]) *)
+  mutable opens : string list list;  (* [open Fieldrep_storage] -> [[...]] *)
+}
+
+let collect_env str =
+  let env = { aliases = []; opens = [] } in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      module_binding =
+        (fun it mb ->
+          (match (mb.pmb_name.Location.txt, mb.pmb_expr.pmod_desc) with
+          | Some name, Pmod_ident lid ->
+              env.aliases <- (name, flatten lid.Location.txt) :: env.aliases
+          | _ -> ());
+          Ast_iterator.default_iterator.module_binding it mb);
+      open_declaration =
+        (fun it od ->
+          (match od.popen_expr.pmod_desc with
+          | Pmod_ident lid -> env.opens <- flatten lid.Location.txt :: env.opens
+          | _ -> ());
+          Ast_iterator.default_iterator.open_declaration it od);
+    }
+  in
+  it.structure it str;
+  env
+
+(* Expand a use site through one level of local aliasing: [Disk.read]
+   becomes [Fieldrep_storage.Disk.read] when the file aliased [Disk]. *)
+let resolve env lid =
+  match flatten lid with
+  | [] -> []
+  | head :: rest -> (
+      match List.assoc_opt head env.aliases with
+      | Some full -> full @ rest
+      | None -> head :: rest)
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | path -> path
+
+(* Last path component of the function being applied, if syntactically
+   evident: [Buffer_pool.pin] and [pin] both yield ["pin"]. *)
+let apply_head fn =
+  match fn.pexp_desc with
+  | Pexp_ident lid -> (
+      match List.rev (flatten lid.Location.txt) with
+      | last :: _ -> Some last
+      | [] -> None)
+  | _ -> None
+
+(* Visit every immediate sub-expression of [e] (descending through
+   patterns, cases and bindings, but not recursing into sub-expressions
+   themselves — the callback decides how to continue). *)
+let iter_child_exprs f e =
+  let it =
+    { Ast_iterator.default_iterator with expr = (fun _ child -> f child) }
+  in
+  Ast_iterator.default_iterator.expr it e
+
+(* ------------------------------------------------------------------ *)
+(* Use sites: every longident reference with a location, for L1.       *)
+
+let longident_sites str =
+  let acc = ref [] in
+  let add (lid : Longident.t Location.loc) =
+    acc := (lid.Location.txt, lid.Location.loc) :: !acc
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident lid
+          | Pexp_construct (lid, _)
+          | Pexp_field (_, lid)
+          | Pexp_setfield (_, lid, _)
+          | Pexp_new lid ->
+              add lid
+          | Pexp_record (fields, _) -> List.iter (fun (lid, _) -> add lid) fields
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_construct (lid, _) | Ppat_type lid -> add lid
+          | Ppat_record (fields, _) -> List.iter (fun (lid, _) -> add lid) fields
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+      typ =
+        (fun it t ->
+          (match t.ptyp_desc with
+          | Ptyp_constr (lid, _) | Ptyp_class (lid, _) -> add lid
+          | _ -> ());
+          Ast_iterator.default_iterator.typ it t);
+      module_expr =
+        (fun it me ->
+          (match me.pmod_desc with
+          | Pmod_ident lid -> add lid
+          | _ -> ());
+          Ast_iterator.default_iterator.module_expr it me);
+    }
+  in
+  it.structure it str;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Suppression: [@lint.allow "P1"] / [@@@lint.allow "P1 D1"].          *)
+
+type suppression = {
+  rules : string list;  (* empty means all rules *)
+  span : int * int;  (* start/end cnum; (0, max_int) for floating *)
+}
+
+let allow_payload (attr : attribute) =
+  if attr.attr_name.Location.txt <> "lint.allow" then None
+  else
+    match attr.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval
+                ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+            _;
+          };
+        ] ->
+        Some
+          (String.split_on_char ' ' s
+          |> List.concat_map (String.split_on_char ',')
+          |> List.filter (fun id -> id <> ""))
+    | _ -> Some []
+
+let suppressions str =
+  let acc = ref [] in
+  let add_span loc attrs =
+    List.iter
+      (fun attr ->
+        match allow_payload attr with
+        | Some rules ->
+            acc :=
+              {
+                rules;
+                span =
+                  ( loc.Location.loc_start.Lexing.pos_cnum,
+                    loc.Location.loc_end.Lexing.pos_cnum );
+              }
+              :: !acc
+        | None -> ())
+      attrs
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          add_span e.pexp_loc e.pexp_attributes;
+          Ast_iterator.default_iterator.expr it e);
+      value_binding =
+        (fun it vb ->
+          add_span vb.pvb_loc vb.pvb_attributes;
+          Ast_iterator.default_iterator.value_binding it vb);
+      module_binding =
+        (fun it mb ->
+          add_span mb.pmb_loc mb.pmb_attributes;
+          Ast_iterator.default_iterator.module_binding it mb);
+      structure_item =
+        (fun it si ->
+          (match si.pstr_desc with
+          | Pstr_eval (_, attrs) -> add_span si.pstr_loc attrs
+          | Pstr_attribute attr -> (
+              (* Floating [@@@lint.allow ...]: whole file. *)
+              match allow_payload attr with
+              | Some rules -> acc := { rules; span = (0, max_int) } :: !acc
+              | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.structure_item it si);
+    }
+  in
+  it.structure it str;
+  !acc
+
+let suppressed sups (d : Diag.t) =
+  let cnum = Diag.start_cnum d in
+  List.exists
+    (fun s ->
+      let lo, hi = s.span in
+      cnum >= lo && cnum <= hi
+      && (s.rules = [] || List.mem d.Diag.rule s.rules))
+    sups

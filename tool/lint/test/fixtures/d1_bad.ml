@@ -1,0 +1,5 @@
+(* Linted as lib/core/fixture.ml: a commit record appended but never
+   synced — a crash here loses an acknowledged commit. *)
+module Wal = Fieldrep_wal.Wal
+
+let commit w txn = Wal.append w (Wal.Txn_commit txn)

@@ -1,0 +1,9 @@
+(* Linted as lib/core/fixture.ml: the sync lands in the same definition. *)
+module Wal = Fieldrep_wal.Wal
+
+let commit w txn =
+  Wal.append w (Wal.Txn_commit txn);
+  Wal.sync w
+
+(* Ordinary records are batched; no sync required. *)
+let log_op w record = Wal.append w record

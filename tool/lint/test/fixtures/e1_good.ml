@@ -1,0 +1,10 @@
+(* Linted as lib/core/fixture.ml: specific handlers and re-raising
+   catch-alls are fine. *)
+
+let specific f = try f () with Not_found | Invalid_argument _ -> 0
+
+let cleanup_and_reraise f =
+  try f ()
+  with e ->
+    print_endline "cleaning up";
+    raise e

@@ -1,0 +1,10 @@
+(* Linted as lib/core/fixture.ml: the banned partial operations. *)
+
+let first xs = List.hd xs
+let at xs n = List.nth xs n
+let force o = Option.get o
+let fast a i = Array.unsafe_get a i
+let lookup tbl k = Hashtbl.find tbl k
+let cast (x : int) : bool = Obj.magic x
+
+external unsafe_cast : int -> bool = "%identity"

@@ -1,0 +1,7 @@
+(* Linted as lib/core/fixture.ml: the total spellings. *)
+
+let first xs = match xs with x :: _ -> Some x | [] -> None
+let at xs n = List.nth_opt xs n
+let force o = match o with Some x -> x | None -> invalid_arg "force: None"
+let safe a i = Array.get a i
+let lookup tbl k = Hashtbl.find_opt tbl k

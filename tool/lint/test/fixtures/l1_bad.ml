@@ -1,0 +1,9 @@
+(* Linted as lib/replication/fixture.ml: every one of these references a
+   storage-stack internal from outside its owning directory. *)
+module Disk = Fieldrep_storage.Disk
+module Page = Fieldrep_storage.Page
+module Buffer_pool = Fieldrep_storage.Buffer_pool
+
+let read_raw fd ~page buf = Disk.read fd ~page buf
+let peek buf = Page.slot_count buf
+let grab pool ~file ~page = Buffer_pool.pin pool ~file ~page ~dirty:false

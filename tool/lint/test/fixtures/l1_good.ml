@@ -1,0 +1,7 @@
+(* Linted as lib/storage/fixture.ml: the same references are fine from
+   inside the owning directory, and facade modules are fine anywhere. *)
+module Disk = Fieldrep_storage.Disk
+module Pager = Fieldrep_storage.Pager
+
+let read_raw fd ~page buf = Disk.read fd ~page buf
+let via_facade pager ~file ~page f = Pager.with_page_read pager ~file ~page f

@@ -1,0 +1,5 @@
+(* Linted as lib/query/fixture.ml: reaching a guarded internal through an
+   [open] instead of an alias must be caught too. *)
+open Fieldrep_storage
+
+let read_raw fd ~page buf = Disk.read fd ~page buf

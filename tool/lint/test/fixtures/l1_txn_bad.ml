@@ -1,0 +1,4 @@
+(* Linted as lib/txn/fixture.ml: the txn -> replication back-edge. *)
+module Engine = Fieldrep_replication.Engine
+
+let poke eng = Engine.refresh_all eng

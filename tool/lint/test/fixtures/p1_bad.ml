@@ -1,0 +1,17 @@
+(* Linted as lib/storage/fixture.ml: pins that escape. *)
+module Buffer_pool = Fieldrep_storage.Buffer_pool
+
+(* Leaked outright. *)
+let leak pool ~file ~page =
+  let buf = Buffer_pool.pin pool ~file ~page ~dirty:false in
+  Bytes.length buf
+
+(* Released on one match arm but not the other. *)
+let leak_on_one_path pool ~file ~page cond =
+  let buf = Buffer_pool.pin pool ~file ~page ~dirty:false in
+  match cond with
+  | true ->
+      let n = Bytes.length buf in
+      Buffer_pool.unpin pool ~file ~page;
+      n
+  | false -> 0

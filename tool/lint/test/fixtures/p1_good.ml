@@ -1,0 +1,42 @@
+(* Linted as lib/storage/fixture.ml: every blessed release shape. *)
+module Buffer_pool = Fieldrep_storage.Buffer_pool
+module Pager = Fieldrep_storage.Pager
+
+(* Straight-line release. *)
+let paired pool ~file ~page =
+  let buf = Buffer_pool.pin pool ~file ~page ~dirty:false in
+  let n = Bytes.length buf in
+  Buffer_pool.unpin pool ~file ~page;
+  n
+
+(* Fun.protect with a releasing ~finally, the combinator idiom itself. *)
+let protected pool ~file ~page f =
+  let buf = Buffer_pool.pin pool ~file ~page ~dirty:false in
+  Fun.protect
+    ~finally:(fun () -> Buffer_pool.unpin pool ~file ~page)
+    (fun () -> f buf)
+
+(* Released on every match arm. *)
+let all_paths pool ~file ~page cond =
+  let buf = Buffer_pool.pin pool ~file ~page ~dirty:false in
+  match cond with
+  | true ->
+      let n = Bytes.length buf in
+      Buffer_pool.unpin pool ~file ~page;
+      n
+  | false ->
+      Buffer_pool.unpin pool ~file ~page;
+      0
+
+(* Divergence counts as settling: no pin outlives a raise. *)
+let raise_path pool ~file ~page cond =
+  let buf = Buffer_pool.pin pool ~file ~page ~dirty:false in
+  if cond then begin
+    Buffer_pool.unpin pool ~file ~page;
+    Bytes.length buf
+  end
+  else invalid_arg "raise_path"
+
+(* The blessed combinators never trip the rule at all. *)
+let blessed pager ~file ~page =
+  Pager.with_page_read pager ~file ~page (fun buf -> Bytes.length buf)

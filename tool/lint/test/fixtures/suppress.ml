@@ -1,0 +1,10 @@
+(* Linted as lib/core/fixture.ml: [@lint.allow] silences exactly the named
+   rule at the attributed site, nothing else. *)
+
+let first xs = (List.hd xs [@lint.allow "F1"])
+
+(* Suppressing the wrong rule must not help. *)
+let still_flagged xs = (List.hd xs [@lint.allow "E1"])
+
+(* Binding-level suppression covers the whole body. *)
+let force o = Option.get o [@@lint.allow "F1"]

@@ -1,0 +1,150 @@
+(* Self-tests for fieldrep_lint: each rule must fire on its bad fixture and
+   stay quiet on the good one, under the virtual path that puts the fixture
+   in the rule's scope.  Fixtures only need to parse, not typecheck. *)
+
+module Core = Fieldrep_lint_core
+module Driver = Core.Driver
+module Diag = Core.Diag
+module Allowlist = Core.Allowlist
+
+let lint ?(allow = Allowlist.empty) ~as_path fixture =
+  Driver.lint_file ~as_path ~allow (Filename.concat "fixtures" fixture)
+
+let count rule ds =
+  List.length (List.filter (fun (d : Diag.t) -> d.Diag.rule = rule) ds)
+
+let check_count what expected rule ds = Alcotest.(check int) what expected (count rule ds)
+
+let check_clean what ds =
+  Alcotest.(check (list string)) what [] (List.map Diag.to_string ds)
+
+(* ---------------- L1 ---------------- *)
+
+let test_l1_bad () =
+  let ds = lint ~as_path:"lib/replication/fixture.ml" "l1_bad.ml" in
+  (* Three alias definitions plus three use sites. *)
+  check_count "guarded internals flagged" 6 "L1" ds
+
+let test_l1_open_bad () =
+  let ds = lint ~as_path:"lib/query/fixture.ml" "l1_open_bad.ml" in
+  Alcotest.(check bool) "open-based access flagged" true (count "L1" ds >= 1)
+
+let test_l1_txn_edge () =
+  let ds = lint ~as_path:"lib/txn/fixture.ml" "l1_txn_bad.ml" in
+  Alcotest.(check bool) "txn back-edge flagged" true (count "L1" ds >= 1)
+
+let test_l1_good () =
+  check_clean "owning directory may use internals"
+    (lint ~as_path:"lib/storage/fixture.ml" "l1_good.ml")
+
+let test_l1_out_of_scope () =
+  (* The same violations outside lib/ are not L1's business. *)
+  let ds = lint ~as_path:"bench/fixture.ml" "l1_bad.ml" in
+  check_count "bench is out of L1 scope" 0 "L1" ds
+
+(* ---------------- P1 ---------------- *)
+
+let test_p1_bad () =
+  let ds = lint ~as_path:"lib/storage/fixture.ml" "p1_bad.ml" in
+  check_count "leaked pins flagged" 2 "P1" ds
+
+let test_p1_good () =
+  check_clean "all release shapes accepted"
+    (lint ~as_path:"lib/storage/fixture.ml" "p1_good.ml")
+
+(* ---------------- D1 ---------------- *)
+
+let test_d1_bad () =
+  let ds = lint ~as_path:"lib/core/fixture.ml" "d1_bad.ml" in
+  check_count "unsynced commit append flagged" 1 "D1" ds
+
+let test_d1_good () =
+  check_clean "synced append and plain records accepted"
+    (lint ~as_path:"lib/core/fixture.ml" "d1_good.ml")
+
+(* ---------------- E1 ---------------- *)
+
+let test_e1_bad () =
+  let ds = lint ~as_path:"lib/core/fixture.ml" "e1_bad.ml" in
+  check_count "catch-alls flagged" 3 "E1" ds
+
+let test_e1_good () =
+  check_clean "specific and re-raising handlers accepted"
+    (lint ~as_path:"lib/core/fixture.ml" "e1_good.ml")
+
+(* ---------------- F1 ---------------- *)
+
+let test_f1_bad () =
+  let ds = lint ~as_path:"lib/core/fixture.ml" "f1_bad.ml" in
+  (* hd, nth, Option.get, unsafe_get, Hashtbl.find, Obj.magic, %identity *)
+  check_count "partial operations flagged" 7 "F1" ds
+
+let test_f1_good () =
+  check_clean "total spellings accepted"
+    (lint ~as_path:"lib/core/fixture.ml" "f1_good.ml")
+
+let test_f1_out_of_scope () =
+  let ds = lint ~as_path:"bench/fixture.ml" "f1_bad.ml" in
+  check_count "bench is out of F1 scope" 0 "F1" ds
+
+(* ---------------- suppression and allowlist ---------------- *)
+
+let test_suppress_site () =
+  let ds = lint ~as_path:"lib/core/fixture.ml" "suppress.ml" in
+  check_count "only the wrong-rule site survives" 1 "F1" ds;
+  match ds with
+  | [ d ] -> Alcotest.(check int) "surviving site line" 7 (Diag.line d)
+  | _ -> Alcotest.fail "expected exactly one diagnostic"
+
+let test_suppress_file () =
+  check_clean "floating attribute silences the whole file"
+    (lint ~as_path:"lib/core/fixture.ml" "suppress_file.ml")
+
+let test_allowlist_file () =
+  let allow = Allowlist.parse_string {|F1 = ["lib/core/fixture.ml"]|} in
+  let ds = lint ~allow ~as_path:"lib/core/fixture.ml" "f1_bad.ml" in
+  check_count "whole-file allowlist entry" 0 "F1" ds
+
+let test_allowlist_line () =
+  let allow = Allowlist.parse_string {|F1 = ["lib/core/fixture.ml:3"]|} in
+  let ds = lint ~allow ~as_path:"lib/core/fixture.ml" "f1_bad.ml" in
+  check_count "line-scoped entry spares one site" 6 "F1" ds
+
+let test_allowlist_multiline () =
+  let allow =
+    Allowlist.parse_string
+      "# header\n[allow]\nF1 = [\n  \"lib/core/fixture.ml\", # why\n]\n"
+  in
+  let ds = lint ~allow ~as_path:"lib/core/fixture.ml" "f1_bad.ml" in
+  check_count "multi-line list entry parses" 0 "F1" ds
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "fieldrep_lint"
+    [
+      ( "L1",
+        [
+          tc "bad" test_l1_bad;
+          tc "open-bad" test_l1_open_bad;
+          tc "txn-edge" test_l1_txn_edge;
+          tc "good" test_l1_good;
+          tc "out-of-scope" test_l1_out_of_scope;
+        ] );
+      ("P1", [ tc "bad" test_p1_bad; tc "good" test_p1_good ]);
+      ("D1", [ tc "bad" test_d1_bad; tc "good" test_d1_good ]);
+      ("E1", [ tc "bad" test_e1_bad; tc "good" test_e1_good ]);
+      ( "F1",
+        [
+          tc "bad" test_f1_bad;
+          tc "good" test_f1_good;
+          tc "out-of-scope" test_f1_out_of_scope;
+        ] );
+      ( "suppression",
+        [
+          tc "site-attribute" test_suppress_site;
+          tc "file-attribute" test_suppress_file;
+          tc "allowlist-file" test_allowlist_file;
+          tc "allowlist-line" test_allowlist_line;
+          tc "allowlist-multiline" test_allowlist_multiline;
+        ] );
+    ]
