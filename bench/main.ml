@@ -1089,6 +1089,136 @@ let scrub_bench () =
     (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* Repl: read capacity vs replica count over WAL shipping              *)
+
+let repl_bench () =
+  section "Repl: WAL shipping - read capacity vs replica count";
+  Printf.printf
+    "(a master runs an update workload while its WAL streams to N replicas\n\
+    \ over the in-process loopback transport; after catch-up, each node's\n\
+    \ warm read rate on the replicated path is measured independently and\n\
+    \ summed — the aggregate capacity a read farm of that size serves)\n\n";
+  let module Repl = Fieldrep_repl.Repl in
+  let module Transport = Fieldrep_repl.Transport in
+  let r_oids db =
+    let acc = ref [] in
+    Db.scan db ~set:"R" (fun oid _ -> acc := oid :: !acc);
+    Array.of_list !acc
+  in
+  (* Warm reads/second on one node: every R object's replicated-field read,
+     repeated enough to be measurable; best of three trials, so one noisy
+     wall-clock sample does not misprice a node. *)
+  let node_rate db =
+    let oids = r_oids db in
+    Array.iter (fun oid -> ignore (Db.deref db ~set:"R" oid "sref.repfield")) oids;
+    (* pay outstanding GC debt now, not inside a timed trial *)
+    Gc.major ();
+    let passes = 50 in
+    let best = ref 0.0 in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to passes do
+        Array.iter
+          (fun oid -> ignore (Db.deref db ~set:"R" oid "sref.repfield"))
+          oids
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      best := Float.max !best (float_of_int (passes * Array.length oids) /. dt)
+    done;
+    !best
+  in
+  let run_config mode nreplicas =
+    let built =
+      Gen.build
+        {
+          Gen.default_spec with
+          Gen.s_count = 500;
+          sharing = 2;
+          strategy = Params.Inplace;
+          page_size = 1024;
+          frames = 256;
+          seed = 31;
+          durable = true;
+        }
+    in
+    let db = built.Gen.db in
+    let m = Repl.Master.create ~mode db in
+    let replicas =
+      List.init nreplicas (fun _ ->
+          let ma, rb, _, _ = Transport.loopback () in
+          let r = Repl.Replica.connect rb in
+          ignore
+            (Repl.Master.attach ~pump:(fun () -> ignore (Repl.Replica.drain r)) m ma);
+          ignore (Repl.Replica.drain r);
+          r)
+    in
+    let s_oids =
+      let acc = ref [] in
+      Db.scan db ~set:"S" (fun oid _ -> acc := oid :: !acc);
+      Array.of_list !acc
+    in
+    let rng = Splitmix.create 83 in
+    for i = 1 to 100 do
+      let oid = s_oids.(Splitmix.int rng (Array.length s_oids)) in
+      Db.update_field db ~set:"S" oid ~field:"repfield"
+        (Value.VString (Printf.sprintf "%020d" i));
+      if i mod 10 = 0 then begin
+        Repl.Master.pump m;
+        List.iter (fun r -> ignore (Repl.Replica.drain r)) replicas
+      end
+    done;
+    for _ = 1 to 3 do
+      Repl.Master.pump m;
+      List.iter (fun r -> ignore (Repl.Replica.drain r)) replicas
+    done;
+    let target =
+      match Db.wal db with Some w -> Wal.last_lsn w | None -> 0L
+    in
+    let caught_up =
+      List.for_all
+        (fun r -> Int64.equal (Repl.Replica.last_applied r) target)
+        replicas
+    in
+    let capacity =
+      List.fold_left
+        (fun acc r -> acc +. node_rate (Repl.Replica.db r))
+        0.0 replicas
+    in
+    let st = Db.stats db in
+    (capacity, caught_up, st.Stats.frames_shipped, st.Stats.acks_waited)
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (mode_name, mode) ->
+      let base = ref 0.0 in
+      List.iter
+        (fun n ->
+          let capacity, caught_up, shipped, acks = run_config mode n in
+          if n = 1 then base := capacity;
+          add_gate_metrics "repl"
+            [ (Printf.sprintf "repl_%s_reads_%d" mode_name n, int_of_float capacity) ];
+          rows :=
+            [
+              mode_name;
+              string_of_int n;
+              (if caught_up then "yes" else "NO");
+              T.fixed 0 capacity;
+              T.fixed 2 (capacity /. !base);
+              string_of_int shipped;
+              string_of_int acks;
+            ]
+            :: !rows)
+        [ 1; 2; 4 ])
+    [ ("async", Repl.Master.default_mode); ("ack", Repl.Master.Ack) ];
+  T.print
+    ~header:
+      [
+        "mode"; "replicas"; "caught up"; "agg reads/s"; "speedup";
+        "frames shipped"; "acks waited";
+      ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let all_benches =
@@ -1113,6 +1243,7 @@ let all_benches =
     ("txn", txn_bench);
     ("scrub", scrub_bench);
     ("p1", p1);
+    ("repl", repl_bench);
   ]
 
 (* Machine-readable results: one object per scenario run, with wall time and
@@ -1138,7 +1269,7 @@ let write_json path results =
     (fun () ->
       output_string oc "{\n  \"benchmarks\": [\n";
       List.iteri
-        (fun i (name, wall, io, (cf, sp, rp, dr, rr), (wa, wf)) ->
+        (fun i (name, wall, io, (cf, sp, rp, dr, rr), (wa, wf), (fs, fa, aw)) ->
           let extras =
             match List.assoc_opt name !gate_metrics with
             | None -> ""
@@ -1150,8 +1281,9 @@ let write_json path results =
             "    {\"name\": \"%s\", \"wall_seconds\": %.6f, \"total_io\": %d, \
              \"checksum_failures\": %d, \"scrub_pages\": %d, \"repairs\": %d, \
              \"degraded_reads\": %d, \"read_retries\": %d, \"wal_appends\": %d, \
-             \"wal_flushes\": %d%s}%s\n"
-            (json_escape name) wall io cf sp rp dr rr wa wf extras
+             \"wal_flushes\": %d, \"frames_shipped\": %d, \"frames_applied\": \
+             %d, \"acks_waited\": %d%s}%s\n"
+            (json_escape name) wall io cf sp rp dr rr wa wf fs fa aw extras
             (if i = List.length results - 1 then "" else ","))
         results;
       output_string oc "  ]\n}\n")
@@ -1179,14 +1311,17 @@ let () =
             let io0 = Stats.grand_total_io () in
             let cf0, sp0, rp0, dr0, rr0 = Stats.grand_robustness () in
             let wa0, wf0 = Stats.grand_wal () in
+            let fs0, fa0, aw0 = Stats.grand_repl () in
             f ();
             let cf, sp, rp, dr, rr = Stats.grand_robustness () in
             let wa, wf = Stats.grand_wal () in
+            let fs, fa, aw = Stats.grand_repl () in
             ( name,
               Unix.gettimeofday () -. t0,
               Stats.grand_total_io () - io0,
               (cf - cf0, sp - sp0, rp - rp0, dr - dr0, rr - rr0),
-              (wa - wa0, wf - wf0) )
+              (wa - wa0, wf - wf0),
+              (fs - fs0, fa - fa0, aw - aw0) )
         | None ->
             Printf.eprintf "unknown bench %S; available: %s\n" name
               (String.concat ", " (List.map fst all_benches));

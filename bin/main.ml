@@ -6,6 +6,8 @@
      validate  - build a database, measure real I/O, compare to the model
      script    - execute an EXTRA-style statement script against a fresh db
      demo      - a short guided tour on the employee database
+     master    - serve a generated database's WAL stream to replicas
+     replica   - follow a master over TCP and apply its WAL stream
 *)
 
 module Db = Fieldrep.Db
@@ -17,6 +19,11 @@ module Sweep = Fieldrep_costmodel.Sweep
 module Gen = Fieldrep_workload.Gen
 module Mix = Fieldrep_workload.Mix
 module T = Fieldrep_util.Tableprint
+module Stats = Fieldrep_storage.Stats
+module Wal = Fieldrep_wal.Wal
+module Splitmix = Fieldrep_util.Splitmix
+module Repl = Fieldrep_repl.Repl
+module Transport = Fieldrep_repl.Transport
 
 open Cmdliner
 
@@ -212,8 +219,149 @@ let demo_cmd =
     Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* master / replica: streaming replication over TCP                    *)
+
+let port_arg =
+  Arg.(value & opt int 7199 & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (on 127.0.0.1).")
+
+let master_cmd =
+  let run port replicas mode ops s_count =
+    let mode =
+      match mode with
+      | `Async -> Repl.Master.default_mode
+      | `Ack -> Repl.Master.Ack
+    in
+    let built =
+      Gen.build
+        {
+          Gen.default_spec with
+          Gen.s_count;
+          sharing = 2;
+          strategy = Params.Inplace;
+          page_size = 1024;
+          frames = 256;
+          durable = true;
+        }
+    in
+    let db = built.Gen.db in
+    let m = Repl.Master.create ~mode db in
+    let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt listener Unix.SO_REUSEADDR true;
+    Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen listener replicas;
+    Printf.printf "master: |S|=%d, listening on 127.0.0.1:%d for %d replica(s)\n%!"
+      s_count port replicas;
+    let peers =
+      List.init replicas (fun i ->
+          let fd, _ = Unix.accept listener in
+          let tr = Transport.of_socket ~label:(Printf.sprintf "replica-%d" i) fd in
+          let peer = Repl.Master.attach m tr in
+          Printf.printf "master: replica %d attached\n%!" i;
+          (tr, peer))
+    in
+    Unix.close listener;
+    let s_oids = ref [] in
+    Db.scan db ~set:"S" (fun oid _ -> s_oids := oid :: !s_oids);
+    let s_oids = Array.of_list !s_oids in
+    let rng = Splitmix.create 42 in
+    for i = 1 to ops do
+      let oid = s_oids.(Splitmix.int rng (Array.length s_oids)) in
+      Db.update_field db ~set:"S" oid ~field:"repfield"
+        (Value.VString (Printf.sprintf "%020d" i));
+      if i mod 16 = 0 then Repl.Master.pump m
+    done;
+    let target =
+      match Db.wal db with Some w -> Wal.last_lsn w | None -> 0L
+    in
+    (* Ack mode is already durable everywhere; in async mode, keep pumping
+       until every live replica has acknowledged the final LSN. *)
+    let deadline = Unix.gettimeofday () +. 30.0 in
+    let behind () =
+      List.exists
+        (fun (_, p) ->
+          Repl.Master.peer_alive p
+          && Int64.compare (Repl.Master.acked_lsn p) target < 0)
+        peers
+    in
+    while behind () && Unix.gettimeofday () < deadline do
+      Repl.Master.pump m;
+      if behind () then Unix.sleepf 0.005
+    done;
+    let st = Db.stats db in
+    Printf.printf
+      "master: %d updates at lsn %Ld; frames_shipped=%d acks_waited=%d \
+       replica_lag_bytes=%d live_peers=%d\n"
+      ops target st.Stats.frames_shipped st.Stats.acks_waited
+      st.Stats.replica_lag_bytes (Repl.Master.peer_count m);
+    List.iter (fun (tr, _) -> tr.Transport.close ()) peers
+  in
+  let replicas =
+    Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"N" ~doc:"Replicas to wait for.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("async", `Async); ("ack", `Ack) ]) `Async
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Shipping mode: $(b,async) buffers frames, $(b,ack) blocks \
+                each commit until every replica acknowledges.")
+  in
+  let ops =
+    Arg.(value & opt int 200 & info [ "ops" ] ~docv:"N" ~doc:"Updates to run.")
+  in
+  Cmd.v
+    (Cmd.info "master"
+       ~doc:"Generate a database, accept replicas, and stream the WAL to \
+             them while running an update workload.")
+    Term.(
+      const run $ port_arg $ replicas $ mode $ ops
+      $ Arg.(value & opt int 500 & info [ "s-count" ] ~docv:"N" ~doc:"Cardinality of S."))
+
+let replica_cmd =
+  let run port frames =
+    let rec dial attempts =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        fd
+      with Unix.Unix_error (Unix.ECONNREFUSED, _, _) when attempts > 0 ->
+        Unix.close fd;
+        Unix.sleepf 0.2;
+        dial (attempts - 1)
+    in
+    let tr = Transport.of_socket ~label:"master" (dial 50) in
+    let r = Repl.Replica.connect ~frames tr in
+    Printf.printf "replica: connected to 127.0.0.1:%d, bootstrapping...\n%!" port;
+    Repl.Replica.run r;
+    let db = Repl.Replica.db r in
+    let st = Db.stats db in
+    Printf.printf
+      "replica: stream ended at lsn %Ld (commit barrier %Ld); |S|=%d |R|=%d \
+       frames_applied=%d\n"
+      (Repl.Replica.last_applied r)
+      (Repl.Replica.commit_lsn r)
+      (Db.set_size db "S") (Db.set_size db "R") st.Stats.frames_applied;
+    Db.check_integrity db;
+    Printf.printf "replica: integrity ok\n"
+  in
+  let frames =
+    Arg.(value & opt int 256 & info [ "frames" ] ~docv:"N" ~doc:"Buffer-pool frames.")
+  in
+  Cmd.v
+    (Cmd.info "replica"
+       ~doc:"Connect to a master on 127.0.0.1, bootstrap from its snapshot, \
+             apply its WAL stream, and serve reads until the link closes.")
+    Term.(const run $ port_arg $ frames)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "Field replication in an object-oriented DBMS (Shekita & Carey, 1989)" in
   let info = Cmd.info "fieldrep" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ model_cmd; table_cmd; validate_cmd; script_cmd; demo_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            model_cmd; table_cmd; validate_cmd; script_cmd; demo_cmd;
+            master_cmd; replica_cmd;
+          ]))

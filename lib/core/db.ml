@@ -46,6 +46,11 @@ type t = {
          reference-liveness validation, and log as plain (untagged) records
          so the rollback itself is replayable *)
   mutable charging : bool;  (* re-entrancy guard for per-txn I/O accounting *)
+  mutable replica_mode : bool;
+      (* opened as a streaming-replication replica: reads only; mutations
+         arrive exclusively through [replica_apply] *)
+  mutable repl_stream : Recovery.stream option;
+      (* incremental redo state for [replica_apply], created lazily *)
 }
 
 let schema t = t.schema
@@ -199,6 +204,8 @@ let create ?(page_size = 4096) ?(frames = 256) ?(prefetch = 0) ?(durable = false
          active = Hashtbl.create 8;
          compensating = false;
          charging = false;
+         replica_mode = false;
+         repl_stream = None;
        })
   in
   let t = Lazy.force t in
@@ -219,11 +226,23 @@ let no_active_txns t context =
   if Hashtbl.length t.active > 0 then
     invalid_arg (context ^ ": not allowed while transactions are active")
 
+(* Read-only enforcement for replicas.  Replayed records come through the
+   same entry points with [replaying] set, so the guard lets the redo path
+   through while rejecting direct writes. *)
+let check_primary t context =
+  if t.replica_mode && not t.replaying then
+    invalid_arg
+      (context ^ ": read-only replica — writes go through the master")
+
+let is_replica t = t.replica_mode
+
 let define_type t ty =
+  check_primary t "Db.define_type";
   no_active_txns t "Db.define_type";
   log_mutation t (Wal.Define_type ty) (fun () -> Schema.define_type t.schema ty)
 
 let create_set t ?(reserve = 0) ~name ~elem_type () =
+  check_primary t "Db.create_set";
   no_active_txns t "Db.create_set";
   log_mutation t (Wal.Create_set { name; elem_type; reserve }) (fun () ->
       Schema.create_set t.schema ~name ~elem_type;
@@ -232,6 +251,7 @@ let create_set t ?(reserve = 0) ~name ~elem_type () =
       Hashtbl.replace t.data_files (Heap_file.file_id hf) (name, hf))
 
 let replicate t ?options ~strategy path =
+  check_primary t "Db.replicate";
   no_active_txns t "Db.replicate";
   let options = Option.value ~default:Schema.default_options options in
   log_mutation t
@@ -266,6 +286,7 @@ let resolve_index_field t ~set ~field =
                field set))
 
 let build_index t ~name ~set ~field ~clustered =
+  check_primary t "Db.build_index";
   no_active_txns t "Db.build_index";
   log_mutation t (Wal.Build_index { name; set; field; clustered }) (fun () ->
       Schema.add_index t.schema
@@ -396,6 +417,7 @@ let capture_undo t txn ~set oid ~present =
 (* DML                                                                 *)
 
 let insert ?txn t ~set values =
+  check_primary t "Db.insert";
   let ty = Schema.set_type t.schema set in
   if List.length values <> Ty.arity ty then
     invalid_arg
@@ -469,6 +491,7 @@ let delete_impl ?txn ~pin t ~set oid =
       | Some _ | None -> ())
 
 let delete ?txn t ~set oid =
+  check_primary t "Db.delete";
   let pin =
     match txn with
     | Some _ when not (t.compensating || t.replaying) -> true
@@ -477,6 +500,7 @@ let delete ?txn t ~set oid =
   delete_impl ?txn ~pin t ~set oid
 
 let update_field ?txn t ~set oid ~field value =
+  check_primary t "Db.update_field";
   let ty = Schema.set_type t.schema set in
   let fdef =
     match Ty.field_opt ty field with
@@ -534,6 +558,7 @@ let update_field ?txn t ~set oid ~field value =
 (* Transactions                                                        *)
 
 let begin_txn t =
+  check_primary t "Db.begin_txn";
   if t.replaying then invalid_arg "Db.begin_txn: recovery in progress";
   let tx = Txn.make t.next_txn in
   t.next_txn <- t.next_txn + 1;
@@ -920,6 +945,7 @@ let check_integrity t =
     t.indexes
 
 let scrub t =
+  check_primary t "Db.scrub";
   no_active_txns t "Db.scrub";
   let data_sets =
     Hashtbl.fold (fun name hf acc -> (name, hf) :: acc) t.sets []
@@ -1299,6 +1325,7 @@ let checkpoint t path =
   (* A checkpoint is a transaction-consistent image: in-flight undo state
      lives only in memory, so an image taken mid-transaction could not be
      rolled back after a restart. *)
+  check_primary t "Db.checkpoint";
   no_active_txns t "Db.checkpoint";
   save t path
 
@@ -1403,6 +1430,33 @@ let recover ?frames ?wal_path path =
   stats.Stats.recovery_replays <- stats.Stats.recovery_replays + 1;
   Invariants.check_all t.engine;
   t
+
+(* ------------------------------------------------------------------ *)
+(* Streaming replication (replica side)                                *)
+
+let open_replica ?frames path =
+  let t = load ?frames path in
+  t.replica_mode <- true;
+  t
+
+let replica_apply t lsn record =
+  if not t.replica_mode then invalid_arg "Db.replica_apply: not a replica";
+  let s =
+    match t.repl_stream with
+    | Some s -> s
+    | None ->
+        let s = Recovery.stream (recovery_applier t) in
+        t.repl_stream <- Some s;
+        s
+  in
+  (* Records redo through the normal entry points; [replaying] both
+     suppresses (nonexistent) WAL appends and opens the [check_primary]
+     gate for the duration of the apply. *)
+  t.replaying <- true;
+  Fun.protect
+    ~finally:(fun () -> t.replaying <- false)
+    (fun () -> Recovery.feed s lsn record);
+  Stats.note_frame_applied (Pager.stats t.pager)
 
 let space_report t =
   let sets =

@@ -284,3 +284,26 @@ val recover : ?frames:int -> ?wal_path:string -> string -> t
     commit/abort marker) are rolled back from their logged before-images
     after the redo pass, and a [Txn_abort] marker is appended for each:
     the recovered state contains exactly the committed transactions. *)
+
+(** {1 Streaming replication (replica side)}
+
+    A replica is a database reopened from a master's checkpoint image that
+    then applies the master's log records as they arrive over the wire
+    (see {!Fieldrep_repl.Repl}), instead of generating its own.  It serves
+    reads — {!get}, {!deref}, {!scan}, index access — while every mutating
+    entry point raises [Invalid_argument]. *)
+
+val open_replica : ?frames:int -> string -> t
+(** Reopen a {!save}/{!checkpoint} image as a read-only replica.  Not
+    durable: the master's log is the log; the replica redoes shipped
+    records straight into its pages. *)
+
+val is_replica : t -> bool
+
+val replica_apply : t -> int64 -> Fieldrep_wal.Wal.record -> unit
+(** Apply one shipped log record through the streaming redo path
+    ({!Fieldrep_wal.Recovery.feed}).  Records must arrive in LSN order
+    with no gaps — ordering, gap detection and re-request live in the
+    transport layer above.  Raises [Fieldrep_wal.Recovery.Diverged] when
+    the stream cannot be reconciled (the replica must re-bootstrap), and
+    [Invalid_argument] on a database not opened with {!open_replica}. *)

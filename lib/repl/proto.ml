@@ -1,0 +1,102 @@
+module Wire = Fieldrep_util.Wire
+module Checksum = Fieldrep_storage.Checksum
+
+type msg =
+  | Hello of { last_lsn : int64 }
+  | Snapshot of { lsn : int64; image : string }
+  | Frames of Bytes.t list
+  | Commit of { lsn : int64 }
+  | Ack of { lsn : int64 }
+  | Resend of { after : int64 }
+
+let tag_of = function
+  | Hello _ -> 0
+  | Snapshot _ -> 1
+  | Frames _ -> 2
+  | Commit _ -> 3
+  | Ack _ -> 4
+  | Resend _ -> 5
+
+let body_size = function
+  | Hello _ | Commit _ | Ack _ | Resend _ -> 8
+  | Snapshot { image; _ } -> 8 + Wire.blob_size image
+  | Frames frames ->
+      List.fold_left (fun acc f -> acc + 4 + Bytes.length f) 4 frames
+
+let put_body buf off = function
+  | Hello { last_lsn } -> Wire.put_i64 buf off last_lsn
+  | Commit { lsn } | Ack { lsn } -> Wire.put_i64 buf off lsn
+  | Resend { after } -> Wire.put_i64 buf off after
+  | Snapshot { lsn; image } ->
+      let off = Wire.put_i64 buf off lsn in
+      Wire.put_blob buf off image
+  | Frames frames ->
+      let off = Wire.put_u32 buf off (List.length frames) in
+      List.fold_left
+        (fun off f -> Wire.put_blob buf off (Bytes.to_string f))
+        off frames
+
+let encode msg =
+  let blen = body_size msg in
+  let buf = Bytes.create (4 + 1 + blen) in
+  let off = Wire.put_u32 buf 0 0 (* crc patched below *) in
+  let off = Wire.put_u8 buf off (tag_of msg) in
+  let off = put_body buf off msg in
+  assert (off = 4 + 1 + blen);
+  ignore (Wire.put_u32 buf 0 (Checksum.fnv1a32 buf 4 (1 + blen)));
+  Bytes.unsafe_to_string buf
+
+let decode s =
+  let buf = Bytes.of_string s in
+  if Bytes.length buf < 5 then raise (Wire.Corrupt "Proto: short message");
+  let want_crc, off = Wire.get_u32 buf 0 in
+  if Checksum.fnv1a32 buf 4 (Bytes.length buf - 4) <> want_crc then
+    raise (Wire.Corrupt "Proto: message checksum mismatch");
+  let tag, off = Wire.get_u8 buf off in
+  let msg, off =
+    match tag with
+    | 0 ->
+        let last_lsn, off = Wire.get_i64 buf off in
+        (Hello { last_lsn }, off)
+    | 1 ->
+        let lsn, off = Wire.get_i64 buf off in
+        let image, off = Wire.get_blob buf off in
+        (Snapshot { lsn; image }, off)
+    | 2 ->
+        let count, off = Wire.get_u32 buf off in
+        (* Each frame costs at least its 4-byte length prefix; a count that
+           could not fit is a corrupt (or hostile) header, reject before
+           allocating. *)
+        if count * 4 > Bytes.length buf - off then
+          raise (Wire.Corrupt "Proto: absurd frame count");
+        let off = ref off in
+        let frames =
+          List.init count (fun _ ->
+              let f, o = Wire.get_blob buf !off in
+              off := o;
+              Bytes.of_string f)
+        in
+        (Frames frames, !off)
+    | 3 ->
+        let lsn, off = Wire.get_i64 buf off in
+        (Commit { lsn }, off)
+    | 4 ->
+        let lsn, off = Wire.get_i64 buf off in
+        (Ack { lsn }, off)
+    | 5 ->
+        let after, off = Wire.get_i64 buf off in
+        (Resend { after }, off)
+    | t -> raise (Wire.Corrupt (Printf.sprintf "Proto: unknown tag %d" t))
+  in
+  if off <> Bytes.length buf then
+    raise (Wire.Corrupt "Proto: trailing bytes");
+  msg
+
+let pp fmt = function
+  | Hello { last_lsn } -> Format.fprintf fmt "Hello{last_lsn=%Ld}" last_lsn
+  | Snapshot { lsn; image } ->
+      Format.fprintf fmt "Snapshot{lsn=%Ld; %d bytes}" lsn (String.length image)
+  | Frames frames -> Format.fprintf fmt "Frames{%d}" (List.length frames)
+  | Commit { lsn } -> Format.fprintf fmt "Commit{lsn=%Ld}" lsn
+  | Ack { lsn } -> Format.fprintf fmt "Ack{lsn=%Ld}" lsn
+  | Resend { after } -> Format.fprintf fmt "Resend{after=%Ld}" after

@@ -1,0 +1,41 @@
+(** Replication wire protocol.
+
+    Six message kinds cover the whole master/replica conversation:
+
+    {v replica -> master   Hello{last_lsn}      who I am, where I stopped
+       master  -> replica  Snapshot{lsn;image}  bootstrap: checkpoint image
+       master  -> replica  Frames[...]          raw WAL frames, LSN order
+       master  -> replica  Commit{lsn}          durability barrier marker
+       replica -> master   Ack{lsn}             applied through this LSN
+       replica -> master   Resend{after}        gap or corruption: re-ship v}
+
+    Each message travels as one transport payload:
+    [crc:u32 | tag:u8 | body], where [crc] is the same FNV-1a-32 the WAL
+    and the disk use, over tag+body.  The transport frames lengths; the
+    checksum catches corruption and truncation inside a delivered payload.
+    [Frames] bodies carry {e raw WAL frames} exactly as
+    [Fieldrep_wal.Wal.encode_frame] produced them — each frame is itself
+    checksummed, so a replica re-validates twice before applying. *)
+
+type msg =
+  | Hello of { last_lsn : int64 }
+      (** replica's first message: [0L] asks for a {!Snapshot} bootstrap,
+          a later LSN asks for catch-up from there (rejoin) *)
+  | Snapshot of { lsn : int64; image : string }
+      (** a [Db.save] image stamped with the log position it reflects *)
+  | Frames of Bytes.t list  (** raw WAL frames, in LSN order *)
+  | Commit of { lsn : int64 }
+      (** everything through [lsn] is durable on the master; the replica
+          always answers with an {!Ack} *)
+  | Ack of { lsn : int64 }  (** the replica has applied through [lsn] *)
+  | Resend of { after : int64 }
+      (** the replica saw a gap or a corrupt frame: re-ship everything
+          after [after] *)
+
+val encode : msg -> string
+
+val decode : string -> msg
+(** Raises [Fieldrep_util.Wire.Corrupt] on a short, truncated, checksum-
+    failing or trailing-garbage payload. *)
+
+val pp : Format.formatter -> msg -> unit

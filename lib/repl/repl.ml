@@ -1,0 +1,364 @@
+module Wire = Fieldrep_util.Wire
+module Stats = Fieldrep_storage.Stats
+module Wal = Fieldrep_wal.Wal
+module Db = Fieldrep.Db
+
+(* ------------------------------------------------------------------ *)
+(* Master: ship WAL frames to N replicas off the log's sync tap        *)
+
+module Master = struct
+  type mode = Async of { buffer_bytes : int } | Ack
+
+  let default_mode = Async { buffer_bytes = 64 * 1024 }
+
+  type peer = {
+    tr : Transport.t;
+    pump : unit -> unit;
+    mutable buf : (int64 * Bytes.t) list;  (* newest first *)
+    mutable buf_bytes : int;
+    mutable shipped_lsn : int64;
+    mutable acked_lsn : int64;
+    mutable alive : bool;
+  }
+
+  type t = {
+    db : Db.t;
+    wal : Wal.t;
+    mode : mode;
+    mutable peers : peer list;
+  }
+
+  let stats m = Db.stats m.db
+  let peer_count m = List.length (List.filter (fun p -> p.alive) m.peers)
+
+  let update_lag m =
+    let lag =
+      List.fold_left
+        (fun acc p -> if p.alive then max acc p.buf_bytes else acc)
+        0 m.peers
+    in
+    Stats.set_replica_lag (stats m) ~bytes:lag
+
+  (* Ship frames (oldest first) followed by a [Commit] barrier.  Any
+     transport failure just marks the peer dead: a master must survive a
+     replica that vanishes mid-commit. *)
+  let ship_frames m peer frames =
+    if peer.alive then
+      try
+        (match frames with
+        | [] -> ()
+        | frames ->
+            peer.tr.Transport.send
+              (Proto.encode (Proto.Frames (List.map snd frames)));
+            List.iter
+              (fun (lsn, _) ->
+                Stats.note_frame_shipped (stats m);
+                if Int64.compare lsn peer.shipped_lsn > 0 then
+                  peer.shipped_lsn <- lsn)
+              frames);
+        peer.tr.Transport.send
+          (Proto.encode (Proto.Commit { lsn = Wal.last_lsn m.wal }))
+      with Transport.Disconnected -> peer.alive <- false
+
+  let handle_peer_msg m peer payload =
+    match Proto.decode payload with
+    | Proto.Ack { lsn } ->
+        if Int64.compare lsn peer.acked_lsn > 0 then peer.acked_lsn <- lsn
+    | Proto.Resend { after } ->
+        (* Anything the tap ever shipped is already flushed (the tap fires
+           after the physical flush), so the file can always serve it. *)
+        ship_frames m peer (Wal.read_frames (Wal.path m.wal) ~after)
+    | Proto.Hello _ | Proto.Snapshot _ | Proto.Frames _ | Proto.Commit _ ->
+        ()  (* not a replica-to-master message; ignore *)
+    | exception Wire.Corrupt _ -> ()  (* garbage from the peer; drop *)
+
+  let recv_peer peer =
+    try peer.tr.Transport.recv ~block:peer.tr.Transport.blocking
+    with Transport.Disconnected ->
+      peer.alive <- false;
+      None
+
+  (* How many recv/pump rounds with no message before an ack wait is
+     declared stalled.  Generous: a loopback replica answers within one
+     pump, a socket replica blocks in recv instead of counting rounds. *)
+  let ack_stall_limit = 10_000
+
+  let await_ack m peer lsn =
+    let stalls = ref 0 in
+    while peer.alive && Int64.compare peer.acked_lsn lsn < 0 do
+      match recv_peer peer with
+      | Some payload ->
+          handle_peer_msg m peer payload;
+          stalls := 0
+      | None ->
+          peer.pump ();
+          incr stalls;
+          if !stalls > ack_stall_limit then
+            failwith
+              (Printf.sprintf "Repl: ack wait for LSN %Ld stalled on %s" lsn
+                 peer.tr.Transport.label)
+    done
+
+  let flush_peer m peer =
+    let frames = List.rev peer.buf in
+    peer.buf <- [];
+    peer.buf_bytes <- 0;
+    ship_frames m peer frames
+
+  (* The tap: called inside [Wal.sync], after the physical flush, with the
+     batch that flush made durable. *)
+  let on_sync m batch =
+    match m.mode with
+    | Async { buffer_bytes } ->
+        List.iter
+          (fun peer ->
+            if peer.alive then begin
+              List.iter
+                (fun (lsn, frame) ->
+                  peer.buf <- (lsn, frame) :: peer.buf;
+                  peer.buf_bytes <- peer.buf_bytes + Bytes.length frame)
+                batch;
+              if peer.buf_bytes > buffer_bytes then flush_peer m peer
+            end)
+          m.peers;
+        update_lag m
+    | Ack ->
+        let lsn = Wal.last_lsn m.wal in
+        List.iter (fun peer -> ship_frames m peer batch) m.peers;
+        if List.exists (fun p -> p.alive) m.peers then
+          Stats.note_ack_waited (stats m);
+        List.iter (fun peer -> if peer.alive then await_ack m peer lsn) m.peers
+
+  let create ?(mode = default_mode) db =
+    let wal =
+      match Db.wal db with
+      | Some w -> w
+      | None -> invalid_arg "Repl.Master.create: master must be durable"
+    in
+    let m = { db; wal; mode; peers = [] } in
+    Wal.set_tap wal (Some (on_sync m));
+    m
+
+  let wait_hello peer_tr pump =
+    let stalls = ref 0 in
+    let rec loop () =
+      match peer_tr.Transport.recv ~block:peer_tr.Transport.blocking with
+      | Some payload -> payload
+      | None ->
+          pump ();
+          incr stalls;
+          if !stalls > ack_stall_limit then
+            failwith "Repl: no Hello from the connecting replica";
+          loop ()
+    in
+    loop ()
+
+  let attach ?(pump = fun () -> ()) m tr =
+    if Db.active_txn_count m.db > 0 then
+      invalid_arg "Repl.Master.attach: not allowed while transactions are active";
+    let hello = Proto.decode (wait_hello tr pump) in
+    let peer =
+      { tr; pump; buf = []; buf_bytes = 0; shipped_lsn = 0L; acked_lsn = 0L;
+        alive = true }
+    in
+    (match hello with
+    | Proto.Hello { last_lsn } when Int64.equal last_lsn 0L ->
+        (* Fresh replica: bootstrap from a checkpoint image.  [Db.save]
+           syncs the log first, so the image's state and the stamped LSN
+           agree, and everything after the stamp will arrive as frames. *)
+        let tmp = Filename.temp_file "fieldrep_repl" ".img" in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+          (fun () ->
+            Db.save m.db tmp;
+            let ic = open_in_bin tmp in
+            let image =
+              Fun.protect
+                ~finally:(fun () -> close_in ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            let lsn = Wal.last_lsn m.wal in
+            tr.Transport.send (Proto.encode (Proto.Snapshot { lsn; image }));
+            peer.shipped_lsn <- lsn;
+            peer.acked_lsn <- lsn)
+    | Proto.Hello { last_lsn } ->
+        (* Rejoin: the replica stopped at [last_lsn]; ship the tail from
+           the file.  Sync first so the file holds everything appended. *)
+        Wal.sync m.wal;
+        peer.shipped_lsn <- last_lsn;
+        peer.acked_lsn <- last_lsn;
+        ship_frames m peer (Wal.read_frames (Wal.path m.wal) ~after:last_lsn)
+    | msg ->
+        invalid_arg
+          (Format.asprintf "Repl.Master.attach: expected Hello, got %a"
+             Proto.pp msg));
+    m.peers <- m.peers @ [ peer ];
+    peer
+
+  (* Drive progress outside a sync: flush async buffers, re-issue the
+     durability barrier to lagging peers (the anti-entropy retry: a
+     behind replica answers a bare [Commit] with an [Ack] or a [Resend],
+     even if its earlier [Resend] was lost), and drain replica-to-master
+     traffic (acks, resend requests). *)
+  let pump m =
+    List.iter
+      (fun peer ->
+        if peer.alive then begin
+          if peer.buf <> [] then flush_peer m peer
+          else if Int64.compare peer.acked_lsn (Wal.last_lsn m.wal) < 0 then
+            ship_frames m peer [];
+          (* Poll, never wait: pump drains what has already arrived.  Only
+             an ack-mode barrier ([await_ack]) may block on a peer. *)
+          let continue = ref true in
+          while !continue do
+            match
+              try peer.tr.Transport.recv ~block:false
+              with Transport.Disconnected ->
+                peer.alive <- false;
+                None
+            with
+            | Some payload -> handle_peer_msg m peer payload
+            | None -> continue := false
+          done
+        end)
+      m.peers;
+    update_lag m
+
+  let acked_lsn peer = peer.acked_lsn
+  let peer_alive peer = peer.alive
+end
+
+(* ------------------------------------------------------------------ *)
+(* Replica: bootstrap from a snapshot, then apply shipped frames       *)
+
+module Replica = struct
+  type t = {
+    mutable tr : Transport.t;
+    mutable db : Db.t option;
+    mutable last_applied : int64;
+    mutable commit_lsn : int64;
+    mutable gap_pending : bool;
+        (* a resend is already in flight: do not re-request per frame *)
+    frames : int option;  (* buffer-pool size for the bootstrapped Db *)
+  }
+
+  let connect ?frames tr =
+    tr.Transport.send (Proto.encode (Proto.Hello { last_lsn = 0L }));
+    { tr; db = None; last_applied = 0L; commit_lsn = 0L; gap_pending = false;
+      frames }
+
+  let reconnect r tr =
+    r.tr <- tr;
+    r.gap_pending <- false;
+    tr.Transport.send
+      (Proto.encode (Proto.Hello { last_lsn = r.last_applied }))
+
+  let db r =
+    match r.db with
+    | Some db -> db
+    | None -> invalid_arg "Repl.Replica.db: not bootstrapped yet"
+
+  let last_applied r = r.last_applied
+  let commit_lsn r = r.commit_lsn
+
+  let request_resend r =
+    if not r.gap_pending then begin
+      r.gap_pending <- true;
+      r.tr.Transport.send
+        (Proto.encode (Proto.Resend { after = r.last_applied }))
+    end
+
+  let apply_frame r raw =
+    match Wal.decode_frame raw with
+    | exception Wire.Corrupt _ ->
+        (* Damaged in flight (the frame carries its own checksum): ask for
+           the tail again rather than trusting anything further. *)
+        request_resend r
+    | lsn, record ->
+        if Int64.compare lsn r.last_applied <= 0 then ()  (* duplicate *)
+        else if Int64.compare lsn (Int64.add r.last_applied 1L) > 0 then
+          (* A gap: something was lost ahead of this frame.  Drop it and
+             request the tail; the resent stream restores contiguity. *)
+          request_resend r
+        else begin
+          Db.replica_apply (db r) lsn record;
+          r.last_applied <- lsn;
+          r.gap_pending <- false
+        end
+
+  let handle r msg =
+    match msg with
+    | Proto.Snapshot { lsn; image } ->
+        let tmp = Filename.temp_file "fieldrep_repl" ".img" in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+          (fun () ->
+            let oc = open_out_bin tmp in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc image);
+            r.db <- Some (Db.open_replica ?frames:r.frames tmp));
+        r.last_applied <- lsn;
+        r.commit_lsn <- lsn;
+        r.gap_pending <- false
+    | Proto.Frames frames -> List.iter (apply_frame r) frames
+    | Proto.Commit { lsn } ->
+        if Int64.compare lsn r.last_applied > 0 then begin
+          (* The barrier names an LSN we never saw: frames were lost.
+             Force a fresh request even if one is already in flight — the
+             request itself may have been lost on the way to the master.
+             Duplicated re-ships are harmless (frames at or below
+             [last_applied] are skipped). *)
+          r.gap_pending <- false;
+          request_resend r
+        end
+        else r.commit_lsn <- lsn;
+        (* Always acknowledge with where we actually are — an async master
+           drains these to track lag, an ack master blocks on them. *)
+        r.tr.Transport.send
+          (Proto.encode (Proto.Ack { lsn = r.last_applied }))
+    | Proto.Hello _ | Proto.Ack _ | Proto.Resend _ ->
+        ()  (* not a master-to-replica message; ignore *)
+
+  (* Process at most one pending message; [false] when none was pending. *)
+  let step r =
+    match r.tr.Transport.recv ~block:false with
+    | None -> false
+    | Some payload ->
+        (match Proto.decode payload with
+        | msg -> handle r msg
+        | exception Wire.Corrupt _ ->
+            (* The envelope failed its checksum, so the message kind itself
+               is unknowable — it may have been frames.  Re-request. *)
+            request_resend r);
+        true
+
+  (* Drain everything pending; the count of messages processed.  A dead
+     link stops the drain quietly — [reconnect] resumes from
+     [last_applied]. *)
+  let drain r =
+    let n = ref 0 in
+    (try
+       while step r do
+         incr n
+       done
+     with Transport.Disconnected -> ());
+    !n
+
+  (* Blocking service loop for the CLI: apply messages until the link
+     dies. *)
+  let run r =
+    let live = ref true in
+    while !live do
+      match r.tr.Transport.recv ~block:true with
+      | Some payload -> (
+          match Proto.decode payload with
+          | msg -> handle r msg
+          | exception Wire.Corrupt _ -> request_resend r)
+      | None ->
+          (* a transport that cannot block (loopback) has nothing to wait
+             on: the caller should use [drain] instead *)
+          live := false
+      | exception Transport.Disconnected -> live := false
+    done
+end

@@ -1,0 +1,142 @@
+exception Disconnected
+
+type t = {
+  send : string -> unit;
+  recv : block:bool -> string option;
+  close : unit -> unit;
+  blocking : bool;
+  label : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* In-process loopback with deterministic fault injection              *)
+
+type faults = {
+  mutable drop : int;
+  mutable duplicate : int;
+  mutable corrupt : int;
+  mutable truncate : int;
+  mutable disconnect_after : int;
+}
+
+let no_faults () =
+  { drop = 0; duplicate = 0; corrupt = 0; truncate = 0; disconnect_after = -1 }
+
+let flip_middle_byte s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  if n > 0 then begin
+    let i = n / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5a))
+  end;
+  Bytes.unsafe_to_string b
+
+let loopback () =
+  let connected = ref true in
+  let to_a : string Queue.t = Queue.create () in
+  let to_b : string Queue.t = Queue.create () in
+  let send faults peer_q payload =
+    if not !connected then raise Disconnected;
+    if faults.disconnect_after = 0 then begin
+      (* the link dies mid-send: the payload is lost *)
+      faults.disconnect_after <- -1;
+      connected := false;
+      raise Disconnected
+    end;
+    if faults.disconnect_after > 0 then
+      faults.disconnect_after <- faults.disconnect_after - 1;
+    if faults.drop > 0 then faults.drop <- faults.drop - 1
+    else begin
+      let payload =
+        if faults.corrupt > 0 then begin
+          faults.corrupt <- faults.corrupt - 1;
+          flip_middle_byte payload
+        end
+        else payload
+      in
+      let payload =
+        if faults.truncate > 0 then begin
+          faults.truncate <- faults.truncate - 1;
+          String.sub payload 0 (String.length payload / 2)
+        end
+        else payload
+      in
+      Queue.push payload peer_q;
+      if faults.duplicate > 0 then begin
+        faults.duplicate <- faults.duplicate - 1;
+        Queue.push payload peer_q
+      end
+    end
+  in
+  (* Already-delivered messages survive a disconnect (they are in the
+     peer's queue, like bytes in a socket buffer); recv drains them first
+     and only then reports the dead link. *)
+  let recv own_q ~block:_ =
+    match Queue.take_opt own_q with
+    | Some payload -> Some payload
+    | None -> if !connected then None else raise Disconnected
+  in
+  let close () = connected := false in
+  let fa = no_faults () in
+  let fb = no_faults () in
+  let a =
+    { send = send fa to_b; recv = recv to_a; close; blocking = false;
+      label = "loopback:a" }
+  in
+  let b =
+    { send = send fb to_a; recv = recv to_b; close; blocking = false;
+      label = "loopback:b" }
+  in
+  (a, b, fa, fb)
+
+(* ------------------------------------------------------------------ *)
+(* Unix sockets: u32-le length prefix, then the payload                *)
+
+let max_payload = 1 lsl 30
+
+let rec write_exact fd buf off len =
+  if len > 0 then begin
+    let n = Unix.write fd buf off len in
+    write_exact fd buf (off + n) (len - n)
+  end
+
+let rec read_exact fd buf off len =
+  if len > 0 then begin
+    let n = Unix.read fd buf off len in
+    if n = 0 then raise Disconnected;
+    read_exact fd buf (off + n) (len - n)
+  end
+
+let of_socket ?(label = "socket") fd =
+  let send payload =
+    let n = String.length payload in
+    if n > max_payload then invalid_arg "Transport.send: payload too large";
+    let buf = Bytes.create (4 + n) in
+    Bytes.set_int32_le buf 0 (Int32.of_int n);
+    Bytes.blit_string payload 0 buf 4 n;
+    try write_exact fd buf 0 (4 + n)
+    with Unix.Unix_error (_, _, _) -> raise Disconnected
+  in
+  let read_message () =
+    let hdr = Bytes.create 4 in
+    read_exact fd hdr 0 4;
+    let n = Int32.to_int (Bytes.get_int32_le hdr 0) in
+    if n < 0 || n > max_payload then raise Disconnected;
+    let buf = Bytes.create n in
+    read_exact fd buf 0 n;
+    Bytes.unsafe_to_string buf
+  in
+  let recv ~block =
+    try
+      if block then Some (read_message ())
+      else
+        (* Peek at readability; once the header is on its way the rest of
+           the message follows promptly, so the short blocking reads after
+           a positive select are acceptable for a test/CLI transport. *)
+        match Unix.select [ fd ] [] [] 0.0 with
+        | [], _, _ -> None
+        | _ :: _, _, _ -> Some (read_message ())
+    with Unix.Unix_error (_, _, _) -> raise Disconnected
+  in
+  let close () = try Unix.close fd with Unix.Unix_error (_, _, _) -> () in
+  { send; recv; close; blocking = true; label }

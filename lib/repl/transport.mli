@@ -1,0 +1,50 @@
+(** Message transport between a master and one replica.
+
+    A transport moves opaque payloads (encoded {!Proto} messages) in both
+    directions, preserving order per direction.  Two implementations: an
+    in-process {!loopback} pair with deterministic fault injection for
+    tests and benchmarks, and {!of_socket} over a Unix file descriptor for
+    the CLI's [master]/[replica] subcommands. *)
+
+exception Disconnected
+(** The link is gone.  [send] raises it on a dead link; [recv] raises it
+    once the already-delivered backlog is drained. *)
+
+type t = {
+  send : string -> unit;  (** enqueue one payload; raises {!Disconnected} *)
+  recv : block:bool -> string option;
+      (** next payload, if any.  [~block:false] never waits.
+          [~block:true] waits only when {!field-blocking} is [true];
+          a loopback cannot wait (single process) and returns [None],
+          relying on the caller to pump the peer. *)
+  close : unit -> unit;
+  blocking : bool;  (** whether [recv ~block:true] actually blocks *)
+  label : string;  (** for diagnostics *)
+}
+
+(** Deterministic fault injection on a loopback endpoint's {e sends}.
+    Counters are one-shot: each fault consumes one unit as payloads pass
+    through.  Mutate mid-test to inject at an exact point. *)
+type faults = {
+  mutable drop : int;  (** lose the next N payloads silently *)
+  mutable duplicate : int;  (** deliver the next N payloads twice *)
+  mutable corrupt : int;  (** flip a byte in the next N payloads *)
+  mutable truncate : int;  (** deliver only half of the next N payloads *)
+  mutable disconnect_after : int;
+      (** after this many further sends, kill the link mid-send (that
+          payload is lost); [-1] = never *)
+}
+
+val no_faults : unit -> faults
+
+val loopback : unit -> t * t * faults * faults
+(** [loopback ()] is [(a, b, faults_a, faults_b)]: two connected endpoints
+    backed by in-process queues — what [a] sends (filtered through
+    [faults_a]) arrives at [b.recv], and vice versa.  Closing either end
+    kills the link for both; payloads delivered before the disconnect
+    remain readable, like bytes already in a socket buffer. *)
+
+val of_socket : ?label:string -> Unix.file_descr -> t
+(** Wrap a connected stream socket: each payload travels as a u32-le
+    length prefix plus the raw bytes.  EOF and socket errors surface as
+    {!Disconnected}. *)

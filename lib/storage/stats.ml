@@ -22,6 +22,10 @@ type t = {
   mutable prefetch_issued : int;
   mutable prefetch_hits : int;
   mutable wal_flushes : int;
+  mutable frames_shipped : int;
+  mutable frames_applied : int;
+  mutable acks_waited : int;
+  mutable replica_lag_bytes : int;
   by_file : (int, int * int) Hashtbl.t;
 }
 
@@ -50,6 +54,10 @@ let create () =
     prefetch_issued = 0;
     prefetch_hits = 0;
     wal_flushes = 0;
+    frames_shipped = 0;
+    frames_applied = 0;
+    acks_waited = 0;
+    replica_lag_bytes = 0;
     by_file = Hashtbl.create 16;
   }
 
@@ -77,6 +85,10 @@ let reset t =
   t.prefetch_issued <- 0;
   t.prefetch_hits <- 0;
   t.wal_flushes <- 0;
+  t.frames_shipped <- 0;
+  t.frames_applied <- 0;
+  t.acks_waited <- 0;
+  t.replica_lag_bytes <- 0;
   Hashtbl.reset t.by_file
 
 (* Process-wide physical I/O, across every Stats block ever created.  Never
@@ -138,6 +150,28 @@ let note_wal_flush t =
   t.wal_flushes <- t.wal_flushes + 1;
   incr g_wal_flushes
 
+(* Process-wide replication-shipping totals, same pattern as [grand_wal]:
+   the bench driver reports per-scenario deltas even when a scenario builds
+   a master and several replicas (each with its own Stats block). *)
+let g_frames_shipped = ref 0
+let g_frames_applied = ref 0
+let g_acks_waited = ref 0
+let grand_repl () = (!g_frames_shipped, !g_frames_applied, !g_acks_waited)
+
+let note_frame_shipped t =
+  t.frames_shipped <- t.frames_shipped + 1;
+  incr g_frames_shipped
+
+let note_frame_applied t =
+  t.frames_applied <- t.frames_applied + 1;
+  incr g_frames_applied
+
+let note_ack_waited t =
+  t.acks_waited <- t.acks_waited + 1;
+  incr g_acks_waited
+
+let set_replica_lag t ~bytes = t.replica_lag_bytes <- bytes
+
 let record_read t ~file =
   incr grand_io;
   let r, w = Option.value ~default:(0, 0) (Hashtbl.find_opt t.by_file file) in
@@ -175,6 +209,10 @@ let copy t =
     prefetch_issued = t.prefetch_issued;
     prefetch_hits = t.prefetch_hits;
     wal_flushes = t.wal_flushes;
+    frames_shipped = t.frames_shipped;
+    frames_applied = t.frames_applied;
+    acks_waited = t.acks_waited;
+    replica_lag_bytes = t.replica_lag_bytes;
     by_file = Hashtbl.copy t.by_file;
   }
 
@@ -209,6 +247,11 @@ let diff now before =
     prefetch_issued = now.prefetch_issued - before.prefetch_issued;
     prefetch_hits = now.prefetch_hits - before.prefetch_hits;
     wal_flushes = now.wal_flushes - before.wal_flushes;
+    frames_shipped = now.frames_shipped - before.frames_shipped;
+    frames_applied = now.frames_applied - before.frames_applied;
+    acks_waited = now.acks_waited - before.acks_waited;
+    (* a gauge, not a counter: report the current value, not a delta *)
+    replica_lag_bytes = now.replica_lag_bytes;
     by_file;
   }
 
@@ -220,10 +263,12 @@ let pp fmt t =
      wal_appends=%d wal_bytes=%d wal_flushes=%d replays=%d commits=%d \
      aborts=%d lock_waits=%d deadlocks=%d undone=%d checksum_failures=%d \
      scrub_pages=%d repairs=%d degraded_reads=%d read_retries=%d \
-     failed_reads=%d prefetch_issued=%d prefetch_hits=%d"
+     failed_reads=%d prefetch_issued=%d prefetch_hits=%d frames_shipped=%d \
+     frames_applied=%d acks_waited=%d replica_lag_bytes=%d"
     t.page_reads t.page_writes t.buffer_hits t.pages_allocated t.objects_read
     t.objects_written t.wal_appends t.wal_bytes t.wal_flushes
     t.recovery_replays t.txn_commits t.txn_aborts t.lock_waits t.deadlocks
     t.undo_applied t.checksum_failures t.scrub_pages t.repairs
     t.degraded_reads t.read_retries t.failed_reads t.prefetch_issued
-    t.prefetch_hits
+    t.prefetch_hits t.frames_shipped t.frames_applied t.acks_waited
+    t.replica_lag_bytes

@@ -39,6 +39,15 @@ type t = {
   mutable wal_flushes : int;
       (** physical flushes of the write-ahead log (group commit batches
           many appends per flush) *)
+  mutable frames_shipped : int;
+      (** log frames shipped to replication peers by a master *)
+  mutable frames_applied : int;
+      (** log frames applied through the redo path by a replica *)
+  mutable acks_waited : int;
+      (** ack-mode commit barriers: syncs that blocked on replica acks *)
+  mutable replica_lag_bytes : int;
+      (** gauge (not a counter): bytes buffered for the slowest async
+          replication peer at the last update *)
   by_file : (int, int * int) Hashtbl.t;
       (** per-file (reads, writes) attribution, keyed by disk file id *)
 }
@@ -94,5 +103,18 @@ val note_wal_append : t -> bytes:int -> unit
 
 val note_wal_flush : t -> unit
 (** Count one physical flush of the log. *)
+
+val grand_repl : unit -> int * int * int
+(** Process-wide monotonic [(frames_shipped, frames_applied, acks_waited)]
+    across every stats block; callers take before/after deltas, like
+    {!grand_total_io}. *)
+
+val note_frame_shipped : t -> unit
+val note_frame_applied : t -> unit
+val note_ack_waited : t -> unit
+
+val set_replica_lag : t -> bytes:int -> unit
+(** Set the replication-lag gauge: bytes buffered for the slowest async
+    peer.  A gauge, so {!diff} reports the current value, not a delta. *)
 
 val pp : Format.formatter -> t -> unit

@@ -62,3 +62,17 @@ let get_string buf off =
   (Bytes.sub_string buf off n, off + n)
 
 let string_size s = 2 + String.length s
+
+let put_blob buf off s =
+  let n = String.length s in
+  let off = put_u32 buf off n in
+  check_bounds buf off n;
+  Bytes.blit_string s 0 buf off n;
+  off + n
+
+let get_blob buf off =
+  let n, off = get_u32 buf off in
+  check_bounds buf off n;
+  (Bytes.sub_string buf off n, off + n)
+
+let blob_size s = 4 + String.length s

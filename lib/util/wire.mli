@@ -42,6 +42,16 @@ val get_string : Bytes.t -> int -> string * int
 val string_size : string -> int
 (** Encoded size of a string (2 + length). *)
 
+val put_blob : Bytes.t -> int -> string -> int
+(** [put_blob buf off s] writes a [u32] length prefix followed by the raw
+    bytes of [s] — the large-payload variant of {!put_string}, used for
+    values (checkpoint images, raw log frames) that can exceed 64 KiB. *)
+
+val get_blob : Bytes.t -> int -> string * int
+
+val blob_size : string -> int
+(** Encoded size of a blob (4 + length). *)
+
 val check_bounds : Bytes.t -> int -> int -> unit
 (** [check_bounds buf off len] raises {!Corrupt} unless [off, off+len) lies
     inside [buf]. *)

@@ -34,6 +34,24 @@ type trace = {
   mutable t_tombs : (string * Oid.t) list;
 }
 
+exception Diverged of string
+
+type stream = {
+  s_applier : applier;
+  s_txns : (int, trace) Hashtbl.t;
+  mutable s_failed : (int64 * string) option;
+      (* a record whose operation raised; the next record must be the
+         master's [Abort] marker rescinding it *)
+  mutable s_applied : int;
+}
+
+let stream applier =
+  { s_applier = applier; s_txns = Hashtbl.create 8; s_failed = None;
+    s_applied = 0 }
+
+let applied s = s.s_applied
+let pending_failure s = s.s_failed
+
 let apply_plain a = function
   | Wal.Define_type ty -> a.define_type ty
   | Wal.Create_set { name; elem_type; reserve } ->
@@ -46,77 +64,115 @@ let apply_plain a = function
   | Wal.Build_index { name; set; field; clustered } ->
       a.build_index ~name ~set ~field ~clustered
   | Wal.Scrub_repair { rep_id; source } -> a.scrub_repair ~rep_id ~source
-  | Wal.Abort _ -> ()  (* already filtered by Wal.records; belt and braces *)
+  | Wal.Abort _ -> ()  (* handled in [feed]; belt and braces *)
   | Wal.Txn_begin _ | Wal.Txn_commit _ | Wal.Txn_abort _ | Wal.Undo_image _
   | Wal.Insert_at _ | Wal.Txn_op _ ->
       invalid_arg "Recovery: transaction record outside replay"
 
+let trace s txn =
+  match Hashtbl.find_opt s.s_txns txn with
+  | Some t -> t
+  | None ->
+      let t = { t_images = []; t_inserts = []; t_tombs = [] } in
+      Hashtbl.replace s.s_txns txn t;
+      t
+
+(* A tombstone revived by a compensation record is no longer pending. *)
+let unpin s set oid =
+  Hashtbl.iter
+    (fun _ t -> t.t_tombs <- List.filter (fun e -> e <> (set, oid)) t.t_tombs)
+    s.s_txns
+
+let resolve s txn =
+  match Hashtbl.find_opt s.s_txns txn with
+  | None -> ()
+  | Some t ->
+      List.iter
+        (fun (set, oid) -> s.s_applier.free_tombstone ~set ~oid)
+        (List.rev t.t_tombs);
+      Hashtbl.remove s.s_txns txn
+
+let apply s record =
+  let a = s.s_applier in
+  match record with
+  | Wal.Txn_begin txn -> ignore (trace s txn)
+  | Wal.Txn_commit txn | Wal.Txn_abort txn -> resolve s txn
+  | Wal.Undo_image { txn; set; oid; present; values } ->
+      let t = trace s txn in
+      t.t_images <- (set, oid, present, values) :: t.t_images
+  | Wal.Insert_at { set; oid; values } ->
+      a.insert_at ~set ~oid values;
+      unpin s set oid;
+      s.s_applied <- s.s_applied + 1
+  | Wal.Txn_op { txn; op } -> (
+      let t = trace s txn in
+      s.s_applied <- s.s_applied + 1;
+      match op with
+      | Wal.Insert { set; values } ->
+          let oid = a.insert ~set values in
+          t.t_inserts <- (set, oid) :: t.t_inserts
+      | Wal.Delete { set; oid } ->
+          a.delete_pinned ~set ~oid;
+          t.t_tombs <- (set, oid) :: t.t_tombs
+      | op -> apply_plain a op)
+  | record ->
+      apply_plain a record;
+      s.s_applied <- s.s_applied + 1
+
+let feed s lsn record =
+  match (s.s_failed, record) with
+  | Some (flsn, _), Wal.Abort rescinded when Int64.equal rescinded flsn ->
+      (* The master's operation failed validation after its record was
+         appended; ours failed identically and left no effects, so the
+         marker simply clears the slot. *)
+      s.s_failed <- None
+  | Some (flsn, msg), _ ->
+      raise
+        (Diverged
+           (Printf.sprintf
+              "record %Ld failed (%s) but the next record is not its Abort \
+               marker"
+              flsn msg))
+  | None, Wal.Abort rescinded ->
+      raise
+        (Diverged
+           (Printf.sprintf
+              "master rescinded record %Ld, which this replica applied"
+              rescinded))
+  | None, record -> (
+      (* The write-ahead contract means a validation failure raises before
+         the operation touches any page, so catching it here leaves the
+         store exactly as it was — matching the master, whose own attempt
+         failed the same validation and appended the Abort marker that
+         must arrive next. *)
+      try apply s record
+      with Invalid_argument msg | Failure msg -> s.s_failed <- Some (lsn, msg))
+
+let losers s =
+  Hashtbl.fold
+    (fun txn t acc ->
+      {
+        l_txn = txn;
+        l_images = t.t_images;
+        l_inserts = t.t_inserts;
+        l_tombstones = t.t_tombs;
+      }
+      :: acc)
+    s.s_txns []
+  |> List.sort (fun a b -> compare a.l_txn b.l_txn)
+
 let replay wal ~after applier =
-  let txns : (int, trace) Hashtbl.t = Hashtbl.create 8 in
-  let trace txn =
-    match Hashtbl.find_opt txns txn with
-    | Some t -> t
-    | None ->
-        let t = { t_images = []; t_inserts = []; t_tombs = [] } in
-        Hashtbl.replace txns txn t;
-        t
-  in
-  (* A tombstone revived by a compensation record is no longer pending. *)
-  let unpin set oid =
-    Hashtbl.iter
-      (fun _ t ->
-        t.t_tombs <- List.filter (fun e -> e <> (set, oid)) t.t_tombs)
-      txns
-  in
-  let resolve txn =
-    match Hashtbl.find_opt txns txn with
-    | None -> ()
-    | Some t ->
-        List.iter
-          (fun (set, oid) -> applier.free_tombstone ~set ~oid)
-          (List.rev t.t_tombs);
-        Hashtbl.remove txns txn
-  in
-  let n = ref 0 in
+  let s = stream applier in
   List.iter
     (fun (lsn, record) ->
-      if Int64.compare lsn after > 0 then
-        match record with
-        | Wal.Txn_begin txn -> ignore (trace txn)
-        | Wal.Txn_commit txn | Wal.Txn_abort txn -> resolve txn
-        | Wal.Undo_image { txn; set; oid; present; values } ->
-            let t = trace txn in
-            t.t_images <- (set, oid, present, values) :: t.t_images
-        | Wal.Insert_at { set; oid; values } ->
-            applier.insert_at ~set ~oid values;
-            unpin set oid;
-            incr n
-        | Wal.Txn_op { txn; op } -> (
-            let t = trace txn in
-            incr n;
-            match op with
-            | Wal.Insert { set; values } ->
-                let oid = applier.insert ~set values in
-                t.t_inserts <- (set, oid) :: t.t_inserts
-            | Wal.Delete { set; oid } ->
-                applier.delete_pinned ~set ~oid;
-                t.t_tombs <- (set, oid) :: t.t_tombs
-            | op -> apply_plain applier op)
-        | record ->
-            apply_plain applier record;
-            incr n)
+      if Int64.compare lsn after > 0 then feed s lsn record)
     (Wal.records wal);
-  let losers =
-    Hashtbl.fold
-      (fun txn t acc ->
-        {
-          l_txn = txn;
-          l_images = t.t_images;
-          l_inserts = t.t_inserts;
-          l_tombstones = t.t_tombs;
-        }
-        :: acc)
-      txns []
-    |> List.sort (fun a b -> compare a.l_txn b.l_txn)
-  in
-  (!n, losers)
+  (* [Wal.records] filters rescinded records and their markers out, so a
+     pending failure here means the log redid an operation that failed —
+     the store and the log genuinely disagree. *)
+  (match s.s_failed with
+  | Some (lsn, msg) ->
+      raise
+        (Diverged (Printf.sprintf "replay of record %Ld failed: %s" lsn msg))
+  | None -> ());
+  (s.s_applied, losers s)

@@ -77,4 +77,46 @@ val replay : Wal.t -> after:int64 -> applier -> int * loser list
 (** Redo, in LSN order, every record of the log (as found when it was
     opened) whose LSN is strictly greater than [after] — the checkpoint's
     LSN stamp.  Returns the number of records redone and the losers to
-    roll back. *)
+    roll back.  Raises {!Diverged} if a replayed operation fails — the
+    log and the store disagree. *)
+
+(** {1 Streaming replay}
+
+    A replication replica receives the {e unfiltered} record stream as the
+    master appends it, so — unlike {!replay}, which works from
+    [Wal.records] with rescinded records already filtered out — it sees a
+    failed operation's record {e before} the [Abort] marker that rescinds
+    it.  The stream applier handles this with a one-slot protocol: a record
+    whose operation raises [Invalid_argument] or [Failure] (the engine's
+    validation errors, raised before any page is touched) parks in the
+    failed slot, and the very next record must be its [Abort] marker —
+    which is guaranteed by the master's append discipline, where the marker
+    is logged immediately after the failure with no interleaving.  Anything
+    else raises {!Diverged}. *)
+
+exception Diverged of string
+(** The record stream cannot be reconciled with this store's state — the
+    replica must re-bootstrap from a fresh checkpoint image. *)
+
+type stream
+(** Incremental replay state: per-transaction traces plus the failed-record
+    slot.  One [stream] lives as long as the replica applies records. *)
+
+val stream : applier -> stream
+
+val feed : stream -> int64 -> Wal.record -> unit
+(** Apply one record.  Records must arrive in LSN order with no gaps —
+    gap detection and re-request is the transport layer's job.  Raises
+    {!Diverged} on an irreconcilable stream (see above). *)
+
+val applied : stream -> int
+(** Operations applied so far (markers and undo images not counted). *)
+
+val pending_failure : stream -> (int64 * string) option
+(** The parked failed record, if the last fed record failed validation and
+    its [Abort] marker has not arrived yet. *)
+
+val losers : stream -> loser list
+(** Transactions with a logged footprint but no commit/abort marker yet —
+    at a clean shutdown boundary this is the set to roll back, exactly as
+    {!replay} returns. *)

@@ -322,6 +322,8 @@ type t = {
   mutable flushes : int;
   flush_limit : int;
   stats : Stats.t option;
+  mutable tap : ((int64 * Bytes.t) list -> unit) option;
+  mutable tap_pending : (int64 * Bytes.t) list;  (* newest first *)
 }
 
 let path t = t.path
@@ -338,8 +340,23 @@ let sync t =
     flush t.oc;
     t.pending_bytes <- 0;
     t.flushes <- t.flushes + 1;
-    match t.stats with Some s -> Stats.note_wal_flush s | None -> ()
+    (match t.stats with Some s -> Stats.note_wal_flush s | None -> ());
+    (* The frame tap fires after the physical flush, with the batch this
+       sync made durable, in append order.  Replication shipping hangs off
+       this hook: anything a tap observer sees is already on disk, so a
+       re-send can always be served from the file — and a tap that blocks
+       (ack-mode shipping) makes [sync] itself the durability barrier. *)
+    match t.tap with
+    | Some f when t.tap_pending <> [] ->
+        let batch = List.rev t.tap_pending in
+        t.tap_pending <- [];
+        f batch
+    | Some _ | None -> t.tap_pending <- []
   end
+
+let set_tap t tap =
+  t.tap <- tap;
+  t.tap_pending <- []
 
 (* Scan the frames of an existing log file.  Returns the raw (lsn, record)
    list and the offset just past the last well-formed frame. *)
@@ -442,9 +459,11 @@ let open_ ?stats ?(flush_limit = default_flush_limit) path =
     flushes = 0;
     flush_limit = max 1 flush_limit;
     stats;
+    tap = None;
+    tap_pending = [];
   }
 
-let write_record t lsn record =
+let encode_frame lsn record =
   let blen = body_size record in
   let flen = 8 + 1 + blen in
   let frame = Bytes.create (8 + flen) in
@@ -455,12 +474,76 @@ let write_record t lsn record =
   let off = put_body frame off record in
   assert (off = 8 + flen);
   ignore (Wire.put_u32 frame 4 (crc frame 8 flen));
+  frame
+
+let decode_frame frame =
+  if Bytes.length frame < 8 then raise (Wire.Corrupt "Wal: short frame");
+  let flen, p = Wire.get_u32 frame 0 in
+  let fcrc, p = Wire.get_u32 frame p in
+  if flen < 9 || p + flen <> Bytes.length frame then
+    raise (Wire.Corrupt "Wal: bad frame length");
+  if crc frame p flen <> fcrc then
+    raise (Wire.Corrupt "Wal: frame checksum mismatch");
+  let lsn, o = Wire.get_i64 frame p in
+  let kind, o = Wire.get_u8 frame o in
+  let r, o = get_body kind frame o in
+  if o <> p + flen then raise (Wire.Corrupt "Wal: frame length mismatch");
+  (lsn, r)
+
+(* Re-read raw frames from a log file, for serving replica re-send
+   requests.  The shipping tap only ever sees frames that have already
+   been flushed (see [sync]), so any frame a replica can legitimately ask
+   for again is present in the file. *)
+let read_frames path ~after =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let data =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let len = String.length data in
+    if len = 0 then []
+    else if
+      len < String.length magic
+      || String.sub data 0 (String.length magic) <> magic
+    then invalid_arg "Wal.read_frames: not a fieldrep log"
+    else begin
+      let buf = Bytes.unsafe_of_string data in
+      let acc = ref [] in
+      let pos = ref (String.length magic) in
+      let stop = ref false in
+      while not !stop do
+        if !pos + 8 > len then stop := true
+        else begin
+          let flen, p = Wire.get_u32 buf !pos in
+          let fcrc, p = Wire.get_u32 buf p in
+          if flen < 9 || p + flen > len then stop := true
+          else if crc buf p flen <> fcrc then stop := true
+          else begin
+            let lsn, _ = Wire.get_i64 buf p in
+            if Int64.compare lsn after > 0 then
+              acc := (lsn, Bytes.sub buf !pos (8 + flen)) :: !acc;
+            pos := p + flen
+          end
+        end
+      done;
+      List.rev !acc
+    end
+  end
+
+let write_record t lsn record =
+  let frame = encode_frame lsn record in
   output_bytes t.oc frame;
   t.appends <- t.appends + 1;
   t.bytes <- t.bytes + Bytes.length frame;
   t.pending_bytes <- t.pending_bytes + Bytes.length frame;
   (match t.stats with
   | Some s -> Stats.note_wal_append s ~bytes:(Bytes.length frame)
+  | None -> ());
+  (match t.tap with
+  | Some _ -> t.tap_pending <- (lsn, frame) :: t.tap_pending
   | None -> ());
   if t.pending_bytes >= t.flush_limit then sync t
 

@@ -144,6 +144,33 @@ val ensure_lsn : t -> int64 -> unit
     a log to a database restored from an LSN-stamped checkpoint, so fresh
     appends sort after the checkpoint. *)
 
+val set_tap : t -> ((int64 * Bytes.t) list -> unit) option -> unit
+(** Install (or clear) a frame tap.  While installed, every appended frame
+    is stashed and the tap fires inside {!sync}, {e after} the physical
+    flush, with the batch that flush made durable, in append order — so
+    anything the observer sees can be re-read from the file with
+    {!read_frames}.  A tap that blocks turns [sync] itself into a
+    replication barrier (ack-mode shipping).  Install the tap before the
+    workload starts: frames appended while no tap is installed are not
+    retained.  Note the tap also fires on flush-limit overflow syncs, so an
+    observer may see mid-transaction records before their commit marker. *)
+
+val encode_frame : int64 -> record -> Bytes.t
+(** Serialize one record into a self-validating wire frame
+    ([len | crc | lsn | kind | body]) — exactly the bytes {!append} writes
+    to the log file. *)
+
+val decode_frame : Bytes.t -> int64 * record
+(** Inverse of {!encode_frame}.  Raises [Fieldrep_util.Wire.Corrupt] on a
+    short, truncated, trailing-garbage or checksum-failing frame. *)
+
+val read_frames : string -> after:int64 -> (int64 * Bytes.t) list
+(** Re-read the raw frames of the log file at a path, keeping those with
+    LSN strictly greater than [after], in LSN order.  Stops at the first
+    torn or corrupt frame (as {!open_} does); returns [[]] for a missing
+    or empty file; raises [Invalid_argument] on a file that is not a
+    fieldrep log.  Serves replica re-send and rejoin requests. *)
+
 val records : t -> (int64 * record) list
 (** The valid records found at {!open_} time, in LSN order, with aborted
     records and [Abort] markers filtered out.  Records appended through

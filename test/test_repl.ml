@@ -1,0 +1,593 @@
+(* Master/replica streaming replication.
+
+   Everything runs over the deterministic in-process loopback transport
+   (plus one socketpair smoke test): a master Db ships WAL frames as its
+   log syncs them, replicas apply them through the streaming redo path and
+   serve reads.  The fault tests inject drop/duplicate/corrupt/truncate
+   and mid-commit disconnects, then prove the replica converges to a state
+   byte-identical to the master's. *)
+
+module Db = Fieldrep.Db
+module Oid = Fieldrep_storage.Oid
+module Stats = Fieldrep_storage.Stats
+module Disk = Fieldrep_storage.Disk
+module Pager = Fieldrep_storage.Pager
+module Wal = Fieldrep_wal.Wal
+module Recovery = Fieldrep_wal.Recovery
+module Ty = Fieldrep_model.Ty
+module Value = Fieldrep_model.Value
+module Schema = Fieldrep_model.Schema
+module Key = Fieldrep_btree.Key
+module Params = Fieldrep_costmodel.Params
+module Gen = Fieldrep_workload.Gen
+module Splitmix = Fieldrep_util.Splitmix
+module Wire = Fieldrep_util.Wire
+module Proto = Fieldrep_repl.Proto
+module Transport = Fieldrep_repl.Transport
+module Master = Fieldrep_repl.Repl.Master
+module Replica = Fieldrep_repl.Repl.Replica
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* CI re-runs the fault tests under several fixed seeds by exporting
+   FIELDREP_TEST_SEED; the offset perturbs the generated database and the
+   fuzzed op/fault schedule. *)
+let seed_base =
+  match Sys.getenv_opt "FIELDREP_TEST_SEED" with
+  | Some s -> ( try int_of_string s with _ -> 0)
+  | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Shared fixtures                                                     *)
+
+let build_master ?(s_count = 30) ?(seed = 5) () =
+  let built =
+    Gen.build
+      {
+        Gen.default_spec with
+        Gen.s_count;
+        sharing = 2;
+        strategy = Params.Inplace;
+        page_size = 1024;
+        frames = 64;
+        seed = seed + seed_base;
+        durable = true;
+      }
+  in
+  built.Gen.db
+
+let s_oids db =
+  let acc = ref [] in
+  Db.scan db ~set:"S" (fun oid _ -> acc := oid :: !acc);
+  Array.of_list (List.rev !acc)
+
+let r_oids db =
+  let acc = ref [] in
+  Db.scan db ~set:"R" (fun oid _ -> acc := oid :: !acc);
+  Array.of_list (List.rev !acc)
+
+(* Canonical user-visible observation (sets, indexes, replicated reads):
+   two databases in the same state produce the same string. *)
+let observe db =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun set ->
+      Buffer.add_string b (Printf.sprintf "== set %s (%d)\n" set (Db.set_size db set));
+      Db.scan db ~set (fun oid record ->
+          Buffer.add_string b (Oid.to_string oid);
+          List.iter
+            (fun v ->
+              Buffer.add_char b '|';
+              Buffer.add_string b (Value.to_string v))
+            (Db.user_values db ~set record);
+          Buffer.add_char b '\n'))
+    [ "S"; "R" ];
+  List.iter
+    (fun index ->
+      Buffer.add_string b ("== index " ^ index ^ "\n");
+      Db.index_range db ~index ~lo:Key.min_int_key ~hi:(Key.Int max_int) ~init:()
+        ~f:(fun () k oid ->
+          Buffer.add_string b
+            (Printf.sprintf "%s->%s\n" (Key.to_string k) (Oid.to_string oid))))
+    [ Gen.r_index; Gen.s_index ];
+  Buffer.add_string b "== derefs\n";
+  Db.scan db ~set:"R" (fun oid _ ->
+      Buffer.add_string b (Value.to_string (Db.deref db ~set:"R" oid "sref.repfield"));
+      Buffer.add_char b '\n');
+  Buffer.contents b
+
+(* Byte-level identity: flush both buffer pools, then digest every page of
+   every disk file.  The replica restores the master's checkpoint pages
+   and replays deterministically, so even the physical layout matches. *)
+let disk_digest db =
+  Pager.flush (Db.pager db);
+  let disk = Pager.disk (Db.pager db) in
+  Disk.file_ids disk
+  |> List.sort compare
+  |> List.map (fun id ->
+         let n = Disk.page_count disk id in
+         let b = Buffer.create 64 in
+         for page = 0 to n - 1 do
+           Buffer.add_string b
+             (Digest.to_hex (Digest.bytes (Disk.dump_page disk ~file:id ~page)))
+         done;
+         (id, n, Digest.to_hex (Digest.string (Buffer.contents b))))
+
+let check_converged ?(what = "replica") master_db replica_db =
+  checks (what ^ " observation identical") (observe master_db)
+    (observe replica_db);
+  checkb
+    (what ^ " pages byte-identical")
+    true
+    (disk_digest master_db = disk_digest replica_db)
+
+(* Drive an in-process master/replica pair until traffic dries up: flush
+   buffers and acks both ways.  Several rounds, because a resend costs a
+   full round-trip (replica asks, master re-ships, replica applies). *)
+let converge ?(rounds = 4) m r =
+  for _ = 1 to rounds do
+    Master.pump m;
+    ignore (Replica.drain r)
+  done;
+  Master.pump m
+
+let connect_pair ?mode mdb =
+  let m = Master.create ?mode mdb in
+  let ma, rb, fa, fb = Transport.loopback () in
+  let r = Replica.connect rb in
+  let _peer = Master.attach ~pump:(fun () -> ignore (Replica.drain r)) m ma in
+  ignore (Replica.drain r);
+  (* the bootstrap snapshot *)
+  (m, r, fa, fb)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codec                                                      *)
+
+let proto_samples =
+  [
+    Proto.Hello { last_lsn = 0L };
+    Proto.Hello { last_lsn = 123456789L };
+    Proto.Snapshot { lsn = 42L; image = String.make 100_000 'i' };
+    Proto.Frames [ Bytes.of_string "abc"; Bytes.create 0; Bytes.make 70_000 'f' ];
+    Proto.Commit { lsn = 7L };
+    Proto.Ack { lsn = 7L };
+    Proto.Resend { after = 3L };
+  ]
+
+let test_proto_roundtrip () =
+  List.iter
+    (fun msg ->
+      let back = Proto.decode (Proto.encode msg) in
+      checkb
+        (Format.asprintf "%a survives the codec" Proto.pp msg)
+        true (msg = back))
+    proto_samples
+
+let test_proto_rejects_corruption () =
+  List.iter
+    (fun msg ->
+      let s = Proto.encode msg in
+      (* flip one byte somewhere in the middle *)
+      let b = Bytes.of_string s in
+      let i = Bytes.length b / 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+      (try
+         ignore (Proto.decode (Bytes.to_string b));
+         Alcotest.fail "corrupt message decoded"
+       with Wire.Corrupt _ -> ());
+      (* truncate *)
+      (try
+         ignore (Proto.decode (String.sub s 0 (String.length s / 2)));
+         Alcotest.fail "truncated message decoded"
+       with Wire.Corrupt _ -> ());
+      (* trailing garbage *)
+      try
+        ignore (Proto.decode (s ^ "x"));
+        Alcotest.fail "trailing garbage decoded"
+      with Wire.Corrupt _ -> ())
+    proto_samples
+
+let test_wal_frame_codec () =
+  let record = Wal.Insert { set = "S"; values = [ Value.VInt 1 ] } in
+  let frame = Wal.encode_frame 9L record in
+  let lsn, back = Wal.decode_frame frame in
+  checkb "frame roundtrips" true (Int64.equal lsn 9L && back = record);
+  let b = Bytes.copy frame in
+  Bytes.set b (Bytes.length b - 1) 'x';
+  (try
+     ignore (Wal.decode_frame b);
+     Alcotest.fail "corrupt frame decoded"
+   with Wire.Corrupt _ -> ());
+  try
+    ignore (Wal.decode_frame (Bytes.sub frame 0 (Bytes.length frame - 2)));
+    Alcotest.fail "truncated frame decoded"
+  with Wire.Corrupt _ -> ()
+
+let test_read_frames () =
+  let path = Filename.temp_file "fieldrep_repl_test" ".wal" in
+  Sys.remove path;
+  let w = Wal.open_ path in
+  let records =
+    List.init 5 (fun i -> Wal.Insert { set = "S"; values = [ Value.VInt i ] })
+  in
+  List.iter (fun r -> ignore (Wal.append w r)) records;
+  Wal.sync w;
+  let all = Wal.read_frames path ~after:0L in
+  checki "all frames read back" 5 (List.length all);
+  List.iteri
+    (fun i (lsn, frame) ->
+      let flsn, record = Wal.decode_frame frame in
+      checkb "frame is self-consistent" true
+        (Int64.equal lsn flsn && Int64.equal lsn (Int64.of_int (i + 1)));
+      checkb "record matches" true (record = List.nth records i))
+    all;
+  let tail = Wal.read_frames path ~after:3L in
+  checki "tail after 3" 2 (List.length tail);
+  checkb "tail starts at 4" true (Int64.equal (fst (List.hd tail)) 4L);
+  checki "missing file is empty" 0
+    (List.length (Wal.read_frames (path ^ ".nope") ~after:0L));
+  Wal.close w;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Transport                                                           *)
+
+let test_loopback_faults () =
+  let a, b, fa, _fb = Transport.loopback () in
+  a.Transport.send "one";
+  checkb "delivered" true (b.Transport.recv ~block:false = Some "one");
+  fa.Transport.drop <- 1;
+  a.Transport.send "lost";
+  a.Transport.send "kept";
+  checkb "drop loses exactly one" true (b.Transport.recv ~block:false = Some "kept");
+  fa.Transport.duplicate <- 1;
+  a.Transport.send "twice";
+  checkb "dup 1" true (b.Transport.recv ~block:false = Some "twice");
+  checkb "dup 2" true (b.Transport.recv ~block:false = Some "twice");
+  fa.Transport.corrupt <- 1;
+  a.Transport.send "payload";
+  checkb "corrupted in flight" true
+    (match b.Transport.recv ~block:false with
+    | Some s -> s <> "payload" && String.length s = 7
+    | None -> false);
+  fa.Transport.truncate <- 1;
+  a.Transport.send "12345678";
+  checkb "truncated to half" true (b.Transport.recv ~block:false = Some "1234");
+  fa.Transport.disconnect_after <- 1;
+  a.Transport.send "last";
+  (try
+     a.Transport.send "never";
+     Alcotest.fail "send on dying link succeeded"
+   with Transport.Disconnected -> ());
+  checkb "delivered before death is readable" true
+    (b.Transport.recv ~block:false = Some "last");
+  try
+    ignore (b.Transport.recv ~block:false);
+    Alcotest.fail "recv on dead drained link succeeded"
+  with Transport.Disconnected -> ()
+
+let test_socket_transport () =
+  let sa, sb = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let a = Transport.of_socket ~label:"test:a" sa in
+  let b = Transport.of_socket ~label:"test:b" sb in
+  checkb "empty socket: no payload" true (b.Transport.recv ~block:false = None);
+  let msg = Proto.encode (Proto.Frames [ Bytes.make 10_000 'f' ]) in
+  a.Transport.send msg;
+  a.Transport.send (Proto.encode (Proto.Commit { lsn = 3L }));
+  checkb "payload survives the socket" true (b.Transport.recv ~block:true = Some msg);
+  checkb "framing separates messages" true
+    (match b.Transport.recv ~block:false with
+    | Some s -> Proto.decode s = Proto.Commit { lsn = 3L }
+    | None -> false);
+  a.Transport.close ();
+  (try
+     ignore (b.Transport.recv ~block:true);
+     Alcotest.fail "recv past EOF succeeded"
+   with Transport.Disconnected -> ());
+  b.Transport.close ()
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap and streaming                                             *)
+
+let test_bootstrap_snapshot () =
+  let mdb = build_master () in
+  let m, r, _, _ = connect_pair mdb in
+  let rdb = Replica.db r in
+  checkb "replica flag set" true (Db.is_replica rdb);
+  checkb "master flag clear" true (not (Db.is_replica mdb));
+  checkb "bootstrap lsn matches the log" true
+    (Int64.equal (Replica.last_applied r)
+       (Wal.last_lsn (Option.get (Db.wal mdb))));
+  check_converged ~what:"bootstrapped replica" mdb rdb;
+  ignore m
+
+let test_async_streaming () =
+  let mdb = build_master () in
+  let m, r, _, _ = connect_pair mdb in
+  let ss = s_oids mdb and rs = r_oids mdb in
+  (* autocommit traffic *)
+  Db.update_field mdb ~set:"S" ss.(0) ~field:"repfield"
+    (Value.VString (String.make 20 'z'));
+  ignore
+    (Db.insert mdb ~set:"R"
+       [ Value.VInt 7777; Value.VString (String.make 65 'q'); Value.VRef ss.(1) ]);
+  (* a committed transaction *)
+  let tx = Db.begin_txn mdb in
+  Db.update_field ~txn:tx mdb ~set:"S" ss.(2) ~field:"repfield"
+    (Value.VString (String.make 20 'y'));
+  Db.update_field ~txn:tx mdb ~set:"R" rs.(0) ~field:"field_r" (Value.VInt 100_000);
+  Db.commit mdb tx;
+  (* an aborted transaction: compensations ship too *)
+  let tx = Db.begin_txn mdb in
+  Db.update_field ~txn:tx mdb ~set:"S" ss.(3) ~field:"repfield"
+    (Value.VString (String.make 20 'w'));
+  Db.abort mdb tx;
+  converge m r;
+  check_converged mdb (Replica.db r);
+  checkb "replica applied frames" true
+    ((Db.stats (Replica.db r)).Stats.frames_applied > 0);
+  checkb "master shipped frames" true ((Db.stats mdb).Stats.frames_shipped > 0)
+
+let test_abort_marker_stream () =
+  let mdb = build_master () in
+  let m, r, _, _ = connect_pair mdb in
+  let ss = s_oids mdb in
+  (* Deleting a still-referenced S object fails validation on the master
+     AFTER its record hit the log; the abort marker rescinds it.  The
+     replica applies the record, fails identically, and the marker clears
+     the failed slot. *)
+  (try
+     Db.delete mdb ~set:"S" ss.(0);
+     Alcotest.fail "expected a validation failure"
+   with Invalid_argument _ -> ());
+  Db.update_field mdb ~set:"S" ss.(0) ~field:"repfield"
+    (Value.VString (String.make 20 'k'));
+  converge m r;
+  check_converged ~what:"post-abort replica" mdb (Replica.db r)
+
+let test_ack_mode_blocks () =
+  let mdb = build_master () in
+  let m, r, _, _ = connect_pair ~mode:Master.Ack mdb in
+  let ss = s_oids mdb in
+  let acks0 = (Db.stats mdb).Stats.acks_waited in
+  Db.update_field mdb ~set:"S" ss.(0) ~field:"repfield"
+    (Value.VString (String.make 20 'a'));
+  (* The autocommit sync blocked until the replica acknowledged: the
+     replica is already caught up, with no pump needed afterwards. *)
+  checkb "replica at master lsn right after the commit" true
+    (Int64.equal (Replica.last_applied r)
+       (Wal.last_lsn (Option.get (Db.wal mdb))));
+  checkb "a commit barrier waited" true ((Db.stats mdb).Stats.acks_waited > acks0);
+  let tx = Db.begin_txn mdb in
+  Db.update_field ~txn:tx mdb ~set:"S" ss.(1) ~field:"repfield"
+    (Value.VString (String.make 20 'b'));
+  Db.commit mdb tx;
+  checkb "txn commit also waited" true
+    (Int64.equal (Replica.last_applied r)
+       (Wal.last_lsn (Option.get (Db.wal mdb))));
+  check_converged ~what:"ack replica" mdb (Replica.db r);
+  ignore m
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_replica_read_only () =
+  let mdb = build_master () in
+  let _m, r, _, _ = connect_pair mdb in
+  let rdb = Replica.db r in
+  let ss = s_oids rdb in
+  let expect_readonly what f =
+    try
+      f ();
+      Alcotest.fail (what ^ " succeeded on a replica")
+    with Invalid_argument msg ->
+      checkb (what ^ " names the replica") true (contains msg "read-only replica")
+  in
+  expect_readonly "insert" (fun () ->
+      ignore
+        (Db.insert rdb ~set:"R"
+           [ Value.VInt 1; Value.VString "x"; Value.VRef ss.(0) ]));
+  expect_readonly "update" (fun () ->
+      Db.update_field rdb ~set:"S" ss.(0) ~field:"repfield" (Value.VString "x"));
+  expect_readonly "delete" (fun () -> Db.delete rdb ~set:"S" ss.(0));
+  expect_readonly "begin_txn" (fun () -> ignore (Db.begin_txn rdb));
+  expect_readonly "ddl" (fun () ->
+      Db.define_type rdb (Ty.make ~name:"X" [ { Ty.fname = "a"; ftype = Ty.Scalar Ty.SInt } ]));
+  expect_readonly "scrub" (fun () -> ignore (Db.scrub rdb));
+  expect_readonly "checkpoint" (fun () -> Db.checkpoint rdb "/dev/null");
+  (* reads keep working *)
+  checkb "reads serve" true
+    (Db.deref rdb ~set:"R" (r_oids rdb).(0) "sref.repfield" <> Value.VNull)
+
+(* ------------------------------------------------------------------ *)
+(* Wire faults                                                         *)
+
+let mutate_some mdb ~seed ~ops =
+  let rng = Splitmix.create (0x5EED + seed) in
+  let ss = s_oids mdb in
+  for i = 1 to ops do
+    let s = ss.(Splitmix.int rng (Array.length ss)) in
+    Db.update_field mdb ~set:"S" s ~field:"repfield"
+      (Value.VString (Printf.sprintf "%020d" (i * 7 + seed)))
+  done
+
+let test_corrupt_frame_resend () =
+  let mdb = build_master () in
+  let m, r, fa, _ = connect_pair mdb in
+  mutate_some mdb ~seed:1 ~ops:5;
+  fa.Transport.corrupt <- 1;
+  (* the next shipped Frames message is damaged in flight *)
+  converge m r;
+  check_converged ~what:"post-corruption replica" mdb (Replica.db r)
+
+let test_drop_and_duplicate () =
+  let mdb = build_master () in
+  let m, r, fa, fb = connect_pair mdb in
+  mutate_some mdb ~seed:2 ~ops:4;
+  fa.Transport.drop <- 1;
+  converge m r;
+  check_converged ~what:"post-drop replica" mdb (Replica.db r);
+  mutate_some mdb ~seed:3 ~ops:4;
+  fa.Transport.duplicate <- 1;
+  fb.Transport.duplicate <- 1;
+  converge m r;
+  check_converged ~what:"post-duplicate replica" mdb (Replica.db r)
+
+let test_truncated_frame_resend () =
+  let mdb = build_master () in
+  let m, r, fa, _ = connect_pair mdb in
+  mutate_some mdb ~seed:4 ~ops:4;
+  fa.Transport.truncate <- 1;
+  converge m r;
+  check_converged ~what:"post-truncation replica" mdb (Replica.db r)
+
+let test_disconnect_mid_commit_and_rejoin () =
+  let mdb = build_master () in
+  let m, r, fa, _ = connect_pair mdb in
+  mutate_some mdb ~seed:5 ~ops:6;
+  converge m r;
+  let rdb_before = Replica.db r in
+  mutate_some mdb ~seed:6 ~ops:6;
+  (* The link dies mid-commit: the Frames message is delivered, the Commit
+     barrier right behind it is lost with the link. *)
+  fa.Transport.disconnect_after <- 1;
+  Master.pump m;
+  ignore (Replica.drain r);
+  checkb "master marked the peer dead" true (Master.peer_count m = 0);
+  (* the master keeps taking writes while the replica is gone *)
+  mutate_some mdb ~seed:7 ~ops:6;
+  (* Rejoin on a fresh transport: Hello carries the replica's position, so
+     the master ships only the missing tail — no new snapshot. *)
+  let ma2, rb2, _, _ = Transport.loopback () in
+  Replica.reconnect r rb2;
+  ignore (Master.attach ~pump:(fun () -> ignore (Replica.drain r)) m ma2);
+  converge m r;
+  checkb "same database instance (no re-bootstrap)" true (Replica.db r == rdb_before);
+  checki "rejoined peer live" 1 (Master.peer_count m);
+  check_converged ~what:"rejoined replica" mdb (Replica.db r)
+
+let test_fuzzed_faults_converge () =
+  let mdb = build_master ~s_count:24 ~seed:9 () in
+  let m, r, fa, fb = connect_pair mdb in
+  let rng = Splitmix.create (0xFA17 + seed_base) in
+  let ss = s_oids mdb in
+  for i = 1 to 120 do
+    (match Splitmix.int rng 10 with
+    | 0 ->
+        (* a write that fails validation: exercises abort markers *)
+        (try Db.delete mdb ~set:"S" ss.(Splitmix.int rng (Array.length ss))
+         with Invalid_argument _ -> ())
+    | 1 | 2 ->
+        ignore
+          (Db.insert mdb ~set:"R"
+             [
+               Value.VInt (100_000 + i);
+               Value.VString (String.make 65 'n');
+               Value.VRef ss.(Splitmix.int rng (Array.length ss));
+             ])
+    | 3 | 4 | 5 when Splitmix.int rng 2 = 0 ->
+        let tx = Db.begin_txn mdb in
+        Db.update_field ~txn:tx mdb ~set:"S"
+          ss.(Splitmix.int rng (Array.length ss))
+          ~field:"repfield"
+          (Value.VString (Printf.sprintf "%020d" i));
+        if Splitmix.int rng 3 = 0 then Db.abort mdb tx else Db.commit mdb tx
+    | _ ->
+        Db.update_field mdb ~set:"S"
+          ss.(Splitmix.int rng (Array.length ss))
+          ~field:"repfield"
+          (Value.VString (Printf.sprintf "%020d" (i + 1_000))));
+    (* sprinkle wire faults *)
+    (match Splitmix.int rng 12 with
+    | 0 -> fa.Transport.corrupt <- fa.Transport.corrupt + 1
+    | 1 -> fa.Transport.drop <- fa.Transport.drop + 1
+    | 2 -> fa.Transport.duplicate <- fa.Transport.duplicate + 1
+    | 3 -> fa.Transport.truncate <- fa.Transport.truncate + 1
+    | 4 -> fb.Transport.drop <- fb.Transport.drop + 1
+    | _ -> ());
+    if Splitmix.int rng 4 = 0 then begin
+      Master.pump m;
+      ignore (Replica.drain r)
+    end
+  done;
+  (* heal the wire and settle *)
+  fa.Transport.corrupt <- 0;
+  fa.Transport.drop <- 0;
+  fa.Transport.duplicate <- 0;
+  fa.Transport.truncate <- 0;
+  fb.Transport.drop <- 0;
+  converge ~rounds:8 m r;
+  check_converged ~what:"fuzzed replica" mdb (Replica.db r);
+  Db.check_integrity (Replica.db r)
+
+(* ------------------------------------------------------------------ *)
+(* Fan-out                                                             *)
+
+let test_two_replicas () =
+  let mdb = build_master () in
+  let m = Master.create mdb in
+  let attach () =
+    let ma, rb, _, _ = Transport.loopback () in
+    let r = Replica.connect rb in
+    ignore (Master.attach ~pump:(fun () -> ignore (Replica.drain r)) m ma);
+    ignore (Replica.drain r);
+    r
+  in
+  let r1 = attach () in
+  mutate_some mdb ~seed:10 ~ops:5;
+  Master.pump m;
+  ignore (Replica.drain r1);
+  (* the second replica bootstraps later, from a newer snapshot *)
+  let r2 = attach () in
+  mutate_some mdb ~seed:11 ~ops:5;
+  converge m r1;
+  converge m r2;
+  checki "both peers live" 2 (Master.peer_count m);
+  check_converged ~what:"replica 1" mdb (Replica.db r1);
+  check_converged ~what:"replica 2" mdb (Replica.db r2)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "repl"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "proto roundtrip" `Quick test_proto_roundtrip;
+          Alcotest.test_case "proto rejects corruption" `Quick
+            test_proto_rejects_corruption;
+          Alcotest.test_case "wal frame codec" `Quick test_wal_frame_codec;
+          Alcotest.test_case "read_frames" `Quick test_read_frames;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "loopback faults" `Quick test_loopback_faults;
+          Alcotest.test_case "socketpair" `Quick test_socket_transport;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "bootstrap snapshot" `Quick test_bootstrap_snapshot;
+          Alcotest.test_case "async streaming" `Quick test_async_streaming;
+          Alcotest.test_case "abort marker in stream" `Quick
+            test_abort_marker_stream;
+          Alcotest.test_case "ack mode blocks" `Quick test_ack_mode_blocks;
+          Alcotest.test_case "replica is read-only" `Quick test_replica_read_only;
+          Alcotest.test_case "two replicas" `Quick test_two_replicas;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "corrupt frame resend" `Quick
+            test_corrupt_frame_resend;
+          Alcotest.test_case "drop and duplicate" `Quick test_drop_and_duplicate;
+          Alcotest.test_case "truncated frame resend" `Quick
+            test_truncated_frame_resend;
+          Alcotest.test_case "disconnect mid-commit, rejoin" `Quick
+            test_disconnect_mid_commit_and_rejoin;
+          Alcotest.test_case "fuzzed faults converge" `Quick
+            test_fuzzed_faults_converge;
+        ] );
+    ]

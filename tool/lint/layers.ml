@@ -43,7 +43,7 @@ let guards =
     {
       library = "Fieldrep_wal";
       name = "Wal";
-      allowed_dirs = [ "lib/wal"; "lib/core"; "lib/scrub" ];
+      allowed_dirs = [ "lib/wal"; "lib/core"; "lib/scrub"; "lib/repl" ];
       why = "only durability owners may append/sync the log";
     };
     {
@@ -62,4 +62,8 @@ let forbidden_edges =
     ( "lib/txn",
       "Fieldrep_replication",
       "no txn -> replication back-edge; Db mediates between the two" );
+    ( "lib/txn",
+      "Fieldrep_repl",
+      "no txn -> shipping back-edge; commit durability flows through \
+       Wal.sync's tap, never by txn code calling the shipping layer" );
   ]
