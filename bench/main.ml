@@ -1219,6 +1219,103 @@ let repl_bench () =
     (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* M1: background maintenance - foreground cost of online reconfig     *)
+
+let maint_bench () =
+  section "M1: online reconfiguration - foreground degradation vs throttle";
+  Printf.printf
+    "(4 clients run the update mix over a replicated |S|=200, f=4 durable\n\
+    \ database while reconfiguration churns in the background: whenever the\n\
+    \ maintenance queue drains, the path is online-unreplicated or online\n\
+    \ re-replicated, so teardown and backfill jobs run for the whole bench;\n\
+    \ one job quantum of q pages is pumped per client turn.  q=0 is the\n\
+    \ baseline: no maintenance, the declaration just stays active.  The\n\
+    \ foreground columns show what the churn costs concurrent writers)\n\n";
+  let rep_path = Path.parse "R.sref.repfield" in
+  let rows = ref [] in
+  let fg_io = ref [] and cycles_done = ref [] in
+  let pages_q1 = ref 0 and yields_total = ref 0 in
+  List.iter
+    (fun quantum ->
+      let spec =
+        {
+          Gen.default_spec with
+          Gen.s_count = 200;
+          sharing = 4;
+          strategy = Params.Inplace;
+          frames = 24;
+          seed = 31;
+          durable = true;
+        }
+      in
+      let built = Gen.build spec in
+      let db = built.Gen.db in
+      let cycles = ref 0 in
+      let on_turn _ =
+        if quantum > 0 then
+          if Db.maint_pending db > 0 then ignore (Db.maint_step ~quantum db)
+          else if Db.active_txn_count db > 0 then
+            (* queue drained mid-run: issue the next reconfiguration (the
+               open transactions force the online paths) *)
+            match Db.replication_state db rep_path with
+            | Some Schema.Active -> Db.unreplicate db rep_path
+            | None ->
+                incr cycles;
+                Db.replicate db ~strategy:Schema.Inplace rep_path
+            | Some _ -> ()
+      in
+      let before = Stats.copy (Db.stats db) in
+      let t0 = Unix.gettimeofday () in
+      let res =
+        Multi.run ~abort_prob:0.02 ~on_turn ~clients:4 ~txns_per_client:32
+          ~ops_per_txn:6 ~mix:Multi.update_mix ~seed:53 built
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      Db.maint_drain db;
+      Db.check_integrity db;
+      let d = Stats.diff (Db.stats db) before in
+      fg_io := (quantum, res.Multi.committed_io) :: !fg_io;
+      cycles_done := (quantum, !cycles) :: !cycles_done;
+      if quantum = 1 then pages_q1 := d.Stats.maint_pages_walked;
+      yields_total := !yields_total + d.Stats.maint_lock_yields;
+      rows :=
+        [
+          (if quantum = 0 then "0 (idle)" else string_of_int quantum);
+          string_of_int res.Multi.commits;
+          T.fixed 0 (float_of_int res.Multi.commits /. wall);
+          string_of_int res.Multi.committed_io;
+          string_of_int res.Multi.blocked_turns;
+          string_of_int !cycles;
+          string_of_int d.Stats.maint_steps;
+          string_of_int d.Stats.maint_pages_walked;
+          string_of_int d.Stats.maint_lock_yields;
+        ]
+        :: !rows)
+    [ 0; 1; 4; 16 ];
+  T.print
+    ~header:
+      [
+        "quantum";
+        "commits";
+        "txn/s";
+        "fg I/O";
+        "blocked";
+        "cycles";
+        "steps";
+        "pages";
+        "yields";
+      ]
+    (List.rev !rows);
+  add_gate_metrics "maint"
+    ([ ("maint_pages_q1", !pages_q1); ("maint_yields", !yields_total) ]
+    @ List.map
+        (fun (q, io) -> (Printf.sprintf "maint_fg_io_q%d" q, io))
+        !fg_io
+    @ List.map
+        (fun (q, c) -> (Printf.sprintf "maint_cycles_q%d" q, c))
+        (List.filter (fun (q, _) -> q > 0) !cycles_done))
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let all_benches =
@@ -1244,6 +1341,7 @@ let all_benches =
     ("scrub", scrub_bench);
     ("p1", p1);
     ("repl", repl_bench);
+    ("maint", maint_bench);
   ]
 
 (* Machine-readable results: one object per scenario run, with wall time and

@@ -15,6 +15,7 @@ module Engine = Fieldrep_replication.Engine
 module Store = Fieldrep_replication.Store
 module Invariants = Fieldrep_replication.Invariants
 module Scrub = Fieldrep_scrub.Scrub
+module Maint = Fieldrep_maint.Maint
 module Wal = Fieldrep_wal.Wal
 module Recovery = Fieldrep_wal.Recovery
 module Lock = Fieldrep_txn.Lock
@@ -51,6 +52,9 @@ type t = {
          arrive exclusively through [replica_apply] *)
   mutable repl_stream : Recovery.stream option;
       (* incremental redo state for [replica_apply], created lazily *)
+  maint : Maint.t;
+      (* background-maintenance queue: online backfills, teardowns and
+         scrub sweeps, pumped in quanta between foreground operations *)
 }
 
 let schema t = t.schema
@@ -189,6 +193,7 @@ let create ?(page_size = 4096) ?(frames = 256) ?(prefetch = 0) ?(durable = false
              on_hidden_update (Lazy.force t) set oid ~before ~after)
            ()
        in
+       let locks = Lock.create ~stats:(Pager.stats pager) () in
        {
          pager;
          schema;
@@ -199,13 +204,14 @@ let create ?(page_size = 4096) ?(frames = 256) ?(prefetch = 0) ?(durable = false
          engine;
          wal = None;
          replaying = false;
-         locks = Lock.create ~stats:(Pager.stats pager) ();
+         locks;
          next_txn = 1;
          active = Hashtbl.create 8;
          compensating = false;
          charging = false;
          replica_mode = false;
          repl_stream = None;
+         maint = Maint.create ~locks ~stats:(Pager.stats pager);
        })
   in
   let t = Lazy.force t in
@@ -250,16 +256,178 @@ let create_set t ?(reserve = 0) ~name ~elem_type () =
       Hashtbl.replace t.sets name hf;
       Hashtbl.replace t.data_files (Heap_file.file_id hf) (name, hf))
 
+(* ------------------------------------------------------------------ *)
+(* Background maintenance                                              *)
+
+(* Maintenance jobs lock under their own owner id, drawn from the same
+   counter as transactions so the lock manager never confuses the two. *)
+let fresh_owner t =
+  let id = t.next_txn in
+  t.next_txn <- t.next_txn + 1;
+  id
+
+(* Maintenance records run outside any transaction: durable before the
+   quantum (or completion) touches pages, like autocommit mutations. *)
+let log_maint t record =
+  match t.wal with
+  | Some w when not t.replaying ->
+      ignore (Wal.append w record);
+      Wal.sync w
+  | Some _ | None -> ()
+
+(* The job id IS the rep id: [Maint_step]/[Maint_done] records name it,
+   and a declaration never has two jobs in flight (Building and Dropping
+   are mutually exclusive states). *)
+let enqueue_backfill t (rep : Schema.replication) =
+  let set = rep.Schema.rpath.Path.source_set in
+  let hf = set_file t set in
+  let job =
+    Maint.walk_job
+      ~label:(Printf.sprintf "backfill %s" (Path.to_string rep.Schema.rpath))
+      ~job_id:rep.Schema.rep_id ~owner:(fresh_owner t) ~set ~file:hf
+      ~write_targets:(fun oid ->
+        let record = Record.decode (Heap_file.read hf oid) in
+        List.map
+          (fun o -> (set_of_oid t o, o))
+          (Engine.write_set_attach t.engine ~set record))
+      ~log_step:(fun ~upto ->
+        log_maint t (Wal.Maint_step { job = rep.Schema.rep_id; upto }))
+      ~process:(fun oid -> Engine.backfill_source t.engine rep oid)
+      ~complete:(fun () ->
+        log_maint t (Wal.Maint_done { job = rep.Schema.rep_id });
+        Schema.set_rep_state t.schema rep.Schema.rep_id Schema.Active)
+  in
+  Maint.enqueue t.maint job
+
+let enqueue_teardown t (rep : Schema.replication) =
+  let set = rep.Schema.rpath.Path.source_set in
+  let hf = set_file t set in
+  let job =
+    Maint.walk_job
+      ~label:(Printf.sprintf "teardown %s" (Path.to_string rep.Schema.rpath))
+      ~job_id:rep.Schema.rep_id ~owner:(fresh_owner t) ~set ~file:hf
+      ~write_targets:(fun oid ->
+        List.map
+          (fun o -> (set_of_oid t o, o))
+          (Engine.write_set_delete t.engine ~set oid))
+      ~log_step:(fun ~upto ->
+        log_maint t (Wal.Maint_step { job = rep.Schema.rep_id; upto }))
+      ~process:(fun oid -> Engine.teardown_source t.engine rep oid)
+      ~complete:(fun () ->
+        log_maint t (Wal.Maint_done { job = rep.Schema.rep_id });
+        Schema.set_rep_state t.schema rep.Schema.rep_id Schema.Dropped;
+        (* erase the declaration's links from the compiled registry so
+           writers stop maintaining the (now dead) derived state, then
+           unbind its emptied files — a re-replication of the same path
+           reuses the same link IDs and must build from nothing *)
+        Engine.recompile t.engine;
+        Engine.gc_dead_derived t.engine)
+  in
+  Maint.enqueue t.maint job
+
+let maint_step ?(quantum = 4) t =
+  check_primary t "Db.maint_step";
+  Maint.step t.maint ~quantum
+
+let maint_pending t = Maint.pending t.maint
+let maint_backlog t = Maint.backlog t.maint
+let maint_jobs t = Maint.jobs t.maint
+
+let maint_drain ?(quantum = 16) t =
+  check_primary t "Db.maint_drain";
+  let yields = ref 0 in
+  while Maint.pending t.maint > 0 do
+    match Maint.step t.maint ~quantum with
+    | `Progress -> yields := 0
+    | `Yield ->
+        incr yields;
+        (* every queued job yielded in turn: only a foreground
+           transaction's locks can unblock them, and draining from here
+           would spin forever *)
+        if !yields > Maint.pending t.maint then
+          invalid_arg
+            "Db.maint_drain: maintenance is blocked on locks held by \
+             active transactions"
+    | `Idle -> ()
+  done
+
+let replication_state t path =
+  Option.map
+    (fun (r : Schema.replication) -> Schema.rep_state t.schema r.Schema.rep_id)
+    (Schema.find_replication t.schema path)
+
 let replicate t ?options ~strategy path =
   check_primary t "Db.replicate";
-  no_active_txns t "Db.replicate";
   let options = Option.value ~default:Schema.default_options options in
+  (match Schema.find_replication t.schema path with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Db.replicate: path %s is already replicated"
+           (Path.to_string path))
+  | None -> ());
+  if Hashtbl.length t.active = 0 then
+    (* Quiesced: bulk-build in one pass, as before.  (Replay always lands
+       here — [active] is empty during recovery — which is exactly the
+       semantics a logged [Replicate] record promises.) *)
+    log_mutation t
+      (Wal.Replicate { path = Path.to_string path; strategy; options })
+      (fun () ->
+        let rep = Schema.add_replication t.schema ~options ~strategy path in
+        Engine.recompile t.engine;
+        Engine.build t.engine rep)
+  else
+    (* Online: install the declaration as [Building] so concurrent writers
+       maintain derived state from this instant (the catch-up trigger),
+       then backfill existing objects behind the maintenance cursor. *)
+    log_mutation t
+      (Wal.Replicate_online { path = Path.to_string path; strategy; options })
+      (fun () ->
+        let rep =
+          Schema.add_replication t.schema ~options ~state:Schema.Building
+            ~strategy path
+        in
+        Engine.recompile t.engine;
+        enqueue_backfill t rep)
+
+let unreplicate t path =
+  check_primary t "Db.unreplicate";
+  let rep =
+    match Schema.find_replication t.schema path with
+    | Some r -> r
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Db.unreplicate: path %s is not replicated"
+             (Path.to_string path))
+  in
+  if Schema.rep_state t.schema rep.Schema.rep_id <> Schema.Active then
+    invalid_arg
+      (Printf.sprintf "Db.unreplicate: path %s is being reconfigured"
+         (Path.to_string path));
+  (* An index compiled against this path's hidden copy would dangle. *)
+  let set = rep.Schema.rpath.Path.source_set in
+  let ty = Schema.set_type t.schema set in
+  List.iter
+    (fun (d : Schema.index_def) ->
+      if d.Schema.iset = set && Ty.field_opt ty d.Schema.ifield = None then
+        match Schema.find_replication t.schema (Path.parse d.Schema.ifield) with
+        | Some r when r.Schema.rep_id = rep.Schema.rep_id ->
+            invalid_arg
+              (Printf.sprintf
+                 "Db.unreplicate: index %s reads path %s; drop it first"
+                 d.Schema.iname (Path.to_string path))
+        | Some _ | None -> ())
+    (Schema.indexes t.schema);
+  (* Settle this declaration's lazy-propagation debt while it is still
+     live: a [Dropping] declaration no longer repairs. *)
+  Engine.flush_pending t.engine;
   log_mutation t
-    (Wal.Replicate { path = Path.to_string path; strategy; options })
+    (Wal.Unreplicate { path = Path.to_string path })
     (fun () ->
-      let rep = Schema.add_replication t.schema ~options ~strategy path in
-      Engine.recompile t.engine;
-      Engine.build t.engine rep)
+      Schema.set_rep_state t.schema rep.Schema.rep_id Schema.Dropping;
+      enqueue_teardown t rep);
+  (* Quiesced callers (and replay) see the drop complete synchronously,
+     mirroring the bulk [replicate] fast path. *)
+  if Hashtbl.length t.active = 0 && not t.replaying then maint_drain t
 
 (* Resolve an index field spec to an absolute value index. *)
 let resolve_index_field t ~set ~field =
@@ -692,7 +860,10 @@ let plan_deref t ~set expr =
       let covering =
         List.filter
           (fun (r : Schema.replication) ->
-            r.Schema.rpath.Path.steps = steps
+            (* Only [Active] declarations serve reads: a [Building] copy is
+               not complete yet, a [Dropping] one is being torn down. *)
+            Schema.rep_state t.schema r.Schema.rep_id = Schema.Active
+            && r.Schema.rpath.Path.steps = steps
             &&
             match r.Schema.rpath.Path.terminal with
             | Path.Field f -> f = terminal
@@ -946,7 +1117,6 @@ let check_integrity t =
 
 let scrub t =
   check_primary t "Db.scrub";
-  no_active_txns t "Db.scrub";
   let data_sets =
     Hashtbl.fold (fun name hf acc -> (name, hf) :: acc) t.sets []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -960,7 +1130,37 @@ let scrub t =
         Wal.sync w
     | Some _ | None -> ()
   in
-  Scrub.run ~log_repair t.engine ~data_sets
+  (* The physical sweep runs as a maintenance job so queued backfills and
+     teardowns keep making progress while scrub reads pages.  The sweep is
+     never logged: a crash mid-sweep just loses the sweep. *)
+  let sw = Scrub.sweep_start t.engine ~data_sets in
+  let scrub_job = -1 in
+  Maint.enqueue t.maint
+    (Maint.custom_job ~label:"scrub sweep" ~job_id:scrub_job
+       ~step:(fun ~quantum ->
+         if Scrub.sweep_step sw ~budget:(quantum * 8) then `More else `Done)
+       ~complete:(fun () -> ()));
+  while Maint.find t.maint scrub_job <> None do
+    ignore (Maint.step t.maint ~quantum:4)
+  done;
+  (* Repairs lock like any other writer — IX on the set, X on the object,
+     under a job-scoped owner held until the logical pass completes.  A
+     conflict defers that one repair to a later scrub. *)
+  let owner = fresh_owner t in
+  let guard oid =
+    let set = set_of_oid t oid in
+    match
+      Lock.acquire t.locks ~txn:owner (Lock.Set set) Lock.IX;
+      Lock.acquire t.locks ~txn:owner (Lock.Obj oid) Lock.X
+    with
+    | () -> true
+    | exception (Lock.Would_block _ | Lock.Deadlock _) ->
+        Stats.note_maint_yield (stats t);
+        false
+  in
+  Fun.protect
+    ~finally:(fun () -> Lock.release_all t.locks ~txn:owner)
+    (fun () -> Scrub.finish ~log_repair ~guard sw)
 
 (* ------------------------------------------------------------------ *)
 (* Observability and referential integrity                             *)
@@ -1025,7 +1225,20 @@ let dangling_references t =
 (* ------------------------------------------------------------------ *)
 (* Database images (save / load)                                       *)
 
-let image_magic = "FREPIMG1"
+let image_magic = "FREPIMG2"
+
+let u8_of_rep_state = function
+  | Schema.Building -> 0
+  | Schema.Active -> 1
+  | Schema.Dropping -> 2
+  | Schema.Dropped -> 3
+
+let rep_state_of_u8 = function
+  | 0 -> Schema.Building
+  | 1 -> Schema.Active
+  | 2 -> Schema.Dropping
+  | 3 -> Schema.Dropped
+  | k -> invalid_arg (Printf.sprintf "Db.load: bad replication state %d" k)
 
 let save t path =
   (* Make the on-disk state complete and self-describing first.  The log
@@ -1092,8 +1305,10 @@ let save t path =
       put_u32 (Heap_file.file_id hf);
       put_u32 (Heap_file.reserve hf))
     sets;
-  (* Replication declarations, in rep-id order. *)
-  let reps = Schema.replications t.schema in
+  (* Replication declarations, in rep-id order — [Dropped] ones included,
+     because the full sequence is what fixes hidden-slot layout and
+     link-id allocation. *)
+  let reps = Schema.all_replications t.schema in
   put_u16 (List.length reps);
   List.iter
     (fun (r : Schema.replication) ->
@@ -1103,7 +1318,8 @@ let save t path =
       put_u8 (if r.Schema.options.Schema.collapse then 1 else 0);
       put_u16 r.Schema.options.Schema.small_link_threshold;
       put_u8 (if r.Schema.options.Schema.lazy_propagation then 1 else 0);
-      put_u8 (if r.Schema.options.Schema.cluster_links then 1 else 0))
+      put_u8 (if r.Schema.options.Schema.cluster_links then 1 else 0);
+      put_u8 (u8_of_rep_state (Schema.rep_state t.schema r.Schema.rep_id)))
     reps;
   (* Indexes, in creation order, with tree roots. *)
   let index_defs = Schema.indexes t.schema in
@@ -1236,10 +1452,11 @@ let load_image ?(frames = 256) path =
     let small_link_threshold = get_u16 () in
     let lazy_propagation = get_u8 () = 1 in
     let cluster_links = get_u8 () = 1 in
+    let state = rep_state_of_u8 (get_u8 ()) in
     let rep =
       Schema.add_replication t.schema
         ~options:{ Schema.collapse; small_link_threshold; lazy_propagation; cluster_links }
-        ~strategy path
+        ~state ~strategy path
     in
     if rep.Schema.rep_id <> rep_id then invalid_arg "Db.load: rep id replay mismatch"
   done;
@@ -1312,6 +1529,18 @@ let load_image ?(frames = 256) path =
       Store.bind_sprime t.store ~rep_id (Heap_file.attach t.pager ~file:file_id))
     sprime_bindings;
   Engine.recompile t.engine;
+  (* Re-queue in-flight reconfigurations at cursor 0: the image may have
+     been taken mid-job, and re-walking already-processed pages is safe
+     because the per-source operations are idempotent.  Logged [Maint_step]
+     records (if this load is the front half of a recovery) then fast-
+     forward the cursor through [advance_to]. *)
+  List.iter
+    (fun (r : Schema.replication) ->
+      match Schema.rep_state t.schema r.Schema.rep_id with
+      | Schema.Building -> enqueue_backfill t r
+      | Schema.Dropping -> enqueue_teardown t r
+      | Schema.Active | Schema.Dropped -> ())
+    (Schema.replications t.schema);
   (t, checkpoint_lsn, saved_wal_path)
 
 let load ?frames path =
@@ -1368,6 +1597,23 @@ let recovery_applier t =
               Hashtbl.mem t.sets set
               && Heap_file.exists (set_file t set) source
             then Engine.refresh t.engine rep source);
+    replicate_online =
+      (fun ~strategy ~options ~path ->
+        let rep =
+          Schema.add_replication t.schema ~options ~state:Schema.Building
+            ~strategy (Path.parse path)
+        in
+        Engine.recompile t.engine;
+        enqueue_backfill t rep);
+    unreplicate =
+      (fun ~path ->
+        match Schema.find_replication t.schema (Path.parse path) with
+        | None -> ()
+        | Some rep ->
+            Schema.set_rep_state t.schema rep.Schema.rep_id Schema.Dropping;
+            enqueue_teardown t rep);
+    maint_step = (fun ~job ~upto -> Maint.advance_to t.maint ~job ~upto);
+    maint_done = (fun ~job -> Maint.finish t.maint ~job);
   }
 
 let recover ?frames ?wal_path path =

@@ -123,7 +123,57 @@ val create_set : t -> ?reserve:int -> name:string -> elem_type:string -> unit ->
 
 val replicate :
   t -> ?options:Schema.rep_options -> strategy:Schema.strategy -> Path.t -> unit
-(** Declare and bulk-build a replication path (paper §3.1). *)
+(** Declare a replication path (paper §3.1).  Raises [Invalid_argument]
+    if the exact path is already replicated (and not dropped).
+
+    With no transactions active, the derived state is bulk-built before
+    the call returns.  With transactions active, the declaration is
+    installed {e online}: it enters the [Building] state — concurrent
+    writers maintain it from that instant — and existing objects are
+    backfilled by a background-maintenance job (pump {!maint_step} or
+    {!maint_drain}).  Reads use the hidden copies once the declaration
+    turns [Active]. *)
+
+val unreplicate : t -> Path.t -> unit
+(** Drop a replication declaration online.  The declaration enters the
+    [Dropping] state — reads revert to the functional join immediately —
+    and its derived state (hidden copies, link objects, S' records) is
+    torn down incrementally by a background-maintenance job.  With no
+    transactions active the job is drained before the call returns.
+    Raises [Invalid_argument] if the path is not replicated, is still
+    building (or already dropping), or an index reads it. *)
+
+val replication_state : t -> Path.t -> Schema.rep_state option
+(** Lifecycle state of the path's latest declaration ([None] if the path
+    is not replicated, or every declaration of it has been dropped). *)
+
+(** {2 Background maintenance}
+
+    Online reconfigurations (and scrub sweeps) run as {e maintenance
+    jobs}: resumable cursors over heap files that advance in bounded work
+    quanta, locking through the foreground lock manager and yielding to
+    conflicting transactions.  Single-threaded and cooperative — the
+    application decides when maintenance runs by pumping these calls
+    between its own operations.  The quantum is the throttle: pages
+    walked (and locks held) per pump. *)
+
+val maint_step : ?quantum:int -> t -> [ `Progress | `Yield | `Idle ]
+(** Run one quantum (default 4 pages) of the head maintenance job.
+    [`Yield] means a foreground lock conflicted: nothing was done, the
+    job moved to the back of the queue and will retry. *)
+
+val maint_drain : ?quantum:int -> t -> unit
+(** Pump until the queue is empty.  Raises [Invalid_argument] if every
+    queued job is blocked on locks held by active transactions. *)
+
+val maint_pending : t -> int
+(** Queued (unfinished) maintenance jobs. *)
+
+val maint_backlog : t -> int
+(** Heap pages the queued jobs have still to walk. *)
+
+val maint_jobs : t -> (string * int) list
+(** [(label, job id)] of every queued job, head first. *)
 
 val build_index : t -> name:string -> set:string -> field:string -> clustered:bool -> unit
 (** Build a B+-tree over a scalar field, or over a replicated path given as
@@ -224,8 +274,14 @@ val scrub : t -> Fieldrep_scrub.Scrub.report
     fields are only ever {e reported} as suspect, never silently rewritten,
     because no second authoritative copy exists.  On a durable database
     every repair is WAL-logged (as [Scrub_repair]) before it is applied, so
-    {!recover} replays repairs after a crash.  Raises [Invalid_argument]
-    while transactions are active. *)
+    {!recover} replays repairs after a crash.
+
+    Runs alongside active transactions: the page sweep is interleaved with
+    any queued maintenance jobs, and each repair takes short X locks under
+    a job-scoped owner — a repair that conflicts with a transaction's
+    locks is deferred (reported in [unrepairable]) for a later scrub.
+    Replication declarations mid-backfill or mid-teardown are skipped;
+    their maintenance job owns that state. *)
 
 val space_report : t -> (string * int) list
 (** [(category, pages)] for data sets, indexes, link files and S' files. *)

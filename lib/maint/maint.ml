@@ -1,0 +1,176 @@
+module Oid = Fieldrep_storage.Oid
+module Stats = Fieldrep_storage.Stats
+module Heap_file = Fieldrep_storage.Heap_file
+module Lock = Fieldrep_txn.Lock
+
+(* A walk job's mutable state is just the page cursor: everything else —
+   what to lock, what to log, what to do per source — arrives as closures
+   from lib/core, so this library never sees the engine. *)
+type walk = {
+  owner : int;
+  set : string;
+  file : Heap_file.t;
+  mutable cursor : int;
+  write_targets : Oid.t -> (string * Oid.t) list;
+  log_step : upto:int -> unit;
+  process : Oid.t -> unit;
+}
+
+type custom = { custom_step : quantum:int -> [ `More | `Yield | `Done ] }
+
+type body = Walk of walk | Custom of custom
+
+type job = {
+  label : string;
+  job_id : int;
+  body : body;
+  complete : unit -> unit;
+}
+
+let walk_job ~label ~job_id ~owner ~set ~file ~write_targets ~log_step
+    ~process ~complete =
+  {
+    label;
+    job_id;
+    body =
+      Walk { owner; set; file; cursor = 0; write_targets; log_step; process };
+    complete;
+  }
+
+let custom_job ~label ~job_id ~step ~complete =
+  { label; job_id; body = Custom { custom_step = step }; complete }
+
+let job_id j = j.job_id
+let label j = j.label
+let cursor j = match j.body with Walk w -> w.cursor | Custom _ -> 0
+
+type t = {
+  locks : Lock.t;
+  stats : Stats.t;
+  mutable queue : job list;  (* FIFO: head runs next *)
+}
+
+let create ~locks ~stats = { locks; stats; queue = [] }
+
+let pending t = List.length t.queue
+let jobs t = List.map (fun j -> (j.label, j.job_id)) t.queue
+let find t id = List.find_opt (fun j -> j.job_id = id) t.queue
+
+let remaining_pages j =
+  match j.body with
+  | Walk w -> max 0 (Heap_file.page_count w.file - w.cursor)
+  | Custom _ -> 0
+
+let backlog t = List.fold_left (fun acc j -> acc + remaining_pages j) 0 t.queue
+
+let note_backlog t = Stats.set_maint_backlog t.stats ~pages:(backlog t)
+
+let enqueue t j =
+  if find t j.job_id <> None then
+    invalid_arg (Printf.sprintf "Maint: job %d is already queued" j.job_id);
+  t.queue <- t.queue @ [ j ];
+  note_backlog t
+
+let dequeue t j =
+  t.queue <- List.filter (fun j' -> j' != j) t.queue;
+  note_backlog t
+
+let rotate t =
+  match t.queue with [] | [ _ ] -> () | j :: rest -> t.queue <- rest @ [ j ]
+
+(* One quantum of a walk job.  The lock set is computed before anything is
+   acquired: the engine is cooperative and single-threaded, so the reads
+   that compute it cannot race a foreground writer, and a conflict
+   surfaces with no partial effects — release and retry later. *)
+let step_walk t j w ~quantum =
+  let pages = Heap_file.page_count w.file in
+  if w.cursor >= pages then begin
+    j.complete ();
+    dequeue t j;
+    `Progress
+  end
+  else begin
+    let from = w.cursor in
+    let upto = min pages (from + quantum) in
+    let oids =
+      List.concat_map
+        (fun page -> Heap_file.oids_on_page w.file ~page)
+        (List.init (upto - from) (fun i -> from + i))
+    in
+    match
+      Lock.acquire t.locks ~txn:w.owner (Lock.Set w.set) Lock.IX;
+      List.iter
+        (fun oid ->
+          Lock.acquire t.locks ~txn:w.owner (Lock.Obj oid) Lock.X;
+          List.iter
+            (fun (set, target) ->
+              Lock.acquire t.locks ~txn:w.owner (Lock.Set set) Lock.IX;
+              Lock.acquire t.locks ~txn:w.owner (Lock.Obj target) Lock.X)
+            (w.write_targets oid))
+        oids
+    with
+    | exception (Lock.Would_block _ | Lock.Deadlock _) ->
+        Lock.release_all t.locks ~txn:w.owner;
+        Stats.note_maint_yield t.stats;
+        rotate t;
+        `Yield
+    | () ->
+        (* Write-ahead: the quantum is durable before it mutates a page,
+           so a crash anywhere past this point replays it (idempotently)
+           to completion. *)
+        w.log_step ~upto;
+        List.iter w.process oids;
+        w.cursor <- upto;
+        Lock.release_all t.locks ~txn:w.owner;
+        Stats.note_maint_step t.stats ~pages:(upto - from);
+        if w.cursor >= Heap_file.page_count w.file then begin
+          j.complete ();
+          dequeue t j
+        end
+        else note_backlog t;
+        `Progress
+  end
+
+let step t ~quantum =
+  match t.queue with
+  | [] -> `Idle
+  | j :: _ -> (
+      match j.body with
+      | Walk w -> step_walk t j w ~quantum
+      | Custom c -> (
+          match c.custom_step ~quantum with
+          | `More ->
+              Stats.note_maint_step t.stats ~pages:quantum;
+              `Progress
+          | `Yield ->
+              Stats.note_maint_yield t.stats;
+              rotate t;
+              `Yield
+          | `Done ->
+              j.complete ();
+              dequeue t j;
+              `Progress))
+
+let advance_to t ~job ~upto =
+  match find t job with
+  | None -> failwith (Printf.sprintf "Maint: Maint_step for unknown job %d" job)
+  | Some j -> (
+      match j.body with
+      | Custom _ ->
+          failwith (Printf.sprintf "Maint: Maint_step for custom job %d" job)
+      | Walk w ->
+          let last = min upto (Heap_file.page_count w.file) in
+          for page = w.cursor to last - 1 do
+            List.iter w.process (Heap_file.oids_on_page w.file ~page)
+          done;
+          if upto > w.cursor then
+            Stats.note_maint_step t.stats ~pages:(upto - w.cursor);
+          w.cursor <- max w.cursor upto;
+          note_backlog t)
+
+let finish t ~job =
+  match find t job with
+  | None -> failwith (Printf.sprintf "Maint: Maint_done for unknown job %d" job)
+  | Some j ->
+      j.complete ();
+      dequeue t j

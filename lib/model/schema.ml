@@ -18,6 +18,8 @@ type replication = {
   options : rep_options;
 }
 
+type rep_state = Building | Active | Dropping | Dropped
+
 type index_def = { iname : string; iset : string; ifield : string; clustered : bool }
 
 type resolved_path = {
@@ -37,6 +39,7 @@ type t = {
   mutable set_order : string list;  (* reverse creation order *)
   mutable index_defs : index_def list;  (* reverse creation order *)
   mutable reps : replication list;  (* reverse creation order *)
+  rep_states : (int, rep_state) Hashtbl.t;  (* rep_id -> life-cycle state *)
   mutable next_tag : int;
   mutable next_rep : int;
 }
@@ -50,6 +53,7 @@ let create () =
     set_order = [];
     index_defs = [];
     reps = [];
+    rep_states = Hashtbl.create 8;
     next_tag = 1;
     next_rep = 1;
   }
@@ -170,12 +174,28 @@ let resolve_path t (path : Path.t) =
 (* ------------------------------------------------------------------ *)
 (* Replication                                                         *)
 
-let replications t = List.rev t.reps
+let rep_state t rep_id =
+  Option.value ~default:Active (Hashtbl.find_opt t.rep_states rep_id)
+
+let set_rep_state t rep_id state = Hashtbl.replace t.rep_states rep_id state
+
+(* Dropped declarations are invisible to every logical consumer (planning,
+   propagation, recomputation, duplicate checks) but stay in [t.reps]:
+   hidden-slot layout and link-ID allocation replay over {!all_replications},
+   so dropping a path never shifts the physical layout of records declared
+   after it. *)
+let all_replications t = List.rev t.reps
+
+let replications t =
+  List.filter (fun r -> rep_state t r.rep_id <> Dropped) (all_replications t)
 
 let find_replication t path =
-  List.find_opt (fun r -> Path.equal r.rpath path) t.reps
+  List.find_opt
+    (fun r -> Path.equal r.rpath path && rep_state t r.rep_id <> Dropped)
+    t.reps
 
-let add_replication t ?(options = default_options) ~strategy path =
+let add_replication t ?(options = default_options) ?(state = Active) ~strategy
+    path =
   (match find_replication t path with
   | Some _ ->
       invalid_arg (Printf.sprintf "Schema: %s already replicated" (Path.to_string path))
@@ -196,6 +216,7 @@ let add_replication t ?(options = default_options) ~strategy path =
   let rep = { rep_id = t.next_rep; rpath = path; strategy; options } in
   t.next_rep <- t.next_rep + 1;
   t.reps <- rep :: t.reps;
+  Hashtbl.replace t.rep_states rep.rep_id state;
   rep
 
 let replications_from t set_name =
@@ -204,6 +225,9 @@ let replications_from t set_name =
 (* ------------------------------------------------------------------ *)
 (* Hidden layout                                                       *)
 
+(* Layout iterates {e all} declarations, Dropped included: a dropped path
+   leaves a permanently dead (null) slot behind so the value-array indexes
+   of every later declaration never move. *)
 let hidden_slots t set_name =
   List.concat_map
     (fun r ->
@@ -215,7 +239,9 @@ let hidden_slots t set_name =
             (fun (source_field, scalar) ->
               Hidden_copy { rep_id = r.rep_id; source_field; scalar })
             resolved.terminal_fields)
-    (replications_from t set_name)
+    (List.filter
+       (fun r -> r.rpath.Path.source_set = set_name)
+       (all_replications t))
 
 let user_arity t set_name = Ty.arity (set_type t set_name)
 let record_width t set_name = user_arity t set_name + List.length (hidden_slots t set_name)
@@ -266,6 +292,12 @@ let add_index t def =
         &&
         match find_replication t p with
         | Some r ->
+            if rep_state t r.rep_id <> Active then
+              invalid_arg
+                (Printf.sprintf
+                   "Schema: cannot index path %s while its replication is \
+                    being reconfigured"
+                   def.ifield);
             if r.options.lazy_propagation then
               invalid_arg
                 (Printf.sprintf

@@ -44,6 +44,22 @@ type replication = {
   options : rep_options;
 }
 
+(** Life-cycle of a replication declaration, driven by the online
+    reconfiguration jobs in [lib/maint]:
+
+    - [Building]: declared, catch-up propagation installed, backfill still
+      walking the source set.  Readers ignore it (functional joins); writers
+      maintain whatever derived state exists so far.
+    - [Active]: fully built — the only state planners use.
+    - [Dropping]: reads have flipped back to functional joins; the teardown
+      job is removing derived state.  Writers still {e remove} stale
+      memberships but no longer add or refresh anything for it.
+    - [Dropped]: terminal.  The declaration is never physically deleted —
+      its hidden slot stays in the record layout as a dead (null) slot and
+      its link IDs stay allocated — so later declarations keep their layout
+      and IDs. *)
+type rep_state = Building | Active | Dropping | Dropped
+
 type index_def = { iname : string; iset : string; ifield : string; clustered : bool }
 
 type resolved_path = {
@@ -106,19 +122,39 @@ val resolve_path : t -> Path.t -> resolved_path
 (** Validates every step against the catalog.  Raises [Invalid_argument]
     with a description of the first bad hop. *)
 
-val add_replication : t -> ?options:rep_options -> strategy:strategy -> Path.t -> replication
+val add_replication :
+  t ->
+  ?options:rep_options ->
+  ?state:rep_state ->
+  strategy:strategy ->
+  Path.t ->
+  replication
 (** Registers the path (validating it) and assigns a fresh [rep_id].
-    Duplicate paths are rejected. *)
+    Duplicate paths are rejected ([Dropped] declarations do not count — a
+    re-replicated path gets a fresh declaration).  [state] defaults to
+    [Active] (the pre-reconfiguration bulk-build behaviour). *)
 
 val replications : t -> replication list
+(** Every non-[Dropped] declaration, in [rep_id] order. *)
+
+val all_replications : t -> replication list
+(** Every declaration ever made, [Dropped] included — the sequence that
+    fixes hidden-slot layout and link-ID allocation. *)
+
+val rep_state : t -> int -> rep_state
+val set_rep_state : t -> int -> rep_state -> unit
+
 val find_replication : t -> Path.t -> replication option
+(** The latest non-[Dropped] declaration of this path, if any. *)
+
 val replications_from : t -> string -> replication list
-(** Declarations whose source set is the given set. *)
+(** Non-[Dropped] declarations whose source set is the given set. *)
 
 (** {1 Hidden layout} *)
 
 val hidden_slots : t -> string -> hidden_slot list
-(** Hidden slots of a set, in layout order. *)
+(** Hidden slots of a set, in layout order.  Includes the dead slots of
+    [Dropped] declarations, so layout never shifts under reconfiguration. *)
 
 val user_arity : t -> string -> int
 val record_width : t -> string -> int

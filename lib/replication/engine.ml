@@ -39,6 +39,58 @@ let make_env ~schema ~store ~file_of_set ~file_of_oid
 let recompile env = env.registry <- Registry.compile env.schema
 
 (* ------------------------------------------------------------------ *)
+(* Declaration life-cycle (online reconfiguration)                     *)
+
+(* A *live* declaration still accumulates derived state: writers add
+   memberships and refresh copies for it.  [Building] is live — that is the
+   catch-up trigger of online replication: mutations behind the backfill
+   watermark propagate through whatever links exist, mutations ahead of it
+   are picked up when the backfill walk reaches them.  [Dropping] is not:
+   writers only *remove* stale memberships (else the teardown job would
+   race a writer re-creating what it just erased). *)
+let rep_live env (rep : Schema.replication) =
+  match Schema.rep_state env.schema rep.Schema.rep_id with
+  | Schema.Building | Schema.Active -> true
+  | Schema.Dropping | Schema.Dropped -> false
+
+let rep_active env (rep : Schema.replication) =
+  Schema.rep_state env.schema rep.Schema.rep_id = Schema.Active
+
+(* Is the link's derived state complete and maintained — i.e. safe for the
+   invariant checker to audit and for the scrubber to "repair" against?
+   Only when some [Active] declaration owns/maintains it; a [Building]
+   link is legitimately partial, a [Dropping] link legitimately stale. *)
+let link_active env link_id =
+  match Registry.link_kind env.registry link_id with
+  | None -> false
+  | Some (Registry.L_path node_id) ->
+      List.exists (rep_active env)
+        (Registry.node env.registry node_id).Registry.passing
+  | Some (Registry.L_sref node_id) | Some (Registry.L_collapsed node_id) ->
+      List.exists
+        (fun (term : Registry.terminal) ->
+          (match term.Registry.kind with
+          | Registry.K_separate id | Registry.K_collapsed id -> id = link_id
+          | Registry.K_inplace -> false)
+          && rep_active env term.Registry.rep)
+        (Registry.node env.registry node_id).Registry.terminals
+
+let rep_of_id env rep_id =
+  List.find_opt
+    (fun (r : Schema.replication) -> r.Schema.rep_id = rep_id)
+    (Schema.replications env.schema)
+
+(* After a teardown completes, the dropped declaration's link and S' files
+   are empty but still bound — and a later re-replication of the same path
+   reuses the same link IDs (the registry replays dropped declarations for
+   allocation stability), so [build] would mistake the stale empty file for
+   already-built state.  Dead = no surviving declaration reaches it. *)
+let gc_dead_derived env =
+  Store.gc env.store
+    ~live_link:(fun id -> Registry.link_kind env.registry id <> None)
+    ~live_sprime:(fun rep_id -> rep_of_id env rep_id <> None)
+
+(* ------------------------------------------------------------------ *)
 (* Lazy-propagation invalidation table                                 *)
 
 let pending_key (rep : Schema.replication) oid = (rep.Schema.rep_id, Oid.to_int64 oid)
@@ -195,6 +247,10 @@ let rec ensure_deeper env (node : Registry.node) x_oid =
     (fun (child : Registry.node) ->
       match child.Registry.link_id with
       | None -> ()
+      | Some _ when not (List.exists (rep_live env) child.Registry.passing) ->
+          (* Every path through this level is being torn down: adding here
+             would race the teardown cursor. *)
+          ()
       | Some _ -> (
           let x_rec = read_record env x_oid in
           match deref env ~from_type:child.Registry.from_type x_rec child.Registry.step with
@@ -437,7 +493,8 @@ let refresh_terminal env (rep : Schema.replication) source_oid =
         | None -> source_rec)
     | Registry.K_separate sref_link ->
         let idx =
-          Schema.hidden_index env.schema set ~rep_id:rep.Schema.rep_id ~field:None
+          Schema.hidden_index env.schema set ~rep_id:rep.Schema.rep_id
+            ~field:None
         in
         let desired =
           match final_of env nodes source_rec with
@@ -508,7 +565,8 @@ let attach_source env (rep : Schema.replication) source_oid =
       match forward_targets env nodes source_rec with
       | [ (_, x1, _); (_, x2, _) ] ->
           ignore
-            (modify_membership env final_node ~link_id ~threshold:0 x2 (fun lo ->
+            (modify_membership env final_node ~link_id ~threshold:0 x2
+               (fun lo ->
                  Link_object.add lo { Link_object.member = source_oid; tag = x1 }))
       | _ -> () (* path broken by a null reference: nothing to register *))
   | None -> (
@@ -529,8 +587,8 @@ let detach_source env (rep : Schema.replication) source_oid =
       match forward_targets env nodes source_rec with
       | [ _; (_, x2, _) ] ->
           ignore
-            (modify_membership env final_node ~link_id ~threshold:0 x2 (fun lo ->
-                 Link_object.remove lo source_oid))
+            (modify_membership env final_node ~link_id ~threshold:0 x2
+               (fun lo -> Link_object.remove lo source_oid))
       | _ -> ())
   | None -> (
       match forward_targets env nodes source_rec with
@@ -551,11 +609,95 @@ let detach_source env (rep : Schema.replication) source_oid =
   | Registry.K_inplace | Registry.K_collapsed _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Online reconfiguration primitives (driven by lib/maint)             *)
+
+(* Backfill one source object of a [Building] declaration.  Exactly
+   [attach_source], which is idempotent — link membership adds dedupe by
+   member, [refresh_terminal] compares before writing and balances S'
+   refcounts — so a source already attached by the catch-up trigger (an
+   insert or reference update that ran while the backfill cursor was
+   behind it) converges instead of double-registering. *)
+let backfill_source = attach_source
+
+(* Tear down one source object's contribution to a [Dropping] declaration.
+   Unlike [detach_source] (object deletion), the source object stays: only
+   memberships no *live* path shares are removed, the S' claim is released,
+   and the declaration's hidden slots are nulled.  Idempotent — a second
+   visit finds no memberships, a null slot, and no S' reference. *)
+let teardown_source env (rep : Schema.replication) source_oid =
+  clear_pending env rep source_oid;
+  let set = rep.Schema.rpath.Path.source_set in
+  let nodes = Registry.chain env.registry rep in
+  let final_node, term = Registry.terminal_of env.registry rep in
+  let source_rec = read_record env source_oid in
+  (match collapsed_link_id term with
+  | Some link_id -> (
+      (* The tagged link is exclusively this declaration's: always remove. *)
+      match forward_targets env nodes source_rec with
+      | [ _; (_, x2, _) ] ->
+          ignore
+            (modify_membership env final_node ~link_id ~threshold:0 x2
+               (fun lo -> Link_object.remove lo source_oid))
+      | _ -> ())
+  | None ->
+      (* Walk the forward chain; at each level whose node no live path
+         shares, retract the previous object's membership.  Removals at
+         deeper levels are shared across the sources reaching through one
+         intermediate — [Link_object.remove] of an absent member no-ops, so
+         whichever source's teardown quantum gets there first wins. *)
+      ignore
+        (List.fold_left
+           (fun member ((node : Registry.node), x_oid, _) ->
+             if
+               node.Registry.link_id <> None
+               && not (List.exists (rep_live env) node.Registry.passing)
+             then ignore (remove_member env node x_oid member);
+             x_oid)
+           source_oid
+           (forward_targets env nodes source_rec)));
+  (* Null the declaration's hidden slots (releasing the S' claim first);
+     re-read the record, the membership pass may have rewritten link
+     sections along a self-referential chain. *)
+  let source_rec = read_record env source_oid in
+  let changed = ref false in
+  let updated =
+    match term.Registry.kind with
+    | Registry.K_separate sref_link -> (
+        let idx =
+          Schema.hidden_index env.schema set ~rep_id:rep.Schema.rep_id
+            ~field:None
+        in
+        match value_or_null source_rec idx with
+        | Value.VRef sp ->
+            sprime_refcount_add env ~sref_link sp (-1);
+            changed := true;
+            set_value_extending source_rec idx Value.VNull
+        | Value.VNull | Value.VInt _ | Value.VString _ -> source_rec)
+    | Registry.K_inplace | Registry.K_collapsed _ ->
+        List.fold_left
+          (fun acc (fname, _) ->
+            let idx =
+              Schema.hidden_index env.schema set ~rep_id:rep.Schema.rep_id
+                ~field:(Some fname)
+            in
+            if Value.equal (value_or_null acc idx) Value.VNull then acc
+            else begin
+              changed := true;
+              set_value_extending acc idx Value.VNull
+            end)
+          source_rec term.Registry.fields
+  in
+  if !changed then begin
+    write_record env source_oid updated;
+    env.on_hidden_update set source_oid ~before:source_rec ~after:updated
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Public maintenance entry points                                     *)
 
 let on_insert env ~set oid =
   List.iter
-    (fun rep -> attach_source env rep oid)
+    (fun rep -> if rep_live env rep then attach_source env rep oid)
     (Schema.replications_from env.schema set)
 
 let on_delete env ~set oid =
@@ -581,7 +723,9 @@ let on_scalar_update env ~set oid ~field value =
           List.iter
             (fun (term : Registry.terminal) ->
               match term.Registry.kind with
-              | Registry.K_separate sid when sid = pair.Record.link_id -> (
+              | Registry.K_separate sid
+                when sid = pair.Record.link_id && rep_live env term.Registry.rep
+                -> (
                   match
                     List.find_index (fun (f, _) -> f = field) term.Registry.fields
                   with
@@ -601,7 +745,9 @@ let on_scalar_update env ~set oid ~field value =
           List.iter
             (fun (term : Registry.terminal) ->
               match term.Registry.kind with
-              | Registry.K_collapsed cid when cid = pair.Record.link_id ->
+              | Registry.K_collapsed cid
+                when cid = pair.Record.link_id && rep_live env term.Registry.rep
+                ->
                   if List.mem_assoc field term.Registry.fields then begin
                     let rep = term.Registry.rep in
                     let set = rep.Schema.rpath.Path.source_set in
@@ -627,7 +773,8 @@ let on_scalar_update env ~set oid ~field value =
             List.filter
               (fun (term : Registry.terminal) ->
                 term.Registry.kind = Registry.K_inplace
-                && List.mem_assoc field term.Registry.fields)
+                && List.mem_assoc field term.Registry.fields
+                && rep_live env term.Registry.rep)
               node.Registry.terminals
           in
           let eager, lazy_ =
@@ -682,12 +829,12 @@ let ref_update_source env ~set source_oid ~field ~old_target ~new_target =
                 if now_empty then cascade_off env node1 o
             | None -> ());
             (match new_target with
-            | Some nw ->
+            | Some nw when List.exists (rep_live env) node1.Registry.passing ->
                 let was_empty, now_empty =
                   add_member env node1 nw (plain_entry source_oid)
                 in
                 if was_empty && not now_empty then ensure_deeper env node1 nw
-            | None -> ())
+            | Some _ | None -> ())
         | None -> ());
         List.iter
           (fun (rep : Schema.replication) ->
@@ -709,7 +856,7 @@ let ref_update_source env ~set source_oid ~field ~old_target ~new_target =
                     | None -> ())
                 | None -> ());
                 (match new_target with
-                | Some new_x1 -> (
+                | Some new_x1 when rep_live env rep -> (
                     let x1_rec = read_record env new_x1 in
                     match
                       deref env ~from_type:final_node.Registry.from_type x1_rec
@@ -722,9 +869,9 @@ let ref_update_source env ~set source_oid ~field ~old_target ~new_target =
                                Link_object.add lo
                                  { Link_object.member = source_oid; tag = new_x1 }))
                     | None -> ())
-                | None -> ())
+                | Some _ | None -> ())
             | None -> ());
-            refresh_terminal env rep source_oid)
+            if rep_live env rep then refresh_terminal env rep source_oid)
           node1.Registry.passing
       end)
     (Registry.roots env.registry set)
@@ -754,16 +901,19 @@ let ref_update_intermediate env ~elem_type x_oid ~field ~old_target ~new_target 
                                  Link_object.remove_tagged lo x_oid))
                       | None -> ());
                       (match new_target with
-                      | Some nw when !moved <> [] ->
+                      | Some nw
+                        when !moved <> [] && rep_live env term.Registry.rep ->
                           ignore
                             (modify_membership env child ~link_id ~threshold:0 nw
                                (fun lo ->
                                  List.fold_left Link_object.add lo !moved))
                       | Some _ | None -> ());
-                      List.iter
-                        (fun (e : Link_object.entry) ->
-                          refresh_terminal env term.Registry.rep e.Link_object.member)
-                        !moved
+                      if rep_live env term.Registry.rep then
+                        List.iter
+                          (fun (e : Link_object.entry) ->
+                            refresh_terminal env term.Registry.rep
+                              e.Link_object.member)
+                          !moved
                   | None -> ())
                 child.Registry.terminals;
               (* Ordinary inverted links at [child]. *)
@@ -783,19 +933,24 @@ let ref_update_intermediate env ~elem_type x_oid ~field ~old_target ~new_target 
                             if now_empty then cascade_off env child o
                         | None -> ());
                         (match new_target with
-                        | Some nw ->
+                        | Some nw
+                          when List.exists (rep_live env) child.Registry.passing
+                          ->
                             let was_empty, now_empty =
                               add_member env child nw (plain_entry x_oid)
                             in
                             if was_empty && not now_empty then
                               ensure_deeper env child nw
-                        | None -> ())
+                        | Some _ | None -> ())
                     | None -> ());
                     (* Refresh every source under this intermediate for every
                        path continuing through [child]. *)
                     List.iter
                       (fun (rep : Schema.replication) ->
-                        List.iter (fun s -> refresh_terminal env rep s) sources)
+                        if rep_live env rep then
+                          List.iter
+                            (fun s -> refresh_terminal env rep s)
+                            sources)
                       child.Registry.passing
                   end
             end)
@@ -999,7 +1154,13 @@ let build env (rep : Schema.replication) =
 let referencers_via_links env ~source_set ~attr target_oid =
   let node =
     List.find_opt
-      (fun (n : Registry.node) -> n.Registry.step = attr && n.Registry.link_id <> None)
+      (fun (n : Registry.node) ->
+        n.Registry.step = attr
+        && n.Registry.link_id <> None
+        (* A link only answers inverse-reference queries when some Active
+           path maintains it: a Building link is still partial, a Dropping
+           one no longer maintained. *)
+        && List.exists (rep_active env) n.Registry.passing)
       (Registry.roots env.registry source_set)
   in
   Option.map
@@ -1023,13 +1184,9 @@ let drain_keys env keys =
     keys;
   Hashtbl.iter
     (fun rep_id oids ->
-      match
-        List.find_opt
-          (fun (r : Schema.replication) -> r.Schema.rep_id = rep_id)
-          (Schema.replications env.schema)
-      with
-      | Some rep -> refresh_batch env rep oids
-      | None ->
+      match rep_of_id env rep_id with
+      | Some rep when rep_live env rep -> refresh_batch env rep oids
+      | Some _ | None ->
           List.iter
             (fun oid -> Hashtbl.remove env.pending (rep_id, Oid.to_int64 oid))
             oids)

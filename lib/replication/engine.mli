@@ -119,6 +119,39 @@ val refresh : env -> Schema.replication -> Oid.t -> unit
     drives, and the operation a replayed [Scrub_repair] WAL record
     re-runs. *)
 
+(** {1 Online reconfiguration}
+
+    Per-source primitives driven by the background-maintenance jobs
+    (lib/maint).  Both are idempotent, so a crash-recovered job can replay
+    a quantum it had already applied.  The engine's mutation hooks consult
+    {!Schema.rep_state}: [Building] declarations receive the full catch-up
+    stream (adds, removes, refreshes), [Dropping] ones only removals. *)
+
+val backfill_source : env -> Schema.replication -> Oid.t -> unit
+(** Attach one source object of a [Building] declaration and fill its
+    hidden state — the backfill half of online [replicate].  Converges when
+    the catch-up trigger already attached the object. *)
+
+val teardown_source : env -> Schema.replication -> Oid.t -> unit
+(** Remove one source object's contribution to a [Dropping] declaration:
+    memberships on link levels no live path shares, the S' reference count,
+    the hidden slots (nulled).  The object itself stays. *)
+
+val link_active : env -> int -> bool
+(** Is this link ID maintained by some [Active] declaration — i.e. is its
+    derived state complete enough to audit or repair against?  [Building]
+    links are legitimately partial, [Dropping] links legitimately stale;
+    the invariant checker and scrubber skip both. *)
+
+val rep_of_id : env -> int -> Schema.replication option
+(** Look up a non-[Dropped] declaration by ID. *)
+
+val gc_dead_derived : env -> unit
+(** Unbind (and delete) link/S' files no surviving declaration reaches.
+    Must run when a teardown completes: a later re-replication of the same
+    path reuses the dropped declaration's link IDs, and {!build} would
+    mistake the stale empty files for already-built state. *)
+
 val flush_pending : env -> unit
 (** Repair every invalidated source (e.g. before an integrity audit or a
     bulk export). *)

@@ -53,6 +53,14 @@ let errors (env : Engine.env) =
               | Some (Registry.L_sref _) ->
                   (* Checked in the S' pass. *)
                   ()
+              | Some (Registry.L_path _ | Registry.L_collapsed _)
+                when not (Engine.link_active env link_id) ->
+                  (* No Active declaration maintains this link: a Building
+                     one is legitimately partial, a Dropping one
+                     legitimately stale.  (A link id with *no* owner at all
+                     is still an error above — teardown must finish before
+                     a declaration is marked Dropped.) *)
+                  ()
               | Some (Registry.L_path _ | Registry.L_collapsed _) -> (
                   Hashtbl.replace seen_memberships (link_id, oid) ();
                   let actual =
@@ -123,6 +131,7 @@ let errors (env : Engine.env) =
         (fun id ->
           match Store.link_file_opt env.Engine.store id with
           | None -> ()
+          | Some _ when not (Engine.link_active env id) -> ()
           | Some hf ->
               Heap_file.iter_oids hf (fun loid ->
                   if not (Hashtbl.mem referenced_link_oids loid) then
@@ -224,7 +233,12 @@ let errors (env : Engine.env) =
                   | None ->
                       err "separate %s: owner %s is missing its sref pair"
                         (Path.to_string rep.Schema.rpath) (Oid.to_string owner))))
-    (Schema.replications schema);
+    (* Mid-reconfiguration declarations are audited by their maintenance
+       job, not here — see the Recompute filter. *)
+    (List.filter
+       (fun (r : Schema.replication) ->
+         Schema.rep_state schema r.Schema.rep_id = Schema.Active)
+       (Schema.replications schema));
   List.rev !errs
 
 let check env =

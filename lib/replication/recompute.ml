@@ -130,5 +130,12 @@ let compute (env : Engine.env) =
               Hashtbl.replace exp.sep_final
                 (rep.Schema.rep_id, source_oid)
                 (Option.map (fun (_, oid, _) -> oid) final)))
-    (Schema.replications schema);
+    (* Only [Active] declarations have fully-derived state to recompute
+       against: a [Building] one is mid-backfill, a [Dropping] one
+       mid-teardown.  Their structures are audited by the maintenance job
+       that owns them, not here. *)
+    (List.filter
+       (fun (r : Schema.replication) ->
+         Schema.rep_state schema r.Schema.rep_id = Schema.Active)
+       (Schema.replications schema));
   exp

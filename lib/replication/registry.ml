@@ -155,7 +155,37 @@ let compile schema =
       in
       final.b_terminals <-
         final.b_terminals @ [ { rep; fields = resolved.Schema.terminal_fields; kind } ])
-    (Schema.replications schema);
+    (Schema.all_replications schema);
+  (* Dropped declarations were replayed above purely for allocation
+     stability (their successors must get the same node and link IDs on
+     every compile).  Now erase them from the logical view: strip them from
+     [passing] and [terminals], drop their terminal link IDs, and turn
+     nodes no live path uses into inert stubs ([link_id = None]), so the
+     engine's membership maintenance no-ops on them. *)
+  let dropped rep =
+    Schema.rep_state schema rep.Schema.rep_id = Schema.Dropped
+  in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun term ->
+          if dropped term.rep then
+            match term.kind with
+            | K_inplace -> ()
+            | K_separate id | K_collapsed id -> Hashtbl.remove by_link id)
+        b.b_terminals;
+      b.b_terminals <-
+        List.filter (fun term -> not (dropped term.rep)) b.b_terminals;
+      b.b_passing <- List.filter (fun rep -> not (dropped rep)) b.b_passing;
+      if b.b_passing = [] then begin
+        (match b.b_link with Some id -> Hashtbl.remove by_link id | None -> ());
+        b.b_link <- None
+      end)
+    !bnodes;
+  List.iter
+    (fun (rep : Schema.replication) ->
+      if dropped rep then Hashtbl.remove by_rep rep.Schema.rep_id)
+    (Schema.all_replications schema);
   let node_arr =
     Array.map
       (fun b ->

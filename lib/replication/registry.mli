@@ -9,9 +9,13 @@
     last for separate paths, none for collapsed paths, which get a single
     dedicated tagged link at their final node).
 
-    Link-ID assignment replays declarations in [rep_id] order, so IDs are
-    stable when new declarations are appended — required because the IDs are
-    persisted inside stored objects. *)
+    Link-ID assignment replays declarations in [rep_id] order — including
+    [Dropped] ones, which are then erased from the logical view (stripped
+    from [passing]/[terminals]/[chain], their link IDs deallocated from
+    {!link_kind}, exclusively-owned nodes left as inert [link_id = None]
+    stubs) — so IDs are stable when declarations are appended {e or
+    dropped}; required because the IDs are persisted inside stored
+    objects. *)
 
 type terminal_kind =
   | K_inplace

@@ -80,6 +80,37 @@ let bind_sprime t ~rep_id hf =
   Hashtbl.replace t.sprime_files rep_id hf;
   Hashtbl.replace t.by_file_id (Heap_file.file_id hf) hf
 
+let gc t ~live_link ~live_sprime =
+  let dead table live =
+    Hashtbl.fold
+      (fun id hf acc ->
+        if live id then acc else (id, Heap_file.file_id hf) :: acc)
+      table []
+  in
+  let dead_links = dead t.link_files live_link
+  and dead_sprimes = dead t.sprime_files live_sprime in
+  let dead_files = List.map snd dead_links @ List.map snd dead_sprimes in
+  List.iter (fun (id, _) -> Hashtbl.remove t.link_files id) dead_links;
+  List.iter (fun (id, _) -> Hashtbl.remove t.sprime_files id) dead_sprimes;
+  (* A physical file goes only when no surviving binding aliases it
+     (clustered links share one file across several link IDs). *)
+  let still_bound file_id =
+    let scan table =
+      Hashtbl.fold
+        (fun _ hf acc -> acc || Heap_file.file_id hf = file_id)
+        table false
+    in
+    scan t.link_files || scan t.sprime_files
+  in
+  List.iter
+    (fun file_id ->
+      if not (still_bound file_id) then begin
+        Hashtbl.remove t.by_file_id file_id;
+        Hashtbl.remove t.link_file_ids file_id;
+        Pager.delete_file t.pager file_id
+      end)
+    (List.sort_uniq compare dead_files)
+
 let reset t =
   Hashtbl.iter (fun _ hf -> Pager.delete_file t.pager (Heap_file.file_id hf)) t.by_file_id;
   Hashtbl.reset t.link_files;

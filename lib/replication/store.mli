@@ -41,6 +41,13 @@ val total_pages : t -> int
 val reset : t -> unit
 (** Drop every link and S' file (used when a replication is rebuilt). *)
 
+val gc : t -> live_link:(int -> bool) -> live_sprime:(int -> bool) -> unit
+(** Unbind every link/S' ID its predicate calls dead, deleting physical
+    files once no surviving binding aliases them (clustered links share one
+    file across several IDs).  Run after a teardown completes: the dead
+    declaration's emptied files must not shadow a later rebuild of the
+    same path, whose re-compiled registry reuses the same IDs. *)
+
 (** {1 Image support} *)
 
 val bindings : t -> (int * int) list * (int * int) list

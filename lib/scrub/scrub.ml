@@ -36,22 +36,28 @@ let pp_report ppf r =
 
 let max_read_attempts = 3
 
-let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
-    ~data_sets =
+type file_kind = Fdata of string | Flink of int list | Fsprime of int
+
+(* Resumable physical-sweep state: a page cursor over the store's files,
+   plus everything the logical pass will need — accumulated failures and
+   notes travel with it so [finish] produces the same report the old
+   monolithic run did. *)
+type sweep = {
+  sw_env : Engine.env;
+  sw_data_sets : (string * Heap_file.t) list;
+  sw_link_files : (int, int list) Hashtbl.t;
+  mutable sw_todo : (file_kind * int) list;  (* files not yet fully swept *)
+  mutable sw_page : int;  (* next page of the head file *)
+  mutable sw_scanned : int;
+  mutable sw_failures : int;
+  mutable sw_corrupt : (file_kind * int * int) list;  (* newest first *)
+  mutable sw_notes : string list;  (* newest first *)
+  sw_scratch : Bytes.t;
+}
+
+let sweep_start (env : Engine.env) ~data_sets =
   let store = env.Engine.store in
   let pager = Store.pager store in
-  let disk = Pager.disk pager in
-  let stats = Pager.stats pager in
-  let page_size = Pager.page_size pager in
-  let schema = env.Engine.schema in
-  let registry = env.Engine.registry in
-  let pages_scanned = ref 0 and failures = ref 0 and repairs = ref 0 in
-  let unrepairable = ref [] in
-  let note fmt = Printf.ksprintf (fun s -> unrepairable := s :: !unrepairable) fmt in
-  let repair_done () =
-    incr repairs;
-    Stats.note_repair stats
-  in
   (* Every link and S' file backing the store; several link ids may alias one
      disk file (small-link clustering), so group them. *)
   let link_bindings, sprime_bindings = Store.bindings store in
@@ -62,38 +68,106 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
       Hashtbl.replace link_files fid (link_id :: ids))
     link_bindings;
   let files =
-    List.map (fun (name, hf) -> (`Data name, Heap_file.file_id hf)) data_sets
-    @ Hashtbl.fold (fun fid ids acc -> (`Link ids, fid) :: acc) link_files []
-    @ List.map (fun (rep_id, fid) -> (`Sprime rep_id, fid)) sprime_bindings
+    List.map (fun (name, hf) -> (Fdata name, Heap_file.file_id hf)) data_sets
+    @ Hashtbl.fold (fun fid ids acc -> (Flink ids, fid) :: acc) link_files []
+    @ List.map (fun (rep_id, fid) -> (Fsprime rep_id, fid)) sprime_bindings
   in
-  (* Phase 0: push every dirty frame out so the disk reflects the logical
-     state the sweep is about to verify. *)
+  (* Push every dirty frame out so the disk reflects the logical state the
+     sweep is about to verify. *)
   Pager.flush pager;
-  (* Phase 1: physical sweep.  Verified reads straight from the disk (the
-     buffer pool would happily serve a cached frame and mask bit-rot). *)
-  let scratch = Bytes.create page_size in
-  let corrupt = ref [] in
-  List.iter
-    (fun (kind, fid) ->
-      for page = 0 to Disk.page_count disk fid - 1 do
-        incr pages_scanned;
-        Stats.note_scrub_page stats;
-        let rec attempt n =
-          match Disk.read_page disk ~file:fid ~page scratch with
-          | () -> ()
-          | exception Disk.Read_error _ when n < max_read_attempts ->
-              Stats.note_read_retry stats;
-              attempt (n + 1)
-          | exception Disk.Read_error _ ->
-              note "file %d page %d: persistent read errors; page skipped" fid
-                page
-          | exception Disk.Corrupt_page _ ->
-              incr failures;
-              corrupt := (kind, fid, page) :: !corrupt
-        in
-        attempt 1
-      done)
-    files;
+  {
+    sw_env = env;
+    sw_data_sets = data_sets;
+    sw_link_files = link_files;
+    sw_todo = files;
+    sw_page = 0;
+    sw_scanned = 0;
+    sw_failures = 0;
+    sw_corrupt = [];
+    sw_notes = [];
+    sw_scratch = Bytes.create (Pager.page_size pager);
+  }
+
+(* Physical sweep, [budget] pages at a time.  Verified reads straight from
+   the disk: the buffer pool would happily serve a cached frame and mask
+   bit-rot. *)
+let rec sweep_step sw ~budget =
+  if budget <= 0 then sw.sw_todo <> []
+  else
+    match sw.sw_todo with
+    | [] -> false
+    | (kind, fid) :: rest ->
+        let pager = Store.pager sw.sw_env.Engine.store in
+        let disk = Pager.disk pager in
+        if sw.sw_page >= Disk.page_count disk fid then begin
+          sw.sw_todo <- rest;
+          sw.sw_page <- 0;
+          sweep_step sw ~budget
+        end
+        else begin
+          let page = sw.sw_page in
+          sw.sw_page <- page + 1;
+          sw.sw_scanned <- sw.sw_scanned + 1;
+          Stats.note_scrub_page (Pager.stats pager);
+          let rec attempt n =
+            match Disk.read_page disk ~file:fid ~page sw.sw_scratch with
+            | () -> ()
+            | exception Disk.Read_error _ when n < max_read_attempts ->
+                Stats.note_read_retry (Pager.stats pager);
+                attempt (n + 1)
+            | exception Disk.Read_error _ ->
+                sw.sw_notes <-
+                  Printf.sprintf
+                    "file %d page %d: persistent read errors; page skipped"
+                    fid page
+                  :: sw.sw_notes
+            | exception Disk.Corrupt_page _ ->
+                sw.sw_failures <- sw.sw_failures + 1;
+                sw.sw_corrupt <- (kind, fid, page) :: sw.sw_corrupt
+          in
+          attempt 1;
+          sweep_step sw ~budget:(budget - 1)
+        end
+
+let finish ?(log_repair = fun ~rep_id:_ ~source:_ -> ())
+    ?(guard = fun (_ : Oid.t) -> true) (sw : sweep) =
+  let env = sw.sw_env in
+  let data_sets = sw.sw_data_sets in
+  let link_files = sw.sw_link_files in
+  let store = env.Engine.store in
+  let pager = Store.pager store in
+  let disk = Pager.disk pager in
+  let stats = Pager.stats pager in
+  let page_size = Pager.page_size pager in
+  let schema = env.Engine.schema in
+  let registry = env.Engine.registry in
+  let _, sprime_bindings = Store.bindings store in
+  let repairs = ref 0 in
+  let unrepairable = ref sw.sw_notes in
+  let note fmt =
+    Printf.ksprintf (fun s -> unrepairable := s :: !unrepairable) fmt
+  in
+  let repair_done () =
+    incr repairs;
+    Stats.note_repair stats
+  in
+  (* Repairs write through foreground-visible objects, so each one asks the
+     guard first (lib/core wires it to short X locks under a job-scoped
+     owner).  A refused repair is deferred, not lost: the divergence
+     survives untouched for the next scrub, after the conflicting
+     transaction has resolved. *)
+  let deferred = Oid.Table.create 8 in
+  let locked oid =
+    if guard oid then true
+    else begin
+      if not (Oid.Table.mem deferred oid) then begin
+        Oid.Table.replace deferred oid ();
+        note "object %s: repair deferred (locked by an active transaction)"
+          (Oid.to_string oid)
+      end;
+      false
+    end
+  in
   (* Phase 2: triage.  Link and S' pages hold pure redundancy: blank them and
      let the logical pass rebuild their contents.  Data pages hold source
      fields with no second copy — salvage the page only if every record on it
@@ -109,13 +183,13 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
   List.iter
     (fun (kind, fid, page) ->
       match kind with
-      | `Link _ ->
+      | Flink _ ->
           blank_page fid page;
           Hashtbl.replace touched_files fid ()
-      | `Sprime _ ->
+      | Fsprime _ ->
           blank_page fid page;
           Hashtbl.replace touched_files fid ()
-      | `Data set_name -> (
+      | Fdata set_name -> (
           let dump = Disk.dump_page disk ~file:fid ~page in
           let slots =
             (* Pure decoding of an already-corrupt image: only malformed-
@@ -167,9 +241,11 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
                    were re-verified, but source fields are not derivable and \
                    may be silently corrupt"
                   set_name page))
-    (List.rev !corrupt);
+    (List.rev sw.sw_corrupt);
   (* Phase 3: logical verify and repair against the recomputed ground
-     truth. *)
+     truth.  Only [Active] declarations are audited: a path mid-backfill or
+     mid-teardown is intentionally divergent, and its maintenance job — not
+     scrub — is responsible for converging it. *)
   (match
      try Some (Recompute.compute env)
      with Disk.Corrupt_page { file; page } ->
@@ -189,7 +265,7 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
       let refreshed = Hashtbl.create 32 in
       let do_refresh (rep : Schema.replication) source_oid =
         let key = (rep.Schema.rep_id, Oid.to_int64 source_oid) in
-        if not (Hashtbl.mem refreshed key) then begin
+        if (not (Hashtbl.mem refreshed key)) && locked source_oid then begin
           Hashtbl.replace refreshed key ();
           log_repair ~rep_id:rep.Schema.rep_id ~source:source_oid;
           Engine.refresh env rep source_oid;
@@ -273,6 +349,11 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
                     (fun (pair : Record.link) ->
                       let link_id = pair.Record.link_id in
                       match Registry.link_kind registry link_id with
+                      | Some (Registry.L_path _ | Registry.L_collapsed _)
+                        when not (Engine.link_active env link_id) ->
+                          (* Mid-reconfiguration: the maintenance job owns
+                             this link's state; scrub must not judge it. *)
+                          ()
                       | Some (Registry.L_path _ | Registry.L_collapsed _) ->
                           let expected_there =
                             match
@@ -282,7 +363,7 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
                             | Some tbl -> Hashtbl.length tbl > 0
                             | None -> false
                           in
-                          if not expected_there then begin
+                          if (not expected_there) && locked oid then begin
                             (match rep_of_link link_id with
                             | Some rep ->
                                 log_repair ~rep_id:rep.Schema.rep_id
@@ -369,8 +450,16 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
                     in
                     if ok then (
                       match stored with
-                      | Some pair when Store.is_link_oid store pair.Record.link_oid
-                        ->
+                      | Some pair
+                        when Store.is_link_oid store pair.Record.link_oid ->
+                          Oid.Table.replace referenced pair.Record.link_oid ()
+                      | _ -> ())
+                    else if not (locked target) then (
+                      (* Deferred: keep the stored link object off the orphan
+                         list — [target] still references it. *)
+                      match stored with
+                      | Some pair
+                        when Store.is_link_oid store pair.Record.link_oid ->
                           Oid.Table.replace referenced pair.Record.link_oid ()
                       | _ -> ())
                     else begin
@@ -426,7 +515,10 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
         exp.Recompute.memberships;
       (* Orphan link objects: purge what no expected membership references.
          Skipped whenever a data page is still quarantined — the pairs of its
-         unreadable objects are unknown, so nothing is provably orphaned. *)
+         unreadable objects are unknown, so nothing is provably orphaned.
+         Also skipped per file when any of its link ids belongs to a path
+         mid-reconfiguration: a half-backfilled (or half-torn-down) link
+         file is full of entries the Active-only expectation cannot see. *)
       let data_fids =
         List.map (fun (_, hf) -> Heap_file.file_id hf) data_sets
       in
@@ -443,18 +535,19 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
             match ids with
             | [] -> ()
             | id :: _ -> (
-                match Store.link_file_opt store id with
-                | None -> ()
-                | Some hf ->
-                    let orphans = ref [] in
-                    Heap_file.iter_oids hf (fun loid ->
-                        if not (Oid.Table.mem referenced loid) then
-                          orphans := loid :: !orphans);
-                    List.iter
-                      (fun loid ->
-                        Heap_file.purge hf loid;
-                        repair_done ())
-                      !orphans))
+                if List.for_all (Engine.link_active env) ids then
+                  match Store.link_file_opt store id with
+                  | None -> ()
+                  | Some hf ->
+                      let orphans = ref [] in
+                      Heap_file.iter_oids hf (fun loid ->
+                          if not (Oid.Table.mem referenced loid) then
+                            orphans := loid :: !orphans);
+                      List.iter
+                        (fun loid ->
+                          Heap_file.purge hf loid;
+                          repair_done ())
+                        !orphans))
           link_files;
       (* Pass C: separate replications — the source's S' reference, the S'
          record's owner, values and reference count. *)
@@ -624,7 +717,7 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
                                                     dirty := true
                                                   end)
                                                 term.Registry.fields;
-                                              if !dirty then begin
+                                              if !dirty && locked f then begin
                                                 log_repair
                                                   ~rep_id:rep.Schema.rep_id
                                                   ~source:source_oid;
@@ -635,10 +728,12 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
                                         end
                                     | _ -> do_refresh rep source_oid)))
                         | (Value.VInt _ | Value.VString _), _ ->
-                            let fresh = read_data source_oid in
-                            write_data source_oid
-                              (Record.set_field fresh idx Value.VNull);
-                            do_refresh rep source_oid
+                            if locked source_oid then begin
+                              let fresh = read_data source_oid in
+                              write_data source_oid
+                                (Record.set_field fresh idx Value.VNull);
+                              do_refresh rep source_oid
+                            end
                       end);
               (* Reference-count and orphan audit over the S' file. *)
               match sp_file_opt with
@@ -722,7 +817,10 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
                                { Record.link_oid = sp; link_id = sref_link });
                           repair_done ())
                     !to_pair))
-        (Schema.replications schema);
+        (List.filter
+           (fun (r : Schema.replication) ->
+             Schema.rep_state schema r.Schema.rep_id = Schema.Active)
+           (Schema.replications schema));
       (* Blanked pages dropped heads without going through [delete]; restore
          accurate object counts on the affected handles. *)
       Hashtbl.iter
@@ -743,9 +841,14 @@ let run ?(log_repair = fun ~rep_id:_ ~source:_ -> ()) (env : Engine.env)
         touched_files);
   Pager.flush pager;
   {
-    pages_scanned = !pages_scanned;
-    checksum_failures = !failures;
+    pages_scanned = sw.sw_scanned;
+    checksum_failures = sw.sw_failures;
     repairs = !repairs;
     quarantined = Disk.quarantined_pages disk;
     unrepairable = List.rev !unrepairable;
   }
+
+let run ?log_repair ?guard (env : Engine.env) ~data_sets =
+  let sw = sweep_start env ~data_sets in
+  while sweep_step sw ~budget:64 do () done;
+  finish ?log_repair ?guard sw

@@ -42,12 +42,51 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+(** {1 Incremental driving}
+
+    The physical sweep is resumable so a background-maintenance job can
+    interleave it with foreground transactions: {!sweep_start} snapshots
+    the file list, {!sweep_step} verifies a bounded number of pages, and
+    {!finish} runs triage plus the logical pass and builds the report. *)
+
+type sweep
+(** In-progress physical sweep: a page cursor over the store's files plus
+    the accumulated failures the later phases consume. *)
+
+val sweep_start :
+  Engine.env -> data_sets:(string * Heap_file.t) list -> sweep
+(** Flush the buffer pool and begin a sweep over [data_sets] plus every
+    link and S' file discovered from the engine's store. *)
+
+val sweep_step : sweep -> budget:int -> bool
+(** Verify up to [budget] pages through the checksum-checking disk layer.
+    Returns [true] while pages remain, [false] once the sweep is done. *)
+
+val finish :
+  ?log_repair:(rep_id:int -> source:Oid.t -> unit) ->
+  ?guard:(Oid.t -> bool) ->
+  sweep ->
+  report
+(** Triage the sweep's corrupt pages, then logically verify and repair
+    derived state against the recomputed ground truth.  [log_repair] is
+    invoked before each repair with the replication and source object
+    about to be refreshed; wire it to WAL appending for durable repairs.
+
+    [guard oid] is asked before any repair that writes through a
+    foreground-visible object (default: always [true]); wire it to
+    short-duration X locks to scrub alongside active transactions.  A
+    refused repair is {e deferred} — reported in [unrepairable] and left
+    for a later scrub — never half-applied.
+
+    Only [Active] replication declarations are audited: link state of a
+    path mid-backfill or mid-teardown belongs to its maintenance job and
+    is skipped. *)
+
 val run :
   ?log_repair:(rep_id:int -> source:Oid.t -> unit) ->
+  ?guard:(Oid.t -> bool) ->
   Engine.env ->
   data_sets:(string * Heap_file.t) list ->
   report
-(** Scrub the whole database: [data_sets] names every data heap file (the
-    link and S' files are discovered from the engine's store).  [log_repair]
-    is invoked before each repair with the replication and source object
-    about to be refreshed; wire it to WAL appending for durable repairs. *)
+(** Scrub the whole database in one call:
+    [sweep_start] + [sweep_step] to exhaustion + [finish]. *)

@@ -377,13 +377,29 @@ let iter_heads t f =
       Pager.with_page_read t.pager ~file:t.file ~page (fun buf ->
           Page.fold
             (fun acc slot record ->
-              if fst (Wire.get_u8 record 0) = kind_head then slot :: acc else acc)
+              if fst (Wire.get_u8 record 0) = kind_head then slot :: acc
+              else acc)
             [] buf)
     in
     List.iter (fun slot -> f { Oid.file = t.file; page; slot }) (List.rev heads)
   done
 
 let iter t f = iter_heads t (fun oid -> f oid (read t oid))
+
+(* One page's worth of [iter_heads] — the unit of work of an incremental
+   (resumable-cursor) walk.  Out-of-range pages yield []. *)
+let oids_on_page t ~page =
+  if page < 0 || page >= page_count t then []
+  else
+    let heads =
+      Pager.with_page_read t.pager ~file:t.file ~page (fun buf ->
+          Page.fold
+            (fun acc slot record ->
+              if fst (Wire.get_u8 record 0) = kind_head then slot :: acc
+              else acc)
+            [] buf)
+    in
+    List.rev_map (fun slot -> { Oid.file = t.file; page; slot }) heads
 
 let chained_count t =
   let count = ref 0 in

@@ -111,6 +111,11 @@ val fold : t -> init:'a -> f:('a -> Oid.t -> Bytes.t -> 'a) -> 'a
 val iter_oids : t -> (Oid.t -> unit) -> unit
 (** Like {!iter} without materialising payloads (still reads each page). *)
 
+val oids_on_page : t -> page:int -> Oid.t list
+(** Head OIDs of one page, in slot order — the work unit of an incremental
+    walk driven by a resumable page cursor (lib/maint).  [] when the page
+    is out of range. *)
+
 val recount : t -> unit
 (** Rescan the file and reset {!object_count}.  Needed after scrub blanks a
     corrupt page: the heads it held vanish without going through

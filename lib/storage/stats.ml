@@ -26,6 +26,10 @@ type t = {
   mutable frames_applied : int;
   mutable acks_waited : int;
   mutable replica_lag_bytes : int;
+  mutable maint_steps : int;
+  mutable maint_pages_walked : int;
+  mutable maint_lock_yields : int;
+  mutable maint_backfill_pending : int;
   by_file : (int, int * int) Hashtbl.t;
 }
 
@@ -58,6 +62,10 @@ let create () =
     frames_applied = 0;
     acks_waited = 0;
     replica_lag_bytes = 0;
+    maint_steps = 0;
+    maint_pages_walked = 0;
+    maint_lock_yields = 0;
+    maint_backfill_pending = 0;
     by_file = Hashtbl.create 16;
   }
 
@@ -89,6 +97,10 @@ let reset t =
   t.frames_applied <- 0;
   t.acks_waited <- 0;
   t.replica_lag_bytes <- 0;
+  t.maint_steps <- 0;
+  t.maint_pages_walked <- 0;
+  t.maint_lock_yields <- 0;
+  t.maint_backfill_pending <- 0;
   Hashtbl.reset t.by_file
 
 (* Process-wide physical I/O, across every Stats block ever created.  Never
@@ -172,6 +184,24 @@ let note_ack_waited t =
 
 let set_replica_lag t ~bytes = t.replica_lag_bytes <- bytes
 
+(* Process-wide background-maintenance totals, same pattern as [grand_wal]:
+   the bench driver reports per-scenario deltas even when a scenario builds
+   several databases. *)
+let g_maint_steps = ref 0
+let g_maint_yields = ref 0
+let grand_maint () = (!g_maint_steps, !g_maint_yields)
+
+let note_maint_step t ~pages =
+  t.maint_steps <- t.maint_steps + 1;
+  t.maint_pages_walked <- t.maint_pages_walked + pages;
+  incr g_maint_steps
+
+let note_maint_yield t =
+  t.maint_lock_yields <- t.maint_lock_yields + 1;
+  incr g_maint_yields
+
+let set_maint_backlog t ~pages = t.maint_backfill_pending <- pages
+
 let record_read t ~file =
   incr grand_io;
   let r, w = Option.value ~default:(0, 0) (Hashtbl.find_opt t.by_file file) in
@@ -213,6 +243,10 @@ let copy t =
     frames_applied = t.frames_applied;
     acks_waited = t.acks_waited;
     replica_lag_bytes = t.replica_lag_bytes;
+    maint_steps = t.maint_steps;
+    maint_pages_walked = t.maint_pages_walked;
+    maint_lock_yields = t.maint_lock_yields;
+    maint_backfill_pending = t.maint_backfill_pending;
     by_file = Hashtbl.copy t.by_file;
   }
 
@@ -250,8 +284,12 @@ let diff now before =
     frames_shipped = now.frames_shipped - before.frames_shipped;
     frames_applied = now.frames_applied - before.frames_applied;
     acks_waited = now.acks_waited - before.acks_waited;
-    (* a gauge, not a counter: report the current value, not a delta *)
+    maint_steps = now.maint_steps - before.maint_steps;
+    maint_pages_walked = now.maint_pages_walked - before.maint_pages_walked;
+    maint_lock_yields = now.maint_lock_yields - before.maint_lock_yields;
+    (* gauges, not counters: report the current value, not a delta *)
     replica_lag_bytes = now.replica_lag_bytes;
+    maint_backfill_pending = now.maint_backfill_pending;
     by_file;
   }
 
@@ -264,11 +302,13 @@ let pp fmt t =
      aborts=%d lock_waits=%d deadlocks=%d undone=%d checksum_failures=%d \
      scrub_pages=%d repairs=%d degraded_reads=%d read_retries=%d \
      failed_reads=%d prefetch_issued=%d prefetch_hits=%d frames_shipped=%d \
-     frames_applied=%d acks_waited=%d replica_lag_bytes=%d"
+     frames_applied=%d acks_waited=%d replica_lag_bytes=%d maint_steps=%d \
+     maint_pages_walked=%d maint_lock_yields=%d maint_backfill_pending=%d"
     t.page_reads t.page_writes t.buffer_hits t.pages_allocated t.objects_read
     t.objects_written t.wal_appends t.wal_bytes t.wal_flushes
     t.recovery_replays t.txn_commits t.txn_aborts t.lock_waits t.deadlocks
     t.undo_applied t.checksum_failures t.scrub_pages t.repairs
     t.degraded_reads t.read_retries t.failed_reads t.prefetch_issued
     t.prefetch_hits t.frames_shipped t.frames_applied t.acks_waited
-    t.replica_lag_bytes
+    t.replica_lag_bytes t.maint_steps t.maint_pages_walked
+    t.maint_lock_yields t.maint_backfill_pending

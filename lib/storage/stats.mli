@@ -48,6 +48,16 @@ type t = {
   mutable replica_lag_bytes : int;
       (** gauge (not a counter): bytes buffered for the slowest async
           replication peer at the last update *)
+  mutable maint_steps : int;
+      (** background-maintenance quanta executed (lib/maint) *)
+  mutable maint_pages_walked : int;
+      (** heap pages processed by maintenance cursors *)
+  mutable maint_lock_yields : int;
+      (** maintenance quanta that released their locks and backed off
+          because a foreground transaction held a conflicting lock *)
+  mutable maint_backfill_pending : int;
+      (** gauge (not a counter): heap pages the queued maintenance jobs
+          have still to walk, at the last update *)
   by_file : (int, int * int) Hashtbl.t;
       (** per-file (reads, writes) attribution, keyed by disk file id *)
 }
@@ -116,5 +126,20 @@ val note_ack_waited : t -> unit
 val set_replica_lag : t -> bytes:int -> unit
 (** Set the replication-lag gauge: bytes buffered for the slowest async
     peer.  A gauge, so {!diff} reports the current value, not a delta. *)
+
+val grand_maint : unit -> int * int
+(** Process-wide monotonic [(maint_steps, maint_lock_yields)] across every
+    stats block; callers take before/after deltas, like {!grand_total_io}. *)
+
+val note_maint_step : t -> pages:int -> unit
+(** Count one executed maintenance quantum that walked [pages] heap pages
+    (bumps the per-block and process-wide counters). *)
+
+val note_maint_yield : t -> unit
+(** Count one maintenance quantum that yielded to foreground locks. *)
+
+val set_maint_backlog : t -> pages:int -> unit
+(** Set the maintenance-backlog gauge: heap pages still to walk across all
+    queued jobs.  A gauge, so {!diff} reports the current value. *)
 
 val pp : Format.formatter -> t -> unit

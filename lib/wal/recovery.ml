@@ -18,6 +18,14 @@ type applier = {
   build_index :
     name:string -> set:string -> field:string -> clustered:bool -> unit;
   scrub_repair : rep_id:int -> source:Oid.t -> unit;
+  replicate_online :
+    strategy:Fieldrep_model.Schema.strategy ->
+    options:Fieldrep_model.Schema.rep_options ->
+    path:string ->
+    unit;
+  unreplicate : path:string -> unit;
+  maint_step : job:int -> upto:int -> unit;
+  maint_done : job:int -> unit;
 }
 
 type loser = {
@@ -64,6 +72,11 @@ let apply_plain a = function
   | Wal.Build_index { name; set; field; clustered } ->
       a.build_index ~name ~set ~field ~clustered
   | Wal.Scrub_repair { rep_id; source } -> a.scrub_repair ~rep_id ~source
+  | Wal.Replicate_online { path; strategy; options } ->
+      a.replicate_online ~strategy ~options ~path
+  | Wal.Unreplicate { path } -> a.unreplicate ~path
+  | Wal.Maint_step { job; upto } -> a.maint_step ~job ~upto
+  | Wal.Maint_done { job } -> a.maint_done ~job
   | Wal.Abort _ -> ()  (* handled in [feed]; belt and braces *)
   | Wal.Txn_begin _ | Wal.Txn_commit _ | Wal.Txn_abort _ | Wal.Undo_image _
   | Wal.Insert_at _ | Wal.Txn_op _ ->

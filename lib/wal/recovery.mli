@@ -55,6 +55,20 @@ type applier = {
   build_index :
     name:string -> set:string -> field:string -> clustered:bool -> unit;
   scrub_repair : rep_id:int -> source:Fieldrep_storage.Oid.t -> unit;
+  replicate_online :
+    strategy:Fieldrep_model.Schema.strategy ->
+    options:Fieldrep_model.Schema.rep_options ->
+    path:string ->
+    unit;
+      (** install the declaration in the [Building] state (no bulk build)
+          and enqueue its backfill job at cursor 0 *)
+  unreplicate : path:string -> unit;
+      (** flip the declaration to [Dropping] and enqueue its teardown job *)
+  maint_step : job:int -> upto:int -> unit;
+      (** re-run the logged quantum of the job's (idempotent) walk *)
+  maint_done : job:int -> unit;
+      (** complete the job: [Building] -> [Active] / [Dropping] ->
+          [Dropped] *)
 }
 
 (** A transaction that was live at the crash: everything the caller needs

@@ -36,6 +36,14 @@ type record =
   | Insert_at of { set : string; oid : Oid.t; values : Value.t list }
   | Txn_op of { txn : int; op : record }
   | Scrub_repair of { rep_id : int; source : Oid.t }
+  | Replicate_online of {
+      path : string;
+      strategy : Schema.strategy;
+      options : Schema.rep_options;
+    }
+  | Unreplicate of { path : string }
+  | Maint_step of { job : int; upto : int }
+  | Maint_done of { job : int }
 
 let magic = "FREPWAL1"
 
@@ -79,6 +87,10 @@ let kind_of = function
   | Insert_at _ -> 12
   | Txn_op _ -> 13
   | Scrub_repair _ -> 14
+  | Replicate_online _ -> 15
+  | Unreplicate _ -> 16
+  | Maint_step _ -> 17
+  | Maint_done _ -> 18
 
 let rec body_size = function
   | Define_type ty ->
@@ -109,6 +121,11 @@ let rec body_size = function
       + List.fold_left (fun acc v -> acc + Value.encoded_size v) 0 values
   | Txn_op { txn = _; op } -> 4 + 1 + body_size op
   | Scrub_repair { rep_id = _; source = _ } -> 4 + Oid.encoded_size
+  | Replicate_online { path; strategy; options } ->
+      body_size (Replicate { path; strategy; options })
+  | Unreplicate { path } -> Wire.string_size path
+  | Maint_step { job = _; upto = _ } -> 8
+  | Maint_done { job = _ } -> 4
 
 let rec put_body buf off = function
   | Define_type ty ->
@@ -173,6 +190,13 @@ let rec put_body buf off = function
   | Scrub_repair { rep_id; source } ->
       let off = Wire.put_u32 buf off rep_id in
       Oid.encode buf off source
+  | Replicate_online { path; strategy; options } ->
+      put_body buf off (Replicate { path; strategy; options })
+  | Unreplicate { path } -> Wire.put_string buf off path
+  | Maint_step { job; upto } ->
+      let off = Wire.put_u32 buf off job in
+      Wire.put_u32 buf off upto
+  | Maint_done { job } -> Wire.put_u32 buf off job
 
 let rec get_body kind buf off =
   match kind with
@@ -294,6 +318,21 @@ let rec get_body kind buf off =
       let rep_id, off = Wire.get_u32 buf off in
       let source, off = Oid.decode buf off in
       (Scrub_repair { rep_id; source }, off)
+  | 15 -> (
+      match get_body 5 buf off with
+      | Replicate { path; strategy; options }, off ->
+          (Replicate_online { path; strategy; options }, off)
+      | _ -> raise (Wire.Corrupt "Wal: bad Replicate_online body"))
+  | 16 ->
+      let path, off = Wire.get_string buf off in
+      (Unreplicate { path }, off)
+  | 17 ->
+      let job, off = Wire.get_u32 buf off in
+      let upto, off = Wire.get_u32 buf off in
+      (Maint_step { job; upto }, off)
+  | 18 ->
+      let job, off = Wire.get_u32 buf off in
+      (Maint_done { job }, off)
   | k -> raise (Wire.Corrupt (Printf.sprintf "Wal: bad record kind %d" k))
 
 (* FNV-1a, 32-bit: cheap, dependency-free, catches torn frames.  The same

@@ -101,6 +101,28 @@ type record =
           replication [rep_id].  Replay re-runs the (idempotent) refresh:
           on a cleanly recovered store it is a no-op, and after a crash
           mid-repair it completes the repair. *)
+  | Replicate_online of {
+      path : string;
+      strategy : Schema.strategy;
+      options : Schema.rep_options;
+    }
+      (** like [Replicate] but the declaration is installed in the
+          [Building] state with no bulk build: the backfill runs as a
+          background-maintenance job whose progress the following
+          [Maint_step] records log. *)
+  | Unreplicate of { path : string }
+      (** flip the path's declaration to [Dropping]: reads revert to the
+          functional join immediately, derived state is torn down by the
+          maintenance job behind [Maint_step] records. *)
+  | Maint_step of { job : int; upto : int }
+      (** one quantum of maintenance job [job] (= the rep_id being built or
+          torn down) ran: its page cursor advanced to [upto] (exclusive).
+          Logged {e before} the quantum mutates anything; replay re-runs
+          the quantum's idempotent per-source operations, so a crash
+          mid-quantum converges to the same state. *)
+  | Maint_done of { job : int }
+      (** the job's walk completed: replay flips the declaration
+          [Building] -> [Active] or [Dropping] -> [Dropped]. *)
 
 type t
 

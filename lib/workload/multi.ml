@@ -222,7 +222,8 @@ type running = {
 type client = { mutable todo : program list; mutable cur : running option }
 
 let run ?(abort_prob = 0.0) ?(max_retries = 20) ?(before_commit = fun _ -> ())
-    ~clients ~txns_per_client ~ops_per_txn ~mix ~seed (built : Gen.built) =
+    ?(on_turn = fun _ -> ()) ~clients ~txns_per_client ~ops_per_txn ~mix ~seed
+    (built : Gen.built) =
   let db = built.Gen.db in
   let maps = build_maps db in
   let r_count = Array.length built.Gen.r_keys in
@@ -323,6 +324,7 @@ let run ?(abort_prob = 0.0) ?(max_retries = 20) ?(before_commit = fun _ -> ())
      while (not !crashed) && alive () do
        incr turns;
        if !turns > limit then failwith "Multi.run: scheduler made no progress";
+       on_turn !turns;
        Array.iter (fun c -> if not !crashed then step c) clients_arr
      done
    with Disk.Crash _ -> crashed := true);

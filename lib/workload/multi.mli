@@ -68,6 +68,7 @@ val run :
   ?abort_prob:float ->
   ?max_retries:int ->
   ?before_commit:(int -> unit) ->
+  ?on_turn:(int -> unit) ->
   clients:int ->
   txns_per_client:int ->
   ops_per_txn:int ->
@@ -77,9 +78,12 @@ val run :
   result
 (** Generate each client's programs from [seed] and run them interleaved.
     [before_commit] is called with the commit ordinal just before each
-    commit — crash tests use it to arm a disk failpoint.  A [Disk.Crash]
-    anywhere stops the run and is reported as [crashed] (the in-flight
-    transaction is not in [committed]). *)
+    commit — crash tests use it to arm a disk failpoint.  [on_turn] is
+    called with the turn number at the top of every scheduler turn —
+    reconfiguration tests use it to pump background maintenance (and to
+    issue DDL) between client steps.  A [Disk.Crash] anywhere stops the
+    run and is reported as [crashed] (the in-flight transaction is not in
+    [committed]). *)
 
 val replay_serial : Db.t -> program list -> unit
 (** Re-execute the programs one at a time (autocommit, no locks) against a

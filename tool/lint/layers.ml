@@ -43,7 +43,8 @@ let guards =
     {
       library = "Fieldrep_wal";
       name = "Wal";
-      allowed_dirs = [ "lib/wal"; "lib/core"; "lib/scrub"; "lib/repl" ];
+      allowed_dirs =
+        [ "lib/wal"; "lib/core"; "lib/scrub"; "lib/maint"; "lib/repl" ];
       why = "only durability owners may append/sync the log";
     };
     {
@@ -66,4 +67,12 @@ let forbidden_edges =
       "Fieldrep_repl",
       "no txn -> shipping back-edge; commit durability flows through \
        Wal.sync's tap, never by txn code calling the shipping layer" );
+    ( "lib/maint",
+      "Fieldrep_repl",
+      "maintenance jobs never talk to the shipping layer; their WAL \
+       records reach replicas through the ordinary log stream" );
+    ( "lib/maint",
+      "Fieldrep_replication",
+      "maint is engine-agnostic: per-source operations arrive as \
+       closures from Db, which owns the engine entry points" );
   ]
