@@ -1316,6 +1316,176 @@ let maint_bench () =
         (List.filter (fun (q, _) -> q > 0) !cycles_done))
 
 (* ------------------------------------------------------------------ *)
+(* F1: failover - write-unavailability blip vs detector deadline       *)
+
+let chaos_bench () =
+  section "F1: failover - write-unavailability blip vs detector deadline";
+  Printf.printf
+    "(a genesis master streams to a successor and one more replica over a\n\
+    \ manual clock; after a steady phase the master crashes with its async\n\
+    \ buffer unflushed.  Every op-slot advances the clock one tick; the\n\
+    \ blip is the count of slots in which no live master could accept the\n\
+    \ write - detection, bounded by the successor's dead_after deadline,\n\
+    \ plus an O(1) promotion slot.  The survivor then re-attaches to the\n\
+    \ promoted master and both nodes must converge byte-identical)\n\n";
+  let module Repl = Fieldrep_repl.Repl in
+  let module Transport = Fieldrep_repl.Transport in
+  let module Clock = Fieldrep_repl.Clock in
+  let digest db =
+    Pager.flush (Db.pager db);
+    let disk = Pager.disk (Db.pager db) in
+    Disk.file_ids disk
+    |> List.sort compare
+    |> List.map (fun id ->
+           let n = Disk.page_count disk id in
+           let b = Buffer.create 64 in
+           for page = 0 to n - 1 do
+             Buffer.add_string b
+               (Digest.to_hex
+                  (Digest.bytes (Disk.dump_page disk ~file:id ~page)))
+           done;
+           (id, n, Digest.to_hex (Digest.string (Buffer.contents b))))
+  in
+  let run_failover dead_after =
+    let clk = Clock.manual () in
+    let clock = Clock.of_manual clk in
+    let liveness =
+      {
+        Repl.heartbeat_every = max 1 (dead_after / 5);
+        suspect_after = dead_after / 2;
+        dead_after;
+      }
+    in
+    let built =
+      Gen.build
+        {
+          Gen.default_spec with
+          Gen.s_count = 64;
+          sharing = 2;
+          strategy = Params.Inplace;
+          page_size = 1024;
+          frames = 64;
+          seed = 41;
+          durable = true;
+        }
+    in
+    let mdb = built.Gen.db in
+    let img = Filename.temp_file "fieldrep_bench_chaos" ".img" in
+    Db.checkpoint mdb img;
+    let m1 =
+      Repl.Master.create
+        ~mode:(Repl.Master.Async { buffer_bytes = 2048 })
+        ~clock ~liveness mdb
+    in
+    let mk_replica m =
+      let ma, rb, _, _ = Transport.loopback () in
+      let r = Repl.Replica.connect ~clock ~liveness rb in
+      ignore
+        (Repl.Master.attach ~pump:(fun () -> ignore (Repl.Replica.drain r)) m ma);
+      ignore (Repl.Replica.drain r);
+      r
+    in
+    let a = mk_replica m1 in
+    let b = mk_replica m1 in
+    let s_oids db =
+      let acc = ref [] in
+      Db.scan db ~set:"S" (fun oid _ -> acc := oid :: !acc);
+      Array.of_list !acc
+    in
+    let rng = Splitmix.create (91 + dead_after) in
+    let write db oids i =
+      Db.update_field db ~set:"S"
+        oids.(Splitmix.int rng (Array.length oids))
+        ~field:"repfield"
+        (Value.VString (Printf.sprintf "%020d" i));
+      Clock.advance clk ~by:1
+    in
+    let oids1 = s_oids mdb in
+    for i = 1 to 100 do
+      write mdb oids1 i;
+      if i mod 5 = 0 then begin
+        Repl.Master.tick m1;
+        ignore (Repl.Replica.drain a);
+        ignore (Repl.Replica.drain b);
+        Repl.Replica.tick a;
+        Repl.Replica.tick b
+      end
+    done;
+    (* the crash: the master goes silent; each op-slot with no live master
+       counts toward the blip until the successor's detector fires and the
+       promotion lands *)
+    let blip = ref 0 in
+    let m2 = ref None in
+    while !m2 = None do
+      incr blip;
+      Clock.advance clk ~by:1;
+      Repl.Replica.tick a;
+      Repl.Replica.tick b;
+      if Repl.Replica.master_state a = Repl.Dead then begin
+        let walf = Filename.temp_file "fieldrep_bench_chaos" ".wal" in
+        Sys.remove walf;
+        m2 :=
+          Some
+            (Repl.Replica.promote ~mode:Repl.Master.default_mode ~clock
+               ~liveness a ~wal_path:walf)
+      end
+    done;
+    let m2 = Option.get !m2 in
+    let m2db = Repl.Replica.db a in
+    let ma, rb, _, _ = Transport.loopback () in
+    Repl.Replica.reconnect b rb;
+    ignore
+      (Repl.Master.attach ~pump:(fun () -> ignore (Repl.Replica.drain b)) m2 ma);
+    ignore (Repl.Replica.drain b);
+    let oids2 = s_oids m2db in
+    for i = 101 to 200 do
+      write m2db oids2 i;
+      if i mod 5 = 0 then begin
+        Repl.Master.pump m2;
+        ignore (Repl.Replica.drain b)
+      end
+    done;
+    for _ = 1 to 5 do
+      Repl.Master.pump m2;
+      ignore (Repl.Replica.drain b)
+    done;
+    let converged = digest m2db = digest (Repl.Replica.db b) in
+    let st = Db.stats m2db in
+    Sys.remove img;
+    ( !blip,
+      converged,
+      st.Stats.failovers,
+      (Db.stats (Repl.Replica.db b)).Stats.reconnects )
+  in
+  let rows = ref [] in
+  let tight_blip = ref 0 in
+  List.iter
+    (fun dead_after ->
+      let blip, converged, failovers, reconnects = run_failover dead_after in
+      if dead_after = 40 then tight_blip := blip;
+      add_gate_metrics "chaos"
+        [ (Printf.sprintf "chaos_blip_da%d" dead_after, blip) ];
+      rows :=
+        [
+          string_of_int dead_after;
+          string_of_int blip;
+          T.fixed 2 (float_of_int blip /. float_of_int dead_after);
+          (if converged then "yes" else "NO");
+          string_of_int failovers;
+          string_of_int reconnects;
+        ]
+        :: !rows)
+    [ 40; 80; 160 ];
+  add_gate_metrics "chaos" [ ("chaos_blip_ops", !tight_blip) ];
+  T.print
+    ~header:
+      [
+        "dead_after"; "blip (op-slots)"; "blip/deadline"; "converged";
+        "failovers"; "reconnects";
+      ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let all_benches =
@@ -1342,6 +1512,7 @@ let all_benches =
     ("p1", p1);
     ("repl", repl_bench);
     ("maint", maint_bench);
+    ("chaos", chaos_bench);
   ]
 
 (* Machine-readable results: one object per scenario run, with wall time and
@@ -1367,7 +1538,14 @@ let write_json path results =
     (fun () ->
       output_string oc "{\n  \"benchmarks\": [\n";
       List.iteri
-        (fun i (name, wall, io, (cf, sp, rp, dr, rr), (wa, wf), (fs, fa, aw)) ->
+        (fun i
+             ( name,
+               wall,
+               io,
+               (cf, sp, rp, dr, rr),
+               (wa, wf),
+               (fs, fa, aw),
+               (pd, ad, hm, fo, rc) ) ->
           let extras =
             match List.assoc_opt name !gate_metrics with
             | None -> ""
@@ -1380,8 +1558,11 @@ let write_json path results =
              \"checksum_failures\": %d, \"scrub_pages\": %d, \"repairs\": %d, \
              \"degraded_reads\": %d, \"read_retries\": %d, \"wal_appends\": %d, \
              \"wal_flushes\": %d, \"frames_shipped\": %d, \"frames_applied\": \
-             %d, \"acks_waited\": %d%s}%s\n"
-            (json_escape name) wall io cf sp rp dr rr wa wf fs fa aw extras
+             %d, \"acks_waited\": %d, \"peer_deaths\": %d, \"ack_demotions\": \
+             %d, \"heartbeats_missed\": %d, \"failovers\": %d, \"reconnects\": \
+             %d%s}%s\n"
+            (json_escape name) wall io cf sp rp dr rr wa wf fs fa aw pd ad hm
+            fo rc extras
             (if i = List.length results - 1 then "" else ","))
         results;
       output_string oc "  ]\n}\n")
@@ -1410,16 +1591,19 @@ let () =
             let cf0, sp0, rp0, dr0, rr0 = Stats.grand_robustness () in
             let wa0, wf0 = Stats.grand_wal () in
             let fs0, fa0, aw0 = Stats.grand_repl () in
+            let pd0, ad0, hm0, fo0, rc0 = Stats.grand_failover () in
             f ();
             let cf, sp, rp, dr, rr = Stats.grand_robustness () in
             let wa, wf = Stats.grand_wal () in
             let fs, fa, aw = Stats.grand_repl () in
+            let pd, ad, hm, fo, rc = Stats.grand_failover () in
             ( name,
               Unix.gettimeofday () -. t0,
               Stats.grand_total_io () - io0,
               (cf - cf0, sp - sp0, rp - rp0, dr - dr0, rr - rr0),
               (wa - wa0, wf - wf0),
-              (fs - fs0, fa - fa0, aw - aw0) )
+              (fs - fs0, fa - fa0, aw - aw0),
+              (pd - pd0, ad - ad0, hm - hm0, fo - fo0, rc - rc0) )
         | None ->
             Printf.eprintf "unknown bench %S; available: %s\n" name
               (String.concat ", " (List.map fst all_benches));

@@ -24,6 +24,7 @@ module Wal = Fieldrep_wal.Wal
 module Splitmix = Fieldrep_util.Splitmix
 module Repl = Fieldrep_repl.Repl
 module Transport = Fieldrep_repl.Transport
+module Backoff = Fieldrep_repl.Backoff
 
 open Cmdliner
 
@@ -224,6 +225,14 @@ let demo_cmd =
 let port_arg =
   Arg.(value & opt int 7199 & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (on 127.0.0.1).")
 
+(* Over real sockets a clock tick is a millisecond and setup stalls are
+   legitimate (the master blocks in accept until every expected replica
+   has dialed), so the CLI runs the failure detector on second-scale
+   deadlines — the test-tuned defaults would false-positive during a
+   multi-replica bootstrap. *)
+let cli_liveness =
+  { Repl.heartbeat_every = 500; suspect_after = 2_000; dead_after = 10_000 }
+
 let master_cmd =
   let run port replicas mode ops s_count =
     let mode =
@@ -244,7 +253,8 @@ let master_cmd =
         }
     in
     let db = built.Gen.db in
-    let m = Repl.Master.create ~mode db in
+    let on_event line = Printf.eprintf "master: %s\n%!" line in
+    let m = Repl.Master.create ~mode ~liveness:cli_liveness ~on_event db in
     let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt listener Unix.SO_REUSEADDR true;
     Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -268,7 +278,7 @@ let master_cmd =
       let oid = s_oids.(Splitmix.int rng (Array.length s_oids)) in
       Db.update_field db ~set:"S" oid ~field:"repfield"
         (Value.VString (Printf.sprintf "%020d" i));
-      if i mod 16 = 0 then Repl.Master.pump m
+      if i mod 16 = 0 then Repl.Master.tick m
     done;
     let target =
       match Db.wal db with Some w -> Wal.last_lsn w | None -> 0L
@@ -284,7 +294,7 @@ let master_cmd =
         peers
     in
     while behind () && Unix.gettimeofday () < deadline do
-      Repl.Master.pump m;
+      Repl.Master.tick m;
       if behind () then Unix.sleepf 0.005
     done;
     let st = Db.stats db in
@@ -318,21 +328,48 @@ let master_cmd =
       $ Arg.(value & opt int 500 & info [ "s-count" ] ~docv:"N" ~doc:"Cardinality of S."))
 
 let replica_cmd =
-  let run port frames =
+  let run port frames redials =
+    (* exponential backoff with full jitter between dial attempts, so a
+       herd of replicas restarting together spreads out (one tick = 10ms) *)
+    let bo = Backoff.create ~base:2 ~cap:200 ~seed:(port + (Unix.getpid () * 31)) () in
     let rec dial attempts =
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       try
         Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-        fd
-      with Unix.Unix_error (Unix.ECONNREFUSED, _, _) when attempts > 0 ->
+        Backoff.reset bo;
+        Some fd
+      with Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
         Unix.close fd;
-        Unix.sleepf 0.2;
-        dial (attempts - 1)
+        if attempts <= 0 then None
+        else begin
+          Unix.sleepf (0.01 *. float_of_int (1 + Backoff.next_delay bo));
+          dial (attempts - 1)
+        end
     in
-    let tr = Transport.of_socket ~label:"master" (dial 50) in
-    let r = Repl.Replica.connect ~frames tr in
+    let fd =
+      match dial 50 with
+      | Some fd -> fd
+      | None ->
+          Printf.eprintf "replica: 127.0.0.1:%d never answered\n%!" port;
+          exit 1
+    in
+    let tr = Transport.of_socket ~label:"master" fd in
+    let r = Repl.Replica.connect ~frames ~liveness:cli_liveness tr in
     Printf.printf "replica: connected to 127.0.0.1:%d, bootstrapping...\n%!" port;
-    Repl.Replica.run r;
+    (* serve until the link dies; while the master is not known-Dead,
+       redial with backoff and resume the stream from last_applied *)
+    let rec serve budget =
+      Repl.Replica.run r;
+      if budget > 0 && Repl.Replica.master_state r <> Repl.Dead then
+        match dial 20 with
+        | Some fd ->
+            Repl.Replica.reconnect r (Transport.of_socket ~label:"master" fd);
+            Printf.printf "replica: reconnected (resuming at lsn %Ld)\n%!"
+              (Repl.Replica.last_applied r);
+            serve (budget - 1)
+        | None -> ()
+    in
+    serve redials;
     let db = Repl.Replica.db r in
     let st = Db.stats db in
     Printf.printf
@@ -347,11 +384,18 @@ let replica_cmd =
   let frames =
     Arg.(value & opt int 256 & info [ "frames" ] ~docv:"N" ~doc:"Buffer-pool frames.")
   in
+  let redials =
+    Arg.(
+      value & opt int 0
+      & info [ "redials" ] ~docv:"N"
+          ~doc:"After the link dies, redial the master up to $(docv) times \
+                (exponential backoff) and resume the stream.")
+  in
   Cmd.v
     (Cmd.info "replica"
        ~doc:"Connect to a master on 127.0.0.1, bootstrap from its snapshot, \
              apply its WAL stream, and serve reads until the link closes.")
-    Term.(const run $ port_arg $ frames)
+    Term.(const run $ port_arg $ frames $ redials)
 
 (* ------------------------------------------------------------------ *)
 

@@ -52,6 +52,9 @@ type t = {
          arrive exclusively through [replica_apply] *)
   mutable repl_stream : Recovery.stream option;
       (* incremental redo state for [replica_apply], created lazily *)
+  mutable epoch : int;
+      (* replication epoch: bumped by promotion, adopted from replayed
+         [Epoch_change] records — the fencing token of lib/repl *)
   maint : Maint.t;
       (* background-maintenance queue: online backfills, teardowns and
          scrub sweeps, pumped in quanta between foreground operations *)
@@ -211,6 +214,7 @@ let create ?(page_size = 4096) ?(frames = 256) ?(prefetch = 0) ?(durable = false
          charging = false;
          replica_mode = false;
          repl_stream = None;
+         epoch = 0;
          maint = Maint.create ~locks ~stats:(Pager.stats pager);
        })
   in
@@ -241,6 +245,7 @@ let check_primary t context =
       (context ^ ": read-only replica — writes go through the master")
 
 let is_replica t = t.replica_mode
+let epoch t = t.epoch
 
 let define_type t ty =
   check_primary t "Db.define_type";
@@ -1614,6 +1619,7 @@ let recovery_applier t =
             enqueue_teardown t rep);
     maint_step = (fun ~job ~upto -> Maint.advance_to t.maint ~job ~upto);
     maint_done = (fun ~job -> Maint.finish t.maint ~job);
+    epoch_change = (fun ~epoch -> if epoch > t.epoch then t.epoch <- epoch);
   }
 
 let recover ?frames ?wal_path path =
@@ -1703,6 +1709,47 @@ let replica_apply t lsn record =
     ~finally:(fun () -> t.replaying <- false)
     (fun () -> Recovery.feed s lsn record);
   Stats.note_frame_applied (Pager.stats t.pager)
+
+(* Failover: turn this replica into the epoch's new master.  Its applied
+   prefix becomes the authoritative history — a fresh log is attached at
+   [wal_path] with the LSN counter raised to [last_lsn] (the fork point),
+   and the first record the new master appends is the [Epoch_change] that
+   stamps the bumped epoch into the log stream, so every surviving replica
+   adopts the epoch through the ordinary redo path. *)
+let promote_replica t ~wal_path ~last_lsn =
+  if not t.replica_mode then invalid_arg "Db.promote_replica: not a replica";
+  (match t.repl_stream with
+  | Some s -> (
+      match Recovery.pending_failure s with
+      | Some (lsn, msg) ->
+          invalid_arg
+            (Printf.sprintf
+               "Db.promote_replica: record %Ld failed (%s) and its Abort \
+                marker never arrived — this replica's prefix is not \
+                promotable"
+               lsn msg)
+      | None -> ())
+  | None -> ());
+  t.replica_mode <- false;
+  t.repl_stream <- None;
+  (match t.wal with Some w -> Wal.close w | None -> ());
+  let w = Wal.open_ ~stats:(Pager.stats t.pager) wal_path in
+  Wal.ensure_lsn w last_lsn;
+  t.wal <- Some w;
+  t.epoch <- t.epoch + 1;
+  ignore (Wal.append w (Wal.Epoch_change { epoch = t.epoch }));
+  Wal.sync w;
+  t.epoch
+
+(* Rejoin: recover a deposed master's (truncated) image + log, then demote
+   the result to a replica — the log handle is dropped, because from here
+   on records arrive over the wire, not from local appends. *)
+let recover_replica ?frames ?wal_path path =
+  let t = recover ?frames ?wal_path path in
+  (match t.wal with Some w -> Wal.close w | None -> ());
+  t.wal <- None;
+  t.replica_mode <- true;
+  t
 
 let space_report t =
   let sets =

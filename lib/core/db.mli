@@ -363,3 +363,27 @@ val replica_apply : t -> int64 -> Fieldrep_wal.Wal.record -> unit
     transport layer above.  Raises [Fieldrep_wal.Recovery.Diverged] when
     the stream cannot be reconciled (the replica must re-bootstrap), and
     [Invalid_argument] on a database not opened with {!open_replica}. *)
+
+val epoch : t -> int
+(** The replication epoch this database last saw: 0 at creation, bumped
+    by {!promote_replica}, adopted from replayed/applied
+    [Wal.Epoch_change] records.  The fencing token of
+    {!Fieldrep_repl.Repl} — frames and acks from a lower epoch are
+    rejected there. *)
+
+val promote_replica : t -> wal_path:string -> last_lsn:int64 -> int
+(** Failover: turn this replica into a primary.  Attaches a fresh log at
+    [wal_path] with the LSN counter raised to [last_lsn] (the fork point
+    — the last record this replica applied), bumps the epoch, and appends
+    + syncs the [Wal.Epoch_change] record that stamps the new epoch into
+    the log stream.  Returns the new epoch.  Raises [Invalid_argument] if
+    the database is not a replica, or if its apply stream is parked on a
+    failed record whose Abort marker never arrived (such a prefix is not
+    a consistent fork point). *)
+
+val recover_replica : ?frames:int -> ?wal_path:string -> string -> t
+(** {!recover}, then demote the result to a read-only replica (the log
+    handle is dropped: records now arrive over the wire).  The rejoin
+    path for a deposed master after its unshipped log tail has been
+    truncated to the new master's fork point
+    ({!Fieldrep_wal.Wal.truncate_file}). *)

@@ -1,0 +1,21 @@
+(* Monotonic tick source for liveness deadlines.
+
+   Failure detection is deadline arithmetic over an abstract tick counter,
+   never wall-clock reads in the engine itself: tests drive a [manual]
+   clock so every heartbeat miss, suspicion and promotion happens at a
+   deterministic tick, while [wall ()] maps ticks to milliseconds of
+   [Unix.gettimeofday] for the CLI processes in bin/main.ml. *)
+
+type t = { now : unit -> int }
+
+let now t = t.now ()
+
+type manual = { mutable tick : int }
+
+let manual () = { tick = 0 }
+let advance m ~by = m.tick <- m.tick + max 0 by
+let of_manual m = { now = (fun () -> m.tick) }
+
+let wall () =
+  let t0 = Unix.gettimeofday () in
+  { now = (fun () -> int_of_float ((Unix.gettimeofday () -. t0) *. 1000.)) }

@@ -1,0 +1,26 @@
+(** Monotonic tick abstraction for liveness deadlines.
+
+    The replication engine never reads the wall clock directly: it asks an
+    injected {!t} for the current tick and compares against deadlines.
+    Tests inject a {!manual} clock and advance it explicitly, so failure
+    detection, ack demotion and failover are fully deterministic; the CLI
+    uses {!wall}, whose ticks are milliseconds since the clock was made. *)
+
+type t
+
+val now : t -> int
+(** Current tick.  Monotonic non-decreasing. *)
+
+type manual
+
+val manual : unit -> manual
+(** A test clock starting at tick 0. *)
+
+val advance : manual -> by:int -> unit
+(** Advance the manual clock by [by] ticks (negative values are ignored). *)
+
+val of_manual : manual -> t
+(** View a manual clock as a tick source; later {!advance}s are visible. *)
+
+val wall : unit -> t
+(** Wall-clock ticks: milliseconds elapsed since this call. *)

@@ -1,41 +1,70 @@
 (** Replication wire protocol.
 
-    Six message kinds cover the whole master/replica conversation:
+    Ten message kinds cover the whole master/replica conversation,
+    including liveness and failover:
 
     {v replica -> master   Hello{last_lsn}      who I am, where I stopped
-       master  -> replica  Snapshot{lsn;image}  bootstrap: checkpoint image
+       master  -> replica  Snapshot{lsn;bytes;image}  bootstrap image
        master  -> replica  Frames[...]          raw WAL frames, LSN order
-       master  -> replica  Commit{lsn}          durability barrier marker
+       master  -> replica  Commit{lsn;bytes}    durability barrier marker
        replica -> master   Ack{lsn}             applied through this LSN
-       replica -> master   Resend{after}        gap or corruption: re-ship v}
+       replica -> master   Resend{after}        gap or corruption: re-ship
+       master  -> replica  Ping{lsn;bytes}      heartbeat + log position
+       replica -> master   Pong{lsn}            heartbeat reply
+       either  -> either   Fenced               your epoch is stale, stop
+       master  -> replica  Reset{fork}          truncate above fork, rejoin v}
 
     Each message travels as one transport payload:
-    [crc:u32 | tag:u8 | body], where [crc] is the same FNV-1a-32 the WAL
-    and the disk use, over tag+body.  The transport frames lengths; the
-    checksum catches corruption and truncation inside a delivered payload.
+    [crc:u32 | epoch:u32 | tag:u8 | body], where [crc] is the same
+    FNV-1a-32 the WAL and the disk use, over epoch+tag+body.  The
+    transport frames lengths; the checksum catches corruption and
+    truncation inside a delivered payload.
+
+    The {e epoch} is the fencing token (one promotion = one epoch bump).
+    It lives in the envelope rather than in any message body so every
+    payload is fenceable before dispatch: a receiver drops or answers
+    {!Fenced} to anything from a lower epoch, which is how a zombie
+    master's frames and a stale replica's acks are kept out of the state.
+
     [Frames] bodies carry {e raw WAL frames} exactly as
     [Fieldrep_wal.Wal.encode_frame] produced them — each frame is itself
-    checksummed, so a replica re-validates twice before applying. *)
+    checksummed, so a replica re-validates twice before applying.
+
+    [bytes] on {!Snapshot}/{!Commit}/{!Ping} is the master's cumulative
+    WAL byte count at that position; replicas difference it against the
+    bytes they have applied to bound read staleness. *)
 
 type msg =
   | Hello of { last_lsn : int64 }
       (** replica's first message: [0L] asks for a {!Snapshot} bootstrap,
           a later LSN asks for catch-up from there (rejoin) *)
-  | Snapshot of { lsn : int64; image : string }
-      (** a [Db.save] image stamped with the log position it reflects *)
+  | Snapshot of { lsn : int64; bytes : int64; image : string }
+      (** a [Db.save] image stamped with the log position and cumulative
+          WAL bytes it reflects *)
   | Frames of Bytes.t list  (** raw WAL frames, in LSN order *)
-  | Commit of { lsn : int64 }
-      (** everything through [lsn] is durable on the master; the replica
-          always answers with an {!Ack} *)
+  | Commit of { lsn : int64; bytes : int64 }
+      (** everything through [lsn] ([bytes] cumulative WAL bytes) is
+          durable on the master; the replica always answers an {!Ack} *)
   | Ack of { lsn : int64 }  (** the replica has applied through [lsn] *)
   | Resend of { after : int64 }
       (** the replica saw a gap or a corrupt frame: re-ship everything
           after [after] *)
+  | Ping of { lsn : int64; bytes : int64 }
+      (** master heartbeat: alive, log ends at [lsn] / [bytes] *)
+  | Pong of { lsn : int64 }
+      (** replica heartbeat reply: alive, applied through [lsn] *)
+  | Fenced
+      (** the sender's envelope epoch is newer than yours: you are stale.
+          A fenced master stops shipping; a fenced replica re-syncs. *)
+  | Reset of { fork : int64 }
+      (** the receiver's log diverged above [fork] (it was a master in an
+          older epoch): truncate everything above [fork] and re-Hello *)
 
-val encode : msg -> string
+val encode : epoch:int -> msg -> string
+(** Raises [Invalid_argument] on a negative epoch. *)
 
-val decode : string -> msg
-(** Raises [Fieldrep_util.Wire.Corrupt] on a short, truncated, checksum-
-    failing or trailing-garbage payload. *)
+val decode : string -> int * msg
+(** [(epoch, msg)].  Raises [Fieldrep_util.Wire.Corrupt] on a short,
+    truncated, checksum-failing or trailing-garbage payload. *)
 
 val pp : Format.formatter -> msg -> unit

@@ -1,3 +1,5 @@
+module Splitmix = Fieldrep_util.Splitmix
+
 exception Disconnected
 
 type t = {
@@ -16,11 +18,47 @@ type faults = {
   mutable duplicate : int;
   mutable corrupt : int;
   mutable truncate : int;
+  mutable hang : int;
   mutable disconnect_after : int;
+  mutable p_drop : float;
+  mutable p_duplicate : float;
+  mutable p_corrupt : float;
+  mutable p_hang : float;
+  mutable hang_for : int;
+  mutable rng : Splitmix.t option;
+  mutable held : (int * string) list;
 }
 
 let no_faults () =
-  { drop = 0; duplicate = 0; corrupt = 0; truncate = 0; disconnect_after = -1 }
+  {
+    drop = 0;
+    duplicate = 0;
+    corrupt = 0;
+    truncate = 0;
+    hang = 0;
+    disconnect_after = -1;
+    p_drop = 0.;
+    p_duplicate = 0.;
+    p_corrupt = 0.;
+    p_hang = 0.;
+    hang_for = 3;
+    rng = None;
+    held = [];
+  }
+
+let seed_schedule ?(p_drop = 0.) ?(p_duplicate = 0.) ?(p_corrupt = 0.)
+    ?(p_hang = 0.) ?(hang_for = 3) faults ~seed =
+  faults.p_drop <- p_drop;
+  faults.p_duplicate <- p_duplicate;
+  faults.p_corrupt <- p_corrupt;
+  faults.p_hang <- p_hang;
+  faults.hang_for <- max 1 hang_for;
+  faults.rng <- Some (Splitmix.create seed)
+
+let chance faults p =
+  match faults.rng with
+  | Some rng when p > 0. -> Splitmix.float rng 1.0 < p
+  | _ -> false
 
 let flip_middle_byte s =
   let b = Bytes.of_string s in
@@ -45,13 +83,21 @@ let loopback () =
     end;
     if faults.disconnect_after > 0 then
       faults.disconnect_after <- faults.disconnect_after - 1;
+    (* Each send ages the held ("hung") payloads; expired ones deliver
+       first, so a hang is a bounded delay-and-reorder, not a loss. *)
+    let aged = List.map (fun (k, p) -> (k - 1, p)) faults.held in
+    let due, still = List.partition (fun (k, _) -> k <= 0) aged in
+    faults.held <- still;
+    List.iter (fun (_, p) -> Queue.push p peer_q) due;
     if faults.drop > 0 then faults.drop <- faults.drop - 1
+    else if chance faults faults.p_drop then ()
     else begin
       let payload =
         if faults.corrupt > 0 then begin
           faults.corrupt <- faults.corrupt - 1;
           flip_middle_byte payload
         end
+        else if chance faults faults.p_corrupt then flip_middle_byte payload
         else payload
       in
       let payload =
@@ -61,10 +107,17 @@ let loopback () =
         end
         else payload
       in
-      Queue.push payload peer_q;
-      if faults.duplicate > 0 then begin
-        faults.duplicate <- faults.duplicate - 1;
-        Queue.push payload peer_q
+      if faults.hang > 0 || chance faults faults.p_hang then begin
+        if faults.hang > 0 then faults.hang <- faults.hang - 1;
+        faults.held <- faults.held @ [ (faults.hang_for, payload) ]
+      end
+      else begin
+        Queue.push payload peer_q;
+        if faults.duplicate > 0 then begin
+          faults.duplicate <- faults.duplicate - 1;
+          Queue.push payload peer_q
+        end
+        else if chance faults faults.p_duplicate then Queue.push payload peer_q
       end
     end
   in
@@ -96,16 +149,23 @@ let max_payload = 1 lsl 30
 
 let rec write_exact fd buf off len =
   if len > 0 then begin
-    let n = Unix.write fd buf off len in
-    write_exact fd buf (off + n) (len - n)
+    match Unix.write fd buf off len with
+    | n -> write_exact fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        write_exact fd buf off len
   end
 
-let rec read_exact fd buf off len =
-  if len > 0 then begin
-    let n = Unix.read fd buf off len in
-    if n = 0 then raise Disconnected;
-    read_exact fd buf (off + n) (len - n)
-  end
+(* One read(2), retried through EINTR.  0 means EOF. *)
+let rec read_once fd buf off len =
+  try Unix.read fd buf off len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> read_once fd buf off len
+
+let rec wait_readable fd timeout =
+  try
+    match Unix.select [ fd ] [] [] timeout with
+    | [], _, _ -> false
+    | _ :: _, _, _ -> true
+  with Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable fd timeout
 
 let of_socket ?(label = "socket") fd =
   let send payload =
@@ -117,25 +177,50 @@ let of_socket ?(label = "socket") fd =
     try write_exact fd buf 0 (4 + n)
     with Unix.Unix_error (_, _, _) -> raise Disconnected
   in
-  let read_message () =
-    let hdr = Bytes.create 4 in
-    read_exact fd hdr 0 4;
-    let n = Int32.to_int (Bytes.get_int32_le hdr 0) in
-    if n < 0 || n > max_payload then raise Disconnected;
-    let buf = Bytes.create n in
-    read_exact fd buf 0 n;
-    Bytes.unsafe_to_string buf
+  (* Incremental reassembly: bytes accumulate in [inbuf] across recv
+     calls, and a payload is surfaced only once its length prefix *and*
+     body are complete.  A peer (or a slow network) may deliver a frame
+     one byte at a time — a non-blocking recv must never stall on a
+     partial length prefix, it returns None and keeps what it has. *)
+  let inbuf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let take_message () =
+    let len = Buffer.length inbuf in
+    if len < 4 then None
+    else begin
+      let n = Int32.to_int (String.get_int32_le (Buffer.sub inbuf 0 4) 0) in
+      if n < 0 || n > max_payload then raise Disconnected;
+      if len < 4 + n then None
+      else begin
+        let payload = Buffer.sub inbuf 4 n in
+        let rest = Buffer.sub inbuf (4 + n) (len - 4 - n) in
+        Buffer.clear inbuf;
+        Buffer.add_string inbuf rest;
+        Some payload
+      end
+    end
+  in
+  let fill () =
+    match read_once fd chunk 0 (Bytes.length chunk) with
+    | 0 -> raise Disconnected
+    | n -> Buffer.add_subbytes inbuf chunk 0 n
   in
   let recv ~block =
     try
-      if block then Some (read_message ())
-      else
-        (* Peek at readability; once the header is on its way the rest of
-           the message follows promptly, so the short blocking reads after
-           a positive select are acceptable for a test/CLI transport. *)
-        match Unix.select [ fd ] [] [] 0.0 with
-        | [], _, _ -> None
-        | _ :: _, _, _ -> Some (read_message ())
+      match take_message () with
+      | Some _ as m -> m
+      | None ->
+          if block then begin
+            let rec loop () =
+              fill ();
+              match take_message () with Some _ as m -> m | None -> loop ()
+            in
+            loop ()
+          end
+          else begin
+            if wait_readable fd 0.0 then fill ();
+            take_message ()
+          end
     with Unix.Unix_error (_, _, _) -> raise Disconnected
   in
   let close () = try Unix.close fd with Unix.Unix_error (_, _, _) -> () in

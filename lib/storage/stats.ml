@@ -30,6 +30,11 @@ type t = {
   mutable maint_pages_walked : int;
   mutable maint_lock_yields : int;
   mutable maint_backfill_pending : int;
+  mutable peer_deaths : int;
+  mutable ack_demotions : int;
+  mutable heartbeats_missed : int;
+  mutable failovers : int;
+  mutable reconnects : int;
   by_file : (int, int * int) Hashtbl.t;
 }
 
@@ -66,6 +71,11 @@ let create () =
     maint_pages_walked = 0;
     maint_lock_yields = 0;
     maint_backfill_pending = 0;
+    peer_deaths = 0;
+    ack_demotions = 0;
+    heartbeats_missed = 0;
+    failovers = 0;
+    reconnects = 0;
     by_file = Hashtbl.create 16;
   }
 
@@ -101,6 +111,11 @@ let reset t =
   t.maint_pages_walked <- 0;
   t.maint_lock_yields <- 0;
   t.maint_backfill_pending <- 0;
+  t.peer_deaths <- 0;
+  t.ack_demotions <- 0;
+  t.heartbeats_missed <- 0;
+  t.failovers <- 0;
+  t.reconnects <- 0;
   Hashtbl.reset t.by_file
 
 (* Process-wide physical I/O, across every Stats block ever created.  Never
@@ -202,6 +217,38 @@ let note_maint_yield t =
 
 let set_maint_backlog t ~pages = t.maint_backfill_pending <- pages
 
+(* Process-wide failover/liveness totals, same pattern as [grand_repl]: the
+   bench driver reports per-scenario deltas even when a scenario builds a
+   whole cluster (each node with its own Stats block). *)
+let g_peer_deaths = ref 0
+let g_ack_demotions = ref 0
+let g_heartbeats_missed = ref 0
+let g_failovers = ref 0
+let g_reconnects = ref 0
+
+let grand_failover () =
+  (!g_peer_deaths, !g_ack_demotions, !g_heartbeats_missed, !g_failovers, !g_reconnects)
+
+let note_peer_death t =
+  t.peer_deaths <- t.peer_deaths + 1;
+  incr g_peer_deaths
+
+let note_ack_demotion t =
+  t.ack_demotions <- t.ack_demotions + 1;
+  incr g_ack_demotions
+
+let note_heartbeat_missed t =
+  t.heartbeats_missed <- t.heartbeats_missed + 1;
+  incr g_heartbeats_missed
+
+let note_failover t =
+  t.failovers <- t.failovers + 1;
+  incr g_failovers
+
+let note_reconnect t =
+  t.reconnects <- t.reconnects + 1;
+  incr g_reconnects
+
 let record_read t ~file =
   incr grand_io;
   let r, w = Option.value ~default:(0, 0) (Hashtbl.find_opt t.by_file file) in
@@ -247,6 +294,11 @@ let copy t =
     maint_pages_walked = t.maint_pages_walked;
     maint_lock_yields = t.maint_lock_yields;
     maint_backfill_pending = t.maint_backfill_pending;
+    peer_deaths = t.peer_deaths;
+    ack_demotions = t.ack_demotions;
+    heartbeats_missed = t.heartbeats_missed;
+    failovers = t.failovers;
+    reconnects = t.reconnects;
     by_file = Hashtbl.copy t.by_file;
   }
 
@@ -287,6 +339,11 @@ let diff now before =
     maint_steps = now.maint_steps - before.maint_steps;
     maint_pages_walked = now.maint_pages_walked - before.maint_pages_walked;
     maint_lock_yields = now.maint_lock_yields - before.maint_lock_yields;
+    peer_deaths = now.peer_deaths - before.peer_deaths;
+    ack_demotions = now.ack_demotions - before.ack_demotions;
+    heartbeats_missed = now.heartbeats_missed - before.heartbeats_missed;
+    failovers = now.failovers - before.failovers;
+    reconnects = now.reconnects - before.reconnects;
     (* gauges, not counters: report the current value, not a delta *)
     replica_lag_bytes = now.replica_lag_bytes;
     maint_backfill_pending = now.maint_backfill_pending;
@@ -303,7 +360,9 @@ let pp fmt t =
      scrub_pages=%d repairs=%d degraded_reads=%d read_retries=%d \
      failed_reads=%d prefetch_issued=%d prefetch_hits=%d frames_shipped=%d \
      frames_applied=%d acks_waited=%d replica_lag_bytes=%d maint_steps=%d \
-     maint_pages_walked=%d maint_lock_yields=%d maint_backfill_pending=%d"
+     maint_pages_walked=%d maint_lock_yields=%d maint_backfill_pending=%d \
+     peer_deaths=%d ack_demotions=%d heartbeats_missed=%d failovers=%d \
+     reconnects=%d"
     t.page_reads t.page_writes t.buffer_hits t.pages_allocated t.objects_read
     t.objects_written t.wal_appends t.wal_bytes t.wal_flushes
     t.recovery_replays t.txn_commits t.txn_aborts t.lock_waits t.deadlocks
@@ -311,4 +370,5 @@ let pp fmt t =
     t.degraded_reads t.read_retries t.failed_reads t.prefetch_issued
     t.prefetch_hits t.frames_shipped t.frames_applied t.acks_waited
     t.replica_lag_bytes t.maint_steps t.maint_pages_walked
-    t.maint_lock_yields t.maint_backfill_pending
+    t.maint_lock_yields t.maint_backfill_pending t.peer_deaths
+    t.ack_demotions t.heartbeats_missed t.failovers t.reconnects

@@ -58,6 +58,19 @@ type t = {
   mutable maint_backfill_pending : int;
       (** gauge (not a counter): heap pages the queued maintenance jobs
           have still to walk, at the last update *)
+  mutable peer_deaths : int;
+      (** replication peers declared Dead: heartbeat deadline missed or
+          transport disconnected *)
+  mutable ack_demotions : int;
+      (** ack-mode commits that proceeded without a replica because its ack
+          deadline expired (the peer is demoted to async) *)
+  mutable heartbeats_missed : int;
+      (** heartbeat deadlines missed by a peer (each miss moves the peer
+          one step along Live -> Suspect -> Dead) *)
+  mutable failovers : int;
+      (** replica promotions to master (epoch bumps) *)
+  mutable reconnects : int;
+      (** transport reconnect attempts made by the backoff dialer *)
   by_file : (int, int * int) Hashtbl.t;
       (** per-file (reads, writes) attribution, keyed by disk file id *)
 }
@@ -141,5 +154,19 @@ val note_maint_yield : t -> unit
 val set_maint_backlog : t -> pages:int -> unit
 (** Set the maintenance-backlog gauge: heap pages still to walk across all
     queued jobs.  A gauge, so {!diff} reports the current value. *)
+
+val grand_failover : unit -> int * int * int * int * int
+(** Process-wide monotonic [(peer_deaths, ack_demotions, heartbeats_missed,
+    failovers, reconnects)] across every stats block; callers take
+    before/after deltas, like {!grand_total_io}. *)
+
+(** Incrementers for the failover/liveness counters (per-block plus
+    process-wide, like the robustness counters). *)
+
+val note_peer_death : t -> unit
+val note_ack_demotion : t -> unit
+val note_heartbeat_missed : t -> unit
+val note_failover : t -> unit
+val note_reconnect : t -> unit
 
 val pp : Format.formatter -> t -> unit

@@ -26,6 +26,7 @@ type applier = {
   unreplicate : path:string -> unit;
   maint_step : job:int -> upto:int -> unit;
   maint_done : job:int -> unit;
+  epoch_change : epoch:int -> unit;
 }
 
 type loser = {
@@ -77,6 +78,7 @@ let apply_plain a = function
   | Wal.Unreplicate { path } -> a.unreplicate ~path
   | Wal.Maint_step { job; upto } -> a.maint_step ~job ~upto
   | Wal.Maint_done { job } -> a.maint_done ~job
+  | Wal.Epoch_change { epoch } -> a.epoch_change ~epoch
   | Wal.Abort _ -> ()  (* handled in [feed]; belt and braces *)
   | Wal.Txn_begin _ | Wal.Txn_commit _ | Wal.Txn_abort _ | Wal.Undo_image _
   | Wal.Insert_at _ | Wal.Txn_op _ ->

@@ -69,6 +69,9 @@ type applier = {
   maint_done : job:int -> unit;
       (** complete the job: [Building] -> [Active] / [Dropping] ->
           [Dropped] *)
+  epoch_change : epoch:int -> unit;
+      (** adopt the replication epoch a promotion stamped into the log
+          (raise-only; state is otherwise untouched) *)
 }
 
 (** A transaction that was live at the crash: everything the caller needs

@@ -44,6 +44,7 @@ type record =
   | Unreplicate of { path : string }
   | Maint_step of { job : int; upto : int }
   | Maint_done of { job : int }
+  | Epoch_change of { epoch : int }
 
 let magic = "FREPWAL1"
 
@@ -91,6 +92,7 @@ let kind_of = function
   | Unreplicate _ -> 16
   | Maint_step _ -> 17
   | Maint_done _ -> 18
+  | Epoch_change _ -> 19
 
 let rec body_size = function
   | Define_type ty ->
@@ -126,6 +128,7 @@ let rec body_size = function
   | Unreplicate { path } -> Wire.string_size path
   | Maint_step { job = _; upto = _ } -> 8
   | Maint_done { job = _ } -> 4
+  | Epoch_change { epoch = _ } -> 4
 
 let rec put_body buf off = function
   | Define_type ty ->
@@ -197,6 +200,7 @@ let rec put_body buf off = function
       let off = Wire.put_u32 buf off job in
       Wire.put_u32 buf off upto
   | Maint_done { job } -> Wire.put_u32 buf off job
+  | Epoch_change { epoch } -> Wire.put_u32 buf off epoch
 
 let rec get_body kind buf off =
   match kind with
@@ -333,6 +337,9 @@ let rec get_body kind buf off =
   | 18 ->
       let job, off = Wire.get_u32 buf off in
       (Maint_done { job }, off)
+  | 19 ->
+      let epoch, off = Wire.get_u32 buf off in
+      (Epoch_change { epoch }, off)
   | k -> raise (Wire.Corrupt (Printf.sprintf "Wal: bad record kind %d" k))
 
 (* FNV-1a, 32-bit: cheap, dependency-free, catches torn frames.  The same
@@ -569,6 +576,57 @@ let read_frames path ~after =
         end
       done;
       List.rev !acc
+    end
+  end
+
+(* Physically discard every frame above [after] — the rejoin path for a
+   deposed master whose unshipped tail diverged from the new epoch's
+   history.  Works on a closed log file: the caller re-opens (or
+   re-recovers) afterwards.  Keeps the magic header plus every
+   well-formed frame with lsn <= after; scanning stops at the first
+   ill-formed frame exactly as [open_] would, so nothing past a torn
+   frame survives either. *)
+let truncate_file path ~after =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let data =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let len = String.length data in
+    if len < String.length magic
+       || String.sub data 0 (String.length magic) <> magic
+    then invalid_arg "Wal.truncate_file: not a fieldrep log"
+    else begin
+      let buf = Bytes.unsafe_of_string data in
+      let keep = Buffer.create len in
+      Buffer.add_string keep magic;
+      let pos = ref (String.length magic) in
+      let stop = ref false in
+      while not !stop do
+        if !pos + 8 > len then stop := true
+        else begin
+          let flen, p = Wire.get_u32 buf !pos in
+          let fcrc, p = Wire.get_u32 buf p in
+          if flen < 9 || p + flen > len then stop := true
+          else if crc buf p flen <> fcrc then stop := true
+          else begin
+            let lsn, _ = Wire.get_i64 buf p in
+            if Int64.compare lsn after > 0 then stop := true
+            else begin
+              Buffer.add_subbytes keep buf !pos (8 + flen);
+              pos := p + flen
+            end
+          end
+        end
+      done;
+      let oc =
+        open_out_gen [ Open_wronly; Open_trunc; Open_binary ] 0o644 path
+      in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Buffer.output_buffer oc keep)
     end
   end
 

@@ -123,6 +123,12 @@ type record =
   | Maint_done of { job : int }
       (** the job's walk completed: replay flips the declaration
           [Building] -> [Active] or [Dropping] -> [Dropped]. *)
+  | Epoch_change of { epoch : int }
+      (** a replica promoted to master and bumped the replication epoch:
+          the first record a new master appends, so the log stream itself
+          carries the epoch history.  Replay raises the database's epoch
+          (state is otherwise untouched); replicas applying the shipped
+          frame adopt the epoch the same way. *)
 
 type t
 
@@ -192,6 +198,14 @@ val read_frames : string -> after:int64 -> (int64 * Bytes.t) list
     torn or corrupt frame (as {!open_} does); returns [[]] for a missing
     or empty file; raises [Invalid_argument] on a file that is not a
     fieldrep log.  Serves replica re-send and rejoin requests. *)
+
+val truncate_file : string -> after:int64 -> unit
+(** Physically discard every frame with LSN strictly greater than [after]
+    from the (closed) log file at a path — the rejoin path for a deposed
+    master whose unshipped tail diverged from the new epoch's history.
+    Ill-formed tails are discarded too (the scan stops where {!open_}
+    would).  A no-op on a missing file; raises [Invalid_argument] on a
+    file that is not a fieldrep log. *)
 
 val records : t -> (int64 * record) list
 (** The valid records found at {!open_} time, in LSN order, with aborted

@@ -24,8 +24,11 @@ module Splitmix = Fieldrep_util.Splitmix
 module Wire = Fieldrep_util.Wire
 module Proto = Fieldrep_repl.Proto
 module Transport = Fieldrep_repl.Transport
+module Clock = Fieldrep_repl.Clock
+module Repl = Fieldrep_repl.Repl
 module Master = Fieldrep_repl.Repl.Master
 module Replica = Fieldrep_repl.Repl.Replica
+module Path = Fieldrep_model.Path
 
 let checki = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -149,26 +152,38 @@ let proto_samples =
   [
     Proto.Hello { last_lsn = 0L };
     Proto.Hello { last_lsn = 123456789L };
-    Proto.Snapshot { lsn = 42L; image = String.make 100_000 'i' };
+    Proto.Snapshot { lsn = 42L; bytes = 9_999L; image = String.make 100_000 'i' };
     Proto.Frames [ Bytes.of_string "abc"; Bytes.create 0; Bytes.make 70_000 'f' ];
-    Proto.Commit { lsn = 7L };
+    Proto.Commit { lsn = 7L; bytes = 1234L };
     Proto.Ack { lsn = 7L };
     Proto.Resend { after = 3L };
+    Proto.Ping { lsn = 88L; bytes = 4321L };
+    Proto.Pong { lsn = 88L };
+    Proto.Fenced;
+    Proto.Reset { fork = 55L };
   ]
 
 let test_proto_roundtrip () =
   List.iter
     (fun msg ->
-      let back = Proto.decode (Proto.encode msg) in
-      checkb
-        (Format.asprintf "%a survives the codec" Proto.pp msg)
-        true (msg = back))
-    proto_samples
+      List.iter
+        (fun epoch ->
+          let back_epoch, back = Proto.decode (Proto.encode ~epoch msg) in
+          checkb
+            (Format.asprintf "%a survives the codec" Proto.pp msg)
+            true
+            (msg = back && epoch = back_epoch))
+        [ 0; 1; 777 ])
+    proto_samples;
+  try
+    ignore (Proto.encode ~epoch:(-1) Proto.Fenced);
+    Alcotest.fail "negative epoch encoded"
+  with Invalid_argument _ -> ()
 
 let test_proto_rejects_corruption () =
   List.iter
     (fun msg ->
-      let s = Proto.encode msg in
+      let s = Proto.encode ~epoch:3 msg in
       (* flip one byte somewhere in the middle *)
       let b = Bytes.of_string s in
       let i = Bytes.length b / 2 in
@@ -273,19 +288,53 @@ let test_socket_transport () =
   let a = Transport.of_socket ~label:"test:a" sa in
   let b = Transport.of_socket ~label:"test:b" sb in
   checkb "empty socket: no payload" true (b.Transport.recv ~block:false = None);
-  let msg = Proto.encode (Proto.Frames [ Bytes.make 10_000 'f' ]) in
+  let msg = Proto.encode ~epoch:0 (Proto.Frames [ Bytes.make 10_000 'f' ]) in
   a.Transport.send msg;
-  a.Transport.send (Proto.encode (Proto.Commit { lsn = 3L }));
+  a.Transport.send (Proto.encode ~epoch:2 (Proto.Commit { lsn = 3L; bytes = 64L }));
   checkb "payload survives the socket" true (b.Transport.recv ~block:true = Some msg);
   checkb "framing separates messages" true
     (match b.Transport.recv ~block:false with
-    | Some s -> Proto.decode s = Proto.Commit { lsn = 3L }
+    | Some s -> Proto.decode s = (2, Proto.Commit { lsn = 3L; bytes = 64L })
     | None -> false);
   a.Transport.close ();
   (try
      ignore (b.Transport.recv ~block:true);
      Alcotest.fail "recv past EOF succeeded"
    with Transport.Disconnected -> ());
+  b.Transport.close ()
+
+(* Regression: the socket receiver must reassemble a frame that arrives
+   one byte at a time — including a split length prefix.  The old reader
+   blocked (or failed) on a partial prefix even with [block:false]. *)
+let test_socket_byte_at_a_time () =
+  let sa, sb = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let b = Transport.of_socket ~label:"partial:b" sb in
+  let payload = Proto.encode ~epoch:3 (Proto.Commit { lsn = 9L; bytes = 512L }) in
+  let len = String.length payload in
+  let framed = Bytes.create (4 + len) in
+  Bytes.set_int32_le framed 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 framed 4 len;
+  for i = 0 to 4 + len - 1 do
+    checkb "no message while the frame is incomplete" true
+      (b.Transport.recv ~block:false = None);
+    ignore (Unix.write sa framed i 1)
+  done;
+  checkb "frame completes on the last byte" true
+    (b.Transport.recv ~block:false = Some payload);
+  checkb "nothing trailing" true (b.Transport.recv ~block:false = None);
+  (* two frames coalesced into one kernel write split messages correctly *)
+  let p2 = Proto.encode ~epoch:1 (Proto.Ack { lsn = 4L }) in
+  let frame_of p =
+    let fp = Bytes.create (4 + String.length p) in
+    Bytes.set_int32_le fp 0 (Int32.of_int (String.length p));
+    Bytes.blit_string p 0 fp 4 (String.length p);
+    fp
+  in
+  let both = Bytes.cat (frame_of p2) (frame_of p2) in
+  ignore (Unix.write sa both 0 (Bytes.length both));
+  checkb "first of coalesced pair" true (b.Transport.recv ~block:false = Some p2);
+  checkb "second of coalesced pair" true (b.Transport.recv ~block:false = Some p2);
+  Unix.close sa;
   b.Transport.close ()
 
 (* ------------------------------------------------------------------ *)
@@ -399,6 +448,15 @@ let test_replica_read_only () =
       Db.define_type rdb (Ty.make ~name:"X" [ { Ty.fname = "a"; ftype = Ty.Scalar Ty.SInt } ]));
   expect_readonly "scrub" (fun () -> ignore (Db.scrub rdb));
   expect_readonly "checkpoint" (fun () -> Db.checkpoint rdb "/dev/null");
+  (* every write entry point added with online maintenance *)
+  expect_readonly "replicate" (fun () ->
+      Db.replicate rdb ~strategy:Schema.Separate (Path.parse "R.sref.field_s"));
+  expect_readonly "unreplicate" (fun () ->
+      Db.unreplicate rdb (Path.parse "R.sref.repfield"));
+  expect_readonly "maint_step" (fun () -> ignore (Db.maint_step rdb));
+  expect_readonly "maint_drain" (fun () -> Db.maint_drain rdb);
+  expect_readonly "build_index" (fun () ->
+      Db.build_index rdb ~name:"ix_ro" ~set:"S" ~field:"field_s" ~clustered:false);
   (* reads keep working *)
   checkb "reads serve" true
     (Db.deref rdb ~set:"R" (r_oids rdb).(0) "sref.repfield" <> Value.VNull)
@@ -525,6 +583,229 @@ let test_fuzzed_faults_converge () =
   Db.check_integrity (Replica.db r)
 
 (* ------------------------------------------------------------------ *)
+(* Liveness, degradation, failover                                     *)
+
+let tight_liveness =
+  { Repl.heartbeat_every = 5; suspect_after = 12; dead_after = 25 }
+
+(* A master/replica pair on a shared manual clock, with a switchable pump:
+   while [hung] the replica makes no progress (the pump only advances the
+   clock, as a real scheduler would). *)
+let connect_pair_manual ?mode ?(ack_deadline = 50) mdb =
+  let clk = Clock.manual () in
+  let clock = Clock.of_manual clk in
+  let m =
+    Master.create ?mode ~clock ~liveness:tight_liveness ~ack_deadline mdb
+  in
+  let ma, rb, fa, fb = Transport.loopback () in
+  let r = Replica.connect ~clock ~liveness:tight_liveness rb in
+  let hung = ref false in
+  let pump () =
+    if !hung then Clock.advance clk ~by:10 else ignore (Replica.drain r)
+  in
+  let peer = Master.attach ~pump m ma in
+  ignore (Replica.drain r);
+  (m, r, peer, clk, hung, fa, fb)
+
+let test_heartbeat_liveness () =
+  let mdb = build_master () in
+  let m, r, peer, clk, _hung, _, _ = connect_pair_manual mdb in
+  (* heartbeats keep both ends Live while traffic flows *)
+  for _ = 1 to 10 do
+    Clock.advance clk ~by:5;
+    Master.tick m;
+    ignore (Replica.drain r);
+    Replica.tick r;
+    Master.pump m
+  done;
+  checkb "peer live under heartbeats" true (Master.peer_state peer = Repl.Live);
+  checkb "master live under heartbeats" true
+    (Replica.master_state r = Repl.Live);
+  (* both links go silent: each end walks the other Live -> Suspect ->
+     Dead on the same deadlines (the replica stops draining, the master's
+     pings stop reaching it) *)
+  Master.pump m;
+  let rdb = Replica.db r in
+  let missed0 = (Db.stats mdb).Stats.heartbeats_missed in
+  Clock.advance clk ~by:13;
+  Master.tick m;
+  Replica.tick r;
+  checkb "silent peer suspected" true (Master.peer_state peer = Repl.Suspect);
+  checkb "missed heartbeat counted" true
+    ((Db.stats mdb).Stats.heartbeats_missed > missed0);
+  checkb "silent master suspected" true
+    (Replica.master_state r = Repl.Suspect);
+  Clock.advance clk ~by:13;
+  Master.tick m;
+  Replica.tick r;
+  checkb "silent peer declared dead" true (Master.peer_state peer = Repl.Dead);
+  checkb "peer no longer alive" true (not (Master.peer_alive peer));
+  checki "dead peer left the live set" 0 (Master.peer_count m);
+  checkb "peer death counted" true ((Db.stats mdb).Stats.peer_deaths > 0);
+  checkb "silent master declared dead" true
+    (Replica.master_state r = Repl.Dead);
+  checkb "replica counted the master's death" true
+    ((Db.stats rdb).Stats.peer_deaths > 0)
+
+(* The acceptance bound: an ack-mode commit under a hung replica finishes
+   within the deadline (no unbounded block), demotes the peer, and the
+   peer is re-promoted once it catches back up. *)
+let test_ack_demotion_bounded () =
+  let mdb = build_master () in
+  let m, r, peer, _clk, hung, _, _ =
+    connect_pair_manual ~mode:Master.Ack mdb
+  in
+  let ss = s_oids mdb in
+  Db.update_field mdb ~set:"S" ss.(0) ~field:"repfield"
+    (Value.VString (String.make 20 'a'));
+  checkb "healthy ack commit reached the replica" true
+    (Int64.equal (Replica.last_applied r)
+       (Wal.last_lsn (Option.get (Db.wal mdb))));
+  checki "no demotion while healthy" 0 (Db.stats mdb).Stats.ack_demotions;
+  (* hang the replica: the pump now only advances the clock *)
+  hung := true;
+  Db.update_field mdb ~set:"S" ss.(1) ~field:"repfield"
+    (Value.VString (String.make 20 'b'));
+  (* the commit returned — that is the bound — and the peer was demoted *)
+  checki "exactly one demotion" 1 (Db.stats mdb).Stats.ack_demotions;
+  checkb "peer demoted to async" true (not (Master.peer_synchronous peer));
+  checkb "peer still alive" true (Master.peer_alive peer);
+  checkb "replica is behind" true
+    (Int64.compare (Replica.last_applied r)
+       (Wal.last_lsn (Option.get (Db.wal mdb)))
+    < 0);
+  (* further commits do not wait for the demoted peer *)
+  Db.update_field mdb ~set:"S" ss.(2) ~field:"repfield"
+    (Value.VString (String.make 20 'c'));
+  checki "demoted peer does not re-demote" 1 (Db.stats mdb).Stats.ack_demotions;
+  (* the replica wakes up, catches up, and is re-promoted *)
+  hung := false;
+  converge m r;
+  checkb "caught-up peer re-promoted" true (Master.peer_synchronous peer);
+  Db.update_field mdb ~set:"S" ss.(3) ~field:"repfield"
+    (Value.VString (String.make 20 'd'));
+  checkb "synchronous again: commit waits and lands" true
+    (Int64.equal (Replica.last_applied r)
+       (Wal.last_lsn (Option.get (Db.wal mdb))));
+  check_converged ~what:"re-promoted replica" mdb (Replica.db r)
+
+let test_staleness_gate () =
+  let mdb = build_master () in
+  let m, r, fa, _ = connect_pair mdb in
+  Replica.set_max_lag r (Some 0);
+  checki "caught up: gated read serves" (Db.set_size mdb "S")
+    (Replica.read r (fun db -> Db.set_size db "S"));
+  mutate_some mdb ~seed:21 ~ops:4;
+  (* the flush loses its Frames but the Commit barrier arrives: the
+     replica now knows exactly how far behind it is *)
+  fa.Transport.drop <- 1;
+  Master.pump m;
+  ignore (Replica.drain r);
+  checkb "lag is visible" true (Int64.compare (Replica.lag_bytes r) 0L > 0);
+  (try
+     ignore (Replica.read r (fun db -> Db.set_size db "S"));
+     Alcotest.fail "stale read served"
+   with Replica.Stale msg ->
+     checkb "error names the lag" true (contains msg "behind the master"));
+  (* the resend heals the gap; the gate opens again *)
+  converge m r;
+  checkb "lag drained" true (Int64.equal (Replica.lag_bytes r) 0L);
+  checki "fresh again: gated read serves" (Db.set_size mdb "S")
+    (Replica.read r (fun db -> Db.set_size db "S"));
+  Replica.set_max_lag r None;
+  check_converged mdb (Replica.db r)
+
+(* The full failover story: master crashes, a replica promotes into the
+   next epoch, the surviving replica re-wires, the zombie master is
+   fenced, and the old master rejoins as a replica by truncating its
+   divergent tail. *)
+let test_failover_fence_rejoin () =
+  let mdb = build_master () in
+  let clk = Clock.manual () in
+  let clock = Clock.of_manual clk in
+  let m = Master.create ~clock ~liveness:tight_liveness mdb in
+  let old_wal_path = Wal.path (Option.get (Db.wal mdb)) in
+  (* a checkpoint image the old master will rejoin from *)
+  let img = Filename.temp_file "fieldrep_failover" ".img" in
+  Db.checkpoint mdb img;
+  let attach () =
+    let ma, rb, fa, fb = Transport.loopback () in
+    let r = Replica.connect ~clock ~liveness:tight_liveness rb in
+    ignore (Master.attach ~pump:(fun () -> ignore (Replica.drain r)) m ma);
+    ignore (Replica.drain r);
+    (r, ma, rb, fa, fb)
+  in
+  let r1, _, r1b, _, _ = attach () in
+  let r2, _, r2b, _, _ = attach () in
+  mutate_some mdb ~seed:31 ~ops:6;
+  converge m r1;
+  converge m r2;
+  let fork = Replica.last_applied r1 in
+  checkb "replicas in step before the crash" true
+    (Int64.equal fork (Replica.last_applied r2));
+  (* --- the master "crashes" (we stop driving it) and r1 promotes ----- *)
+  Clock.advance clk ~by:30;
+  Replica.tick r1;
+  checkb "master declared dead before promotion" true
+    (Replica.master_state r1 = Repl.Dead);
+  let new_wal = Filename.temp_file "fieldrep_failover" ".wal" in
+  Sys.remove new_wal;
+  let m2 = Replica.promote ~clock ~liveness:tight_liveness r1 ~wal_path:new_wal in
+  checki "promotion bumped the epoch" 1 (Master.epoch m2);
+  checki "epoch is durable in the db" 1 (Db.epoch (Replica.db r1));
+  checkb "fork point recorded" true (Int64.equal (Master.fork m2) fork);
+  checkb "failover counted" true ((Db.stats (Replica.db r1)).Stats.failovers > 0);
+  let m2db = Replica.db r1 in
+  (* --- r2 re-wires to the new master and adopts the epoch ------------ *)
+  let ma2, rb2, _, _ = Transport.loopback () in
+  Replica.reconnect r2 rb2;
+  ignore (Master.attach ~pump:(fun () -> ignore (Replica.drain r2)) m2 ma2);
+  let s2 = s_oids m2db in
+  Db.update_field m2db ~set:"S" s2.(0) ~field:"repfield"
+    (Value.VString (String.make 20 'E'));
+  converge m2 r2;
+  checki "r2 adopted the new epoch" 1 (Replica.epoch r2);
+  check_converged ~what:"re-wired replica" m2db (Replica.db r2);
+  (* --- the zombie master keeps writing and gets fenced ---------------- *)
+  mutate_some mdb ~seed:32 ~ops:3;  (* divergent, unreplicated history *)
+  Master.pump m;  (* ships stale-epoch traffic onto the old links *)
+  let fenced = Replica.fence_link r2 r2b + Replica.fence_link r1 r1b in
+  checkb "zombie traffic was fenced" true (fenced > 0);
+  Master.pump m;  (* the zombie drains the Fenced replies *)
+  checkb "zombie master deposed" true (Master.is_deposed m);
+  (* a deposed master ships nothing more *)
+  mutate_some mdb ~seed:33 ~ops:1;
+  Master.pump m;
+  checki "no fresh zombie traffic" 0 (Replica.fence_link r2 r2b);
+  (* --- the old master rejoins as a replica below the new epoch -------- *)
+  let ma3, rb3, _, _ = Transport.loopback () in
+  let on_reset ~fork =
+    Wal.truncate_file old_wal_path ~after:fork;
+    Db.recover_replica ~wal_path:old_wal_path img
+  in
+  (* it reopens with its full (divergent) log, then obeys the Reset *)
+  let old_last =
+    match List.rev (Wal.read_frames old_wal_path ~after:0L) with
+    | (lsn, _) :: _ -> lsn
+    | [] -> 0L
+  in
+  checkb "old master's log runs past the fork" true
+    (Int64.compare old_last fork > 0);
+  let r3 =
+    Replica.rejoin ~clock ~liveness:tight_liveness ~on_reset
+      ~db:(Db.recover_replica ~wal_path:old_wal_path img)
+      ~last_applied:old_last rb3
+  in
+  ignore (Master.attach ~pump:(fun () -> ignore (Replica.drain r3)) m2 ma3);
+  converge m2 r3;
+  checki "old master adopted the new epoch" 1 (Replica.epoch r3);
+  checkb "old master truncated to the fork and caught up" true
+    (Int64.compare (Replica.last_applied r3) fork > 0);
+  check_converged ~what:"rejoined old master" m2db (Replica.db r3);
+  check_converged ~what:"surviving replica" m2db (Replica.db r2);
+  Sys.remove img
+
+(* ------------------------------------------------------------------ *)
 (* Fan-out                                                             *)
 
 let test_two_replicas () =
@@ -567,6 +848,8 @@ let () =
         [
           Alcotest.test_case "loopback faults" `Quick test_loopback_faults;
           Alcotest.test_case "socketpair" `Quick test_socket_transport;
+          Alcotest.test_case "byte-at-a-time reassembly" `Quick
+            test_socket_byte_at_a_time;
         ] );
       ( "streaming",
         [
@@ -589,5 +872,14 @@ let () =
             test_disconnect_mid_commit_and_rejoin;
           Alcotest.test_case "fuzzed faults converge" `Quick
             test_fuzzed_faults_converge;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "heartbeat liveness" `Quick test_heartbeat_liveness;
+          Alcotest.test_case "ack demotion is bounded" `Quick
+            test_ack_demotion_bounded;
+          Alcotest.test_case "staleness gate" `Quick test_staleness_gate;
+          Alcotest.test_case "failover, fencing, rejoin" `Quick
+            test_failover_fence_rejoin;
         ] );
     ]
