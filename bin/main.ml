@@ -64,6 +64,31 @@ let update_sel =
 
 let clustering_of_flag c = if c then Params.Clustered else Params.Unclustered
 
+let backend_conv =
+  let parse s =
+    if s = "mem" then Ok Db.Mem
+    else if s = "file" then Ok (Db.File None)
+    else if String.length s > 5 && String.sub s 0 5 = "file:" then
+      Ok (Db.File (Some (String.sub s 5 (String.length s - 5))))
+    else Error (`Msg (Printf.sprintf "unknown backend %S (mem|file|file:DIR)" s))
+  in
+  let print fmt = function
+    | Db.Mem -> Format.pp_print_string fmt "mem"
+    | Db.File None -> Format.pp_print_string fmt "file"
+    | Db.File (Some d) -> Format.fprintf fmt "file:%s" d
+  in
+  Arg.conv (parse, print)
+
+let backend =
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Page-store backend: $(b,mem) (in-memory arrays), $(b,file) (real \
+           files under a fresh temp directory), or $(b,file:DIR).  Defaults \
+           to the FIELDREP_BACKEND environment variable, else $(b,mem).")
+
 (* ------------------------------------------------------------------ *)
 (* model                                                               *)
 
@@ -129,7 +154,8 @@ let table_cmd =
 (* validate                                                            *)
 
 let validate_cmd =
-  let run sharing s_count read_sel update_sel clustered strategy queries =
+  let run sharing s_count read_sel update_sel clustered strategy queries backend
+      =
     let spec =
       {
         Gen.default_spec with
@@ -137,6 +163,7 @@ let validate_cmd =
         s_count;
         strategy;
         clustering = clustering_of_flag clustered;
+        backend;
       }
     in
     Printf.printf "building |S|=%d f=%d %s (%s) and measuring %d queries each...\n%!"
@@ -160,13 +187,13 @@ let validate_cmd =
     Term.(
       const run $ sharing
       $ Arg.(value & opt int 2000 & info [ "s-count" ] ~docv:"N" ~doc:"Cardinality of S.")
-      $ read_sel $ update_sel $ clustered $ strategy $ queries)
+      $ read_sel $ update_sel $ clustered $ strategy $ queries $ backend)
 
 (* ------------------------------------------------------------------ *)
 (* script                                                              *)
 
 let script_cmd =
-  let run file db_image save_image =
+  let run file db_image save_image backend =
     let contents =
       let ic = open_in file in
       let n = in_channel_length ic in
@@ -174,7 +201,11 @@ let script_cmd =
       close_in ic;
       s
     in
-    let db = match db_image with Some path -> Db.load path | None -> Db.create () in
+    let db =
+      match db_image with
+      | Some path -> Db.load ?backend path
+      | None -> Db.create ?backend ()
+    in
     List.iter (fun o -> Format.printf "%a@." Lang.pp_outcome o) (Lang.exec_script db contents);
     match save_image with
     | Some path ->
@@ -194,7 +225,7 @@ let script_cmd =
   Cmd.v
     (Cmd.info "script"
        ~doc:"Execute an EXTRA-style statement script (optionally against / into a database image).")
-    Term.(const run $ file $ db_image $ save_image)
+    Term.(const run $ file $ db_image $ save_image $ backend)
 
 (* ------------------------------------------------------------------ *)
 (* demo                                                                *)

@@ -171,9 +171,11 @@ let on_hidden_update t set oid ~before ~after =
         index_update rt oid ~before ~after)
     (indexes_of_set t set)
 
+type backend = Pager.backend = Mem | File of string option
+
 let create ?(page_size = 4096) ?(frames = 256) ?(prefetch = 0) ?(durable = false)
-    ?wal_path () =
-  let pager = Pager.create ~page_size ~frames ~prefetch () in
+    ?wal_path ?backend ?wal_fsync ?wal_flush_limit () =
+  let pager = Pager.create ~page_size ~frames ~prefetch ?backend () in
   let schema = Schema.create () in
   let store = Store.create pager in
   let rec t =
@@ -225,9 +227,17 @@ let create ?(page_size = 4096) ?(frames = 256) ?(prefetch = 0) ?(durable = false
       | Some p -> p
       | None -> Filename.temp_file "fieldrep" ".wal"
     in
-    t.wal <- Some (Wal.open_ ~stats:(Pager.stats pager) path)
+    t.wal <-
+      Some
+        (Wal.open_ ~stats:(Pager.stats pager) ?fsync:wal_fsync
+           ?flush_limit:wal_flush_limit path)
   end;
   t
+
+let close t =
+  (match t.wal with Some w -> Wal.close w | None -> ());
+  t.wal <- None;
+  Pager.close t.pager
 
 (* ------------------------------------------------------------------ *)
 (* DDL                                                                 *)
@@ -1378,7 +1388,7 @@ let save t path =
 
 (* Restore a database from an image, returning the checkpoint's durability
    header alongside it: (db, checkpoint lsn, wal path recorded at save). *)
-let load_image ?(frames = 256) path =
+let load_image ?(frames = 256) ?backend path =
   let data =
     let ic = open_in_bin path in
     Fun.protect
@@ -1416,7 +1426,7 @@ let load_image ?(frames = 256) path =
   let checkpoint_lsn = Int64.of_int (get_u64 ()) in
   let saved_wal_path = get_str () in
   let next_file_id = get_u32 () in
-  let t = create ~page_size ~frames () in
+  let t = create ~page_size ~frames ?backend () in
   (* Types. *)
   let ntypes = get_u16 () in
   for _ = 1 to ntypes do
@@ -1548,8 +1558,8 @@ let load_image ?(frames = 256) path =
     (Schema.replications t.schema);
   (t, checkpoint_lsn, saved_wal_path)
 
-let load ?frames path =
-  let t, _, _ = load_image ?frames path in
+let load ?frames ?backend path =
+  let t, _, _ = load_image ?frames ?backend path in
   t
 
 (* ------------------------------------------------------------------ *)
@@ -1622,8 +1632,8 @@ let recovery_applier t =
     epoch_change = (fun ~epoch -> if epoch > t.epoch then t.epoch <- epoch);
   }
 
-let recover ?frames ?wal_path path =
-  let t, checkpoint_lsn, saved_wal_path = load_image ?frames path in
+let recover ?frames ?wal_path ?backend path =
+  let t, checkpoint_lsn, saved_wal_path = load_image ?frames ?backend path in
   let wal_file =
     match wal_path with
     | Some p -> p
@@ -1686,8 +1696,8 @@ let recover ?frames ?wal_path path =
 (* ------------------------------------------------------------------ *)
 (* Streaming replication (replica side)                                *)
 
-let open_replica ?frames path =
-  let t = load ?frames path in
+let open_replica ?frames ?backend path =
+  let t = load ?frames ?backend path in
   t.replica_mode <- true;
   t
 
@@ -1744,8 +1754,8 @@ let promote_replica t ~wal_path ~last_lsn =
 (* Rejoin: recover a deposed master's (truncated) image + log, then demote
    the result to a replica — the log handle is dropped, because from here
    on records arrive over the wire, not from local appends. *)
-let recover_replica ?frames ?wal_path path =
-  let t = recover ?frames ?wal_path path in
+let recover_replica ?frames ?wal_path ?backend path =
+  let t = recover ?frames ?wal_path ?backend path in
   (match t.wal with Some w -> Wal.close w | None -> ());
   t.wal <- None;
   t.replica_mode <- true;

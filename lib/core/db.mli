@@ -34,12 +34,22 @@ type t
 type txn = Txn.t
 (** A transaction handle — see {!begin_txn}. *)
 
+type backend = Fieldrep_storage.Pager.backend = Mem | File of string option
+    (** Page-store backend (re-exported from the storage layer so callers
+        never name [Disk]): [Mem] is the in-memory array store, [File dir]
+        keeps every heap file as a real on-disk file under [dir] (a fresh
+        auto-removed temp directory when [None]).  Defaults to the
+        [FIELDREP_BACKEND] environment variable ([mem] when unset). *)
+
 val create :
   ?page_size:int ->
   ?frames:int ->
   ?prefetch:int ->
   ?durable:bool ->
   ?wal_path:string ->
+  ?backend:backend ->
+  ?wal_fsync:bool ->
+  ?wal_flush_limit:int ->
   unit ->
   t
 (** [~durable:true] attaches a write-ahead log: every DDL/DML mutation
@@ -49,7 +59,18 @@ val create :
     a fresh temp file; passing [wal_path] alone implies durability.
     [prefetch] sets the buffer pool's sequential read-ahead depth in pages
     (default 0 = off, so cost-model validation sees exact per-page
-    counts). *)
+    counts).  [backend] selects the page store (see {!type-backend}).
+    [wal_fsync] and [wal_flush_limit] are passed through to
+    {!Fieldrep_wal.Wal.open_}: [wal_fsync:true] makes every WAL group
+    commit an honest [fsync(2)] barrier, and [wal_flush_limit:1] defeats
+    group commit (one fsync per append — the benchmark baseline). *)
+
+val close : t -> unit
+(** Close the WAL (if any) and the pager underneath: flush the buffer
+    pool, release file descriptors and remove any auto-created backing
+    directory.  The handle must not be used afterwards.  Optional for
+    [Mem] databases (the GC reclaims them), but file-backed databases
+    should be closed to bound open descriptors and temp-dir growth. *)
 
 val batching : t -> bool
 (** Whether replication propagation runs page-batched in physical order
@@ -304,10 +325,12 @@ val save : t -> string -> unit
     index, link and S' page — to a file.  Pending lazy propagations are
     flushed first so the image is fully propagated. *)
 
-val load : ?frames:int -> string -> t
+val load : ?frames:int -> ?backend:backend -> string -> t
 (** Reopen an image written by {!save}.  Raises [Invalid_argument] on a
     malformed or foreign file.  The reopened database is not durable;
-    use {!recover} to reattach the log. *)
+    use {!recover} to reattach the log.  [backend] selects the page store
+    the image is restored into (images are backend-agnostic: a database
+    saved from a [Mem] store can be reopened on [File] and vice versa). *)
 
 (** {1 Checkpoints and crash recovery}
 
@@ -328,7 +351,7 @@ val checkpoint : t -> string -> unit
     state lives only in memory, so such an image could not be rolled
     back after a restart. *)
 
-val recover : ?frames:int -> ?wal_path:string -> string -> t
+val recover : ?frames:int -> ?wal_path:string -> ?backend:backend -> string -> t
 (** [recover path] reopens the checkpoint image at [path] and replays the
     tail of its write-ahead log ([wal_path] overrides the log location
     recorded in the image — use it when the log was moved, or to attach a
@@ -349,7 +372,7 @@ val recover : ?frames:int -> ?wal_path:string -> string -> t
     reads — {!get}, {!deref}, {!scan}, index access — while every mutating
     entry point raises [Invalid_argument]. *)
 
-val open_replica : ?frames:int -> string -> t
+val open_replica : ?frames:int -> ?backend:backend -> string -> t
 (** Reopen a {!save}/{!checkpoint} image as a read-only replica.  Not
     durable: the master's log is the log; the replica redoes shipped
     records straight into its pages. *)
@@ -381,7 +404,8 @@ val promote_replica : t -> wal_path:string -> last_lsn:int64 -> int
     failed record whose Abort marker never arrived (such a prefix is not
     a consistent fork point). *)
 
-val recover_replica : ?frames:int -> ?wal_path:string -> string -> t
+val recover_replica :
+  ?frames:int -> ?wal_path:string -> ?backend:backend -> string -> t
 (** {!recover}, then demote the result to a read-only replica (the log
     handle is dropped: records now arrive over the wire).  The rejoin
     path for a deposed master after its unshipped log tail has been

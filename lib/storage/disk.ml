@@ -2,16 +2,17 @@ exception Crash of string
 exception Read_error of string
 exception Corrupt_page of { file : int; page : int }
 
-(* [sums] is a per-page checksum sidecar — conceptually the page trailer a
-   real disk format would store in the 8 spare bytes of a 520-byte sector.
-   Keeping it out of the page image means the slotted-page layout (whose
-   directory grows down from the page end) and the cost model's page
-   capacity are untouched. *)
-type file = {
-  mutable pages : Bytes.t array;
-  mutable count : int;
-  mutable sums : int array;
-}
+(* Each page carries a checksum trailer kept out of the page image —
+   conceptually the 8 spare bytes of a 520-byte sector — so the
+   slotted-page layout (whose directory grows down from the page end) and
+   the cost model's page capacity are untouched.  Where the trailer
+   physically lives is the backend's business (an int array for [Mem], 8
+   real bytes per slot for [File]); verification, quarantine and fault
+   injection all stay here, shared by every backend. *)
+
+type backend_kind = Mem | File of string option
+
+type packed = P : (module Backend.S with type t = 'a) * 'a -> packed
 
 type failpoint = { mutable remaining : int; mutable fires : int; torn : bool }
 
@@ -26,19 +27,38 @@ type t = {
   page_size : int;
   zero_sum : int;
   stats : Stats.t;
-  files : (int, file) Hashtbl.t;
+  backend : packed;
+  backend_name : string;
+  scratch : Bytes.t;  (* verification / read-modify-write staging *)
   mutable next_file : int;
   mutable failpoint : failpoint option;
   mutable read_failpoint : read_failpoint option;
   quarantine_tbl : (int * int, unit) Hashtbl.t;
 }
 
-let create ?(page_size = 4096) stats =
+let backend_of_env () =
+  match Sys.getenv_opt "FIELDREP_BACKEND" with
+  | None | Some "" | Some "mem" -> Mem
+  | Some "file" -> File None
+  | Some other ->
+      invalid_arg
+        (Printf.sprintf "FIELDREP_BACKEND: unknown backend %S (mem or file)" other)
+
+let create ?(page_size = 4096) ?backend stats =
+  let kind = match backend with Some k -> k | None -> backend_of_env () in
+  let backend, backend_name =
+    match kind with
+    | Mem -> (P ((module Backend.Mem), Backend.Mem.create ~page_size), Backend.Mem.label)
+    | File dir ->
+        (P ((module Backend.File), Backend.File.create ~page_size ?dir ()), Backend.File.label)
+  in
   {
     page_size;
     zero_sum = Checksum.fnv1a32 (Bytes.make page_size '\000') 0 page_size;
     stats;
-    files = Hashtbl.create 16;
+    backend;
+    backend_name;
+    scratch = Bytes.create page_size;
     next_file = 0;
     failpoint = None;
     read_failpoint = None;
@@ -47,51 +67,58 @@ let create ?(page_size = 4096) stats =
 
 let page_size t = t.page_size
 let stats t = t.stats
+let backend_name t = t.backend_name
 let sum_of t bytes = Checksum.fnv1a32 bytes 0 t.page_size
+
+let close t =
+  let (P ((module B), b)) = t.backend in
+  B.close b
 
 let create_file t =
   let id = t.next_file in
   t.next_file <- id + 1;
-  Hashtbl.replace t.files id { pages = [||]; count = 0; sums = [||] };
+  let (P ((module B), b)) = t.backend in
+  B.create_file b ~id;
   id
 
 let delete_file t id =
-  Hashtbl.remove t.files id;
+  let (P ((module B), b)) = t.backend in
+  if B.file_exists b ~id then B.delete_file b ~id;
   Hashtbl.iter
     (fun (f, p) () -> if f = id then Hashtbl.remove t.quarantine_tbl (f, p))
     (Hashtbl.copy t.quarantine_tbl)
 
-let file_exists t id = Hashtbl.mem t.files id
+let file_exists t id =
+  let (P ((module B), b)) = t.backend in
+  B.file_exists b ~id
 
-let find t id =
-  match Hashtbl.find_opt t.files id with
-  | Some f -> f
-  | None -> raise Not_found
+(* Every entry point names itself in its unknown-file error (the PR 5
+   named-error policy: no bare [Not_found] escapes the storage layer). *)
+let known t ~op id =
+  let (P ((module B), b)) = t.backend in
+  if not (B.file_exists b ~id) then
+    invalid_arg (Printf.sprintf "Disk.%s: unknown file %d" op id)
 
-let page_count t id = (find t id).count
+let page_count t id =
+  known t ~op:"page_count" id;
+  let (P ((module B), b)) = t.backend in
+  B.page_count b ~id
 
 let allocate_page t id =
-  let f = find t id in
-  if f.count = Array.length f.pages then begin
-    let cap = max 8 (2 * Array.length f.pages) in
-    let pages = Array.make cap Bytes.empty in
-    Array.blit f.pages 0 pages 0 f.count;
-    f.pages <- pages;
-    let sums = Array.make cap 0 in
-    Array.blit f.sums 0 sums 0 f.count;
-    f.sums <- sums
-  end;
-  let page_no = f.count in
-  f.pages.(page_no) <- Bytes.make t.page_size '\000';
-  f.sums.(page_no) <- t.zero_sum;
-  f.count <- f.count + 1;
+  known t ~op:"allocate_page" id;
+  let (P ((module B), b)) = t.backend in
+  let page_no = B.page_count b ~id in
+  B.grow b ~id;
+  B.write_sum b ~file:id ~page:page_no ~sum:t.zero_sum;
   t.stats.pages_allocated <- t.stats.pages_allocated + 1;
   page_no
 
-let check t f page =
-  if page < 0 || page >= f.count then
-    invalid_arg (Printf.sprintf "Disk: page %d out of range (count %d)" page f.count);
-  ignore t
+let check t ~op ~file page =
+  known t ~op file;
+  let (P ((module B), b)) = t.backend in
+  let count = B.page_count b ~id:file in
+  if page < 0 || page >= count then
+    invalid_arg (Printf.sprintf "Disk: page %d out of range (count %d)" page count)
 
 (* {2 Quarantine} *)
 
@@ -122,32 +149,35 @@ let set_read_failpoint ?(count = 1) ?(every = 1) t ~after_reads =
 let clear_read_failpoint t = t.read_failpoint <- None
 
 let corrupt_page t ~file ~page offsets =
-  let f = find t file in
-  check t f page;
-  let bytes = f.pages.(page) in
+  check t ~op:"corrupt_page" ~file page;
+  let (P ((module B), b)) = t.backend in
+  B.read b ~file ~page t.scratch;
   List.iter
     (fun off ->
       if off < 0 || off >= t.page_size then
         invalid_arg "Disk.corrupt_page: offset out of range";
-      Bytes.set bytes off (Char.chr (Char.code (Bytes.get bytes off) lxor 0xff)))
-    offsets
+      Bytes.set t.scratch off (Char.chr (Char.code (Bytes.get t.scratch off) lxor 0xff)))
+    offsets;
+  B.write b ~file ~page ~len:t.page_size t.scratch
 (* the stored checksum is deliberately left stale: that is the corruption *)
 
 let tear_page t ~file ~page =
-  let f = find t file in
-  check t f page;
-  Bytes.fill f.pages.(page) (t.page_size / 2) (t.page_size - (t.page_size / 2)) '\000'
+  check t ~op:"tear_page" ~file page;
+  let (P ((module B), b)) = t.backend in
+  B.read b ~file ~page t.scratch;
+  Bytes.fill t.scratch (t.page_size / 2) (t.page_size - (t.page_size / 2)) '\000';
+  B.write b ~file ~page ~len:t.page_size t.scratch
 
 let verify_page t ~file ~page =
-  let f = find t file in
-  check t f page;
-  f.sums.(page) = sum_of t f.pages.(page)
+  check t ~op:"verify_page" ~file page;
+  let (P ((module B), b)) = t.backend in
+  B.read b ~file ~page t.scratch;
+  B.read_sum b ~file ~page = sum_of t t.scratch
 
 (* {2 Physical I/O} *)
 
 let read_page t ~file ~page buf =
-  let f = find t file in
-  check t f page;
+  check t ~op:"read_page" ~file page;
   assert (Bytes.length buf = t.page_size);
   if quarantined t ~file ~page then raise (Corrupt_page { file; page });
   (match t.read_failpoint with
@@ -163,25 +193,29 @@ let read_page t ~file ~page buf =
                 file page))
       end
   | None -> ());
-  if f.sums.(page) <> sum_of t f.pages.(page) then begin
+  (* Stage the read so a verification failure leaves the caller's buffer
+     untouched. *)
+  let (P ((module B), b)) = t.backend in
+  B.read b ~file ~page t.scratch;
+  if B.read_sum b ~file ~page <> sum_of t t.scratch then begin
     quarantine t ~file ~page;
     Stats.note_checksum_failure t.stats;
     raise (Corrupt_page { file; page })
   end;
-  Bytes.blit f.pages.(page) 0 buf 0 t.page_size;
+  Bytes.blit t.scratch 0 buf 0 t.page_size;
   t.stats.page_reads <- t.stats.page_reads + 1;
   Stats.record_read t.stats ~file
 
 let write_page t ~file ~page buf =
-  let f = find t file in
-  check t f page;
+  check t ~op:"write_page" ~file page;
   assert (Bytes.length buf = t.page_size);
+  let (P ((module B), b)) = t.backend in
   (match t.failpoint with
   | Some fp when fp.remaining <= 0 ->
       (* A torn write lands half the buffer but never the trailer update, so
          the page fails verification on the next read — exactly how a real
          checksummed store detects torn data pages. *)
-      if fp.torn then Bytes.blit buf 0 f.pages.(page) 0 (t.page_size / 2);
+      if fp.torn then B.write b ~file ~page ~len:(t.page_size / 2) buf;
       fp.fires <- fp.fires - 1;
       if fp.fires <= 0 then t.failpoint <- None;
       raise
@@ -191,31 +225,40 @@ let write_page t ~file ~page buf =
               (if fp.torn then " (torn)" else "")))
   | Some fp -> fp.remaining <- fp.remaining - 1
   | None -> ());
-  Bytes.blit buf 0 f.pages.(page) 0 t.page_size;
-  f.sums.(page) <- sum_of t buf;
+  B.write b ~file ~page ~len:t.page_size buf;
+  B.write_sum b ~file ~page ~sum:(sum_of t buf);
   (* rewriting a page with fresh, checksummed content lifts its quarantine *)
   clear_quarantine t ~file ~page;
   t.stats.page_writes <- t.stats.page_writes + 1;
   Stats.record_write t.stats ~file
 
 let dump_page t ~file ~page =
-  let f = find t file in
-  check t f page;
-  Bytes.copy f.pages.(page)
+  check t ~op:"dump_page" ~file page;
+  let (P ((module B), b)) = t.backend in
+  let out = Bytes.create t.page_size in
+  B.read b ~file ~page out;
+  out
 
 let restore_file t ~id pages =
-  let count = Array.length pages in
   Array.iter (fun p -> assert (Bytes.length p = t.page_size)) pages;
-  Hashtbl.replace t.files id
-    {
-      pages = Array.map Bytes.copy pages;
-      count;
-      sums = Array.map (fun p -> sum_of t p) pages;
-    };
+  let (P ((module B), b)) = t.backend in
+  if B.file_exists b ~id then B.delete_file b ~id;
+  B.create_file b ~id;
+  Array.iteri
+    (fun page p ->
+      B.grow b ~id;
+      B.write b ~file:id ~page ~len:t.page_size p;
+      B.write_sum b ~file:id ~page ~sum:(sum_of t p))
+    pages;
   if id >= t.next_file then t.next_file <- id + 1
 
 let next_file_id t = t.next_file
 let reserve_file_ids t n = if n > t.next_file then t.next_file <- n
 
-let total_pages t = Hashtbl.fold (fun _ f acc -> acc + f.count) t.files 0
-let file_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.files [] |> List.sort Int.compare
+let total_pages t =
+  let (P ((module B), b)) = t.backend in
+  List.fold_left (fun acc id -> acc + B.page_count b ~id) 0 (B.file_ids b)
+
+let file_ids t =
+  let (P ((module B), b)) = t.backend in
+  B.file_ids b

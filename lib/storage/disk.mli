@@ -1,15 +1,21 @@
-(** Simulated disk.
+(** The disk: fixed-size pages behind a pluggable storage backend.
 
-    Files are growable arrays of fixed-size pages held in memory.  Every
-    [read_page]/[write_page] increments the shared {!Stats} counters — this
-    is the "hardware" whose I/O the experiments measure.  All access goes
-    through the buffer pool in normal operation.
+    Files are arrays of fixed-size pages.  Where the pages physically live
+    is a {!backend_kind} decision: [Mem] keeps them in growable in-memory
+    arrays (free, deterministic — the substrate for unit tests and for
+    benchmarks that measure I/O {e counts}), [File] stores each file as a
+    real on-disk file written through [Unix] (the substrate for benchmarks
+    that measure I/O {e time}).  Every [read_page]/[write_page] increments
+    the shared {!Stats} counters — this is the "hardware" whose I/O the
+    experiments measure.  All access goes through the buffer pool in
+    normal operation.
 
     Each page carries an FNV-1a checksum trailer (stored out of band, like
     the spare bytes of a 520-byte sector, so the slotted-page layout and the
-    cost model's page capacity are untouched).  [write_page] seals the page;
-    [read_page] verifies it and raises {!Corrupt_page} instead of returning
-    garbage. *)
+    cost model's page capacity are untouched; the file backend stores the
+    trailer as 8 real bytes after each page slot).  [write_page] seals the
+    page; [read_page] verifies it and raises {!Corrupt_page} instead of
+    returning garbage. *)
 
 type t
 
@@ -29,12 +35,35 @@ exception Corrupt_page of { file : int; page : int }
     was already quarantined).  Retrying cannot help; the page needs repair
     (see [Scrub]) or the query must degrade to a path that avoids it. *)
 
-val create : ?page_size:int -> Stats.t -> t
+type backend_kind =
+  | Mem  (** in-memory page arrays (the default) *)
+  | File of string option
+      (** real files, one per fieldrep file, under the given directory —
+          or under a fresh temp directory (removed at exit) for [None] *)
+
+val backend_of_env : unit -> backend_kind
+(** The backend selected by the [FIELDREP_BACKEND] environment variable
+    (["mem"], ["file"], or unset for [Mem]) — the default for every
+    {!create} that does not pass [?backend], so an existing test suite can
+    be re-run against real files without touching a line of it.  Raises
+    [Invalid_argument] on an unknown value. *)
+
+val create : ?page_size:int -> ?backend:backend_kind -> Stats.t -> t
 (** Default page size is 4096 bytes (EXODUS's page size; the cost model's
-    [B = 4056] is this minus per-page bookkeeping). *)
+    [B = 4056] is this minus per-page bookkeeping).  [backend] defaults to
+    {!backend_of_env}[ ()]. *)
 
 val page_size : t -> int
 val stats : t -> Stats.t
+
+val backend_name : t -> string
+(** ["mem"] or ["file"]. *)
+
+val close : t -> unit
+(** Release backend resources: a no-op for [Mem]; for [File], close the
+    cached descriptors and remove an auto-created backing directory.
+    Idempotent.  Auto-created directories of unclosed disks are removed
+    at process exit regardless. *)
 
 val create_file : t -> int
 (** Returns a fresh file id. *)
@@ -43,7 +72,10 @@ val delete_file : t -> int -> unit
 val file_exists : t -> int -> bool
 
 val page_count : t -> int -> int
-(** Number of pages in a file.  Raises [Not_found] for unknown files. *)
+(** Number of pages in a file.  Raises
+    [Invalid_argument "Disk.page_count: unknown file N"] for unknown
+    files (every entry point names itself the same way — no bare
+    [Not_found] escapes the storage layer). *)
 
 val allocate_page : t -> int -> int
 (** [allocate_page t file] appends a zeroed page and returns its page number.
@@ -52,7 +84,8 @@ val allocate_page : t -> int -> int
 val read_page : t -> file:int -> page:int -> Bytes.t -> unit
 (** Copy a page into the caller's buffer (one physical read).  Verifies the
     page checksum first: on mismatch the page is quarantined,
-    [checksum_failures] is bumped, and {!Corrupt_page} is raised. *)
+    [checksum_failures] is bumped, and {!Corrupt_page} is raised — the
+    caller's buffer is left untouched. *)
 
 val write_page : t -> file:int -> page:int -> Bytes.t -> unit
 (** Copy the caller's buffer onto the page (one physical write), recompute
@@ -91,7 +124,9 @@ val quarantined_pages : t -> (int * int) list
     {!Crash} — proving that a crash between any two physical writes is
     recoverable.  Corruption tests flip stored bytes with {!corrupt_page} /
     {!tear_page} and exercise detection, scrubbing, and repair.  Read
-    failpoints inject transient faults for the retry path. *)
+    failpoints inject transient faults for the retry path.  The machinery
+    is backend-independent: against real files a torn write is a partial
+    [write] of the first half of the page that never reaches the trailer. *)
 
 val set_failpoint : ?torn:bool -> ?count:int -> t -> after_writes:int -> unit
 (** Let [after_writes] more physical writes succeed, then raise {!Crash}.

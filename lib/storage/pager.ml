@@ -1,11 +1,18 @@
+type backend = Disk.backend_kind = Mem | File of string option
+
 type t = { disk : Disk.t; pool : Buffer_pool.t; stats : Stats.t }
 
-let create ?(page_size = 4096) ?(frames = 256) ?(prefetch = 0) () =
+let create ?(page_size = 4096) ?(frames = 256) ?(prefetch = 0) ?backend () =
   let stats = Stats.create () in
-  let disk = Disk.create ~page_size stats in
+  let disk = Disk.create ~page_size ?backend stats in
   { disk; pool = Buffer_pool.create ~prefetch disk ~frames; stats }
 
 let page_size t = Disk.page_size t.disk
+let backend_name t = Disk.backend_name t.disk
+
+let close t =
+  Buffer_pool.flush t.pool;
+  Disk.close t.disk
 
 (* Clamp here as well as in the pool: a negative depth must read as
    "disabled" at every layer of the facade. *)

@@ -6,11 +6,26 @@
 
 type t
 
-val create : ?page_size:int -> ?frames:int -> ?prefetch:int -> unit -> t
-(** Defaults: 4096-byte pages, 256 frames, no read-ahead.  [prefetch] is
-    the sequential read-ahead depth in pages (see {!Buffer_pool}). *)
+type backend = Disk.backend_kind = Mem | File of string option
+(** Re-exported so layers above the storage facade can pick a backend
+    without referencing [Disk] (whose raw I/O surface is private to
+    [lib/storage]). *)
+
+val create :
+  ?page_size:int -> ?frames:int -> ?prefetch:int -> ?backend:backend -> unit -> t
+(** Defaults: 4096-byte pages, 256 frames, no read-ahead, backend from the
+    [FIELDREP_BACKEND] environment variable (in-memory when unset).
+    [prefetch] is the sequential read-ahead depth in pages (see
+    {!Buffer_pool}). *)
 
 val page_size : t -> int
+
+val backend_name : t -> string
+(** ["mem"] or ["file"]. *)
+
+val close : t -> unit
+(** Flush the pool and release backend resources (descriptors, an
+    auto-created backing directory).  Idempotent at the disk level. *)
 
 val set_prefetch : t -> int -> unit
 (** Change the sequential read-ahead depth; 0 disables.  Negative depths

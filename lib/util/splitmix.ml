@@ -1,7 +1,17 @@
-type t = { mutable state : int64 }
+(* Per-(n, theta) constants of the Gray et al. zipf approximation.  The
+   zeta sum is an n-term float loop — recomputing it per draw made every
+   skewed access at n = 10^6 a million-iteration loop, so draws cache
+   their constants per generator (theta keyed by its bits: the cache must
+   never conflate two floats that compare unequal). *)
+type zipf_consts = { zetan : float; eta : float; alpha : float }
 
-let create seed = { state = Int64.of_int seed }
-let copy t = { state = t.state }
+type t = {
+  mutable state : int64;
+  zipf_tbl : (int * int64, zipf_consts) Hashtbl.t;
+}
+
+let create seed = { state = Int64.of_int seed; zipf_tbl = Hashtbl.create 4 }
+let copy t = { state = t.state; zipf_tbl = Hashtbl.copy t.zipf_tbl }
 
 let golden = 0x9E3779B97F4A7C15L
 
@@ -62,32 +72,49 @@ let sample_without_replacement t ~n ~k =
     out
   end
 
+let zipf_consts t ~n ~theta =
+  let key = (n, Int64.bits_of_float theta) in
+  match Hashtbl.find_opt t.zipf_tbl key with
+  | Some c -> c
+  | None ->
+      (* Gray et al. "Quickly generating billion-record synthetic
+         databases": closed-form inverse for the zipf-like distribution.
+         O(n) once per (n, theta); every draw after is O(1). *)
+      let zeta m s =
+        let acc = ref 0.0 in
+        for i = 1 to m do
+          acc := !acc +. (1.0 /. Float.pow (float_of_int i) s)
+        done;
+        !acc
+      in
+      let zetan = zeta n theta in
+      let alpha = 1.0 /. (1.0 -. theta) in
+      let eta =
+        (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+        /. (1.0 -. (zeta 2 theta /. zetan))
+      in
+      let c = { zetan; eta; alpha } in
+      Hashtbl.replace t.zipf_tbl key c;
+      c
+
 let zipf t ~n ~theta =
   assert (n > 0);
+  (* At theta = 1 the closed form degenerates: alpha = 1/(1-theta) is
+     infinite and every rank collapses to 0 through [int_of_float nan].
+     Refuse loudly instead of skewing silently. *)
+  if theta >= 1.0 then
+    invalid_arg
+      (Printf.sprintf "Splitmix.zipf: theta %g out of range [0, 1)" theta);
   if theta <= 0.0 then int t n
   else begin
-    (* Gray et al. "Quickly generating billion-record synthetic databases":
-       closed-form inverse for the zipf-like distribution. *)
-    let zeta m s =
-      let acc = ref 0.0 in
-      for i = 1 to m do
-        acc := !acc +. (1.0 /. Float.pow (float_of_int i) s)
-      done;
-      !acc
-    in
-    let zetan = zeta n theta in
-    let alpha = 1.0 /. (1.0 -. theta) in
-    let eta =
-      (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
-      /. (1.0 -. (zeta 2 theta /. zetan))
-    in
+    let c = zipf_consts t ~n ~theta in
     let u = float t 1.0 in
-    let uz = u *. zetan in
+    let uz = u *. c.zetan in
     if uz < 1.0 then 0
     else if uz < 1.0 +. Float.pow 0.5 theta then 1
     else
       let v =
-        float_of_int n *. Float.pow ((eta *. u) -. eta +. 1.0) alpha
+        float_of_int n *. Float.pow ((c.eta *. u) -. c.eta +. 1.0) c.alpha
       in
       let v = int_of_float v in
       if v >= n then n - 1 else if v < 0 then 0 else v

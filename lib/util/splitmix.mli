@@ -38,6 +38,10 @@ val sample_without_replacement : t -> n:int -> k:int -> int array
 
 val zipf : t -> n:int -> theta:float -> int
 (** [zipf t ~n ~theta] draws from a Zipf distribution over [0 .. n-1] with
-    skew [theta] (0 = uniform).  Uses inverse-CDF on a precomputed table is
-    too large for repeated calls, so this uses the standard rejection-free
-    approximation of Gray et al.;  adequate for workload skew generation. *)
+    skew [theta] (0 = uniform).  Uses the standard rejection-free
+    closed-form approximation of Gray et al.; adequate for workload skew
+    generation.  Requires [theta < 1.0] (the closed form degenerates at 1:
+    the exponent [1/(1-theta)] is infinite and every rank would silently
+    collapse to 0) — raises [Invalid_argument] otherwise.  The O(n) zeta
+    constants are cached per generator and (n, theta) pair, so a draw is
+    O(1) after the first at a given configuration. *)

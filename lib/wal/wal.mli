@@ -132,14 +132,19 @@ type record =
 
 type t
 
-val open_ : ?stats:Stats.t -> ?flush_limit:int -> string -> t
+val open_ : ?stats:Stats.t -> ?flush_limit:int -> ?fsync:bool -> string -> t
 (** Open (creating if absent) the log at a path.  Existing frames are
     scanned and validated; the scan stops at the first torn or corrupt
     frame, and the write position is placed just after the last good one.
     Raises [Invalid_argument] on a file that is not a fieldrep log.
     [stats], when given, accrues [wal_appends] / [wal_bytes] /
     [wal_flushes].  [flush_limit] caps the bytes buffered between
-    {!sync}s (default 64 KiB). *)
+    {!sync}s (default 64 KiB).  With [fsync:true] every {!sync} issues a
+    real [fsync(2)] after the channel flush, so the group-commit point is
+    an honest disk barrier (pass [flush_limit:1] to defeat group commit
+    and pay one fsync per append — the benchmark baseline).  Defaults to
+    the [FIELDREP_WAL_FSYNC] environment variable (["1"]/["true"]; off
+    when unset). *)
 
 val path : t -> string
 
@@ -157,6 +162,11 @@ val sync : t -> unit
 val flushes : t -> int
 (** Physical flushes performed through this handle (monotonic, survives
     [Stats.reset] — benchmarks read this alongside {!appended}). *)
+
+val fsyncs : t -> int
+(** Real [fsync(2)] barriers issued through this handle (0 unless the log
+    was opened with [fsync:true]).  Monotonic; the [io] bench reads this
+    to show group commit amortizing {e measured} fsyncs. *)
 
 val pending_bytes : t -> int
 (** Bytes appended but not yet synced. *)

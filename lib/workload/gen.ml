@@ -24,6 +24,9 @@ type spec = {
   frames : int;
   seed : int;
   durable : bool;
+  backend : Db.backend option;
+  wal_fsync : bool option;
+  wal_flush_limit : int option;
 }
 
 let default_spec =
@@ -39,6 +42,9 @@ let default_spec =
     frames = 512;
     seed = 42;
     durable = false;
+    backend = None;
+    wal_fsync = None;
+    wal_flush_limit = None;
   }
 
 type built = {
@@ -60,7 +66,8 @@ let build spec =
   let rng = Splitmix.create spec.seed in
   let db =
     Db.create ~page_size:spec.page_size ~frames:spec.frames ~durable:spec.durable
-      ()
+      ?backend:spec.backend ?wal_fsync:spec.wal_fsync
+      ?wal_flush_limit:spec.wal_flush_limit ()
   in
   Db.define_type db
     (Ty.make ~name:"STYPE"
@@ -136,6 +143,29 @@ let build spec =
   | Params.Inplace -> Db.replicate db ~strategy:Schema.Inplace rep_path
   | Params.Separate -> Db.replicate db ~strategy:Schema.Separate rep_path);
   { spec; db; r_keys; s_keys }
+
+(* ------------------------------------------------------------------ *)
+(* Million-object scale                                                *)
+
+let build_large ?(page_size = 4096) ?(frames = 1024) ?backend ?(pad_bytes = 64)
+    ?(seed = 42) ~count () =
+  assert (count > 0);
+  let rng = Splitmix.create seed in
+  let db = Db.create ~page_size ~frames ?backend () in
+  Db.define_type db
+    (Ty.make ~name:"BIGTYPE"
+       [
+         { Ty.fname = "key"; ftype = Ty.Scalar Ty.SInt };
+         { Ty.fname = "pad"; ftype = Ty.Scalar Ty.SString };
+       ]);
+  Db.create_set db ~name:"Big" ~elem_type:"BIGTYPE" ();
+  (* One shared pad string: at count = 10^6 a per-object random string
+     would dominate the build, and the I/O experiment only needs bulk. *)
+  let pad = Value.VString (random_string rng pad_bytes) in
+  let oids =
+    Array.init count (fun i -> Db.insert db ~set:"Big" [ Value.VInt i; pad ])
+  in
+  (db, oids)
 
 (* ------------------------------------------------------------------ *)
 (* Model parameters from the actual physical layout                    *)

@@ -30,6 +30,13 @@ type spec = {
   frames : int;
   seed : int;
   durable : bool;  (** attach a write-ahead log ([Db.create ~durable]) *)
+  backend : Db.backend option;
+      (** page-store backend; [None] = [Db.create]'s default
+          ([FIELDREP_BACKEND] env, else in-memory) *)
+  wal_fsync : bool option;
+      (** real [fsync(2)] at every WAL group commit; [None] = env default *)
+  wal_flush_limit : int option;
+      (** WAL buffering threshold; [Some 1] defeats group commit *)
 }
 
 val default_spec : spec
@@ -45,6 +52,23 @@ type built = {
 
 val build : spec -> built
 (** Deterministic in [spec.seed]. *)
+
+val build_large :
+  ?page_size:int ->
+  ?frames:int ->
+  ?backend:Db.backend ->
+  ?pad_bytes:int ->
+  ?seed:int ->
+  count:int ->
+  unit ->
+  Db.t * Oid.t array
+(** A deliberately simple bulk database for I/O-scale experiments: one set
+    ["Big"] of [count] objects [(key : int, pad : char[pad_bytes])], no
+    indexes, no replication, keys 0..count-1 in insertion order.  Returns
+    the database and the OID of every object (object [i] has key [i]), so
+    zipf-skewed access patterns can be driven directly by rank.  At the
+    default [pad_bytes] a million objects span tens of thousands of pages —
+    size [frames] well below that to make the buffer pool earn its keep. *)
 
 val r_index : string
 (** Name of the index on [R.field_r]. *)

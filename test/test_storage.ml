@@ -567,6 +567,289 @@ let test_run_cold_measures_distinct_pages () =
   checki "no writes for read-only work" 0 (Pager.stats pager).Stats.page_writes
 
 (* ------------------------------------------------------------------ *)
+(* Backend conformance                                                 *)
+
+(* The same scenario battery runs against every backend: the in-memory
+   arrays and the real-file store must be observationally identical
+   through the Disk API — checksums, quarantine, fault injection and
+   image support included.  [File None] backs each disk with a fresh
+   temp directory that [Disk.close] removes. *)
+
+let psize = 256
+
+let with_disk kind f =
+  let stats = Stats.create () in
+  let disk = Disk.create ~page_size:psize ~backend:kind stats in
+  Fun.protect ~finally:(fun () -> Disk.close disk) (fun () -> f disk)
+
+let page_of i c =
+  Bytes.init psize (fun j -> Char.chr ((Char.code c + i + j) mod 256))
+
+let conf_roundtrip kind () =
+  with_disk kind (fun disk ->
+      let f1 = Disk.create_file disk in
+      let f2 = Disk.create_file disk in
+      let pages =
+        List.init 10 (fun i ->
+            let p = Disk.allocate_page disk f1 in
+            let buf = page_of i 'a' in
+            Disk.write_page disk ~file:f1 ~page:p buf;
+            (p, buf))
+      in
+      ignore (Disk.allocate_page disk f2);
+      checki "page count" 10 (Disk.page_count disk f1);
+      checki "total pages" 11 (Disk.total_pages disk);
+      Alcotest.(check (list int))
+        "file ids" [ f1; f2 ]
+        (List.sort compare (Disk.file_ids disk));
+      let out = Bytes.create psize in
+      List.iter
+        (fun (p, buf) ->
+          Disk.read_page disk ~file:f1 ~page:p out;
+          Alcotest.(check bytes) "data" buf out)
+        pages;
+      (* A fresh allocation reads back zeroed (and checksum-valid). *)
+      let p = Disk.allocate_page disk f2 in
+      Disk.read_page disk ~file:f2 ~page:p out;
+      Alcotest.(check bytes) "zeroed" (Bytes.make psize '\000') out;
+      checkb "exists" true (Disk.file_exists disk f1);
+      Disk.delete_file disk f1;
+      checkb "deleted" false (Disk.file_exists disk f1);
+      checki "remaining pages" 2 (Disk.total_pages disk))
+
+let conf_quarantine_heal kind () =
+  with_disk kind (fun disk ->
+      let f = Disk.create_file disk in
+      let p = Disk.allocate_page disk f in
+      let buf = page_of 0 'q' in
+      Disk.write_page disk ~file:f ~page:p buf;
+      Disk.corrupt_page disk ~file:f ~page:p [ 3; 17 ];
+      let out = Bytes.make psize 'Z' in
+      (try
+         Disk.read_page disk ~file:f ~page:p out;
+         Alcotest.fail "expected Corrupt_page"
+       with Disk.Corrupt_page { file; page } ->
+         checki "names the file" f file;
+         checki "names the page" p page);
+      Alcotest.(check bytes) "caller buffer untouched" (Bytes.make psize 'Z') out;
+      checkb "quarantined" true (Disk.quarantined disk ~file:f ~page:p);
+      checki "failure counted" 1 (Disk.stats disk).Stats.checksum_failures;
+      (* Re-reads keep failing from the quarantine entry. *)
+      (try
+         Disk.read_page disk ~file:f ~page:p out;
+         Alcotest.fail "still corrupt"
+       with Disk.Corrupt_page _ -> ());
+      (* Rewriting fresh content heals. *)
+      Disk.write_page disk ~file:f ~page:p buf;
+      checkb "healed" false (Disk.quarantined disk ~file:f ~page:p);
+      Disk.read_page disk ~file:f ~page:p out;
+      Alcotest.(check bytes) "healed data" buf out)
+
+let conf_torn_write kind () =
+  with_disk kind (fun disk ->
+      let f = Disk.create_file disk in
+      let p = Disk.allocate_page disk f in
+      let old_page = page_of 1 'o' in
+      Disk.write_page disk ~file:f ~page:p old_page;
+      let torn = page_of 64 'n' in
+      Disk.set_failpoint ~torn:true disk ~after_writes:0;
+      (try
+         Disk.write_page disk ~file:f ~page:p torn;
+         Alcotest.fail "expected Crash"
+       with Disk.Crash _ -> ());
+      Disk.clear_failpoint disk;
+      (* Exactly the first half landed; the stored checksum is stale. *)
+      let half = psize / 2 in
+      let raw = Disk.dump_page disk ~file:f ~page:p in
+      Alcotest.(check bytes)
+        "first half is the new write" (Bytes.sub torn 0 half) (Bytes.sub raw 0 half);
+      Alcotest.(check bytes)
+        "second half is the old page"
+        (Bytes.sub old_page half (psize - half))
+        (Bytes.sub raw half (psize - half));
+      checkb "verify fails" false (Disk.verify_page disk ~file:f ~page:p);
+      try
+        Disk.read_page disk ~file:f ~page:p (Bytes.create psize);
+        Alcotest.fail "expected Corrupt_page"
+      with Disk.Corrupt_page _ -> ())
+
+let conf_failpoint_crash kind () =
+  with_disk kind (fun disk ->
+      let f = Disk.create_file disk in
+      let pages = Array.init 6 (fun _ -> Disk.allocate_page disk f) in
+      Disk.set_failpoint disk ~after_writes:3;
+      let wrote = ref 0 in
+      (try
+         Array.iteri
+           (fun i p ->
+             Disk.write_page disk ~file:f ~page:p (page_of i 'w');
+             incr wrote)
+           pages;
+         Alcotest.fail "expected Crash"
+       with Disk.Crash _ -> ());
+      checki "crash after three writes" 3 !wrote;
+      Disk.clear_failpoint disk;
+      let out = Bytes.create psize in
+      (* The completed writes are intact and still checksum-valid... *)
+      for i = 0 to 2 do
+        Disk.read_page disk ~file:f ~page:pages.(i) out;
+        Alcotest.(check bytes) "survived the crash" (page_of i 'w') out
+      done;
+      (* ...and the crashed (non-torn) write never touched its page. *)
+      Disk.read_page disk ~file:f ~page:pages.(3) out;
+      Alcotest.(check bytes) "crashed write absent" (Bytes.make psize '\000') out)
+
+let conf_tear_page kind () =
+  with_disk kind (fun disk ->
+      let f = Disk.create_file disk in
+      let p = Disk.allocate_page disk f in
+      let buf = page_of 4 't' in
+      Disk.write_page disk ~file:f ~page:p buf;
+      Disk.tear_page disk ~file:f ~page:p;
+      checkb "verify fails" false (Disk.verify_page disk ~file:f ~page:p);
+      let half = psize / 2 in
+      let raw = Disk.dump_page disk ~file:f ~page:p in
+      Alcotest.(check bytes)
+        "second half zeroed"
+        (Bytes.make (psize - half) '\000')
+        (Bytes.sub raw half (psize - half));
+      Disk.write_page disk ~file:f ~page:p buf;
+      checkb "heals on rewrite" true (Disk.verify_page disk ~file:f ~page:p))
+
+let conf_read_failpoint kind () =
+  with_disk kind (fun disk ->
+      let f = Disk.create_file disk in
+      let p = Disk.allocate_page disk f in
+      let buf = page_of 0 'r' in
+      Disk.write_page disk ~file:f ~page:p buf;
+      Disk.set_read_failpoint ~count:2 disk ~after_reads:0;
+      let out = Bytes.create psize in
+      for _ = 1 to 2 do
+        try
+          Disk.read_page disk ~file:f ~page:p out;
+          Alcotest.fail "expected Read_error"
+        with Disk.Read_error _ -> ()
+      done;
+      (* Transient: the stored page was never damaged. *)
+      Disk.read_page disk ~file:f ~page:p out;
+      Alcotest.(check bytes) "fault cleared" buf out)
+
+let conf_restore_file kind () =
+  with_disk kind (fun disk ->
+      let f = Disk.create_file disk in
+      let p0 = Disk.allocate_page disk f in
+      Disk.write_page disk ~file:f ~page:p0 (page_of 0 'i');
+      ignore (Disk.allocate_page disk f);
+      let img =
+        Array.init (Disk.page_count disk f) (fun p ->
+            Disk.dump_page disk ~file:f ~page:p)
+      in
+      (* Restore into a fresh disk at a never-allocated file id. *)
+      with_disk kind (fun disk2 ->
+          let id = 7 in
+          Disk.restore_file disk2 ~id img;
+          checki "pages restored" (Array.length img) (Disk.page_count disk2 id);
+          let out = Bytes.create psize in
+          (* Verified read: restore recomputed the checksums. *)
+          Disk.read_page disk2 ~file:id ~page:0 out;
+          Alcotest.(check bytes) "restored bytes" img.(0) out;
+          checkb "id allocator bumped past the image" true
+            (Disk.create_file disk2 > id)))
+
+(* Satellite of the backend work: unknown files fail with a named error
+   from every entry point — no bare [Not_found] escapes the layer. *)
+let conf_unknown_file kind () =
+  with_disk kind (fun disk ->
+      Alcotest.check_raises "page_count names itself"
+        (Invalid_argument "Disk.page_count: unknown file 42")
+        (fun () -> ignore (Disk.page_count disk 42));
+      Alcotest.check_raises "read_page names itself"
+        (Invalid_argument "Disk.read_page: unknown file 42")
+        (fun () -> Disk.read_page disk ~file:42 ~page:0 (Bytes.create psize));
+      Alcotest.check_raises "allocate_page names itself"
+        (Invalid_argument "Disk.allocate_page: unknown file 42")
+        (fun () -> ignore (Disk.allocate_page disk 42)))
+
+let conformance kind =
+  [
+    Alcotest.test_case "roundtrip" `Quick (conf_roundtrip kind);
+    Alcotest.test_case "quarantine and heal" `Quick (conf_quarantine_heal kind);
+    Alcotest.test_case "torn write detected" `Quick (conf_torn_write kind);
+    Alcotest.test_case "write failpoint crash" `Quick (conf_failpoint_crash kind);
+    Alcotest.test_case "tear_page" `Quick (conf_tear_page kind);
+    Alcotest.test_case "transient read faults" `Quick (conf_read_failpoint kind);
+    Alcotest.test_case "restore_file" `Quick (conf_restore_file kind);
+    Alcotest.test_case "unknown file named errors" `Quick (conf_unknown_file kind);
+  ]
+
+(* File-backend specifics: descriptor caching and directory handling. *)
+
+let test_file_fd_cache_eviction () =
+  with_disk (Disk.File None) (fun disk ->
+      (* Far more files than the descriptor cache holds: every file keeps
+         working as its descriptor is evicted and reopened on demand. *)
+      let files = Array.init 100 (fun _ -> Disk.create_file disk) in
+      Array.iteri
+        (fun i f ->
+          let p = Disk.allocate_page disk f in
+          Disk.write_page disk ~file:f ~page:p (page_of i 'f'))
+        files;
+      let out = Bytes.create psize in
+      Array.iteri
+        (fun i f ->
+          Disk.read_page disk ~file:f ~page:0 out;
+          Alcotest.(check bytes) "survives fd eviction" (page_of i 'f') out)
+        files)
+
+let test_file_explicit_dir () =
+  let dir = Filename.temp_file "fieldrep-test" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let stats = Stats.create () in
+      let disk = Disk.create ~page_size:psize ~backend:(Disk.File (Some dir)) stats in
+      Alcotest.(check string) "backend name" "file" (Disk.backend_name disk);
+      let f = Disk.create_file disk in
+      let p = Disk.allocate_page disk f in
+      Disk.write_page disk ~file:f ~page:p (page_of 0 'd');
+      let backing = Filename.concat dir (Printf.sprintf "%06d.fdb" f) in
+      checkb "backing file exists on disk" true (Sys.file_exists backing);
+      (* One slot = page + 8-byte checksum trailer. *)
+      checki "slot bytes on disk" (psize + 8)
+        (let ic = open_in_bin backing in
+         Fun.protect
+           ~finally:(fun () -> close_in ic)
+           (fun () -> in_channel_length ic));
+      Disk.delete_file disk f;
+      checkb "backing file removed" false (Sys.file_exists backing);
+      (* Close is idempotent and leaves the caller-owned directory alone. *)
+      Disk.close disk;
+      Disk.close disk;
+      checkb "caller-owned dir survives close" true (Sys.file_exists dir))
+
+let test_backend_of_env () =
+  let original = Sys.getenv_opt "FIELDREP_BACKEND" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "FIELDREP_BACKEND" (Option.value original ~default:""))
+    (fun () ->
+      Unix.putenv "FIELDREP_BACKEND" "";
+      checkb "unset means mem" true (Disk.backend_of_env () = Disk.Mem);
+      Unix.putenv "FIELDREP_BACKEND" "mem";
+      checkb "mem" true (Disk.backend_of_env () = Disk.Mem);
+      Unix.putenv "FIELDREP_BACKEND" "file";
+      checkb "file" true (Disk.backend_of_env () = Disk.File None);
+      Unix.putenv "FIELDREP_BACKEND" "bogus";
+      try
+        ignore (Disk.backend_of_env ());
+        Alcotest.fail "expected Invalid_argument"
+      with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Property-based tests                                                *)
 
 let qcheck_tests =
@@ -700,5 +983,13 @@ let () =
         ] );
       ( "cold runs",
         [ Alcotest.test_case "distinct pages counted once" `Quick test_run_cold_measures_distinct_pages ] );
+      ("backend conformance: mem", conformance Disk.Mem);
+      ("backend conformance: file", conformance (Disk.File None));
+      ( "file backend",
+        [
+          Alcotest.test_case "fd cache eviction" `Quick test_file_fd_cache_eviction;
+          Alcotest.test_case "explicit directory" `Quick test_file_explicit_dir;
+          Alcotest.test_case "FIELDREP_BACKEND selection" `Quick test_backend_of_env;
+        ] );
       ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests);
     ]

@@ -189,6 +189,72 @@ let test_zipf_skew () =
   if counts.(0) < 5 * counts.(50) then
     Alcotest.failf "zipf not skewed: head=%d mid=%d" counts.(0) counts.(50)
 
+(* Regression: theta = 1.0 used to degenerate silently — the closed form's
+   exponent 1/(1-theta) is infinite, [eta *. u] goes NaN and every rank
+   collapsed to 0, so "maximum skew" quietly meant "constant 0".  Now it
+   refuses by name; 0.99 stays in range as the supported extreme. *)
+let test_zipf_theta_one_rejected () =
+  let rng = Splitmix.create 19 in
+  Alcotest.check_raises "theta = 1.0"
+    (Invalid_argument "Splitmix.zipf: theta 1 out of range [0, 1)")
+    (fun () -> ignore (Splitmix.zipf rng ~n:100 ~theta:1.0));
+  Alcotest.check_raises "theta > 1.0"
+    (Invalid_argument "Splitmix.zipf: theta 1.5 out of range [0, 1)")
+    (fun () -> ignore (Splitmix.zipf rng ~n:100 ~theta:1.5));
+  (* Just under the boundary draws normally and is not constant. *)
+  let distinct = Hashtbl.create 8 in
+  for _ = 1 to 1_000 do
+    let v = Splitmix.zipf rng ~n:100 ~theta:0.99 in
+    if v < 0 || v >= 100 then Alcotest.failf "out of range: %d" v;
+    Hashtbl.replace distinct v ()
+  done;
+  if Hashtbl.length distinct < 2 then
+    Alcotest.fail "theta = 0.99 drew a constant stream"
+
+(* Regression: every draw recomputed the O(n) zeta constants, so a skewed
+   workload over 10^6 objects cost 10^12 float-loop iterations.  With the
+   per-(n, theta) cache a million draws at n = 10^6 must cost about one
+   zeta pass plus a million O(1) draws — wall-clock-bounded far below the
+   uncached behaviour (which takes hours). *)
+let test_zipf_draws_are_constant_time () =
+  let rng = Splitmix.create 23 in
+  let n = 1_000_000 in
+  let counts = Array.make 64 0 in
+  let start = Sys.time () in
+  for _ = 1 to 1_000_000 do
+    let v = Splitmix.zipf rng ~n ~theta:0.9 in
+    if v < 0 || v >= n then Alcotest.failf "out of range: %d" v;
+    if v < 64 then counts.(v) <- counts.(v) + 1
+  done;
+  let elapsed = Sys.time () -. start in
+  if elapsed > 10.0 then
+    Alcotest.failf "million zipf draws took %.1fs: constants not cached" elapsed;
+  (* Distribution sanity at theta 0.9: the head ranks soak up a large
+     share of a million draws over a million objects. *)
+  let head = Array.fold_left ( + ) 0 counts in
+  if head < 100_000 then
+    Alcotest.failf "zipf(0.9) head too light: %d/10^6 in top 64" head;
+  if counts.(0) <= counts.(1) || counts.(1) = 0 then
+    Alcotest.failf "zipf ranks not ordered: %d %d" counts.(0) counts.(1)
+
+let test_zipf_deterministic_with_cache () =
+  (* The memo table must not perturb the stream: equal seeds still give
+     equal streams, including across a [copy] taken mid-stream. *)
+  let a = Splitmix.create 31 and b = Splitmix.create 31 in
+  for _ = 1 to 100 do
+    Alcotest.(check int)
+      "equal streams"
+      (Splitmix.zipf a ~n:1000 ~theta:0.7)
+      (Splitmix.zipf b ~n:1000 ~theta:0.7)
+  done;
+  let c = Splitmix.copy a in
+  for _ = 1 to 100 do
+    Alcotest.(check int)
+      "copy continues the stream"
+      (Splitmix.zipf a ~n:1000 ~theta:0.7)
+      (Splitmix.zipf c ~n:1000 ~theta:0.7)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Tableprint                                                          *)
 
@@ -295,6 +361,12 @@ let () =
           Alcotest.test_case "sampling" `Quick test_sample_without_replacement;
           Alcotest.test_case "zipf range" `Quick test_zipf_range;
           Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+          Alcotest.test_case "zipf theta=1 rejected" `Quick
+            test_zipf_theta_one_rejected;
+          Alcotest.test_case "zipf draws are O(1)" `Quick
+            test_zipf_draws_are_constant_time;
+          Alcotest.test_case "zipf deterministic with cache" `Quick
+            test_zipf_deterministic_with_cache;
         ] );
       ( "tableprint",
         [

@@ -30,6 +30,14 @@ let guards =
     };
     {
       library = "Fieldrep_storage";
+      name = "Backend";
+      allowed_dirs = [ "lib/storage" ];
+      why =
+        "page-store backends live under Disk; callers pick one through \
+         the re-exported Pager.backend / Db.backend type";
+    };
+    {
+      library = "Fieldrep_storage";
       name = "Page";
       allowed_dirs = [ "lib/storage"; "lib/wal" ];
       why = "slot layout is private to the heap file and WAL framing";
