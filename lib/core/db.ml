@@ -18,6 +18,7 @@ module Scrub = Fieldrep_scrub.Scrub
 module Maint = Fieldrep_maint.Maint
 module Wal = Fieldrep_wal.Wal
 module Recovery = Fieldrep_wal.Recovery
+module Lockdep = Fieldrep_util.Lockdep
 module Lock = Fieldrep_txn.Lock
 module Txn = Fieldrep_txn.Txn
 
@@ -782,7 +783,7 @@ let commit t tx =
   Txn.charge_io tx (Stats.grand_total_io () - io0);
   finish t tx Txn.Committed;
   let s = stats t in
-  s.Stats.txn_commits <- s.Stats.txn_commits + 1
+  Stats.bump s Stats.Txn_commits
 
 (* Roll one before-image back through the normal engine code, so indexes,
    link objects, hidden copies and S' objects all follow.  Runs with
@@ -806,7 +807,7 @@ let restore_image t (img : Txn.undo_image) =
   | false, true -> delete t ~set oid
   | false, false -> ());
   let s = stats t in
-  s.Stats.undo_applied <- s.Stats.undo_applied + 1
+  Stats.bump s Stats.Undo_applied
 
 let abort t tx =
   txn_check t tx;
@@ -833,7 +834,7 @@ let abort t tx =
   Txn.charge_io tx (Stats.grand_total_io () - io0);
   finish t tx Txn.Aborted;
   let s = stats t in
-  s.Stats.txn_aborts <- s.Stats.txn_aborts + 1
+  Stats.bump s Stats.Txn_aborts
 
 (* ------------------------------------------------------------------ *)
 (* Reads                                                               *)
@@ -1686,10 +1687,10 @@ let recover ?frames ?wal_path ?backend path =
       ignore (Wal.append w (Wal.Txn_abort l.Recovery.l_txn));
       Wal.sync w;
       let s = Pager.stats t.pager in
-      s.Stats.txn_aborts <- s.Stats.txn_aborts + 1)
+      Stats.bump s Stats.Txn_aborts)
     losers;
   let stats = Pager.stats t.pager in
-  stats.Stats.recovery_replays <- stats.Stats.recovery_replays + 1;
+  Stats.bump stats Stats.Recovery_replays;
   Invariants.check_all t.engine;
   t
 
@@ -1701,8 +1702,13 @@ let open_replica ?frames ?backend path =
   t.replica_mode <- true;
   t
 
+(* The apply runs under [Lockdep.isolated]: a replica is a distinct node,
+   so locks held by the caller (e.g. the master's [Wal_sync] when an ack-mode
+   tap drives this loopback) must not combine with the replica's own
+   acquisition stack into cross-node lock-order edges. *)
 let replica_apply t lsn record =
   if not t.replica_mode then invalid_arg "Db.replica_apply: not a replica";
+  Lockdep.isolated @@ fun () ->
   let s =
     match t.repl_stream with
     | Some s -> s

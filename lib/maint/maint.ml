@@ -2,6 +2,7 @@ module Oid = Fieldrep_storage.Oid
 module Stats = Fieldrep_storage.Stats
 module Heap_file = Fieldrep_storage.Heap_file
 module Lock = Fieldrep_txn.Lock
+module Lockdep = Fieldrep_util.Lockdep
 
 (* A walk job's mutable state is just the page cursor: everything else —
    what to lock, what to log, what to do per source — arrives as closures
@@ -131,7 +132,15 @@ let step_walk t j w ~quantum =
         `Progress
   end
 
+(* A maintenance step is its own logical task: the cooperative scheduler
+   calls it between foreground operations, while open transactions still
+   hold their strict-2PL locks.  Those locks belong to *other* tasks —
+   conflicts surface as a yield, never a deadlock — so the step starts from
+   an empty held-context ([Lockdep.isolated]) and only then scopes its own
+   work under [Maint_job]. *)
 let step t ~quantum =
+  Lockdep.isolated @@ fun () ->
+  Lockdep.with_held Lockdep.Maint_job @@ fun () ->
   match t.queue with
   | [] -> `Idle
   | j :: _ -> (
@@ -152,6 +161,8 @@ let step t ~quantum =
               `Progress))
 
 let advance_to t ~job ~upto =
+  Lockdep.isolated @@ fun () ->
+  Lockdep.with_held Lockdep.Maint_job @@ fun () ->
   match find t job with
   | None -> failwith (Printf.sprintf "Maint: Maint_step for unknown job %d" job)
   | Some j -> (

@@ -1,3 +1,5 @@
+module Lockdep = Fieldrep_util.Lockdep
+
 exception Exhausted
 
 type frame = {
@@ -171,7 +173,7 @@ let lookup t ~file ~page ~for_new =
   match Hashtbl.find_opt t.table (file, page) with
   | Some idx ->
       let stats = Disk.stats t.disk in
-      stats.buffer_hits <- stats.buffer_hits + 1;
+      Stats.bump stats Stats.Buffer_hits;
       let f = t.frames.(idx) in
       if f.prefetched then begin
         f.prefetched <- false;
@@ -200,6 +202,7 @@ let lookup t ~file ~page ~for_new =
 let pin t ~file ~page ~dirty =
   let idx = lookup t ~file ~page ~for_new:false in
   let f = t.frames.(idx) in
+  Lockdep.acquire Lockdep.Pool_pin;
   f.pins <- f.pins + 1;
   if dirty then f.dirty <- true;
   f.data
@@ -210,6 +213,7 @@ let unpin t ~file ~page =
   | Some idx ->
       let f = t.frames.(idx) in
       if f.pins <= 0 then invalid_arg "Buffer_pool.unpin: frame is not pinned";
+      Lockdep.release Lockdep.Pool_pin;
       f.pins <- f.pins - 1
 
 let with_pin t ~file ~page ~dirty fn =

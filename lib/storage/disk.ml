@@ -110,7 +110,7 @@ let allocate_page t id =
   let page_no = B.page_count b ~id in
   B.grow b ~id;
   B.write_sum b ~file:id ~page:page_no ~sum:t.zero_sum;
-  t.stats.pages_allocated <- t.stats.pages_allocated + 1;
+  Stats.bump t.stats Stats.Pages_allocated;
   page_no
 
 let check t ~op ~file page =
@@ -203,7 +203,7 @@ let read_page t ~file ~page buf =
     raise (Corrupt_page { file; page })
   end;
   Bytes.blit t.scratch 0 buf 0 t.page_size;
-  t.stats.page_reads <- t.stats.page_reads + 1;
+  Stats.bump t.stats Stats.Page_reads;
   Stats.record_read t.stats ~file
 
 let write_page t ~file ~page buf =
@@ -229,7 +229,7 @@ let write_page t ~file ~page buf =
   B.write_sum b ~file ~page ~sum:(sum_of t buf);
   (* rewriting a page with fresh, checksummed content lifts its quarantine *)
   clear_quarantine t ~file ~page;
-  t.stats.page_writes <- t.stats.page_writes + 1;
+  Stats.bump t.stats Stats.Page_writes;
   Stats.record_write t.stats ~file
 
 let dump_page t ~file ~page =

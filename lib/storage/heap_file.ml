@@ -103,7 +103,7 @@ let insert t payload =
         assert ok)
   end;
   t.count <- t.count + 1;
-  (Pager.stats t.pager).objects_written <- (Pager.stats t.pager).objects_written + 1;
+  Stats.bump (Pager.stats t.pager) Stats.Objects_written;
   head_oid
 
 let read_segment t (oid : Oid.t) =
@@ -137,7 +137,7 @@ let read_chain t oid expected_kind =
 
 let read t oid =
   let payload = read_chain t oid kind_head in
-  (Pager.stats t.pager).objects_read <- (Pager.stats t.pager).objects_read + 1;
+  Stats.bump (Pager.stats t.pager) Stats.Objects_read;
   payload
 
 let exists t (oid : Oid.t) =
@@ -183,7 +183,7 @@ let update t (oid : Oid.t) payload =
     assert ok
   end;
   if not (Oid.is_nil old_next) then free_chain t old_next;
-  (Pager.stats t.pager).objects_written <- (Pager.stats t.pager).objects_written + 1
+  Stats.bump (Pager.stats t.pager) Stats.Objects_written
 
 let delete t (oid : Oid.t) =
   let head = read_segment t oid in
@@ -288,7 +288,7 @@ let insert_at t (oid : Oid.t) payload =
     assert ok
   end;
   t.count <- t.count + 1;
-  (Pager.stats t.pager).objects_written <- (Pager.stats t.pager).objects_written + 1
+  Stats.bump (Pager.stats t.pager) Stats.Objects_written
 
 (* Batched page access: the replication engine groups a propagation fan-out
    by page and touches every slot under a single pin, instead of one
@@ -313,7 +313,7 @@ let batch_head t ~op buf ~page slot =
 let batch_payload t ~op buf ~page slot =
   let head, next, off = batch_head t ~op buf ~page slot in
   if Oid.is_nil next then begin
-    (Pager.stats t.pager).objects_read <- (Pager.stats t.pager).objects_read + 1;
+    Stats.bump (Pager.stats t.pager) Stats.Objects_read;
     Some (Bytes.sub head off (Bytes.length head - off))
   end
   else None
@@ -330,7 +330,7 @@ let batch_write_deferred t ~op buf ~page (slot, payload) =
     in
     if Bytes.length record <= max_record t && Page.write buf slot record then begin
       let stats = Pager.stats t.pager in
-      stats.objects_written <- stats.objects_written + 1;
+      Stats.bump stats Stats.Objects_written;
       false
     end
     else true

@@ -118,6 +118,85 @@ let reset t =
   t.reconnects <- 0;
   Hashtbl.reset t.by_file
 
+(* The one blessed mutation point for the counter fields.  Every increment
+   in the tree goes through [add] (rule C1 bans bare [s.f <- s.f + n]
+   outside this module), so moving the counters to [Atomic] fetch-and-add
+   later is a change to this single match, not to every call site. *)
+type counter =
+  | Page_reads
+  | Page_writes
+  | Buffer_hits
+  | Pages_allocated
+  | Objects_read
+  | Objects_written
+  | Wal_appends
+  | Wal_bytes
+  | Recovery_replays
+  | Txn_commits
+  | Txn_aborts
+  | Lock_waits
+  | Deadlocks
+  | Undo_applied
+  | Checksum_failures
+  | Scrub_pages
+  | Repairs
+  | Degraded_reads
+  | Read_retries
+  | Failed_reads
+  | Prefetch_issued
+  | Prefetch_hits
+  | Wal_flushes
+  | Frames_shipped
+  | Frames_applied
+  | Acks_waited
+  | Maint_steps
+  | Maint_pages_walked
+  | Maint_lock_yields
+  | Peer_deaths
+  | Ack_demotions
+  | Heartbeats_missed
+  | Failovers
+  | Reconnects
+
+let add t c n =
+  match c with
+  | Page_reads -> t.page_reads <- t.page_reads + n
+  | Page_writes -> t.page_writes <- t.page_writes + n
+  | Buffer_hits -> t.buffer_hits <- t.buffer_hits + n
+  | Pages_allocated -> t.pages_allocated <- t.pages_allocated + n
+  | Objects_read -> t.objects_read <- t.objects_read + n
+  | Objects_written -> t.objects_written <- t.objects_written + n
+  | Wal_appends -> t.wal_appends <- t.wal_appends + n
+  | Wal_bytes -> t.wal_bytes <- t.wal_bytes + n
+  | Recovery_replays -> t.recovery_replays <- t.recovery_replays + n
+  | Txn_commits -> t.txn_commits <- t.txn_commits + n
+  | Txn_aborts -> t.txn_aborts <- t.txn_aborts + n
+  | Lock_waits -> t.lock_waits <- t.lock_waits + n
+  | Deadlocks -> t.deadlocks <- t.deadlocks + n
+  | Undo_applied -> t.undo_applied <- t.undo_applied + n
+  | Checksum_failures -> t.checksum_failures <- t.checksum_failures + n
+  | Scrub_pages -> t.scrub_pages <- t.scrub_pages + n
+  | Repairs -> t.repairs <- t.repairs + n
+  | Degraded_reads -> t.degraded_reads <- t.degraded_reads + n
+  | Read_retries -> t.read_retries <- t.read_retries + n
+  | Failed_reads -> t.failed_reads <- t.failed_reads + n
+  | Prefetch_issued -> t.prefetch_issued <- t.prefetch_issued + n
+  | Prefetch_hits -> t.prefetch_hits <- t.prefetch_hits + n
+  | Wal_flushes -> t.wal_flushes <- t.wal_flushes + n
+  | Frames_shipped -> t.frames_shipped <- t.frames_shipped + n
+  | Frames_applied -> t.frames_applied <- t.frames_applied + n
+  | Acks_waited -> t.acks_waited <- t.acks_waited + n
+  | Maint_steps -> t.maint_steps <- t.maint_steps + n
+  | Maint_pages_walked -> t.maint_pages_walked <- t.maint_pages_walked + n
+  | Maint_lock_yields -> t.maint_lock_yields <- t.maint_lock_yields + n
+  | Peer_deaths -> t.peer_deaths <- t.peer_deaths + n
+  | Ack_demotions -> t.ack_demotions <- t.ack_demotions + n
+  | Heartbeats_missed -> t.heartbeats_missed <- t.heartbeats_missed + n
+  | Failovers -> t.failovers <- t.failovers + n
+  | Reconnects -> t.reconnects <- t.reconnects + n
+
+let bump t c = add t c 1
+
 (* Process-wide physical I/O, across every Stats block ever created.  Never
    reset: callers take deltas.  Lets the benchmark driver attribute total
    I/O to a scenario even when the scenario builds several databases. *)
@@ -138,28 +217,28 @@ let grand_robustness () =
   (!g_checksum_failures, !g_scrub_pages, !g_repairs, !g_degraded_reads, !g_read_retries)
 
 let note_checksum_failure t =
-  t.checksum_failures <- t.checksum_failures + 1;
+  add t Checksum_failures 1;
   incr g_checksum_failures
 
 let note_scrub_page t =
-  t.scrub_pages <- t.scrub_pages + 1;
+  add t Scrub_pages 1;
   incr g_scrub_pages
 
 let note_repair t =
-  t.repairs <- t.repairs + 1;
+  add t Repairs 1;
   incr g_repairs
 
 let note_degraded_read t =
-  t.degraded_reads <- t.degraded_reads + 1;
+  add t Degraded_reads 1;
   incr g_degraded_reads
 
 let note_read_retry t =
-  t.read_retries <- t.read_retries + 1;
+  add t Read_retries 1;
   incr g_read_retries
 
-let note_failed_read t = t.failed_reads <- t.failed_reads + 1
-let note_prefetch_issued t = t.prefetch_issued <- t.prefetch_issued + 1
-let note_prefetch_hit t = t.prefetch_hits <- t.prefetch_hits + 1
+let note_failed_read t = add t Failed_reads 1
+let note_prefetch_issued t = add t Prefetch_issued 1
+let note_prefetch_hit t = add t Prefetch_hits 1
 
 (* Process-wide WAL totals, like [grand_io]: the bench driver reports
    per-scenario append/flush deltas even when a scenario builds several
@@ -169,12 +248,12 @@ let g_wal_flushes = ref 0
 let grand_wal () = (!g_wal_appends, !g_wal_flushes)
 
 let note_wal_append t ~bytes =
-  t.wal_appends <- t.wal_appends + 1;
-  t.wal_bytes <- t.wal_bytes + bytes;
+  add t Wal_appends 1;
+  add t Wal_bytes bytes;
   incr g_wal_appends
 
 let note_wal_flush t =
-  t.wal_flushes <- t.wal_flushes + 1;
+  add t Wal_flushes 1;
   incr g_wal_flushes
 
 (* Process-wide replication-shipping totals, same pattern as [grand_wal]:
@@ -186,15 +265,15 @@ let g_acks_waited = ref 0
 let grand_repl () = (!g_frames_shipped, !g_frames_applied, !g_acks_waited)
 
 let note_frame_shipped t =
-  t.frames_shipped <- t.frames_shipped + 1;
+  add t Frames_shipped 1;
   incr g_frames_shipped
 
 let note_frame_applied t =
-  t.frames_applied <- t.frames_applied + 1;
+  add t Frames_applied 1;
   incr g_frames_applied
 
 let note_ack_waited t =
-  t.acks_waited <- t.acks_waited + 1;
+  add t Acks_waited 1;
   incr g_acks_waited
 
 let set_replica_lag t ~bytes = t.replica_lag_bytes <- bytes
@@ -207,12 +286,12 @@ let g_maint_yields = ref 0
 let grand_maint () = (!g_maint_steps, !g_maint_yields)
 
 let note_maint_step t ~pages =
-  t.maint_steps <- t.maint_steps + 1;
-  t.maint_pages_walked <- t.maint_pages_walked + pages;
+  add t Maint_steps 1;
+  add t Maint_pages_walked pages;
   incr g_maint_steps
 
 let note_maint_yield t =
-  t.maint_lock_yields <- t.maint_lock_yields + 1;
+  add t Maint_lock_yields 1;
   incr g_maint_yields
 
 let set_maint_backlog t ~pages = t.maint_backfill_pending <- pages
@@ -230,23 +309,23 @@ let grand_failover () =
   (!g_peer_deaths, !g_ack_demotions, !g_heartbeats_missed, !g_failovers, !g_reconnects)
 
 let note_peer_death t =
-  t.peer_deaths <- t.peer_deaths + 1;
+  add t Peer_deaths 1;
   incr g_peer_deaths
 
 let note_ack_demotion t =
-  t.ack_demotions <- t.ack_demotions + 1;
+  add t Ack_demotions 1;
   incr g_ack_demotions
 
 let note_heartbeat_missed t =
-  t.heartbeats_missed <- t.heartbeats_missed + 1;
+  add t Heartbeats_missed 1;
   incr g_heartbeats_missed
 
 let note_failover t =
-  t.failovers <- t.failovers + 1;
+  add t Failovers 1;
   incr g_failovers
 
 let note_reconnect t =
-  t.reconnects <- t.reconnects + 1;
+  add t Reconnects 1;
   incr g_reconnects
 
 let record_read t ~file =

@@ -79,6 +79,56 @@ val create : unit -> t
 val reset : t -> unit
 val copy : t -> t
 
+(** One constructor per counter field of {!t}.  The two gauges
+    ([replica_lag_bytes], [maint_backfill_pending]) are deliberately
+    absent: they are set, not accumulated — use {!set_replica_lag} and
+    {!set_maint_backlog}. *)
+type counter =
+  | Page_reads
+  | Page_writes
+  | Buffer_hits
+  | Pages_allocated
+  | Objects_read
+  | Objects_written
+  | Wal_appends
+  | Wal_bytes
+  | Recovery_replays
+  | Txn_commits
+  | Txn_aborts
+  | Lock_waits
+  | Deadlocks
+  | Undo_applied
+  | Checksum_failures
+  | Scrub_pages
+  | Repairs
+  | Degraded_reads
+  | Read_retries
+  | Failed_reads
+  | Prefetch_issued
+  | Prefetch_hits
+  | Wal_flushes
+  | Frames_shipped
+  | Frames_applied
+  | Acks_waited
+  | Maint_steps
+  | Maint_pages_walked
+  | Maint_lock_yields
+  | Peer_deaths
+  | Ack_demotions
+  | Heartbeats_missed
+  | Failovers
+  | Reconnects
+
+val add : t -> counter -> int -> unit
+(** [add t c n] adds [n] to counter [c].  This is the only place in the
+    tree that mutates a counter field (enforced by lint rule C1), so the
+    representation can later move to [Atomic] fetch-and-add without
+    touching call sites.  Note the [note_*] helpers below also maintain
+    process-wide totals; prefer them where one exists. *)
+
+val bump : t -> counter -> unit
+(** [bump t c] is [add t c 1]. *)
+
 val diff : t -> t -> t
 (** [diff now before] is the per-counter difference. *)
 

@@ -1,5 +1,6 @@
 module Oid = Fieldrep_storage.Oid
 module Stats = Fieldrep_storage.Stats
+module Lockdep = Fieldrep_util.Lockdep
 
 type mode = IS | IX | S | X
 
@@ -103,10 +104,17 @@ let find_cycle t start =
   in
   dfs [] start
 
+(* Lockdep pairing: one [Txn_lock] push per transaction (its first grant),
+   popped by [release_all]; later grants only record edges, since they get
+   no release of their own. *)
 let note_held t txn resource =
   match Hashtbl.find_opt t.held txn with
-  | Some l -> if not (List.mem resource !l) then l := resource :: !l
-  | None -> Hashtbl.replace t.held txn (ref [ resource ])
+  | Some l ->
+      Lockdep.note Lockdep.Txn_lock;
+      if not (List.mem resource !l) then l := resource :: !l
+  | None ->
+      Lockdep.acquire Lockdep.Txn_lock;
+      Hashtbl.replace t.held txn (ref [ resource ])
 
 let acquire t ~txn resource mode =
   let holders = holders_of t resource in
@@ -130,15 +138,11 @@ let acquire t ~txn resource mode =
           in
           Hashtbl.replace t.waiting txn (resource, mode);
           if not already then
-            Option.iter
-              (fun s -> s.Stats.lock_waits <- s.Stats.lock_waits + 1)
-              t.stats;
+            Option.iter (fun s -> Stats.bump s Stats.Lock_waits) t.stats;
           (match find_cycle t txn with
           | Some cycle ->
               Hashtbl.remove t.waiting txn;
-              Option.iter
-                (fun s -> s.Stats.deadlocks <- s.Stats.deadlocks + 1)
-                t.stats;
+              Option.iter (fun s -> Stats.bump s Stats.Deadlocks) t.stats;
               raise (Deadlock { victim = txn; cycle })
           | None -> ());
           raise (Would_block { txn; holders = blocking }))
@@ -164,6 +168,7 @@ let holds t ~txn resource mode =
 let release_all t ~txn =
   (match Hashtbl.find_opt t.held txn with
   | Some l ->
+      Lockdep.release Lockdep.Txn_lock;
       List.iter
         (fun resource ->
           match Hashtbl.find_opt t.table resource with

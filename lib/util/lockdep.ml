@@ -1,0 +1,108 @@
+type cls = Maint_job | Txn_lock | Pool_pin | Wal_sync
+
+let ncls = 4
+let idx = function Maint_job -> 0 | Txn_lock -> 1 | Pool_pin -> 2 | Wal_sync -> 3
+let all_cls = [ Maint_job; Txn_lock; Pool_pin; Wal_sync ]
+
+let cls_name = function
+  | Maint_job -> "Maint_job"
+  | Txn_lock -> "Txn_lock"
+  | Pool_pin -> "Pool_pin"
+  | Wal_sync -> "Wal_sync"
+
+exception Cycle of string
+
+let enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "FIELDREP_LOCKDEP" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* The observed-edge graph, row-major [from * ncls + to].  Tiny and fixed
+   size, so cycle checks are a bounded DFS under the same mutex that
+   guards insertion. *)
+let graph = Array.make (ncls * ncls) false
+let graph_mu = Mutex.create ()
+
+(* Per-domain held multiset: count of outstanding acquisitions per class. *)
+let held_key = Domain.DLS.new_key (fun () -> Array.make ncls 0)
+
+(* Is [b] reachable from [a] in the current graph?  Caller holds
+   [graph_mu]. *)
+let reachable a b =
+  let seen = Array.make ncls false in
+  let rec go n =
+    n = b
+    || (not seen.(n))
+       && begin
+            seen.(n) <- true;
+            let rec scan m =
+              m < ncls && (((graph.((n * ncls) + m)) && go m) || scan (m + 1))
+            in
+            scan 0
+          end
+  in
+  go a
+
+let record_edge h c =
+  Mutex.protect graph_mu (fun () ->
+      if not graph.((idx h * ncls) + idx c) then begin
+        if reachable (idx c) (idx h) then
+          raise
+            (Cycle
+               (Printf.sprintf
+                  "Lockdep: acquiring %s while holding %s closes a cycle — \
+                   the reverse path %s -> %s was already observed; canonical \
+                   order is Maint_job -> Txn_lock -> Pool_pin -> Wal_sync"
+                  (cls_name c) (cls_name h) (cls_name c) (cls_name h)));
+        graph.((idx h * ncls) + idx c) <- true
+      end)
+
+let note c =
+  if enabled () then begin
+    let held = Domain.DLS.get held_key in
+    List.iter
+      (fun h -> if h <> c && held.(idx h) > 0 then record_edge h c)
+      all_cls
+  end
+
+let acquire c =
+  if enabled () then begin
+    note c;
+    let held = Domain.DLS.get held_key in
+    held.(idx c) <- held.(idx c) + 1
+  end
+
+let release c =
+  if enabled () then begin
+    let held = Domain.DLS.get held_key in
+    if held.(idx c) > 0 then held.(idx c) <- held.(idx c) - 1
+  end
+
+let with_held c f =
+  acquire c;
+  Fun.protect ~finally:(fun () -> release c) f
+
+let isolated f =
+  if not (enabled ()) then f ()
+  else begin
+    let saved = Domain.DLS.get held_key in
+    Domain.DLS.set held_key (Array.make ncls 0);
+    Fun.protect ~finally:(fun () -> Domain.DLS.set held_key saved) f
+  end
+
+let edges () =
+  Mutex.protect graph_mu (fun () ->
+      List.concat_map
+        (fun h ->
+          List.filter_map
+            (fun c ->
+              if graph.((idx h * ncls) + idx c) then Some (h, c) else None)
+            all_cls)
+        all_cls)
+
+let reset () =
+  Mutex.protect graph_mu (fun () -> Array.fill graph 0 (ncls * ncls) false)

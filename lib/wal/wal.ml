@@ -1,6 +1,7 @@
 module Oid = Fieldrep_storage.Oid
 module Stats = Fieldrep_storage.Stats
 module Wire = Fieldrep_util.Wire
+module Lockdep = Fieldrep_util.Lockdep
 module Ty = Fieldrep_model.Ty
 module Value = Fieldrep_model.Value
 module Schema = Fieldrep_model.Schema
@@ -384,7 +385,13 @@ let flushes t = t.flushes
 let fsyncs t = t.fsyncs
 let pending_bytes t = t.pending_bytes
 
+(* Lockdep class [Wal_sync] brackets the whole flush barrier, including the
+   frame tap: anything the shipping hook does runs "under" the sync from
+   this node's point of view (a loopback peer applying frames resets its
+   scope at [Db.replica_apply], because its pins belong to the other
+   node). *)
 let sync t =
+  Lockdep.with_held Lockdep.Wal_sync @@ fun () ->
   if t.pending_bytes > 0 then begin
     flush t.oc;
     (* With [fsync] the group-commit point pays for a real disk barrier,

@@ -1,0 +1,199 @@
+(* First steps toward OCaml 5 parallelism: the lockdep recorder's own
+   semantics (edge recording, cycle detection, per-domain held-stacks, the
+   isolated node boundary), then Domain.spawn smoke over the two most
+   contended subsystems — the lock manager and the buffer pool — with a
+   coarse mutex serializing entry, which is exactly the Db_mutex phase-1
+   locking story the S1 ownership map documents. *)
+
+module Lockdep = Fieldrep_util.Lockdep
+module Stats = Fieldrep_storage.Stats
+module Disk = Fieldrep_storage.Disk
+module Buffer_pool = Fieldrep_storage.Buffer_pool
+module Oid = Fieldrep_storage.Oid
+module Lock = Fieldrep_txn.Lock
+
+let () = Lockdep.set_enabled true
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* Every test starts from an empty observed-edge graph. *)
+let fresh () = Lockdep.reset ()
+
+(* ---------------- lockdep semantics ---------------- *)
+
+let test_edge_recording () =
+  fresh ();
+  Lockdep.with_held Lockdep.Txn_lock (fun () ->
+      Lockdep.with_held Lockdep.Pool_pin (fun () -> ()));
+  checkb "Txn_lock -> Pool_pin observed" true
+    (List.mem (Lockdep.Txn_lock, Lockdep.Pool_pin) (Lockdep.edges ()));
+  checkb "no reverse edge" false
+    (List.mem (Lockdep.Pool_pin, Lockdep.Txn_lock) (Lockdep.edges ()))
+
+let test_inversion_detected () =
+  fresh ();
+  (* A -> B, then B -> A must close the cycle. *)
+  Lockdep.with_held Lockdep.Txn_lock (fun () ->
+      Lockdep.with_held Lockdep.Pool_pin (fun () -> ()));
+  let raised =
+    try
+      Lockdep.with_held Lockdep.Pool_pin (fun () ->
+          Lockdep.with_held Lockdep.Txn_lock (fun () -> ()));
+      false
+    with Lockdep.Cycle _ -> true
+  in
+  checkb "A->B then B->A raises Cycle" true raised;
+  fresh ()
+
+let test_transitive_inversion () =
+  fresh ();
+  (* A -> B and B -> C, then C -> A: the cycle is indirect. *)
+  Lockdep.with_held Lockdep.Maint_job (fun () ->
+      Lockdep.with_held Lockdep.Txn_lock (fun () -> ()));
+  Lockdep.with_held Lockdep.Txn_lock (fun () ->
+      Lockdep.with_held Lockdep.Pool_pin (fun () -> ()));
+  let raised =
+    try
+      Lockdep.with_held Lockdep.Pool_pin (fun () ->
+          Lockdep.note Lockdep.Maint_job);
+      false
+    with Lockdep.Cycle _ -> true
+  in
+  checkb "transitive cycle detected" true raised;
+  fresh ()
+
+let test_release_ends_span () =
+  fresh ();
+  Lockdep.acquire Lockdep.Pool_pin;
+  Lockdep.release Lockdep.Pool_pin;
+  Lockdep.acquire Lockdep.Txn_lock;
+  Lockdep.release Lockdep.Txn_lock;
+  checki "no edge across a released span" 0 (List.length (Lockdep.edges ()))
+
+let test_isolated_resets_held () =
+  fresh ();
+  (* The loopback-replication shape: a replica applies records while the
+     master's Wal_sync is held.  The node boundary must keep the replica's
+     acquisitions out of the master's held-context. *)
+  Lockdep.with_held Lockdep.Wal_sync (fun () ->
+      Lockdep.isolated (fun () ->
+          Lockdep.with_held Lockdep.Txn_lock (fun () ->
+              Lockdep.with_held Lockdep.Pool_pin (fun () -> ()))));
+  checkb "no Wal_sync -> Txn_lock edge through the boundary" false
+    (List.mem (Lockdep.Wal_sync, Lockdep.Txn_lock) (Lockdep.edges ()));
+  checkb "inner-node edges still recorded" true
+    (List.mem (Lockdep.Txn_lock, Lockdep.Pool_pin) (Lockdep.edges ()))
+
+let test_disabled_is_free () =
+  fresh ();
+  Lockdep.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Lockdep.set_enabled true)
+    (fun () ->
+      Lockdep.with_held Lockdep.Wal_sync (fun () ->
+          Lockdep.acquire Lockdep.Maint_job;
+          Lockdep.release Lockdep.Maint_job);
+      checki "disabled recorder observes nothing" 0
+        (List.length (Lockdep.edges ())))
+
+let test_held_stacks_are_per_domain () =
+  fresh ();
+  (* This domain holds Wal_sync; another domain acquires Txn_lock.  With a
+     shared held-stack that would record the reverse edge Wal_sync ->
+     Txn_lock; per-domain stacks must not. *)
+  Lockdep.with_held Lockdep.Wal_sync (fun () ->
+      let d =
+        Domain.spawn (fun () ->
+            Lockdep.with_held Lockdep.Txn_lock (fun () -> ()))
+      in
+      Domain.join d);
+  checkb "no cross-domain false edge" false
+    (List.mem (Lockdep.Wal_sync, Lockdep.Txn_lock) (Lockdep.edges ()))
+
+(* ---------------- Domain.spawn smoke: lock manager ---------------- *)
+
+let test_lock_manager_smoke () =
+  fresh ();
+  let locks = Lock.create ~stats:(Stats.create ()) () in
+  let mu = Mutex.create () in
+  let domains = 4 and txns_per_domain = 25 in
+  let failures = Atomic.make 0 in
+  let worker d () =
+    for i = 0 to txns_per_domain - 1 do
+      let txn = (d * txns_per_domain) + i in
+      (* Disjoint object ranges keep the schedule conflict-free; the shared
+         set is taken in IX, which is self-compatible. *)
+      let oid = { Oid.file = 1; page = txn; slot = 0 } in
+      try
+        Mutex.protect mu (fun () ->
+            Lock.acquire locks ~txn (Lock.Set "S") Lock.IX;
+            Lock.acquire locks ~txn (Lock.Obj oid) Lock.X;
+            checkb "holds its X lock" true
+              (Lock.holds locks ~txn (Lock.Obj oid) Lock.X));
+        Mutex.protect mu (fun () -> Lock.release_all locks ~txn)
+      with _ -> Atomic.incr failures
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  checki "no worker failed" 0 (Atomic.get failures);
+  checki "all locks released" 0 (Lock.active_locks locks)
+
+(* ---------------- Domain.spawn smoke: buffer pool ---------------- *)
+
+let test_buffer_pool_smoke () =
+  fresh ();
+  let disk = Disk.create ~page_size:256 (Stats.create ()) in
+  let file = Disk.create_file disk in
+  let domains = 4 and pages_per_domain = 8 in
+  for _ = 0 to (domains * pages_per_domain) - 1 do
+    ignore (Disk.allocate_page disk file)
+  done;
+  let pool = Buffer_pool.create disk ~frames:16 in
+  let mu = Mutex.create () in
+  let failures = Atomic.make 0 in
+  let worker d () =
+    for i = 0 to pages_per_domain - 1 do
+      let page = (d * pages_per_domain) + i in
+      try
+        (* Write the page's number into its first byte, then read it back;
+           every pool call runs under the coarse latch. *)
+        Mutex.protect mu (fun () ->
+            Buffer_pool.with_page_write pool ~file ~page (fun buf ->
+                Bytes.set buf 0 (Char.chr (page land 0xff))));
+        Mutex.protect mu (fun () ->
+            Buffer_pool.with_page_read pool ~file ~page (fun buf ->
+                if Char.code (Bytes.get buf 0) <> page land 0xff then
+                  failwith "readback mismatch"))
+      with _ -> Atomic.incr failures
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  checki "no worker failed" 0 (Atomic.get failures);
+  Mutex.protect mu (fun () -> Buffer_pool.flush pool);
+  (* Every frame unpinned: a full clear must succeed. *)
+  Mutex.protect mu (fun () -> Buffer_pool.clear pool);
+  checki "nothing left resident" 0 (Buffer_pool.resident pool)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "fieldrep_domains"
+    [
+      ( "lockdep",
+        [
+          tc "edge recording" test_edge_recording;
+          tc "inversion" test_inversion_detected;
+          tc "transitive inversion" test_transitive_inversion;
+          tc "release ends span" test_release_ends_span;
+          tc "isolated boundary" test_isolated_resets_held;
+          tc "disabled" test_disabled_is_free;
+          tc "per-domain held stacks" test_held_stacks_are_per_domain;
+        ] );
+      ( "smoke",
+        [
+          tc "lock manager across domains" test_lock_manager_smoke;
+          tc "buffer pool across domains" test_buffer_pool_smoke;
+        ] );
+    ]

@@ -1,24 +1,48 @@
 (* lint.toml: the checked-in allowlist.  Deliberately a tiny subset of
-   TOML — comments, [section] headers (ignored), and
+   TOML — comments, [section] headers, and
 
-     RULE = ["path", "path:LINE", ...]
+     KEY = ["path", "path:LINE", ...]
 
    entries, possibly spread over several lines.  Entries without a line
-   number allowlist the whole file for that rule. *)
+   number allowlist the whole file.
 
-type entry = { rule : string; path : string; line : int option }
+   Two sections carry meaning:
+
+   - [allow] (also the default, for headerless snippets): KEY is a rule
+     id; the entry suppresses that rule's diagnostics at the path.
+   - [protected_by]: KEY is a lock name (Db_mutex, Pool_latch, ...); the
+     entry answers rule S1's shared-state inventory for the path — "this
+     state is protected by that lock".  It suppresses S1 only, and the
+     key is documentation: the reviewed ownership map lives in the file.
+
+   Every entry records whether it suppressed anything; the driver turns
+   entries that never fired into diagnostics of their own (rule A1), so
+   the allowlist cannot accumulate stale exceptions. *)
+
+type section = Allow | Protected_by
+
+type entry = {
+  key : string;  (* rule id in [allow]; protecting lock in [protected_by] *)
+  section : section;
+  path : string;
+  line : int option;
+  decl_line : int;  (* line in lint.toml, for unused-entry diagnostics *)
+  mutable used : bool;
+}
+
 type t = entry list
 
 let empty : t = []
 
-let parse_item rule item =
+let parse_item ~section ~decl_line key item =
+  let mk path line = { key; section; path; line; decl_line; used = false } in
   match String.rindex_opt item ':' with
   | Some i -> (
       let tail = String.sub item (i + 1) (String.length item - i - 1) in
       match int_of_string_opt tail with
-      | Some line -> { rule; path = String.sub item 0 i; line = Some line }
-      | None -> { rule; path = item; line = None })
-  | None -> { rule; path = item; line = None }
+      | Some line -> mk (String.sub item 0 i) (Some line)
+      | None -> mk item None)
+  | None -> mk item None
 
 (* Pull every "quoted string" out of a line. *)
 let quoted_items line =
@@ -47,23 +71,37 @@ let strip_comment line =
 
 let parse_string contents =
   let entries = ref [] in
-  let current_rule = ref None in
+  let current_key = ref None in
+  let section = ref Allow in
+  let lineno = ref 0 in
   String.split_on_char '\n' contents
   |> List.iter (fun raw ->
+         incr lineno;
          let line = String.trim (strip_comment raw) in
-         if line = "" || (String.length line > 0 && line.[0] = '[') then ()
+         if line = "" then ()
+         else if line.[0] = '[' then begin
+           current_key := None;
+           section :=
+             if String.trim (String.map (function '[' | ']' -> ' ' | c -> c) line)
+                = "protected_by"
+             then Protected_by
+             else Allow
+         end
          else begin
            (match String.index_opt line '=' with
            | Some i ->
                let key = String.trim (String.sub line 0 i) in
-               if key <> "" then current_rule := Some key
+               if key <> "" then current_key := Some key
            | None -> ());
-           match !current_rule with
-           | Some rule ->
+           match !current_key with
+           | Some key ->
                List.iter
-                 (fun item -> entries := parse_item rule item :: !entries)
+                 (fun item ->
+                   entries :=
+                     parse_item ~section:!section ~decl_line:!lineno key item
+                     :: !entries)
                  (quoted_items line);
-               if String.contains line ']' then current_rule := None
+               if String.contains line ']' then current_key := None
            | None -> ()
          end);
   List.rev !entries
@@ -77,10 +115,21 @@ let load path =
   end
   else empty
 
+(* An [allow] entry suppresses its own rule; a [protected_by] entry is an
+   S1 answer.  Every entry that fires is marked used (all matches, not
+   just the first, so duplicate entries are reported stale together only
+   when truly dead). *)
 let allows (t : t) (d : Diag.t) =
-  List.exists
-    (fun e ->
-      e.rule = d.Diag.rule
-      && e.path = Diag.file d
-      && match e.line with None -> true | Some l -> l = Diag.line d)
-    t
+  let file = Diag.file d and dline = Diag.line d in
+  let hit e =
+    (match e.section with
+    | Allow -> e.key = d.Diag.rule
+    | Protected_by -> d.Diag.rule = "S1")
+    && e.path = file
+    && match e.line with None -> true | Some l -> l = dline
+  in
+  let hits = List.filter hit t in
+  List.iter (fun e -> e.used <- true) hits;
+  hits <> []
+
+let unused (t : t) = List.filter (fun e -> not e.used) t

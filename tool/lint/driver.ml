@@ -1,4 +1,9 @@
-(* Scan, parse, run rules, filter by suppressions and allowlist. *)
+(* Scan, parse, run rules, filter by suppressions and allowlist.
+
+   Parsing happens once per file; the per-file rules run on each unit and
+   the interprocedural O1 pass runs on all parsed units together.  Each
+   diagnostic is filtered by the [@lint.allow] suppressions of the file it
+   points into, then by the lint.toml allowlist. *)
 
 let parse_channel ~path ic =
   let lexbuf = Lexing.from_channel ic in
@@ -8,25 +13,49 @@ let parse_channel ~path ic =
 let parse_error_diag path loc =
   { Diag.rule = "parse-error"; loc; message = path ^ ": does not parse" }
 
-(* [as_path] lets the self-tests lint a fixture as if it lived somewhere in
-   the repo (rule scoping is path-based); it is also how scanned files are
-   reported repo-relative. *)
-let lint_file ?as_path ~allow real_path =
-  let rel_path = Option.value as_path ~default:real_path in
+let parse_file ~rel_path real_path =
   let ic = open_in_bin real_path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       match parse_channel ~path:rel_path ic with
       | str ->
-          let env = Lint_ast.collect_env str in
-          let sups = Lint_ast.suppressions str in
-          Rules.all { Rules.rel_path; str; env }
-          |> List.filter (fun d -> not (Lint_ast.suppressed sups d))
-          |> List.filter (fun d -> not (Allowlist.allows allow d))
+          Ok { Rules.rel_path; str; env = Lint_ast.collect_env str }
       | exception Syntaxerr.Error err ->
-          [ parse_error_diag rel_path (Syntaxerr.location_of_error err) ]
-      | exception Lexer.Error (_, loc) -> [ parse_error_diag rel_path loc ])
+          Error (parse_error_diag rel_path (Syntaxerr.location_of_error err))
+      | exception Lexer.Error (_, loc) -> Error (parse_error_diag rel_path loc))
+
+(* Run every rule over the parsed units and keep the diagnostics that
+   survive both suppression layers.  As a side effect, allowlist entries
+   that fire are marked used (see {!unused_diags}). *)
+let lint_inputs ~allow (inputs : Rules.input list) =
+  let sups_of = Hashtbl.create 16 in
+  List.iter
+    (fun (i : Rules.input) ->
+      Hashtbl.replace sups_of i.Rules.rel_path (Lint_ast.suppressions i.Rules.str))
+    inputs;
+  let tagged =
+    List.concat_map
+      (fun (i : Rules.input) ->
+        List.map (fun d -> (i.Rules.rel_path, d)) (Rules.all i))
+      inputs
+    @ Rules.global inputs
+  in
+  List.filter_map
+    (fun (rel_path, d) ->
+      let sups = Option.value ~default:[] (Hashtbl.find_opt sups_of rel_path) in
+      if Lint_ast.suppressed sups d || Allowlist.allows allow d then None
+      else Some d)
+    tagged
+
+(* [as_path] lets the self-tests lint a fixture as if it lived somewhere in
+   the repo (rule scoping is path-based); it is also how scanned files are
+   reported repo-relative. *)
+let lint_file ?as_path ~allow real_path =
+  let rel_path = Option.value as_path ~default:real_path in
+  match parse_file ~rel_path real_path with
+  | Ok input -> lint_inputs ~allow [ input ]
+  | Error d -> [ d ]
 
 (* Directories never linted: build artifacts and test fixtures (fixtures
    deliberately contain violations). *)
@@ -47,6 +76,41 @@ let rec scan_dir acc path =
 
 let default_dirs = [ "lib"; "bin"; "bench"; "test"; "tool" ]
 
+(* A1: allowlist hygiene.  Entries that suppressed nothing in a whole-tree
+   run are stale and must be pruned (or their path/line fixed).  Only
+   meaningful after linting the full tree — a single-file run leaves most
+   entries legitimately untouched. *)
+let unused_diags (allow : Allowlist.t) =
+  List.map
+    (fun (e : Allowlist.entry) ->
+      let pos =
+        {
+          Lexing.pos_fname = "tool/lint/lint.toml";
+          pos_lnum = e.Allowlist.decl_line;
+          pos_bol = 0;
+          pos_cnum = 0;
+        }
+      in
+      let loc = { Location.loc_start = pos; loc_end = pos; loc_ghost = false } in
+      let what =
+        match e.Allowlist.section with
+        | Allowlist.Allow -> Printf.sprintf "%s = %S" e.Allowlist.key e.Allowlist.path
+        | Allowlist.Protected_by ->
+            Printf.sprintf "[protected_by] %s = %S" e.Allowlist.key e.Allowlist.path
+      in
+      {
+        Diag.rule = "A1";
+        loc;
+        message =
+          Printf.sprintf
+            "unused allowlist entry %s%s — it suppressed nothing; prune it"
+            what
+            (match e.Allowlist.line with
+            | Some l -> Printf.sprintf " (line %d)" l
+            | None -> "");
+      })
+    (Allowlist.unused allow)
+
 let lint_tree ~root ~allow =
   let files =
     List.concat_map
@@ -66,4 +130,13 @@ let lint_tree ~root ~allow =
     in
     String.map (fun c -> if c = '\\' then '/' else c) p
   in
-  List.concat_map (fun f -> lint_file ~as_path:(rel f) ~allow f) files
+  let inputs, errors =
+    List.fold_left
+      (fun (inputs, errors) f ->
+        match parse_file ~rel_path:(rel f) f with
+        | Ok i -> (i :: inputs, errors)
+        | Error d -> (inputs, d :: errors))
+      ([], []) files
+  in
+  let kept = lint_inputs ~allow (List.rev inputs) in
+  List.rev errors @ kept @ unused_diags allow

@@ -176,6 +176,12 @@ let suppressions str =
         (fun it mb ->
           add_span mb.pmb_loc mb.pmb_attributes;
           Ast_iterator.default_iterator.module_binding it mb);
+      type_declaration =
+        (fun it td ->
+          (* S1 fires on field declarations; an attribute on the type
+             covers every field of the record. *)
+          add_span td.ptype_loc td.ptype_attributes;
+          Ast_iterator.default_iterator.type_declaration it td);
       structure_item =
         (fun it si ->
           (match si.pstr_desc with

@@ -420,5 +420,179 @@ let f1 i =
   end
 
 (* ------------------------------------------------------------------ *)
+(* S1: shared-mutable-state inventory.  Every [mutable] record field,     *)
+(* module-level [ref]/[Hashtbl.create] binding and Hashtbl-typed field    *)
+(* in lib/ is a potential cross-domain data race once the engine runs     *)
+(* under Domain.spawn.  Each one must either be wrapped in Atomic/Mutex   *)
+(* or carry a lint.toml [protected_by] entry naming its protecting lock,  *)
+(* so the ownership map stays complete and reviewed.  Scope: lib/.        *)
 
-let all i = List.concat [ l1 i; p1 i; d1 i; e1 i; f1 i ]
+(* Type constructors that make a slot safe by construction. *)
+let s1_safe_constrs = [ "Atomic"; "Mutex"; "Condition"; "Semaphore" ]
+
+let rec s1_safe_typ t =
+  match t.ptyp_desc with
+  | Ptyp_constr (lid, args) -> (
+      match Lint_ast.flatten lid.Location.txt with
+      | [ m ] when List.mem m s1_safe_constrs -> true
+      | m :: _ :: _ when List.mem m s1_safe_constrs -> true
+      | path -> (
+          (match List.rev path with
+          | "t" :: m :: _ when List.mem m s1_safe_constrs -> true
+          | "key" :: "DLS" :: _ -> true  (* Domain.DLS is per-domain *)
+          | _ -> false)
+          || List.exists s1_safe_typ args))
+  | _ -> false
+
+let s1_hashtbl_typ t =
+  match t.ptyp_desc with
+  | Ptyp_constr (lid, _) -> (
+      match List.rev (Lint_ast.flatten lid.Location.txt) with
+      | "t" :: "Hashtbl" :: _ -> true
+      | _ -> false)
+  | _ -> false
+
+let s1_msg = "name its protecting lock in lint.toml [protected_by] or wrap it in Atomic/Mutex"
+
+let s1 i =
+  if not (in_lib i) then []
+  else begin
+    let acc = ref [] in
+    (* Mutable and Hashtbl-typed record fields, anywhere in the unit. *)
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        type_declaration =
+          (fun it td ->
+            (match td.ptype_kind with
+            | Ptype_record labels ->
+                List.iter
+                  (fun ld ->
+                    if s1_safe_typ ld.pld_type then ()
+                    else if ld.pld_mutable = Asttypes.Mutable then
+                      acc :=
+                        diag "S1" ld.pld_loc
+                          "mutable field '%s' is shared mutable state; %s"
+                          ld.pld_name.Location.txt s1_msg
+                        :: !acc
+                    else if s1_hashtbl_typ ld.pld_type then
+                      acc :=
+                        diag "S1" ld.pld_loc
+                          "Hashtbl field '%s' is shared mutable state; %s"
+                          ld.pld_name.Location.txt s1_msg
+                        :: !acc)
+                  labels
+            | _ -> ());
+            Ast_iterator.default_iterator.type_declaration it td);
+      }
+    in
+    it.structure it i.str;
+    (* Module-level refs and tables (locals are domain-private).  Only the
+       top level of the unit and of plain sub-modules counts. *)
+    let rec binding_head e =
+      match e.pexp_desc with
+      | Pexp_constraint (e1, _) -> binding_head e1
+      | _ -> e
+    in
+    let flag_binding vb =
+      let e = binding_head vb.pvb_expr in
+      match e.pexp_desc with
+      | Pexp_apply (fn, _) -> (
+          match Lint_ast.apply_head fn with
+          | Some "ref" ->
+              acc :=
+                diag "S1" vb.pvb_loc
+                  "module-level ref is shared mutable state; %s" s1_msg
+                :: !acc
+          | Some "create" -> (
+              match fn.pexp_desc with
+              | Pexp_ident lid
+                when (match List.rev (Lint_ast.resolve i.env lid.Location.txt) with
+                     | _ :: "Hashtbl" :: _ -> true
+                     | _ -> false) ->
+                  acc :=
+                    diag "S1" vb.pvb_loc
+                      "module-level Hashtbl is shared mutable state; %s" s1_msg
+                    :: !acc
+              | _ -> ())
+          | _ -> ())
+      | _ -> ()
+    in
+    let rec items str =
+      List.iter
+        (fun si ->
+          match si.pstr_desc with
+          | Pstr_value (_, vbs) -> List.iter flag_binding vbs
+          | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure s; _ }; _ } ->
+              items s
+          | _ -> ())
+        str
+    in
+    items i.str;
+    List.rev !acc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* C1: no bare Stats counter increments.  [s.field <- s.field + n] is a   *)
+(* lost-update race the moment two domains touch the same block; every    *)
+(* counter bump goes through the blessed Stats.bump/Stats.add so the      *)
+(* representation can become Atomic in one place.  The single permitted   *)
+(* mutation site is Stats.add itself (lib/storage/stats.ml).  Scope:      *)
+(* lib/, bin/ and bench/.                                                 *)
+
+let c1_stats_fields =
+  [
+    "page_reads"; "page_writes"; "buffer_hits"; "pages_allocated";
+    "objects_read"; "objects_written"; "wal_appends"; "wal_bytes";
+    "recovery_replays"; "txn_commits"; "txn_aborts"; "lock_waits";
+    "deadlocks"; "undo_applied"; "checksum_failures"; "scrub_pages";
+    "repairs"; "degraded_reads"; "read_retries"; "failed_reads";
+    "prefetch_issued"; "prefetch_hits"; "wal_flushes"; "frames_shipped";
+    "frames_applied"; "acks_waited"; "replica_lag_bytes"; "maint_steps";
+    "maint_pages_walked"; "maint_lock_yields"; "maint_backfill_pending";
+    "peer_deaths"; "ack_demotions"; "heartbeats_missed"; "failovers";
+    "reconnects";
+  ]
+
+let c1 i =
+  if i.rel_path = "lib/storage/stats.ml" then []
+  else if not (in_lib i || under "bin" i.rel_path || under "bench" i.rel_path)
+  then []
+  else begin
+    let acc = ref [] in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun it e ->
+            (match e.pexp_desc with
+            | Pexp_setfield (_, lid, _) -> (
+                match List.rev (Lint_ast.flatten lid.Location.txt) with
+                | field :: _ when List.mem field c1_stats_fields ->
+                    acc :=
+                      diag "C1" e.pexp_loc
+                        "direct mutation of Stats field '%s'; use Stats.bump \
+                         / Stats.add (the single blessed mutation point)"
+                        field
+                      :: !acc
+                | _ -> ())
+            | _ -> ());
+            Ast_iterator.default_iterator.expr it e);
+      }
+    in
+    it.structure it i.str;
+    List.rev !acc
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let all i = List.concat [ l1 i; p1 i; d1 i; e1 i; f1 i; s1 i; c1 i ]
+
+(* O1 is interprocedural: it sees every parsed unit at once and returns
+   diagnostics tagged with the file they belong to, so the driver can
+   apply that file's suppressions. *)
+let global (inputs : input list) : (string * Diag.t) list =
+  inputs
+  |> List.filter (fun i -> in_lib i)
+  |> List.map (fun i -> (i.rel_path, i.str, i.env))
+  |> Lockorder.check

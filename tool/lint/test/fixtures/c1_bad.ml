@@ -1,0 +1,7 @@
+(* Linted as lib/core/fixture.ml: bare Stats counter increments. *)
+module Stats = Fieldrep_storage.Stats
+
+let commit s = s.Stats.txn_commits <- s.Stats.txn_commits + 1
+
+(* Unqualified fields (resolved by type) are just as racy. *)
+let record stats n = stats.Stats.objects_read <- stats.Stats.objects_read + n

@@ -1,0 +1,18 @@
+(* Linted as lib/core/fixture.ml: acquisitions against the canonical
+   order Maint_job -> Txn_lock -> Pool_pin -> Wal_sync. *)
+module Lockdep = Fieldrep_util.Lockdep
+
+(* Direct inversion: Maint_job taken while Pool_pin is held. *)
+let direct () =
+  Lockdep.acquire Lockdep.Pool_pin;
+  Lockdep.acquire Lockdep.Maint_job;
+  Lockdep.release Lockdep.Maint_job;
+  Lockdep.release Lockdep.Pool_pin
+
+(* Interprocedural inversion: the callee acquires Txn_lock, the caller
+   already holds Wal_sync. *)
+let helper locks = Lockdep.acquire Lockdep.Txn_lock; ignore locks
+
+let caller locks =
+  Lockdep.with_held Lockdep.Wal_sync @@ fun () ->
+  helper locks

@@ -1,0 +1,28 @@
+(* Linted as lib/core/fixture.ml: acquisitions along the canonical order,
+   plus a node boundary that resets the held-context. *)
+module Lockdep = Fieldrep_util.Lockdep
+
+(* Forward order: Maint_job, then Txn_lock, then Pool_pin, then sync. *)
+let forward () =
+  Lockdep.with_held Lockdep.Maint_job @@ fun () ->
+  Lockdep.acquire Lockdep.Txn_lock;
+  Lockdep.acquire Lockdep.Pool_pin;
+  Lockdep.with_held Lockdep.Wal_sync (fun () -> ());
+  Lockdep.release Lockdep.Pool_pin;
+  Lockdep.release Lockdep.Txn_lock
+
+(* A release ends the span: Pool_pin is gone before Txn_lock arrives. *)
+let released () =
+  Lockdep.acquire Lockdep.Pool_pin;
+  Lockdep.release Lockdep.Pool_pin;
+  Lockdep.acquire Lockdep.Txn_lock;
+  Lockdep.release Lockdep.Txn_lock
+
+(* A replica apply is another node: locks held here must not combine
+   with what it acquires inside. *)
+let takes_txn locks = Lockdep.acquire Lockdep.Txn_lock; ignore locks
+
+let loopback locks =
+  Lockdep.with_held Lockdep.Wal_sync @@ fun () ->
+  Lockdep.isolated @@ fun () ->
+  takes_txn locks

@@ -1,0 +1,17 @@
+(* Linted as lib/storage/fixture.ml: unclaimed shared mutable state. *)
+
+type cache = {
+  name : string;
+  mutable hits : int;                 (* mutable field: flagged *)
+  table : (int, string) Hashtbl.t;    (* mutable container: flagged *)
+}
+
+(* Module-level refs and tables are process-shared. *)
+let total = ref 0
+let index : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let lookup c k =
+  (* Local refs are domain-private: not flagged. *)
+  let steps = ref 0 in
+  incr steps;
+  Hashtbl.find_opt c.table k

@@ -1,0 +1,23 @@
+(* Linted as lib/storage/fixture.ml: state that is safe by construction. *)
+
+type safe = {
+  name : string;
+  hits : int Atomic.t;        (* atomic slot *)
+  mutable gate : Mutex.t;     (* the lock itself *)
+  seed : int;
+}
+
+let total = Atomic.make 0
+let slot = Domain.DLS.new_key (fun () -> 0)
+
+let bump t =
+  Atomic.incr t.hits;
+  Atomic.incr total
+
+let local () =
+  (* Function-local state never crosses a domain. *)
+  let acc = ref 0 in
+  let seen = Hashtbl.create 8 in
+  Hashtbl.replace seen 0 ();
+  incr acc;
+  !acc + Hashtbl.length seen + Domain.DLS.get slot

@@ -87,6 +87,83 @@ let test_f1_out_of_scope () =
   let ds = lint ~as_path:"bench/fixture.ml" "f1_bad.ml" in
   check_count "bench is out of F1 scope" 0 "F1" ds
 
+(* ---------------- S1 ---------------- *)
+
+let test_s1_bad () =
+  let ds = lint ~as_path:"lib/storage/fixture.ml" "s1_bad.ml" in
+  (* mutable field, Hashtbl field, module-level ref, module-level table *)
+  check_count "shared mutable state flagged" 4 "S1" ds
+
+let test_s1_good () =
+  check_clean "Atomic/Mutex/DLS and locals accepted"
+    (lint ~as_path:"lib/storage/fixture.ml" "s1_good.ml")
+
+let test_s1_out_of_scope () =
+  let ds = lint ~as_path:"bench/fixture.ml" "s1_bad.ml" in
+  check_count "bench is out of S1 scope" 0 "S1" ds
+
+let test_s1_protected_by () =
+  let allow =
+    Allowlist.parse_string
+      "[protected_by]\nPool_latch = [\"lib/storage/fixture.ml\"]\n"
+  in
+  let ds = lint ~allow ~as_path:"lib/storage/fixture.ml" "s1_bad.ml" in
+  check_count "a protected_by claim answers S1" 0 "S1" ds
+
+let test_s1_protected_by_wrong_rule () =
+  (* A protected_by entry is an S1 answer only — it must not leak into
+     suppressing other rules on the same file. *)
+  let allow =
+    Allowlist.parse_string
+      "[protected_by]\nPool_latch = [\"lib/core/fixture.ml\"]\n"
+  in
+  let ds = lint ~allow ~as_path:"lib/core/fixture.ml" "f1_bad.ml" in
+  Alcotest.(check bool) "F1 still fires" true (count "F1" ds > 0)
+
+(* ---------------- O1 ---------------- *)
+
+let test_o1_bad () =
+  let ds = lint ~as_path:"lib/core/fixture.ml" "o1_bad.ml" in
+  (* one direct inversion, one through the call graph *)
+  check_count "reverse-order acquisitions flagged" 2 "O1" ds
+
+let test_o1_good () =
+  check_clean "forward order, release spans and isolated boundary accepted"
+    (lint ~as_path:"lib/core/fixture.ml" "o1_good.ml")
+
+(* ---------------- C1 ---------------- *)
+
+let test_c1_bad () =
+  let ds = lint ~as_path:"lib/core/fixture.ml" "c1_bad.ml" in
+  check_count "bare counter increments flagged" 2 "C1" ds
+
+let test_c1_good () =
+  check_clean "Stats.bump/add and non-Stats fields accepted"
+    (lint ~as_path:"lib/core/fixture.ml" "c1_good.ml")
+
+let test_c1_stats_exempt () =
+  (* The blessed mutation point itself is the one file allowed to assign
+     counter fields. *)
+  let ds = lint ~as_path:"lib/storage/stats.ml" "c1_bad.ml" in
+  check_count "stats.ml is the blessed mutation point" 0 "C1" ds
+
+(* ---------------- A1: unused allowlist entries ---------------- *)
+
+let test_allowlist_unused () =
+  let allow =
+    Allowlist.parse_string
+      "F1 = [\"lib/core/fixture.ml\"]\nP1 = [\"lib/storage/other.ml\"]\n"
+  in
+  let ds = lint ~allow ~as_path:"lib/core/fixture.ml" "f1_bad.ml" in
+  check_count "live entry suppresses" 0 "F1" ds;
+  match Driver.unused_diags allow with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "A1" d.Diag.rule;
+      Alcotest.(check int) "stale entry's lint.toml line" 2 (Diag.line d)
+  | ds ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one unused entry, got %d" (List.length ds))
+
 (* ---------------- suppression and allowlist ---------------- *)
 
 let test_suppress_site () =
@@ -139,6 +216,21 @@ let () =
           tc "good" test_f1_good;
           tc "out-of-scope" test_f1_out_of_scope;
         ] );
+      ( "S1",
+        [
+          tc "bad" test_s1_bad;
+          tc "good" test_s1_good;
+          tc "out-of-scope" test_s1_out_of_scope;
+          tc "protected-by" test_s1_protected_by;
+          tc "protected-by-wrong-rule" test_s1_protected_by_wrong_rule;
+        ] );
+      ("O1", [ tc "bad" test_o1_bad; tc "good" test_o1_good ]);
+      ( "C1",
+        [
+          tc "bad" test_c1_bad;
+          tc "good" test_c1_good;
+          tc "stats-exempt" test_c1_stats_exempt;
+        ] );
       ( "suppression",
         [
           tc "site-attribute" test_suppress_site;
@@ -146,5 +238,6 @@ let () =
           tc "allowlist-file" test_allowlist_file;
           tc "allowlist-line" test_allowlist_line;
           tc "allowlist-multiline" test_allowlist_multiline;
+          tc "allowlist-unused" test_allowlist_unused;
         ] );
     ]
